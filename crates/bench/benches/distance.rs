@@ -1,0 +1,56 @@
+//! Micro-bench: the squared-distance kernel and nearest-center scan at the
+//! paper's dimensionalities (GaussMixture d=15, KDD d=42, Spam d=58).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmeans_core::distance::{nearest, sq_dist, sq_dist_bounded};
+use kmeans_data::PointMatrix;
+use kmeans_util::Rng;
+use std::time::Duration;
+
+fn random_vec(dim: usize, rng: &mut Rng) -> Vec<f64> {
+    (0..dim).map(|_| rng.normal()).collect()
+}
+
+fn bench_sq_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sq_dist");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let mut rng = Rng::new(1);
+    for dim in [15usize, 42, 58] {
+        let a = random_vec(dim, &mut rng);
+        let b = random_vec(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("plain", dim), &dim, |bench, _| {
+            bench.iter(|| sq_dist(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_inf", dim), &dim, |bench, _| {
+            bench.iter(|| sq_dist_bounded(black_box(&a), black_box(&b), f64::INFINITY))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nearest_center");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let mut rng = Rng::new(2);
+    for k in [10usize, 100, 500] {
+        let dim = 42;
+        let mut centers = PointMatrix::new(dim);
+        for _ in 0..k {
+            centers.push(&random_vec(dim, &mut rng)).unwrap();
+        }
+        let query = random_vec(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("pruned_scan", k), &k, |bench, _| {
+            bench.iter(|| nearest(black_box(&query), black_box(&centers)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sq_dist, bench_nearest);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-bench: seeding wall time — the Table 4 story in miniature.
+//! k-means++ pays k sequential passes; k-means|| pays `1 + r` passes;
+//! Random pays one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kmeans_core::init::{InitMethod, KMeansParallelConfig};
+use kmeans_data::synth::GaussMixture;
+use kmeans_par::Executor;
+use std::time::Duration;
+
+fn bench_init_methods(c: &mut Criterion) {
+    let synth = GaussMixture::new(32)
+        .points(4_096)
+        .center_variance(10.0)
+        .generate(1)
+        .unwrap();
+    let points = synth.dataset.points();
+    let exec = Executor::sequential();
+    let k = 32;
+
+    let mut group = c.benchmark_group("seeding_n4096_k32");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let mut seed = 0u64;
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            seed += 1;
+            InitMethod::Random.run(points, k, seed, &exec).unwrap()
+        })
+    });
+    group.bench_function("kmeans_pp", |b| {
+        b.iter(|| {
+            seed += 1;
+            InitMethod::KMeansPlusPlus
+                .run(points, k, seed, &exec)
+                .unwrap()
+        })
+    });
+    for factor in [0.5, 2.0] {
+        group.bench_function(format!("kmeans_par_l{factor}k_r5"), |b| {
+            let init = InitMethod::KMeansParallel(
+                KMeansParallelConfig::default().oversampling_factor(factor),
+            );
+            b.iter(|| {
+                seed += 1;
+                init.run(points, k, seed, &exec).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_init_methods);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-bench: the weighted-sampling strategies behind the seeding
+//! algorithms (one k-means++ draw = `weighted_pick`; static distributions
+//! = alias vs cumulative; the exact-ℓ mode = Efraimidis–Spirakis).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kmeans_util::sampling::{weighted_distinct, weighted_pick, AliasSampler, CumulativeSampler};
+use kmeans_util::Rng;
+use std::time::Duration;
+
+const N: usize = 10_000;
+
+fn weights() -> Vec<f64> {
+    let mut rng = Rng::new(7);
+    (0..N).map(|_| rng.exponential(1.0)).collect()
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let w = weights();
+    let mut group = c.benchmark_group("sampler_build_10k");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("cumulative", |b| {
+        b.iter(|| CumulativeSampler::new(black_box(&w)).unwrap())
+    });
+    group.bench_function("alias", |b| {
+        b.iter(|| AliasSampler::new(black_box(&w)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_draws(c: &mut Criterion) {
+    let w = weights();
+    let total: f64 = w.iter().sum();
+    let cumulative = CumulativeSampler::new(&w).unwrap();
+    let alias = AliasSampler::new(&w).unwrap();
+    let mut group = c.benchmark_group("sampler_draw_10k");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("linear_scan_pick", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| weighted_pick(black_box(&w), total, &mut rng))
+    });
+    group.bench_function("cumulative_log_n", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| cumulative.sample(&mut rng))
+    });
+    group.bench_function("alias_o1", |b| {
+        let mut rng = Rng::new(3);
+        b.iter(|| alias.sample(&mut rng))
+    });
+    group.finish();
+}
+
+fn bench_without_replacement(c: &mut Criterion) {
+    let w = weights();
+    let mut group = c.benchmark_group("weighted_distinct_10k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for m in [16usize, 256] {
+        group.bench_function(format!("m={m}"), |b| {
+            let mut rng = Rng::new(4);
+            b.iter(|| weighted_distinct(black_box(&w), m, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_draws, bench_without_replacement);
+criterion_main!(benches);

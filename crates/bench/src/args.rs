@@ -1,0 +1,3 @@
+//! Re-export of the shared workspace CLI parser.
+
+pub use kmeans_util::cli::Args;

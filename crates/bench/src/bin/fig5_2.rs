@@ -1,0 +1,4 @@
+//! See `kmeans_bench::exp::fig5_2` for the experiment definition.
+fn main() {
+    kmeans_bench::exp::fig5_2::run(&kmeans_bench::Args::parse());
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper in one go, writing TSV
+//! artifacts to `target/experiments/`. The shared KDD grid behind
+//! Tables 3–5 is computed once.
+use kmeans_bench::exp;
+use kmeans_bench::kdd::{run_matrix, KddMatrixConfig};
+use kmeans_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let sw = kmeans_util::timing::Stopwatch::start();
+
+    eprintln!("=== Table 1 ===");
+    exp::table1::run(&args);
+    eprintln!("=== Table 2 ===");
+    exp::table2::run(&args);
+
+    eprintln!("=== Tables 3-5 (shared KDD grid) ===");
+    let config = KddMatrixConfig::from_args(&args);
+    let cells = run_matrix(&config);
+    exp::emit(&exp::table3::table_from_cells(&cells, &config), "table3");
+    exp::emit(&exp::table4::table_from_cells(&cells, &config), "table4");
+    exp::emit(&exp::table5::table_from_cells(&cells, &config), "table5");
+
+    eprintln!("=== Table 6 ===");
+    exp::table6::run(&args);
+    eprintln!("=== Figure 5.1 ===");
+    exp::fig5_1::run(&args);
+    eprintln!("=== Figure 5.2 ===");
+    exp::fig5_2::run(&args);
+    eprintln!("=== Figure 5.3 ===");
+    exp::fig5_3::run(&args);
+
+    eprintln!(
+        "run_all complete in {} — artifacts in target/experiments/",
+        kmeans_util::timing::format_duration(sw.elapsed())
+    );
+}

@@ -1,0 +1,4 @@
+//! See `kmeans_bench::exp::table3` for the experiment definition.
+fn main() {
+    kmeans_bench::exp::table3::run(&kmeans_bench::Args::parse());
+}

@@ -1,0 +1,4 @@
+//! See `kmeans_bench::exp::table6` for the experiment definition.
+fn main() {
+    kmeans_bench::exp::table6::run(&kmeans_bench::Args::parse());
+}

@@ -1,0 +1,180 @@
+//! Terminal rendering of the paper's figures: log-y scatter charts of
+//! cost-versus-rounds series, one symbol per ℓ/k configuration.
+//!
+//! The paper's Figures 5.1–5.3 are log-scale line plots; an 80-column
+//! approximation of the same series makes the reproduced shape visible
+//! directly in the experiment output without any plotting dependency.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (y must be positive for log-scale rendering).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot symbols assigned to series in order.
+const SYMBOLS: &[char] = &['o', '+', 'x', '*', '#', '@', '%'];
+
+/// Renders series as a log₁₀-y ASCII chart of the given plot size.
+///
+/// Returns a ready-to-print string (bordered plot area, y-axis tick
+/// labels, x range line, legend). Series with non-positive y values have
+/// those points skipped. Returns a short message when nothing is
+/// plottable.
+pub fn render_log_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            if y > 0.0 && y.is_finite() && x.is_finite() {
+                xs.push(x);
+                ys.push(y.log10());
+            }
+        }
+    }
+    if xs.is_empty() {
+        return format!("{title}\n(no plottable points)\n");
+    }
+    let (x_min, x_max) = min_max(&xs);
+    let (y_min, y_max) = min_max(&ys);
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let symbol = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, y) in &s.points {
+            if !(y > 0.0 && y.is_finite() && x.is_finite()) {
+                continue;
+            }
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y.log10() - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // y grows upward
+            // First-come rendering; overlaps show the earlier series.
+            if grid[row][col] == ' ' {
+                grid[row][col] = symbol;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        // Tick label on the top, middle, and bottom rows.
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == (height - 1) / 2 {
+            format!("{:>9.2e}", 10f64.powf(y_min + frac * y_span))
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10}x: {} .. {}\n",
+        "", fmt_num(x_min), fmt_num(x_max)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>10}{} = {}\n",
+            "",
+            SYMBOLS[si % SYMBOLS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.round() && v.abs() < 1e6 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: "test".into(),
+            points,
+        }
+    }
+
+    #[test]
+    fn renders_extremes_at_opposite_rows() {
+        let s = series(vec![(1.0, 1e3), (10.0, 1e9)]);
+        let chart = render_log_chart("t", &[s], 40, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Title, 8 grid rows, axis, x-range, legend.
+        assert_eq!(lines[0], "t");
+        assert!(lines[1].contains('o'), "top row holds the max: {chart}");
+        assert!(lines[8].contains('o'), "bottom row holds the min: {chart}");
+        assert!(chart.contains("x: 1 .. 10"));
+        assert!(chart.contains("o = test"));
+        // Tick labels reflect the log range.
+        assert!(lines[1].contains("1.00e9"));
+        assert!(lines[8].contains("1.00e3"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_symbols() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(1.0, 10.0), (2.0, 20.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(1.0, 100.0), (2.0, 200.0)],
+        };
+        let chart = render_log_chart("t", &[a, b], 30, 6);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("o = a"));
+        assert!(chart.contains("+ = b"));
+    }
+
+    #[test]
+    fn skips_non_positive_and_handles_empty() {
+        let s = series(vec![(1.0, 0.0), (2.0, -5.0)]);
+        let chart = render_log_chart("t", &[s], 30, 6);
+        assert!(chart.contains("no plottable points"));
+        let chart = render_log_chart("t", &[], 30, 6);
+        assert!(chart.contains("no plottable points"));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let s = series(vec![(5.0, 42.0)]);
+        let chart = render_log_chart("t", &[s], 30, 6);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn respects_minimum_dimensions() {
+        let s = series(vec![(1.0, 1.0), (2.0, 10.0)]);
+        let chart = render_log_chart("t", &[s], 1, 1);
+        // Clamped to 16×4; must not panic and must contain the symbol.
+        assert!(chart.contains('o'));
+    }
+}

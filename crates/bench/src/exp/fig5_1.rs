@@ -1,0 +1,107 @@
+//! **Figure 5.1** — the effect of `ℓ` and the number of rounds `r` on the
+//! final cost, on a 10 % sample of KDDCup1999, `k ∈ {17, 33, 65, 129}`,
+//! `ℓ/k ∈ {1, 2, 4}`.
+//!
+//! Reproduction notes: this is the experiment where the paper switches to
+//! sampling "exactly ℓ points from the joint distribution in every round"
+//! ([`SamplingMode::ExactL`]) so that the intermediate set has exactly
+//! `ℓ·r` points. Each cell is the median over `--runs` seeds (paper: 11).
+//! The expected shape: final cost decreases monotonically in `r`;
+//! oversampling (larger ℓ/k) helps at small `r` and the benefit fades by
+//! `r ≈ 8`.
+//!
+//! `--mode bernoulli` switches to Bernoulli sampling (ablation A1).
+
+use super::{emit, parallel_seed_final};
+use crate::chart::{render_log_chart, Series};
+use crate::args::Args;
+use crate::format::{fmt_cost, Table};
+use crate::run::executor_from_threads;
+use kmeans_core::init::{SamplingMode, TopUp};
+use kmeans_core::lloyd::LloydConfig;
+use kmeans_data::synth::KddLike;
+
+/// Runs the sweep; one table (rows `r`, columns `ℓ/k`) per `k`.
+pub fn run(args: &Args) -> Vec<Table> {
+    let full = args.flag("full");
+    // "a 10% sample of KDDCup1999": 480k points at paper scale; the
+    // laptop default matches 10% of the scaled Tables 3-5 workload (50k).
+    let n = args.usize_or("n", if full { 480_000 } else { 5_000 });
+    let default_ks: &[usize] = &[17, 33, 65, 129];
+    let _ = full;
+    let ks = args.usize_list_or("ks", default_ks);
+    let factors = args.f64_list_or("factors", &[1.0, 2.0, 4.0]);
+    let rounds_list = args.usize_list_or("rounds", &[1, 2, 4, 8, 16]);
+    let runs = args.usize_or("runs", 3);
+    let seed = args.u64_or("seed", 1);
+    let exec = executor_from_threads(args.usize_or("threads", 0));
+    let lloyd = LloydConfig {
+        max_iterations: args.usize_or("lloyd-iters", 15),
+        tol: 0.0,
+    };
+    let mode = match args.str_or("mode", "exact").as_str() {
+        "exact" => SamplingMode::ExactL,
+        "bernoulli" => SamplingMode::Bernoulli,
+        other => panic!("--mode expects 'exact' or 'bernoulli', got '{other}'"),
+    };
+
+    eprintln!("[fig5_1] generating KddLike sample n={n}");
+    let synth = KddLike::new(n).generate(seed).expect("valid parameters");
+    let points = synth.dataset.points();
+
+    let mut tables = Vec::new();
+    for &k in &ks {
+        let mut chart_series: Vec<Series> = factors
+            .iter()
+            .map(|f| Series {
+                label: format!("l/k={f}"),
+                points: Vec::new(),
+            })
+            .collect();
+        let mut columns = vec!["r".to_string()];
+        for f in &factors {
+            columns.push(format!("l/k={f}"));
+        }
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            format!(
+                "Figure 5.1 (measured): KDD stand-in 10% sample, k={k}, {mode:?} sampling, \
+                 median final cost of {runs} runs"
+            ),
+            &col_refs,
+        );
+        for &r in &rounds_list {
+            let mut row = vec![r.to_string()];
+            for (fi, &factor) in factors.iter().enumerate() {
+                let (_, final_cost) = parallel_seed_final(
+                    points,
+                    k,
+                    factor,
+                    r,
+                    mode,
+                    TopUp::Uniform,
+                    runs,
+                    seed + 700,
+                    &lloyd,
+                    &exec,
+                );
+                row.push(fmt_cost(final_cost));
+                chart_series[fi].points.push((r as f64, final_cost));
+            }
+            eprintln!("[fig5_1] k={k} r={r} done");
+            table.add_row(row);
+        }
+        tables.push(table);
+        println!(
+            "{}",
+            render_log_chart(
+                &format!("Figure 5.1, k={k}: final cost vs rounds (log y)"),
+                &chart_series,
+                64,
+                12,
+            )
+        );
+    }
+    emit(&tables, "fig5_1");
+    tables
+}

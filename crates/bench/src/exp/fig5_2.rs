@@ -1,0 +1,110 @@
+//! **Figure 5.2** — seed and final cost of k-means|| as a function of the
+//! number of initialization rounds `r` on GaussMixture, for
+//! `ℓ/k ∈ {0.1, 0.5, 1, 2, 10}` and `R ∈ {1, 10, 100}`, with the
+//! k-means++ baseline.
+//!
+//! Reproduction notes: sampling is Bernoulli ("as in specifications of
+//! k-means||", §5.3) and the candidate deficit is filled *uniformly*
+//! ([`TopUp::Uniform`]) — that is what makes the `r·ℓ < k` region as bad
+//! as `Random`, exactly as the paper's plots show. Each cell is a median
+//! over `--runs` seeds (default 5; paper plots medians too).
+
+use super::{emit, kmeanspp_seed_final, parallel_seed_final};
+use crate::args::Args;
+use crate::chart::{render_log_chart, Series};
+use crate::format::{fmt_cost, Table};
+use crate::run::executor_from_threads;
+use kmeans_core::init::{SamplingMode, TopUp};
+use kmeans_core::lloyd::LloydConfig;
+use kmeans_data::synth::GaussMixture;
+
+/// Runs the sweep; two tables (seed cost, final cost) per `R`.
+pub fn run(args: &Args) -> Vec<Table> {
+    let k = args.usize_or("k", 50);
+    let n = args.usize_or("n", 10_000);
+    let runs = args.usize_or("runs", 5);
+    let seed = args.u64_or("seed", 1);
+    let rs_variance = args.f64_list_or("rs", &[1.0, 10.0, 100.0]);
+    let factors = args.f64_list_or("factors", &[0.1, 0.5, 1.0, 2.0, 10.0]);
+    let rounds_list = args.usize_list_or("rounds", &[1, 2, 3, 5, 8, 10, 15]);
+    let exec = executor_from_threads(args.usize_or("threads", 0));
+    let lloyd = LloydConfig::default();
+
+    let mut tables = Vec::new();
+    for &variance in &rs_variance {
+        eprintln!("[fig5_2] GaussMixture R={variance}, k={k}");
+        let synth = GaussMixture::new(k)
+            .points(n)
+            .center_variance(variance)
+            .generate(seed)
+            .expect("valid generator parameters");
+        let points = synth.dataset.points();
+        let (pp_seed, pp_final) = kmeanspp_seed_final(points, k, runs, seed + 500, &lloyd, &exec);
+
+        let mut chart_series: Vec<Series> = factors
+            .iter()
+            .map(|f| Series {
+                label: format!("l/k={f}"),
+                points: Vec::new(),
+            })
+            .collect();
+        let mut columns = vec!["r".to_string()];
+        for f in &factors {
+            columns.push(format!("l/k={f}"));
+        }
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut seed_table = Table::new(
+            format!("Figure 5.2 seed cost (measured): R={variance}, k={k}, median of {runs}"),
+            &col_refs,
+        );
+        let mut final_table = Table::new(
+            format!("Figure 5.2 final cost (measured): R={variance}, k={k}, median of {runs}"),
+            &col_refs,
+        );
+        for &r in &rounds_list {
+            let mut seed_row = vec![r.to_string()];
+            let mut final_row = vec![r.to_string()];
+            for (fi, &factor) in factors.iter().enumerate() {
+                let (s, f) = parallel_seed_final(
+                    points,
+                    k,
+                    factor,
+                    r,
+                    SamplingMode::Bernoulli,
+                    TopUp::Uniform,
+                    runs,
+                    seed + 500,
+                    &lloyd,
+                    &exec,
+                );
+                seed_row.push(fmt_cost(s));
+                final_row.push(fmt_cost(f));
+                chart_series[fi].points.push((r as f64, f));
+            }
+            eprintln!("[fig5_2] R={variance} r={r} done");
+            seed_table.add_row(seed_row);
+            final_table.add_row(final_row);
+        }
+        let mut baseline = vec!["k-means++".to_string()];
+        let mut baseline_final = vec!["k-means++".to_string()];
+        for _ in &factors {
+            baseline.push(fmt_cost(pp_seed));
+            baseline_final.push(fmt_cost(pp_final));
+        }
+        seed_table.add_row(baseline);
+        final_table.add_row(baseline_final);
+        tables.push(seed_table);
+        tables.push(final_table);
+        println!(
+            "{}",
+            render_log_chart(
+                &format!("final cost vs rounds (R={variance}, log y)"),
+                &chart_series,
+                64,
+                12,
+            )
+        );
+    }
+    emit(&tables, "fig5_2");
+    tables
+}

@@ -1,0 +1,138 @@
+//! One driver module per paper artifact. Each exposes
+//! `run(&Args) -> Vec<Table>`; the binaries are thin wrappers and
+//! `run_all` chains everything (sharing the KDD grid across Tables 3–5).
+
+pub mod fig5_1;
+pub mod fig5_2;
+pub mod fig5_3;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+use crate::format::{experiments_dir, Table};
+use crate::run::Method;
+
+/// Prints tables and writes their TSV artifacts under
+/// `target/experiments/<stem>[_i].tsv`.
+pub fn emit(tables: &[Table], stem: &str) {
+    for (i, table) in tables.iter().enumerate() {
+        table.print();
+        println!();
+        let name = if tables.len() == 1 {
+            stem.to_string()
+        } else {
+            format!("{stem}_{}", i + 1)
+        };
+        match table.write_tsv(experiments_dir(), &name) {
+            Ok(path) => eprintln!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write artifact: {e}"),
+        }
+    }
+}
+
+/// The method suite of Tables 1, 2, and 6: Random, k-means++, and the two
+/// k-means|| configurations the paper tabulates (`ℓ = k/2` and `ℓ = 2k`,
+/// both `r = 5`).
+pub fn sequential_suite() -> Vec<Method> {
+    vec![
+        Method::Random,
+        Method::KMeansPlusPlus,
+        Method::parallel_grid(0.5),
+        Method::parallel_grid(2.0),
+    ]
+}
+
+use kmeans_core::init::{InitMethod, KMeansParallelConfig, SamplingMode, TopUp};
+use kmeans_core::lloyd::{lloyd, LloydConfig};
+use kmeans_data::PointMatrix;
+use kmeans_par::Executor;
+use kmeans_util::stats::median;
+
+/// Runs k-means|| (given ℓ/k factor, rounds, sampling mode, top-up policy)
+/// followed by Lloyd, `runs` times; returns `(median seed cost, median
+/// final cost)`. Shared by the three figure sweeps.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parallel_seed_final(
+    points: &PointMatrix,
+    k: usize,
+    factor: f64,
+    rounds: usize,
+    mode: SamplingMode,
+    topup: TopUp,
+    runs: usize,
+    base_seed: u64,
+    lloyd_config: &LloydConfig,
+    exec: &Executor,
+) -> (f64, f64) {
+    let init = InitMethod::KMeansParallel(
+        KMeansParallelConfig::default()
+            .oversampling_factor(factor)
+            .rounds(rounds)
+            .sampling(mode)
+            .topup(topup),
+    );
+    let mut seeds = Vec::with_capacity(runs);
+    let mut finals = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let result = init
+            .run(points, k, base_seed + r as u64, exec)
+            .expect("valid sweep configuration");
+        let out = lloyd(points, &result.centers, lloyd_config, exec)
+            .expect("valid Lloyd configuration");
+        seeds.push(result.stats.seed_cost);
+        finals.push(out.cost);
+    }
+    (
+        median(&seeds).expect("runs >= 1"),
+        median(&finals).expect("runs >= 1"),
+    )
+}
+
+/// Median seed/final cost of plain k-means++ (the baseline line drawn in
+/// Figures 5.2 and 5.3).
+pub(crate) fn kmeanspp_seed_final(
+    points: &PointMatrix,
+    k: usize,
+    runs: usize,
+    base_seed: u64,
+    lloyd_config: &LloydConfig,
+    exec: &Executor,
+) -> (f64, f64) {
+    let mut seeds = Vec::with_capacity(runs);
+    let mut finals = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let result = InitMethod::KMeansPlusPlus
+            .run(points, k, base_seed + r as u64, exec)
+            .expect("valid configuration");
+        let out = lloyd(points, &result.centers, lloyd_config, exec)
+            .expect("valid Lloyd configuration");
+        seeds.push(result.stats.seed_cost);
+        finals.push(out.cost);
+    }
+    (
+        median(&seeds).expect("runs >= 1"),
+        median(&finals).expect("runs >= 1"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_rows() {
+        let labels: Vec<String> = sequential_suite().iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Random",
+                "k-means++",
+                "k-means|| l=0.5k r=5",
+                "k-means|| l=2k r=5"
+            ]
+        );
+    }
+}

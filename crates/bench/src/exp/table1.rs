@@ -1,0 +1,115 @@
+//! **Table 1** — median seed/final cost on GaussMixture, `k = 50`,
+//! `R ∈ {1, 10, 100}`, scaled down by 10⁴ (median of 11 runs).
+
+use super::{emit, sequential_suite};
+use crate::args::Args;
+use crate::format::{fmt_scaled, Table};
+use crate::run::{executor_from_threads, run_many};
+use kmeans_core::lloyd::LloydConfig;
+use kmeans_data::synth::GaussMixture;
+
+/// Paper values (÷10⁴): `(method, [R=1 seed, R=1 final, R=10 …, R=100 …])`.
+/// `None` = not reported (the paper omits Random's seed cost).
+const PAPER: &[(&str, [Option<f64>; 6])] = &[
+    (
+        "Random",
+        [None, Some(14.0), None, Some(201.0), None, Some(23_337.0)],
+    ),
+    (
+        "k-means++",
+        [
+            Some(23.0),
+            Some(14.0),
+            Some(62.0),
+            Some(31.0),
+            Some(30.0),
+            Some(15.0),
+        ],
+    ),
+    (
+        "k-means|| l=0.5k r=5",
+        [
+            Some(21.0),
+            Some(14.0),
+            Some(36.0),
+            Some(28.0),
+            Some(23.0),
+            Some(15.0),
+        ],
+    ),
+    (
+        "k-means|| l=2k r=5",
+        [
+            Some(17.0),
+            Some(14.0),
+            Some(27.0),
+            Some(25.0),
+            Some(16.0),
+            Some(15.0),
+        ],
+    ),
+];
+
+/// Runs the experiment and returns the measured table plus the paper's.
+pub fn run(args: &Args) -> Vec<Table> {
+    let k = args.usize_or("k", 50);
+    let n = args.usize_or("n", 10_000);
+    let runs = args.usize_or("runs", 11);
+    let seed = args.u64_or("seed", 1);
+    let rs = args.f64_list_or("rs", &[1.0, 10.0, 100.0]);
+    let exec = executor_from_threads(args.usize_or("threads", 0));
+    let lloyd = LloydConfig::default();
+
+    let mut columns = vec!["method".to_string()];
+    for r in &rs {
+        columns.push(format!("R={r} seed/1e4"));
+        columns.push(format!("R={r} final/1e4"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut measured = Table::new(
+        format!("Table 1 (measured): GaussMixture, k={k}, n={n}, median of {runs} runs"),
+        &col_refs,
+    );
+
+    let methods = sequential_suite();
+    let mut rows: Vec<Vec<String>> = methods
+        .iter()
+        .map(|m| vec![m.label()])
+        .collect();
+    for &r in &rs {
+        eprintln!("[table1] generating GaussMixture R={r}");
+        let synth = GaussMixture::new(k)
+            .points(n)
+            .center_variance(r)
+            .generate(seed)
+            .expect("valid generator parameters");
+        let points = synth.dataset.points();
+        for (row, method) in rows.iter_mut().zip(&methods) {
+            let agg = run_many(method, points, k, runs, seed + 100, &lloyd, &exec);
+            eprintln!(
+                "[table1] R={r} {:<22} seed={:.3e} final={:.3e}",
+                method.label(),
+                agg.seed_cost,
+                agg.final_cost
+            );
+            row.push(fmt_scaled(agg.seed_cost, 4));
+            row.push(fmt_scaled(agg.final_cost, 4));
+        }
+    }
+    for row in rows {
+        measured.add_row(row);
+    }
+
+    let mut paper = Table::new("Table 1 (paper, ÷1e4)", &col_refs);
+    for (label, vals) in PAPER {
+        let mut row = vec![label.to_string()];
+        for v in vals {
+            row.push(v.map_or("—".to_string(), |x| format!("{x}")));
+        }
+        paper.add_row(row);
+    }
+
+    let tables = vec![measured, paper];
+    emit(&tables, "table1");
+    tables
+}

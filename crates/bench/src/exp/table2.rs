@@ -1,0 +1,113 @@
+//! **Table 2** — median seed/final cost on Spam, `k ∈ {20, 50, 100}`,
+//! scaled down by 10⁵ (median of 11 runs).
+
+use super::{emit, sequential_suite};
+use crate::args::Args;
+use crate::format::{fmt_scaled, Table};
+use crate::run::{executor_from_threads, run_many};
+use kmeans_core::lloyd::LloydConfig;
+use kmeans_data::synth::SpamLike;
+
+/// Paper values (÷10⁵): `(method, [k=20 seed, k=20 final, k=50 …, k=100 …])`.
+const PAPER: &[(&str, [Option<f64>; 6])] = &[
+    (
+        "Random",
+        [
+            None,
+            Some(1_528.0),
+            None,
+            Some(1_488.0),
+            None,
+            Some(1_384.0),
+        ],
+    ),
+    (
+        "k-means++",
+        [
+            Some(460.0),
+            Some(233.0),
+            Some(110.0),
+            Some(68.0),
+            Some(40.0),
+            Some(24.0),
+        ],
+    ),
+    (
+        "k-means|| l=0.5k r=5",
+        [
+            Some(310.0),
+            Some(241.0),
+            Some(82.0),
+            Some(65.0),
+            Some(29.0),
+            Some(23.0),
+        ],
+    ),
+    (
+        "k-means|| l=2k r=5",
+        [
+            Some(260.0),
+            Some(234.0),
+            Some(69.0),
+            Some(66.0),
+            Some(24.0),
+            Some(24.0),
+        ],
+    ),
+];
+
+/// Runs the experiment and returns the measured table plus the paper's.
+pub fn run(args: &Args) -> Vec<Table> {
+    let runs = args.usize_or("runs", 11);
+    let seed = args.u64_or("seed", 1);
+    let ks = args.usize_list_or("ks", &[20, 50, 100]);
+    let exec = executor_from_threads(args.usize_or("threads", 0));
+    let lloyd = LloydConfig::default();
+
+    eprintln!("[table2] generating SpamLike (canonical shape 4601×58)");
+    let synth = SpamLike::new().generate(seed).expect("valid parameters");
+    let points = synth.dataset.points();
+
+    let mut columns = vec!["method".to_string()];
+    for k in &ks {
+        columns.push(format!("k={k} seed/1e5"));
+        columns.push(format!("k={k} final/1e5"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut measured = Table::new(
+        format!("Table 2 (measured): Spam stand-in, median of {runs} runs"),
+        &col_refs,
+    );
+
+    let methods = sequential_suite();
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.label()]).collect();
+    for &k in &ks {
+        for (row, method) in rows.iter_mut().zip(&methods) {
+            let agg = run_many(method, points, k, runs, seed + 100, &lloyd, &exec);
+            eprintln!(
+                "[table2] k={k} {:<22} seed={:.3e} final={:.3e}",
+                method.label(),
+                agg.seed_cost,
+                agg.final_cost
+            );
+            row.push(fmt_scaled(agg.seed_cost, 5));
+            row.push(fmt_scaled(agg.final_cost, 5));
+        }
+    }
+    for row in rows {
+        measured.add_row(row);
+    }
+
+    let mut paper = Table::new("Table 2 (paper, ÷1e5)", &col_refs);
+    for (label, vals) in PAPER {
+        let mut row = vec![label.to_string()];
+        for v in vals {
+            row.push(v.map_or("—".to_string(), |x| format!("{x}")));
+        }
+        paper.add_row(row);
+    }
+
+    let tables = vec![measured, paper];
+    emit(&tables, "table2");
+    tables
+}

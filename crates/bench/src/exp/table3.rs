@@ -1,0 +1,121 @@
+//! **Table 3** — clustering cost on KDDCup1999 (the cost projection of the
+//! shared KDD grid; paper values are ÷10¹⁰ at `k ∈ {500, 1000}` on 4.8 M
+//! points — pass `--full` for that scale).
+
+use super::emit;
+use crate::args::Args;
+use crate::format::{fmt_cost, Table};
+use crate::kdd::{paper, run_matrix, KddCell, KddMatrixConfig};
+
+/// Builds the Table 3 projection from precomputed grid cells.
+pub fn table_from_cells(cells: &[KddCell], config: &KddMatrixConfig) -> Vec<Table> {
+    let mut columns = vec!["method".to_string()];
+    for k in &config.ks {
+        columns.push(format!("k={k} cost"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut measured = Table::new(
+        format!(
+            "Table 3 (measured): KDD stand-in clustering cost, n={}, median of {} runs",
+            config.n, config.runs
+        ),
+        &col_refs,
+    );
+    let methods: Vec<String> = config.methods().iter().map(|m| m.label()).collect();
+    for method in &methods {
+        let mut row = vec![method.clone()];
+        for &k in &config.ks {
+            let cell = cells
+                .iter()
+                .find(|c| c.k == k && &c.method == method)
+                .expect("cell computed");
+            row.push(fmt_cost(cell.agg.final_cost));
+        }
+        measured.add_row(row);
+    }
+
+    let mut reference = Table::new(
+        "Table 3 (paper, ÷1e10, k=500 / k=1000, n=4.8M)",
+        &["method", "k=500", "k=1000"],
+    );
+    for (label, a, b) in paper::COST {
+        reference.add_row(vec![label.to_string(), fmt_cost(*a), fmt_cost(*b)]);
+    }
+    vec![measured, reference]
+}
+
+/// Runs the grid and emits the Table 3 projection.
+pub fn run(args: &Args) -> Vec<Table> {
+    let config = KddMatrixConfig::from_args(args);
+    let cells = run_matrix(&config);
+    let tables = table_from_cells(&cells, &config);
+    emit(&tables, "table3");
+    tables
+}
+
+/// Synthetic grid cells covering every (method, k) pair of a config
+/// (shared by the projection tests of Tables 3–5).
+#[cfg(test)]
+pub(crate) fn fake_cells(config: &KddMatrixConfig) -> Vec<KddCell> {
+    use crate::run::Aggregate;
+    let mut cells = Vec::new();
+    for &k in &config.ks {
+        for (i, method) in config.methods().iter().enumerate() {
+            cells.push(KddCell {
+                method: method.label(),
+                k,
+                agg: Aggregate {
+                    seed_cost: 1e12 * (i + 1) as f64,
+                    final_cost: 1e11 * (i + 1) as f64,
+                    lloyd_iterations: 20.0,
+                    candidates: 100.0 * (i + 1) as f64,
+                    total_secs: 1.5 * (i + 1) as f64,
+                    init_secs: 0.5 * (i + 1) as f64,
+                },
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_covers_every_method_and_k() {
+        let config = KddMatrixConfig {
+            n: 1000,
+            ks: vec![25, 50],
+            runs: 1,
+            seed: 0,
+            lloyd_iterations: 20,
+            threads: 1,
+        };
+        let cells = fake_cells(&config);
+        let tables = table_from_cells(&cells, &config);
+        assert_eq!(tables.len(), 2, "measured + paper reference");
+        let measured = &tables[0];
+        assert_eq!(measured.len(), config.methods().len());
+        let tsv = measured.to_tsv();
+        assert!(tsv.contains("Random"));
+        assert!(tsv.contains("Partition"));
+        assert!(tsv.contains("k=25 cost\tk=50 cost"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell computed")]
+    fn missing_cell_is_detected() {
+        let config = KddMatrixConfig {
+            n: 1000,
+            ks: vec![25],
+            runs: 1,
+            seed: 0,
+            lloyd_iterations: 20,
+            threads: 1,
+        };
+        let mut cells = fake_cells(&config);
+        cells.pop();
+        table_from_cells(&cells, &config);
+    }
+}

@@ -1,0 +1,62 @@
+//! **Table 4** — running time on KDDCup1999 (the time projection of the
+//! shared KDD grid). The paper reports minutes on a 1968-node Hadoop
+//! cluster; we report seconds on the local shard executor, plus the
+//! seeding share. The claim under reproduction is the *ordering*:
+//! k-means|| (moderate ℓ) ≪ Random-with-20-Lloyd-iterations < Partition.
+
+use super::emit;
+use crate::args::Args;
+use crate::format::{fmt_secs, Table};
+use crate::kdd::{paper, run_matrix, KddCell, KddMatrixConfig};
+
+/// Builds the Table 4 projection from precomputed grid cells.
+pub fn table_from_cells(cells: &[KddCell], config: &KddMatrixConfig) -> Vec<Table> {
+    let mut columns = vec!["method".to_string()];
+    for k in &config.ks {
+        columns.push(format!("k={k} total"));
+        columns.push(format!("k={k} init"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut measured = Table::new(
+        format!(
+            "Table 4 (measured): end-to-end wall time (init+Lloyd<=20 iters), n={}, mean of {} runs",
+            config.n, config.runs
+        ),
+        &col_refs,
+    );
+    let methods: Vec<String> = config.methods().iter().map(|m| m.label()).collect();
+    for method in &methods {
+        let mut row = vec![method.clone()];
+        for &k in &config.ks {
+            let cell = cells
+                .iter()
+                .find(|c| c.k == k && &c.method == method)
+                .expect("cell computed");
+            row.push(fmt_secs(cell.agg.total_secs));
+            row.push(fmt_secs(cell.agg.init_secs));
+        }
+        measured.add_row(row);
+    }
+
+    let mut reference = Table::new(
+        "Table 4 (paper, minutes on 1968-node Hadoop, k=500 / k=1000)",
+        &["method", "k=500", "k=1000"],
+    );
+    for (label, a, b) in paper::TIME_MIN {
+        reference.add_row(vec![
+            label.to_string(),
+            format!("{a:.1}m"),
+            format!("{b:.1}m"),
+        ]);
+    }
+    vec![measured, reference]
+}
+
+/// Runs the grid and emits the Table 4 projection.
+pub fn run(args: &Args) -> Vec<Table> {
+    let config = KddMatrixConfig::from_args(args);
+    let cells = run_matrix(&config);
+    let tables = table_from_cells(&cells, &config);
+    emit(&tables, "table4");
+    tables
+}

@@ -1,0 +1,86 @@
+//! **Table 5** — number of intermediate centers before reclustering (the
+//! candidate-count projection of the shared KDD grid). The paper's
+//! headline: Partition's coreset is three orders of magnitude larger than
+//! k-means||'s.
+
+use super::emit;
+use crate::args::Args;
+use crate::format::{fmt_cost, Table};
+use crate::kdd::{paper, run_matrix, KddCell, KddMatrixConfig};
+
+/// Builds the Table 5 projection from precomputed grid cells.
+pub fn table_from_cells(cells: &[KddCell], config: &KddMatrixConfig) -> Vec<Table> {
+    let mut columns = vec!["method".to_string()];
+    for k in &config.ks {
+        columns.push(format!("k={k} centers"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut measured = Table::new(
+        format!(
+            "Table 5 (measured): intermediate centers before reclustering, n={}",
+            config.n
+        ),
+        &col_refs,
+    );
+    // Paper's Table 5 lists Partition and the k-means|| grid (not Random).
+    let methods: Vec<String> = config
+        .methods()
+        .iter()
+        .map(|m| m.label())
+        .filter(|l| l != "Random")
+        .collect();
+    for method in &methods {
+        let mut row = vec![method.clone()];
+        for &k in &config.ks {
+            let cell = cells
+                .iter()
+                .find(|c| c.k == k && &c.method == method)
+                .expect("cell computed");
+            row.push(format!("{:.0}", cell.agg.candidates));
+        }
+        measured.add_row(row);
+    }
+
+    let mut reference = Table::new(
+        "Table 5 (paper, k=500 / k=1000, n=4.8M)",
+        &["method", "k=500", "k=1000"],
+    );
+    for (label, a, b) in paper::CENTERS {
+        reference.add_row(vec![label.to_string(), fmt_cost(*a), fmt_cost(*b)]);
+    }
+    vec![measured, reference]
+}
+
+/// Runs the grid and emits the Table 5 projection.
+pub fn run(args: &Args) -> Vec<Table> {
+    let config = KddMatrixConfig::from_args(args);
+    let cells = run_matrix(&config);
+    let tables = table_from_cells(&cells, &config);
+    emit(&tables, "table5");
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_excluded_from_table_5() {
+        // The paper's Table 5 lists intermediate-set sizes only for the
+        // methods that have one (Partition + the k-means|| grid).
+        let config = KddMatrixConfig {
+            n: 1000,
+            ks: vec![25],
+            runs: 1,
+            seed: 0,
+            lloyd_iterations: 20,
+            threads: 1,
+        };
+        let cells = crate::exp::table3::fake_cells(&config);
+        let tables = table_from_cells(&cells, &config);
+        let tsv = tables[0].to_tsv();
+        assert!(!tsv.contains("Random"), "Random leaked into Table 5");
+        assert!(tsv.contains("Partition"));
+        assert_eq!(tables[0].len(), config.methods().len() - 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! **Table 6** — Lloyd iterations to convergence on Spam (average of 10
+//! runs), `k ∈ {20, 50, 100}`.
+
+use super::{emit, sequential_suite};
+use crate::args::Args;
+use crate::format::Table;
+use crate::run::{executor_from_threads, run_many};
+use kmeans_core::lloyd::LloydConfig;
+use kmeans_data::synth::SpamLike;
+
+/// Paper values: `(method, [k=20, k=50, k=100])`.
+const PAPER: &[(&str, [f64; 3])] = &[
+    ("Random", [176.4, 166.8, 60.4]),
+    ("k-means++", [38.3, 42.2, 36.6]),
+    ("k-means|| l=0.5k r=5", [36.9, 30.8, 30.2]),
+    ("k-means|| l=2k r=5", [23.3, 28.1, 29.7]),
+];
+
+/// Runs the experiment and returns the measured table plus the paper's.
+pub fn run(args: &Args) -> Vec<Table> {
+    let runs = args.usize_or("runs", 10);
+    let seed = args.u64_or("seed", 1);
+    let ks = args.usize_list_or("ks", &[20, 50, 100]);
+    let exec = executor_from_threads(args.usize_or("threads", 0));
+    // "Till convergence": assignment stability, generous cap.
+    let lloyd = LloydConfig {
+        max_iterations: args.usize_or("lloyd-iters", 500),
+        tol: 0.0,
+    };
+
+    eprintln!("[table6] generating SpamLike (canonical shape 4601×58)");
+    let synth = SpamLike::new().generate(seed).expect("valid parameters");
+    let points = synth.dataset.points();
+
+    let mut columns = vec!["method".to_string()];
+    for k in &ks {
+        columns.push(format!("k={k}"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut measured = Table::new(
+        format!("Table 6 (measured): Lloyd iterations to convergence, mean of {runs} runs"),
+        &col_refs,
+    );
+
+    let methods = sequential_suite();
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.label()]).collect();
+    for &k in &ks {
+        for (row, method) in rows.iter_mut().zip(&methods) {
+            let agg = run_many(method, points, k, runs, seed + 300, &lloyd, &exec);
+            eprintln!(
+                "[table6] k={k} {:<22} iterations={:.1}",
+                method.label(),
+                agg.lloyd_iterations
+            );
+            row.push(format!("{:.1}", agg.lloyd_iterations));
+        }
+    }
+    for row in rows {
+        measured.add_row(row);
+    }
+
+    let mut paper = Table::new("Table 6 (paper)", &col_refs);
+    for (label, vals) in PAPER {
+        let mut row = vec![label.to_string()];
+        for v in vals {
+            row.push(format!("{v}"));
+        }
+        paper.add_row(row);
+    }
+
+    let tables = vec![measured, paper];
+    emit(&tables, "table6");
+    tables
+}

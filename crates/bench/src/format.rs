@@ -1,0 +1,186 @@
+//! Table rendering (aligned text + TSV artifacts) and number formatting.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{cell:>w$}", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.columns, &widths));
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+        ));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders tab-separated values (header + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the TSV artifact as `<dir>/<name>.tsv`, creating `dir`.
+    pub fn write_tsv(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{name}.tsv"));
+        let mut file = fs::File::create(&path)?;
+        file.write_all(self.to_tsv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Default artifact directory for experiment outputs.
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Formats a cost to three significant figures, using scientific notation
+/// outside `[0.01, 10_000)` — the way the paper's tables read.
+pub fn fmt_cost(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if (0.01..10_000.0).contains(&a) {
+        let digits = 3usize.saturating_sub((a.log10().floor() as i32 + 1).max(0) as usize);
+        format!("{v:.digits$}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats `v / 10^scale_pow` to the paper's "scaled down by 10^s" style.
+pub fn fmt_scaled(v: f64, scale_pow: i32) -> String {
+    fmt_cost(v / 10f64.powi(scale_pow))
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(secs: f64) -> String {
+    kmeans_util::timing::format_duration(std::time::Duration::from_secs_f64(secs.max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["method", "cost"]);
+        t.add_row(vec!["random".into(), "14".into()]);
+        t.add_row(vec!["k-means||".into(), "7".into()]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines equal length (aligned).
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_arity_checked() {
+        Table::new("T", &["a", "b"]).add_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+        let dir = std::env::temp_dir().join("kmeans_bench_fmt_test");
+        let path = t.write_tsv(&dir, "t").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\tb\n1\t2\n");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn cost_formatting() {
+        assert_eq!(fmt_cost(0.0), "0");
+        assert_eq!(fmt_cost(14.0), "14.0");
+        assert_eq!(fmt_cost(233.0), "233");
+        assert_eq!(fmt_cost(1234.0), "1234");
+        assert!(fmt_cost(6.8e7).contains('e'));
+        assert!(fmt_cost(0.001).contains('e'));
+        assert_eq!(fmt_scaled(1.4e5, 4), "14.0");
+    }
+}

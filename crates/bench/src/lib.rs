@@ -1,0 +1,39 @@
+//! Experiment harness regenerating **every table and figure** of
+//! *Scalable K-Means++* (VLDB 2012).
+//!
+//! One binary per artifact (see DESIGN.md §5 for the full index):
+//!
+//! | Binary   | Paper artifact |
+//! |----------|----------------|
+//! | `table1` | Table 1 — GaussMixture, k = 50, seed/final cost |
+//! | `table2` | Table 2 — Spam, k ∈ {20, 50, 100}, seed/final cost |
+//! | `table3` | Table 3 — KDD, clustering cost |
+//! | `table4` | Table 4 — KDD, running time |
+//! | `table5` | Table 5 — KDD, intermediate centers before reclustering |
+//! | `table6` | Table 6 — Spam, Lloyd iterations to convergence |
+//! | `fig5_1` | Figure 5.1 — cost vs rounds × ℓ/k on 10 % KDD sample |
+//! | `fig5_2` | Figure 5.2 — cost vs rounds on GaussMixture |
+//! | `fig5_3` | Figure 5.3 — cost vs rounds on Spam |
+//! | `run_all`| everything above, writing TSVs to `target/experiments/` |
+//!
+//! Every binary accepts `--runs`, `--seed`, `--threads`, dataset scaling
+//! flags, and `--full` (paper-scale workloads). Defaults are laptop-scale;
+//! EXPERIMENTS.md records which scales produced the committed results.
+//!
+//! Criterion micro-benches (`cargo bench`) cover the distance kernel,
+//! seeding methods, Lloyd throughput, sampling strategies, and the
+//! per-round cost of k-means|| (ablation A3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod chart;
+pub mod exp;
+pub mod format;
+pub mod kdd;
+pub mod run;
+
+pub use args::Args;
+pub use format::Table;
+pub use run::{Method, RunOutcome};

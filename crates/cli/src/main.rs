@@ -1,0 +1,18 @@
+//! `skm` — command-line k-means clustering with k-means|| seeding.
+//!
+//! See `skm help` or the crate docs ([`kmeans_cli`]) for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let args = kmeans_util::cli::Args::from_tokens(argv);
+    match kmeans_cli::dispatch(&command, &args, &mut std::io::stdout().lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("skm {command}: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Squared-Euclidean distance kernels.
+//!
+//! Everything in the paper is driven by `d²(x, C) = min_{c∈C} ‖x−c‖²`:
+//! the k-means potential (§3.1), the k-means++ sampling distribution
+//! (Algorithm 1, line 3), and the k-means|| oversampling probabilities
+//! (Algorithm 2, line 4). These kernels are the single hot path of the
+//! workspace; `benches/distance.rs` tracks them.
+
+use kmeans_data::PointMatrix;
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// Manually unrolled by four: at the paper's dimensionalities (15–58) this
+/// keeps four independent FMA chains in flight, which LLVM does not always
+/// do for a plain fold.
+///
+/// # Panics
+///
+/// Debug builds assert equal lengths; release builds truncate to the
+/// shorter slice (callers in this workspace always pass equal lengths).
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Index and squared distance of the nearest center to `point`.
+///
+/// Ties break toward the lower index (deterministic).
+///
+/// # Panics
+///
+/// Panics if `centers` is empty.
+#[inline]
+pub fn nearest(point: &[f64], centers: &PointMatrix) -> (usize, f64) {
+    assert!(!centers.is_empty(), "nearest: no centers");
+    let mut best = 0usize;
+    let mut best_d2 = f64::INFINITY;
+    for (i, c) in centers.rows().enumerate() {
+        let d2 = sq_dist_bounded(point, c, best_d2);
+        if d2 < best_d2 {
+            best = i;
+            best_d2 = d2;
+        }
+    }
+    (best, best_d2)
+}
+
+/// Like [`sq_dist`], but abandons early once the partial sum exceeds
+/// `bound` (returning a value `≥ bound`). This "partial distance" pruning
+/// is the classic nearest-neighbor trick; with hundreds of candidate
+/// centers (Step 7 of Algorithm 2) it skips most of each row.
+#[inline]
+pub fn sq_dist_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    // Check the bound every 8 coordinates: frequent enough to prune,
+    // infrequent enough not to stall the pipeline.
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        let mut local = 0.0;
+        for (x, y) in ca.iter().zip(cb) {
+            let d = x - y;
+            local += d * d;
+        }
+        acc += local;
+        if acc >= bound {
+            return acc;
+        }
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Nearest center among `centers[from..]` only (used for incremental
+/// `d²` maintenance: only newly added centers need to be scanned).
+///
+/// Returns `None` when `from >= centers.len()`.
+#[inline]
+pub fn nearest_from(point: &[f64], centers: &PointMatrix, from: usize) -> Option<(usize, f64)> {
+    if from >= centers.len() {
+        return None;
+    }
+    let mut best = from;
+    let mut best_d2 = f64::INFINITY;
+    for i in from..centers.len() {
+        let d2 = sq_dist_bounded(point, centers.row(i), best_d2);
+        if d2 < best_d2 {
+            best = i;
+            best_d2 = d2;
+        }
+    }
+    Some((best, best_d2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn matches_brute_force_at_all_lengths() {
+        // Exercise every unroll remainder case (len % 4 in 0..4, len % 8).
+        for len in 0..40 {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).cos()).collect();
+            let expected = brute(&a, &b);
+            assert!(
+                (sq_dist(&a, &b) - expected).abs() < 1e-12 * (1.0 + expected),
+                "len {len}"
+            );
+            let bounded = sq_dist_bounded(&a, &b, f64::INFINITY);
+            assert!((bounded - expected).abs() < 1e-12 * (1.0 + expected));
+        }
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = [1.0, -2.0, 3.5, 0.0, 9.9];
+        assert_eq!(sq_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn bounded_abandons_early_but_never_underestimates() {
+        let a = vec![0.0; 64];
+        let b = vec![1.0; 64]; // true distance 64
+        let d = sq_dist_bounded(&a, &b, 10.0);
+        assert!(d >= 10.0, "must meet the bound: {d}");
+        assert!(d <= 64.0 + 1e-12);
+        // Bound larger than the true distance → exact result.
+        assert!((sq_dist_bounded(&a, &b, 1e9) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_finds_closest_and_breaks_ties_low() {
+        let centers =
+            PointMatrix::from_flat(vec![0.0, 0.0, 10.0, 0.0, 0.0, 10.0, 10.0, 0.0], 2).unwrap();
+        let (i, d2) = nearest(&[9.0, 0.5], &centers);
+        assert_eq!(i, 1);
+        assert!((d2 - 1.25).abs() < 1e-12);
+        // Equidistant between centers 1 and 3 (identical): lower index wins.
+        let (i, _) = nearest(&[10.0, 0.0], &centers);
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no centers")]
+    fn nearest_empty_centers_panics() {
+        nearest(&[0.0], &PointMatrix::new(1));
+    }
+
+    #[test]
+    fn nearest_from_scans_suffix_only() {
+        let centers =
+            PointMatrix::from_flat(vec![0.0, 0.0, 100.0, 100.0, 5.0, 5.0], 2).unwrap();
+        // Full scan would give center 0 for the origin; suffix scan from 1
+        // must pick between centers 1 and 2.
+        let (i, d2) = nearest_from(&[0.0, 0.0], &centers, 1).unwrap();
+        assert_eq!(i, 2);
+        assert!((d2 - 50.0).abs() < 1e-12);
+        assert!(nearest_from(&[0.0, 0.0], &centers, 3).is_none());
+        assert!(nearest_from(&[0.0, 0.0], &centers, 99).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for clustering operations.
+
+use std::fmt;
+
+/// Errors produced by initialization, Lloyd's iteration, or the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KMeansError {
+    /// The input matrix has no points.
+    EmptyInput,
+    /// `k` is zero or exceeds the number of points.
+    InvalidK {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points available.
+        n: usize,
+    },
+    /// Query points do not match the model's dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Provided dimensionality.
+        got: usize,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// The input contains a NaN or infinite coordinate.
+    NonFiniteData {
+        /// Index of the offending point.
+        point: usize,
+        /// Offending dimension within that point.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KMeansError::EmptyInput => write!(f, "input contains no points"),
+            KMeansError::InvalidK { k, n } => {
+                write!(f, "invalid k={k} for {n} points (need 1 <= k <= n)")
+            }
+            KMeansError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            KMeansError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            KMeansError::NonFiniteData { point, dim } => {
+                write!(f, "non-finite coordinate at point {point}, dimension {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KMeansError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(KMeansError::EmptyInput.to_string().contains("no points"));
+        let e = KMeansError::InvalidK { k: 10, n: 5 };
+        assert!(e.to_string().contains("k=10"));
+        let e = KMeansError::DimensionMismatch {
+            expected: 3,
+            got: 4,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(KMeansError::InvalidConfig("x".into()).to_string().contains('x'));
+        let e = KMeansError::NonFiniteData { point: 4, dim: 2 };
+        assert!(e.to_string().contains("point 4"));
+    }
+}

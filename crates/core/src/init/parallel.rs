@@ -1,0 +1,656 @@
+//! **k-means|| — Algorithm 2 of the paper, the primary contribution.**
+//!
+//! ```text
+//! 1: C ← sample a point uniformly at random from X
+//! 2: ψ ← φ_X(C)
+//! 3: for O(log ψ) times do
+//! 4:     C′ ← sample each point x ∈ X independently with probability
+//!            p_x = ℓ·d²(x, C) / φ_X(C)
+//! 5:     C ← C ∪ C′
+//! 6: end for
+//! 7: For x ∈ C, set w_x to be the number of points in X closer to x than
+//!    to any other point in C
+//! 8: Recluster the weighted points in C into k clusters
+//! ```
+//!
+//! Everything the paper's §5 varies is a configuration knob here:
+//!
+//! * **Oversampling ℓ** ([`Oversampling`]): the paper sweeps
+//!   `ℓ ∈ {0.1k, 0.5k, k, 2k, 10k}`.
+//! * **Rounds r** ([`Rounds`]): the paper proves `O(log ψ)` suffices and
+//!   shows experimentally that `r = 5` is enough (`r = 15` when
+//!   `ℓ = 0.1k`, so that `r·ℓ ≥ k`).
+//! * **Sampling mode** ([`SamplingMode`]): line 4's independent Bernoulli
+//!   draws, or the exact-ℓ variant of §5.3 ("we begin by sampling exactly
+//!   ℓ points from the joint distribution in every round") used for
+//!   Figure 5.1.
+//! * **Reclustering** ([`Recluster`]): Step 8 — weighted k-means++ (the
+//!   paper's choice), optionally refined with weighted Lloyd iterations on
+//!   the candidate set (as Spark MLlib later did), or a uniform draw as an
+//!   ablation.
+//!
+//! The implementation maintains `d²(x, C)` *and* each point's nearest
+//! candidate id incrementally ([`CostTracker`]), so Step 7 costs one O(n)
+//! histogram instead of a full `O(n·|C|·d)` pass — see DESIGN.md §4.
+
+use crate::cost::CostTracker;
+use crate::error::KMeansError;
+use crate::init::kmeanspp::weighted_kmeanspp;
+use crate::init::InitStats;
+use kmeans_data::PointMatrix;
+use kmeans_par::Executor;
+use kmeans_util::sampling::uniform_distinct;
+use kmeans_util::Rng;
+
+/// The oversampling factor ℓ of Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Oversampling {
+    /// `ℓ = factor · k` (the paper's parametrization; it sweeps factors
+    /// 0.1–10 and recommends `Θ(k)`).
+    Factor(f64),
+    /// An absolute expected sample size per round.
+    Absolute(f64),
+}
+
+impl Oversampling {
+    /// Resolves ℓ for a concrete `k`.
+    pub fn resolve(&self, k: usize) -> f64 {
+        match *self {
+            Oversampling::Factor(f) => f * k as f64,
+            Oversampling::Absolute(l) => l,
+        }
+    }
+}
+
+/// The number of sampling rounds `r`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rounds {
+    /// A fixed round count (the paper's experimental setting; 5 by
+    /// default).
+    Fixed(usize),
+    /// The theoretical `⌈ln ψ⌉` rounds of Theorem 1 (ψ is the potential
+    /// after the first center), capped to keep worst cases finite.
+    LogPsi {
+        /// Upper bound on the number of rounds.
+        cap: usize,
+    },
+}
+
+/// How candidates are drawn each round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Line 4 verbatim: every point independently with probability
+    /// `min(1, ℓ·d²/φ)`. The number of candidates per round is random with
+    /// expectation ≤ ℓ.
+    Bernoulli,
+    /// Exactly `round(ℓ)` distinct points per round, drawn without
+    /// replacement with probability proportional to `d²` (§5.3's variance
+    /// -reduced variant, used for Figure 5.1).
+    ExactL,
+}
+
+/// What to do when fewer than `k` candidates were selected after all
+/// rounds (the paper: with `r·ℓ < k` "we run the risk of having fewer than
+/// k centers in the initial set").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopUp {
+    /// Keep drawing D²-weighted distinct points until `k` candidates exist
+    /// (sensible engineering default — one extra implicit sampling round).
+    D2Continue,
+    /// Fill the deficit with uniform random points. This reproduces the
+    /// paper's Figures 5.2/5.3, where under-sampled configurations
+    /// (`r·ℓ < k`) degrade toward `Random`-initialization quality.
+    Uniform,
+}
+
+/// Step 8: how the weighted candidate set is reduced to `k` centers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recluster {
+    /// Weighted k-means++ (the paper's choice).
+    WeightedKMeansPlusPlus,
+    /// Weighted k-means++ followed by this many weighted Lloyd iterations
+    /// on the candidate set (cheap: the candidate set is tiny).
+    Refined {
+        /// Number of weighted Lloyd iterations.
+        lloyd_iterations: usize,
+    },
+    /// Uniform draw of `k` candidates — ablation A2; demonstrates that the
+    /// weighting matters.
+    Uniform,
+}
+
+/// Full configuration of Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KMeansParallelConfig {
+    /// Oversampling factor ℓ.
+    pub oversampling: Oversampling,
+    /// Round count r.
+    pub rounds: Rounds,
+    /// Candidate sampling mode.
+    pub sampling: SamplingMode,
+    /// Reclustering method for Step 8.
+    pub recluster: Recluster,
+    /// Deficit policy when fewer than `k` candidates were sampled.
+    pub topup: TopUp,
+}
+
+impl Default for KMeansParallelConfig {
+    /// The paper's recommended configuration: `ℓ = 2k`, `r = 5`, Bernoulli
+    /// sampling, weighted k-means++ reclustering.
+    fn default() -> Self {
+        KMeansParallelConfig {
+            oversampling: Oversampling::Factor(2.0),
+            rounds: Rounds::Fixed(5),
+            sampling: SamplingMode::Bernoulli,
+            recluster: Recluster::WeightedKMeansPlusPlus,
+            topup: TopUp::D2Continue,
+        }
+    }
+}
+
+impl KMeansParallelConfig {
+    /// Convenience constructor with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `ℓ = factor · k`.
+    pub fn oversampling_factor(mut self, factor: f64) -> Self {
+        self.oversampling = Oversampling::Factor(factor);
+        self
+    }
+
+    /// Sets a fixed round count.
+    pub fn rounds(mut self, r: usize) -> Self {
+        self.rounds = Rounds::Fixed(r);
+        self
+    }
+
+    /// Selects the sampling mode.
+    pub fn sampling(mut self, mode: SamplingMode) -> Self {
+        self.sampling = mode;
+        self
+    }
+
+    /// Selects the reclustering method.
+    pub fn recluster(mut self, method: Recluster) -> Self {
+        self.recluster = method;
+        self
+    }
+
+    /// Selects the candidate-deficit policy.
+    pub fn topup(mut self, policy: TopUp) -> Self {
+        self.topup = policy;
+        self
+    }
+
+    fn validate(&self, k: usize) -> Result<(), KMeansError> {
+        let l = self.oversampling.resolve(k);
+        if !l.is_finite() || l <= 0.0 {
+            return Err(KMeansError::InvalidConfig(format!(
+                "oversampling must be positive, got ℓ = {l}"
+            )));
+        }
+        match self.rounds {
+            Rounds::Fixed(0) => Err(KMeansError::InvalidConfig(
+                "rounds must be at least 1".into(),
+            )),
+            Rounds::LogPsi { cap: 0 } => Err(KMeansError::InvalidConfig(
+                "round cap must be at least 1".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Runs Algorithm 2, returning `k` centers plus accounting.
+///
+/// Determinism: the outcome is a pure function of
+/// `(points, k, config, seed, executor shard size)` — the worker count
+/// never changes the result.
+pub fn kmeans_parallel(
+    points: &PointMatrix,
+    k: usize,
+    config: &KMeansParallelConfig,
+    seed: u64,
+    exec: &Executor,
+) -> Result<(PointMatrix, InitStats), KMeansError> {
+    super::validate(points, k)?;
+    config.validate(k)?;
+    let n = points.len();
+    let l = config.oversampling.resolve(k);
+    // Sequential RNG for the O(1)-size decisions (first center, recluster).
+    let mut rng = Rng::derive(seed, &[30]);
+
+    // Step 1: one uniform center.
+    let first = rng.range_usize(n);
+    let mut cand_idx: Vec<usize> = vec![first];
+    let mut candidates = points.select(&cand_idx);
+
+    // Step 2: ψ = φ_X(C) (this is pass 1 over the data).
+    let mut tracker = CostTracker::new(points, &candidates, exec);
+    let psi = tracker.potential();
+    let max_rounds = match config.rounds {
+        Rounds::Fixed(r) => r,
+        Rounds::LogPsi { cap } => {
+            if psi <= 1.0 {
+                1
+            } else {
+                (psi.ln().ceil() as usize).clamp(1, cap)
+            }
+        }
+    };
+
+    // Steps 3–6: oversampling rounds.
+    let mut rounds_executed = 0usize;
+    for round in 0..max_rounds {
+        let phi = tracker.potential();
+        if phi <= 0.0 {
+            break; // every point coincides with a candidate
+        }
+        rounds_executed += 1;
+        let new_indices = match config.sampling {
+            SamplingMode::Bernoulli => {
+                sample_bernoulli(tracker.d2(), l, phi, seed, round, exec)
+            }
+            SamplingMode::ExactL => {
+                let m = (l.round() as usize).max(1);
+                sample_exact(tracker.d2(), m, seed, round, exec)
+            }
+        };
+        if new_indices.is_empty() {
+            continue; // a dry Bernoulli round: possible, simply proceed
+        }
+        let from = candidates.len();
+        for &i in &new_indices {
+            candidates
+                .push(points.row(i))
+                .expect("candidate dim matches");
+        }
+        cand_idx.extend_from_slice(&new_indices);
+        tracker.update(&candidates, from, exec);
+    }
+
+    // Top-up: the paper notes that with r·ℓ < k "we run the risk of having
+    // fewer than k centers" — guarantee k by continuing to draw D²-weighted
+    // distinct points (uniform among unchosen once everything is covered).
+    if candidates.len() < k {
+        let needed = k - candidates.len();
+        let mut extra = match config.topup {
+            TopUp::D2Continue => {
+                kmeans_util::sampling::weighted_distinct(tracker.d2(), needed, &mut rng)
+            }
+            TopUp::Uniform => Vec::new(),
+        };
+        if extra.len() < needed {
+            let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
+            taken.sort_unstable();
+            let mut free: Vec<usize> =
+                (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
+            let want = (needed - extra.len()).min(free.len());
+            // Partial Fisher–Yates: uniform distinct draw from the free set.
+            for j in 0..want {
+                let pick = j + rng.range_usize(free.len() - j);
+                free.swap(j, pick);
+                extra.push(free[j]);
+            }
+        }
+        let from = candidates.len();
+        for &i in &extra {
+            candidates
+                .push(points.row(i))
+                .expect("candidate dim matches");
+        }
+        cand_idx.extend_from_slice(&extra);
+        tracker.update(&candidates, from, exec);
+    }
+
+    // Step 7: weights — free, thanks to the tracked nearest ids.
+    let weights = tracker.weights(candidates.len());
+    let stats = InitStats {
+        rounds: rounds_executed,
+        passes: 1 + rounds_executed,
+        candidates: candidates.len(),
+        seed_cost: 0.0, // filled by InitMethod::run
+        duration: std::time::Duration::ZERO,
+    };
+
+    // Step 8: recluster the weighted candidate set down to k.
+    let centers = if candidates.len() == k {
+        candidates
+    } else {
+        match config.recluster {
+            Recluster::WeightedKMeansPlusPlus => {
+                weighted_kmeanspp(&candidates, &weights, k, &mut rng)?
+            }
+            Recluster::Refined { lloyd_iterations } => {
+                let seeded = weighted_kmeanspp(&candidates, &weights, k, &mut rng)?;
+                crate::lloyd::weighted_lloyd(&candidates, &weights, seeded, lloyd_iterations)
+            }
+            Recluster::Uniform => {
+                let picks = uniform_distinct(candidates.len(), k, &mut rng);
+                candidates.select(&picks)
+            }
+        }
+    };
+    Ok((centers, stats))
+}
+
+/// Line 4: independent Bernoulli draws with `p = min(1, ℓ·d²/φ)`, shard
+/// parallel, deterministic per `(seed, round, shard)`.
+fn sample_bernoulli(
+    d2: &[f64],
+    l: f64,
+    phi: f64,
+    seed: u64,
+    round: usize,
+    exec: &Executor,
+) -> Vec<usize> {
+    let shard_lists = exec.map_shards(d2.len(), |shard, range| {
+        let mut rng = Rng::derive(seed, &[31, round as u64, shard as u64]);
+        let mut picked = Vec::new();
+        for i in range {
+            let p = l * d2[i] / phi;
+            if p > 0.0 && rng.bernoulli(p) {
+                picked.push(i);
+            }
+        }
+        picked
+    });
+    shard_lists.into_iter().flatten().collect()
+}
+
+/// §5.3 exact-ℓ sampling: `m` distinct indices with probability ∝ d²,
+/// via per-shard Efraimidis–Spirakis top-m, merged globally.
+///
+/// E–S keys (`ln(u)/w`) are comparable across shards, so the global top-m
+/// of the per-shard top-m lists equals the top-m over all points.
+fn sample_exact(d2: &[f64], m: usize, seed: u64, round: usize, exec: &Executor) -> Vec<usize> {
+    let shard_tops: Vec<Vec<(f64, usize)>> = exec.map_shards(d2.len(), |shard, range| {
+        let mut rng = Rng::derive(seed, &[32, round as u64, shard as u64]);
+        let mut keyed: Vec<(f64, usize)> = Vec::new();
+        for i in range {
+            let w = d2[i];
+            // Zero-weight points (already candidates) draw no key; the RNG
+            // is still advanced so that shard streams stay aligned even if
+            // coverage changes (cheap and keeps reasoning simple).
+            let u = rng.next_f64_open();
+            if w > 0.0 {
+                keyed.push((u.ln() / w, i));
+            }
+        }
+        // Keep only the shard-local top-m (largest keys).
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        keyed.truncate(m);
+        keyed
+    });
+    let mut all: Vec<(f64, usize)> = shard_tops.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    all.truncate(m);
+    let mut indices: Vec<usize> = all.into_iter().map(|(_, i)| i).collect();
+    indices.sort_unstable();
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::potential;
+    use kmeans_par::Parallelism;
+
+    fn blobs(n_per: usize, centers: &[f64]) -> PointMatrix {
+        let mut m = PointMatrix::new(1);
+        for &c in centers {
+            for i in 0..n_per {
+                m.push(&[c + i as f64 * 1e-3]).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn returns_k_centers_with_good_coverage() {
+        let points = blobs(50, &[0.0, 1e4, 2e4, 3e4, 4e4]);
+        let exec = Executor::sequential().with_shard_size(64);
+        let config = KMeansParallelConfig::default();
+        let mut good = 0;
+        for seed in 0..10 {
+            let (centers, stats) = kmeans_parallel(&points, 5, &config, seed, &exec).unwrap();
+            assert_eq!(centers.len(), 5);
+            assert_eq!(stats.rounds, 5);
+            assert_eq!(stats.passes, 6);
+            assert!(stats.candidates >= 5);
+            if potential(&points, &centers, &exec) < 1.0 {
+                good += 1;
+            }
+        }
+        assert!(good >= 9, "coverage failed in {}/10 runs", 10 - good);
+    }
+
+    #[test]
+    fn expected_candidates_close_to_l_times_r() {
+        // ℓ = 2k = 20, r = 5 → ~100 candidates (±statistical slack), plus 1.
+        let points = blobs(400, &[0.0, 100.0, 200.0, 300.0, 400.0]);
+        let exec = Executor::sequential().with_shard_size(128);
+        let config = KMeansParallelConfig::default(); // ℓ = 2k, r = 5
+        let (_, stats) = kmeans_parallel(&points, 10, &config, 3, &exec).unwrap();
+        assert!(
+            stats.candidates > 40 && stats.candidates < 180,
+            "candidates {} far from ℓ·r = 100",
+            stats.candidates
+        );
+    }
+
+    #[test]
+    fn exact_mode_selects_exactly_l_per_round() {
+        let points = blobs(500, &[0.0, 50.0, 100.0, 150.0]);
+        let exec = Executor::sequential().with_shard_size(256);
+        let config = KMeansParallelConfig::default()
+            .sampling(SamplingMode::ExactL)
+            .oversampling_factor(2.0)
+            .rounds(4);
+        let (_, stats) = kmeans_parallel(&points, 5, &config, 7, &exec).unwrap();
+        // 1 first center + 4 rounds × exactly 10 = 41 candidates.
+        assert_eq!(stats.candidates, 41);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let points = blobs(200, &[0.0, 77.0, 154.0]);
+        let config = KMeansParallelConfig::default();
+        let run = |threads: Parallelism| {
+            let exec = Executor::new(threads).with_shard_size(64);
+            kmeans_parallel(&points, 6, &config, 42, &exec).unwrap()
+        };
+        let (ref_centers, ref_stats) = run(Parallelism::Sequential);
+        for t in [2, 3, 8] {
+            let (centers, stats) = run(Parallelism::Threads(t));
+            assert_eq!(centers, ref_centers, "threads={t}");
+            assert_eq!(stats.candidates, ref_stats.candidates);
+        }
+    }
+
+    #[test]
+    fn exact_mode_identical_across_thread_counts() {
+        let points = blobs(200, &[0.0, 77.0, 154.0]);
+        let config = KMeansParallelConfig::default().sampling(SamplingMode::ExactL);
+        let run = |threads: Parallelism| {
+            let exec = Executor::new(threads).with_shard_size(64);
+            kmeans_parallel(&points, 6, &config, 42, &exec).unwrap().0
+        };
+        let reference = run(Parallelism::Sequential);
+        assert_eq!(run(Parallelism::Threads(2)), reference);
+        assert_eq!(run(Parallelism::Threads(5)), reference);
+    }
+
+    #[test]
+    fn top_up_guarantees_k_when_rl_below_k() {
+        // ℓ = 0.1k and r = 1: expected candidates ≪ k. The top-up must
+        // still deliver k centers (the r·ℓ < k risk the paper flags).
+        let points = blobs(100, &[0.0, 10.0, 20.0, 30.0]);
+        let exec = Executor::sequential();
+        let config = KMeansParallelConfig::default()
+            .oversampling_factor(0.1)
+            .rounds(1);
+        let (centers, stats) = kmeans_parallel(&points, 50, &config, 5, &exec).unwrap();
+        assert_eq!(centers.len(), 50);
+        assert!(stats.candidates >= 50);
+    }
+
+    #[test]
+    fn uniform_topup_degrades_toward_random() {
+        // Ablation for Figures 5.2/5.3: with r·ℓ ≪ k, uniform top-up fills
+        // most centers uniformly, so far-out tiny blobs get missed much
+        // more often than with D² top-up.
+        let mut m = PointMatrix::new(1);
+        for i in 0..900 {
+            m.push(&[i as f64 * 1e-3]).unwrap();
+        }
+        // Ten *mutually far* singletons: covering them needs ten separate
+        // D² draws, which uniform top-up will not provide.
+        for i in 1..=10 {
+            m.push(&[i as f64 * 1e6]).unwrap();
+        }
+        let exec = Executor::sequential();
+        let median_cost = |policy: TopUp| {
+            let costs: Vec<f64> = (0..11)
+                .map(|s| {
+                    let config = KMeansParallelConfig::default()
+                        .oversampling_factor(0.05)
+                        .rounds(1)
+                        .topup(policy);
+                    let (c, _) = kmeans_parallel(&m, 20, &config, s, &exec).unwrap();
+                    potential(&m, &c, &exec)
+                })
+                .collect();
+            kmeans_util::stats::median(&costs).unwrap()
+        };
+        let d2 = median_cost(TopUp::D2Continue);
+        let uniform = median_cost(TopUp::Uniform);
+        assert!(
+            uniform > 100.0 * d2,
+            "uniform top-up {uniform} not ≫ D² top-up {d2}"
+        );
+    }
+
+    #[test]
+    fn duplicate_only_dataset_still_yields_k() {
+        let points = PointMatrix::from_flat(vec![3.0; 40], 1).unwrap();
+        let exec = Executor::sequential();
+        let (centers, _) =
+            kmeans_parallel(&points, 4, &KMeansParallelConfig::default(), 1, &exec).unwrap();
+        assert_eq!(centers.len(), 4);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let points = blobs(20, &[0.0, 5.0]);
+        let exec = Executor::sequential();
+        let (centers, _) =
+            kmeans_parallel(&points, 1, &KMeansParallelConfig::default(), 2, &exec).unwrap();
+        assert_eq!(centers.len(), 1);
+    }
+
+    #[test]
+    fn log_psi_rounds_resolve() {
+        let points = blobs(100, &[0.0, 1e6]);
+        let exec = Executor::sequential();
+        let config = KMeansParallelConfig {
+            rounds: Rounds::LogPsi { cap: 8 },
+            ..Default::default()
+        };
+        let (_, stats) = kmeans_parallel(&points, 4, &config, 3, &exec).unwrap();
+        // ψ ≈ 50 · (1e6)² = 5·10¹³ → ln ≈ 31.5 → capped at 8.
+        assert_eq!(stats.rounds, 8);
+    }
+
+    #[test]
+    fn zero_potential_stops_early() {
+        // Two distinct values; after both are candidates φ = 0, so later
+        // rounds must not sample anything.
+        let points = PointMatrix::from_flat(vec![0.0, 0.0, 9.0, 9.0], 1).unwrap();
+        let exec = Executor::sequential();
+        let config = KMeansParallelConfig::default().rounds(50);
+        let (centers, stats) = kmeans_parallel(&points, 2, &config, 4, &exec).unwrap();
+        assert_eq!(centers.len(), 2);
+        assert!(stats.rounds < 50, "did not stop early: {}", stats.rounds);
+        assert_eq!(potential(&points, &centers, &exec), 0.0);
+    }
+
+    #[test]
+    fn recluster_variants_all_work() {
+        let points = blobs(100, &[0.0, 1e3, 2e3]);
+        let exec = Executor::sequential();
+        for recluster in [
+            Recluster::WeightedKMeansPlusPlus,
+            Recluster::Refined {
+                lloyd_iterations: 5,
+            },
+            Recluster::Uniform,
+        ] {
+            let config = KMeansParallelConfig::default().recluster(recluster);
+            let (centers, _) = kmeans_parallel(&points, 3, &config, 6, &exec).unwrap();
+            assert_eq!(centers.len(), 3, "{recluster:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_recluster_beats_uniform_recluster() {
+        // Ablation A2: with heavy oversampling on skewed data, the weighted
+        // recluster should find the three blobs much more reliably than a
+        // uniform draw from the candidate set.
+        let mut m = PointMatrix::new(1);
+        // One huge blob and two tiny far-away blobs.
+        for i in 0..500 {
+            m.push(&[i as f64 * 1e-3]).unwrap();
+        }
+        for i in 0..5 {
+            m.push(&[1e5 + i as f64 * 1e-3]).unwrap();
+            m.push(&[2e5 + i as f64 * 1e-3]).unwrap();
+        }
+        let exec = Executor::sequential();
+        let median = |recluster: Recluster| {
+            let costs: Vec<f64> = (0..11)
+                .map(|s| {
+                    let config = KMeansParallelConfig::default()
+                        .oversampling_factor(5.0)
+                        .recluster(recluster);
+                    let (c, _) = kmeans_parallel(&m, 3, &config, s, &exec).unwrap();
+                    potential(&m, &c, &exec)
+                })
+                .collect();
+            kmeans_util::stats::median(&costs).unwrap()
+        };
+        let weighted = median(Recluster::WeightedKMeansPlusPlus);
+        let uniform = median(Recluster::Uniform);
+        assert!(
+            weighted < uniform,
+            "weighted {weighted} not better than uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let points = blobs(10, &[0.0]);
+        let exec = Executor::sequential();
+        let bad_l = KMeansParallelConfig::default().oversampling_factor(0.0);
+        assert!(kmeans_parallel(&points, 2, &bad_l, 0, &exec).is_err());
+        let bad_r = KMeansParallelConfig::default().rounds(0);
+        assert!(kmeans_parallel(&points, 2, &bad_r, 0, &exec).is_err());
+        let bad_abs = KMeansParallelConfig {
+            oversampling: Oversampling::Absolute(f64::NAN),
+            ..Default::default()
+        };
+        assert!(kmeans_parallel(&points, 2, &bad_abs, 0, &exec).is_err());
+    }
+
+    #[test]
+    fn oversampling_resolution() {
+        assert_eq!(Oversampling::Factor(2.0).resolve(10), 20.0);
+        assert_eq!(Oversampling::Absolute(7.5).resolve(10), 7.5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Uniform-random initialization — the classical baseline (§4.2).
+
+use crate::error::KMeansError;
+use kmeans_data::PointMatrix;
+use kmeans_util::sampling::uniform_distinct;
+use kmeans_util::Rng;
+
+/// Selects `k` points uniformly at random, without replacement, as initial
+/// centers.
+///
+/// Distinct *indices* are guaranteed; if the dataset contains duplicate
+/// points the returned centers may coincide in value (exactly as with the
+/// real algorithm on real data — Lloyd's empty-cluster repair deals with
+/// the consequences).
+pub fn random_init(
+    points: &PointMatrix,
+    k: usize,
+    rng: &mut Rng,
+) -> Result<PointMatrix, KMeansError> {
+    super::validate(points, k)?;
+    let indices = uniform_distinct(points.len(), k, rng);
+    Ok(points.select(&indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_k_rows_from_the_dataset() {
+        let points = PointMatrix::from_flat((0..100).map(|i| i as f64).collect(), 1).unwrap();
+        let mut rng = Rng::new(3);
+        let centers = random_init(&points, 10, &mut rng).unwrap();
+        assert_eq!(centers.len(), 10);
+        for c in centers.rows() {
+            assert!(c[0].fract() == 0.0 && (0.0..100.0).contains(&c[0]));
+        }
+    }
+
+    #[test]
+    fn distinct_indices() {
+        let points = PointMatrix::from_flat((0..20).map(|i| i as f64).collect(), 1).unwrap();
+        let mut rng = Rng::new(4);
+        let centers = random_init(&points, 20, &mut rng).unwrap();
+        let mut values: Vec<f64> = centers.rows().map(|r| r[0]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(values, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let points = PointMatrix::from_flat((0..50).map(|i| i as f64).collect(), 1).unwrap();
+        let a = random_init(&points, 5, &mut Rng::new(9)).unwrap();
+        let b = random_init(&points, 5, &mut Rng::new(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let points = PointMatrix::from_flat(vec![1.0, 2.0], 1).unwrap();
+        assert!(random_init(&points, 0, &mut Rng::new(0)).is_err());
+        assert!(random_init(&points, 3, &mut Rng::new(0)).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! **Scalable K-Means++ (k-means||)** — the core library of this
+//! reproduction of Bahmani, Moseley, Vattani, Kumar & Vassilvitskii,
+//! *"Scalable K-Means++"*, PVLDB 5(7), 2012.
+//!
+//! k-means++ seeding gives provably good initial centers but needs `k`
+//! sequential passes over the data. **k-means||** ([`init::kmeans_parallel`])
+//! replaces them with `r ≈ 5` rounds that each sample `ℓ = Θ(k)` points in
+//! parallel with probability `ℓ·d²(x,C)/φ_X(C)`, then reclusters the
+//! weighted `O(ℓ·r)` candidates down to `k` with weighted k-means++
+//! (Theorem 1: an O(α)-approximation when an α-approximate reclusterer is
+//! used).
+//!
+//! Module map:
+//!
+//! * [`distance`], [`cost`], [`assign`] — the `d²`/potential kernels and
+//!   the incremental [`cost::CostTracker`] all seeding builds on.
+//! * [`init`] — `Random`, `k-means++` (Algorithm 1), **`k-means||`**
+//!   (Algorithm 2) with every knob the paper's §5 sweeps.
+//! * [`lloyd`] — Lloyd's iteration (parallel, with iteration accounting
+//!   and empty-cluster repair) and the weighted variant used by Step 8.
+//! * [`accel`] — Hamerly's bounds-accelerated Lloyd (exact, fewer
+//!   distance computations; extension).
+//! * [`minibatch`] — Sculley's mini-batch k-means (extension; paper
+//!   reference \[31]).
+//! * [`metrics`] — purity / NMI against ground-truth labels.
+//! * [`model`] — the [`model::KMeans`] builder tying it all together.
+//!
+//! Determinism: every algorithm is a pure function of its inputs, a 64-bit
+//! seed, and the executor's shard size. Worker counts never change results
+//! (see `kmeans-par`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod assign;
+pub mod cost;
+pub mod distance;
+pub mod error;
+pub mod init;
+pub mod lloyd;
+pub mod metrics;
+pub mod minibatch;
+pub mod model;
+
+pub use error::KMeansError;
+pub use init::{InitMethod, InitResult, InitStats, KMeansParallelConfig};
+pub use lloyd::{LloydConfig, LloydResult};
+pub use model::{KMeans, KMeansModel};

@@ -1,0 +1,429 @@
+//! Lloyd's iteration — the local-search phase run on top of every
+//! initialization (§3.1), with the iteration accounting Table 6 reports.
+//!
+//! Each iteration is one parallel assignment pass
+//! ([`crate::assign::assign_and_sum`]) followed by a
+//! centroid update. Convergence is declared when no point changes cluster
+//! (the paper's "stable set of centers") or when the relative cost
+//! improvement drops below `tol` (useful to emulate the paper's capped
+//! parallel `Random` baseline, which it bounded at 20 iterations).
+//!
+//! Empty clusters (possible with duplicate seeds or adversarial data) are
+//! repaired deterministically by moving the empty center onto the point
+//! currently farthest from its assigned center — the standard
+//! "split the worst cluster" heuristic.
+
+use crate::assign::{assign_and_sum, assign_weighted};
+use crate::error::KMeansError;
+use kmeans_data::PointMatrix;
+use kmeans_par::Executor;
+
+/// Configuration of the Lloyd loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LloydConfig {
+    /// Hard iteration cap (paper's parallel Random baseline: 20; this
+    /// workspace's default: 300, effectively "to convergence" on the
+    /// paper's datasets).
+    pub max_iterations: usize,
+    /// Stop when `(cost_prev − cost) ≤ tol · cost_prev`. `0.0` means run to
+    /// assignment stability.
+    pub tol: f64,
+}
+
+impl Default for LloydConfig {
+    fn default() -> Self {
+        LloydConfig {
+            max_iterations: 300,
+            tol: 0.0,
+        }
+    }
+}
+
+impl LloydConfig {
+    fn validate(&self) -> Result<(), KMeansError> {
+        if self.max_iterations == 0 {
+            return Err(KMeansError::InvalidConfig(
+                "max_iterations must be at least 1".into(),
+            ));
+        }
+        if !self.tol.is_finite() || self.tol < 0.0 {
+            return Err(KMeansError::InvalidConfig(format!(
+                "tol must be finite and non-negative, got {}",
+                self.tol
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Per-iteration record (cost is measured *under the centers entering the
+/// iteration*, i.e. before the centroid update).
+#[derive(Clone, Copy, Debug)]
+pub struct IterationStats {
+    /// Potential at assignment time.
+    pub cost: f64,
+    /// Points that changed cluster relative to the previous iteration.
+    pub reassigned: u64,
+    /// Clusters that came up empty and were reseeded.
+    pub reseeded: usize,
+}
+
+/// Outcome of a Lloyd run.
+#[derive(Clone, Debug)]
+pub struct LloydResult {
+    /// Final centers.
+    pub centers: PointMatrix,
+    /// Final assignment (consistent with `centers`).
+    pub labels: Vec<u32>,
+    /// Final potential (consistent with `centers` and `labels`).
+    pub cost: f64,
+    /// Iterations executed — the Table 6 quantity.
+    pub iterations: usize,
+    /// Whether the run converged before hitting `max_iterations`.
+    pub converged: bool,
+    /// Per-iteration history.
+    pub history: Vec<IterationStats>,
+}
+
+/// Runs Lloyd's iteration from the given initial centers.
+///
+/// # Errors
+///
+/// Fails on empty input, dimension mismatch, or invalid configuration.
+pub fn lloyd(
+    points: &PointMatrix,
+    initial_centers: &PointMatrix,
+    config: &LloydConfig,
+    exec: &Executor,
+) -> Result<LloydResult, KMeansError> {
+    config.validate()?;
+    if points.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if initial_centers.is_empty() || initial_centers.len() > points.len() {
+        return Err(KMeansError::InvalidK {
+            k: initial_centers.len(),
+            n: points.len(),
+        });
+    }
+    if points.dim() != initial_centers.dim() {
+        return Err(KMeansError::DimensionMismatch {
+            expected: points.dim(),
+            got: initial_centers.dim(),
+        });
+    }
+
+    let d = points.dim();
+    let mut centers = initial_centers.clone();
+    let mut prev_labels: Option<Vec<u32>> = None;
+    let mut prev_cost = f64::INFINITY;
+    let mut history = Vec::new();
+    let mut converged = false;
+
+    for _ in 0..config.max_iterations {
+        let (labels, sums) = assign_and_sum(points, &centers, exec);
+        let reassigned = match &prev_labels {
+            None => points.len() as u64,
+            Some(prev) => prev
+                .iter()
+                .zip(&labels)
+                .filter(|(a, b)| a != b)
+                .count() as u64,
+        };
+
+        // Stability: nothing moved → the centroid update is a no-op.
+        if reassigned == 0 {
+            converged = true;
+            history.push(IterationStats {
+                cost: sums.cost,
+                reassigned: 0,
+                reseeded: 0,
+            });
+            prev_cost = sums.cost;
+            prev_labels = Some(labels);
+            break;
+        }
+
+        // Centroid update, with deterministic empty-cluster repair.
+        let mut reseeded = 0usize;
+        let mut farthest: Vec<(usize, f64)> = sums.farthest.clone();
+        farthest.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut next_far = farthest.into_iter();
+        for c in 0..centers.len() {
+            if let Some(centroid) = sums.centroid(c, d) {
+                centers.row_mut(c).copy_from_slice(&centroid);
+            } else {
+                // Empty cluster: land on the farthest available point.
+                match next_far.next() {
+                    Some((idx, _)) => {
+                        centers.row_mut(c).copy_from_slice(points.row(idx));
+                        reseeded += 1;
+                    }
+                    None => {
+                        // More empty clusters than shard maxima (pathological
+                        // duplicate-heavy data): leave the center in place.
+                    }
+                }
+            }
+        }
+
+        history.push(IterationStats {
+            cost: sums.cost,
+            reassigned,
+            reseeded,
+        });
+
+        // Relative-improvement stop (after at least one update).
+        if config.tol > 0.0
+            && prev_cost.is_finite()
+            && reseeded == 0
+            && prev_cost - sums.cost <= config.tol * prev_cost
+        {
+            converged = true;
+            prev_cost = sums.cost;
+            prev_labels = Some(labels);
+            break;
+        }
+        prev_cost = sums.cost;
+        prev_labels = Some(labels);
+    }
+
+    // Produce a final self-consistent (labels, cost) for the final centers.
+    let (labels, cost) = match (&prev_labels, converged) {
+        // On stability the stored labels already match the centers.
+        (Some(labels), true) => (labels.clone(), prev_cost),
+        _ => {
+            let (labels, sums) = assign_and_sum(points, &centers, exec);
+            (labels, sums.cost)
+        }
+    };
+
+    Ok(LloydResult {
+        centers,
+        labels,
+        cost,
+        iterations: history.len(),
+        converged,
+        history,
+    })
+}
+
+/// Weighted Lloyd iterations on a (small) weighted point set — used to
+/// refine the Step 8 reclustering of k-means|| and by the streaming
+/// baselines. Sequential; stops early on assignment stability. Empty
+/// clusters keep their previous center.
+pub fn weighted_lloyd(
+    points: &PointMatrix,
+    weights: &[f64],
+    mut centers: PointMatrix,
+    iterations: usize,
+) -> PointMatrix {
+    let d = points.dim();
+    let mut prev_labels: Option<Vec<u32>> = None;
+    for _ in 0..iterations {
+        let (labels, sums, wsum, _cost) = assign_weighted(points, weights, &centers);
+        if prev_labels.as_ref() == Some(&labels) {
+            break;
+        }
+        for c in 0..centers.len() {
+            if wsum[c] > 0.0 {
+                let inv = 1.0 / wsum[c];
+                let dst = centers.row_mut(c);
+                for (j, slot) in dst.iter_mut().enumerate() {
+                    *slot = sums[c * d + j] * inv;
+                }
+            }
+        }
+        prev_labels = Some(labels);
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_par::Parallelism;
+
+    fn blobs_2d() -> PointMatrix {
+        // Two 2-D blobs around (0,0) and (10,10), 16 points each.
+        let mut m = PointMatrix::new(2);
+        for i in 0..16 {
+            let dx = (i % 4) as f64 * 0.1;
+            let dy = (i / 4) as f64 * 0.1;
+            m.push(&[dx, dy]).unwrap();
+        }
+        for i in 0..16 {
+            let dx = (i % 4) as f64 * 0.1;
+            let dy = (i / 4) as f64 * 0.1;
+            m.push(&[10.0 + dx, 10.0 + dy]).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn converges_to_blob_centroids() {
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![1.0, 1.0, 9.0, 9.0], 2).unwrap();
+        let result = lloyd(&points, &init, &LloydConfig::default(), &Executor::sequential())
+            .unwrap();
+        assert!(result.converged);
+        assert!(result.iterations <= 3);
+        // Centroid of each blob is (0.15, 0.15) offset.
+        let mut xs: Vec<f64> = result.centers.rows().map(|r| r[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 0.15).abs() < 1e-9);
+        assert!((xs[1] - 10.15).abs() < 1e-9);
+        // Labels and cost are self-consistent.
+        let expected_cost: f64 = {
+            let (_, sums) = crate::assign::assign_and_sum(
+                &points,
+                &result.centers,
+                &Executor::sequential(),
+            );
+            sums.cost
+        };
+        assert!((result.cost - expected_cost).abs() < 1e-9);
+        assert_eq!(result.labels.len(), 32);
+    }
+
+    #[test]
+    fn cost_is_monotone_nonincreasing() {
+        let points = blobs_2d();
+        // Bad init: both centers in one blob.
+        let init = PointMatrix::from_flat(vec![0.0, 0.0, 0.3, 0.3], 2).unwrap();
+        let result = lloyd(&points, &init, &LloydConfig::default(), &Executor::sequential())
+            .unwrap();
+        for w in result.history.windows(2) {
+            assert!(
+                w[1].cost <= w[0].cost + 1e-9,
+                "cost increased: {} → {}",
+                w[0].cost,
+                w[1].cost
+            );
+        }
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn max_iterations_caps_the_run() {
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![0.0, 0.0, 0.3, 0.3], 2).unwrap();
+        let config = LloydConfig {
+            max_iterations: 1,
+            tol: 0.0,
+        };
+        let result = lloyd(&points, &init, &config, &Executor::sequential()).unwrap();
+        assert_eq!(result.iterations, 1);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![1.0, 1.0, 9.0, 9.0], 2).unwrap();
+        let config = LloydConfig {
+            max_iterations: 100,
+            tol: 0.5, // huge tolerance: stop after the first update
+        };
+        let result = lloyd(&points, &init, &config, &Executor::sequential()).unwrap();
+        assert!(result.converged);
+        assert!(result.iterations <= 2);
+    }
+
+    #[test]
+    fn empty_cluster_is_reseeded_to_far_point() {
+        let points = blobs_2d();
+        // Three centers, two glued together far from everything: at least
+        // one will be empty initially.
+        let init =
+            PointMatrix::from_flat(vec![0.0, 0.0, -500.0, -500.0, -500.0, -500.0], 2).unwrap();
+        let result = lloyd(&points, &init, &LloydConfig::default(), &Executor::sequential())
+            .unwrap();
+        assert!(result.history[0].reseeded >= 1, "no reseed recorded");
+        assert!(result.converged);
+        // After repair every cluster should be non-empty.
+        let mut counts = [0u32; 3];
+        for &l in &result.labels {
+            counts[l as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![0.0, 0.0, 0.3, 0.3], 2).unwrap();
+        let run = |par: Parallelism| {
+            lloyd(
+                &points,
+                &init,
+                &LloydConfig::default(),
+                &Executor::new(par).with_shard_size(8),
+            )
+            .unwrap()
+        };
+        let reference = run(Parallelism::Sequential);
+        for t in [2, 4] {
+            let got = run(Parallelism::Threads(t));
+            assert_eq!(got.labels, reference.labels);
+            assert_eq!(got.iterations, reference.iterations);
+            assert_eq!(got.cost.to_bits(), reference.cost.to_bits());
+            assert_eq!(got.centers, reference.centers);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![0.0, 0.0], 2).unwrap();
+        let exec = Executor::sequential();
+        assert!(matches!(
+            lloyd(&PointMatrix::new(2), &init, &LloydConfig::default(), &exec),
+            Err(KMeansError::EmptyInput)
+        ));
+        let bad_dim = PointMatrix::from_flat(vec![0.0], 1).unwrap();
+        assert!(matches!(
+            lloyd(&points, &bad_dim, &LloydConfig::default(), &exec),
+            Err(KMeansError::DimensionMismatch { .. })
+        ));
+        let bad_config = LloydConfig {
+            max_iterations: 0,
+            tol: 0.0,
+        };
+        assert!(lloyd(&points, &init, &bad_config, &exec).is_err());
+        let bad_tol = LloydConfig {
+            max_iterations: 1,
+            tol: -1.0,
+        };
+        assert!(lloyd(&points, &init, &bad_tol, &exec).is_err());
+    }
+
+    #[test]
+    fn weighted_lloyd_moves_to_weighted_centroid() {
+        let points = PointMatrix::from_flat(vec![0.0, 10.0], 1).unwrap();
+        let centers = PointMatrix::from_flat(vec![4.0], 1).unwrap();
+        let out = weighted_lloyd(&points, &[1.0, 3.0], centers, 10);
+        // Weighted centroid: (0·1 + 10·3) / 4 = 7.5.
+        assert!((out.row(0)[0] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_lloyd_zero_iterations_is_identity() {
+        let points = PointMatrix::from_flat(vec![0.0, 10.0], 1).unwrap();
+        let centers = PointMatrix::from_flat(vec![4.0], 1).unwrap();
+        let out = weighted_lloyd(&points, &[1.0, 1.0], centers.clone(), 0);
+        assert_eq!(out, centers);
+    }
+
+    #[test]
+    fn weighted_lloyd_empty_cluster_keeps_center() {
+        let points = PointMatrix::from_flat(vec![0.0, 1.0], 1).unwrap();
+        let centers = PointMatrix::from_flat(vec![0.5, 100.0], 1).unwrap();
+        let out = weighted_lloyd(&points, &[1.0, 1.0], centers, 5);
+        assert_eq!(out.row(1)[0], 100.0, "empty cluster center moved");
+    }
+}

@@ -1,0 +1,316 @@
+//! External clustering-quality metrics (evaluation only).
+//!
+//! The paper evaluates exclusively by the k-means potential; these metrics
+//! supplement it when ground-truth component labels exist (all synthetic
+//! generators in `kmeans-data` provide them): purity and normalized mutual
+//! information. They never feed back into any algorithm.
+
+use std::collections::HashMap;
+
+/// Builds the contingency table between two labelings.
+fn contingency(pred: &[u32], truth: &[u32]) -> HashMap<(u32, u32), u64> {
+    let mut table = HashMap::new();
+    for (&p, &t) in pred.iter().zip(truth) {
+        *table.entry((p, t)).or_insert(0u64) += 1;
+    }
+    table
+}
+
+fn class_counts(labels: &[u32]) -> HashMap<u32, u64> {
+    let mut counts = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+fn entropy(counts: &HashMap<u32, u64>, n: f64) -> f64 {
+    counts
+        .values()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Cluster purity: the fraction of points belonging to the majority true
+/// class of their assigned cluster. In `[0, 1]`; higher is better.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn purity(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "purity: length mismatch");
+    assert!(!pred.is_empty(), "purity: empty labelings");
+    let mut majority: HashMap<u32, HashMap<u32, u64>> = HashMap::new();
+    for (&p, &t) in pred.iter().zip(truth) {
+        *majority.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    let correct: u64 = majority
+        .values()
+        .map(|dist| *dist.values().max().expect("non-empty cluster"))
+        .sum();
+    correct as f64 / pred.len() as f64
+}
+
+/// Normalized mutual information between two labelings, with arithmetic-
+/// mean normalization: `NMI = 2·I(P;T) / (H(P) + H(T))`. In `[0, 1]`.
+///
+/// Degenerate cases: if both labelings are constant, they agree perfectly
+/// (1.0); if exactly one is constant, there is no shared information (0.0).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn nmi(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "nmi: length mismatch");
+    assert!(!pred.is_empty(), "nmi: empty labelings");
+    let n = pred.len() as f64;
+    let pc = class_counts(pred);
+    let tc = class_counts(truth);
+    let hp = entropy(&pc, n);
+    let ht = entropy(&tc, n);
+    if hp == 0.0 && ht == 0.0 {
+        return 1.0;
+    }
+    if hp == 0.0 || ht == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for ((p, t), &joint) in &contingency(pred, truth) {
+        let pj = joint as f64 / n;
+        let pp = pc[p] as f64 / n;
+        let pt = tc[t] as f64 / n;
+        mi += pj * (pj / (pp * pt)).ln();
+    }
+    (2.0 * mi / (hp + ht)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+        // One point of cluster 0 belongs to the other class.
+        assert_eq!(purity(&[0, 0, 0, 1], &[5, 5, 9, 9]), 0.75);
+        // Single cluster over two equal classes: purity 0.5.
+        assert_eq!(purity(&[0, 0, 0, 0], &[1, 1, 2, 2]), 0.5);
+    }
+
+    #[test]
+    fn nmi_perfect_match_is_one() {
+        assert!((nmi(&[0, 0, 1, 1], &[7, 7, 3, 3]) - 1.0).abs() < 1e-12);
+        // Label permutation does not matter.
+        assert!((nmi(&[1, 1, 0, 0], &[7, 7, 3, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_independent_labelings_near_zero() {
+        // Prediction splits orthogonally to the truth.
+        let pred = [0, 1, 0, 1];
+        let truth = [0, 0, 1, 1];
+        assert!(nmi(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_degenerate_cases() {
+        assert_eq!(nmi(&[0, 0, 0], &[1, 1, 1]), 1.0);
+        assert_eq!(nmi(&[0, 0, 0], &[1, 2, 3]), 0.0);
+        assert_eq!(nmi(&[1, 2, 3], &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn nmi_partial_agreement_is_intermediate() {
+        let pred = [0, 0, 0, 1, 1, 1];
+        let truth = [0, 0, 1, 1, 1, 0];
+        let v = nmi(&pred, &truth);
+        assert!(v > 0.0 && v < 1.0, "nmi {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        nmi(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        purity(&[], &[]);
+    }
+}
+
+/// Adjusted Rand index between two labelings, in `[-1, 1]` (1 = identical
+/// partitions, ~0 = chance agreement).
+///
+/// Uses the permutation-model expectation of the Rand index
+/// (Hubert & Arabie, 1985).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn adjusted_rand_index(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "ari: length mismatch");
+    assert!(!pred.is_empty(), "ari: empty labelings");
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let joint = contingency(pred, truth);
+    let pc = class_counts(pred);
+    let tc = class_counts(truth);
+    let sum_joint: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let sum_pred: f64 = pc.values().map(|&c| choose2(c)).sum();
+    let sum_truth: f64 = tc.values().map(|&c| choose2(c)).sum();
+    let total = choose2(pred.len() as u64);
+    let expected = sum_pred * sum_truth / total;
+    let max_index = 0.5 * (sum_pred + sum_truth);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions trivial (all-singletons or all-one).
+        return if sum_joint == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+/// Mean silhouette coefficient over a uniform sample of points, in
+/// `[-1, 1]` (higher = tighter, better-separated clusters).
+///
+/// Exact silhouette is O(n²·d); this evaluates at most `sample` points
+/// against *all* points (O(sample·n·d)), which is the standard estimator
+/// for large datasets. Points in singleton clusters score 0 by convention.
+///
+/// Returns `None` when fewer than 2 clusters are present.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or `sample == 0`.
+pub fn silhouette_sampled(
+    points: &kmeans_data::PointMatrix,
+    labels: &[u32],
+    sample: usize,
+    seed: u64,
+) -> Option<f64> {
+    assert_eq!(points.len(), labels.len(), "silhouette: length mismatch");
+    assert!(sample > 0, "silhouette: empty sample");
+    let k = match labels.iter().max() {
+        Some(&m) => m as usize + 1,
+        None => return None,
+    };
+    let mut cluster_sizes = vec![0u64; k];
+    for &l in labels {
+        cluster_sizes[l as usize] += 1;
+    }
+    if cluster_sizes.iter().filter(|&&c| c > 0).count() < 2 {
+        return None;
+    }
+    let n = points.len();
+    let m = sample.min(n);
+    let mut rng = kmeans_util::Rng::derive(seed, &[80]);
+    let chosen = kmeans_util::sampling::uniform_distinct(n, m, &mut rng);
+    let mut acc = 0.0;
+    let mut counted = 0usize;
+    let mut dist_sums = vec![0.0f64; k];
+    for &i in &chosen {
+        let own = labels[i] as usize;
+        if cluster_sizes[own] <= 1 {
+            counted += 1; // silhouette 0 by convention
+            continue;
+        }
+        dist_sums.iter_mut().for_each(|s| *s = 0.0);
+        let row = points.row(i);
+        for (j, other) in points.rows().enumerate() {
+            dist_sums[labels[j] as usize] += crate::distance::sq_dist(row, other).sqrt();
+        }
+        // Mean intra-cluster distance excludes the point itself.
+        let a = dist_sums[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| dist_sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        acc += (b - a) / a.max(b);
+        counted += 1;
+    }
+    Some(acc / counted as f64)
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use kmeans_data::PointMatrix;
+
+    #[test]
+    fn ari_perfect_and_permuted() {
+        assert!((adjusted_rand_index(&[0, 0, 1, 1], &[3, 3, 9, 9]) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&[1, 1, 0, 0], &[3, 3, 9, 9]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_independent_is_near_zero() {
+        // Orthogonal split: ARI corrects for chance (plain Rand would not).
+        let pred = [0, 1, 0, 1, 0, 1, 0, 1];
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        assert!(adjusted_rand_index(&pred, &truth).abs() < 0.2);
+    }
+
+    #[test]
+    fn ari_worse_than_chance_is_negative() {
+        // Maximally crossed small partitions can dip below zero.
+        let pred = [0, 1, 0, 1];
+        let truth = [0, 0, 1, 1];
+        assert!(adjusted_rand_index(&pred, &truth) <= 0.0);
+    }
+
+    #[test]
+    fn ari_degenerate_single_cluster_both() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]), 1.0);
+    }
+
+    #[test]
+    fn silhouette_separated_vs_merged() {
+        // Two tight, far-apart blobs.
+        let mut m = PointMatrix::new(1);
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            m.push(&[i as f64 * 0.01]).unwrap();
+            labels.push(0u32);
+        }
+        for i in 0..20 {
+            m.push(&[100.0 + i as f64 * 0.01]).unwrap();
+            labels.push(1u32);
+        }
+        let good = silhouette_sampled(&m, &labels, 40, 1).unwrap();
+        assert!(good > 0.95, "separated blobs scored {good}");
+        // Random labels on the same data score much lower.
+        let mut rng = kmeans_util::Rng::new(2);
+        let random: Vec<u32> = (0..40).map(|_| rng.range_usize(2) as u32).collect();
+        let bad = silhouette_sampled(&m, &random, 40, 1).unwrap();
+        assert!(bad < good - 0.5, "random labels scored {bad} vs {good}");
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_none() {
+        let m = PointMatrix::from_flat(vec![0.0, 1.0, 2.0], 1).unwrap();
+        assert!(silhouette_sampled(&m, &[0, 0, 0], 3, 0).is_none());
+    }
+
+    #[test]
+    fn silhouette_sampling_is_deterministic() {
+        let mut m = PointMatrix::new(1);
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            m.push(&[(i % 10) as f64 * 10.0]).unwrap();
+            labels.push((i % 10 >= 5) as u32);
+        }
+        let a = silhouette_sampled(&m, &labels, 20, 7);
+        let b = silhouette_sampled(&m, &labels, 20, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silhouette_handles_singleton_clusters() {
+        let m = PointMatrix::from_flat(vec![0.0, 0.1, 50.0], 1).unwrap();
+        let s = silhouette_sampled(&m, &[0, 0, 1], 3, 0).unwrap();
+        assert!(s.is_finite());
+    }
+}

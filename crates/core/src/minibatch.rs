@@ -1,0 +1,181 @@
+//! Mini-batch k-means (Sculley, WWW 2010 — reference \[31] of the paper).
+//!
+//! The paper's related-work section cites Sculley's web-scale k-means as a
+//! batch-oriented modification of Lloyd's iteration; its conclusion asks
+//! whether "such modifications can also be efficiently parallelized". This
+//! module provides the algorithm as an extension: each step samples a small
+//! uniform batch, assigns it to the current centers, and moves each center
+//! toward the batch members assigned to it with a per-center learning rate
+//! `1 / (total points seen by that center)`.
+//!
+//! It pairs naturally with k-means|| seeding: the seeding pays a handful of
+//! full passes to place the centers well, after which mini-batch steps
+//! refine them touching only `O(batch · iters)` points.
+
+use crate::distance::nearest;
+use crate::error::KMeansError;
+use kmeans_data::PointMatrix;
+use kmeans_util::Rng;
+
+/// Configuration for mini-batch refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MiniBatchConfig {
+    /// Points sampled (with replacement) per step.
+    pub batch_size: usize,
+    /// Number of steps.
+    pub iterations: usize,
+}
+
+impl Default for MiniBatchConfig {
+    fn default() -> Self {
+        MiniBatchConfig {
+            batch_size: 1_024,
+            iterations: 100,
+        }
+    }
+}
+
+/// Runs mini-batch k-means from the given initial centers.
+///
+/// Returns the refined centers. Deterministic per seed.
+///
+/// # Errors
+///
+/// Fails on empty input, mismatched dimensions, or a zero batch/iteration
+/// configuration.
+pub fn minibatch_kmeans(
+    points: &PointMatrix,
+    initial_centers: &PointMatrix,
+    config: &MiniBatchConfig,
+    seed: u64,
+) -> Result<PointMatrix, KMeansError> {
+    if points.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if initial_centers.is_empty() {
+        return Err(KMeansError::InvalidK {
+            k: 0,
+            n: points.len(),
+        });
+    }
+    if points.dim() != initial_centers.dim() {
+        return Err(KMeansError::DimensionMismatch {
+            expected: points.dim(),
+            got: initial_centers.dim(),
+        });
+    }
+    if config.batch_size == 0 || config.iterations == 0 {
+        return Err(KMeansError::InvalidConfig(
+            "batch_size and iterations must be positive".into(),
+        ));
+    }
+
+    let mut centers = initial_centers.clone();
+    let mut seen = vec![0u64; centers.len()];
+    let mut rng = Rng::derive(seed, &[40]);
+    let mut batch = vec![0usize; config.batch_size];
+    for _ in 0..config.iterations {
+        for slot in &mut batch {
+            *slot = rng.range_usize(points.len());
+        }
+        // Assign against frozen centers, then apply the gradient steps
+        // (Sculley's two-phase step avoids order dependence within a batch).
+        let assigned: Vec<usize> = batch
+            .iter()
+            .map(|&i| nearest(points.row(i), &centers).0)
+            .collect();
+        for (&i, &c) in batch.iter().zip(&assigned) {
+            seen[c] += 1;
+            let eta = 1.0 / seen[c] as f64;
+            let row = points.row(i);
+            let center = centers.row_mut(c);
+            for (slot, &x) in center.iter_mut().zip(row) {
+                *slot += eta * (x - *slot);
+            }
+        }
+    }
+    Ok(centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::potential;
+    use kmeans_par::Executor;
+
+    fn blobs() -> PointMatrix {
+        let mut m = PointMatrix::new(1);
+        let mut rng = Rng::new(99);
+        for c in [0.0, 100.0, 200.0] {
+            for _ in 0..300 {
+                m.push(&[c + rng.normal()]).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn improves_a_poor_initialization() {
+        let points = blobs();
+        let init = PointMatrix::from_flat(vec![40.0, 50.0, 60.0], 1).unwrap();
+        let exec = Executor::sequential();
+        let before = potential(&points, &init, &exec);
+        let refined = minibatch_kmeans(
+            &points,
+            &init,
+            &MiniBatchConfig {
+                batch_size: 128,
+                iterations: 200,
+            },
+            7,
+        )
+        .unwrap();
+        let after = potential(&points, &refined, &exec);
+        assert!(
+            after < before / 10.0,
+            "mini-batch did not improve: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn approaches_true_centers_on_separated_blobs() {
+        let points = blobs();
+        let init = PointMatrix::from_flat(vec![10.0, 110.0, 190.0], 1).unwrap();
+        let refined = minibatch_kmeans(&points, &init, &MiniBatchConfig::default(), 3).unwrap();
+        let mut got: Vec<f64> = refined.rows().map(|r| r[0]).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, t) in got.iter().zip([0.0, 100.0, 200.0]) {
+            assert!((g - t).abs() < 2.0, "center {g} vs true {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let points = blobs();
+        let init = PointMatrix::from_flat(vec![0.0, 100.0, 200.0], 1).unwrap();
+        let a = minibatch_kmeans(&points, &init, &MiniBatchConfig::default(), 5).unwrap();
+        let b = minibatch_kmeans(&points, &init, &MiniBatchConfig::default(), 5).unwrap();
+        assert_eq!(a, b);
+        let c = minibatch_kmeans(&points, &init, &MiniBatchConfig::default(), 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let points = blobs();
+        let init = PointMatrix::from_flat(vec![0.0], 1).unwrap();
+        assert!(minibatch_kmeans(&PointMatrix::new(1), &init, &MiniBatchConfig::default(), 0)
+            .is_err());
+        let bad = MiniBatchConfig {
+            batch_size: 0,
+            iterations: 1,
+        };
+        assert!(minibatch_kmeans(&points, &init, &bad, 0).is_err());
+        let wrong_dim = PointMatrix::from_flat(vec![0.0, 0.0], 2).unwrap();
+        assert!(
+            minibatch_kmeans(&points, &wrong_dim, &MiniBatchConfig::default(), 0).is_err()
+        );
+        assert!(minibatch_kmeans(&points, &PointMatrix::new(1), &MiniBatchConfig::default(), 0)
+            .is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! The end-to-end pipeline: initialization followed by Lloyd's iteration,
+//! behind a builder API.
+//!
+//! ```
+//! use kmeans_core::model::KMeans;
+//! use kmeans_data::synth::GaussMixture;
+//!
+//! let synth = GaussMixture::new(10).points(2_000).generate(1).unwrap();
+//! let model = KMeans::params(10)
+//!     .seed(42)
+//!     .fit(synth.dataset.points())
+//!     .unwrap();
+//! assert_eq!(model.centers().len(), 10);
+//! assert!(model.cost() > 0.0);
+//! ```
+
+use crate::error::KMeansError;
+use crate::init::{InitMethod, InitStats};
+use crate::lloyd::{lloyd, IterationStats, LloydConfig};
+use kmeans_data::PointMatrix;
+use kmeans_par::{Executor, Parallelism};
+
+/// Builder for a k-means run (defaults follow the paper's recommendation:
+/// k-means|| seeding with `ℓ = 2k`, `r = 5`, then Lloyd to stability).
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    k: usize,
+    init: InitMethod,
+    lloyd: LloydConfig,
+    seed: u64,
+    parallelism: Parallelism,
+    shard_size: Option<usize>,
+}
+
+impl KMeans {
+    /// Starts a builder for `k` clusters.
+    pub fn params(k: usize) -> Self {
+        KMeans {
+            k,
+            init: InitMethod::default(),
+            lloyd: LloydConfig::default(),
+            seed: 0,
+            parallelism: Parallelism::Auto,
+            shard_size: None,
+        }
+    }
+
+    /// Selects the initialization method.
+    pub fn init(mut self, init: InitMethod) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Caps the number of Lloyd iterations.
+    pub fn max_iterations(mut self, max: usize) -> Self {
+        self.lloyd.max_iterations = max;
+        self
+    }
+
+    /// Sets the relative-improvement stopping tolerance (0 = run to
+    /// assignment stability).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.lloyd.tol = tol;
+        self
+    }
+
+    /// Sets the random seed. Runs are bit-reproducible per seed (and
+    /// independent of the worker count).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the execution parallelism.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Overrides the logical shard size (part of the reproducibility key).
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = Some(shard_size);
+        self
+    }
+
+    /// Builds the executor this configuration implies.
+    fn executor(&self) -> Executor {
+        let exec = Executor::new(self.parallelism);
+        match self.shard_size {
+            Some(s) => exec.with_shard_size(s),
+            None => exec,
+        }
+    }
+
+    /// Runs initialization + Lloyd on `points`.
+    pub fn fit(&self, points: &PointMatrix) -> Result<KMeansModel, KMeansError> {
+        let exec = self.executor();
+        let init = self.init.run(points, self.k, self.seed, &exec)?;
+        let result = lloyd(points, &init.centers, &self.lloyd, &exec)?;
+        Ok(KMeansModel {
+            centers: result.centers,
+            labels: result.labels,
+            cost: result.cost,
+            init_stats: init.stats,
+            iterations: result.iterations,
+            converged: result.converged,
+            history: result.history,
+        })
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Clone, Debug)]
+pub struct KMeansModel {
+    centers: PointMatrix,
+    labels: Vec<u32>,
+    cost: f64,
+    init_stats: InitStats,
+    iterations: usize,
+    converged: bool,
+    history: Vec<IterationStats>,
+}
+
+impl KMeansModel {
+    /// The fitted centers (`k × d`).
+    pub fn centers(&self) -> &PointMatrix {
+        &self.centers
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Training-set assignment.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Final training potential (the "final" columns of Tables 1–2).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Seeding accounting (seed cost, candidate count, passes).
+    pub fn init_stats(&self) -> &InitStats {
+        &self.init_stats
+    }
+
+    /// Lloyd iterations executed (the Table 6 quantity).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether Lloyd converged before the iteration cap.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Per-iteration history.
+    pub fn history(&self) -> &[IterationStats] {
+        &self.history
+    }
+
+    /// Number of training points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.centers.len()];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Assigns new points to the fitted centers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `points` has a different dimensionality than the model.
+    pub fn predict(&self, points: &PointMatrix) -> Result<Vec<u32>, KMeansError> {
+        if points.dim() != self.centers.dim() {
+            return Err(KMeansError::DimensionMismatch {
+                expected: self.centers.dim(),
+                got: points.dim(),
+            });
+        }
+        Ok(points
+            .rows()
+            .map(|row| crate::distance::nearest(row, &self.centers).0 as u32)
+            .collect())
+    }
+
+    /// Potential of new points under the fitted centers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `points` has a different dimensionality than the model.
+    pub fn cost_of(&self, points: &PointMatrix) -> Result<f64, KMeansError> {
+        if points.dim() != self.centers.dim() {
+            return Err(KMeansError::DimensionMismatch {
+                expected: self.centers.dim(),
+                got: points.dim(),
+            });
+        }
+        Ok(points
+            .rows()
+            .map(|row| crate::distance::nearest(row, &self.centers).1)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::KMeansParallelConfig;
+
+    fn blobs() -> PointMatrix {
+        let mut m = PointMatrix::new(2);
+        for (cx, cy) in [(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)] {
+            for i in 0..60 {
+                m.push(&[cx + (i % 8) as f64 * 0.1, cy + (i / 8) as f64 * 0.1])
+                    .unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fit_produces_consistent_model() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .seed(1)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        assert_eq!(model.k(), 3);
+        assert_eq!(model.labels().len(), points.len());
+        assert!(model.converged());
+        assert!(model.iterations() >= 1);
+        assert!(!model.history().is_empty());
+        // Final cost must not exceed the seed cost (Lloyd only improves).
+        assert!(model.cost() <= model.init_stats().seed_cost + 1e-9);
+        // Each blob in its own cluster → tiny final cost.
+        assert!(model.cost() < 100.0, "cost {}", model.cost());
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed_and_parallelism_invariant() {
+        let points = blobs();
+        let fit = |par: Parallelism| {
+            KMeans::params(3)
+                .seed(9)
+                .parallelism(par)
+                .shard_size(32)
+                .fit(&points)
+                .unwrap()
+        };
+        let a = fit(Parallelism::Sequential);
+        let b = fit(Parallelism::Threads(3));
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.centers(), b.centers());
+        assert_eq!(a.cost().to_bits(), b.cost().to_bits());
+    }
+
+    #[test]
+    fn all_init_methods_work_through_the_pipeline() {
+        let points = blobs();
+        for init in [
+            InitMethod::Random,
+            InitMethod::KMeansPlusPlus,
+            InitMethod::KMeansParallel(KMeansParallelConfig::default()),
+        ] {
+            let model = KMeans::params(3)
+                .init(init.clone())
+                .seed(11)
+                .parallelism(Parallelism::Sequential)
+                .fit(&points)
+                .unwrap();
+            assert_eq!(model.k(), 3, "{init:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .seed(6)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        let sizes = model.cluster_sizes();
+        assert_eq!(sizes.len(), 3);
+        assert_eq!(sizes.iter().sum::<u64>(), points.len() as u64);
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest_center() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .seed(2)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        let queries = PointMatrix::from_flat(vec![1.0, 1.0, 49.0, 1.0], 2).unwrap();
+        let labels = model.predict(&queries).unwrap();
+        assert_eq!(labels.len(), 2);
+        assert_ne!(labels[0], labels[1]);
+        let cost = model.cost_of(&queries).unwrap();
+        assert!(cost > 0.0 && cost < 50.0);
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dim() {
+        let points = blobs();
+        let model = KMeans::params(2)
+            .seed(3)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        let wrong = PointMatrix::from_flat(vec![1.0], 1).unwrap();
+        assert!(model.predict(&wrong).is_err());
+        assert!(model.cost_of(&wrong).is_err());
+    }
+
+    #[test]
+    fn invalid_k_propagates() {
+        let points = blobs();
+        assert!(matches!(
+            KMeans::params(0).fit(&points),
+            Err(KMeansError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            KMeans::params(points.len() + 1).fit(&points),
+            Err(KMeansError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn max_iterations_and_tol_are_plumbed() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .init(InitMethod::Random)
+            .max_iterations(1)
+            .seed(4)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        assert_eq!(model.iterations(), 1);
+        let model = KMeans::params(3)
+            .tol(0.9)
+            .seed(4)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        assert!(model.converged());
+    }
+}

@@ -1,0 +1,165 @@
+//! Datasets: a point matrix plus optional ground-truth labels.
+
+use crate::error::DataError;
+use crate::matrix::PointMatrix;
+
+/// A named collection of points with optional ground-truth cluster labels.
+///
+/// Labels are available for all synthetic generators (the generating mixture
+/// component) and are used only for *evaluation* (NMI/purity in
+/// `kmeans-core::metrics`) — never by the clustering algorithms themselves.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    name: String,
+    points: PointMatrix,
+    labels: Option<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Creates an unlabeled dataset.
+    pub fn new(name: impl Into<String>, points: PointMatrix) -> Self {
+        Dataset {
+            name: name.into(),
+            points,
+            labels: None,
+        }
+    }
+
+    /// Creates a labeled dataset; the label count must match the point count.
+    pub fn with_labels(
+        name: impl Into<String>,
+        points: PointMatrix,
+        labels: Vec<u32>,
+    ) -> Result<Self, DataError> {
+        if labels.len() != points.len() {
+            return Err(DataError::LabelCountMismatch {
+                points: points.len(),
+                labels: labels.len(),
+            });
+        }
+        Ok(Dataset {
+            name: name.into(),
+            points,
+            labels: Some(labels),
+        })
+    }
+
+    /// The dataset's name (used in experiment reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The points.
+    pub fn points(&self) -> &PointMatrix {
+        &self.points
+    }
+
+    /// Ground-truth labels, if any.
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    /// Number of distinct ground-truth labels (0 if unlabeled).
+    pub fn n_classes(&self) -> usize {
+        match &self.labels {
+            None => 0,
+            Some(l) => {
+                let mut seen: Vec<u32> = l.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len()
+            }
+        }
+    }
+
+    /// Builds a new dataset from the rows at `indices` (labels follow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            points: self.points.select(indices),
+            labels: self
+                .labels
+                .as_ref()
+                .map(|l| indices.iter().map(|&i| l[i]).collect()),
+        }
+    }
+
+    /// Decomposes the dataset into its parts.
+    pub fn into_parts(self) -> (String, PointMatrix, Option<Vec<u32>>) {
+        (self.name, self.points, self.labels)
+    }
+}
+
+/// A synthetic dataset along with the ground truth that generated it.
+#[derive(Clone, Debug)]
+pub struct SyntheticDataset {
+    /// The generated points (with component labels).
+    pub dataset: Dataset,
+    /// The true component centers used by the generator.
+    pub true_centers: PointMatrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_points() -> PointMatrix {
+        PointMatrix::from_flat(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], 2).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = Dataset::new("toy", small_points());
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+        assert!(d.labels().is_none());
+        assert_eq!(d.n_classes(), 0);
+    }
+
+    #[test]
+    fn labels_must_match_len() {
+        assert!(Dataset::with_labels("t", small_points(), vec![0, 1]).is_err());
+        let d = Dataset::with_labels("t", small_points(), vec![0, 1, 0]).unwrap();
+        assert_eq!(d.labels().unwrap(), &[0, 1, 0]);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn select_carries_labels() {
+        let d = Dataset::with_labels("t", small_points(), vec![5, 6, 7]).unwrap();
+        let s = d.select(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points().row(0), &[2.0, 2.0]);
+        assert_eq!(s.labels().unwrap(), &[7, 5]);
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let d = Dataset::with_labels("t", small_points(), vec![1, 2, 3]).unwrap();
+        let (name, points, labels) = d.into_parts();
+        assert_eq!(name, "t");
+        assert_eq!(points.len(), 3);
+        assert_eq!(labels.unwrap(), vec![1, 2, 3]);
+    }
+}

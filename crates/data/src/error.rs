@@ -1,0 +1,109 @@
+//! Error type for dataset construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by the data layer.
+#[derive(Debug)]
+pub enum DataError {
+    /// A row's dimensionality differs from the matrix's.
+    DimensionMismatch {
+        /// Dimensionality of the container.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        got: usize,
+    },
+    /// An operation that requires data was given none.
+    Empty,
+    /// A flat buffer's length is not a multiple of the dimension.
+    RaggedBuffer {
+        /// Buffer length supplied.
+        len: usize,
+        /// Dimension supplied.
+        dim: usize,
+    },
+    /// The number of labels does not match the number of points.
+    LabelCountMismatch {
+        /// Number of points.
+        points: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// An invalid generator or transform parameter.
+    InvalidParam(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A CSV cell failed to parse.
+    Parse {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            DataError::Empty => write!(f, "operation requires a non-empty dataset"),
+            DataError::RaggedBuffer { len, dim } => {
+                write!(f, "flat buffer of length {len} is not a multiple of dim {dim}")
+            }
+            DataError::LabelCountMismatch { points, labels } => {
+                write!(f, "{labels} labels for {points} points")
+            }
+            DataError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(DataError::Empty.to_string().contains("non-empty"));
+        let e = DataError::Parse {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let io = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let io = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+        assert!(DataError::Empty.source().is_none());
+    }
+}

@@ -1,0 +1,445 @@
+//! Minimal CSV reader/writer for numeric datasets.
+//!
+//! Hand-rolled on purpose (no external parser dependency): the format we
+//! need is plain comma-separated floats with an optional final label column
+//! and an optional header row — the shape of the UCI files the paper uses.
+//! Reading is buffered and allocation-light (one reused line buffer).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::matrix::PointMatrix;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// How to interpret the last column when reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// All columns are features.
+    None,
+    /// The last column is an integer class label.
+    Last,
+}
+
+/// Reads a dataset from a CSV file.
+///
+/// A header row is auto-detected: if the first non-empty line contains any
+/// cell that does not parse as a float, it is treated as a header and
+/// skipped.
+pub fn read_csv(path: impl AsRef<Path>, labels: LabelColumn) -> Result<Dataset, DataError> {
+    let file = File::open(&path)?;
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    read_csv_from(BufReader::new(file), &name, labels)
+}
+
+/// Reads a dataset from any buffered reader (exposed for tests and piping).
+pub fn read_csv_from(
+    reader: impl Read,
+    name: &str,
+    labels: LabelColumn,
+) -> Result<Dataset, DataError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut points: Option<PointMatrix> = None;
+    let mut label_vec: Vec<u32> = Vec::new();
+    let mut row: Vec<f64> = Vec::new();
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        row.clear();
+        let mut parse_failed = false;
+        for cell in trimmed.split(',') {
+            match cell.trim().parse::<f64>() {
+                Ok(v) => row.push(v),
+                Err(_) => {
+                    parse_failed = true;
+                    break;
+                }
+            }
+        }
+        if parse_failed {
+            // Only the first data-bearing line may fail to parse (header).
+            if points.is_none() && label_vec.is_empty() {
+                continue;
+            }
+            return Err(DataError::Parse {
+                line: line_no,
+                message: format!("unparseable numeric row: {trimmed:.40}"),
+            });
+        }
+        let (features, label) = match labels {
+            LabelColumn::None => (row.as_slice(), None),
+            LabelColumn::Last => {
+                if row.is_empty() {
+                    return Err(DataError::Parse {
+                        line: line_no,
+                        message: "label column requested but row is empty".into(),
+                    });
+                }
+                let (feats, lab) = row.split_at(row.len() - 1);
+                (feats, Some(lab[0]))
+            }
+        };
+        if features.is_empty() {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: "row has no feature columns".into(),
+            });
+        }
+        let matrix = points.get_or_insert_with(|| PointMatrix::new(features.len()));
+        matrix.push(features).map_err(|_| DataError::Parse {
+            line: line_no,
+            message: format!(
+                "row has {} features, expected {}",
+                features.len(),
+                matrix.dim()
+            ),
+        })?;
+        if let Some(lab) = label {
+            if lab < 0.0 || lab.fract() != 0.0 || lab > u32::MAX as f64 {
+                return Err(DataError::Parse {
+                    line: line_no,
+                    message: format!("label {lab} is not a non-negative integer"),
+                });
+            }
+            label_vec.push(lab as u32);
+        }
+    }
+
+    let points = points.ok_or(DataError::Empty)?;
+    match labels {
+        LabelColumn::None => Ok(Dataset::new(name, points)),
+        LabelColumn::Last => Dataset::with_labels(name, points, label_vec),
+    }
+}
+
+/// Writes a dataset as CSV. Labels, when present, become the final column.
+pub fn write_csv(path: impl AsRef<Path>, dataset: &Dataset) -> Result<(), DataError> {
+    let file = File::create(path)?;
+    write_csv_to(BufWriter::new(file), dataset)
+}
+
+/// Writes a dataset as CSV to any writer.
+pub fn write_csv_to(mut writer: impl Write, dataset: &Dataset) -> Result<(), DataError> {
+    let labels = dataset.labels();
+    for (i, row) in dataset.points().rows().enumerate() {
+        let mut first = true;
+        for &v in row {
+            if !first {
+                writer.write_all(b",")?;
+            }
+            first = false;
+            // Ryu-style shortest formatting is what `{}` gives for f64.
+            write!(writer, "{v}")?;
+        }
+        if let Some(l) = labels {
+            write!(writer, ",{}", l[i])?;
+        }
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let points =
+            PointMatrix::from_flat(vec![1.5, -2.0, 0.0, 3.25, 1e10, -0.5], 2).unwrap();
+        Dataset::with_labels("toy", points, vec![0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_labels() {
+        let original = toy_dataset();
+        let mut buf = Vec::new();
+        write_csv_to(&mut buf, &original).unwrap();
+        let read = read_csv_from(buf.as_slice(), "toy", LabelColumn::Last).unwrap();
+        assert_eq!(read.points(), original.points());
+        assert_eq!(read.labels(), original.labels());
+    }
+
+    #[test]
+    fn round_trip_without_labels() {
+        let points = PointMatrix::from_flat(vec![0.125, 7.0], 2).unwrap();
+        let original = Dataset::new("x", points);
+        let mut buf = Vec::new();
+        write_csv_to(&mut buf, &original).unwrap();
+        let read = read_csv_from(buf.as_slice(), "x", LabelColumn::None).unwrap();
+        assert_eq!(read.points(), original.points());
+        assert!(read.labels().is_none());
+    }
+
+    #[test]
+    fn header_rows_are_skipped() {
+        let csv = "alpha,beta\n1.0,2.0\n3.0,4.0\n";
+        let d = read_csv_from(csv.as_bytes(), "h", LabelColumn::None).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.points().row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let csv = "1,2\n\n3,4\n\n";
+        let d = read_csv_from(csv.as_bytes(), "b", LabelColumn::None).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn mid_file_garbage_is_an_error() {
+        let csv = "1,2\nnot,numbers\n";
+        let err = read_csv_from(csv.as_bytes(), "g", LabelColumn::None).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn ragged_rows_are_an_error() {
+        let csv = "1,2\n3,4,5\n";
+        let err = read_csv_from(csv.as_bytes(), "r", LabelColumn::None).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_labels_are_an_error() {
+        let csv = "1,2,0.5\n";
+        let err = read_csv_from(csv.as_bytes(), "l", LabelColumn::Last).unwrap_err();
+        assert!(matches!(err, DataError::Parse { .. }), "{err}");
+        let csv = "1,2,-1\n";
+        assert!(read_csv_from(csv.as_bytes(), "l", LabelColumn::Last).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let err = read_csv_from("".as_bytes(), "e", LabelColumn::None).unwrap_err();
+        assert!(matches!(err, DataError::Empty));
+        // Header only, no data.
+        let err = read_csv_from("a,b\n".as_bytes(), "e", LabelColumn::None).unwrap_err();
+        assert!(matches!(err, DataError::Empty));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kmeans_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        let original = toy_dataset();
+        write_csv(&path, &original).unwrap();
+        let read = read_csv(&path, LabelColumn::Last).unwrap();
+        assert_eq!(read.points(), original.points());
+        assert_eq!(read.name(), "toy");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_csv("/nonexistent/nope.csv", LabelColumn::None).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+}
+
+/// Reads a dataset in LIBSVM/SVMlight sparse format:
+/// `label index:value index:value ...` per line, 1-based feature indices.
+///
+/// The dimensionality is the largest feature index seen (or `min_dim` if
+/// larger); absent features are zero. Labels are parsed as integers
+/// (truncated from float labels like `+1.0`); negative labels are mapped
+/// to distinct non-negative classes by sign (`-1 → 0`, `+1 → 1`) when the
+/// label set is exactly `{-1, +1}`, otherwise labels must be non-negative.
+pub fn read_libsvm_from(
+    reader: impl Read,
+    name: &str,
+    min_dim: usize,
+) -> Result<Dataset, DataError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut max_index = min_dim;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a token");
+        let label: f64 = label_tok.parse().map_err(|_| DataError::Parse {
+            line: line_no,
+            message: format!("bad label '{label_tok}'"),
+        })?;
+        if label.fract() != 0.0 {
+            return Err(DataError::Parse {
+                line: line_no,
+                message: format!("non-integer label {label}"),
+            });
+        }
+        let mut row: Vec<(usize, f64)> = Vec::new();
+        for pair in parts {
+            let (idx_s, val_s) = pair.split_once(':').ok_or_else(|| DataError::Parse {
+                line: line_no,
+                message: format!("expected index:value, got '{pair}'"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| DataError::Parse {
+                line: line_no,
+                message: format!("bad feature index '{idx_s}'"),
+            })?;
+            if idx == 0 {
+                return Err(DataError::Parse {
+                    line: line_no,
+                    message: "feature indices are 1-based".into(),
+                });
+            }
+            let val: f64 = val_s.parse().map_err(|_| DataError::Parse {
+                line: line_no,
+                message: format!("bad feature value '{val_s}'"),
+            })?;
+            max_index = max_index.max(idx);
+            row.push((idx, val));
+        }
+        rows.push(row);
+        raw_labels.push(label as i64);
+    }
+    if rows.is_empty() || max_index == 0 {
+        return Err(DataError::Empty);
+    }
+
+    // Map labels to u32: the common {-1,+1} binary convention, else
+    // require non-negative.
+    let mut distinct: Vec<i64> = raw_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let labels: Vec<u32> = if distinct == vec![-1, 1] {
+        raw_labels.iter().map(|&l| (l > 0) as u32).collect()
+    } else if let Some(&bad) = distinct.iter().find(|&&l| l < 0 || l > u32::MAX as i64) {
+        return Err(DataError::Parse {
+            line: 0,
+            message: format!("label {bad} out of range (expected {{-1,+1}} or >= 0)"),
+        });
+    } else {
+        raw_labels.iter().map(|&l| l as u32).collect()
+    };
+
+    let mut points = PointMatrix::with_capacity(max_index, rows.len());
+    let mut dense = vec![0.0f64; max_index];
+    for row in rows {
+        dense.iter_mut().for_each(|v| *v = 0.0);
+        for (idx, val) in row {
+            dense[idx - 1] = val;
+        }
+        points.push(&dense)?;
+    }
+    Dataset::with_labels(name, points, labels)
+}
+
+/// Reads a LIBSVM-format file (see [`read_libsvm_from`]).
+pub fn read_libsvm(path: impl AsRef<Path>, min_dim: usize) -> Result<Dataset, DataError> {
+    let file = File::open(&path)?;
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "libsvm".to_string());
+    read_libsvm_from(BufReader::new(file), &name, min_dim)
+}
+
+#[cfg(test)]
+mod libsvm_tests {
+    use super::*;
+
+    #[test]
+    fn parses_sparse_rows_densely() {
+        let text = "1 1:0.5 3:2.0\n0 2:-1.5\n# comment\n\n2 1:1 2:2 3:3\n";
+        let d = read_libsvm_from(text.as_bytes(), "t", 0).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.points().row(0), &[0.5, 0.0, 2.0]);
+        assert_eq!(d.points().row(1), &[0.0, -1.5, 0.0]);
+        assert_eq!(d.points().row(2), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.labels().unwrap(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn binary_plus_minus_one_labels() {
+        let text = "-1 1:1\n+1 2:1\n-1 1:2\n";
+        let d = read_libsvm_from(text.as_bytes(), "t", 0).unwrap();
+        assert_eq!(d.labels().unwrap(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn min_dim_pads_features() {
+        let text = "0 1:1\n";
+        let d = read_libsvm_from(text.as_bytes(), "t", 5).unwrap();
+        assert_eq!(d.dim(), 5);
+        assert_eq!(d.points().row(0), &[1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            read_libsvm_from("x 1:1\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            read_libsvm_from("0 1-1\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+        assert!(matches!(
+            read_libsvm_from("0 0:1\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+        assert!(matches!(
+            read_libsvm_from("0 1:abc\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+        assert!(matches!(
+            read_libsvm_from("1.5 1:1\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+        assert!(matches!(
+            read_libsvm_from("-3 1:1\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Parse { .. }
+        ));
+        assert!(matches!(
+            read_libsvm_from("".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Empty
+        ));
+        // Rows with no features at all (all-zero dim) are Empty.
+        assert!(matches!(
+            read_libsvm_from("0\n1\n".as_bytes(), "t", 0).unwrap_err(),
+            DataError::Empty
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kmeans_libsvm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.svm");
+        std::fs::write(&path, "0 1:1.25\n1 2:3\n").unwrap();
+        let d = read_libsvm(&path, 0).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.name(), "toy");
+        std::fs::remove_file(path).unwrap();
+    }
+}

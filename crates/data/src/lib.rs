@@ -1,0 +1,36 @@
+//! Dense point storage, synthetic dataset generators, and CSV I/O.
+//!
+//! This crate is the data substrate for the *Scalable K-Means++*
+//! reproduction. The paper evaluates on three datasets (§4.1):
+//!
+//! 1. **GaussMixture** — synthetic; `k` centers drawn from a spherical
+//!    Gaussian `N(0, R·I)` in 15 dimensions (`R ∈ {1, 10, 100}`), with
+//!    unit-variance Gaussian clusters around each center and `n = 10 000`
+//!    sampled points. Implemented faithfully in [`synth::GaussMixture`].
+//! 2. **Spam** — UCI Spambase, 4 601 points × 58 dimensions. The raw file
+//!    is not redistributable/offline-fetchable, so [`synth::SpamLike`]
+//!    generates a statistical stand-in with the properties that drive the
+//!    paper's results (zero-inflated frequency features plus a few
+//!    heavy-tailed "capital run length" dimensions that dominate the
+//!    clustering potential). See DESIGN.md §2 for the substitution argument.
+//! 3. **KDDCup1999** — 4.8 M points × 42 dimensions of network-connection
+//!    records, dominated by a few massive DoS traffic classes with rare
+//!    attack classes far away in feature space. [`synth::KddLike`]
+//!    reproduces that structure at any scale.
+//!
+//! Storage is a flat row-major [`PointMatrix`] (`Vec<f64>`), the layout the
+//! distance kernels in `kmeans-core` are written against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod io;
+pub mod matrix;
+pub mod synth;
+pub mod transform;
+
+pub use dataset::Dataset;
+pub use error::DataError;
+pub use matrix::PointMatrix;

@@ -1,0 +1,234 @@
+//! The GaussMixture workload of §4.1.
+//!
+//! > "we sampled k centers from a 15-dimensional spherical Gaussian
+//! > distribution with mean at the origin and variance R ∈ {1, 10, 100}.
+//! > We then added points from Gaussian distributions of unit variance
+//! > around each center. [...] The number of sampled points from this
+//! > mixture of Gaussians is n = 10,000."
+//!
+//! With unit-variance clusters in `d = 15` dimensions, the optimal
+//! clustering cost is ≈ `n · d` (each point contributes ≈ `d` in expected
+//! squared distance to its component center), i.e. ≈ 1.5 × 10⁵ for the
+//! paper's parameters — exactly the scale of the "14 × 10⁴" entries in
+//! Table 1. The separation between components grows with `R`, which is what
+//! makes `Random` initialization collapse for `R = 100` while D²-weighted
+//! seeding keeps working.
+
+use crate::dataset::{Dataset, SyntheticDataset};
+use crate::error::DataError;
+use crate::matrix::PointMatrix;
+use kmeans_util::Rng;
+
+/// Generator for the paper's synthetic Gaussian-mixture workload.
+///
+/// Defaults match §4.1: `dim = 15`, `n = 10 000`, unit cluster variance,
+/// equal component weights.
+///
+/// ```
+/// use kmeans_data::synth::GaussMixture;
+/// let synth = GaussMixture::new(50).center_variance(10.0).generate(42).unwrap();
+/// assert_eq!(synth.dataset.len(), 10_000);
+/// assert_eq!(synth.dataset.dim(), 15);
+/// assert_eq!(synth.true_centers.len(), 50);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GaussMixture {
+    k: usize,
+    dim: usize,
+    n: usize,
+    center_variance: f64,
+    cluster_variance: f64,
+}
+
+impl GaussMixture {
+    /// Creates a generator for a mixture of `k` spherical Gaussians with the
+    /// paper's defaults.
+    pub fn new(k: usize) -> Self {
+        GaussMixture {
+            k,
+            dim: 15,
+            n: 10_000,
+            center_variance: 1.0,
+            cluster_variance: 1.0,
+        }
+    }
+
+    /// Sets the dimensionality (paper: 15).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Sets the number of sampled points (paper: 10 000).
+    pub fn points(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the variance `R` of the center distribution (paper: 1, 10, 100).
+    pub fn center_variance(mut self, r: f64) -> Self {
+        self.center_variance = r;
+        self
+    }
+
+    /// Sets the within-cluster variance (paper: 1).
+    pub fn cluster_variance(mut self, v: f64) -> Self {
+        self.cluster_variance = v;
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Result<SyntheticDataset, DataError> {
+        if self.k == 0 {
+            return Err(DataError::InvalidParam("k must be positive".into()));
+        }
+        if self.dim == 0 {
+            return Err(DataError::InvalidParam("dim must be positive".into()));
+        }
+        if self.n == 0 {
+            return Err(DataError::InvalidParam("n must be positive".into()));
+        }
+        if self.center_variance <= 0.0 || self.cluster_variance < 0.0 {
+            return Err(DataError::InvalidParam(
+                "variances must be positive".into(),
+            ));
+        }
+
+        // Component centers: N(0, R·I)  ⇒  per-coordinate std = sqrt(R).
+        let center_std = self.center_variance.sqrt();
+        let mut center_rng = Rng::derive(seed, &[0]);
+        let mut centers = PointMatrix::with_capacity(self.dim, self.k);
+        let mut buf = vec![0.0; self.dim];
+        for _ in 0..self.k {
+            center_rng.fill_normal(&mut buf);
+            for v in &mut buf {
+                *v *= center_std;
+            }
+            centers.push(&buf)?;
+        }
+
+        // Points: equal-weight mixture, unit-variance (by default) spherical
+        // Gaussian around the chosen component center.
+        let cluster_std = self.cluster_variance.sqrt();
+        let mut point_rng = Rng::derive(seed, &[1]);
+        let mut points = PointMatrix::with_capacity(self.dim, self.n);
+        let mut labels = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let comp = point_rng.range_usize(self.k);
+            labels.push(comp as u32);
+            let c = centers.row(comp);
+            for (v, &cj) in buf.iter_mut().zip(c) {
+                *v = cj; // reset from previous iteration, then add noise below
+            }
+            for v in buf.iter_mut() {
+                *v += cluster_std * point_rng.normal();
+            }
+            points.push(&buf)?;
+        }
+
+        let name = format!(
+            "gauss-mixture(k={},d={},n={},R={})",
+            self.k, self.dim, self.n, self.center_variance
+        );
+        Ok(SyntheticDataset {
+            dataset: Dataset::with_labels(name, points, labels)?,
+            true_centers: centers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_parameters() {
+        let s = GaussMixture::new(5)
+            .dim(3)
+            .points(200)
+            .generate(7)
+            .unwrap();
+        assert_eq!(s.dataset.len(), 200);
+        assert_eq!(s.dataset.dim(), 3);
+        assert_eq!(s.true_centers.len(), 5);
+        assert_eq!(s.true_centers.dim(), 3);
+        assert_eq!(s.dataset.labels().unwrap().len(), 200);
+        assert!(s.dataset.labels().unwrap().iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GaussMixture::new(3).points(50).generate(1).unwrap();
+        let b = GaussMixture::new(3).points(50).generate(1).unwrap();
+        assert_eq!(a.dataset.points(), b.dataset.points());
+        assert_eq!(a.true_centers, b.true_centers);
+        let c = GaussMixture::new(3).points(50).generate(2).unwrap();
+        assert_ne!(a.dataset.points(), c.dataset.points());
+    }
+
+    #[test]
+    fn center_spread_scales_with_r() {
+        // Mean squared center norm should be ≈ d·R.
+        for r in [1.0, 100.0] {
+            let s = GaussMixture::new(200).center_variance(r).generate(3).unwrap();
+            let msq: f64 = s
+                .true_centers
+                .rows()
+                .map(|c| c.iter().map(|v| v * v).sum::<f64>())
+                .sum::<f64>()
+                / 200.0;
+            let expected = 15.0 * r;
+            assert!(
+                (msq - expected).abs() < 0.2 * expected,
+                "R={r}: mean sq norm {msq}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn points_cluster_around_their_center() {
+        let s = GaussMixture::new(4)
+            .dim(10)
+            .points(4000)
+            .center_variance(400.0) // well-separated
+            .generate(11)
+            .unwrap();
+        let labels = s.dataset.labels().unwrap();
+        // Average squared distance of each point to its own component
+        // center should be ≈ dim (unit variance per coordinate).
+        let mut total = 0.0;
+        for (i, row) in s.dataset.points().rows().enumerate() {
+            let c = s.true_centers.row(labels[i] as usize);
+            total += row
+                .iter()
+                .zip(c)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        let avg = total / 4000.0;
+        assert!((avg - 10.0).abs() < 1.0, "avg within-cluster sq dist {avg}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(GaussMixture::new(0).generate(0).is_err());
+        assert!(GaussMixture::new(2).dim(0).generate(0).is_err());
+        assert!(GaussMixture::new(2).points(0).generate(0).is_err());
+        assert!(GaussMixture::new(2).center_variance(0.0).generate(0).is_err());
+        assert!(GaussMixture::new(2).cluster_variance(-1.0).generate(0).is_err());
+    }
+
+    #[test]
+    fn zero_cluster_variance_puts_points_on_centers() {
+        let s = GaussMixture::new(2)
+            .dim(2)
+            .points(20)
+            .cluster_variance(0.0)
+            .generate(5)
+            .unwrap();
+        let labels = s.dataset.labels().unwrap();
+        for (i, row) in s.dataset.points().rows().enumerate() {
+            assert_eq!(row, s.true_centers.row(labels[i] as usize));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Dataset transformations: sampling, normalization, splitting.
+//!
+//! The paper's Figure 5.1 uses "a 10% sample of KDDCup1999" —
+//! [`subsample`] provides exactly that (uniform without replacement).
+//! Normalizers are included for downstream users; note the paper clusters
+//! the *raw* features (scale effects are part of its story), so the
+//! experiment harness never normalizes.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::matrix::PointMatrix;
+use kmeans_util::sampling::uniform_distinct;
+use kmeans_util::Rng;
+
+/// Uniformly samples `fraction` of the dataset without replacement.
+///
+/// The sample size is `round(fraction · n)`, clamped to `[1, n]`.
+pub fn subsample(dataset: &Dataset, fraction: f64, seed: u64) -> Result<Dataset, DataError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(DataError::InvalidParam(format!(
+            "fraction {fraction} not in [0, 1]"
+        )));
+    }
+    if dataset.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let n = dataset.len();
+    let m = ((fraction * n as f64).round() as usize).clamp(1, n);
+    let mut rng = Rng::derive(seed, &[4]);
+    let indices = uniform_distinct(n, m, &mut rng);
+    Ok(dataset.select(&indices))
+}
+
+/// Splits a dataset into two disjoint parts with `left_fraction` of the
+/// points (at least one point on each side when possible).
+pub fn split(
+    dataset: &Dataset,
+    left_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), DataError> {
+    if !(0.0..=1.0).contains(&left_fraction) {
+        return Err(DataError::InvalidParam(format!(
+            "fraction {left_fraction} not in [0, 1]"
+        )));
+    }
+    let n = dataset.len();
+    if n < 2 {
+        return Err(DataError::InvalidParam(
+            "split needs at least two points".into(),
+        ));
+    }
+    let m = ((left_fraction * n as f64).round() as usize).clamp(1, n - 1);
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = Rng::derive(seed, &[5]);
+    rng.shuffle(&mut indices);
+    let (left, right) = indices.split_at(m);
+    let mut left = left.to_vec();
+    let mut right = right.to_vec();
+    left.sort_unstable();
+    right.sort_unstable();
+    Ok((dataset.select(&left), dataset.select(&right)))
+}
+
+/// A fitted per-dimension affine normalizer: `x' = (x - shift) / scale`.
+#[derive(Clone, Debug)]
+pub struct Normalizer {
+    shift: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits a z-score normalizer (shift = mean, scale = std; constant
+    /// dimensions get scale 1 so they map to zero).
+    pub fn zscore(points: &PointMatrix) -> Result<Normalizer, DataError> {
+        if points.is_empty() {
+            return Err(DataError::Empty);
+        }
+        let d = points.dim();
+        let n = points.len() as f64;
+        let mean = points.centroid().expect("non-empty");
+        let mut var = vec![0.0; d];
+        for row in points.rows() {
+            for j in 0..d {
+                let diff = row[j] - mean[j];
+                var[j] += diff * diff;
+            }
+        }
+        let scale = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Normalizer { shift: mean, scale })
+    }
+
+    /// Fits a min-max normalizer to `[0, 1]` (constant dimensions map to 0).
+    pub fn minmax(points: &PointMatrix) -> Result<Normalizer, DataError> {
+        let (lo, hi) = points.bounds().ok_or(DataError::Empty)?;
+        let scale = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { h - l } else { 1.0 })
+            .collect();
+        Ok(Normalizer { shift: lo, scale })
+    }
+
+    /// Applies the normalizer, producing a new matrix.
+    pub fn apply(&self, points: &PointMatrix) -> Result<PointMatrix, DataError> {
+        if points.dim() != self.shift.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.shift.len(),
+                got: points.dim(),
+            });
+        }
+        let mut out = PointMatrix::with_capacity(points.dim(), points.len());
+        let mut buf = vec![0.0; points.dim()];
+        for row in points.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                buf[j] = (v - self.shift[j]) / self.scale[j];
+            }
+            out.push(&buf)?;
+        }
+        Ok(out)
+    }
+
+    /// Maps normalized coordinates back to the original space.
+    pub fn invert(&self, points: &PointMatrix) -> Result<PointMatrix, DataError> {
+        if points.dim() != self.shift.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.shift.len(),
+                got: points.dim(),
+            });
+        }
+        let mut out = PointMatrix::with_capacity(points.dim(), points.len());
+        let mut buf = vec![0.0; points.dim()];
+        for row in points.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                buf[j] = v * self.scale[j] + self.shift[j];
+            }
+            out.push(&buf)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut m = PointMatrix::new(2);
+        for i in 0..n {
+            m.push(&[i as f64, 2.0 * i as f64]).unwrap();
+        }
+        Dataset::with_labels("toy", m, (0..n as u32).collect()).unwrap()
+    }
+
+    #[test]
+    fn subsample_size_and_determinism() {
+        let d = toy(100);
+        let s = subsample(&d, 0.1, 7).unwrap();
+        assert_eq!(s.len(), 10);
+        let s2 = subsample(&d, 0.1, 7).unwrap();
+        assert_eq!(s.points(), s2.points());
+        let s3 = subsample(&d, 0.1, 8).unwrap();
+        assert_ne!(s.points(), s3.points());
+        // Labels follow their points.
+        for (i, row) in s.points().rows().enumerate() {
+            assert_eq!(row[0] as u32, s.labels().unwrap()[i]);
+        }
+    }
+
+    #[test]
+    fn subsample_edge_fractions() {
+        let d = toy(10);
+        assert_eq!(subsample(&d, 1.0, 0).unwrap().len(), 10);
+        assert_eq!(subsample(&d, 0.0, 0).unwrap().len(), 1); // clamped to 1
+        assert!(subsample(&d, 1.5, 0).is_err());
+        assert!(subsample(&toy(1), 0.5, 0).unwrap().len() == 1);
+    }
+
+    #[test]
+    fn split_is_disjoint_partition() {
+        let d = toy(50);
+        let (a, b) = split(&d, 0.3, 3).unwrap();
+        assert_eq!(a.len(), 15);
+        assert_eq!(b.len(), 35);
+        let mut all: Vec<u32> = a
+            .labels()
+            .unwrap()
+            .iter()
+            .chain(b.labels().unwrap())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_requires_two_points() {
+        assert!(split(&toy(1), 0.5, 0).is_err());
+        let (a, b) = split(&toy(2), 0.0, 0).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn zscore_normalizes_moments() {
+        let d = toy(100);
+        let norm = Normalizer::zscore(d.points()).unwrap();
+        let out = norm.apply(d.points()).unwrap();
+        let c = out.centroid().unwrap();
+        assert!(c.iter().all(|v| v.abs() < 1e-9), "centroid {c:?}");
+        // Unit variance per dimension.
+        let mut var = vec![0.0; 2];
+        for row in out.rows() {
+            for j in 0..2 {
+                var[j] += row[j] * row[j];
+            }
+        }
+        for v in &var {
+            assert!((v / 100.0 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zscore_constant_dimension() {
+        let m = PointMatrix::from_flat(vec![5.0, 1.0, 5.0, 2.0], 2).unwrap();
+        let norm = Normalizer::zscore(&m).unwrap();
+        let out = norm.apply(&m).unwrap();
+        assert_eq!(out.row(0)[0], 0.0);
+        assert_eq!(out.row(1)[0], 0.0);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_box() {
+        let m = PointMatrix::from_flat(vec![0.0, -10.0, 4.0, 10.0, 2.0, 0.0], 2).unwrap();
+        let norm = Normalizer::minmax(&m).unwrap();
+        let out = norm.apply(&m).unwrap();
+        let (lo, hi) = out.bounds().unwrap();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalizer_round_trips() {
+        let d = toy(20);
+        let norm = Normalizer::zscore(d.points()).unwrap();
+        let there = norm.apply(d.points()).unwrap();
+        let back = norm.invert(&there).unwrap();
+        for (orig, rec) in d.points().rows().zip(back.rows()) {
+            for (a, b) in orig.iter().zip(rec) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_checks_dimensions() {
+        let d = toy(5);
+        let norm = Normalizer::zscore(d.points()).unwrap();
+        let wrong = PointMatrix::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
+        assert!(norm.apply(&wrong).is_err());
+        assert!(norm.invert(&wrong).is_err());
+        assert!(Normalizer::zscore(&PointMatrix::new(2)).is_err());
+        assert!(Normalizer::minmax(&PointMatrix::new(2)).is_err());
+    }
+}

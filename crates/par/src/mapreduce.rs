@@ -1,0 +1,318 @@
+//! A single-machine model of the MapReduce realization of §3.5.
+//!
+//! The paper describes how each step of k-means|| maps onto MapReduce:
+//!
+//! > "Step 4 is very simple in MapReduce: each mapper can sample
+//! > independently [...] each mapper working on an input partition X′ ⊆ X
+//! > can compute φ_X′(C) and the reducer can simply add these values."
+//!
+//! This module provides that programming model — `map` over record shards,
+//! a deterministic sort-based shuffle, `reduce` per key — together with the
+//! accounting (records read, pairs shuffled, passes over the data) needed to
+//! reason about parallel running time the way Table 4 does. It is a *model*:
+//! map tasks really run in parallel on the shard executor, while the shuffle
+//! is an in-memory grouping.
+//!
+//! [`JobStats::model_time`] converts the accounting into an idealized
+//! cluster time (max over mappers + shuffle + reduce) so experiments can
+//! report "simulated cluster minutes" alongside measured wall time.
+
+use crate::executor::Executor;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Collects key/value pairs emitted by one map task.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Emits one intermediate pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Accounting for one MapReduce job.
+#[derive(Clone, Debug, Default)]
+pub struct JobStats {
+    /// Number of map tasks (shards).
+    pub map_tasks: usize,
+    /// Input records read by all mappers (one pass = `records_in` reads).
+    pub records_in: u64,
+    /// Intermediate pairs shuffled.
+    pub pairs_shuffled: u64,
+    /// Distinct keys seen by the reduce phase.
+    pub distinct_keys: usize,
+    /// Measured wall time of the (parallel) map phase.
+    pub map_wall: Duration,
+    /// Measured wall time of the shuffle (grouping) phase.
+    pub shuffle_wall: Duration,
+    /// Measured wall time of the (sequential) reduce phase.
+    pub reduce_wall: Duration,
+}
+
+impl JobStats {
+    /// Idealized cluster time for `mappers` parallel map slots:
+    /// `map_cpu / mappers + shuffle + reduce`, where `map_cpu` is estimated
+    /// as the measured parallel map wall time times the local worker count.
+    ///
+    /// This is the quantity Table 4 reasons about: Partition's reduce-side
+    /// input is ~1000× larger than k-means||'s, so its tail does not shrink
+    /// with more machines, while the k-means|| map phase scales linearly.
+    pub fn model_time(&self, local_workers: usize, mappers: usize) -> Duration {
+        let map_cpu = self.map_wall.as_secs_f64() * local_workers as f64;
+        let mapped = map_cpu / mappers.max(1) as f64;
+        Duration::from_secs_f64(
+            mapped + self.shuffle_wall.as_secs_f64() + self.reduce_wall.as_secs_f64(),
+        )
+    }
+
+    /// Merges accounting from a subsequent job in the same pipeline.
+    pub fn absorb(&mut self, other: &JobStats) {
+        self.map_tasks += other.map_tasks;
+        self.records_in += other.records_in;
+        self.pairs_shuffled += other.pairs_shuffled;
+        self.distinct_keys = self.distinct_keys.max(other.distinct_keys);
+        self.map_wall += other.map_wall;
+        self.shuffle_wall += other.shuffle_wall;
+        self.reduce_wall += other.reduce_wall;
+    }
+}
+
+/// Output of a MapReduce job: reduced pairs in key order, plus accounting.
+#[derive(Clone, Debug)]
+pub struct JobOutput<K, R> {
+    /// One entry per distinct key, in ascending key order.
+    pub results: Vec<(K, R)>,
+    /// Job accounting.
+    pub stats: JobStats,
+}
+
+/// Runs one MapReduce job over `records`.
+///
+/// * `map` is invoked once per record (with its global index) and may emit
+///   any number of intermediate pairs; mappers run in parallel per shard on
+///   `exec`.
+/// * The shuffle groups pairs by key deterministically: shard order is
+///   preserved within each key group, and keys are sorted (`BTreeMap`).
+/// * `reduce` is invoked once per distinct key with all its values.
+///
+/// ```
+/// use kmeans_par::{Executor, mapreduce::run};
+/// // Word-count over numbers: key = n % 3.
+/// let records: Vec<u64> = (0..100).collect();
+/// let exec = Executor::sequential();
+/// let out = run(&exec, &records, |_, &n, e| e.emit(n % 3, 1u64), |_, vs| vs.iter().sum::<u64>());
+/// assert_eq!(out.results, vec![(0, 34), (1, 33), (2, 33)]);
+/// ```
+pub fn run<I, K, V, R, M, F>(
+    exec: &Executor,
+    records: &[I],
+    map: M,
+    reduce: F,
+) -> JobOutput<K, R>
+where
+    I: Sync,
+    K: Ord + Send,
+    V: Send,
+    M: Fn(usize, &I, &mut Emitter<K, V>) + Sync,
+    F: Fn(&K, Vec<V>) -> R,
+{
+    let mut stats = JobStats {
+        map_tasks: exec.shard_spec().count(records.len()),
+        records_in: records.len() as u64,
+        ..JobStats::default()
+    };
+
+    let sw = kmeans_util::timing::Stopwatch::start();
+    let shard_outputs: Vec<Vec<(K, V)>> = exec.map_shards(records.len(), |_, range| {
+        let mut emitter = Emitter::new();
+        for i in range {
+            map(i, &records[i], &mut emitter);
+        }
+        emitter.pairs
+    });
+    stats.map_wall = sw.elapsed();
+
+    let sw = kmeans_util::timing::Stopwatch::start();
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for shard in shard_outputs {
+        stats.pairs_shuffled += shard.len() as u64;
+        for (k, v) in shard {
+            groups.entry(k).or_default().push(v);
+        }
+    }
+    stats.shuffle_wall = sw.elapsed();
+    stats.distinct_keys = groups.len();
+
+    let sw = kmeans_util::timing::Stopwatch::start();
+    let results: Vec<(K, R)> = groups
+        .into_iter()
+        .map(|(k, vs)| {
+            let r = reduce(&k, vs);
+            (k, r)
+        })
+        .collect();
+    stats.reduce_wall = sw.elapsed();
+
+    JobOutput { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Parallelism;
+
+    #[test]
+    fn word_count_style_job() {
+        let records: Vec<u32> = (0..1000).collect();
+        let exec = Executor::new(Parallelism::Threads(4)).with_shard_size(128);
+        let out = run(
+            &exec,
+            &records,
+            |_, &n, e| e.emit(n % 7, 1u64),
+            |_, vs| vs.iter().sum::<u64>(),
+        );
+        assert_eq!(out.results.len(), 7);
+        let total: u64 = out.results.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 1000);
+        // Keys arrive sorted.
+        for w in out.results.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(out.stats.records_in, 1000);
+        assert_eq!(out.stats.pairs_shuffled, 1000);
+        assert_eq!(out.stats.distinct_keys, 7);
+        assert_eq!(out.stats.map_tasks, 8); // ceil(1000/128)
+    }
+
+    #[test]
+    fn results_identical_across_parallelism() {
+        let records: Vec<u64> = (0..5000).map(|i| i * 31 % 97).collect();
+        let job = |exec: &Executor| {
+            run(
+                &exec.clone().with_shard_size(256),
+                &records,
+                |i, &r, e| e.emit(r % 10, (i as u64) ^ r),
+                |_, vs| vs.into_iter().fold(0u64, u64::wrapping_add),
+            )
+            .results
+        };
+        let reference = job(&Executor::sequential());
+        for threads in [2, 5] {
+            assert_eq!(job(&Executor::new(Parallelism::Threads(threads))), reference);
+        }
+    }
+
+    #[test]
+    fn value_order_within_key_is_record_order() {
+        // Deterministic shuffle: values for a key must arrive in global
+        // record order, regardless of which worker mapped which shard.
+        let records: Vec<u32> = (0..400).collect();
+        let exec = Executor::new(Parallelism::Threads(4)).with_shard_size(32);
+        let out = run(
+            &exec,
+            &records,
+            |i, _, e| e.emit((), i),
+            |_, vs| vs,
+        );
+        assert_eq!(out.results.len(), 1);
+        let order = &out.results[0].1;
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "values out of order");
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let exec = Executor::sequential();
+        let out = run(
+            &exec,
+            &[] as &[u8],
+            |_, _, e: &mut Emitter<u8, u8>| e.emit(0, 0),
+            |_, vs| vs.len(),
+        );
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.records_in, 0);
+        assert_eq!(out.stats.map_tasks, 0);
+    }
+
+    #[test]
+    fn mapper_may_emit_zero_or_many() {
+        let records = [1u32, 2, 3, 4];
+        let exec = Executor::sequential();
+        let out = run(
+            &exec,
+            &records,
+            |_, &n, e| {
+                for _ in 0..n {
+                    e.emit("k", n);
+                }
+            },
+            |_, vs| vs.len(),
+        );
+        assert_eq!(out.results, vec![("k", 10)]);
+        assert_eq!(out.stats.pairs_shuffled, 10);
+    }
+
+    #[test]
+    fn model_time_scales_map_phase() {
+        let stats = JobStats {
+            map_tasks: 100,
+            records_in: 1_000_000,
+            pairs_shuffled: 100,
+            distinct_keys: 1,
+            map_wall: Duration::from_secs(10),
+            shuffle_wall: Duration::from_secs(1),
+            reduce_wall: Duration::from_secs(1),
+        };
+        // 2 local workers → 20 s of map CPU. With 20 mappers: 1 + 1 + 1 = 3.
+        let t = stats.model_time(2, 20);
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-9);
+        // More mappers shrink only the map term.
+        let t2 = stats.model_time(2, 2000);
+        assert!((t2.as_secs_f64() - 2.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = JobStats {
+            map_tasks: 1,
+            records_in: 10,
+            pairs_shuffled: 5,
+            distinct_keys: 2,
+            map_wall: Duration::from_secs(1),
+            shuffle_wall: Duration::from_secs(1),
+            reduce_wall: Duration::from_secs(1),
+        };
+        let b = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.map_tasks, 2);
+        assert_eq!(a.records_in, 20);
+        assert_eq!(a.pairs_shuffled, 10);
+        assert_eq!(a.map_wall, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn emitter_len_and_empty() {
+        let mut e: Emitter<u8, u8> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(1, 2);
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Logical sharding of index ranges.
+//!
+//! A shard is a contiguous range of row indices. Shard boundaries are a
+//! function of the dataset size and the shard size only — *not* of the
+//! worker count — which is the cornerstone of the workspace's determinism
+//! guarantee (see the crate docs).
+
+use std::ops::Range;
+
+/// Default shard size: large enough to amortize dispatch, small enough to
+/// load-balance on a handful of cores.
+pub const DEFAULT_SHARD_SIZE: usize = 8_192;
+
+/// Fixed-size partitioning of `[0, n)` into contiguous shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    shard_size: usize,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            shard_size: DEFAULT_SHARD_SIZE,
+        }
+    }
+}
+
+impl ShardSpec {
+    /// Creates a spec with the given shard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size == 0`.
+    pub fn new(shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        ShardSpec { shard_size }
+    }
+
+    /// The shard size.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of shards covering `[0, n)` (0 when `n == 0`).
+    pub fn count(&self, n: usize) -> usize {
+        n.div_ceil(self.shard_size)
+    }
+
+    /// The index range of shard `shard` (the last shard may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= count(n)`.
+    pub fn range(&self, n: usize, shard: usize) -> Range<usize> {
+        let start = shard * self.shard_size;
+        assert!(start < n, "shard {shard} out of range for n={n}");
+        start..((start + self.shard_size).min(n))
+    }
+
+    /// Iterates over all shard ranges in order.
+    pub fn ranges(&self, n: usize) -> impl Iterator<Item = Range<usize>> + '_ {
+        let count = self.count(n);
+        (0..count).map(move |s| self.range(n, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_covers_exactly() {
+        let spec = ShardSpec::new(10);
+        assert_eq!(spec.count(0), 0);
+        assert_eq!(spec.count(1), 1);
+        assert_eq!(spec.count(10), 1);
+        assert_eq!(spec.count(11), 2);
+        assert_eq!(spec.count(100), 10);
+    }
+
+    #[test]
+    fn ranges_partition_the_domain() {
+        let spec = ShardSpec::new(7);
+        for n in [1usize, 6, 7, 8, 20, 49, 50] {
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for r in spec.ranges(n) {
+                assert_eq!(r.start, prev_end, "gap before {r:?}");
+                assert!(!r.is_empty());
+                assert!(r.len() <= 7);
+                covered += r.len();
+                prev_end = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn range_matches_ranges() {
+        let spec = ShardSpec::new(8);
+        let n = 30;
+        for (i, r) in spec.ranges(n).enumerate() {
+            assert_eq!(spec.range(n, i), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_out_of_bounds_panics() {
+        ShardSpec::new(8).range(8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_shard_size_panics() {
+        ShardSpec::new(0);
+    }
+
+    #[test]
+    fn default_is_documented_size() {
+        assert_eq!(ShardSpec::default().shard_size(), DEFAULT_SHARD_SIZE);
+    }
+}

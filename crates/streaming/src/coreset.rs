@@ -1,0 +1,296 @@
+//! A merge-reduce coreset tree in the spirit of **StreamKM++**
+//! (Ackermann, Lammersen, Märtens, Raupach, Sohler & Swierkot, ALENEX
+//! 2010 — the paper's reference \[1]).
+//!
+//! This is an *extension* beyond the paper's experiments: a second
+//! single-pass streaming comparator. Points arrive one at a time and fill a
+//! leaf bucket of size `2·coreset_size`; a full bucket is *reduced* to
+//! `coreset_size` weighted representatives (D²-sampled, weights = local
+//! assignment mass) and pushed up the tree, merging with any same-level
+//! bucket it meets — the classic merge-reduce scheme, so memory is
+//! `O(coreset_size · log(n / coreset_size))` and each point is touched
+//! `O(log n)` times in reduction work.
+//!
+//! At the end, [`CoresetTree::cluster`] runs weighted k-means++ over the
+//! surviving `O(coreset_size · log n)` representatives.
+
+use kmeans_core::distance::nearest;
+use kmeans_core::init::weighted_kmeanspp;
+use kmeans_core::KMeansError;
+use kmeans_data::PointMatrix;
+use kmeans_util::Rng;
+
+/// A weighted bucket at one level of the merge-reduce tree.
+#[derive(Clone, Debug)]
+struct Bucket {
+    level: usize,
+    points: PointMatrix,
+    weights: Vec<f64>,
+}
+
+/// Single-pass merge-reduce coreset builder.
+///
+/// ```
+/// use kmeans_streaming::CoresetTree;
+/// let mut tree = CoresetTree::new(2, 32, 7).unwrap();
+/// for i in 0..1000 {
+///     tree.insert(&[i as f64 % 10.0, 0.0]).unwrap();
+/// }
+/// let centers = tree.cluster(3).unwrap();
+/// assert_eq!(centers.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoresetTree {
+    dim: usize,
+    coreset_size: usize,
+    rng: Rng,
+    /// Open leaf buffer (unweighted raw points).
+    buffer: PointMatrix,
+    /// Closed buckets, at most one per level.
+    buckets: Vec<Bucket>,
+    seen: u64,
+}
+
+impl CoresetTree {
+    /// Creates a tree for `dim`-dimensional points with the given
+    /// per-bucket coreset size.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dim == 0` or `coreset_size == 0`.
+    pub fn new(dim: usize, coreset_size: usize, seed: u64) -> Result<Self, KMeansError> {
+        if dim == 0 {
+            return Err(KMeansError::InvalidConfig("dim must be positive".into()));
+        }
+        if coreset_size == 0 {
+            return Err(KMeansError::InvalidConfig(
+                "coreset_size must be positive".into(),
+            ));
+        }
+        Ok(CoresetTree {
+            dim,
+            coreset_size,
+            rng: Rng::derive(seed, &[70]),
+            buffer: PointMatrix::new(dim),
+            buckets: Vec::new(),
+            seen: 0,
+        })
+    }
+
+    /// Number of points consumed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current number of weighted representatives held across all levels
+    /// (excluding the open buffer).
+    pub fn representatives(&self) -> usize {
+        self.buckets.iter().map(|b| b.points.len()).sum()
+    }
+
+    /// Feeds one point into the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn insert(&mut self, point: &[f64]) -> Result<(), KMeansError> {
+        if point.len() != self.dim {
+            return Err(KMeansError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
+        }
+        self.buffer.push(point).expect("dim checked above");
+        self.seen += 1;
+        if self.buffer.len() >= 2 * self.coreset_size {
+            let full = std::mem::replace(&mut self.buffer, PointMatrix::new(self.dim));
+            let weights = vec![1.0; full.len()];
+            let reduced = self.reduce(&full, &weights);
+            self.push_bucket(Bucket {
+                level: 0,
+                points: reduced.0,
+                weights: reduced.1,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reduces a weighted set to `coreset_size` representatives: D²-sample
+    /// representatives with weighted k-means++, then move each input
+    /// point's weight onto its nearest representative.
+    fn reduce(&mut self, points: &PointMatrix, weights: &[f64]) -> (PointMatrix, Vec<f64>) {
+        if points.len() <= self.coreset_size {
+            return (points.clone(), weights.to_vec());
+        }
+        let reps = weighted_kmeanspp(points, weights, self.coreset_size, &mut self.rng)
+            .expect("coreset_size <= points.len() here");
+        let mut rep_weights = vec![0.0f64; reps.len()];
+        for (i, row) in points.rows().enumerate() {
+            rep_weights[nearest(row, &reps).0] += weights[i];
+        }
+        (reps, rep_weights)
+    }
+
+    /// Inserts a closed bucket, merging equal levels upward.
+    fn push_bucket(&mut self, mut bucket: Bucket) {
+        loop {
+            match self.buckets.iter().position(|b| b.level == bucket.level) {
+                None => {
+                    self.buckets.push(bucket);
+                    self.buckets.sort_by_key(|b| b.level);
+                    return;
+                }
+                Some(pos) => {
+                    let other = self.buckets.swap_remove(pos);
+                    let mut merged_points = other.points;
+                    merged_points
+                        .extend_from(&bucket.points)
+                        .expect("dims match");
+                    let mut merged_weights = other.weights;
+                    merged_weights.extend_from_slice(&bucket.weights);
+                    let (points, weights) = self.reduce(&merged_points, &merged_weights);
+                    bucket = Bucket {
+                        level: bucket.level + 1,
+                        points,
+                        weights,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The current weighted coreset (all levels plus the open buffer).
+    pub fn coreset(&self) -> (PointMatrix, Vec<f64>) {
+        let mut points = PointMatrix::new(self.dim);
+        let mut weights = Vec::new();
+        for b in &self.buckets {
+            points.extend_from(&b.points).expect("dims match");
+            weights.extend_from_slice(&b.weights);
+        }
+        points.extend_from(&self.buffer).expect("dims match");
+        weights.extend(std::iter::repeat(1.0).take(self.buffer.len()));
+        (points, weights)
+    }
+
+    /// Clusters the coreset into `k` centers with weighted k-means++.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `k` points have been streamed.
+    pub fn cluster(&self, k: usize) -> Result<PointMatrix, KMeansError> {
+        let (points, weights) = self.coreset();
+        if points.is_empty() {
+            return Err(KMeansError::EmptyInput);
+        }
+        if k == 0 || (k as u64) > self.seen {
+            return Err(KMeansError::InvalidK {
+                k,
+                n: self.seen as usize,
+            });
+        }
+        let mut rng = self.rng.clone();
+        if points.len() < k {
+            // Degenerate duplicate-heavy stream: replicate representatives.
+            let mut indices: Vec<usize> = (0..points.len()).collect();
+            while indices.len() < k {
+                indices.push(rng.range_usize(points.len()));
+            }
+            return Ok(points.select(&indices));
+        }
+        weighted_kmeanspp(&points, &weights, k, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::cost::potential;
+    use kmeans_par::Executor;
+
+    fn stream_blobs(tree: &mut CoresetTree, n_per: usize, centers: &[f64]) -> PointMatrix {
+        let mut all = PointMatrix::new(1);
+        let mut rng = Rng::new(1234);
+        // Interleave blobs so the stream is not sorted by cluster.
+        for i in 0..n_per {
+            for &c in centers {
+                let p = [c + rng.normal() * 0.01 + i as f64 * 1e-6];
+                tree.insert(&p).unwrap();
+                all.push(&p).unwrap();
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn memory_stays_logarithmic() {
+        let mut tree = CoresetTree::new(1, 16, 5).unwrap();
+        let _ = stream_blobs(&mut tree, 2_000, &[0.0, 100.0]);
+        assert_eq!(tree.seen(), 4_000);
+        // 4000 points / bucket 32 → 125 leaves → ~7 levels × 16 reps.
+        assert!(
+            tree.representatives() <= 16 * 10,
+            "representatives {}",
+            tree.representatives()
+        );
+    }
+
+    #[test]
+    fn clusters_the_stream_well() {
+        let mut tree = CoresetTree::new(1, 32, 6).unwrap();
+        let all = stream_blobs(&mut tree, 500, &[0.0, 1e4, 2e4]);
+        let centers = tree.cluster(3).unwrap();
+        assert_eq!(centers.len(), 3);
+        let phi = potential(&all, &centers, &Executor::sequential());
+        // Coverage of all three blobs → only within-blob noise remains.
+        assert!(phi < 10.0, "potential {phi}");
+    }
+
+    #[test]
+    fn coreset_weights_conserve_mass() {
+        let mut tree = CoresetTree::new(1, 8, 7).unwrap();
+        let _ = stream_blobs(&mut tree, 200, &[0.0, 5.0]);
+        let (points, weights) = tree.coreset();
+        assert_eq!(points.len(), weights.len());
+        let mass: f64 = weights.iter().sum();
+        assert!(
+            (mass - tree.seen() as f64).abs() < 1e-6,
+            "mass {mass} vs seen {}",
+            tree.seen()
+        );
+    }
+
+    #[test]
+    fn short_stream_round_trips() {
+        let mut tree = CoresetTree::new(2, 64, 8).unwrap();
+        for i in 0..5 {
+            tree.insert(&[i as f64, 0.0]).unwrap();
+        }
+        let centers = tree.cluster(5).unwrap();
+        assert_eq!(centers.len(), 5);
+        assert!(tree.cluster(6).is_err()); // k > seen
+    }
+
+    #[test]
+    fn duplicate_stream_replicates_representatives() {
+        let mut tree = CoresetTree::new(1, 4, 9).unwrap();
+        for _ in 0..100 {
+            tree.insert(&[3.0]).unwrap();
+        }
+        let centers = tree.cluster(3).unwrap();
+        assert_eq!(centers.len(), 3);
+        for c in centers.rows() {
+            assert_eq!(c[0], 3.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CoresetTree::new(0, 4, 0).is_err());
+        assert!(CoresetTree::new(2, 0, 0).is_err());
+        let mut tree = CoresetTree::new(2, 4, 0).unwrap();
+        assert!(tree.insert(&[1.0]).is_err());
+        assert!(tree.cluster(1).is_err()); // nothing streamed
+        tree.insert(&[1.0, 2.0]).unwrap();
+        assert!(tree.cluster(0).is_err());
+    }
+}

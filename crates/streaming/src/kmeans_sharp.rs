@@ -1,0 +1,161 @@
+//! k-means# (Ailon, Jaiswal & Monteleoni, 2009): the over-seeding
+//! subroutine inside the Partition baseline.
+//!
+//! The paper describes it as "a variant of k-means++ that selects 3 log k
+//! points in each iteration (traditional k-means++ selects only a single
+//! point)". Starting from one uniform center it runs `k` rounds, each
+//! drawing `⌈3·ln k⌉` points i.i.d. from the current D² distribution, for
+//! `O(k log k)` centers total and a constant-factor bicriteria guarantee.
+
+use kmeans_core::distance::sq_dist_bounded;
+use kmeans_core::KMeansError;
+use kmeans_data::PointMatrix;
+use kmeans_util::sampling::weighted_pick;
+use kmeans_util::Rng;
+
+/// Number of D² draws per round for a given `k`: `⌈3·ln k⌉`, at least 1.
+pub fn draws_per_round(k: usize) -> usize {
+    ((3.0 * (k as f64).ln()).ceil() as usize).max(1)
+}
+
+/// Runs k-means# on `points`, returning `O(k log k)` centers (duplicates
+/// collapsed — draws are i.i.d. so the same index can repeat within a
+/// round; repeats add nothing to a center *set*).
+///
+/// Sequential by design: Partition runs one instance per group, and the
+/// groups are what parallelize.
+pub fn kmeans_sharp(
+    points: &PointMatrix,
+    k: usize,
+    rng: &mut Rng,
+) -> Result<PointMatrix, KMeansError> {
+    if points.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if k == 0 {
+        return Err(KMeansError::InvalidK {
+            k,
+            n: points.len(),
+        });
+    }
+    let n = points.len();
+    let per_round = draws_per_round(k);
+
+    let first = rng.range_usize(n);
+    let mut chosen: Vec<usize> = vec![first];
+    let mut centers = points.select(&chosen);
+    let mut d2: Vec<f64> = points
+        .rows()
+        .map(|row| kmeans_core::distance::sq_dist(row, centers.row(0)))
+        .collect();
+    let mut total: f64 = d2.iter().sum();
+
+    for _round in 0..k {
+        if total <= 0.0 {
+            break; // all points coincide with a chosen center
+        }
+        // Draw i.i.d. from the round-frozen distribution (the algorithm
+        // updates D² only between rounds).
+        let mut round_new: Vec<usize> = Vec::with_capacity(per_round);
+        for _ in 0..per_round {
+            if let Some(idx) = weighted_pick(&d2, total, rng) {
+                round_new.push(idx);
+            }
+        }
+        round_new.sort_unstable();
+        round_new.dedup();
+        for &idx in &round_new {
+            if d2[idx] == 0.0 {
+                continue; // duplicate of an existing center value
+            }
+            centers.push(points.row(idx)).expect("dims match");
+            chosen.push(idx);
+            let new_center = points.row(idx).to_vec();
+            for (i, row) in points.rows().enumerate() {
+                let d = sq_dist_bounded(row, &new_center, d2[i]);
+                if d < d2[i] {
+                    total -= d2[i] - d;
+                    d2[i] = d;
+                }
+            }
+        }
+        // Guard against negative drift from the incremental total.
+        if total < 0.0 {
+            total = d2.iter().sum();
+        }
+    }
+    Ok(centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::cost::potential;
+    use kmeans_par::Executor;
+
+    fn blobs(n_per: usize, centers: &[f64]) -> PointMatrix {
+        let mut m = PointMatrix::new(1);
+        for &c in centers {
+            for i in 0..n_per {
+                m.push(&[c + i as f64 * 1e-3]).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn draws_per_round_formula() {
+        assert_eq!(draws_per_round(1), 1); // ln 1 = 0 → clamp
+        assert_eq!(draws_per_round(2), 3); // ceil(3·0.693) = 3
+        assert_eq!(draws_per_round(500), 19); // ceil(3·6.215)
+        assert_eq!(draws_per_round(1000), 21); // ceil(3·6.908)
+    }
+
+    #[test]
+    fn produces_order_k_log_k_centers() {
+        let points = blobs(500, &[0.0, 100.0, 200.0, 300.0]);
+        let k = 10;
+        let centers = kmeans_sharp(&points, k, &mut Rng::new(1)).unwrap();
+        let expected = 1 + k * draws_per_round(k); // upper bound (pre-dedup)
+        assert!(centers.len() > k, "too few: {}", centers.len());
+        assert!(
+            centers.len() <= expected,
+            "too many: {} > {expected}",
+            centers.len()
+        );
+    }
+
+    #[test]
+    fn covers_blobs_with_low_potential() {
+        let points = blobs(100, &[0.0, 1e4, 2e4, 3e4]);
+        let exec = Executor::sequential();
+        let centers = kmeans_sharp(&points, 4, &mut Rng::new(3)).unwrap();
+        // With ~4·3·ln4 ≈ 17 centers over 4 blobs, coverage is essentially
+        // certain; the residual is within-blob spread only.
+        let phi = potential(&points, &centers, &exec);
+        assert!(phi < 50.0, "potential {phi}");
+    }
+
+    #[test]
+    fn stops_early_when_everything_is_covered() {
+        let points = PointMatrix::from_flat(vec![1.0, 1.0, 2.0, 2.0], 1).unwrap();
+        let centers = kmeans_sharp(&points, 100, &mut Rng::new(2)).unwrap();
+        // Only 2 distinct values exist.
+        assert!(centers.len() <= 2, "centers {}", centers.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let points = blobs(50, &[0.0, 10.0]);
+        let a = kmeans_sharp(&points, 5, &mut Rng::new(7)).unwrap();
+        let b = kmeans_sharp(&points, 5, &mut Rng::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(kmeans_sharp(&PointMatrix::new(1), 2, &mut Rng::new(0)).is_err());
+        let points = blobs(5, &[0.0]);
+        assert!(kmeans_sharp(&points, 0, &mut Rng::new(0)).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Streaming k-means baselines.
+//!
+//! The paper compares k-means|| against **Partition**, "a recent one-pass
+//! streaming algorithm with performance guarantees" (Ailon, Jaiswal &
+//! Monteleoni, NIPS 2009), in Tables 3–5. This crate implements:
+//!
+//! * [`kmeans_sharp()`](fn@kmeans_sharp) — the **k-means#** subroutine: like k-means++ but
+//!   drawing `3⌈ln k⌉` points per round for `k` rounds, giving `O(k log k)`
+//!   centers and a constant-factor guarantee w.h.p.
+//! * [`partition`] — the **Partition** algorithm of §4.2.1: split the input
+//!   into `m = √(n/k)` groups, run k-means# in each group (parallelizable),
+//!   weight each group-center by its local assignment count, and recluster
+//!   the union with (vanilla, weighted) k-means++. Its intermediate set has
+//!   `≈ 3·m·k·ln k` centers — three orders of magnitude more than
+//!   k-means||'s `r·ℓ` (Table 5), which is exactly why it is slower
+//!   (Table 4).
+//! * [`coreset`] — a merge-reduce coreset tree in the spirit of StreamKM++
+//!   (Ackermann et al., ALENEX 2010 — the paper's reference \[1]); an
+//!   extension beyond the paper's experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coreset;
+pub mod kmeans_sharp;
+pub mod partition;
+
+pub use coreset::CoresetTree;
+pub use kmeans_sharp::kmeans_sharp;
+pub use partition::{partition_init, PartitionConfig, PartitionResult};

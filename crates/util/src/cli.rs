@@ -1,0 +1,149 @@
+//! A tiny `--key value` / `--flag` command-line parser (no external
+//! dependency; the workspace's binaries need a handful of knobs, not a
+//! CLI framework). Used by the experiment harness (`kmeans-bench`) and
+//! the `skm` command-line tool (`kmeans-cli`).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token list (exposed for tests).
+    pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                eprintln!("warning: ignoring stray argument '{token}'");
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    args.values.insert(name.to_string(), value);
+                }
+                _ => args.flags.push(name.to_string()),
+            }
+        }
+        args
+    }
+
+    /// Boolean flag presence (`--full`).
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String value with default.
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// `usize` value with default; panics with a clear message on garbage.
+    pub fn usize_or(&self, name: &str, default: usize) -> usize {
+        match self.values.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// `u64` value with default.
+    pub fn u64_or(&self, name: &str, default: u64) -> u64 {
+        match self.values.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// `f64` value with default.
+    pub fn f64_or(&self, name: &str, default: f64) -> f64 {
+        match self.values.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects a number, got '{v}'")),
+        }
+    }
+
+    /// Comma-separated `usize` list with default.
+    pub fn usize_list_or(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{name} expects integers, got '{s}'"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Comma-separated `f64` list with default.
+    pub fn f64_list_or(&self, name: &str, default: &[f64]) -> Vec<f64> {
+        match self.values.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{name} expects numbers, got '{s}'"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_tokens(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_flags_and_defaults() {
+        let a = parse("--runs 11 --full --seed 7 --ks 20,50,100");
+        assert_eq!(a.usize_or("runs", 3), 11);
+        assert_eq!(a.u64_or("seed", 0), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.usize_or("missing", 5), 5);
+        assert_eq!(a.usize_list_or("ks", &[1]), vec![20, 50, 100]);
+        assert_eq!(a.f64_list_or("ls", &[0.5, 2.0]), vec![0.5, 2.0]);
+        assert_eq!(a.str_or("mode", "bernoulli"), "bernoulli");
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--full --verbose --n 10");
+        assert!(a.flag("full"));
+        assert!(a.flag("verbose"));
+        assert_eq!(a.usize_or("n", 0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn garbage_integer_panics() {
+        parse("--runs abc").usize_or("runs", 1);
+    }
+}

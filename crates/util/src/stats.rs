@@ -1,0 +1,318 @@
+//! Streaming and batch statistics used by the experiment harness.
+//!
+//! Every table in the paper reports a *median* over 11 runs and Table 6 an
+//! *average* over 10 runs; the criterion-style summaries in EXPERIMENTS.md
+//! additionally report spread. This module provides the small set of
+//! estimators needed: Welford online moments, exact medians/percentiles, and
+//! a five-number summary.
+
+/// Numerically stable online mean/variance accumulator (Welford, 1962).
+///
+/// ```
+/// use kmeans_util::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] { s.push(x); }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.sample_variance(), 4.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n; 0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by n−1; 0 when fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel combine).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact median of a set of values. Returns `None` for an empty slice.
+///
+/// For an even count, the mean of the two central order statistics.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Linear-interpolated percentile `p ∈ [0, 100]` of a **sorted** slice.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if sorted.is_empty() {
+        return None;
+    }
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Five-number summary plus mean and standard deviation of a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes the summary. Returns `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Summary: NaN in input"));
+        let mut stats = OnlineStats::new();
+        for &v in values {
+            stats.push(v);
+        }
+        Some(Summary {
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 25.0)?,
+            median: percentile_sorted(&sorted, 50.0)?,
+            p75: percentile_sorted(&sorted, 75.0)?,
+            max: *sorted.last()?,
+            mean: stats.mean(),
+            std: stats.sample_std(),
+            count: values.len(),
+        })
+    }
+}
+
+/// Arithmetic mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.population_variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn online_stats_single_value() {
+        let mut s = OnlineStats::new();
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn online_stats_merge_empty_cases() {
+        let mut a = OnlineStats::new();
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        let mut c = OnlineStats::new();
+        c.push(2.0);
+        a.merge(&c);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0, 20.0, 30.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), Some(0.0));
+        assert_eq!(percentile_sorted(&sorted, 100.0), Some(30.0));
+        assert_eq!(percentile_sorted(&sorted, 50.0), Some(15.0));
+        assert_eq!(percentile_sorted(&sorted, 25.0), Some(7.5));
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        assert_eq!(percentile_sorted(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_bad_p() {
+        percentile_sorted(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_matches_manual() {
+        let s = Summary::from_values(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.count, 4);
+        assert!(Summary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

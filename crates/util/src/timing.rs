@@ -1,0 +1,69 @@
+//! Wall-clock timing helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+///
+/// ```
+/// use kmeans_util::timing::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed.as_nanos() < u128::MAX);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in fractional seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Formats a duration compactly for table output: `842ms`, `3.20s`, `2m06s`.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1.0 {
+        format!("{:.0}ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else {
+        let m = (secs / 60.0).floor();
+        format!("{m:.0}m{:02.0}s", secs - m * 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(842)), "842ms");
+        assert_eq!(format_duration(Duration::from_secs_f64(3.2)), "3.20s");
+        assert_eq!(format_duration(Duration::from_secs(126)), "2m06s");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the randomness/sampling/statistics substrate.
+
+use kmeans_util::sampling::{
+    uniform_distinct, weighted_distinct, weighted_pick, AliasSampler, CumulativeSampler,
+};
+use kmeans_util::stats::{median, percentile_sorted, OnlineStats, Summary};
+use kmeans_util::Rng;
+use proptest::prelude::*;
+
+/// Strategy: non-empty weight vectors with at least one positive entry.
+fn weight_vecs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 1..200).prop_filter(
+        "at least one positive weight",
+        |w| w.iter().any(|&x| x > 0.0),
+    )
+}
+
+proptest! {
+    #[test]
+    fn alias_table_encodes_exact_distribution(weights in weight_vecs()) {
+        // The alias table is not just "statistically close": the induced
+        // distribution (1/n)·prob[c] routed to c plus (1/n)·(1−prob[c])
+        // routed to alias[c] must reproduce the normalized weights exactly
+        // (up to fp error). We recover it by drawing with a stubbed RNG...
+        // simpler: measure via the public API against the cumulative
+        // sampler on a fine grid of outcomes.
+        let sampler = AliasSampler::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        // Exhaustively enumerate the table through sampling many draws is
+        // statistical; instead check structural invariants plus agreement
+        // of empirical mass on a modest budget for small inputs.
+        prop_assert_eq!(sampler.len(), weights.len());
+        let mut rng = Rng::new(17);
+        let draws = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            let i = sampler.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            counts[i] += 1;
+        }
+        // Zero-weight categories must never be drawn.
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                prop_assert_eq!(counts[i], 0, "zero-weight category {} drawn", i);
+            }
+        }
+        // The heaviest category's empirical mass is within 5 sigma.
+        let (argmax, &wmax) = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let p = wmax / total;
+        let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+        let emp = counts[argmax] as f64 / draws as f64;
+        prop_assert!((emp - p).abs() < 5.0 * sigma + 0.005,
+            "heaviest category off: emp={} p={}", emp, p);
+    }
+
+    #[test]
+    fn cumulative_never_returns_zero_weight(weights in weight_vecs(), seed in 0u64..1000) {
+        let sampler = CumulativeSampler::new(&weights).unwrap();
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let i = sampler.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight index {}", i);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_agrees_with_support(weights in weight_vecs(), seed in 0u64..1000) {
+        let total: f64 = weights.iter().sum();
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let i = weighted_pick(&weights, total, &mut rng).unwrap();
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_distinct_invariants(
+        weights in weight_vecs(),
+        m in 0usize..50,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let sel = weighted_distinct(&weights, m, &mut rng);
+        let positive = weights.iter().filter(|&&w| w > 0.0).count();
+        prop_assert_eq!(sel.len(), m.min(positive));
+        prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "not sorted/distinct");
+        prop_assert!(sel.iter().all(|&i| weights[i] > 0.0));
+    }
+
+    #[test]
+    fn uniform_distinct_invariants(n in 1usize..500, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let m = (n / 2).max(1);
+        let sel = uniform_distinct(n, m, &mut rng);
+        prop_assert_eq!(sel.len(), m);
+        prop_assert!(sel.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(sel.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn rng_range_is_in_bounds(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.range_u64(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_derive_deterministic(seed in any::<u64>(), tags in proptest::collection::vec(any::<u64>(), 0..5)) {
+        let mut a = Rng::derive(seed, &tags);
+        let mut b = Rng::derive(seed, &tags);
+        for _ in 0..10 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn median_lies_between_extremes(values in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let m = median(&values).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile_sorted(&sorted, p).unwrap();
+            prop_assert!(v >= prev, "percentile not monotone at p={}", p);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        if !xs.is_empty() {
+            prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+            prop_assert!(
+                (a.sample_variance() - whole.sample_variance()).abs()
+                    <= 1e-6 * (1.0 + whole.sample_variance().abs())
+            );
+        }
+    }
+
+    #[test]
+    fn summary_orders_quantiles(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::from_values(&values).unwrap();
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75);
+        prop_assert!(s.p75 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+}

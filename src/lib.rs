@@ -1,0 +1,68 @@
+//! # scalable-kmeans
+//!
+//! A from-scratch Rust reproduction of **"Scalable K-Means++"** (Bahmani,
+//! Moseley, Vattani, Kumar & Vassilvitskii, PVLDB 5(7), 2012) — the
+//! **k-means||** initialization algorithm, its baselines, and the full
+//! experimental evaluation.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`] (`kmeans-core`) | k-means\|\|, k-means++, Random seeding, Lloyd's iteration, mini-batch k-means, metrics, the [`KMeans`] pipeline |
+//! | [`data`] (`kmeans-data`) | `PointMatrix` storage, the GaussMixture / SpamLike / KddLike generators, CSV I/O |
+//! | [`par`] (`kmeans-par`) | deterministic shard executor + MapReduce-model simulator |
+//! | [`streaming`] (`kmeans-streaming`) | the Partition baseline (Ailon et al.), k-means#, a coreset tree |
+//! | [`util`] (`kmeans-util`) | portable RNG, weighted sampling, statistics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scalable_kmeans::prelude::*;
+//!
+//! // The paper's synthetic benchmark: 50 Gaussians in 15 dimensions.
+//! let synth = GaussMixture::new(50).center_variance(10.0).generate(42)?;
+//!
+//! // k-means|| seeding (ℓ = 2k, r = 5) followed by Lloyd's iteration.
+//! let model = KMeans::params(50).seed(7).fit(synth.dataset.points())?;
+//!
+//! println!("final cost      = {:.3e}", model.cost());
+//! println!("seed cost       = {:.3e}", model.init_stats().seed_cost);
+//! println!("lloyd iterations= {}", model.iterations());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Reproduce the paper's tables and figures with the `kmeans-bench`
+//! binaries (`cargo run -p kmeans-bench --release --bin table1`, …); see
+//! DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+//! results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kmeans_core as core;
+pub use kmeans_data as data;
+pub use kmeans_par as par;
+pub use kmeans_streaming as streaming;
+pub use kmeans_util as util;
+
+pub use kmeans_core::{
+    InitMethod, KMeans, KMeansError, KMeansModel, KMeansParallelConfig, LloydConfig,
+};
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use kmeans_core::init::{
+        InitMethod, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
+    };
+    pub use kmeans_core::lloyd::LloydConfig;
+    pub use kmeans_core::accel::{hamerly_lloyd, HamerlyResult};
+    pub use kmeans_core::metrics::{adjusted_rand_index, nmi, purity, silhouette_sampled};
+    pub use kmeans_core::model::{KMeans, KMeansModel};
+    pub use kmeans_core::KMeansError;
+    pub use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
+    pub use kmeans_data::{Dataset, PointMatrix};
+    pub use kmeans_par::{Executor, Parallelism};
+    pub use kmeans_streaming::partition::{partition_init, PartitionConfig};
+    pub use kmeans_util::Rng;
+}

@@ -1,0 +1,104 @@
+//! Cross-crate comparisons: k-means|| vs the streaming baselines
+//! (the Table 5 shape at test scale) and the coreset-tree extension.
+
+use scalable_kmeans::prelude::*;
+use scalable_kmeans::streaming::CoresetTree;
+
+#[test]
+fn intermediate_set_sizes_follow_table_5_ordering() {
+    // Partition's coreset must be far larger than k-means||'s candidate
+    // set at the same (n, k) — the mechanism behind its slower Table 4
+    // times.
+    let synth = KddLike::new(20_000).generate(4).unwrap();
+    let points = synth.dataset.points();
+    let k = 30;
+    let exec = Executor::new(Parallelism::Auto);
+
+    let partition = partition_init(points, k, &PartitionConfig::default(), 1, &exec).unwrap();
+    let parallel = InitMethod::default().run(points, k, 1, &exec).unwrap();
+    assert!(
+        partition.intermediate_centers > 10 * parallel.stats.candidates,
+        "Partition {} vs k-means|| {} intermediate centers",
+        partition.intermediate_centers,
+        parallel.stats.candidates
+    );
+}
+
+#[test]
+fn both_methods_beat_random_on_kdd_shape() {
+    let synth = KddLike::new(10_000).generate(6).unwrap();
+    let points = synth.dataset.points();
+    let k = 25;
+    let exec = Executor::new(Parallelism::Auto);
+    let seed_cost = |centers: &PointMatrix| {
+        scalable_kmeans::core::cost::potential(points, centers, &exec)
+    };
+
+    let partition = partition_init(points, k, &PartitionConfig::default(), 2, &exec).unwrap();
+    let parallel = InitMethod::default().run(points, k, 2, &exec).unwrap();
+    let random = InitMethod::Random.run(points, k, 2, &exec).unwrap();
+    let partition_cost = seed_cost(&partition.centers);
+    assert!(partition_cost < random.stats.seed_cost / 10.0);
+    assert!(parallel.stats.seed_cost < random.stats.seed_cost / 10.0);
+}
+
+#[test]
+fn coreset_tree_single_pass_is_competitive() {
+    // Stream a mixture through the coreset tree; its k centers should be
+    // within a small factor of the batch k-means|| result.
+    let synth = GaussMixture::new(10)
+        .points(20_000)
+        .center_variance(100.0)
+        .generate(8)
+        .unwrap();
+    let points = synth.dataset.points();
+    let exec = Executor::new(Parallelism::Auto);
+
+    let mut tree = CoresetTree::new(points.dim(), 200, 3).unwrap();
+    for row in points.rows() {
+        tree.insert(row).unwrap();
+    }
+    let stream_centers = tree.cluster(10).unwrap();
+    let stream_cost =
+        scalable_kmeans::core::cost::potential(points, &stream_centers, &exec);
+
+    let batch = KMeans::params(10).seed(3).fit(points).unwrap();
+    assert!(
+        stream_cost < 3.0 * batch.cost(),
+        "coreset clustering {stream_cost:.3e} vs batch {:.3e}",
+        batch.cost()
+    );
+    // Memory held stayed sublinear.
+    assert!(tree.representatives() < 2_000);
+}
+
+#[test]
+fn mapreduce_model_expresses_the_phi_aggregation() {
+    // §3.5: "each mapper working on an input partition X′ can compute
+    // φ_X′(C) and the reducer can simply add these values". Express exactly
+    // that with the MapReduce model and check it equals the direct pass.
+    use scalable_kmeans::par::mapreduce::run as mr_run;
+    let synth = GaussMixture::new(5).points(2_000).generate(9).unwrap();
+    let points = synth.dataset.points();
+    let centers = synth.true_centers.clone();
+    let exec = Executor::new(Parallelism::Auto).with_shard_size(256);
+
+    let records: Vec<usize> = (0..points.len()).collect();
+    let out = mr_run(
+        &exec,
+        &records,
+        |_, &i, emit| {
+            let d2 = scalable_kmeans::core::distance::nearest(points.row(i), &centers).1;
+            emit.emit((), d2);
+        },
+        |_, values| values.iter().sum::<f64>(),
+    );
+    let phi_mr = out.results[0].1;
+    let phi_direct = scalable_kmeans::core::cost::potential(points, &centers, &exec);
+    assert!(
+        (phi_mr - phi_direct).abs() < 1e-6 * phi_direct,
+        "MapReduce φ {phi_mr} vs direct {phi_direct}"
+    );
+    assert_eq!(out.stats.records_in, 2_000);
+    assert!(out.stats.map_tasks >= 2);
+}
