@@ -49,7 +49,10 @@ fn bench_lloyd_iteration(c: &mut Criterion) {
 
     // Hamerly pays off over full runs (bounds amortize across
     // iterations), so compare convergence runs rather than single steps.
-    let mut group = c.benchmark_group("lloyd_to_convergence_n16384_k50");
+    // The refiner-trait entries measure the same algorithms through the
+    // pipeline API (labels + cost + accounting included), alongside the
+    // mini-batch and seed-only refiners for the full refinement axis.
+    let mut group = c.benchmark_group("refine_to_convergence_n16384_k50");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
@@ -63,6 +66,26 @@ fn bench_lloyd_iteration(c: &mut Criterion) {
         let exec = Executor::sequential();
         b.iter(|| hamerly_lloyd(points, &init, &full, &exec).unwrap())
     });
+    use kmeans_core::minibatch::MiniBatchConfig;
+    use kmeans_core::pipeline::{HamerlyLloyd, Lloyd, MiniBatch, NoRefine, Refiner};
+    let refiners: Vec<(&str, Box<dyn Refiner>)> = vec![
+        ("refiner_lloyd", Box::new(Lloyd(full))),
+        ("refiner_hamerly", Box::new(HamerlyLloyd(full))),
+        (
+            "refiner_minibatch",
+            Box::new(MiniBatch(MiniBatchConfig {
+                batch_size: 1_024,
+                iterations: 100,
+            })),
+        ),
+        ("refiner_none", Box::new(NoRefine)),
+    ];
+    for (name, refiner) in refiners {
+        group.bench_function(name, |b| {
+            let exec = Executor::sequential();
+            b.iter(|| refiner.refine(points, None, &init, 1, &exec).unwrap())
+        });
+    }
     group.finish();
 }
 

@@ -71,5 +71,10 @@ fn bench_without_replacement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_builds, bench_draws, bench_without_replacement);
+criterion_group!(
+    benches,
+    bench_builds,
+    bench_draws,
+    bench_without_replacement
+);
 criterion_main!(benches);

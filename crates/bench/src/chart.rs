@@ -54,7 +54,7 @@ pub fn render_log_chart(title: &str, series: &[Series], width: usize, height: us
             let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
             let row = (((y.log10() - y_min) / y_span) * (height - 1) as f64).round() as usize;
             let row = height - 1 - row; // y grows upward
-            // First-come rendering; overlaps show the earlier series.
+                                        // First-come rendering; overlaps show the earlier series.
             if grid[row][col] == ' ' {
                 grid[row][col] = symbol;
             }
@@ -83,7 +83,9 @@ pub fn render_log_chart(title: &str, series: &[Series], width: usize, height: us
     out.push('\n');
     out.push_str(&format!(
         "{:>10}x: {} .. {}\n",
-        "", fmt_num(x_min), fmt_num(x_max)
+        "",
+        fmt_num(x_min),
+        fmt_num(x_max)
     ));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!(
@@ -97,9 +99,11 @@ pub fn render_log_chart(title: &str, series: &[Series], width: usize, height: us
 }
 
 fn min_max(values: &[f64]) -> (f64, f64) {
-    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    })
+    values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
 }
 
 fn fmt_num(v: f64) -> String {

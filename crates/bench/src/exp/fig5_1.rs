@@ -13,8 +13,8 @@
 //! `--mode bernoulli` switches to Bernoulli sampling (ablation A1).
 
 use super::{emit, parallel_seed_final};
-use crate::chart::{render_log_chart, Series};
 use crate::args::Args;
+use crate::chart::{render_log_chart, Series};
 use crate::format::{fmt_cost, Table};
 use crate::run::executor_from_threads;
 use kmeans_core::init::{SamplingMode, TopUp};

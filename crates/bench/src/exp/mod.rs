@@ -80,8 +80,8 @@ pub(crate) fn parallel_seed_final(
         let result = init
             .run(points, k, base_seed + r as u64, exec)
             .expect("valid sweep configuration");
-        let out = lloyd(points, &result.centers, lloyd_config, exec)
-            .expect("valid Lloyd configuration");
+        let out =
+            lloyd(points, &result.centers, lloyd_config, exec).expect("valid Lloyd configuration");
         seeds.push(result.stats.seed_cost);
         finals.push(out.cost);
     }
@@ -107,8 +107,8 @@ pub(crate) fn kmeanspp_seed_final(
         let result = InitMethod::KMeansPlusPlus
             .run(points, k, base_seed + r as u64, exec)
             .expect("valid configuration");
-        let out = lloyd(points, &result.centers, lloyd_config, exec)
-            .expect("valid Lloyd configuration");
+        let out =
+            lloyd(points, &result.centers, lloyd_config, exec).expect("valid Lloyd configuration");
         seeds.push(result.stats.seed_cost);
         finals.push(out.cost);
     }

@@ -72,10 +72,7 @@ pub fn run(args: &Args) -> Vec<Table> {
     );
 
     let methods = sequential_suite();
-    let mut rows: Vec<Vec<String>> = methods
-        .iter()
-        .map(|m| vec![m.label()])
-        .collect();
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.label()]).collect();
     for &r in &rs {
         eprintln!("[table1] generating GaussMixture R={r}");
         let synth = GaussMixture::new(k)

@@ -1,4 +1,5 @@
-//! `skm` — command-line k-means clustering with k-means|| seeding.
+//! `skm` — command-line k-means clustering with pluggable seeding and
+//! refinement (any `--init` composes with any `--refine`).
 //!
 //! Subcommands:
 //!
@@ -6,9 +7,12 @@
 //! skm generate --dataset gauss|spam|kdd --out data.csv [--n N] [--k K]
 //!              [--variance R] [--seed S] [--no-labels]
 //! skm fit      --input data.csv --k K --centers-out centers.csv
-//!              [--labels] [--init random|kmeans++|kmeans-par|afk-mc2]
-//!              [--factor F] [--rounds R] [--chain M] [--max-iters I]
-//!              [--tol T] [--seed S] [--threads T]
+//!              [--labels]
+//!              [--init random|kmeans++|kmeans-par|afk-mc2|partition|coreset]
+//!              [--refine lloyd|hamerly|minibatch|none]
+//!              [--factor F] [--rounds R] [--chain M] [--groups G]
+//!              [--coreset-size C] [--batch-size B] [--batch-iters I]
+//!              [--max-iters I] [--tol T] [--seed S] [--threads T]
 //!              [--assignments-out labels.csv]
 //! skm predict  --input new.csv --centers centers.csv --out labels.csv
 //! skm evaluate --input data.csv --centers centers.csv [--labels]
@@ -23,13 +27,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kmeans_core::init::{InitMethod, KMeansParallelConfig};
+use kmeans_core::init::KMeansParallelConfig;
+use kmeans_core::lloyd::LloydConfig;
 use kmeans_core::metrics::{adjusted_rand_index, nmi, purity, silhouette_sampled};
+use kmeans_core::minibatch::MiniBatchConfig;
 use kmeans_core::model::KMeans;
+use kmeans_core::pipeline;
 use kmeans_data::io::{read_csv, write_csv, LabelColumn};
 use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
 use kmeans_data::{Dataset, PointMatrix};
 use kmeans_par::Parallelism;
+use kmeans_streaming::partition::PartitionConfig;
 use kmeans_util::cli::Args;
 use std::fmt;
 use std::io::Write;
@@ -101,12 +109,23 @@ USAGE:
   skm generate --dataset gauss|spam|kdd --out FILE [--n N] [--k K]
                [--variance R] [--seed S] [--no-labels]
   skm fit      --input FILE --k K --centers-out FILE [--labels]
-               [--init random|kmeans++|kmeans-par|afk-mc2] [--factor F]
-               [--rounds R] [--chain M] [--max-iters I] [--tol T] [--seed S]
-               [--threads T] [--assignments-out FILE]
+               [--init random|kmeans++|kmeans-par|afk-mc2|partition|coreset]
+               [--refine lloyd|hamerly|minibatch|none]
+               [--factor F] [--rounds R]        (kmeans-par: l = F*k, R rounds)
+               [--chain M]                      (afk-mc2: Markov chain length)
+               [--groups G]                     (partition: group count, default sqrt(n/k))
+               [--coreset-size C]               (coreset: bucket size, default 200)
+               [--batch-size B] [--batch-iters I]  (minibatch refinement)
+               [--max-iters I]                  (lloyd/hamerly refinement)
+               [--tol T]                        (lloyd only: relative-improvement stop)
+               [--seed S] [--threads T] [--assignments-out FILE]
   skm predict  --input FILE --centers FILE --out FILE
   skm evaluate --input FILE --centers FILE [--labels] [--silhouette-sample N]
-  skm help"
+  skm help
+
+Every --init seeder composes with every --refine refiner; --refine none
+keeps the seed centers (seed-cost studies). Runs are deterministic per
+--seed for any --threads value."
 }
 
 fn require(args: &Args, name: &str) -> Result<String, CliError> {
@@ -171,31 +190,115 @@ fn parallelism(args: &Args) -> Parallelism {
     }
 }
 
-/// The seeding strategy: either an [`InitMethod`] handled by the pipeline
-/// or AFK-MC², which the pipeline does not wrap.
-enum Seeding {
-    Pipeline(InitMethod),
-    AfkMc2 {
-        chain_length: usize,
-    },
+/// Flag ownership for one pipeline axis: which stage values each
+/// stage-specific flag configures. One table per axis — extending a stage
+/// with a new flag means one new row here, nothing per match arm.
+type FlagOwners = &'static [(&'static str, &'static [&'static str], &'static str)];
+
+/// `--init` flags: (flag, owning values, display name for the error).
+const INIT_FLAGS: FlagOwners = &[
+    ("factor", &["kmeans-par"], "kmeans-par"),
+    ("rounds", &["kmeans-par"], "kmeans-par"),
+    ("chain", &["afk-mc2"], "afk-mc2"),
+    ("groups", &["partition"], "partition"),
+    ("coreset-size", &["coreset"], "coreset"),
+];
+
+/// `--refine` flags.
+const REFINE_FLAGS: FlagOwners = &[
+    ("max-iters", &["lloyd", "hamerly"], "lloyd|hamerly"),
+    // hamerly stops on assignment stability only (no exact per-iteration
+    // potential), so a tolerance belongs to lloyd alone.
+    ("tol", &["lloyd"], "lloyd"),
+    ("batch-size", &["minibatch"], "minibatch"),
+    ("batch-iters", &["minibatch"], "minibatch"),
+];
+
+/// Rejects stage-specific flags passed next to a stage they do not
+/// configure — silently dropping one would make e.g. a `--rounds` sweep
+/// against the wrong seeder produce identical outputs with no warning.
+fn reject_foreign_flags(
+    args: &Args,
+    axis: &str,
+    chosen: &str,
+    table: FlagOwners,
+) -> Result<(), CliError> {
+    for (flag, owners, display) in table {
+        if !owners.contains(&chosen) && !args.str_or(flag, "").is_empty() {
+            return Err(CliError::Usage(format!(
+                "--{flag} only applies to {axis} {display}, not '{chosen}'"
+            )));
+        }
+    }
+    Ok(())
 }
 
-fn init_method(args: &Args) -> Result<Seeding, CliError> {
-    let init = args.str_or("init", "kmeans-par");
+/// Installs the `--init` seeding stage on the builder. Every seeder in
+/// the workspace — core and streaming — is reachable here.
+fn apply_init(builder: KMeans, args: &Args) -> Result<KMeans, CliError> {
+    // Canonicalize synonyms first so the flag table matches one name.
+    let init = match args.str_or("init", "kmeans-par").as_str() {
+        "kmeanspp" => "kmeans++".to_string(),
+        "kmeans||" => "kmeans-par".to_string(),
+        "afkmc2" => "afk-mc2".to_string(),
+        other => other.to_string(),
+    };
+    reject_foreign_flags(args, "--init", &init, INIT_FLAGS)?;
     Ok(match init.as_str() {
-        "random" => Seeding::Pipeline(InitMethod::Random),
-        "kmeans++" | "kmeanspp" => Seeding::Pipeline(InitMethod::KMeansPlusPlus),
-        "kmeans-par" | "kmeans||" => Seeding::Pipeline(InitMethod::KMeansParallel(
+        "random" => builder.init(pipeline::Random),
+        "kmeans++" => builder.init(pipeline::KMeansPlusPlus),
+        "kmeans-par" => builder.init(pipeline::KMeansParallel(
             KMeansParallelConfig::default()
                 .oversampling_factor(args.f64_or("factor", 2.0))
                 .rounds(args.usize_or("rounds", 5)),
         )),
-        "afk-mc2" | "afkmc2" => Seeding::AfkMc2 {
+        "afk-mc2" => builder.init(pipeline::AfkMc2 {
             chain_length: args.usize_or("chain", 200),
-        },
+        }),
+        "partition" => builder.init(kmeans_streaming::Partition(PartitionConfig {
+            groups: match args.usize_or("groups", 0) {
+                0 if args.str_or("groups", "").is_empty() => None,
+                0 => {
+                    return Err(CliError::Usage(
+                        "--groups must be at least 1 (omit for the sqrt(n/k) default)".into(),
+                    ))
+                }
+                g => Some(g),
+            },
+        })),
+        "coreset" => builder.init(kmeans_streaming::Coreset {
+            coreset_size: args.usize_or("coreset-size", 200),
+        }),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown --init '{other}' (expected random|kmeans++|kmeans-par|afk-mc2)"
+                "unknown --init '{other}' \
+                 (expected random|kmeans++|kmeans-par|afk-mc2|partition|coreset)"
+            )))
+        }
+    })
+}
+
+/// Installs the `--refine` stage on the builder. Flags belonging to a
+/// different refiner are rejected rather than silently dropped (the same
+/// fail-loudly rule the builder applies to its own Lloyd knobs).
+fn apply_refine(builder: KMeans, args: &Args) -> Result<KMeans, CliError> {
+    let lloyd_config = LloydConfig {
+        max_iterations: args.usize_or("max-iters", 300),
+        tol: args.f64_or("tol", 0.0),
+    };
+    let refine = args.str_or("refine", "lloyd");
+    reject_foreign_flags(args, "--refine", &refine, REFINE_FLAGS)?;
+    Ok(match refine.as_str() {
+        "lloyd" => builder.refine(pipeline::Lloyd(lloyd_config)),
+        "hamerly" => builder.refine(pipeline::HamerlyLloyd(lloyd_config)),
+        "minibatch" => builder.refine(pipeline::MiniBatch(MiniBatchConfig {
+            batch_size: args.usize_or("batch-size", 1_024),
+            iterations: args.usize_or("batch-iters", 100),
+        })),
+        "none" => builder.refine(pipeline::NoRefine),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --refine '{other}' (expected lloyd|hamerly|minibatch|none)"
             )))
         }
     })
@@ -209,84 +312,38 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Usage("missing required --k".into()));
     }
     let data = read_csv(&input, label_mode(args))?;
-    let seed = args.u64_or("seed", 0);
     let builder = KMeans::params(k)
-        .max_iterations(args.usize_or("max-iters", 300))
-        .tol(args.f64_or("tol", 0.0))
-        .seed(seed)
+        .seed(args.u64_or("seed", 0))
         .parallelism(parallelism(args));
-    let model = match init_method(args)? {
-        Seeding::Pipeline(init) => builder.init(init).fit(data.points())?,
-        Seeding::AfkMc2 { chain_length } => {
-            // AFK-MC² seeds, then the standard Lloyd phase.
-            let exec = kmeans_par::Executor::new(parallelism(args));
-            let mut rng = kmeans_util::Rng::derive(seed, &[100]);
-            let centers = kmeans_core::init::afk_mc2(
-                data.points(),
-                k,
-                chain_length,
-                &mut rng,
-                &exec,
-            )?;
-            let lloyd = kmeans_core::lloyd::lloyd(
-                data.points(),
-                &centers,
-                &kmeans_core::lloyd::LloydConfig {
-                    max_iterations: args.usize_or("max-iters", 300),
-                    tol: args.f64_or("tol", 0.0),
-                },
-                &exec,
-            )?;
-            // Report through the same summary path: wrap via a refit with
-            // the obtained assignment is unnecessary — print directly.
-            write_csv(
-                &centers_path,
-                &Dataset::new("centers", lloyd.centers.clone()),
-            )?;
-            writeln!(
-                out,
-                "fit k={k} on {} points x {} dims (afk-mc2, chain {chain_length}):                  cost {:.6e}, {} Lloyd iterations ({})",
-                data.len(),
-                data.dim(),
-                lloyd.cost,
-                lloyd.iterations,
-                if lloyd.converged { "converged" } else { "iteration cap" },
-            )?;
-            writeln!(out, "centers -> {centers_path}")?;
-            if let Some(truth) = data.labels() {
-                writeln!(
-                    out,
-                    "vs ground truth: nmi {:.4}, ari {:.4}, purity {:.4}",
-                    nmi(&lloyd.labels, truth),
-                    adjusted_rand_index(&lloyd.labels, truth),
-                    purity(&lloyd.labels, truth),
-                )?;
-            }
-            let assignments = args.str_or("assignments-out", "");
-            if !assignments.is_empty() {
-                write_labels(&assignments, &lloyd.labels)?;
-                writeln!(out, "assignments -> {assignments}")?;
-            }
-            return Ok(());
-        }
-    };
+    let builder = apply_refine(apply_init(builder, args)?, args)?;
+    let model = builder.fit(data.points())?;
 
-    write_csv(&centers_path, &Dataset::new("centers", model.centers().clone()))?;
+    write_csv(
+        &centers_path,
+        &Dataset::new("centers", model.centers().clone()),
+    )?;
     writeln!(
         out,
-        "fit k={k} on {} points x {} dims: cost {:.6e}, seed cost {:.6e}, \
-         {} Lloyd iterations ({}), {} seeding passes",
+        "fit k={k} on {} points x {} dims: init={}, refine={}, \
+         cost {:.6e}, seed cost {:.6e}, {} refine iterations ({}), \
+         {} seeding passes, {} distance evals",
         data.len(),
         data.dim(),
+        model.init_name(),
+        model.refiner_name(),
         model.cost(),
         model.init_stats().seed_cost,
         model.iterations(),
         if model.converged() {
             "converged"
+        } else if model.refiner_name() == "minibatch" {
+            // A completed fixed-budget run, not a truncated one.
+            "fixed budget"
         } else {
             "iteration cap"
         },
         model.init_stats().passes,
+        model.distance_computations(),
     )?;
     writeln!(out, "centers -> {centers_path}")?;
 
@@ -314,10 +371,12 @@ fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let data = read_csv(&input, label_mode(args))?;
     let centers = read_csv(&centers_path, LabelColumn::None)?;
     if centers.dim() != data.dim() {
-        return Err(CliError::KMeans(kmeans_core::KMeansError::DimensionMismatch {
-            expected: centers.dim(),
-            got: data.dim(),
-        }));
+        return Err(CliError::KMeans(
+            kmeans_core::KMeansError::DimensionMismatch {
+                expected: centers.dim(),
+                got: data.dim(),
+            },
+        ));
     }
     let labels: Vec<u32> = data
         .points()
@@ -340,10 +399,12 @@ fn evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let data = read_csv(&input, label_mode(args))?;
     let centers = read_csv(&centers_path, LabelColumn::None)?;
     if centers.dim() != data.dim() {
-        return Err(CliError::KMeans(kmeans_core::KMeansError::DimensionMismatch {
-            expected: centers.dim(),
-            got: data.dim(),
-        }));
+        return Err(CliError::KMeans(
+            kmeans_core::KMeansError::DimensionMismatch {
+                expected: centers.dim(),
+                got: data.dim(),
+            },
+        ));
     }
     let exec = kmeans_par::Executor::new(parallelism(args));
     let cost = kmeans_core::cost::potential(data.points(), centers.points(), &exec);
@@ -477,15 +538,22 @@ mod tests {
         .unwrap();
         run(
             "fit",
-            &args(&format!("--input {data} --k 3 --seed 2 --centers-out {centers}")),
+            &args(&format!(
+                "--input {data} --k 3 --seed 2 --centers-out {centers}"
+            )),
         )
         .unwrap();
         let out = run(
             "predict",
-            &args(&format!("--input {data} --centers {centers} --out {predicted}")),
+            &args(&format!(
+                "--input {data} --centers {centers} --out {predicted}"
+            )),
         )
         .unwrap();
-        assert!(out.contains("predicted 120 points against 3 centers"), "{out}");
+        assert!(
+            out.contains("predicted 120 points against 3 centers"),
+            "{out}"
+        );
         let lines = std::fs::read_to_string(&predicted).unwrap();
         assert!(lines.lines().all(|l| l.parse::<u32>().unwrap() < 3));
     }
@@ -509,33 +577,186 @@ mod tests {
             )),
         )
         .unwrap();
-        assert!(out.contains("afk-mc2, chain 50"), "{out}");
+        assert!(out.contains("init=afk-mc2"), "{out}");
+        assert!(out.contains("refine=lloyd"), "{out}");
         assert!(out.contains("nmi"), "{out}");
         let c = read_points(&centers).unwrap();
         assert_eq!(c.len(), 4);
     }
 
     #[test]
-    fn all_init_methods_and_generators_work() {
+    fn every_init_value_is_accepted() {
+        let data = tmp("grid_init.csv");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 4 --n 300 --variance 50 --seed 1 --out {data}"
+            )),
+        )
+        .unwrap();
+        for init in [
+            "random",
+            "kmeans++",
+            "kmeans-par",
+            "afk-mc2",
+            "partition",
+            "coreset",
+        ] {
+            let centers = tmp(&format!("grid_{init}.csv"));
+            let out = run(
+                "fit",
+                &args(&format!(
+                    "--input {data} --labels --k 4 --init {init} --seed 2 \
+                     --centers-out {centers}"
+                )),
+            )
+            .unwrap();
+            assert!(out.contains("fit k=4"), "{init}: {out}");
+            assert!(out.contains(&format!("init={init}")), "{init}: {out}");
+            assert_eq!(read_points(&centers).unwrap().len(), 4, "{init}");
+        }
+    }
+
+    #[test]
+    fn every_refine_value_is_accepted() {
+        let data = tmp("grid_refine.csv");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 3 --n 240 --variance 50 --seed 4 --out {data}"
+            )),
+        )
+        .unwrap();
+        for refine in ["lloyd", "hamerly", "minibatch", "none"] {
+            let centers = tmp(&format!("grid_r_{refine}.csv"));
+            let extra = if refine == "minibatch" {
+                "--batch-size 64 --batch-iters 50"
+            } else {
+                ""
+            };
+            let out = run(
+                "fit",
+                &args(&format!(
+                    "--input {data} --k 3 --refine {refine} --seed 2 {extra} \
+                     --centers-out {centers}"
+                )),
+            )
+            .unwrap();
+            assert!(out.contains(&format!("refine={refine}")), "{refine}: {out}");
+            assert!(out.contains("distance evals"), "{refine}: {out}");
+            assert_eq!(read_points(&centers).unwrap().len(), 3, "{refine}");
+        }
+        // Seed-only run reports zero refine iterations.
+        let centers = tmp("grid_r_none2.csv");
+        let out = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 3 --refine none --seed 2 --centers-out {centers}"
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("0 refine iterations"), "{out}");
+    }
+
+    #[test]
+    fn unknown_init_and_refine_are_usage_errors() {
+        let data = tmp("bad_flags.csv");
+        std::fs::write(&data, "1.0,2.0\n3.0,4.0\n5.0,6.0\n").unwrap();
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --init nope --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown --init"), "{err}");
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --refine nope --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown --refine"), "{err}");
+        // Flags of one refiner next to another are rejected, not dropped.
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --refine minibatch --tol 0.01 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--tol only applies"), "{err}");
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --refine none --batch-size 8 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--batch-size only applies"),
+            "{err}"
+        );
+        // Same rule on the --init axis: seeder flags for another seeder.
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --init kmeans++ --rounds 10 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--rounds only applies"), "{err}");
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --init partition --chain 5 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--chain only applies"), "{err}");
+    }
+
+    #[test]
+    fn all_generators_work() {
         for dataset in ["spam", "kdd"] {
             let data = tmp(&format!("{dataset}.csv"));
             let out = run(
                 "generate",
-                &args(&format!("--dataset {dataset} --n 300 --seed 1 --out {data}")),
+                &args(&format!(
+                    "--dataset {dataset} --n 300 --seed 1 --out {data}"
+                )),
             )
             .unwrap();
             assert!(out.contains("300 points"), "{out}");
-            for init in ["random", "kmeans++", "kmeans-par"] {
-                let centers = tmp(&format!("{dataset}_{init}.csv"));
-                let out = run(
-                    "fit",
-                    &args(&format!(
-                        "--input {data} --labels --k 4 --init {init} --centers-out {centers}"
-                    )),
-                )
-                .unwrap();
-                assert!(out.contains("fit k=4"), "{init}: {out}");
-            }
+            let centers = tmp(&format!("{dataset}_fit.csv"));
+            let out = run(
+                "fit",
+                &args(&format!(
+                    "--input {data} --labels --k 4 --centers-out {centers}"
+                )),
+            )
+            .unwrap();
+            assert!(out.contains("fit k=4"), "{dataset}: {out}");
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_init_and_refine_value() {
+        let out = run("help", &args("")).unwrap();
+        for value in [
+            "random",
+            "kmeans++",
+            "kmeans-par",
+            "afk-mc2",
+            "partition",
+            "coreset",
+            "lloyd",
+            "hamerly",
+            "minibatch",
+            "none",
+        ] {
+            assert!(out.contains(value), "usage() missing '{value}': {out}");
         }
     }
 
@@ -556,7 +777,10 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run("fit", &args("--input /nonexistent.csv --k 2 --centers-out /tmp/x")),
+            run(
+                "fit",
+                &args("--input /nonexistent.csv --k 2 --centers-out /tmp/x")
+            ),
             Err(CliError::Data(_))
         ));
         // Error messages are user-readable.

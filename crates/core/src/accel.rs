@@ -68,34 +68,25 @@ struct Partial {
 
 /// Runs Hamerly-accelerated Lloyd from the given initial centers.
 ///
-/// Accepts the same configuration as [`lloyd`](crate::lloyd::lloyd);
-/// `tol` is interpreted on the *upper-bound* potential (exact potential is
-/// not available per-iteration without forfeiting the speedup), so use
-/// `tol = 0` (assignment stability) for strict equivalence with `lloyd`.
+/// Accepts the same configuration as [`lloyd`](crate::lloyd::lloyd),
+/// except `tol` must be 0: the exact potential is not available
+/// per-iteration without forfeiting the speedup, so this algorithm stops
+/// on assignment stability only and rejects a tolerance rather than
+/// silently ignoring it (a lloyd-vs-hamerly comparison at equal `tol`
+/// would otherwise compare different stopping rules).
 pub fn hamerly_lloyd(
     points: &PointMatrix,
     initial_centers: &PointMatrix,
     config: &LloydConfig,
     exec: &Executor,
 ) -> Result<HamerlyResult, KMeansError> {
-    if points.is_empty() {
-        return Err(KMeansError::EmptyInput);
-    }
-    if initial_centers.is_empty() || initial_centers.len() > points.len() {
-        return Err(KMeansError::InvalidK {
-            k: initial_centers.len(),
-            n: points.len(),
-        });
-    }
-    if points.dim() != initial_centers.dim() {
-        return Err(KMeansError::DimensionMismatch {
-            expected: points.dim(),
-            got: initial_centers.dim(),
-        });
-    }
-    if config.max_iterations == 0 {
+    crate::lloyd::validate_refine_inputs(points, initial_centers)?;
+    config.validate()?;
+    if config.tol != 0.0 {
         return Err(KMeansError::InvalidConfig(
-            "max_iterations must be at least 1".into(),
+            "hamerly_lloyd stops on assignment stability only; tol is not supported \
+             (use lloyd for tolerance-based stopping)"
+                .into(),
         ));
     }
 
@@ -342,8 +333,7 @@ mod tests {
         let init = InitMethod::KMeansPlusPlus
             .run(&points, 16, 3, &exec)
             .unwrap();
-        let result =
-            hamerly_lloyd(&points, &init.centers, &LloydConfig::default(), &exec).unwrap();
+        let result = hamerly_lloyd(&points, &init.centers, &LloydConfig::default(), &exec).unwrap();
         // Plain Lloyd would spend n·k per iteration.
         let plain_budget = 4_000u64 * 16 * result.iterations as u64;
         assert!(
@@ -436,8 +426,13 @@ mod tests {
         let points = mixture(2, 50, 1);
         let exec = Executor::sequential();
         let init = points.select(&[0]);
-        assert!(hamerly_lloyd(&PointMatrix::new(points.dim()), &init, &LloydConfig::default(), &exec)
-            .is_err());
+        assert!(hamerly_lloyd(
+            &PointMatrix::new(points.dim()),
+            &init,
+            &LloydConfig::default(),
+            &exec
+        )
+        .is_err());
         let wrong_dim = PointMatrix::from_flat(vec![0.0], 1).unwrap();
         assert!(hamerly_lloyd(&points, &wrong_dim, &LloydConfig::default(), &exec).is_err());
         let bad = LloydConfig {

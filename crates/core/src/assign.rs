@@ -205,8 +205,7 @@ mod tests {
     fn empty_cluster_centroid_is_none() {
         let points = two_blob_points();
         // Third center attracts nothing.
-        let centers =
-            PointMatrix::from_flat(vec![0.0, 0.0, 100.0, 0.0, 1e9, 1e9], 2).unwrap();
+        let centers = PointMatrix::from_flat(vec![0.0, 0.0, 100.0, 0.0, 1e9, 1e9], 2).unwrap();
         let (_, sums) = assign_and_sum(&points, &centers, &Executor::sequential());
         assert_eq!(sums.counts[2], 0);
         assert!(sums.centroid(2, 2).is_none());
@@ -259,8 +258,7 @@ mod tests {
     fn weighted_assignment_weights_cost_and_sums() {
         let points = PointMatrix::from_flat(vec![0.0, 4.0, 10.0], 1).unwrap();
         let centers = PointMatrix::from_flat(vec![0.0, 10.0], 1).unwrap();
-        let (labels, sums, wsum, cost) =
-            assign_weighted(&points, &[1.0, 2.0, 3.0], &centers);
+        let (labels, sums, wsum, cost) = assign_weighted(&points, &[1.0, 2.0, 3.0], &centers);
         assert_eq!(labels, vec![0, 0, 1]);
         assert_eq!(wsum, vec![3.0, 3.0]);
         // cost = 1·0 + 2·16 + 3·0 = 32.

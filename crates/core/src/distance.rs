@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn nearest_from_scans_suffix_only() {
-        let centers =
-            PointMatrix::from_flat(vec![0.0, 0.0, 100.0, 100.0, 5.0, 5.0], 2).unwrap();
+        let centers = PointMatrix::from_flat(vec![0.0, 0.0, 100.0, 100.0, 5.0, 5.0], 2).unwrap();
         // Full scan would give center 0 for the origin; suffix scan from 1
         // must pick between centers 1 and 2.
         let (i, d2) = nearest_from(&[0.0, 0.0], &centers, 1).unwrap();

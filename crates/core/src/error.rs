@@ -66,7 +66,9 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("expected 3"));
-        assert!(KMeansError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(KMeansError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
         let e = KMeansError::NonFiniteData { point: 4, dim: 2 };
         assert!(e.to_string().contains("point 4"));
     }

@@ -68,14 +68,12 @@ pub fn afk_mc2(
     } else {
         vec![1.0 / n as f64; n]
     };
-    let proposal =
-        AliasSampler::new(&q).expect("proposal has positive mass by construction");
+    let proposal = AliasSampler::new(&q).expect("proposal has positive mass by construction");
 
     // d²(x, C) against the *current* centers, evaluated lazily per chain
     // state (the chain touches O(k·m) points, not n).
-    let dist_to_centers = |idx: usize, centers: &PointMatrix| -> f64 {
-        nearest(points.row(idx), centers).1
-    };
+    let dist_to_centers =
+        |idx: usize, centers: &PointMatrix| -> f64 { nearest(points.row(idx), centers).1 };
 
     while centers.len() < k {
         // Initialize the chain from the proposal.
@@ -148,9 +146,7 @@ mod tests {
         let points = blobs(80, &[0.0, 1e4, 2e4, 3e4, 4e4]);
         let exec = Executor::sequential();
         let med = |f: &dyn Fn(u64) -> PointMatrix| {
-            let costs: Vec<f64> = (0..15)
-                .map(|s| potential(&points, &f(s), &exec))
-                .collect();
+            let costs: Vec<f64> = (0..15).map(|s| potential(&points, &f(s), &exec)).collect();
             kmeans_util::stats::median(&costs).unwrap()
         };
         let rand_cost = med(&|s| random_init(&points, 5, &mut Rng::new(s)).unwrap());

@@ -80,18 +80,7 @@ pub fn weighted_kmeanspp(
     rng: &mut Rng,
 ) -> Result<PointMatrix, KMeansError> {
     super::validate(points, k)?;
-    if weights.len() != points.len() {
-        return Err(KMeansError::InvalidConfig(format!(
-            "{} weights for {} points",
-            weights.len(),
-            points.len()
-        )));
-    }
-    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
-        return Err(KMeansError::InvalidConfig(
-            "weights must be finite and non-negative".into(),
-        ));
-    }
+    crate::pipeline::validate_weights(points, Some(weights))?;
     let n = points.len();
     let total_w: f64 = weights.iter().sum();
     let first = match weighted_pick(weights, total_w, rng) {

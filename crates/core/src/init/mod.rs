@@ -20,12 +20,9 @@ pub use parallel::{
 };
 pub use random::random_init;
 
-use crate::cost::potential;
 use crate::error::KMeansError;
 use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
-use kmeans_util::timing::Stopwatch;
-use kmeans_util::Rng;
 use std::time::Duration;
 
 /// Accounting for one initialization run.
@@ -82,7 +79,9 @@ impl InitMethod {
     /// Runs the initializer, producing `k` centers and stats.
     ///
     /// The seed fully determines the outcome given the executor's shard
-    /// size (worker count never matters).
+    /// size (worker count never matters). Thin wrapper over the
+    /// [`Initializer`](crate::pipeline::Initializer) implementation, kept
+    /// for source compatibility with pre-pipeline call sites.
     pub fn run(
         &self,
         points: &PointMatrix,
@@ -90,57 +89,59 @@ impl InitMethod {
         seed: u64,
         exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
-        validate(points, k)?;
-        let sw = Stopwatch::start();
-        let (centers, mut stats) = match self {
-            InitMethod::Random => {
-                let mut rng = Rng::derive(seed, &[20]);
-                let centers = random_init(points, k, &mut rng)?;
-                let stats = InitStats {
-                    rounds: 0,
-                    passes: 1,
-                    candidates: k,
-                    seed_cost: 0.0,
-                    duration: Duration::ZERO,
-                };
-                (centers, stats)
-            }
+        crate::pipeline::Initializer::init(self, points, None, k, seed, exec)
+    }
+}
+
+impl crate::pipeline::Initializer for InitMethod {
+    fn name(&self) -> &'static str {
+        match self {
+            InitMethod::Random => "random",
+            InitMethod::KMeansPlusPlus => "kmeans++",
+            InitMethod::KMeansParallel(_) => "kmeans-par",
+        }
+    }
+
+    fn init(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        match self {
+            InitMethod::Random => crate::pipeline::Random.init(points, weights, k, seed, exec),
             InitMethod::KMeansPlusPlus => {
-                let mut rng = Rng::derive(seed, &[21]);
-                let centers = kmeanspp(points, k, &mut rng, exec)?;
-                let stats = InitStats {
-                    rounds: k.saturating_sub(1),
-                    passes: k,
-                    candidates: k,
-                    seed_cost: 0.0,
-                    duration: Duration::ZERO,
-                };
-                (centers, stats)
+                crate::pipeline::KMeansPlusPlus.init(points, weights, k, seed, exec)
             }
             InitMethod::KMeansParallel(config) => {
-                let (centers, stats) = kmeans_parallel(points, k, config, seed, exec)?;
-                (centers, stats)
+                crate::pipeline::KMeansParallel(*config).init(points, weights, k, seed, exec)
             }
-        };
-        stats.duration = sw.elapsed();
-        stats.seed_cost = potential(points, &centers, exec);
-        Ok(InitResult { centers, stats })
+        }
+    }
+}
+
+impl From<InitMethod> for Box<dyn crate::pipeline::Initializer> {
+    /// The enum stays a thin selector: any variant converts into the
+    /// equivalent boxed trait object.
+    fn from(method: InitMethod) -> Self {
+        Box::new(method)
     }
 }
 
 /// Common parameter validation for all initializers: shape checks plus a
 /// full finiteness scan (NaN/∞ coordinates would silently poison every
 /// distance downstream; one O(n·d) scan up front is cheap relative to any
-/// seeding pass and fails loudly instead).
-pub(crate) fn validate(points: &PointMatrix, k: usize) -> Result<(), KMeansError> {
+/// seeding pass and fails loudly instead). Public so out-of-crate
+/// [`Initializer`](crate::pipeline::Initializer) implementations (the
+/// streaming adapters) enforce the same input contract.
+pub fn validate(points: &PointMatrix, k: usize) -> Result<(), KMeansError> {
     if points.is_empty() {
         return Err(KMeansError::EmptyInput);
     }
     if k == 0 || k > points.len() {
-        return Err(KMeansError::InvalidK {
-            k,
-            n: points.len(),
-        });
+        return Err(KMeansError::InvalidK { k, n: points.len() });
     }
     if let Some(flat_idx) = points.as_slice().iter().position(|v| !v.is_finite()) {
         return Err(KMeansError::NonFiniteData {
@@ -183,7 +184,9 @@ mod tests {
         let exec = Executor::sequential();
         let r = InitMethod::Random.run(&points, 8, 1, &exec).unwrap();
         assert_eq!(r.stats.passes, 1);
-        let pp = InitMethod::KMeansPlusPlus.run(&points, 8, 1, &exec).unwrap();
+        let pp = InitMethod::KMeansPlusPlus
+            .run(&points, 8, 1, &exec)
+            .unwrap();
         assert_eq!(pp.stats.passes, 8); // k passes
         let par = InitMethod::default().run(&points, 8, 1, &exec).unwrap();
         // 1 initial pass + r rounds (default 5).
@@ -215,8 +218,7 @@ mod tests {
     fn non_finite_data_is_rejected() {
         let exec = Executor::sequential();
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
-            let points =
-                PointMatrix::from_flat(vec![0.0, 1.0, 2.0, bad, 4.0, 5.0], 2).unwrap();
+            let points = PointMatrix::from_flat(vec![0.0, 1.0, 2.0, bad, 4.0, 5.0], 2).unwrap();
             let err = InitMethod::default().run(&points, 2, 0, &exec).unwrap_err();
             assert_eq!(
                 err,

@@ -250,9 +250,7 @@ pub fn kmeans_parallel(
         }
         rounds_executed += 1;
         let new_indices = match config.sampling {
-            SamplingMode::Bernoulli => {
-                sample_bernoulli(tracker.d2(), l, phi, seed, round, exec)
-            }
+            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec),
             SamplingMode::ExactL => {
                 let m = (l.round() as usize).max(1);
                 sample_exact(tracker.d2(), m, seed, round, exec)
@@ -285,8 +283,7 @@ pub fn kmeans_parallel(
         if extra.len() < needed {
             let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
             taken.sort_unstable();
-            let mut free: Vec<usize> =
-                (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
+            let mut free: Vec<usize> = (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
             let want = (needed - extra.len()).min(free.len());
             // Partial Fisher–Yates: uniform distinct draw from the free set.
             for j in 0..want {

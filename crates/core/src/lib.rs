@@ -10,12 +10,24 @@
 //! (Theorem 1: an O(α)-approximation when an α-approximate reclusterer is
 //! used).
 //!
-//! Module map:
+//! Module map — the crate is organized around the two-stage **pipeline
+//! architecture**: any seeding strategy ([`pipeline::Initializer`]) feeds
+//! any refinement strategy ([`pipeline::Refiner`]) through the
+//! [`model::KMeans`] builder.
 //!
 //! * [`distance`], [`cost`], [`assign`] — the `d²`/potential kernels and
 //!   the incremental [`cost::CostTracker`] all seeding builds on.
-//! * [`init`] — `Random`, `k-means++` (Algorithm 1), **`k-means||`**
-//!   (Algorithm 2) with every knob the paper's §5 sweeps.
+//! * [`pipeline`] — the object-safe [`pipeline::Initializer`] /
+//!   [`pipeline::Refiner`] traits, the unified [`pipeline::RefineResult`]
+//!   (with distance-evaluation accounting), and the core implementations:
+//!   `Random`, `KMeansPlusPlus`, `KMeansParallel`, `AfkMc2` seeders and
+//!   `Lloyd`, `HamerlyLloyd`, `MiniBatch`, `NoRefine` refiners. The
+//!   streaming seeders (Partition, coreset tree) implement the same
+//!   traits from `kmeans-streaming`.
+//! * [`init`] — the seeding algorithms themselves: `Random`, `k-means++`
+//!   (Algorithm 1), **`k-means||`** (Algorithm 2) with every knob the
+//!   paper's §5 sweeps, plus AFK-MC². [`init::InitMethod`] survives as a
+//!   thin enum that converts `Into<Box<dyn pipeline::Initializer>>`.
 //! * [`lloyd`] — Lloyd's iteration (parallel, with iteration accounting
 //!   and empty-cluster repair) and the weighted variant used by Step 8.
 //! * [`accel`] — Hamerly's bounds-accelerated Lloyd (exact, fewer
@@ -23,7 +35,8 @@
 //! * [`minibatch`] — Sculley's mini-batch k-means (extension; paper
 //!   reference \[31]).
 //! * [`metrics`] — purity / NMI against ground-truth labels.
-//! * [`model`] — the [`model::KMeans`] builder tying it all together.
+//! * [`model`] — the [`model::KMeans`] builder tying it all together:
+//!   `.init(…)`, `.refine(…)`, `.weights(…)`, `.parallelism(…)`.
 //!
 //! Determinism: every algorithm is a pure function of its inputs, a 64-bit
 //! seed, and the executor's shard size. Worker counts never change results
@@ -42,8 +55,10 @@ pub mod lloyd;
 pub mod metrics;
 pub mod minibatch;
 pub mod model;
+pub mod pipeline;
 
 pub use error::KMeansError;
 pub use init::{InitMethod, InitResult, InitStats, KMeansParallelConfig};
 pub use lloyd::{LloydConfig, LloydResult};
 pub use model::{KMeans, KMeansModel};
+pub use pipeline::{Initializer, RefineResult, Refiner};

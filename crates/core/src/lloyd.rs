@@ -40,7 +40,7 @@ impl Default for LloydConfig {
 }
 
 impl LloydConfig {
-    fn validate(&self) -> Result<(), KMeansError> {
+    pub(crate) fn validate(&self) -> Result<(), KMeansError> {
         if self.max_iterations == 0 {
             return Err(KMeansError::InvalidConfig(
                 "max_iterations must be at least 1".into(),
@@ -83,6 +83,35 @@ pub struct LloydResult {
     pub converged: bool,
     /// Per-iteration history.
     pub history: Vec<IterationStats>,
+    /// Full assignment passes executed, including the closing relabel
+    /// pass when the loop did not end on a stable assignment. Distance
+    /// evaluations spent = `n · k · assign_passes`.
+    pub assign_passes: usize,
+}
+
+/// Input contract shared by every refinement entry point (plain and
+/// weighted Lloyd, Hamerly, mini-batch, the pipeline refiners): non-empty
+/// data, `1 ≤ |centers| ≤ n`, matching dimensionality.
+pub(crate) fn validate_refine_inputs(
+    points: &PointMatrix,
+    centers: &PointMatrix,
+) -> Result<(), KMeansError> {
+    if points.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if centers.is_empty() || centers.len() > points.len() {
+        return Err(KMeansError::InvalidK {
+            k: centers.len(),
+            n: points.len(),
+        });
+    }
+    if points.dim() != centers.dim() {
+        return Err(KMeansError::DimensionMismatch {
+            expected: points.dim(),
+            got: centers.dim(),
+        });
+    }
+    Ok(())
 }
 
 /// Runs Lloyd's iteration from the given initial centers.
@@ -97,21 +126,7 @@ pub fn lloyd(
     exec: &Executor,
 ) -> Result<LloydResult, KMeansError> {
     config.validate()?;
-    if points.is_empty() {
-        return Err(KMeansError::EmptyInput);
-    }
-    if initial_centers.is_empty() || initial_centers.len() > points.len() {
-        return Err(KMeansError::InvalidK {
-            k: initial_centers.len(),
-            n: points.len(),
-        });
-    }
-    if points.dim() != initial_centers.dim() {
-        return Err(KMeansError::DimensionMismatch {
-            expected: points.dim(),
-            got: initial_centers.dim(),
-        });
-    }
+    validate_refine_inputs(points, initial_centers)?;
 
     let d = points.dim();
     let mut centers = initial_centers.clone();
@@ -119,21 +134,23 @@ pub fn lloyd(
     let mut prev_cost = f64::INFINITY;
     let mut history = Vec::new();
     let mut converged = false;
+    // Whether the loop ended on a stable assignment (no centroid update
+    // after the stored labels) — only then do they match the final
+    // centers without a closing relabel pass. A tol-based stop applies
+    // the centroid update *before* breaking, so it does not qualify.
+    let mut stable_exit = false;
 
     for _ in 0..config.max_iterations {
         let (labels, sums) = assign_and_sum(points, &centers, exec);
         let reassigned = match &prev_labels {
             None => points.len() as u64,
-            Some(prev) => prev
-                .iter()
-                .zip(&labels)
-                .filter(|(a, b)| a != b)
-                .count() as u64,
+            Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
         };
 
         // Stability: nothing moved → the centroid update is a no-op.
         if reassigned == 0 {
             converged = true;
+            stable_exit = true;
             history.push(IterationStats {
                 cost: sums.cost,
                 reassigned: 0,
@@ -193,22 +210,25 @@ pub fn lloyd(
     }
 
     // Produce a final self-consistent (labels, cost) for the final centers.
-    let (labels, cost) = match (&prev_labels, converged) {
+    let (labels, cost, closing_pass) = match (&prev_labels, stable_exit) {
         // On stability the stored labels already match the centers.
-        (Some(labels), true) => (labels.clone(), prev_cost),
+        (Some(labels), true) => (labels.clone(), prev_cost, 0),
+        // Otherwise (iteration cap or tol stop) the centroid update ran
+        // after the stored assignment: relabel against the final centers.
         _ => {
             let (labels, sums) = assign_and_sum(points, &centers, exec);
-            (labels, sums.cost)
+            (labels, sums.cost, 1)
         }
     };
 
     Ok(LloydResult {
-        centers,
         labels,
         cost,
         iterations: history.len(),
         converged,
+        assign_passes: history.len() + closing_pass,
         history,
+        centers,
     })
 }
 
@@ -219,14 +239,56 @@ pub fn lloyd(
 pub fn weighted_lloyd(
     points: &PointMatrix,
     weights: &[f64],
-    mut centers: PointMatrix,
+    centers: PointMatrix,
     iterations: usize,
 ) -> PointMatrix {
+    weighted_lloyd_traced(points, weights, centers, iterations, 0.0).centers
+}
+
+/// Accounting returned by [`weighted_lloyd_traced`].
+#[derive(Clone, Debug)]
+pub struct WeightedLloydTrace {
+    /// Refined centers.
+    pub centers: PointMatrix,
+    /// Centroid updates applied.
+    pub iterations: usize,
+    /// Whether assignment stability (or the `tol` criterion) was reached
+    /// within the iteration budget.
+    pub converged: bool,
+    /// Full weighted assignment passes executed (the stability-detecting
+    /// pass included). Distance evaluations = `n · k · assign_passes`.
+    pub assign_passes: usize,
+    /// `(labels, cost)` consistent with `centers`, available when the
+    /// loop ended on a stable assignment (no centroid update after the
+    /// last pass) — callers then need no closing relabel pass.
+    pub stable: Option<(Vec<u32>, f64)>,
+}
+
+/// [`weighted_lloyd`] with a stopping tolerance and accounting.
+/// `tol = 0` stops on assignment stability only and reproduces
+/// [`weighted_lloyd`]'s center trajectory bit-for-bit (the plain
+/// function is a thin wrapper); `tol > 0` additionally stops once the
+/// relative weighted-cost improvement drops below `tol`.
+pub fn weighted_lloyd_traced(
+    points: &PointMatrix,
+    weights: &[f64],
+    mut centers: PointMatrix,
+    iterations: usize,
+    tol: f64,
+) -> WeightedLloydTrace {
     let d = points.dim();
     let mut prev_labels: Option<Vec<u32>> = None;
+    let mut prev_cost = f64::INFINITY;
+    let mut updates = 0usize;
+    let mut passes = 0usize;
+    let mut converged = false;
+    let mut stable = None;
     for _ in 0..iterations {
-        let (labels, sums, wsum, _cost) = assign_weighted(points, weights, &centers);
+        let (labels, sums, wsum, cost) = assign_weighted(points, weights, &centers);
+        passes += 1;
         if prev_labels.as_ref() == Some(&labels) {
+            converged = true;
+            stable = Some((labels, cost));
             break;
         }
         for c in 0..centers.len() {
@@ -238,9 +300,21 @@ pub fn weighted_lloyd(
                 }
             }
         }
+        updates += 1;
         prev_labels = Some(labels);
+        if tol > 0.0 && prev_cost.is_finite() && prev_cost - cost <= tol * prev_cost {
+            converged = true;
+            break;
+        }
+        prev_cost = cost;
     }
-    centers
+    WeightedLloydTrace {
+        centers,
+        iterations: updates,
+        converged,
+        assign_passes: passes,
+        stable,
+    }
 }
 
 #[cfg(test)]
@@ -268,8 +342,13 @@ mod tests {
     fn converges_to_blob_centroids() {
         let points = blobs_2d();
         let init = PointMatrix::from_flat(vec![1.0, 1.0, 9.0, 9.0], 2).unwrap();
-        let result = lloyd(&points, &init, &LloydConfig::default(), &Executor::sequential())
-            .unwrap();
+        let result = lloyd(
+            &points,
+            &init,
+            &LloydConfig::default(),
+            &Executor::sequential(),
+        )
+        .unwrap();
         assert!(result.converged);
         assert!(result.iterations <= 3);
         // Centroid of each blob is (0.15, 0.15) offset.
@@ -279,11 +358,8 @@ mod tests {
         assert!((xs[1] - 10.15).abs() < 1e-9);
         // Labels and cost are self-consistent.
         let expected_cost: f64 = {
-            let (_, sums) = crate::assign::assign_and_sum(
-                &points,
-                &result.centers,
-                &Executor::sequential(),
-            );
+            let (_, sums) =
+                crate::assign::assign_and_sum(&points, &result.centers, &Executor::sequential());
             sums.cost
         };
         assert!((result.cost - expected_cost).abs() < 1e-9);
@@ -295,8 +371,13 @@ mod tests {
         let points = blobs_2d();
         // Bad init: both centers in one blob.
         let init = PointMatrix::from_flat(vec![0.0, 0.0, 0.3, 0.3], 2).unwrap();
-        let result = lloyd(&points, &init, &LloydConfig::default(), &Executor::sequential())
-            .unwrap();
+        let result = lloyd(
+            &points,
+            &init,
+            &LloydConfig::default(),
+            &Executor::sequential(),
+        )
+        .unwrap();
         for w in result.history.windows(2) {
             assert!(
                 w[1].cost <= w[0].cost + 1e-9,
@@ -335,14 +416,79 @@ mod tests {
     }
 
     #[test]
+    fn tol_stop_reports_cost_of_the_returned_centers() {
+        // Regression: a tol-based stop applies the centroid update before
+        // breaking, so the reported (labels, cost) must be recomputed
+        // against the *final* centers — not the pre-update assignment.
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![0.0, 0.0, 0.3, 0.3], 2).unwrap();
+        let config = LloydConfig {
+            max_iterations: 100,
+            tol: 1.0, // always triggers after the first update
+        };
+        let exec = Executor::sequential();
+        let result = lloyd(&points, &init, &config, &exec).unwrap();
+        assert!(result.converged);
+        let (expected_labels, sums) =
+            crate::assign::assign_and_sum(&points, &result.centers, &exec);
+        assert_eq!(result.labels, expected_labels);
+        assert!(
+            (result.cost - sums.cost).abs() <= 1e-12 * (1.0 + sums.cost),
+            "reported {} vs recomputed {}",
+            result.cost,
+            sums.cost
+        );
+        // Pass accounting includes the closing relabel.
+        assert_eq!(result.assign_passes, result.iterations + 1);
+    }
+
+    #[test]
+    fn stable_exit_needs_no_closing_pass() {
+        let points = blobs_2d();
+        let init = PointMatrix::from_flat(vec![1.0, 1.0, 9.0, 9.0], 2).unwrap();
+        let result = lloyd(
+            &points,
+            &init,
+            &LloydConfig::default(),
+            &Executor::sequential(),
+        )
+        .unwrap();
+        assert!(result.converged);
+        assert_eq!(result.assign_passes, result.iterations);
+    }
+
+    #[test]
+    fn weighted_traced_honors_tol_and_counts_passes() {
+        // Two far blobs, bad init: with tol = 1.0 the loop stops after one
+        // update; with tol = 0 it runs to stability.
+        let points = PointMatrix::from_flat(vec![0.0, 1.0, 10.0, 11.0], 1).unwrap();
+        let w = [1.0, 1.0, 1.0, 1.0];
+        let init = PointMatrix::from_flat(vec![0.0, 2.0], 1).unwrap();
+        let eager = weighted_lloyd_traced(&points, &w, init.clone(), 50, 1.0);
+        assert!(eager.converged);
+        assert!(eager.iterations <= 2);
+        let full = weighted_lloyd_traced(&points, &w, init.clone(), 50, 0.0);
+        assert!(full.converged);
+        // Stability costs one extra detecting pass beyond the updates.
+        assert_eq!(full.assign_passes, full.iterations + 1);
+        // And tol = 0 matches the plain wrapper bit-for-bit.
+        assert_eq!(full.centers, weighted_lloyd(&points, &w, init, 50));
+    }
+
+    #[test]
     fn empty_cluster_is_reseeded_to_far_point() {
         let points = blobs_2d();
         // Three centers, two glued together far from everything: at least
         // one will be empty initially.
         let init =
             PointMatrix::from_flat(vec![0.0, 0.0, -500.0, -500.0, -500.0, -500.0], 2).unwrap();
-        let result = lloyd(&points, &init, &LloydConfig::default(), &Executor::sequential())
-            .unwrap();
+        let result = lloyd(
+            &points,
+            &init,
+            &LloydConfig::default(),
+            &Executor::sequential(),
+        )
+        .unwrap();
         assert!(result.history[0].reseeded >= 1, "no reseed recorded");
         assert!(result.converged);
         // After repair every cluster should be non-empty.

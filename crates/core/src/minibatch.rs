@@ -49,21 +49,7 @@ pub fn minibatch_kmeans(
     config: &MiniBatchConfig,
     seed: u64,
 ) -> Result<PointMatrix, KMeansError> {
-    if points.is_empty() {
-        return Err(KMeansError::EmptyInput);
-    }
-    if initial_centers.is_empty() {
-        return Err(KMeansError::InvalidK {
-            k: 0,
-            n: points.len(),
-        });
-    }
-    if points.dim() != initial_centers.dim() {
-        return Err(KMeansError::DimensionMismatch {
-            expected: points.dim(),
-            got: initial_centers.dim(),
-        });
-    }
+    crate::lloyd::validate_refine_inputs(points, initial_centers)?;
     if config.batch_size == 0 || config.iterations == 0 {
         return Err(KMeansError::InvalidConfig(
             "batch_size and iterations must be positive".into(),
@@ -164,18 +150,22 @@ mod tests {
     fn rejects_invalid_inputs() {
         let points = blobs();
         let init = PointMatrix::from_flat(vec![0.0], 1).unwrap();
-        assert!(minibatch_kmeans(&PointMatrix::new(1), &init, &MiniBatchConfig::default(), 0)
-            .is_err());
+        assert!(
+            minibatch_kmeans(&PointMatrix::new(1), &init, &MiniBatchConfig::default(), 0).is_err()
+        );
         let bad = MiniBatchConfig {
             batch_size: 0,
             iterations: 1,
         };
         assert!(minibatch_kmeans(&points, &init, &bad, 0).is_err());
         let wrong_dim = PointMatrix::from_flat(vec![0.0, 0.0], 2).unwrap();
-        assert!(
-            minibatch_kmeans(&points, &wrong_dim, &MiniBatchConfig::default(), 0).is_err()
-        );
-        assert!(minibatch_kmeans(&points, &PointMatrix::new(1), &MiniBatchConfig::default(), 0)
-            .is_err());
+        assert!(minibatch_kmeans(&points, &wrong_dim, &MiniBatchConfig::default(), 0).is_err());
+        assert!(minibatch_kmeans(
+            &points,
+            &PointMatrix::new(1),
+            &MiniBatchConfig::default(),
+            0
+        )
+        .is_err());
     }
 }

@@ -1,5 +1,5 @@
-//! The end-to-end pipeline: initialization followed by Lloyd's iteration,
-//! behind a builder API.
+//! The end-to-end pipeline: a pluggable [`Initializer`] followed by a
+//! pluggable [`Refiner`], behind a builder API.
 //!
 //! ```
 //! use kmeans_core::model::KMeans;
@@ -13,20 +13,43 @@
 //! assert_eq!(model.centers().len(), 10);
 //! assert!(model.cost() > 0.0);
 //! ```
+//!
+//! Any seeder composes with any refiner:
+//!
+//! ```
+//! use kmeans_core::model::KMeans;
+//! use kmeans_core::pipeline::{AfkMc2, HamerlyLloyd};
+//! use kmeans_data::synth::GaussMixture;
+//!
+//! let synth = GaussMixture::new(5).points(500).generate(2).unwrap();
+//! let model = KMeans::params(5)
+//!     .init(AfkMc2::default())
+//!     .refine(HamerlyLloyd::default())
+//!     .seed(7)
+//!     .fit(synth.dataset.points())
+//!     .unwrap();
+//! assert!(model.converged());
+//! assert!(model.distance_computations() > 0);
+//! ```
 
 use crate::error::KMeansError;
 use crate::init::{InitMethod, InitStats};
-use crate::lloyd::{lloyd, IterationStats, LloydConfig};
+use crate::lloyd::{IterationStats, LloydConfig};
+use crate::pipeline::{validate_weights, Initializer, Lloyd, Refiner};
 use kmeans_data::PointMatrix;
 use kmeans_par::{Executor, Parallelism};
+use std::sync::Arc;
 
 /// Builder for a k-means run (defaults follow the paper's recommendation:
 /// k-means|| seeding with `ℓ = 2k`, `r = 5`, then Lloyd to stability).
 #[derive(Clone, Debug)]
 pub struct KMeans {
     k: usize,
-    init: InitMethod,
+    init: Arc<dyn Initializer>,
+    refiner: Option<Arc<dyn Refiner>>,
     lloyd: LloydConfig,
+    lloyd_tuned: bool,
+    weights: Option<Vec<f64>>,
     seed: u64,
     parallelism: Parallelism,
     shard_size: Option<usize>,
@@ -37,30 +60,60 @@ impl KMeans {
     pub fn params(k: usize) -> Self {
         KMeans {
             k,
-            init: InitMethod::default(),
+            init: Arc::new(InitMethod::default()),
+            refiner: None,
             lloyd: LloydConfig::default(),
+            lloyd_tuned: false,
+            weights: None,
             seed: 0,
             parallelism: Parallelism::Auto,
             shard_size: None,
         }
     }
 
-    /// Selects the initialization method.
-    pub fn init(mut self, init: InitMethod) -> Self {
-        self.init = init;
+    /// Selects the initialization stage. Accepts any [`Initializer`] —
+    /// the [`InitMethod`] enum variants, the `kmeans_core::pipeline`
+    /// seeders, or the streaming adapters from `kmeans-streaming`.
+    pub fn init<I: Initializer + 'static>(mut self, init: I) -> Self {
+        self.init = Arc::new(init);
         self
     }
 
-    /// Caps the number of Lloyd iterations.
+    /// Selects the refinement stage (default: Lloyd to stability).
+    pub fn refine<R: Refiner + 'static>(mut self, refiner: R) -> Self {
+        self.refiner = Some(Arc::new(refiner));
+        self
+    }
+
+    /// Sets per-point weights, plumbed through both stages. Each point
+    /// counts as `w` copies of itself in sampling probabilities, centroid
+    /// updates, and the reported cost.
+    ///
+    /// Note: the weighted kernels currently run sequentially — weighted
+    /// workloads in this workspace are candidate-set sized (Step 8 of
+    /// k-means||, coreset reclustering), so `parallelism` affects only
+    /// the unweighted stages of a weighted fit.
+    pub fn weights(mut self, weights: &[f64]) -> Self {
+        self.weights = Some(weights.to_vec());
+        self
+    }
+
+    /// Caps the number of refinement iterations of the **default Lloyd
+    /// refiner**. Combining this with an explicit [`KMeans::refine`] is
+    /// rejected at [`KMeans::fit`] time — a custom refiner carries its
+    /// own configuration.
     pub fn max_iterations(mut self, max: usize) -> Self {
         self.lloyd.max_iterations = max;
+        self.lloyd_tuned = true;
         self
     }
 
-    /// Sets the relative-improvement stopping tolerance (0 = run to
-    /// assignment stability).
+    /// Sets the relative-improvement stopping tolerance of the default
+    /// Lloyd refiner (0 = run to assignment stability). Same conflict
+    /// rule as [`KMeans::max_iterations`].
     pub fn tol(mut self, tol: f64) -> Self {
         self.lloyd.tol = tol;
+        self.lloyd_tuned = true;
         self
     }
 
@@ -92,11 +145,29 @@ impl KMeans {
         }
     }
 
-    /// Runs initialization + Lloyd on `points`.
+    /// Runs initialization + refinement on `points`.
     pub fn fit(&self, points: &PointMatrix) -> Result<KMeansModel, KMeansError> {
         let exec = self.executor();
-        let init = self.init.run(points, self.k, self.seed, &exec)?;
-        let result = lloyd(points, &init.centers, &self.lloyd, &exec)?;
+        let weights = self.weights.as_deref();
+        validate_weights(points, weights)?;
+        let refiner: Arc<dyn Refiner> = match &self.refiner {
+            Some(r) => {
+                // Silently ignoring the Lloyd knobs next to a custom
+                // refiner would leave e.g. an "iteration-capped" study
+                // uncapped; fail loudly instead.
+                if self.lloyd_tuned {
+                    return Err(KMeansError::InvalidConfig(
+                        "max_iterations/tol configure the default Lloyd refiner; \
+                         pass a configured refiner to .refine(...) instead"
+                            .into(),
+                    ));
+                }
+                Arc::clone(r)
+            }
+            None => Arc::new(Lloyd(self.lloyd)),
+        };
+        let init = self.init.init(points, weights, self.k, self.seed, &exec)?;
+        let result = refiner.refine(points, weights, &init.centers, self.seed, &exec)?;
         Ok(KMeansModel {
             centers: result.centers,
             labels: result.labels,
@@ -105,6 +176,10 @@ impl KMeans {
             iterations: result.iterations,
             converged: result.converged,
             history: result.history,
+            distance_computations: result.distance_computations,
+            init_name: self.init.name(),
+            refiner_name: refiner.name(),
+            executor: exec,
         })
     }
 }
@@ -119,6 +194,10 @@ pub struct KMeansModel {
     iterations: usize,
     converged: bool,
     history: Vec<IterationStats>,
+    distance_computations: u64,
+    init_name: &'static str,
+    refiner_name: &'static str,
+    executor: Executor,
 }
 
 impl KMeansModel {
@@ -147,19 +226,41 @@ impl KMeansModel {
         &self.init_stats
     }
 
-    /// Lloyd iterations executed (the Table 6 quantity).
+    /// Refinement iterations executed (the Table 6 quantity).
     pub fn iterations(&self) -> usize {
         self.iterations
     }
 
-    /// Whether Lloyd converged before the iteration cap.
+    /// Whether the refiner converged before its iteration cap.
     pub fn converged(&self) -> bool {
         self.converged
     }
 
-    /// Per-iteration history.
+    /// Per-iteration history (where the refiner tracks one).
     pub fn history(&self) -> &[IterationStats] {
         &self.history
+    }
+
+    /// Point-to-center distance evaluations the refiner spent (measured
+    /// for Hamerly, analytic for the rest) — the pruning observable.
+    pub fn distance_computations(&self) -> u64 {
+        self.distance_computations
+    }
+
+    /// Name of the initializer that seeded this model.
+    pub fn init_name(&self) -> &'static str {
+        self.init_name
+    }
+
+    /// Name of the refiner that produced the final centers.
+    pub fn refiner_name(&self) -> &'static str {
+        self.refiner_name
+    }
+
+    /// The executor configuration the model was fitted with; `predict`
+    /// and `cost_of` reuse it.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// Number of training points assigned to each cluster.
@@ -171,7 +272,9 @@ impl KMeansModel {
         sizes
     }
 
-    /// Assigns new points to the fitted centers.
+    /// Assigns new points to the fitted centers, in parallel on the
+    /// model's executor (deterministic: shard results concatenate in
+    /// shard order).
     ///
     /// # Errors
     ///
@@ -183,13 +286,17 @@ impl KMeansModel {
                 got: points.dim(),
             });
         }
-        Ok(points
-            .rows()
-            .map(|row| crate::distance::nearest(row, &self.centers).0 as u32)
-            .collect())
+        let shards: Vec<Vec<u32>> = self.executor.map_shards(points.len(), |_, range| {
+            range
+                .map(|i| crate::distance::nearest(points.row(i), &self.centers).0 as u32)
+                .collect()
+        });
+        Ok(shards.into_iter().flatten().collect())
     }
 
-    /// Potential of new points under the fitted centers.
+    /// Potential of new points under the fitted centers, in parallel on
+    /// the model's executor (shard partials folded in shard order, so the
+    /// result is bit-identical for any worker count).
     ///
     /// # Errors
     ///
@@ -201,10 +308,18 @@ impl KMeansModel {
                 got: points.dim(),
             });
         }
-        Ok(points
-            .rows()
-            .map(|row| crate::distance::nearest(row, &self.centers).1)
-            .sum())
+        Ok(self
+            .executor
+            .map_reduce(
+                points.len(),
+                |_, range| {
+                    range
+                        .map(|i| crate::distance::nearest(points.row(i), &self.centers).1)
+                        .sum::<f64>()
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0))
     }
 }
 
@@ -212,6 +327,8 @@ impl KMeansModel {
 mod tests {
     use super::*;
     use crate::init::KMeansParallelConfig;
+    use crate::minibatch::MiniBatchConfig;
+    use crate::pipeline::{AfkMc2, HamerlyLloyd, MiniBatch, NoRefine};
 
     fn blobs() -> PointMatrix {
         let mut m = PointMatrix::new(2);
@@ -237,6 +354,9 @@ mod tests {
         assert!(model.converged());
         assert!(model.iterations() >= 1);
         assert!(!model.history().is_empty());
+        assert_eq!(model.init_name(), "kmeans-par");
+        assert_eq!(model.refiner_name(), "lloyd");
+        assert!(model.distance_computations() > 0);
         // Final cost must not exceed the seed cost (Lloyd only improves).
         assert!(model.cost() <= model.init_stats().seed_cost + 1e-9);
         // Each blob in its own cluster → tiny final cost.
@@ -280,6 +400,99 @@ mod tests {
     }
 
     #[test]
+    fn refine_stage_is_swappable() {
+        let points = blobs();
+        let base = KMeans::params(3)
+            .init(InitMethod::KMeansPlusPlus)
+            .seed(8)
+            .parallelism(Parallelism::Sequential);
+        let lloyd = base.clone().fit(&points).unwrap();
+        let hamerly = base
+            .clone()
+            .refine(HamerlyLloyd::default())
+            .fit(&points)
+            .unwrap();
+        // Exact algorithm: same assignment. (Real pruning ratios are
+        // asserted on larger data in `pipeline` and `accel` tests; on a
+        // 180-point toy set the k² bound overhead can dominate.)
+        assert_eq!(lloyd.labels(), hamerly.labels());
+        assert!(hamerly.distance_computations() > 0);
+        assert_eq!(hamerly.refiner_name(), "hamerly");
+
+        let seed_only = base.clone().refine(NoRefine).fit(&points).unwrap();
+        assert_eq!(seed_only.iterations(), 0);
+        assert!(
+            (seed_only.cost() - seed_only.init_stats().seed_cost).abs()
+                <= 1e-9 * (1.0 + seed_only.cost())
+        );
+
+        let mini = base
+            .refine(MiniBatch(MiniBatchConfig {
+                batch_size: 64,
+                iterations: 100,
+            }))
+            .fit(&points)
+            .unwrap();
+        assert!(mini.cost() <= seed_only.cost() + 1e-9);
+        assert_eq!(mini.refiner_name(), "minibatch");
+    }
+
+    #[test]
+    fn afk_mc2_reaches_the_builder() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .init(AfkMc2 { chain_length: 30 })
+            .seed(4)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        assert_eq!(model.k(), 3);
+        assert_eq!(model.init_name(), "afk-mc2");
+        assert!(model.converged());
+    }
+
+    #[test]
+    fn weighted_fit_biases_toward_heavy_points() {
+        // One heavy point far away: with weights it deserves its own
+        // center; unweighted it is outvoted by the dense blob.
+        let mut points = PointMatrix::new(1);
+        for i in 0..50 {
+            points.push(&[i as f64 * 0.01]).unwrap();
+        }
+        points.push(&[1000.0]).unwrap();
+        let mut weights = vec![1.0; 50];
+        weights.push(500.0);
+        let model = KMeans::params(2)
+            .init(InitMethod::KMeansPlusPlus)
+            .weights(&weights)
+            .seed(3)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        assert!(
+            model.centers().rows().any(|r| (r[0] - 1000.0).abs() < 1.0),
+            "heavy point has no center: {:?}",
+            model.centers()
+        );
+        // Weighted cost is consistent: the heavy point sits on its own
+        // center, leaving only the dense blob's internal spread (≈ 1.04).
+        assert!(model.cost() < 2.0, "cost {}", model.cost());
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_by_fit() {
+        let points = blobs();
+        let err = KMeans::params(3)
+            .weights(&[1.0, 2.0])
+            .fit(&points)
+            .unwrap_err();
+        assert!(matches!(err, KMeansError::InvalidConfig(_)));
+        let bad = vec![f64::NAN; points.len()];
+        let err = KMeans::params(3).weights(&bad).fit(&points).unwrap_err();
+        assert!(matches!(err, KMeansError::InvalidConfig(_)));
+    }
+
+    #[test]
     fn cluster_sizes_sum_to_n() {
         let points = blobs();
         let model = KMeans::params(3)
@@ -310,6 +523,28 @@ mod tests {
     }
 
     #[test]
+    fn predict_and_cost_of_are_parallelism_invariant() {
+        let points = blobs();
+        let fit = |par: Parallelism| {
+            KMeans::params(3)
+                .seed(2)
+                .parallelism(par)
+                .shard_size(16)
+                .fit(&points)
+                .unwrap()
+        };
+        let seq = fit(Parallelism::Sequential);
+        let par = fit(Parallelism::Threads(4));
+        assert_eq!(seq.predict(&points).unwrap(), par.predict(&points).unwrap());
+        assert_eq!(
+            seq.cost_of(&points).unwrap().to_bits(),
+            par.cost_of(&points).unwrap().to_bits()
+        );
+        // Self-prediction reproduces training labels.
+        assert_eq!(par.predict(&points).unwrap(), par.labels());
+    }
+
+    #[test]
     fn predict_rejects_wrong_dim() {
         let points = blobs();
         let model = KMeans::params(2)
@@ -333,6 +568,23 @@ mod tests {
             KMeans::params(points.len() + 1).fit(&points),
             Err(KMeansError::InvalidK { .. })
         ));
+    }
+
+    #[test]
+    fn lloyd_knobs_conflict_with_custom_refiner() {
+        let points = blobs();
+        let err = KMeans::params(3)
+            .max_iterations(5)
+            .refine(HamerlyLloyd::default())
+            .fit(&points)
+            .unwrap_err();
+        assert!(matches!(err, KMeansError::InvalidConfig(_)), "{err:?}");
+        let err = KMeans::params(3)
+            .refine(NoRefine)
+            .tol(0.1)
+            .fit(&points)
+            .unwrap_err();
+        assert!(matches!(err, KMeansError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,783 @@
+//! The pluggable seeding/refinement pipeline: [`Initializer`] and
+//! [`Refiner`] traits plus the core implementations of both.
+//!
+//! The paper's central observation is that seeding and refinement are
+//! independent, swappable stages: Tables 1–6 mix k-means||, k-means++,
+//! Random and Partition seeds with Lloyd refinement, and §7 asks whether
+//! refinement modifications (Sculley's mini-batch \[31]) parallelize as
+//! well. This module makes that composition a first-class, object-safe
+//! API: any `Initializer` can feed any `Refiner` through the
+//! [`KMeans`](crate::model::KMeans) builder.
+//!
+//! Core initializers: [`Random`], [`KMeansPlusPlus`], [`KMeansParallel`],
+//! [`AfkMc2`]. The streaming seeders (Partition, coreset tree) implement
+//! the same trait from the `kmeans-streaming` crate.
+//!
+//! Refiners: [`Lloyd`], [`HamerlyLloyd`], [`MiniBatch`], and [`NoRefine`]
+//! (seed-only — the Table 1/2 "seed cost" studies are `NoRefine` runs).
+//! Every refiner returns a unified [`RefineResult`] including a
+//! distance-evaluation count, so Hamerly's pruning stays observable next
+//! to plain Lloyd's `n·k` per iteration.
+//!
+//! Weighted data flows through both stages via the `weights` parameter
+//! (`KMeans::weights` plumbs it): `Random`, `KMeansPlusPlus`, `Lloyd` and
+//! `NoRefine` honor per-point weights; the remaining algorithms reject
+//! weighted input with a typed error rather than silently ignoring it.
+
+use crate::accel::hamerly_lloyd;
+use crate::assign::{assign_and_sum, assign_weighted};
+use crate::cost::{potential, weighted_potential};
+use crate::error::KMeansError;
+use crate::init::{
+    afk_mc2, kmeans_parallel, kmeanspp, random_init, validate, weighted_kmeanspp, InitResult,
+    InitStats, KMeansParallelConfig,
+};
+use crate::lloyd::{
+    lloyd, validate_refine_inputs, weighted_lloyd_traced, IterationStats, LloydConfig,
+};
+use crate::minibatch::{minibatch_kmeans, MiniBatchConfig};
+use kmeans_data::PointMatrix;
+use kmeans_par::Executor;
+use kmeans_util::sampling::{uniform_distinct, weighted_distinct};
+use kmeans_util::timing::Stopwatch;
+use kmeans_util::Rng;
+use std::fmt;
+
+/// A seeding stage: produces exactly `k` centers (plus accounting) from a
+/// dataset, an optional per-point weight vector, a seed, and an executor.
+///
+/// Object-safe: the [`KMeans`](crate::model::KMeans) builder stores
+/// `Arc<dyn Initializer>`, so implementations can live in other crates
+/// (the streaming seeders do).
+pub trait Initializer: fmt::Debug + Send + Sync {
+    /// Stable lower-case name used in reports and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Runs the seeding. The seed fully determines the outcome given the
+    /// executor's shard size (worker count never matters).
+    fn init(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError>;
+}
+
+/// A refinement stage: improves a set of seed centers over the dataset.
+pub trait Refiner: fmt::Debug + Send + Sync {
+    /// Stable lower-case name used in reports and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Runs the refinement from `centers`.
+    fn refine(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        centers: &PointMatrix,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError>;
+}
+
+/// Unified outcome of any [`Refiner`].
+#[derive(Clone, Debug)]
+pub struct RefineResult {
+    /// Final centers.
+    pub centers: PointMatrix,
+    /// Final assignment (consistent with `centers`).
+    pub labels: Vec<u32>,
+    /// Final potential; weighted `Σ wᵢ·d²ᵢ` when weights were given.
+    pub cost: f64,
+    /// Refinement iterations executed (0 for [`NoRefine`]).
+    pub iterations: usize,
+    /// Whether the refiner reached its own convergence criterion (always
+    /// `true` for [`NoRefine`], always `false` for the fixed-budget
+    /// [`MiniBatch`]).
+    pub converged: bool,
+    /// Per-iteration history where the refiner tracks one (plain Lloyd);
+    /// empty otherwise.
+    pub history: Vec<IterationStats>,
+    /// Point-to-center distance evaluations spent, including the closing
+    /// labeling pass. Exact for [`HamerlyLloyd`] (counted inside the
+    /// pruned loop); analytic `n·k`-per-pass for the others. The ratio
+    /// Lloyd/Hamerly at equal iterations is the pruning factor.
+    pub distance_computations: u64,
+}
+
+/// Validates an optional weight vector against the dataset.
+pub(crate) fn validate_weights(
+    points: &PointMatrix,
+    weights: Option<&[f64]>,
+) -> Result<(), KMeansError> {
+    let Some(w) = weights else { return Ok(()) };
+    if w.len() != points.len() {
+        return Err(KMeansError::InvalidConfig(format!(
+            "{} weights for {} points",
+            w.len(),
+            points.len()
+        )));
+    }
+    if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return Err(KMeansError::InvalidConfig(
+            "weights must be finite and non-negative".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Shared epilogue for initializers: stamps duration and the (possibly
+/// weighted) seed cost, exactly as the legacy `InitMethod::run` did.
+/// Public so out-of-crate [`Initializer`] implementations (the streaming
+/// adapters) stay on the same seed-cost convention.
+pub fn finish_init(
+    points: &PointMatrix,
+    weights: Option<&[f64]>,
+    centers: PointMatrix,
+    mut stats: InitStats,
+    sw: Stopwatch,
+    exec: &Executor,
+) -> InitResult {
+    stats.duration = sw.elapsed();
+    stats.seed_cost = match weights {
+        None => potential(points, &centers, exec),
+        Some(w) => weighted_potential(points, w, &centers),
+    };
+    InitResult { centers, stats }
+}
+
+/// Typed rejection for algorithms without a weighted formulation —
+/// shared by every `Initializer`/`Refiner` (the streaming adapters
+/// included) so the error text stays uniform.
+pub fn reject_weights(name: &str, weights: Option<&[f64]>) -> Result<(), KMeansError> {
+    if weights.is_some() {
+        return Err(KMeansError::InvalidConfig(format!(
+            "{name} does not support weighted input"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Initializers
+// ---------------------------------------------------------------------------
+
+/// Uniform seeding: `k` distinct points chosen uniformly at random (or
+/// weight-proportionally, without replacement, on weighted data).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Random;
+
+impl Initializer for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn init(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        validate(points, k)?;
+        validate_weights(points, weights)?;
+        let sw = Stopwatch::start();
+        let mut rng = Rng::derive(seed, &[20]);
+        let centers = match weights {
+            None => random_init(points, k, &mut rng)?,
+            Some(w) => {
+                // Weight-proportional sampling without replacement; if
+                // fewer than k points carry positive weight, top up
+                // uniformly from the zero-weight remainder.
+                let mut sel = weighted_distinct(w, k, &mut rng);
+                if sel.len() < k {
+                    let taken: std::collections::BTreeSet<usize> = sel.iter().copied().collect();
+                    let rest: Vec<usize> =
+                        (0..points.len()).filter(|i| !taken.contains(i)).collect();
+                    for j in uniform_distinct(rest.len(), k - sel.len(), &mut rng) {
+                        sel.push(rest[j]);
+                    }
+                }
+                points.select(&sel)
+            }
+        };
+        let stats = InitStats {
+            rounds: 0,
+            passes: 1,
+            candidates: k,
+            ..InitStats::default()
+        };
+        Ok(finish_init(points, weights, centers, stats, sw, exec))
+    }
+}
+
+/// Algorithm 1 (Arthur & Vassilvitskii 2007): sequential D²-weighted
+/// seeding; the weighted form is Step 8 of Algorithm 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KMeansPlusPlus;
+
+impl Initializer for KMeansPlusPlus {
+    fn name(&self) -> &'static str {
+        "kmeans++"
+    }
+
+    fn init(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        validate(points, k)?;
+        validate_weights(points, weights)?;
+        let sw = Stopwatch::start();
+        let mut rng = Rng::derive(seed, &[21]);
+        let centers = match weights {
+            None => kmeanspp(points, k, &mut rng, exec)?,
+            Some(w) => weighted_kmeanspp(points, w, k, &mut rng)?,
+        };
+        let stats = InitStats {
+            rounds: k.saturating_sub(1),
+            passes: k,
+            candidates: k,
+            ..InitStats::default()
+        };
+        Ok(finish_init(points, weights, centers, stats, sw, exec))
+    }
+}
+
+/// Algorithm 2 — **k-means||**: parallel oversampling + reclustering.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KMeansParallel(pub KMeansParallelConfig);
+
+impl Initializer for KMeansParallel {
+    fn name(&self) -> &'static str {
+        "kmeans-par"
+    }
+
+    fn init(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        validate(points, k)?;
+        reject_weights("k-means||", weights)?;
+        let sw = Stopwatch::start();
+        let (centers, stats) = kmeans_parallel(points, k, &self.0, seed, exec)?;
+        Ok(finish_init(points, weights, centers, stats, sw, exec))
+    }
+}
+
+/// AFK-MC² seeding (Bachem et al., NIPS 2016): Markov-chain approximation
+/// of the D² distribution after a single preprocessing pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AfkMc2 {
+    /// Markov-chain length `m` per drawn center (authors recommend the
+    /// low hundreds).
+    pub chain_length: usize,
+}
+
+impl Default for AfkMc2 {
+    fn default() -> Self {
+        AfkMc2 { chain_length: 200 }
+    }
+}
+
+impl Initializer for AfkMc2 {
+    fn name(&self) -> &'static str {
+        "afk-mc2"
+    }
+
+    fn init(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        validate(points, k)?;
+        reject_weights("afk-mc2", weights)?;
+        let sw = Stopwatch::start();
+        let mut rng = Rng::derive(seed, &[22]);
+        let centers = afk_mc2(points, k, self.chain_length, &mut rng, exec)?;
+        let stats = InitStats {
+            rounds: k.saturating_sub(1),
+            passes: 1, // one proposal pass; the chain never rescans the data
+            candidates: k,
+            ..InitStats::default()
+        };
+        Ok(finish_init(points, weights, centers, stats, sw, exec))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Refiners
+// ---------------------------------------------------------------------------
+
+/// Lloyd's iteration (§3.1), the paper's refinement stage. Honors
+/// per-point weights via the weighted centroid update.
+///
+/// Empty-cluster semantics differ by branch, inherited from the
+/// pre-pipeline entry points (parity with which is a test contract):
+/// the unweighted branch reseeds an emptied cluster onto the farthest
+/// point, while the weighted branch — like
+/// [`weighted_lloyd`](crate::lloyd::weighted_lloyd), which it reproduces
+/// bit-for-bit — keeps the previous center in place.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Lloyd(pub LloydConfig);
+
+impl Refiner for Lloyd {
+    fn name(&self) -> &'static str {
+        "lloyd"
+    }
+
+    fn refine(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        centers: &PointMatrix,
+        _seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        validate_weights(points, weights)?;
+        let n = points.len() as u64;
+        let k = centers.len() as u64;
+        match weights {
+            None => {
+                let r = lloyd(points, centers, &self.0, exec)?;
+                // assign_and_sum spends n·k per assignment pass; lloyd()
+                // counts the closing relabel pass itself.
+                Ok(RefineResult {
+                    distance_computations: n * k * r.assign_passes as u64,
+                    centers: r.centers,
+                    labels: r.labels,
+                    cost: r.cost,
+                    iterations: r.iterations,
+                    converged: r.converged,
+                    history: r.history,
+                })
+            }
+            Some(w) => {
+                self.0.validate()?;
+                validate_refine_inputs(points, centers)?;
+                let trace = weighted_lloyd_traced(
+                    points,
+                    w,
+                    centers.clone(),
+                    self.0.max_iterations,
+                    self.0.tol,
+                );
+                // On a stable exit the trace's last pass already produced
+                // (labels, cost) for the final centers; otherwise one
+                // closing relabel pass is needed (and counted).
+                let (labels, cost, closing) = match trace.stable {
+                    Some((labels, cost)) => (labels, cost, 0),
+                    None => {
+                        let (labels, _sums, _wsum, cost) =
+                            assign_weighted(points, w, &trace.centers);
+                        (labels, cost, 1)
+                    }
+                };
+                Ok(RefineResult {
+                    centers: trace.centers,
+                    labels,
+                    cost,
+                    // Match unweighted lloyd()'s convention (history.len()):
+                    // every in-loop assignment pass counts as an iteration,
+                    // the stability-detecting no-op pass included.
+                    iterations: trace.assign_passes,
+                    converged: trace.converged,
+                    history: Vec::new(),
+                    distance_computations: n * k * (trace.assign_passes as u64 + closing),
+                })
+            }
+        }
+    }
+}
+
+/// Hamerly's bounds-accelerated Lloyd — exact results, far fewer distance
+/// evaluations; the count in [`RefineResult::distance_computations`] is
+/// measured, not analytic. Stops on assignment stability only: a nonzero
+/// `tol` in the config is rejected (see
+/// [`hamerly_lloyd`](crate::accel::hamerly_lloyd)).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HamerlyLloyd(pub LloydConfig);
+
+impl Refiner for HamerlyLloyd {
+    fn name(&self) -> &'static str {
+        "hamerly"
+    }
+
+    fn refine(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        centers: &PointMatrix,
+        _seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        reject_weights("hamerly", weights)?;
+        let r = hamerly_lloyd(points, centers, &self.0, exec)?;
+        Ok(RefineResult {
+            // The closing exact pass inside hamerly_lloyd is not part of
+            // its own counter; add it so refiners are comparable.
+            distance_computations: r.distance_computations
+                + points.len() as u64 * centers.len() as u64,
+            centers: r.centers,
+            labels: r.labels,
+            cost: r.cost,
+            iterations: r.iterations,
+            converged: r.converged,
+            history: Vec::new(),
+        })
+    }
+}
+
+/// Sculley's mini-batch k-means (WWW 2010; the paper's reference \[31]) —
+/// a fixed budget of small-batch gradient steps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MiniBatch(pub MiniBatchConfig);
+
+impl Refiner for MiniBatch {
+    fn name(&self) -> &'static str {
+        "minibatch"
+    }
+
+    fn refine(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        centers: &PointMatrix,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        reject_weights("minibatch", weights)?;
+        let k = centers.len() as u64;
+        let refined = minibatch_kmeans(points, centers, &self.0, seed)?;
+        let (labels, sums) = assign_and_sum(points, &refined, exec);
+        Ok(RefineResult {
+            centers: refined,
+            labels,
+            cost: sums.cost,
+            iterations: self.0.iterations,
+            converged: false, // fixed budget; no convergence test
+            history: Vec::new(),
+            distance_computations: (self.0.batch_size * self.0.iterations) as u64 * k
+                + points.len() as u64 * k,
+        })
+    }
+}
+
+/// The identity refiner: keeps the seed centers and only labels the data —
+/// the refiner behind seed-cost studies (Tables 1–2 "seed" columns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoRefine;
+
+impl Refiner for NoRefine {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn refine(
+        &self,
+        points: &PointMatrix,
+        weights: Option<&[f64]>,
+        centers: &PointMatrix,
+        _seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        validate_weights(points, weights)?;
+        validate_refine_inputs(points, centers)?;
+        let (labels, cost) = match weights {
+            None => {
+                let (labels, sums) = assign_and_sum(points, centers, exec);
+                (labels, sums.cost)
+            }
+            Some(w) => {
+                let (labels, _sums, _wsum, cost) = assign_weighted(points, w, centers);
+                (labels, cost)
+            }
+        };
+        Ok(RefineResult {
+            centers: centers.clone(),
+            labels,
+            cost,
+            iterations: 0,
+            converged: true,
+            history: Vec::new(),
+            distance_computations: points.len() as u64 * centers.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_par::Parallelism;
+
+    fn blobs() -> PointMatrix {
+        let mut m = PointMatrix::new(2);
+        for (cx, cy) in [(0.0, 0.0), (30.0, 0.0), (0.0, 30.0)] {
+            for i in 0..40 {
+                m.push(&[cx + (i % 8) as f64 * 0.1, cy + (i / 8) as f64 * 0.1])
+                    .unwrap();
+            }
+        }
+        m
+    }
+
+    fn initializers() -> Vec<Box<dyn Initializer>> {
+        vec![
+            Box::new(Random),
+            Box::new(KMeansPlusPlus),
+            Box::new(KMeansParallel::default()),
+            Box::new(AfkMc2 { chain_length: 20 }),
+        ]
+    }
+
+    fn refiners() -> Vec<Box<dyn Refiner>> {
+        vec![
+            Box::new(Lloyd::default()),
+            Box::new(HamerlyLloyd::default()),
+            Box::new(MiniBatch(MiniBatchConfig {
+                batch_size: 32,
+                iterations: 40,
+            })),
+            Box::new(NoRefine),
+        ]
+    }
+
+    #[test]
+    fn every_initializer_returns_k_centers_with_stats() {
+        let points = blobs();
+        let exec = Executor::sequential();
+        for init in initializers() {
+            let r = init.init(&points, None, 3, 7, &exec).unwrap();
+            assert_eq!(r.centers.len(), 3, "{init:?}");
+            assert!(r.stats.seed_cost >= 0.0);
+            assert!(r.stats.passes >= 1, "{init:?}");
+        }
+    }
+
+    #[test]
+    fn every_refiner_is_cost_consistent() {
+        let points = blobs();
+        let exec = Executor::sequential();
+        let seed = KMeansPlusPlus.init(&points, None, 3, 1, &exec).unwrap();
+        for refiner in refiners() {
+            let r = refiner
+                .refine(&points, None, &seed.centers, 1, &exec)
+                .unwrap();
+            assert_eq!(r.centers.len(), 3, "{refiner:?}");
+            assert_eq!(r.labels.len(), points.len());
+            assert!(r.cost.is_finite() && r.cost >= 0.0);
+            assert!(r.distance_computations > 0, "{refiner:?}");
+            // Reported cost matches an exact recomputation.
+            let direct = potential(&points, &r.centers, &exec);
+            assert!(
+                (r.cost - direct).abs() <= 1e-9 * (1.0 + direct),
+                "{refiner:?}: {} vs {}",
+                r.cost,
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn no_refine_keeps_seed_centers_and_cost() {
+        let points = blobs();
+        let exec = Executor::sequential();
+        let seed = Random.init(&points, None, 3, 5, &exec).unwrap();
+        let r = NoRefine
+            .refine(&points, None, &seed.centers, 5, &exec)
+            .unwrap();
+        assert_eq!(r.centers, seed.centers);
+        assert_eq!(r.iterations, 0);
+        assert!(r.converged);
+        assert!((r.cost - seed.stats.seed_cost).abs() <= 1e-9 * (1.0 + r.cost));
+    }
+
+    #[test]
+    fn hamerly_prunes_relative_to_lloyd() {
+        let points = blobs();
+        let exec = Executor::sequential();
+        let seed = Random.init(&points, None, 3, 2, &exec).unwrap();
+        let plain = Lloyd::default()
+            .refine(&points, None, &seed.centers, 2, &exec)
+            .unwrap();
+        let fast = HamerlyLloyd::default()
+            .refine(&points, None, &seed.centers, 2, &exec)
+            .unwrap();
+        assert_eq!(plain.labels, fast.labels);
+        assert!(fast.distance_computations < plain.distance_computations);
+    }
+
+    #[test]
+    fn weighted_support_matrix_is_honest() {
+        let points = blobs();
+        let w = vec![1.0; points.len()];
+        let exec = Executor::sequential();
+        // Supported paths succeed.
+        assert!(Random.init(&points, Some(&w), 3, 1, &exec).is_ok());
+        assert!(KMeansPlusPlus.init(&points, Some(&w), 3, 1, &exec).is_ok());
+        let seed = KMeansPlusPlus.init(&points, Some(&w), 3, 1, &exec).unwrap();
+        assert!(Lloyd::default()
+            .refine(&points, Some(&w), &seed.centers, 1, &exec)
+            .is_ok());
+        assert!(NoRefine
+            .refine(&points, Some(&w), &seed.centers, 1, &exec)
+            .is_ok());
+        // Unsupported paths reject with a typed error.
+        for result in [
+            KMeansParallel::default()
+                .init(&points, Some(&w), 3, 1, &exec)
+                .err(),
+            AfkMc2::default().init(&points, Some(&w), 3, 1, &exec).err(),
+            HamerlyLloyd::default()
+                .refine(&points, Some(&w), &seed.centers, 1, &exec)
+                .err(),
+            MiniBatch::default()
+                .refine(&points, Some(&w), &seed.centers, 1, &exec)
+                .err(),
+        ] {
+            assert!(matches!(result, Some(KMeansError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted_potential() {
+        // Weighted fit with all-ones weights must report the same cost
+        // scale as the unweighted potential.
+        let points = blobs();
+        let w = vec![1.0; points.len()];
+        let exec = Executor::sequential();
+        let seed = KMeansPlusPlus.init(&points, Some(&w), 3, 3, &exec).unwrap();
+        let direct = potential(&points, &seed.centers, &exec);
+        assert!((seed.stats.seed_cost - direct).abs() <= 1e-9 * (1.0 + direct));
+    }
+
+    #[test]
+    fn weighted_random_top_up_covers_zero_weight_data() {
+        // Only 2 positive-weight points but k = 4: top-up must fill in.
+        let points = PointMatrix::from_flat((0..12).map(|i| i as f64).collect(), 1).unwrap();
+        let mut w = vec![0.0; 12];
+        w[3] = 1.0;
+        w[8] = 2.0;
+        let exec = Executor::sequential();
+        let r = Random.init(&points, Some(&w), 4, 9, &exec).unwrap();
+        assert_eq!(r.centers.len(), 4);
+        // The two positive-weight points are always selected.
+        for v in [3.0, 8.0] {
+            assert!(r.centers.rows().any(|row| row[0] == v), "missing {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_lloyd_validates_config_like_unweighted() {
+        let points = blobs();
+        let w = vec![1.0; points.len()];
+        let exec = Executor::sequential();
+        let seed = KMeansPlusPlus.init(&points, None, 3, 1, &exec).unwrap();
+        let bad = Lloyd(LloydConfig {
+            max_iterations: 0,
+            tol: 0.0,
+        });
+        for weights in [None, Some(w.as_slice())] {
+            assert!(
+                matches!(
+                    bad.refine(&points, weights, &seed.centers, 1, &exec),
+                    Err(KMeansError::InvalidConfig(_))
+                ),
+                "weights: {weights:?}"
+            );
+        }
+        let bad_tol = Lloyd(LloydConfig {
+            max_iterations: 10,
+            tol: -1.0,
+        });
+        assert!(bad_tol
+            .refine(&points, Some(&w), &seed.centers, 1, &exec)
+            .is_err());
+        // Hamerly has no tolerance-based stop: a nonzero (or invalid) tol
+        // is rejected rather than silently ignored.
+        for tol in [0.1, -1.0] {
+            let r = HamerlyLloyd(LloydConfig {
+                max_iterations: 10,
+                tol,
+            })
+            .refine(&points, None, &seed.centers, 1, &exec);
+            assert!(
+                matches!(r, Err(KMeansError::InvalidConfig(_))),
+                "tol {tol}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tol_stop_reports_final_center_cost_through_refiner() {
+        // Regression: the refiner's reported cost must match an exact
+        // recomputation on the returned centers even when `tol` (not
+        // assignment stability) ends the run.
+        let points = blobs();
+        let exec = Executor::sequential();
+        let seed = Random.init(&points, None, 3, 2, &exec).unwrap();
+        let eager = Lloyd(LloydConfig {
+            max_iterations: 100,
+            tol: 1.0,
+        });
+        let w = vec![1.0; points.len()];
+        for weights in [None, Some(w.as_slice())] {
+            let r = eager
+                .refine(&points, weights, &seed.centers, 2, &exec)
+                .unwrap();
+            assert!(r.converged, "weights: {weights:?}");
+            let direct = potential(&points, &r.centers, &exec);
+            assert!(
+                (r.cost - direct).abs() <= 1e-9 * (1.0 + direct),
+                "weights {weights:?}: reported {} vs recomputed {}",
+                r.cost,
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn bad_weights_are_rejected_everywhere() {
+        let points = blobs();
+        let exec = Executor::sequential();
+        let short = vec![1.0; 3];
+        let negative = vec![-1.0; points.len()];
+        for w in [&short, &negative] {
+            assert!(Random.init(&points, Some(w), 3, 0, &exec).is_err());
+            assert!(KMeansPlusPlus.init(&points, Some(w), 3, 0, &exec).is_err());
+        }
+    }
+
+    #[test]
+    fn refiners_are_thread_count_invariant() {
+        let points = blobs();
+        let seed = KMeansPlusPlus
+            .init(&points, None, 3, 4, &Executor::sequential())
+            .unwrap();
+        for refiner in refiners() {
+            let run = |par: Parallelism| {
+                let exec = Executor::new(par).with_shard_size(32);
+                refiner
+                    .refine(&points, None, &seed.centers, 4, &exec)
+                    .unwrap()
+            };
+            let a = run(Parallelism::Sequential);
+            let b = run(Parallelism::Threads(3));
+            assert_eq!(a.labels, b.labels, "{refiner:?}");
+            assert_eq!(a.centers, b.centers, "{refiner:?}");
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{refiner:?}");
+        }
+    }
+}

@@ -49,7 +49,10 @@ impl fmt::Display for DataError {
             }
             DataError::Empty => write!(f, "operation requires a non-empty dataset"),
             DataError::RaggedBuffer { len, dim } => {
-                write!(f, "flat buffer of length {len} is not a multiple of dim {dim}")
+                write!(
+                    f,
+                    "flat buffer of length {len} is not a multiple of dim {dim}"
+                )
             }
             DataError::LabelCountMismatch { points, labels } => {
                 write!(f, "{labels} labels for {points} points")

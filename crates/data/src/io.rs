@@ -159,8 +159,7 @@ mod tests {
     use super::*;
 
     fn toy_dataset() -> Dataset {
-        let points =
-            PointMatrix::from_flat(vec![1.5, -2.0, 0.0, 3.25, 1e10, -0.5], 2).unwrap();
+        let points = PointMatrix::from_flat(vec![1.5, -2.0, 0.0, 3.25, 1e10, -0.5], 2).unwrap();
         Dataset::with_labels("toy", points, vec![0, 1, 1]).unwrap()
     }
 

@@ -58,7 +58,7 @@ impl PointMatrix {
         if dim == 0 {
             return Err(DataError::InvalidParam("dim must be positive".into()));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(DataError::RaggedBuffer {
                 len: data.len(),
                 dim,

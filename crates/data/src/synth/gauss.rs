@@ -89,9 +89,7 @@ impl GaussMixture {
             return Err(DataError::InvalidParam("n must be positive".into()));
         }
         if self.center_variance <= 0.0 || self.cluster_variance < 0.0 {
-            return Err(DataError::InvalidParam(
-                "variances must be positive".into(),
-            ));
+            return Err(DataError::InvalidParam("variances must be positive".into()));
         }
 
         // Component centers: N(0, R·I)  ⇒  per-coordinate std = sqrt(R).
@@ -143,11 +141,7 @@ mod tests {
 
     #[test]
     fn shape_matches_parameters() {
-        let s = GaussMixture::new(5)
-            .dim(3)
-            .points(200)
-            .generate(7)
-            .unwrap();
+        let s = GaussMixture::new(5).dim(3).points(200).generate(7).unwrap();
         assert_eq!(s.dataset.len(), 200);
         assert_eq!(s.dataset.dim(), 3);
         assert_eq!(s.true_centers.len(), 5);
@@ -170,7 +164,10 @@ mod tests {
     fn center_spread_scales_with_r() {
         // Mean squared center norm should be ≈ d·R.
         for r in [1.0, 100.0] {
-            let s = GaussMixture::new(200).center_variance(r).generate(3).unwrap();
+            let s = GaussMixture::new(200)
+                .center_variance(r)
+                .generate(3)
+                .unwrap();
             let msq: f64 = s
                 .true_centers
                 .rows()
@@ -214,8 +211,14 @@ mod tests {
         assert!(GaussMixture::new(0).generate(0).is_err());
         assert!(GaussMixture::new(2).dim(0).generate(0).is_err());
         assert!(GaussMixture::new(2).points(0).generate(0).is_err());
-        assert!(GaussMixture::new(2).center_variance(0.0).generate(0).is_err());
-        assert!(GaussMixture::new(2).cluster_variance(-1.0).generate(0).is_err());
+        assert!(GaussMixture::new(2)
+            .center_variance(0.0)
+            .generate(0)
+            .is_err());
+        assert!(GaussMixture::new(2)
+            .cluster_variance(-1.0)
+            .generate(0)
+            .is_err());
     }
 
     #[test]

@@ -210,7 +210,11 @@ impl Profile {
         } else {
             (rng.uniform(3.0, 6.0), rng.uniform(0.05, 0.3))
         };
-        let bytes = if src_heavy { [big, small] } else { [small, big] };
+        let bytes = if src_heavy {
+            [big, small]
+        } else {
+            [small, big]
+        };
         let mut flags = [0.0; 6];
         for f in &mut flags {
             *f = if rng.bernoulli(0.25) {
@@ -344,7 +348,9 @@ fn build_profiles() -> Vec<Profile> {
     // Remaining mass, split across rare attacks by a power law (the real
     // class histogram spans 4 orders of magnitude below the top three).
     let rare_total = 1.0 - profiles.iter().map(|p| p.weight).sum::<f64>();
-    let raw: Vec<f64> = (0..N_RARE).map(|i| 1.0 / ((i + 2) as f64).powf(1.6)).collect();
+    let raw: Vec<f64> = (0..N_RARE)
+        .map(|i| 1.0 / ((i + 2) as f64).powf(1.6))
+        .collect();
     let raw_sum: f64 = raw.iter().sum();
     for (i, r) in raw.into_iter().enumerate() {
         profiles.push(Profile::rare(i, rare_total * r / raw_sum));

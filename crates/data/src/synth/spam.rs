@@ -291,18 +291,16 @@ mod tests {
     fn capital_runs_have_heavy_tails() {
         let s = SpamLike::new().generate(5).unwrap();
         let total_dim = N_WORD + N_CHAR + 2; // "total capitals"
-        let mut values: Vec<f64> = s
-            .dataset
-            .points()
-            .rows()
-            .map(|r| r[total_dim])
-            .collect();
+        let mut values: Vec<f64> = s.dataset.points().rows().map(|r| r[total_dim]).collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = values[values.len() / 2];
         let max = *values.last().unwrap();
         // Real Spambase: median 95, max 15 841 — a two-orders-of-magnitude
         // tail. Require at least that spread.
-        assert!(max / median > 50.0, "tail too light: median {median}, max {max}");
+        assert!(
+            max / median > 50.0,
+            "tail too light: median {median}, max {max}"
+        );
         assert!(values[0] >= 1.0, "capital run below 1");
     }
 

@@ -109,10 +109,10 @@ impl Executor {
         }
         let next = AtomicUsize::new(0);
         let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut local: Vec<(usize, T)> = Vec::new();
                         loop {
                             let s = next.fetch_add(1, Ordering::Relaxed);
@@ -130,8 +130,7 @@ impl Executor {
                     results[s] = Some(value);
                 }
             }
-        })
-        .expect("executor scope panicked");
+        });
         results
             .into_iter()
             .map(|r| r.expect("shard result missing"))
@@ -179,9 +178,9 @@ impl Executor {
             .map(|(range, chunk)| Mutex::new(Some((range.start, chunk))))
             .collect();
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let s = next.fetch_add(1, Ordering::Relaxed);
                     if s >= count {
                         break;
@@ -194,8 +193,7 @@ impl Executor {
                     f(s, start, chunk);
                 });
             }
-        })
-        .expect("executor scope panicked");
+        });
     }
 
     /// Runs `f` over shard-aligned mutable chunks of `out` while
@@ -233,10 +231,10 @@ impl Executor {
             .collect();
         let next = AtomicUsize::new(0);
         let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut local: Vec<(usize, T)> = Vec::new();
                         loop {
                             let s = next.fetch_add(1, Ordering::Relaxed);
@@ -259,8 +257,7 @@ impl Executor {
                     results[s] = Some(value);
                 }
             }
-        })
-        .expect("executor scope panicked");
+        });
         results
             .into_iter()
             .map(|r| r.expect("shard result missing"))
@@ -300,9 +297,9 @@ impl Executor {
             .map(|(range, (ca, cb))| Mutex::new(Some((range.start, ca, cb))))
             .collect();
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let s = next.fetch_add(1, Ordering::Relaxed);
                     if s >= count {
                         break;
@@ -315,8 +312,7 @@ impl Executor {
                     f(s, start, ca, cb);
                 });
             }
-        })
-        .expect("executor scope panicked");
+        });
     }
 }
 
@@ -356,15 +352,18 @@ mod tests {
 
     #[test]
     fn map_reduce_identical_across_worker_counts() {
-        let reference: Vec<f64> = Executor::sequential()
-            .with_shard_size(64)
-            .map_shards(10_000, |s, r| {
-                // A float computation whose result depends on shard identity.
-                r.map(|i| ((i as f64) * 1.37 + s as f64).sqrt()).sum::<f64>()
-            });
+        let reference: Vec<f64> =
+            Executor::sequential()
+                .with_shard_size(64)
+                .map_shards(10_000, |s, r| {
+                    // A float computation whose result depends on shard identity.
+                    r.map(|i| ((i as f64) * 1.37 + s as f64).sqrt())
+                        .sum::<f64>()
+                });
         for exec in executors() {
             let got = exec.map_shards(10_000, |s, r| {
-                r.map(|i| ((i as f64) * 1.37 + s as f64).sqrt()).sum::<f64>()
+                r.map(|i| ((i as f64) * 1.37 + s as f64).sqrt())
+                    .sum::<f64>()
             });
             assert_eq!(got, reference, "divergence for {:?}", exec.parallelism());
         }

@@ -121,12 +121,7 @@ pub struct JobOutput<K, R> {
 /// let out = run(&exec, &records, |_, &n, e| e.emit(n % 3, 1u64), |_, vs| vs.iter().sum::<u64>());
 /// assert_eq!(out.results, vec![(0, 34), (1, 33), (2, 33)]);
 /// ```
-pub fn run<I, K, V, R, M, F>(
-    exec: &Executor,
-    records: &[I],
-    map: M,
-    reduce: F,
-) -> JobOutput<K, R>
+pub fn run<I, K, V, R, M, F>(exec: &Executor, records: &[I], map: M, reduce: F) -> JobOutput<K, R>
 where
     I: Sync,
     K: Ord + Send,
@@ -216,7 +211,10 @@ mod tests {
         };
         let reference = job(&Executor::sequential());
         for threads in [2, 5] {
-            assert_eq!(job(&Executor::new(Parallelism::Threads(threads))), reference);
+            assert_eq!(
+                job(&Executor::new(Parallelism::Threads(threads))),
+                reference
+            );
         }
     }
 
@@ -226,12 +224,7 @@ mod tests {
         // record order, regardless of which worker mapped which shard.
         let records: Vec<u32> = (0..400).collect();
         let exec = Executor::new(Parallelism::Threads(4)).with_shard_size(32);
-        let out = run(
-            &exec,
-            &records,
-            |i, _, e| e.emit((), i),
-            |_, vs| vs,
-        );
+        let out = run(&exec, &records, |i, _, e| e.emit((), i), |_, vs| vs);
         assert_eq!(out.results.len(), 1);
         let order = &out.results[0].1;
         assert!(order.windows(2).all(|w| w[0] < w[1]), "values out of order");

@@ -88,6 +88,13 @@ impl CoresetTree {
         self.buckets.iter().map(|b| b.points.len()).sum()
     }
 
+    /// Raw points waiting in the open leaf buffer (not yet reduced).
+    /// `representatives() + buffered()` is the size of the set
+    /// [`CoresetTree::cluster`] reclusters, without materializing it.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
     /// Feeds one point into the stream.
     ///
     /// # Errors
@@ -168,7 +175,7 @@ impl CoresetTree {
             weights.extend_from_slice(&b.weights);
         }
         points.extend_from(&self.buffer).expect("dims match");
-        weights.extend(std::iter::repeat(1.0).take(self.buffer.len()));
+        weights.extend(std::iter::repeat_n(1.0, self.buffer.len()));
         (points, weights)
     }
 

@@ -33,10 +33,7 @@ pub fn kmeans_sharp(
         return Err(KMeansError::EmptyInput);
     }
     if k == 0 {
-        return Err(KMeansError::InvalidK {
-            k,
-            n: points.len(),
-        });
+        return Err(KMeansError::InvalidK { k, n: points.len() });
     }
     let n = points.len();
     let per_round = draws_per_round(k);

@@ -24,7 +24,9 @@
 pub mod coreset;
 pub mod kmeans_sharp;
 pub mod partition;
+pub mod pipeline;
 
 pub use coreset::CoresetTree;
 pub use kmeans_sharp::kmeans_sharp;
 pub use partition::{partition_init, PartitionConfig, PartitionResult};
+pub use pipeline::{Coreset, Partition};

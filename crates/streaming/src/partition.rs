@@ -92,8 +92,8 @@ pub fn partition_init(
     // Per-group k-means# plus local weighting, one parallel task per group.
     let sw = Stopwatch::start();
     let group_exec = exec.clone().with_shard_size(1);
-    let group_outputs: Vec<Result<(PointMatrix, Vec<f64>), KMeansError>> = group_exec
-        .map_shards(m, |g, _| {
+    let group_outputs: Vec<Result<(PointMatrix, Vec<f64>), KMeansError>> =
+        group_exec.map_shards(m, |g, _| {
             let (start, end) = bounds[g];
             let group_points = points.select(&order[start..end]);
             let mut group_rng = Rng::derive(seed, &[61, g as u64]);
@@ -166,8 +166,7 @@ mod tests {
     fn returns_k_centers_and_counts_intermediate() {
         let points = blobs(250, &[0.0, 1e4, 2e4, 3e4]);
         let exec = Executor::sequential();
-        let result =
-            partition_init(&points, 4, &PartitionConfig::default(), 1, &exec).unwrap();
+        let result = partition_init(&points, 4, &PartitionConfig::default(), 1, &exec).unwrap();
         assert_eq!(result.centers.len(), 4);
         // m = √(1000/4) ≈ 16 groups; each yields ≤ 1 + k·3lnk centers.
         assert_eq!(result.groups, 16);
@@ -213,14 +212,8 @@ mod tests {
     fn explicit_group_count_is_respected() {
         let points = blobs(100, &[0.0, 10.0]);
         let exec = Executor::sequential();
-        let result = partition_init(
-            &points,
-            2,
-            &PartitionConfig { groups: Some(5) },
-            3,
-            &exec,
-        )
-        .unwrap();
+        let result =
+            partition_init(&points, 2, &PartitionConfig { groups: Some(5) }, 3, &exec).unwrap();
         assert_eq!(result.groups, 5);
     }
 
@@ -229,8 +222,7 @@ mod tests {
         // 30 copies of one value: coreset has 1 center < k = 3.
         let points = PointMatrix::from_flat(vec![5.0; 30], 1).unwrap();
         let exec = Executor::sequential();
-        let result =
-            partition_init(&points, 3, &PartitionConfig::default(), 2, &exec).unwrap();
+        let result = partition_init(&points, 3, &PartitionConfig::default(), 2, &exec).unwrap();
         assert_eq!(result.centers.len(), 3);
     }
 

@@ -531,10 +531,7 @@ mod tests {
             assert!(sel.iter().all(|&i| i < 50));
         }
         // m == n returns everything.
-        assert_eq!(
-            uniform_distinct(5, 5, &mut rng),
-            vec![0, 1, 2, 3, 4]
-        );
+        assert_eq!(uniform_distinct(5, 5, &mut rng), vec![0, 1, 2, 3, 4]);
         assert!(uniform_distinct(5, 0, &mut rng).is_empty());
     }
 

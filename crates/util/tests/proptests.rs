@@ -9,10 +9,10 @@ use proptest::prelude::*;
 
 /// Strategy: non-empty weight vectors with at least one positive entry.
 fn weight_vecs() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..1e6, 1..200).prop_filter(
-        "at least one positive weight",
-        |w| w.iter().any(|&x| x > 0.0),
-    )
+    proptest::collection::vec(0.0f64..1e6, 1..200)
+        .prop_filter("at least one positive weight", |w| {
+            w.iter().any(|&x| x > 0.0)
+        })
 }
 
 proptest! {

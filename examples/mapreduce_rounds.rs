@@ -90,9 +90,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = weighted_kmeanspp(&centers, &weights, k, &mut rng)?;
     let seed_cost = scalable_kmeans::core::cost::potential(points, &seeds, &exec);
 
-    println!("\nreclustered {} weighted candidates -> {k} seeds", centers.len());
+    println!(
+        "\nreclustered {} weighted candidates -> {k} seeds",
+        centers.len()
+    );
     println!("seed cost: {seed_cost:.3e}");
-    println!("\npipeline accounting ({} jobs over {} records):", 2 * rounds + 1, n);
+    println!(
+        "\npipeline accounting ({} jobs over {} records):",
+        2 * rounds + 1,
+        n
+    );
     println!("  map tasks           {}", pipeline.map_tasks);
     println!("  records read        {}", pipeline.records_in);
     println!("  pairs shuffled      {}", pipeline.pairs_shuffled);

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("{:>10}", 1 + r); // 1 initial pass + r rounds
     }
-    println!("{:>8}{:>12.4e}   <- k-means++ ({k} passes)", "++", pp_median);
+    println!(
+        "{:>8}{:>12.4e}   <- k-means++ ({k} passes)",
+        "++", pp_median
+    );
     println!(
         "\nreading: r*l >= k reaches k-means++ quality; extra rounds/oversampling buy\n\
          little beyond r = 5 (the paper's recommendation), at 1/{}th the passes.",

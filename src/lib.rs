@@ -47,22 +47,28 @@ pub use kmeans_streaming as streaming;
 pub use kmeans_util as util;
 
 pub use kmeans_core::{
-    InitMethod, KMeans, KMeansError, KMeansModel, KMeansParallelConfig, LloydConfig,
+    InitMethod, Initializer, KMeans, KMeansError, KMeansModel, KMeansParallelConfig, LloydConfig,
+    RefineResult, Refiner,
 };
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
+    pub use kmeans_core::accel::{hamerly_lloyd, HamerlyResult};
     pub use kmeans_core::init::{
         InitMethod, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
     };
     pub use kmeans_core::lloyd::LloydConfig;
-    pub use kmeans_core::accel::{hamerly_lloyd, HamerlyResult};
     pub use kmeans_core::metrics::{adjusted_rand_index, nmi, purity, silhouette_sampled};
+    pub use kmeans_core::minibatch::MiniBatchConfig;
     pub use kmeans_core::model::{KMeans, KMeansModel};
+    pub use kmeans_core::pipeline::{
+        AfkMc2, HamerlyLloyd, Initializer, Lloyd, MiniBatch, NoRefine, RefineResult, Refiner,
+    };
     pub use kmeans_core::KMeansError;
     pub use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
     pub use kmeans_data::{Dataset, PointMatrix};
     pub use kmeans_par::{Executor, Parallelism};
     pub use kmeans_streaming::partition::{partition_init, PartitionConfig};
+    pub use kmeans_streaming::{Coreset, Partition};
     pub use kmeans_util::Rng;
 }

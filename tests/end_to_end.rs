@@ -19,11 +19,7 @@ fn gauss_mixture_pipeline_recovers_structure() {
     // Final cost ≈ n·d (unit variance clusters), far below the seed cost
     // of a random assignment.
     let nd = (points.len() * points.dim()) as f64;
-    assert!(
-        model.cost() < 1.5 * nd,
-        "cost {} vs n·d {nd}",
-        model.cost()
-    );
+    assert!(model.cost() < 1.5 * nd, "cost {} vs n·d {nd}", model.cost());
 }
 
 #[test]

@@ -78,7 +78,10 @@ fn invalid_configurations_are_rejected() {
         .unwrap_err();
     assert!(matches!(err, KMeansError::InvalidConfig(_)));
     // Zero Lloyd iterations.
-    let err = KMeans::params(3).max_iterations(0).fit(&points).unwrap_err();
+    let err = KMeans::params(3)
+        .max_iterations(0)
+        .fit(&points)
+        .unwrap_err();
     assert!(matches!(err, KMeansError::InvalidConfig(_)));
     // Negative tolerance.
     let err = KMeans::params(3).tol(-0.5).fit(&points).unwrap_err();
@@ -143,7 +146,10 @@ fn predict_and_cost_of_enforce_dimensions() {
     let wrong = PointMatrix::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
     assert!(matches!(
         model.predict(&wrong),
-        Err(KMeansError::DimensionMismatch { expected: 2, got: 3 })
+        Err(KMeansError::DimensionMismatch {
+            expected: 2,
+            got: 3
+        })
     ));
     assert!(model.cost_of(&wrong).is_err());
 }

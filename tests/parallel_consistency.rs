@@ -106,7 +106,9 @@ fn speedup_is_observable_on_multicore() {
     // dramatically slower than sequential on a chunky job (guards against
     // pathological contention in the shard queue). Uses wall time with a
     // generous factor to stay robust on loaded CI machines.
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     if cores < 2 {
         return;
     }

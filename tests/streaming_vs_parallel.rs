@@ -30,9 +30,8 @@ fn both_methods_beat_random_on_kdd_shape() {
     let points = synth.dataset.points();
     let k = 25;
     let exec = Executor::new(Parallelism::Auto);
-    let seed_cost = |centers: &PointMatrix| {
-        scalable_kmeans::core::cost::potential(points, centers, &exec)
-    };
+    let seed_cost =
+        |centers: &PointMatrix| scalable_kmeans::core::cost::potential(points, centers, &exec);
 
     let partition = partition_init(points, k, &PartitionConfig::default(), 2, &exec).unwrap();
     let parallel = InitMethod::default().run(points, k, 2, &exec).unwrap();
@@ -59,8 +58,7 @@ fn coreset_tree_single_pass_is_competitive() {
         tree.insert(row).unwrap();
     }
     let stream_centers = tree.cluster(10).unwrap();
-    let stream_cost =
-        scalable_kmeans::core::cost::potential(points, &stream_centers, &exec);
+    let stream_cost = scalable_kmeans::core::cost::potential(points, &stream_centers, &exec);
 
     let batch = KMeans::params(10).seed(3).fit(points).unwrap();
     assert!(

@@ -22,12 +22,7 @@ use scalable_kmeans::core::cost::{potential, CostTracker};
 use scalable_kmeans::prelude::*;
 
 /// Runs Steps 1–6 of Algorithm 2 manually, recording φ after each round.
-fn phi_trajectory(
-    points: &PointMatrix,
-    l: f64,
-    rounds: usize,
-    seed: u64,
-) -> Vec<f64> {
+fn phi_trajectory(points: &PointMatrix, l: f64, rounds: usize, seed: u64) -> Vec<f64> {
     let exec = Executor::new(Parallelism::Sequential);
     let mut rng = Rng::derive(seed, &[90]);
     let first = rng.range_usize(points.len());
