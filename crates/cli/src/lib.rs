@@ -33,6 +33,8 @@ use kmeans_core::metrics::{adjusted_rand_index, nmi, purity, silhouette_sampled}
 use kmeans_core::minibatch::MiniBatchConfig;
 use kmeans_core::model::KMeans;
 use kmeans_core::pipeline;
+use kmeans_data::blockfile::{csv_to_block_file, is_block_file, BlockFileSource};
+use kmeans_data::chunked::{ChunkedSource, CsvSource};
 use kmeans_data::io::{read_csv, write_csv, LabelColumn};
 use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
 use kmeans_data::{Dataset, PointMatrix};
@@ -41,6 +43,7 @@ use kmeans_streaming::partition::PartitionConfig;
 use kmeans_util::cli::Args;
 use std::fmt;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Errors surfaced to the terminal user.
 #[derive(Debug)]
@@ -91,6 +94,7 @@ pub fn dispatch(command: &str, args: &Args, out: &mut dyn Write) -> Result<(), C
     match command {
         "generate" => generate(args, out),
         "fit" => fit(args, out),
+        "convert" => convert(args, out),
         "predict" => predict(args, out),
         "evaluate" => evaluate(args, out),
         "help" | "--help" | "-h" => {
@@ -119,13 +123,24 @@ USAGE:
                [--max-iters I]                  (lloyd/hamerly refinement)
                [--tol T]                        (lloyd only: relative-improvement stop)
                [--seed S] [--threads T] [--assignments-out FILE]
+               [--chunked]                      (out-of-core: stream FILE block by block)
+               [--block-rows N]                 (chunked csv input: rows per block, default 8192)
+               [--mem-budget SIZE]              (chunked block-file input: e.g. 64m; default 256m)
+  skm convert  --input data.csv --out data.skmb [--block-rows N] [--labels]
   skm predict  --input FILE --centers FILE --out FILE
   skm evaluate --input FILE --centers FILE [--labels] [--silhouette-sample N]
   skm help
 
 Every --init seeder composes with every --refine refiner; --refine none
 keeps the seed centers (seed-cost studies). Runs are deterministic per
---seed for any --threads value."
+--seed for any --threads value.
+
+Out of core: `skm convert` rewrites a CSV as a binary block file (one
+streaming pass), and `skm fit --chunked` streams either format without
+materializing the dataset — results are bit-identical to the in-memory
+fit for every --init/--refine except afk-mc2, hamerly (no chunked
+formulation) and partition (true streaming variant). --chunked drops
+ground-truth label metrics; block size never changes results."
 }
 
 fn require(args: &Args, name: &str) -> Result<String, CliError> {
@@ -304,6 +319,31 @@ fn apply_refine(builder: KMeans, args: &Args) -> Result<KMeans, CliError> {
     })
 }
 
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (binary units).
+fn parse_size(value: &str, flag: &str) -> Result<u64, CliError> {
+    let t = value.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match t.as_bytes()[t.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mult)
+        }
+        None => (t.as_str(), 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "--{flag} expects a byte size like 1048576, 64k, 16m or 1g, got '{value}'"
+            ))
+        })
+}
+
 fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let input = require(args, "input")?;
     let centers_path = require(args, "centers-out")?;
@@ -311,12 +351,76 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if k == 0 {
         return Err(CliError::Usage("missing required --k".into()));
     }
-    let data = read_csv(&input, label_mode(args))?;
+    let chunked = args.flag("chunked");
+    if !chunked {
+        for flag in ["block-rows", "mem-budget"] {
+            if !args.str_or(flag, "").is_empty() {
+                return Err(CliError::Usage(format!(
+                    "--{flag} only applies to chunked fits (pass --chunked)"
+                )));
+            }
+        }
+    }
     let builder = KMeans::params(k)
         .seed(args.u64_or("seed", 0))
         .parallelism(parallelism(args));
     let builder = apply_refine(apply_init(builder, args)?, args)?;
-    let model = builder.fit(data.points())?;
+
+    // Ground truth is only available on the in-memory CSV path; chunked
+    // sources stream features alone.
+    type FitData = (
+        kmeans_core::model::KMeansModel,
+        usize,
+        usize,
+        Option<Vec<u32>>,
+        Option<Arc<dyn ChunkedSource>>,
+    );
+    let (model, n, dim, truth, source): FitData = if chunked {
+        // Each chunked flag belongs to exactly one input format; one that
+        // does not match the detected format is a usage error, not a
+        // silent no-op (the same fail-loudly rule as the stage flags).
+        let source: Arc<dyn ChunkedSource> = if is_block_file(&input) {
+            if !args.str_or("block-rows", "").is_empty() {
+                return Err(CliError::Usage(
+                    "--block-rows only applies to chunked csv input; \
+                     a block file fixes its own block size at conversion"
+                        .into(),
+                ));
+            }
+            if args.flag("labels") {
+                return Err(CliError::Usage(
+                    "--labels does not apply to block-file input: labels are \
+                     dropped at conversion (`skm convert --labels`); a block \
+                     file stores features only"
+                        .into(),
+                ));
+            }
+            let budget = parse_size(&args.str_or("mem-budget", "256m"), "mem-budget")?;
+            Arc::new(BlockFileSource::open(&input, budget)?)
+        } else {
+            if !args.str_or("mem-budget", "").is_empty() {
+                return Err(CliError::Usage(
+                    "--mem-budget only applies to chunked block-file input \
+                     (csv keeps exactly one block resident; `skm convert` first \
+                     to get a budgeted cache)"
+                        .into(),
+                ));
+            }
+            let block_rows = args.usize_or("block-rows", 8192);
+            Arc::new(CsvSource::open(&input, block_rows, label_mode(args))?)
+        };
+        let (n, dim) = (source.len(), source.dim());
+        let model = builder
+            .data_source_shared(Arc::clone(&source))
+            .fit_chunked()?;
+        (model, n, dim, None, Some(source))
+    } else {
+        let data = read_csv(&input, label_mode(args))?;
+        let (n, dim) = (data.len(), data.dim());
+        let model = builder.fit(data.points())?;
+        let truth = data.labels().map(<[u32]>::to_vec);
+        (model, n, dim, truth, None)
+    };
 
     write_csv(
         &centers_path,
@@ -324,11 +428,9 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     writeln!(
         out,
-        "fit k={k} on {} points x {} dims: init={}, refine={}, \
+        "fit k={k} on {n} points x {dim} dims: init={}, refine={}, \
          cost {:.6e}, seed cost {:.6e}, {} refine iterations ({}), \
          {} seeding passes, {} distance evals",
-        data.len(),
-        data.dim(),
         model.init_name(),
         model.refiner_name(),
         model.cost(),
@@ -347,13 +449,29 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     writeln!(out, "centers -> {centers_path}")?;
 
-    if let Some(truth) = data.labels() {
+    if let Some(source) = source {
+        let r = source.residency();
+        let total = (n * dim * std::mem::size_of::<f64>()) as u64;
+        writeln!(
+            out,
+            "chunked: peak resident {} B of {total} B feature data{}, \
+             {} block loads, {} cache hits",
+            r.peak_bytes,
+            match r.budget_bytes {
+                Some(b) => format!(" (budget {b} B)"),
+                None => String::new(),
+            },
+            r.loads,
+            r.hits,
+        )?;
+    }
+    if let Some(truth) = truth {
         writeln!(
             out,
             "vs ground truth: nmi {:.4}, ari {:.4}, purity {:.4}",
-            nmi(model.labels(), truth),
-            adjusted_rand_index(model.labels(), truth),
-            purity(model.labels(), truth),
+            nmi(model.labels(), &truth),
+            adjusted_rand_index(model.labels(), &truth),
+            purity(model.labels(), &truth),
         )?;
     }
     let assignments = args.str_or("assignments-out", "");
@@ -361,6 +479,21 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         write_labels(&assignments, model.labels())?;
         writeln!(out, "assignments -> {assignments}")?;
     }
+    Ok(())
+}
+
+/// `skm convert`: stream a CSV into the binary block format (never
+/// materializes the dataset; see `kmeans_data::blockfile`).
+fn convert(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = require(args, "input")?;
+    let out_path = require(args, "out")?;
+    let block_rows = args.usize_or("block-rows", 8192);
+    let (rows, dim) = csv_to_block_file(&input, &out_path, block_rows, label_mode(args))?;
+    writeln!(
+        out,
+        "converted {rows} points x {dim} dims into {} blocks of {block_rows} rows -> {out_path}",
+        rows.div_ceil(block_rows),
+    )?;
     Ok(())
 }
 
@@ -739,6 +872,150 @@ mod tests {
             .unwrap();
             assert!(out.contains("fit k=4"), "{dataset}: {out}");
         }
+    }
+
+    #[test]
+    fn chunked_fit_matches_in_memory_fit_for_both_formats() {
+        let data = tmp("chunk.csv");
+        let blocks = tmp("chunk.skmb");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 4 --n 500 --variance 50 --seed 9 --out {data} --no-labels"
+            )),
+        )
+        .unwrap();
+        // In-memory reference.
+        let mem_centers = tmp("chunk_mem.csv");
+        run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 4 --seed 3 --centers-out {mem_centers}"
+            )),
+        )
+        .unwrap();
+        // Chunked over CSV.
+        let csv_centers = tmp("chunk_csv.csv");
+        let out = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 4 --seed 3 --chunked --block-rows 64 \
+                 --centers-out {csv_centers}"
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("chunked: peak resident"), "{out}");
+        // Chunked over a converted block file with a small budget.
+        let out = run(
+            "convert",
+            &args(&format!("--input {data} --out {blocks} --block-rows 64")),
+        )
+        .unwrap();
+        assert!(out.contains("converted 500 points"), "{out}");
+        let blk_centers = tmp("chunk_blk.csv");
+        let out = run(
+            "fit",
+            &args(&format!(
+                "--input {blocks} --k 4 --seed 3 --chunked --mem-budget 32k \
+                 --centers-out {blk_centers}"
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("budget 32768 B"), "{out}");
+        // The shortest-round-trip CSV float formatting makes bit-identical
+        // centers file-identical.
+        let reference = std::fs::read_to_string(&mem_centers).unwrap();
+        assert_eq!(std::fs::read_to_string(&csv_centers).unwrap(), reference);
+        assert_eq!(std::fs::read_to_string(&blk_centers).unwrap(), reference);
+    }
+
+    #[test]
+    fn chunked_flags_are_validated() {
+        let data = tmp("chunk_flags.csv");
+        std::fs::write(&data, "1.0,2.0\n3.0,4.0\n5.0,6.0\n").unwrap();
+        // Chunked-only flags without --chunked are rejected.
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --block-rows 64 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--block-rows only applies"),
+            "{err}"
+        );
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --mem-budget 1m --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--mem-budget only applies"),
+            "{err}"
+        );
+        // A chunked flag that does not match the input format is rejected,
+        // not silently ignored: --mem-budget next to csv input...
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --chunked --mem-budget 1m --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--mem-budget only applies"),
+            "{err}"
+        );
+        // ...and --block-rows next to a block file.
+        let blocks = tmp("chunk_flags.skmb");
+        run(
+            "convert",
+            &args(&format!("--input {data} --out {blocks} --block-rows 2")),
+        )
+        .unwrap();
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {blocks} --k 2 --chunked --block-rows 2 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--block-rows only applies"),
+            "{err}"
+        );
+        // --labels next to a block file is meaningless (labels were handled
+        // at conversion) — rejected, not silently ignored.
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {blocks} --k 2 --chunked --labels --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--labels does not apply"), "{err}");
+        // Stages without a chunked formulation fail with a typed error.
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --chunked --init afk-mc2 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("does not support chunked"),
+            "{err}"
+        );
+        // Bad size strings are usage errors.
+        let err = parse_size("64q", "mem-budget").unwrap_err();
+        assert!(err.to_string().contains("byte size"), "{err}");
+        assert_eq!(parse_size("64k", "x").unwrap(), 65536);
+        assert_eq!(parse_size("2m", "x").unwrap(), 2 << 20);
+        assert_eq!(parse_size("1g", "x").unwrap(), 1 << 30);
+        assert_eq!(parse_size("123", "x").unwrap(), 123);
     }
 
     #[test]

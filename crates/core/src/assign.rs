@@ -55,11 +55,18 @@ impl ClusterSums {
     }
 }
 
+/// Accumulation shard size used by [`assign_and_sum`]. Exposed inside the
+/// crate because the chunked assignment pass
+/// ([`crate::chunked::assign_and_sum_chunked`]) must reproduce the exact
+/// same shard layout to stay bit-identical with the in-memory path.
+pub(crate) fn sum_shard_size(exec: &Executor, n: usize) -> usize {
+    let base = exec.shard_spec().shard_size();
+    n.div_ceil(MAX_SUM_SHARDS).max(base).max(1)
+}
+
 /// Executor with the accumulation shard size described in the module docs.
 fn sum_executor(exec: &Executor, n: usize) -> Executor {
-    let base = exec.shard_spec().shard_size();
-    let bounded = n.div_ceil(MAX_SUM_SHARDS).max(base).max(1);
-    exec.clone().with_shard_size(bounded)
+    exec.clone().with_shard_size(sum_shard_size(exec, n))
 }
 
 /// Assigns every point to its nearest center, returning labels and

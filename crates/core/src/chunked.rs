@@ -1,0 +1,840 @@
+//! Out-of-core kernels: the multi-pass building blocks that run every
+//! in-memory algorithm of this crate over a
+//! [`ChunkedSource`] instead of a resident [`PointMatrix`].
+//!
+//! This is the "data does not fit in main memory" premise of the paper's
+//! §1 made executable: each k-means|| round (Algorithm 2), each Lloyd
+//! iteration (§3.1), and each assignment pass is **one scan** over the
+//! blocks of the source, with per-block parallelism on the existing shard
+//! [`Executor`]. Only `O(n)` *scalar* working state (the `d²` array, the
+//! nearest-center ids, the labels) stays resident — never the `O(n·d)`
+//! feature payload, which is the part that outgrows RAM at the paper's
+//! scales (KDDCup1999: 4.8 M × 42 doubles).
+//!
+//! **Bit-parity contract.** For every kernel here except the streaming
+//! Partition seeder, running on a chunked source produces results
+//! bit-identical to the in-memory entry point on the same data, seed, and
+//! executor — for *any* block size (`tests/chunked_parity.rs`). Two
+//! mechanisms make that hold:
+//!
+//! 1. Per-point arithmetic (distances, bound-pruned scans, centroid
+//!    contributions) is order-independent across points, so blocks can be
+//!    visited in any grouping.
+//! 2. Everything order-*sensitive* — the per-shard sampling RNG streams of
+//!    Algorithm 2 and the shard-ordered floating-point folds — either
+//!    operates on resident scalar state (and literally shares the
+//!    in-memory code), or is reproduced by an internal shard-ordered
+//!    folder and [`assign_and_sum_chunked`], which re-create the
+//!    executor's exact shard boundaries across block edges.
+
+use crate::assign::{sum_shard_size, ClusterSums};
+use crate::distance::{nearest, sq_dist_bounded};
+use crate::error::KMeansError;
+use crate::init::{InitResult, InitStats};
+use crate::lloyd::{IterationStats, LloydConfig, LloydResult};
+use crate::minibatch::MiniBatchConfig;
+use kmeans_data::{ChunkedSource, DataError, PointMatrix};
+use kmeans_par::Executor;
+use kmeans_util::timing::Stopwatch;
+use kmeans_util::Rng;
+
+/// Converts a data-layer block failure into the typed clustering error.
+pub(crate) fn source_err(e: DataError) -> KMeansError {
+    KMeansError::Data(e.to_string())
+}
+
+/// Shape validation shared by every chunked initializer (the chunked
+/// analogue of [`crate::init::validate`]; finiteness is checked during the
+/// first streaming pass via [`check_block_finite`] instead of an upfront
+/// scan, so it still costs no extra pass).
+pub fn validate_source(source: &dyn ChunkedSource, k: usize) -> Result<(), KMeansError> {
+    if source.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if k == 0 || k > source.len() {
+        return Err(KMeansError::InvalidK { k, n: source.len() });
+    }
+    Ok(())
+}
+
+/// Rejects NaN/∞ coordinates in one block, reporting the *global* point
+/// index (`row_offset` is the block's first global row). Chunked
+/// initializers call this on their first full pass — the same contract as
+/// [`crate::init::validate`], paid as part of a scan that happens anyway.
+pub fn check_block_finite(block: &PointMatrix, row_offset: usize) -> Result<(), KMeansError> {
+    if let Some(flat) = block.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(KMeansError::NonFiniteData {
+            point: row_offset + flat / block.dim(),
+            dim: flat % block.dim(),
+        });
+    }
+    Ok(())
+}
+
+/// Drives one full pass: reads every block in order into `buf` and hands
+/// `(block_index, first_global_row, block)` to `f`. Public so out-of-crate
+/// chunked stages (the streaming seeders) share the same pass loop and
+/// error mapping.
+pub fn for_each_block<F>(
+    source: &dyn ChunkedSource,
+    buf: &mut PointMatrix,
+    mut f: F,
+) -> Result<(), KMeansError>
+where
+    F: FnMut(usize, usize, &PointMatrix) -> Result<(), KMeansError>,
+{
+    for b in 0..source.num_blocks() {
+        source.read_block(b, buf).map_err(source_err)?;
+        f(b, b * source.block_rows(), buf)?;
+    }
+    Ok(())
+}
+
+/// Reproduces `Executor::map_reduce`'s shard-ordered left fold for a
+/// row-ordered value stream that arrives block by block: values are summed
+/// sequentially within each executor shard and the per-shard sums are
+/// folded left-to-right, bit-identically to the in-memory pass — shard
+/// boundaries need not align with block boundaries.
+pub(crate) struct ShardSum {
+    shard_size: usize,
+    boundary: usize,
+    next: usize,
+    acc: f64,
+    total: Option<f64>,
+}
+
+impl ShardSum {
+    pub(crate) fn new(shard_size: usize) -> Self {
+        ShardSum {
+            shard_size,
+            boundary: shard_size,
+            next: 0,
+            acc: 0.0,
+            total: None,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.total = Some(match self.total {
+            None => self.acc,
+            Some(t) => t + self.acc,
+        });
+        self.acc = 0.0;
+        self.boundary += self.shard_size;
+    }
+
+    pub(crate) fn push(&mut self, value: f64) {
+        if self.next == self.boundary {
+            self.flush();
+        }
+        self.acc += value;
+        self.next += 1;
+    }
+
+    pub(crate) fn finish(mut self) -> f64 {
+        if self.next > self.boundary - self.shard_size {
+            self.flush();
+        }
+        self.total.unwrap_or(0.0)
+    }
+}
+
+/// One-scan potential `φ_X(C)` over a chunked source — bit-identical to
+/// [`crate::cost::potential`] on the same data and executor. Also enforces
+/// the finiteness contract (this is the pass chunked seeders without a
+/// cost tracker rely on for input validation).
+pub fn potential_chunked(
+    source: &dyn ChunkedSource,
+    centers: &PointMatrix,
+    exec: &Executor,
+) -> Result<f64, KMeansError> {
+    if centers.is_empty() {
+        return Err(KMeansError::InvalidK {
+            k: 0,
+            n: source.len(),
+        });
+    }
+    if source.dim() != centers.dim() {
+        return Err(KMeansError::DimensionMismatch {
+            expected: source.dim(),
+            got: centers.dim(),
+        });
+    }
+    let mut buf = source.block_buffer();
+    let mut d2 = vec![0.0f64; source.block_rows()];
+    let mut folder = ShardSum::new(exec.shard_spec().shard_size());
+    for_each_block(source, &mut buf, |_b, start, block| {
+        check_block_finite(block, start)?;
+        let chunk = &mut d2[..block.len()];
+        exec.update_shards(chunk, |_, local, slots| {
+            for (off, slot) in slots.iter_mut().enumerate() {
+                *slot = nearest(block.row(local + off), centers).1;
+            }
+        });
+        for &v in chunk.iter() {
+            folder.push(v);
+        }
+        Ok(())
+    })?;
+    Ok(folder.finish())
+}
+
+/// Initializer epilogue for chunked seeders: stamps duration and the seed
+/// cost (one [`potential_chunked`] pass) — the chunked analogue of
+/// [`crate::pipeline::finish_init`], on the same seed-cost convention.
+pub fn finish_init_chunked(
+    source: &dyn ChunkedSource,
+    centers: PointMatrix,
+    mut stats: InitStats,
+    sw: Stopwatch,
+    exec: &Executor,
+) -> Result<InitResult, KMeansError> {
+    stats.duration = sw.elapsed();
+    stats.seed_cost = potential_chunked(source, &centers, exec)?;
+    Ok(InitResult { centers, stats })
+}
+
+/// [`crate::cost::CostTracker`] for chunked sources: maintains the
+/// per-point `d²` and nearest-candidate-id arrays (resident `O(n)` scalar
+/// state) across center additions, re-reading the feature blocks on each
+/// update pass. Values and the cached potential are bit-identical to the
+/// in-memory tracker's.
+pub struct ChunkedCostTracker {
+    d2: Vec<f64>,
+    nearest_id: Vec<u32>,
+    total: f64,
+}
+
+impl ChunkedCostTracker {
+    /// Builds the tracker for an initial non-empty center set — one full
+    /// scan, which doubles as the finiteness validation pass.
+    pub fn new(
+        source: &dyn ChunkedSource,
+        centers: &PointMatrix,
+        exec: &Executor,
+    ) -> Result<Self, KMeansError> {
+        assert!(!centers.is_empty(), "ChunkedCostTracker: no centers");
+        assert_eq!(
+            source.dim(),
+            centers.dim(),
+            "ChunkedCostTracker: dim mismatch"
+        );
+        let n = source.len();
+        let mut d2 = vec![0.0f64; n];
+        let mut nearest_id = vec![0u32; n];
+        let mut buf = source.block_buffer();
+        for_each_block(source, &mut buf, |_b, start, block| {
+            check_block_finite(block, start)?;
+            let end = start + block.len();
+            exec.update_shards2(
+                &mut d2[start..end],
+                &mut nearest_id[start..end],
+                |_, local, cd, cn| {
+                    for (off, (slot_d, slot_n)) in cd.iter_mut().zip(cn.iter_mut()).enumerate() {
+                        let (idx, dist) = nearest(block.row(local + off), centers);
+                        *slot_d = dist;
+                        *slot_n = idx as u32;
+                    }
+                },
+            );
+            Ok(())
+        })?;
+        let mut tracker = ChunkedCostTracker {
+            d2,
+            nearest_id,
+            total: 0.0,
+        };
+        tracker.resum(exec);
+        Ok(tracker)
+    }
+
+    /// Incorporates centers `centers[from..]` in one scan, scanning only
+    /// the new suffix per point with partial-distance pruning (the exact
+    /// arithmetic of the in-memory tracker).
+    pub fn update(
+        &mut self,
+        source: &dyn ChunkedSource,
+        centers: &PointMatrix,
+        from: usize,
+        exec: &Executor,
+    ) -> Result<(), KMeansError> {
+        assert_eq!(
+            source.dim(),
+            centers.dim(),
+            "ChunkedCostTracker::update: dim mismatch"
+        );
+        if from >= centers.len() {
+            return Ok(());
+        }
+        let mut buf = source.block_buffer();
+        let d2 = &mut self.d2;
+        let nearest_id = &mut self.nearest_id;
+        for_each_block(source, &mut buf, |_b, start, block| {
+            let end = start + block.len();
+            exec.update_shards2(
+                &mut d2[start..end],
+                &mut nearest_id[start..end],
+                |_, local, cd, cn| {
+                    for (off, (slot_d, slot_n)) in cd.iter_mut().zip(cn.iter_mut()).enumerate() {
+                        let row = block.row(local + off);
+                        let mut best = *slot_d;
+                        let mut best_id = u32::MAX;
+                        for c in from..centers.len() {
+                            let dist = sq_dist_bounded(row, centers.row(c), best);
+                            if dist < best {
+                                best = dist;
+                                best_id = c as u32;
+                            }
+                        }
+                        if best_id != u32::MAX {
+                            *slot_d = best;
+                            *slot_n = best_id;
+                        }
+                    }
+                },
+            );
+            Ok(())
+        })?;
+        self.resum(exec);
+        Ok(())
+    }
+
+    /// Recomputes the cached potential — the `d²` array is resident, so
+    /// this is literally the in-memory tracker's shard-ordered fold.
+    fn resum(&mut self, exec: &Executor) {
+        let d2 = &self.d2;
+        self.total = exec
+            .map_reduce(
+                d2.len(),
+                |_, range| range.map(|i| d2[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
+    }
+
+    /// The current potential `φ_X(C)`.
+    pub fn potential(&self) -> f64 {
+        self.total
+    }
+
+    /// Per-point squared distances to the nearest candidate.
+    pub fn d2(&self) -> &[f64] {
+        &self.d2
+    }
+
+    /// Step 7 of Algorithm 2: candidate weights as an `O(n)` histogram
+    /// over the tracked nearest ids — no feature pass.
+    pub fn weights(&self, m: usize) -> Vec<f64> {
+        let mut w = vec![0.0f64; m];
+        for &id in &self.nearest_id {
+            w[id as usize] += 1.0;
+        }
+        w
+    }
+}
+
+/// Fetches the rows at `indices` (any order, duplicates allowed) from a
+/// chunked source, preserving the given order in the result. Needed blocks
+/// are read once each, in ascending order — a budgeted source's cache
+/// absorbs repeats.
+pub(crate) fn gather_rows(
+    source: &dyn ChunkedSource,
+    indices: &[usize],
+    buf: &mut PointMatrix,
+) -> Result<PointMatrix, KMeansError> {
+    let dim = source.dim();
+    let mut out = PointMatrix::from_flat(vec![0.0; indices.len() * dim], dim)
+        .expect("buffer length is a multiple of dim");
+    let mut order: Vec<(usize, usize)> = indices.iter().copied().zip(0..).collect();
+    order.sort_unstable();
+    let block_rows = source.block_rows();
+    let mut i = 0;
+    while i < order.len() {
+        let block = order[i].0 / block_rows;
+        source.read_block(block, buf).map_err(source_err)?;
+        let start = block * block_rows;
+        while i < order.len() && order[i].0 / block_rows == block {
+            let (idx, slot) = order[i];
+            out.row_mut(slot).copy_from_slice(buf.row(idx - start));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Chunked analogue of [`crate::lloyd::validate_refine_inputs`].
+pub(crate) fn validate_refine_inputs_chunked(
+    source: &dyn ChunkedSource,
+    centers: &PointMatrix,
+) -> Result<(), KMeansError> {
+    if source.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if centers.is_empty() || centers.len() > source.len() {
+        return Err(KMeansError::InvalidK {
+            k: centers.len(),
+            n: source.len(),
+        });
+    }
+    if source.dim() != centers.dim() {
+        return Err(KMeansError::DimensionMismatch {
+            expected: source.dim(),
+            got: centers.dim(),
+        });
+    }
+    Ok(())
+}
+
+/// One-scan assignment + per-cluster accumulation over a chunked source —
+/// bit-identical to [`crate::assign::assign_and_sum`] (labels, sums,
+/// counts, cost, farthest-point records) on the same data and executor.
+///
+/// The in-memory pass folds one partial per *accumulation shard* (a
+/// fixed-count layout — see [`crate::assign::MAX_SUM_SHARDS`]) in shard
+/// order. Accumulation shards are usually much larger than blocks, so this
+/// pass carries the open partial across block boundaries and flushes it
+/// exactly where the in-memory layout would. Per-row distance evaluation
+/// is still block-parallel on `exec`; only the cheap `O(d)` accumulation
+/// per row is sequential.
+pub fn assign_and_sum_chunked(
+    source: &dyn ChunkedSource,
+    centers: &PointMatrix,
+    exec: &Executor,
+) -> Result<(Vec<u32>, ClusterSums), KMeansError> {
+    validate_refine_inputs_chunked(source, centers)?;
+    let n = source.len();
+    let k = centers.len();
+    let d = source.dim();
+    let sum_size = sum_shard_size(exec, n);
+
+    struct Partial {
+        sums: Vec<f64>,
+        counts: Vec<u64>,
+        cost: f64,
+        farthest: (usize, f64),
+    }
+    impl Partial {
+        fn new(k: usize, d: usize) -> Self {
+            Partial {
+                sums: vec![0.0; k * d],
+                counts: vec![0; k],
+                cost: 0.0,
+                farthest: (usize::MAX, f64::NEG_INFINITY),
+            }
+        }
+    }
+    let flush = |out: &mut ClusterSums, p: &mut Partial| {
+        for (acc, v) in out.sums.iter_mut().zip(&p.sums) {
+            *acc += v;
+        }
+        for (acc, v) in out.counts.iter_mut().zip(&p.counts) {
+            *acc += v;
+        }
+        out.cost += p.cost;
+        if p.farthest.0 != usize::MAX {
+            out.farthest.push(p.farthest);
+        }
+        *p = Partial::new(out.counts.len(), out.sums.len() / out.counts.len());
+    };
+
+    let mut labels = vec![0u32; n];
+    let mut d2 = vec![0.0f64; source.block_rows()];
+    let mut out = ClusterSums {
+        sums: vec![0.0; k * d],
+        counts: vec![0; k],
+        cost: 0.0,
+        farthest: Vec::new(),
+    };
+    let mut partial = Partial::new(k, d);
+    let mut shard_end = sum_size;
+    let mut buf = source.block_buffer();
+    for_each_block(source, &mut buf, |_b, start, block| {
+        let end = start + block.len();
+        let chunk = &mut d2[..block.len()];
+        exec.update_shards2(&mut labels[start..end], chunk, |_, local, cl, cd| {
+            for (off, (slot_l, slot_d)) in cl.iter_mut().zip(cd.iter_mut()).enumerate() {
+                let (c, dist) = nearest(block.row(local + off), centers);
+                *slot_l = c as u32;
+                *slot_d = dist;
+            }
+        });
+        for (off, &dist) in d2[..block.len()].iter().enumerate() {
+            let gi = start + off;
+            if gi == shard_end {
+                flush(&mut out, &mut partial);
+                shard_end += sum_size;
+            }
+            let c = labels[gi] as usize;
+            partial.counts[c] += 1;
+            partial.cost += dist;
+            if dist > partial.farthest.1 {
+                partial.farthest = (gi, dist);
+            }
+            let dst = &mut partial.sums[c * d..(c + 1) * d];
+            for (acc, &v) in dst.iter_mut().zip(block.row(off)) {
+                *acc += v;
+            }
+        }
+        Ok(())
+    })?;
+    flush(&mut out, &mut partial);
+    Ok((labels, out))
+}
+
+/// Lloyd's iteration over a chunked source: one scan per iteration
+/// (§3.1's MapReduce round), bit-identical to [`crate::lloyd::lloyd`] —
+/// including the per-iteration history, deterministic empty-cluster
+/// reseeding (the farthest point is fetched back from the source), and
+/// the closing-relabel convention.
+pub fn lloyd_chunked(
+    source: &dyn ChunkedSource,
+    initial_centers: &PointMatrix,
+    config: &LloydConfig,
+    exec: &Executor,
+) -> Result<LloydResult, KMeansError> {
+    config.validate()?;
+    validate_refine_inputs_chunked(source, initial_centers)?;
+
+    let d = source.dim();
+    let mut centers = initial_centers.clone();
+    let mut prev_labels: Option<Vec<u32>> = None;
+    let mut prev_cost = f64::INFINITY;
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut stable_exit = false;
+    let mut buf = source.block_buffer();
+
+    for _ in 0..config.max_iterations {
+        let (labels, sums) = assign_and_sum_chunked(source, &centers, exec)?;
+        let reassigned = match &prev_labels {
+            None => source.len() as u64,
+            Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+        };
+
+        if reassigned == 0 {
+            converged = true;
+            stable_exit = true;
+            history.push(IterationStats {
+                cost: sums.cost,
+                reassigned: 0,
+                reseeded: 0,
+            });
+            prev_cost = sums.cost;
+            prev_labels = Some(labels);
+            break;
+        }
+
+        let mut reseeded = 0usize;
+        let mut farthest: Vec<(usize, f64)> = sums.farthest.clone();
+        farthest.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut next_far = farthest.into_iter();
+        for c in 0..centers.len() {
+            if let Some(centroid) = sums.centroid(c, d) {
+                centers.row_mut(c).copy_from_slice(&centroid);
+            } else if let Some((idx, _)) = next_far.next() {
+                // Empty cluster: land on the farthest available point,
+                // fetched back from its block.
+                let row = gather_rows(source, &[idx], &mut buf)?;
+                centers.row_mut(c).copy_from_slice(row.row(0));
+                reseeded += 1;
+            }
+            // More empty clusters than shard maxima: leave the center in
+            // place, matching the in-memory repair.
+        }
+
+        history.push(IterationStats {
+            cost: sums.cost,
+            reassigned,
+            reseeded,
+        });
+
+        if config.tol > 0.0
+            && prev_cost.is_finite()
+            && reseeded == 0
+            && prev_cost - sums.cost <= config.tol * prev_cost
+        {
+            converged = true;
+            prev_cost = sums.cost;
+            prev_labels = Some(labels);
+            break;
+        }
+        prev_cost = sums.cost;
+        prev_labels = Some(labels);
+    }
+
+    let (labels, cost, closing_pass) = match (&prev_labels, stable_exit) {
+        (Some(labels), true) => (labels.clone(), prev_cost, 0),
+        _ => {
+            let (labels, sums) = assign_and_sum_chunked(source, &centers, exec)?;
+            (labels, sums.cost, 1)
+        }
+    };
+
+    Ok(LloydResult {
+        labels,
+        cost,
+        iterations: history.len(),
+        converged,
+        assign_passes: history.len() + closing_pass,
+        history,
+        centers,
+    })
+}
+
+/// Mini-batch k-means over a chunked source — bit-identical centers to
+/// [`crate::minibatch::minibatch_kmeans`] on the same seed. Each step
+/// draws the same uniform batch indices and gathers the rows from the
+/// source; only `O(batch · d)` feature data is resident per step.
+///
+/// The random gather pattern is where the source implementations diverge
+/// in cost: a budgeted `BlockFileSource` serves repeated blocks from its
+/// cache, while `CsvSource` re-parses every touched block on every batch —
+/// convert large CSVs (`skm convert`) before mini-batch refinement.
+pub fn minibatch_chunked(
+    source: &dyn ChunkedSource,
+    initial_centers: &PointMatrix,
+    config: &MiniBatchConfig,
+    seed: u64,
+) -> Result<PointMatrix, KMeansError> {
+    validate_refine_inputs_chunked(source, initial_centers)?;
+    if config.batch_size == 0 || config.iterations == 0 {
+        return Err(KMeansError::InvalidConfig(
+            "batch_size and iterations must be positive".into(),
+        ));
+    }
+
+    let mut centers = initial_centers.clone();
+    let mut seen = vec![0u64; centers.len()];
+    let mut rng = Rng::derive(seed, &[40]);
+    let mut batch = vec![0usize; config.batch_size];
+    let mut buf = source.block_buffer();
+    for _ in 0..config.iterations {
+        for slot in &mut batch {
+            *slot = rng.range_usize(source.len());
+        }
+        let rows = gather_rows(source, &batch, &mut buf)?;
+        // Assign against frozen centers, then apply the gradient steps in
+        // batch order — Sculley's two-phase step, same as in-memory.
+        let assigned: Vec<usize> = rows.rows().map(|row| nearest(row, &centers).0).collect();
+        for (j, &c) in assigned.iter().enumerate() {
+            seen[c] += 1;
+            let eta = 1.0 / seen[c] as f64;
+            let row = rows.row(j);
+            let center = centers.row_mut(c);
+            for (slot, &x) in center.iter_mut().zip(row) {
+                *slot += eta * (x - *slot);
+            }
+        }
+    }
+    Ok(centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::assign_and_sum;
+    use crate::cost::{potential, CostTracker};
+    use crate::lloyd::lloyd;
+    use crate::minibatch::minibatch_kmeans;
+    use kmeans_data::InMemorySource;
+    use kmeans_par::Parallelism;
+
+    fn blobs(n: usize) -> PointMatrix {
+        let mut m = PointMatrix::new(2);
+        let mut rng = Rng::new(7);
+        for i in 0..n {
+            let c = (i % 3) as f64 * 40.0;
+            m.push(&[c + rng.normal(), c * 0.5 + rng.normal()]).unwrap();
+        }
+        m
+    }
+
+    fn source(m: &PointMatrix, block_rows: usize) -> InMemorySource {
+        InMemorySource::new(m.clone(), block_rows).unwrap()
+    }
+
+    #[test]
+    fn shard_sum_matches_map_reduce_for_any_block_split() {
+        let values: Vec<f64> = (0..1000).map(|i| ((i as f64) * 1.37).sqrt()).collect();
+        for shard_size in [1, 7, 64, 1000, 2048] {
+            let exec = Executor::sequential().with_shard_size(shard_size);
+            let expected = exec
+                .map_reduce(
+                    values.len(),
+                    |_, r| r.map(|i| values[i]).sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .unwrap();
+            // Push in arbitrary chunk groupings; result must not change.
+            for chunk in [1usize, 3, 100, 1000] {
+                let mut folder = ShardSum::new(shard_size);
+                for piece in values.chunks(chunk) {
+                    for &v in piece {
+                        folder.push(v);
+                    }
+                }
+                assert_eq!(
+                    folder.finish().to_bits(),
+                    expected.to_bits(),
+                    "shard {shard_size}, chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn potential_chunked_is_bit_identical() {
+        let m = blobs(500);
+        let centers = PointMatrix::from_flat(vec![0.0, 0.0, 40.0, 20.0, 80.0, 40.0], 2).unwrap();
+        for threads in [Parallelism::Sequential, Parallelism::Threads(3)] {
+            let exec = Executor::new(threads).with_shard_size(64);
+            let expected = potential(&m, &centers, &exec);
+            for block_rows in [1, 13, 64, 100, 500, 1000] {
+                let got = potential_chunked(&source(&m, block_rows), &centers, &exec).unwrap();
+                assert_eq!(got.to_bits(), expected.to_bits(), "block_rows {block_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn potential_chunked_rejects_non_finite_and_bad_shapes() {
+        let m = PointMatrix::from_flat(vec![0.0, 1.0, f64::NAN, 3.0], 2).unwrap();
+        let centers = PointMatrix::from_flat(vec![0.0, 0.0], 2).unwrap();
+        let exec = Executor::sequential();
+        assert_eq!(
+            potential_chunked(&source(&m, 1), &centers, &exec).unwrap_err(),
+            KMeansError::NonFiniteData { point: 1, dim: 0 }
+        );
+        let wrong = PointMatrix::from_flat(vec![0.0], 1).unwrap();
+        assert!(matches!(
+            potential_chunked(&source(&blobs(10), 4), &wrong, &exec),
+            Err(KMeansError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn chunked_tracker_matches_in_memory_tracker() {
+        let m = blobs(300);
+        let exec = Executor::sequential().with_shard_size(32);
+        let mut centers = PointMatrix::from_flat(vec![1.0, 1.0], 2).unwrap();
+        let mut mem = CostTracker::new(&m, &centers, &exec);
+        let mut chunked = ChunkedCostTracker::new(&source(&m, 37), &centers, &exec).unwrap();
+        assert_eq!(chunked.potential().to_bits(), mem.potential().to_bits());
+        assert_eq!(chunked.d2(), mem.d2());
+
+        centers.push(&[40.0, 20.0]).unwrap();
+        centers.push(&[80.0, 40.0]).unwrap();
+        mem.update(&centers, 1, &exec);
+        chunked.update(&source(&m, 37), &centers, 1, &exec).unwrap();
+        assert_eq!(chunked.potential().to_bits(), mem.potential().to_bits());
+        assert_eq!(chunked.d2(), mem.d2());
+        assert_eq!(chunked.weights(3), mem.weights(3));
+    }
+
+    #[test]
+    fn gather_preserves_request_order_and_duplicates() {
+        let m = blobs(50);
+        let src = source(&m, 8);
+        let mut buf = src.block_buffer();
+        let indices = [49, 0, 17, 0, 33, 49];
+        let rows = gather_rows(&src, &indices, &mut buf).unwrap();
+        assert_eq!(rows.len(), indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            assert_eq!(rows.row(j), m.row(i), "slot {j} (point {i})");
+        }
+    }
+
+    #[test]
+    fn assign_and_sum_chunked_is_bit_identical() {
+        let m = blobs(700);
+        let centers = PointMatrix::from_flat(vec![0.0, 0.0, 40.0, 20.0, 80.0, 40.0], 2).unwrap();
+        for threads in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let exec = Executor::new(threads).with_shard_size(16);
+            let (ref_labels, ref_sums) = assign_and_sum(&m, &centers, &exec);
+            for block_rows in [1, 9, 64, 350, 700, 4096] {
+                let (labels, sums) =
+                    assign_and_sum_chunked(&source(&m, block_rows), &centers, &exec).unwrap();
+                assert_eq!(labels, ref_labels, "block_rows {block_rows}");
+                assert_eq!(sums.counts, ref_sums.counts);
+                assert_eq!(sums.cost.to_bits(), ref_sums.cost.to_bits());
+                assert_eq!(sums.farthest, ref_sums.farthest);
+                let a: Vec<u64> = sums.sums.iter().map(|f| f.to_bits()).collect();
+                let b: Vec<u64> = ref_sums.sums.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(a, b, "block_rows {block_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn lloyd_chunked_is_bit_identical_including_reseeds() {
+        let m = blobs(400);
+        // Two centers glued far away: forces empty-cluster reseeding.
+        let init =
+            PointMatrix::from_flat(vec![0.0, 0.0, -900.0, -900.0, -900.0, -900.0], 2).unwrap();
+        let exec = Executor::new(Parallelism::Threads(3)).with_shard_size(32);
+        let reference = lloyd(&m, &init, &LloydConfig::default(), &exec).unwrap();
+        assert!(reference.history[0].reseeded >= 1, "setup must reseed");
+        for block_rows in [11, 128, 400] {
+            let got = lloyd_chunked(
+                &source(&m, block_rows),
+                &init,
+                &LloydConfig::default(),
+                &exec,
+            )
+            .unwrap();
+            assert_eq!(got.centers, reference.centers, "block_rows {block_rows}");
+            assert_eq!(got.labels, reference.labels);
+            assert_eq!(got.cost.to_bits(), reference.cost.to_bits());
+            assert_eq!(got.iterations, reference.iterations);
+            assert_eq!(got.assign_passes, reference.assign_passes);
+        }
+    }
+
+    #[test]
+    fn minibatch_chunked_is_bit_identical() {
+        let m = blobs(600);
+        let init = PointMatrix::from_flat(vec![10.0, 0.0, 50.0, 20.0, 70.0, 40.0], 2).unwrap();
+        let config = MiniBatchConfig {
+            batch_size: 64,
+            iterations: 30,
+        };
+        let reference = minibatch_kmeans(&m, &init, &config, 9).unwrap();
+        for block_rows in [23, 100, 600] {
+            let got = minibatch_chunked(&source(&m, block_rows), &init, &config, 9).unwrap();
+            assert_eq!(got, reference, "block_rows {block_rows}");
+        }
+    }
+
+    #[test]
+    fn chunked_validation_rejects_bad_shapes() {
+        let m = blobs(10);
+        let src = source(&m, 4);
+        assert!(matches!(
+            validate_source(&src, 0),
+            Err(KMeansError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            validate_source(&src, 11),
+            Err(KMeansError::InvalidK { .. })
+        ));
+        let wrong = PointMatrix::from_flat(vec![0.0], 1).unwrap();
+        assert!(matches!(
+            validate_refine_inputs_chunked(&src, &wrong),
+            Err(KMeansError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            lloyd_chunked(
+                &src,
+                &wrong,
+                &LloydConfig::default(),
+                &Executor::sequential()
+            ),
+            Err(KMeansError::DimensionMismatch { .. })
+        ));
+        assert!(minibatch_chunked(&src, &wrong, &MiniBatchConfig::default(), 0).is_err());
+    }
+}

@@ -14,13 +14,23 @@ use kmeans_data::PointMatrix;
 /// keeps four independent FMA chains in flight, which LLVM does not always
 /// do for a plain fold.
 ///
-/// # Panics
+/// # Length contract
 ///
-/// Debug builds assert equal lengths; release builds truncate to the
-/// shorter slice (callers in this workspace always pass equal lengths).
+/// Mismatched lengths are handled by an explicit early return: both slices
+/// are truncated to the common prefix and the distance is computed over
+/// that prefix, identically in debug and release builds. (The pre-fix
+/// behavior silently truncated in release only, via `zip`, while debug
+/// builds asserted — a contract divergence this wrapper removes.) Callers
+/// inside the workspace always pass equal lengths: rows come from
+/// [`PointMatrix`]es whose dimensionality is validated at construction,
+/// and every entry point checks `points.dim() == centers.dim()` up front.
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    if a.len() != b.len() {
+        // Explicit, documented truncation — not an implicit zip artifact.
+        let n = a.len().min(b.len());
+        return sq_dist(&a[..n], &b[..n]);
+    }
     let mut chunks_a = a.chunks_exact(4);
     let mut chunks_b = b.chunks_exact(4);
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
@@ -46,6 +56,10 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Ties break toward the lower index (deterministic).
 ///
+/// `point` must have the centers' dimensionality — guaranteed here because
+/// both sides come out of dimension-checked [`PointMatrix`]es (see the
+/// [`sq_dist`] length contract for what happens otherwise).
+///
 /// # Panics
 ///
 /// Panics if `centers` is empty.
@@ -68,9 +82,15 @@ pub fn nearest(point: &[f64], centers: &PointMatrix) -> (usize, f64) {
 /// `bound` (returning a value `≥ bound`). This "partial distance" pruning
 /// is the classic nearest-neighbor trick; with hundreds of candidate
 /// centers (Step 7 of Algorithm 2) it skips most of each row.
+///
+/// Shares [`sq_dist`]'s length contract: mismatched slices are truncated
+/// to the common prefix, explicitly and in every build profile.
 #[inline]
 pub fn sq_dist_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
+    if a.len() != b.len() {
+        let n = a.len().min(b.len());
+        return sq_dist_bounded(&a[..n], &b[..n], bound);
+    }
     let mut acc = 0.0f64;
     // Check the bound every 8 coordinates: frequent enough to prune,
     // infrequent enough not to stall the pipeline.
@@ -143,6 +163,26 @@ mod tests {
     fn zero_distance_to_self() {
         let a = [1.0, -2.0, 3.5, 0.0, 9.9];
         assert_eq!(sq_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_truncate_to_common_prefix_in_every_profile() {
+        // Regression for the documented length contract: mismatched slices
+        // compute over the common prefix — explicitly, in debug AND
+        // release builds (previously debug asserted while release silently
+        // zip-truncated).
+        let long = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 100.0];
+        let short = &long[..9];
+        assert_eq!(sq_dist(&long, short), 0.0);
+        assert_eq!(sq_dist(short, &long), 0.0);
+        assert_eq!(sq_dist_bounded(&long, short, f64::INFINITY), 0.0);
+        // The prefix distance matches an equal-length call on the prefix.
+        let a = [0.0, 3.0, 10.0];
+        let b = [4.0, 3.0];
+        assert_eq!(sq_dist(&a, &b), sq_dist(&a[..2], &b));
+        assert_eq!(sq_dist(&a, &b), 16.0);
+        // Empty prefix: zero distance by convention.
+        assert_eq!(sq_dist(&a, &[]), 0.0);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum KMeansError {
         /// Offending dimension within that point.
         dim: usize,
     },
+    /// A chunked data source failed to deliver a block (I/O error,
+    /// malformed block file, parse failure mid-stream).
+    Data(String),
 }
 
 impl fmt::Display for KMeansError {
@@ -46,6 +49,7 @@ impl fmt::Display for KMeansError {
             KMeansError::NonFiniteData { point, dim } => {
                 write!(f, "non-finite coordinate at point {point}, dimension {dim}")
             }
+            KMeansError::Data(msg) => write!(f, "data source error: {msg}"),
         }
     }
 }
@@ -71,5 +75,8 @@ mod tests {
             .contains('x'));
         let e = KMeansError::NonFiniteData { point: 4, dim: 2 };
         assert!(e.to_string().contains("point 4"));
+        assert!(KMeansError::Data("disk gone".into())
+            .to_string()
+            .contains("disk gone"));
     }
 }

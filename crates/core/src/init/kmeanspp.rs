@@ -123,6 +123,58 @@ pub fn weighted_kmeanspp(
     Ok(centers)
 }
 
+/// Algorithm 1 over a [`ChunkedSource`](kmeans_data::ChunkedSource) —
+/// the out-of-core form of [`kmeanspp`], bit-identical to it on the same
+/// data, RNG state, and executor for any block size.
+///
+/// Cost structure is unchanged (`k` passes total — the paper's reason to
+/// replace this algorithm with k-means||): the `d²` array stays resident
+/// and every center draw reads only it; each accepted center costs one
+/// block fetch (gather) plus one update scan.
+pub fn kmeanspp_chunked(
+    source: &dyn kmeans_data::ChunkedSource,
+    k: usize,
+    rng: &mut Rng,
+    exec: &Executor,
+) -> Result<PointMatrix, KMeansError> {
+    use crate::chunked::{gather_rows, ChunkedCostTracker};
+
+    crate::chunked::validate_source(source, k)?;
+    let n = source.len();
+    let first = rng.range_usize(n);
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    chosen.push(first);
+    let mut buf = source.block_buffer();
+    let mut centers = gather_rows(source, &[first], &mut buf)?;
+    if k == 1 {
+        // Match the in-memory early return — including its error
+        // contract: `validate` scans the whole dataset for non-finite
+        // coordinates, so pay the same one full pass here (with k > 1 the
+        // tracker's first pass does it for free).
+        let mut check = source.block_buffer();
+        crate::chunked::for_each_block(source, &mut check, |_b, start, block| {
+            crate::chunked::check_block_finite(block, start)
+        })?;
+        return Ok(centers);
+    }
+    let mut tracker = ChunkedCostTracker::new(source, &centers, exec)?;
+    while centers.len() < k {
+        let next = match weighted_pick(tracker.d2(), tracker.potential(), rng) {
+            Some(idx) => idx,
+            None => match uniform_unchosen(n, &chosen, rng) {
+                Some(idx) => idx,
+                None => break,
+            },
+        };
+        chosen.push(next);
+        let from = centers.len();
+        let row = gather_rows(source, &[next], &mut buf)?;
+        centers.extend_from(&row).expect("center dim matches");
+        tracker.update(source, &centers, from, exec)?;
+    }
+    Ok(centers)
+}
+
 /// Uniform draw among indices not in `chosen` (linear scan; only reached in
 /// degenerate duplicate-heavy inputs). Returns `None` if all indices are
 /// already chosen.

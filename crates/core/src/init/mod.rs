@@ -14,9 +14,10 @@ mod parallel;
 mod random;
 
 pub use afkmc2::afk_mc2;
-pub use kmeanspp::{kmeanspp, weighted_kmeanspp};
+pub use kmeanspp::{kmeanspp, kmeanspp_chunked, weighted_kmeanspp};
 pub use parallel::{
-    kmeans_parallel, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
+    kmeans_parallel, kmeans_parallel_chunked, KMeansParallelConfig, Oversampling, Recluster,
+    Rounds, SamplingMode, TopUp,
 };
 pub use random::random_init;
 
@@ -117,6 +118,24 @@ impl crate::pipeline::Initializer for InitMethod {
             }
             InitMethod::KMeansParallel(config) => {
                 crate::pipeline::KMeansParallel(*config).init(points, weights, k, seed, exec)
+            }
+        }
+    }
+
+    fn init_chunked(
+        &self,
+        source: &dyn kmeans_data::ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        match self {
+            InitMethod::Random => crate::pipeline::Random.init_chunked(source, k, seed, exec),
+            InitMethod::KMeansPlusPlus => {
+                crate::pipeline::KMeansPlusPlus.init_chunked(source, k, seed, exec)
+            }
+            InitMethod::KMeansParallel(config) => {
+                crate::pipeline::KMeansParallel(*config).init_chunked(source, k, seed, exec)
             }
         }
     }

@@ -333,6 +333,141 @@ pub fn kmeans_parallel(
     Ok((centers, stats))
 }
 
+/// Runs Algorithm 2 over a [`ChunkedSource`](kmeans_data::ChunkedSource) —
+/// the out-of-core form of [`kmeans_parallel`], **bit-identical** to it on
+/// the same data, seed, config, and executor, for any block size
+/// (`tests/chunked_parity.rs`).
+///
+/// Pass structure per the paper's §3.5 MapReduce sketch: one scan to seed
+/// the cost tracker (Step 2), then one scan per round to fold the new
+/// candidates into `d²` (Steps 4–6; the candidate gather piggybacks on the
+/// blocks it touches). Everything order-sensitive — the per-shard Bernoulli
+/// / exact-ℓ sampling RNG streams, the shard-ordered potential folds, the
+/// Step 8 recluster — operates on the resident `O(n)` scalar tracker state
+/// and *shares the in-memory code paths*, which is what makes bitwise
+/// parity structural rather than coincidental.
+pub fn kmeans_parallel_chunked(
+    source: &dyn kmeans_data::ChunkedSource,
+    k: usize,
+    config: &KMeansParallelConfig,
+    seed: u64,
+    exec: &Executor,
+) -> Result<(PointMatrix, InitStats), KMeansError> {
+    use crate::chunked::{gather_rows, ChunkedCostTracker};
+
+    crate::chunked::validate_source(source, k)?;
+    config.validate(k)?;
+    let n = source.len();
+    let l = config.oversampling.resolve(k);
+    let mut rng = Rng::derive(seed, &[30]);
+
+    // Step 1: one uniform center, fetched from its block.
+    let first = rng.range_usize(n);
+    let mut cand_idx: Vec<usize> = vec![first];
+    let mut buf = source.block_buffer();
+    let mut candidates = gather_rows(source, &cand_idx, &mut buf)?;
+
+    // Step 2: ψ = φ_X(C) — scan 1 (doubles as the finiteness check).
+    let mut tracker = ChunkedCostTracker::new(source, &candidates, exec)?;
+    let psi = tracker.potential();
+    let max_rounds = match config.rounds {
+        Rounds::Fixed(r) => r,
+        Rounds::LogPsi { cap } => {
+            if psi <= 1.0 {
+                1
+            } else {
+                (psi.ln().ceil() as usize).clamp(1, cap)
+            }
+        }
+    };
+
+    // Steps 3–6: one scan per round (sampling reads only the resident d²).
+    let mut rounds_executed = 0usize;
+    for round in 0..max_rounds {
+        let phi = tracker.potential();
+        if phi <= 0.0 {
+            break;
+        }
+        rounds_executed += 1;
+        let new_indices = match config.sampling {
+            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec),
+            SamplingMode::ExactL => {
+                let m = (l.round() as usize).max(1);
+                sample_exact(tracker.d2(), m, seed, round, exec)
+            }
+        };
+        if new_indices.is_empty() {
+            continue;
+        }
+        let from = candidates.len();
+        let rows = gather_rows(source, &new_indices, &mut buf)?;
+        candidates
+            .extend_from(&rows)
+            .expect("candidate dim matches");
+        cand_idx.extend_from_slice(&new_indices);
+        tracker.update(source, &candidates, from, exec)?;
+    }
+
+    // Top-up to k candidates — same policies, same RNG stream as in-memory.
+    if candidates.len() < k {
+        let needed = k - candidates.len();
+        let mut extra = match config.topup {
+            TopUp::D2Continue => {
+                kmeans_util::sampling::weighted_distinct(tracker.d2(), needed, &mut rng)
+            }
+            TopUp::Uniform => Vec::new(),
+        };
+        if extra.len() < needed {
+            let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
+            taken.sort_unstable();
+            let mut free: Vec<usize> = (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
+            let want = (needed - extra.len()).min(free.len());
+            for j in 0..want {
+                let pick = j + rng.range_usize(free.len() - j);
+                free.swap(j, pick);
+                extra.push(free[j]);
+            }
+        }
+        let from = candidates.len();
+        let rows = gather_rows(source, &extra, &mut buf)?;
+        candidates
+            .extend_from(&rows)
+            .expect("candidate dim matches");
+        cand_idx.extend_from_slice(&extra);
+        tracker.update(source, &candidates, from, exec)?;
+    }
+
+    // Step 7: candidate weights from the tracked nearest ids — no scan.
+    let weights = tracker.weights(candidates.len());
+    let stats = InitStats {
+        rounds: rounds_executed,
+        passes: 1 + rounds_executed,
+        candidates: candidates.len(),
+        seed_cost: 0.0, // filled by finish_init_chunked
+        duration: std::time::Duration::ZERO,
+    };
+
+    // Step 8: recluster the (resident, small) weighted candidate set.
+    let centers = if candidates.len() == k {
+        candidates
+    } else {
+        match config.recluster {
+            Recluster::WeightedKMeansPlusPlus => {
+                weighted_kmeanspp(&candidates, &weights, k, &mut rng)?
+            }
+            Recluster::Refined { lloyd_iterations } => {
+                let seeded = weighted_kmeanspp(&candidates, &weights, k, &mut rng)?;
+                crate::lloyd::weighted_lloyd(&candidates, &weights, seeded, lloyd_iterations)
+            }
+            Recluster::Uniform => {
+                let picks = uniform_distinct(candidates.len(), k, &mut rng);
+                candidates.select(&picks)
+            }
+        }
+    };
+    Ok((centers, stats))
+}
+
 /// Line 4: independent Bernoulli draws with `p = min(1, ℓ·d²/φ)`, shard
 /// parallel, deterministic per `(seed, round, shard)`.
 fn sample_bernoulli(

@@ -17,6 +17,9 @@
 //!
 //! * [`distance`], [`cost`], [`assign`] — the `d²`/potential kernels and
 //!   the incremental [`cost::CostTracker`] all seeding builds on.
+//! * [`chunked`] — the out-of-core kernels: every pass re-expressed as one
+//!   scan over a block-resident [`kmeans_data::ChunkedSource`] (§1's
+//!   "massive data" premise), bit-identical to the in-memory paths.
 //! * [`pipeline`] — the object-safe [`pipeline::Initializer`] /
 //!   [`pipeline::Refiner`] traits, the unified [`pipeline::RefineResult`]
 //!   (with distance-evaluation accounting), and the core implementations:
@@ -40,13 +43,32 @@
 //!
 //! Determinism: every algorithm is a pure function of its inputs, a 64-bit
 //! seed, and the executor's shard size. Worker counts never change results
-//! (see `kmeans-par`).
+//! (see `kmeans-par`). The out-of-core paths preserve this bit-for-bit:
+//! block size is *not* part of the reproducibility key.
+//!
+//! Paper-section map of the public modules:
+//!
+//! | module | paper anchor |
+//! |--------|--------------|
+//! | [`distance`], [`cost`] | `d²(x, C)`, potential `φ_X(C)` — §2 notation, §3.1 |
+//! | [`init`] (`random`) | §4.2 baseline |
+//! | [`init`] (`kmeanspp`) | Algorithm 1 (Arthur & Vassilvitskii) |
+//! | [`init`] (`parallel`) | **Algorithm 2 — k-means\|\|**, §3.3–§3.5, §5 knobs |
+//! | [`init`] (`afkmc2`) | extension (Bachem et al. 2016) |
+//! | [`lloyd`] | §3.1 Lloyd iteration; Step 8's weighted variant |
+//! | [`accel`] | extension (Hamerly 2010): exact pruned Lloyd |
+//! | [`minibatch`] | §7's question about Sculley \[31] |
+//! | [`assign`] | the §3.5 MapReduce assignment round |
+//! | [`chunked`] | §1's memory premise: every pass as one block scan |
+//! | [`metrics`] | §5 evaluation measures |
+//! | [`pipeline`], [`model`] | the seeding/refinement split of §1 as an API |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accel;
 pub mod assign;
+pub mod chunked;
 pub mod cost;
 pub mod distance;
 pub mod error;

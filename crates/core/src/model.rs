@@ -36,7 +36,7 @@ use crate::error::KMeansError;
 use crate::init::{InitMethod, InitStats};
 use crate::lloyd::{IterationStats, LloydConfig};
 use crate::pipeline::{validate_weights, Initializer, Lloyd, Refiner};
-use kmeans_data::PointMatrix;
+use kmeans_data::{ChunkedSource, PointMatrix};
 use kmeans_par::{Executor, Parallelism};
 use std::sync::Arc;
 
@@ -50,6 +50,7 @@ pub struct KMeans {
     lloyd: LloydConfig,
     lloyd_tuned: bool,
     weights: Option<Vec<f64>>,
+    source: Option<Arc<dyn ChunkedSource>>,
     seed: u64,
     parallelism: Parallelism,
     shard_size: Option<usize>,
@@ -65,6 +66,7 @@ impl KMeans {
             lloyd: LloydConfig::default(),
             lloyd_tuned: false,
             weights: None,
+            source: None,
             seed: 0,
             parallelism: Parallelism::Auto,
             shard_size: None,
@@ -95,6 +97,40 @@ impl KMeans {
     /// the unweighted stages of a weighted fit.
     pub fn weights(mut self, weights: &[f64]) -> Self {
         self.weights = Some(weights.to_vec());
+        self
+    }
+
+    /// Sets the out-of-core data source consumed by
+    /// [`KMeans::fit_chunked`]. The in-memory [`KMeans::fit`] ignores it
+    /// (its explicit `points` argument is the data).
+    ///
+    /// ```
+    /// use kmeans_core::model::KMeans;
+    /// use kmeans_data::InMemorySource;
+    /// use kmeans_data::synth::GaussMixture;
+    ///
+    /// let synth = GaussMixture::new(8).points(1_000).generate(3).unwrap();
+    /// let points = synth.dataset.points().clone();
+    /// // In-memory and chunked fits agree bit-for-bit on the same seed.
+    /// let mem = KMeans::params(8).seed(5).fit(&points).unwrap();
+    /// let chunked = KMeans::params(8)
+    ///     .seed(5)
+    ///     .data_source(InMemorySource::new(points, 128).unwrap())
+    ///     .fit_chunked()
+    ///     .unwrap();
+    /// assert_eq!(mem.centers(), chunked.centers());
+    /// assert_eq!(mem.cost().to_bits(), chunked.cost().to_bits());
+    /// ```
+    pub fn data_source<S: ChunkedSource + 'static>(mut self, source: S) -> Self {
+        self.source = Some(Arc::new(source));
+        self
+    }
+
+    /// Like [`KMeans::data_source`], but shares an existing handle — for
+    /// callers that want to inspect the source after the fit (e.g. the
+    /// CLI's peak-residency report).
+    pub fn data_source_shared(mut self, source: Arc<dyn ChunkedSource>) -> Self {
+        self.source = Some(source);
         self
     }
 
@@ -145,16 +181,12 @@ impl KMeans {
         }
     }
 
-    /// Runs initialization + refinement on `points`.
-    pub fn fit(&self, points: &PointMatrix) -> Result<KMeansModel, KMeansError> {
-        let exec = self.executor();
-        let weights = self.weights.as_deref();
-        validate_weights(points, weights)?;
-        let refiner: Arc<dyn Refiner> = match &self.refiner {
+    /// Resolves the refinement stage, rejecting Lloyd knobs combined with
+    /// a custom refiner (silently ignoring them would leave e.g. an
+    /// "iteration-capped" study uncapped; fail loudly instead).
+    fn resolve_refiner(&self) -> Result<Arc<dyn Refiner>, KMeansError> {
+        match &self.refiner {
             Some(r) => {
-                // Silently ignoring the Lloyd knobs next to a custom
-                // refiner would leave e.g. an "iteration-capped" study
-                // uncapped; fail loudly instead.
                 if self.lloyd_tuned {
                     return Err(KMeansError::InvalidConfig(
                         "max_iterations/tol configure the default Lloyd refiner; \
@@ -162,12 +194,60 @@ impl KMeans {
                             .into(),
                     ));
                 }
-                Arc::clone(r)
+                Ok(Arc::clone(r))
             }
-            None => Arc::new(Lloyd(self.lloyd)),
-        };
+            None => Ok(Arc::new(Lloyd(self.lloyd))),
+        }
+    }
+
+    /// Runs initialization + refinement on `points`.
+    pub fn fit(&self, points: &PointMatrix) -> Result<KMeansModel, KMeansError> {
+        let exec = self.executor();
+        let weights = self.weights.as_deref();
+        validate_weights(points, weights)?;
+        let refiner = self.resolve_refiner()?;
         let init = self.init.init(points, weights, self.k, self.seed, &exec)?;
         let result = refiner.refine(points, weights, &init.centers, self.seed, &exec)?;
+        Ok(KMeansModel {
+            centers: result.centers,
+            labels: result.labels,
+            cost: result.cost,
+            init_stats: init.stats,
+            iterations: result.iterations,
+            converged: result.converged,
+            history: result.history,
+            distance_computations: result.distance_computations,
+            init_name: self.init.name(),
+            refiner_name: refiner.name(),
+            executor: exec,
+        })
+    }
+
+    /// Runs initialization + refinement **out of core** on the configured
+    /// [`KMeans::data_source`]: every stage streams the source block by
+    /// block (one scan per k-means|| round / Lloyd iteration), so the
+    /// feature payload never has to fit in memory. Results are
+    /// bit-identical to [`KMeans::fit`] on the same data, seed, and
+    /// executor for every stage with a chunked formulation; stages without
+    /// one (AFK-MC², Hamerly) and weighted fits are rejected with a typed
+    /// error.
+    pub fn fit_chunked(&self) -> Result<KMeansModel, KMeansError> {
+        let source = self.source.clone().ok_or_else(|| {
+            KMeansError::InvalidConfig(
+                "no data source configured; call .data_source(...) before .fit_chunked()".into(),
+            )
+        })?;
+        if self.weights.is_some() {
+            return Err(KMeansError::InvalidConfig(
+                "chunked fits do not support weighted input".into(),
+            ));
+        }
+        let exec = self.executor();
+        let refiner = self.resolve_refiner()?;
+        let init = self
+            .init
+            .init_chunked(source.as_ref(), self.k, self.seed, &exec)?;
+        let result = refiner.refine_chunked(source.as_ref(), &init.centers, self.seed, &exec)?;
         Ok(KMeansModel {
             centers: result.centers,
             labels: result.labels,

@@ -26,17 +26,22 @@
 
 use crate::accel::hamerly_lloyd;
 use crate::assign::{assign_and_sum, assign_weighted};
+use crate::chunked::{
+    assign_and_sum_chunked, finish_init_chunked, lloyd_chunked, minibatch_chunked,
+    validate_refine_inputs_chunked, validate_source,
+};
 use crate::cost::{potential, weighted_potential};
 use crate::error::KMeansError;
 use crate::init::{
     afk_mc2, kmeans_parallel, kmeanspp, random_init, validate, weighted_kmeanspp, InitResult,
     InitStats, KMeansParallelConfig,
 };
+use crate::init::{kmeans_parallel_chunked, kmeanspp_chunked};
 use crate::lloyd::{
     lloyd, validate_refine_inputs, weighted_lloyd_traced, IterationStats, LloydConfig,
 };
 use crate::minibatch::{minibatch_kmeans, MiniBatchConfig};
-use kmeans_data::PointMatrix;
+use kmeans_data::{ChunkedSource, PointMatrix};
 use kmeans_par::Executor;
 use kmeans_util::sampling::{uniform_distinct, weighted_distinct};
 use kmeans_util::timing::Stopwatch;
@@ -49,6 +54,21 @@ use std::fmt;
 /// Object-safe: the [`KMeans`](crate::model::KMeans) builder stores
 /// `Arc<dyn Initializer>`, so implementations can live in other crates
 /// (the streaming seeders do).
+///
+/// ```
+/// use kmeans_core::pipeline::{Initializer, KMeansParallel};
+/// use kmeans_data::{InMemorySource, PointMatrix};
+/// use kmeans_par::Executor;
+///
+/// let points = PointMatrix::from_flat((0..200).map(f64::from).collect(), 2).unwrap();
+/// let exec = Executor::sequential();
+/// // In-memory and chunked entry points of the same stage agree bitwise.
+/// let seeder = KMeansParallel::default();
+/// let mem = seeder.init(&points, None, 4, 7, &exec).unwrap();
+/// let source = InMemorySource::new(points, 16).unwrap();
+/// let chunked = seeder.init_chunked(&source, 4, 7, &exec).unwrap();
+/// assert_eq!(mem.centers, chunked.centers);
+/// ```
 pub trait Initializer: fmt::Debug + Send + Sync {
     /// Stable lower-case name used in reports and CLI output.
     fn name(&self) -> &'static str;
@@ -63,6 +83,26 @@ pub trait Initializer: fmt::Debug + Send + Sync {
         seed: u64,
         exec: &Executor,
     ) -> Result<InitResult, KMeansError>;
+
+    /// Runs the seeding over a block-resident [`ChunkedSource`] — the
+    /// out-of-core entry point behind
+    /// [`KMeans::fit_chunked`](crate::model::KMeans::fit_chunked).
+    ///
+    /// Stages with a multi-pass formulation override this and stay
+    /// **bit-identical** to [`Initializer::init`] on the same data, seed,
+    /// and executor (k-means||, k-means++, random, the streaming coreset);
+    /// the default rejects with a typed error, and weighted input is not
+    /// supported on the chunked path.
+    fn init_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        let _ = (source, k, seed, exec);
+        Err(reject_chunked(self.name()))
+    }
 }
 
 /// A refinement stage: improves a set of seed centers over the dataset.
@@ -79,6 +119,28 @@ pub trait Refiner: fmt::Debug + Send + Sync {
         seed: u64,
         exec: &Executor,
     ) -> Result<RefineResult, KMeansError>;
+
+    /// Runs the refinement over a block-resident [`ChunkedSource`] (one
+    /// scan per Lloyd iteration, gathered batches for mini-batch).
+    /// Overriding stages stay bit-identical to [`Refiner::refine`]; the
+    /// default rejects with a typed error.
+    fn refine_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        centers: &PointMatrix,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        let _ = (source, centers, seed, exec);
+        Err(reject_chunked(self.name()))
+    }
+}
+
+/// Typed rejection for stages without an out-of-core formulation (AFK-MC²'s
+/// Markov chain and Hamerly's bound arrays want resident random access) —
+/// shared so the error text stays uniform across crates.
+pub fn reject_chunked(name: &str) -> KMeansError {
+    KMeansError::InvalidConfig(format!("{name} does not support chunked data sources"))
 }
 
 /// Unified outcome of any [`Refiner`].
@@ -211,6 +273,28 @@ impl Initializer for Random {
         };
         Ok(finish_init(points, weights, centers, stats, sw, exec))
     }
+
+    fn init_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        validate_source(source, k)?;
+        let sw = Stopwatch::start();
+        let mut rng = Rng::derive(seed, &[20]);
+        let indices = uniform_distinct(source.len(), k, &mut rng);
+        let mut buf = source.block_buffer();
+        let centers = crate::chunked::gather_rows(source, &indices, &mut buf)?;
+        let stats = InitStats {
+            rounds: 0,
+            passes: 1,
+            candidates: k,
+            ..InitStats::default()
+        };
+        finish_init_chunked(source, centers, stats, sw, exec)
+    }
 }
 
 /// Algorithm 1 (Arthur & Vassilvitskii 2007): sequential D²-weighted
@@ -247,6 +331,25 @@ impl Initializer for KMeansPlusPlus {
         };
         Ok(finish_init(points, weights, centers, stats, sw, exec))
     }
+
+    fn init_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        let sw = Stopwatch::start();
+        let mut rng = Rng::derive(seed, &[21]);
+        let centers = kmeanspp_chunked(source, k, &mut rng, exec)?;
+        let stats = InitStats {
+            rounds: k.saturating_sub(1),
+            passes: k,
+            candidates: k,
+            ..InitStats::default()
+        };
+        finish_init_chunked(source, centers, stats, sw, exec)
+    }
 }
 
 /// Algorithm 2 — **k-means||**: parallel oversampling + reclustering.
@@ -271,6 +374,18 @@ impl Initializer for KMeansParallel {
         let sw = Stopwatch::start();
         let (centers, stats) = kmeans_parallel(points, k, &self.0, seed, exec)?;
         Ok(finish_init(points, weights, centers, stats, sw, exec))
+    }
+
+    fn init_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        let sw = Stopwatch::start();
+        let (centers, stats) = kmeans_parallel_chunked(source, k, &self.0, seed, exec)?;
+        finish_init_chunked(source, centers, stats, sw, exec)
     }
 }
 
@@ -400,13 +515,33 @@ impl Refiner for Lloyd {
             }
         }
     }
+
+    fn refine_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        centers: &PointMatrix,
+        _seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        let n = source.len() as u64;
+        let k = centers.len() as u64;
+        let r = lloyd_chunked(source, centers, &self.0, exec)?;
+        Ok(RefineResult {
+            distance_computations: n * k * r.assign_passes as u64,
+            centers: r.centers,
+            labels: r.labels,
+            cost: r.cost,
+            iterations: r.iterations,
+            converged: r.converged,
+            history: r.history,
+        })
+    }
 }
 
 /// Hamerly's bounds-accelerated Lloyd — exact results, far fewer distance
 /// evaluations; the count in [`RefineResult::distance_computations`] is
 /// measured, not analytic. Stops on assignment stability only: a nonzero
-/// `tol` in the config is rejected (see
-/// [`hamerly_lloyd`](crate::accel::hamerly_lloyd)).
+/// `tol` in the config is rejected (see [`hamerly_lloyd`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HamerlyLloyd(pub LloydConfig);
 
@@ -473,6 +608,28 @@ impl Refiner for MiniBatch {
                 + points.len() as u64 * k,
         })
     }
+
+    fn refine_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        centers: &PointMatrix,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        let k = centers.len() as u64;
+        let refined = minibatch_chunked(source, centers, &self.0, seed)?;
+        let (labels, sums) = assign_and_sum_chunked(source, &refined, exec)?;
+        Ok(RefineResult {
+            centers: refined,
+            labels,
+            cost: sums.cost,
+            iterations: self.0.iterations,
+            converged: false, // fixed budget; no convergence test
+            history: Vec::new(),
+            distance_computations: (self.0.batch_size * self.0.iterations) as u64 * k
+                + source.len() as u64 * k,
+        })
+    }
 }
 
 /// The identity refiner: keeps the seed centers and only labels the data —
@@ -513,6 +670,26 @@ impl Refiner for NoRefine {
             converged: true,
             history: Vec::new(),
             distance_computations: points.len() as u64 * centers.len() as u64,
+        })
+    }
+
+    fn refine_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        centers: &PointMatrix,
+        _seed: u64,
+        exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        validate_refine_inputs_chunked(source, centers)?;
+        let (labels, sums) = assign_and_sum_chunked(source, centers, exec)?;
+        Ok(RefineResult {
+            centers: centers.clone(),
+            labels,
+            cost: sums.cost,
+            iterations: 0,
+            converged: true,
+            history: Vec::new(),
+            distance_computations: source.len() as u64 * centers.len() as u64,
         })
     }
 }

@@ -39,6 +39,9 @@ pub enum DataError {
         /// Explanation of the failure.
         message: String,
     },
+    /// A binary block file is malformed (bad magic, truncated payload,
+    /// inconsistent header).
+    Format(String),
 }
 
 impl fmt::Display for DataError {
@@ -62,6 +65,7 @@ impl fmt::Display for DataError {
             DataError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            DataError::Format(msg) => write!(f, "invalid block file: {msg}"),
         }
     }
 }
@@ -100,6 +104,9 @@ mod tests {
         assert!(e.to_string().contains("line 7"));
         let io = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.to_string().contains("gone"));
+        assert!(DataError::Format("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 
     #[test]

@@ -19,11 +19,28 @@
 //!    reproduces that structure at any scale.
 //!
 //! Storage is a flat row-major [`PointMatrix`] (`Vec<f64>`), the layout the
-//! distance kernels in `kmeans-core` are written against.
+//! distance kernels in `kmeans-core` are written against. Datasets larger
+//! than memory are served block by block through the [`ChunkedSource`]
+//! abstraction ([`chunked`], [`blockfile`]) — the out-of-core axis that
+//! makes the paper's `O(log n)`-passes story (§3, Algorithm 2) real for
+//! data that never fits in RAM.
+//!
+//! Paper-section map of the public modules:
+//!
+//! | module | paper anchor |
+//! |--------|--------------|
+//! | [`matrix`] | the point set `X ⊂ R^d` of §2 |
+//! | [`dataset`] | §5 evaluation datasets (points + ground-truth labels) |
+//! | [`synth`] | §5.1 GaussMixture / Spam / KDDCup1999 workloads |
+//! | [`io`] | CSV/LIBSVM interchange for the §5 datasets |
+//! | [`chunked`], [`blockfile`] | the "data does not fit in main memory" premise of §1 |
+//! | [`transform`] | feature scaling ahead of clustering (engineering extension) |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod blockfile;
+pub mod chunked;
 pub mod dataset;
 pub mod error;
 pub mod io;
@@ -31,6 +48,10 @@ pub mod matrix;
 pub mod synth;
 pub mod transform;
 
+pub use blockfile::{
+    csv_to_block_file, is_block_file, write_block_file, BlockFileSource, BlockFileWriter,
+};
+pub use chunked::{ChunkedSource, CsvSource, InMemorySource, Residency};
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use matrix::PointMatrix;

@@ -158,6 +158,30 @@ impl PointMatrix {
         out
     }
 
+    /// Removes all points, keeping the allocation and dimensionality.
+    ///
+    /// Block readers reuse one matrix as their per-block buffer; `clear`
+    /// plus [`PointMatrix::extend_from_flat`] refills it without
+    /// reallocating.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends rows from a flat row-major buffer.
+    ///
+    /// Fails with [`DataError::RaggedBuffer`] if `data.len()` is not a
+    /// multiple of the matrix dimensionality.
+    pub fn extend_from_flat(&mut self, data: &[f64]) -> Result<(), DataError> {
+        if !data.len().is_multiple_of(self.dim) {
+            return Err(DataError::RaggedBuffer {
+                len: data.len(),
+                dim: self.dim,
+            });
+        }
+        self.data.extend_from_slice(data);
+        Ok(())
+    }
+
     /// Appends all rows of `other`.
     pub fn extend_from(&mut self, other: &PointMatrix) -> Result<(), DataError> {
         if other.dim != self.dim {
@@ -300,6 +324,21 @@ mod tests {
     #[should_panic(expected = "dimension must be positive")]
     fn zero_dim_panics() {
         PointMatrix::new(0);
+    }
+
+    #[test]
+    fn clear_and_extend_from_flat_reuse_the_buffer() {
+        let mut m = PointMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.dim(), 2);
+        m.extend_from_flat(&[5.0, 6.0]).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert!(matches!(
+            m.extend_from_flat(&[1.0]),
+            Err(DataError::RaggedBuffer { len: 1, dim: 2 })
+        ));
     }
 
     #[test]

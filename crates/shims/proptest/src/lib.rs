@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access, so the real `proptest`
 //! cannot be vendored. This shim implements the subset of its API the
-//! workspace's property tests use: the [`Strategy`] trait with `prop_map` /
+//! workspace's property tests use: the [`strategy::Strategy`] trait with `prop_map` /
 //! `prop_flat_map` / `prop_filter`, range and tuple strategies,
 //! [`collection::vec`], [`arbitrary::any`], [`ProptestConfig`], and the
 //! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
@@ -198,7 +198,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact size or a range.
+    /// Length specification for [`vec()`]: an exact size or a range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -229,7 +229,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

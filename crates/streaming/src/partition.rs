@@ -138,6 +138,85 @@ pub fn partition_init(
     })
 }
 
+/// Runs Partition over a [`ChunkedSource`](kmeans_data::ChunkedSource) as
+/// the **true streaming algorithm** it was published as: groups are
+/// consecutive chunks of the stream (Ailon et al.'s one-pass setting),
+/// processed as their rows arrive — one scan total, with only one group
+/// (`≈ n/m = √(n·k)` rows, the paper's memory-optimal point) plus one
+/// block resident at a time.
+///
+/// This deliberately differs from [`partition_init`], which simulates the
+/// streaming setting in memory by *shuffling* the input into random groups
+/// — a global permutation an out-of-core pass cannot afford. Results are
+/// therefore deterministic per seed but not bit-identical to the in-memory
+/// entry point (every other chunked seeder in the workspace is; see
+/// `kmeans_core::chunked`).
+pub fn partition_init_chunked(
+    source: &dyn kmeans_data::ChunkedSource,
+    k: usize,
+    config: &PartitionConfig,
+    seed: u64,
+    exec: &Executor,
+) -> Result<PartitionResult, KMeansError> {
+    use kmeans_core::chunked::check_block_finite;
+
+    kmeans_core::chunked::validate_source(source, k)?;
+    let n = source.len();
+    let m = config.groups.unwrap_or_else(|| optimal_groups(n, k)).max(1);
+    let m = m.min(n);
+    let mut rng = Rng::derive(seed, &[60]);
+
+    // Group boundaries: contiguous stream chunks, sizes differing by ≤ 1.
+    let bounds: Vec<(usize, usize)> = (0..m).map(|g| (g * n / m, (g + 1) * n / m)).collect();
+
+    let sw = Stopwatch::start();
+    let mut coreset = PointMatrix::new(source.dim());
+    let mut weights: Vec<f64> = Vec::new();
+    let mut group = PointMatrix::with_capacity(source.dim(), bounds[0].1);
+    let mut g = 0usize;
+    let mut buf = source.block_buffer();
+    kmeans_core::chunked::for_each_block(source, &mut buf, |_b, start, block| {
+        check_block_finite(block, start)?;
+        for (off, row) in block.rows().enumerate() {
+            group.push(row).expect("row dim matches source dim");
+            if start + off + 1 == bounds[g].1 {
+                // Group complete: run k-means# locally, weight, discard.
+                let mut group_rng = Rng::derive(seed, &[61, g as u64]);
+                let centers = kmeans_sharp(&group, k, &mut group_rng)?;
+                let mut w = vec![0.0f64; centers.len()];
+                for row in group.rows() {
+                    w[nearest(row, &centers).0] += 1.0;
+                }
+                coreset.extend_from(&centers).expect("dims match");
+                weights.extend_from_slice(&w);
+                group.clear();
+                g += 1;
+            }
+        }
+        Ok(())
+    })?;
+    let group_phase = sw.elapsed();
+    let intermediate = coreset.len();
+
+    // Final sequential weighted k-means++ down to k; on degenerate
+    // duplicate-heavy coresets fall back to D² seeding over the stream.
+    let sw = Stopwatch::start();
+    let centers = if intermediate >= k {
+        weighted_kmeanspp(&coreset, &weights, k, &mut rng)?
+    } else {
+        kmeans_core::init::kmeanspp_chunked(source, k, &mut rng, exec)?
+    };
+    let recluster_phase = sw.elapsed();
+
+    Ok(PartitionResult {
+        centers,
+        groups: m,
+        intermediate_centers: intermediate,
+        group_phase,
+        recluster_phase,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

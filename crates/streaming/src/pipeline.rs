@@ -1,5 +1,5 @@
 //! Pipeline adapters: the streaming seeders as
-//! [`Initializer`](kmeans_core::pipeline::Initializer) implementations.
+//! [`Initializer`] implementations.
 //!
 //! The paper benchmarks Partition as a *seeding* method — Tables 3–5 run
 //! it head-to-head with k-means|| and hand both to the same Lloyd
@@ -14,11 +14,12 @@
 //! return exactly `k` centers.
 
 use crate::coreset::CoresetTree;
-use crate::partition::{partition_init, PartitionConfig};
+use crate::partition::{partition_init, partition_init_chunked, PartitionConfig};
+use kmeans_core::chunked::{check_block_finite, finish_init_chunked, validate_source};
 use kmeans_core::init::{validate, InitResult, InitStats};
 use kmeans_core::pipeline::{finish_init, reject_weights, Initializer};
 use kmeans_core::KMeansError;
-use kmeans_data::PointMatrix;
+use kmeans_data::{ChunkedSource, PointMatrix};
 use kmeans_par::Executor;
 use kmeans_util::timing::Stopwatch;
 
@@ -60,6 +61,24 @@ impl Initializer for Partition {
             sw,
             exec,
         ))
+    }
+
+    fn init_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        let sw = Stopwatch::start();
+        let result = partition_init_chunked(source, k, &self.0, seed, exec)?;
+        let stats = InitStats {
+            rounds: 1,
+            passes: 2,
+            candidates: result.intermediate_centers,
+            ..InitStats::default()
+        };
+        finish_init_chunked(source, result.centers, stats, sw, exec)
     }
 }
 
@@ -109,6 +128,38 @@ impl Initializer for Coreset {
             ..InitStats::default()
         };
         Ok(finish_init(points, weights, centers, stats, sw, exec))
+    }
+
+    fn init_chunked(
+        &self,
+        source: &dyn ChunkedSource,
+        k: usize,
+        seed: u64,
+        exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        validate_source(source, k)?;
+        let sw = Stopwatch::start();
+        let mut tree = CoresetTree::new(source.dim(), self.coreset_size, seed)?;
+        // The tree consumes rows one at a time, so streaming blocks through
+        // it inserts in the exact order the in-memory adapter does — the
+        // resulting centers are bit-identical (`tests/chunked_parity.rs`).
+        let mut buf = source.block_buffer();
+        kmeans_core::chunked::for_each_block(source, &mut buf, |_b, start, block| {
+            check_block_finite(block, start)?;
+            for row in block.rows() {
+                tree.insert(row).expect("dims match by construction");
+            }
+            Ok(())
+        })?;
+        let candidates = tree.representatives() + tree.buffered();
+        let centers = tree.cluster(k)?;
+        let stats = InitStats {
+            rounds: 0,
+            passes: 1, // single streaming pass
+            candidates,
+            ..InitStats::default()
+        };
+        finish_init_chunked(source, centers, stats, sw, exec)
     }
 }
 

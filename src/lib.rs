@@ -32,6 +32,32 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Out of core
+//!
+//! Datasets larger than memory stream through the
+//! [`ChunkedSource`](kmeans_data::ChunkedSource) layer — one scan per
+//! k-means|| round or Lloyd iteration, bit-identical to the in-memory
+//! fit (see `docs/ARCHITECTURE.md`). This is the README's headline
+//! example, compiled here so it cannot rot:
+//!
+//! ```
+//! use scalable_kmeans::prelude::*;
+//!
+//! let synth = GaussMixture::new(16).points(8_192).generate(1)?;
+//! let path = std::env::temp_dir().join("readme_oocore.skmb");
+//! write_block_file(&path, synth.dataset.points(), 1_024)?;
+//!
+//! // 256 KiB budget vs ~1 MiB of features: the data is never fully resident.
+//! let source = BlockFileSource::open(&path, 256 * 1024)?;
+//! let model = KMeans::params(16).seed(7).data_source(source).fit_chunked()?;
+//!
+//! // Bit-identical to the in-memory fit on the same seed:
+//! let reference = KMeans::params(16).seed(7).fit(synth.dataset.points())?;
+//! assert_eq!(model.centers(), reference.centers());
+//! std::fs::remove_file(path)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! Reproduce the paper's tables and figures with the `kmeans-bench`
 //! binaries (`cargo run -p kmeans-bench --release --bin table1`, …); see
 //! DESIGN.md for the experiment index and EXPERIMENTS.md for measured
@@ -66,7 +92,10 @@ pub mod prelude {
     };
     pub use kmeans_core::KMeansError;
     pub use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
-    pub use kmeans_data::{Dataset, PointMatrix};
+    pub use kmeans_data::{
+        write_block_file, BlockFileSource, BlockFileWriter, ChunkedSource, CsvSource, Dataset,
+        InMemorySource, PointMatrix, Residency,
+    };
     pub use kmeans_par::{Executor, Parallelism};
     pub use kmeans_streaming::partition::{partition_init, PartitionConfig};
     pub use kmeans_streaming::{Coreset, Partition};
