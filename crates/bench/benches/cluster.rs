@@ -1,0 +1,193 @@
+//! Distributed vs single-node wall time on the synthetic GAUSSMIXTURE
+//! workload, over loopback workers — and the repo's first machine-
+//! readable perf artifact: the run writes `BENCH_cluster.json` at the
+//! workspace root with one record per configuration (method, n, d, k,
+//! workers, median wall nanoseconds, bytes on the wire, data passes), so
+//! successive PRs accumulate a perf trajectory instead of scrollback.
+//!
+//! Results are bit-identical across the grid (asserted up front; pinned
+//! for real in `tests/distributed_parity.rs`), so every delta is pure
+//! coordination + wire overhead.
+
+use criterion::Criterion;
+use kmeans_cluster::{spawn_loopback_worker, Cluster, FitDistributed, Transport};
+use kmeans_core::model::KMeans;
+use kmeans_data::synth::GaussMixture;
+use kmeans_data::{InMemorySource, PointMatrix};
+use kmeans_par::Parallelism;
+use std::io::Write;
+use std::time::Duration;
+
+const N: usize = 4_096;
+const K: usize = 8;
+const SHARD: usize = 256;
+
+fn builder() -> KMeans {
+    KMeans::params(K)
+        .seed(1)
+        .shard_size(SHARD)
+        .parallelism(Parallelism::Sequential)
+}
+
+fn slice_rows(points: &PointMatrix, start: usize, rows: usize) -> PointMatrix {
+    let dim = points.dim();
+    PointMatrix::from_flat(
+        points.as_slice()[start * dim..(start + rows) * dim].to_vec(),
+        dim,
+    )
+    .unwrap()
+}
+
+type WorkerHandles = Vec<std::thread::JoinHandle<Result<(), kmeans_cluster::ClusterError>>>;
+
+fn spawn_cluster(points: &PointMatrix, workers: usize) -> (Cluster, WorkerHandles) {
+    let per = points.len() / workers;
+    let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let rows = if w + 1 == workers {
+            points.len() - w * per
+        } else {
+            per
+        };
+        let source = InMemorySource::new(slice_rows(points, w * per, rows), 512).unwrap();
+        let (transport, handle) = spawn_loopback_worker(source, Parallelism::Sequential);
+        transports.push(Box::new(transport));
+        handles.push(handle);
+    }
+    (Cluster::new(transports).unwrap(), handles)
+}
+
+fn shutdown(mut cluster: Cluster, handles: WorkerHandles) {
+    cluster.shutdown();
+    for h in handles {
+        h.join()
+            .expect("worker thread panicked")
+            .expect("worker session failed");
+    }
+}
+
+struct Record {
+    method: &'static str,
+    workers: usize,
+    wall_ns: u128,
+    bytes_on_wire: u64,
+    data_passes: u64,
+}
+
+fn escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn write_json(records: &[Record], dim: usize) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"method\": \"{}\", \"n\": {N}, \"d\": {dim}, \"k\": {K}, \
+             \"workers\": {}, \"wall_ns\": {}, \"bytes_on_wire\": {}, \"data_passes\": {}}}{}\n",
+            escape_free(r.method),
+            r.workers,
+            r.wall_ns,
+            r.bytes_on_wire,
+            r.data_passes,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    let mut file = std::fs::File::create(path).expect("create BENCH_cluster.json");
+    file.write_all(out.as_bytes())
+        .expect("write BENCH_cluster.json");
+    println!("wrote {} records -> BENCH_cluster.json", records.len());
+}
+
+fn main() {
+    let synth = GaussMixture::new(K)
+        .points(N)
+        .center_variance(50.0)
+        .generate(7)
+        .unwrap();
+    let points = synth.dataset.points().clone();
+    let dim = points.dim();
+
+    // Sanity: the grid compares equal results, or the numbers mean nothing.
+    let reference = builder().fit(&points).unwrap();
+    {
+        let (mut cluster, handles) = spawn_cluster(&points, 2);
+        let dist = builder().fit_distributed(&mut cluster).unwrap();
+        shutdown(cluster, handles);
+        assert_eq!(reference.centers(), dist.centers());
+        assert_eq!(
+            reference.cost().to_bits(),
+            dist.cost().to_bits(),
+            "distributed fit diverged; benchmark numbers would be meaningless"
+        );
+    }
+
+    let mut c = Criterion::default();
+    let mut records: Vec<Record> = Vec::new();
+    {
+        let mut group = c.benchmark_group(format!("cluster_gauss_n{N}_k{K}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+
+        group.bench_function("in_memory", |b| b.iter(|| builder().fit(&points).unwrap()));
+
+        for workers in [1usize, 2, 4] {
+            let (mut cluster, handles) = spawn_cluster(&points, workers);
+            group.bench_function(format!("loopback_w{workers}"), |b| {
+                b.iter(|| builder().fit_distributed(&mut cluster).unwrap())
+            });
+            shutdown(cluster, handles);
+        }
+        group.finish();
+    }
+
+    // Wire accounting from one clean fit per worker count (byte counters
+    // accumulate across iterations, so measure outside the timing loop).
+    let mut wire: Vec<(usize, u64, u64)> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (mut cluster, handles) = spawn_cluster(&points, workers);
+        builder().fit_distributed(&mut cluster).unwrap();
+        wire.push((
+            workers,
+            cluster.bytes_sent() + cluster.bytes_received(),
+            cluster.data_passes(),
+        ));
+        shutdown(cluster, handles);
+    }
+
+    for record in c.records() {
+        let (method, workers, bytes, passes) = if record.id.ends_with("in_memory") {
+            ("in-memory kmeans-par+lloyd", 0, 0, 0)
+        } else {
+            let workers: usize = record
+                .id
+                .rsplit("_w")
+                .next()
+                .and_then(|w| w.parse().ok())
+                .expect("loopback id carries the worker count");
+            let &(_, bytes, passes) = wire
+                .iter()
+                .find(|(w, _, _)| *w == workers)
+                .expect("wire stats recorded");
+            (
+                "distributed kmeans-par+lloyd (loopback)",
+                workers,
+                bytes,
+                passes,
+            )
+        };
+        records.push(Record {
+            method,
+            workers,
+            wall_ns: record.median.as_nanos(),
+            bytes_on_wire: bytes,
+            data_passes: passes,
+        });
+    }
+    write_json(&records, dim);
+}

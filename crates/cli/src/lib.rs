@@ -54,6 +54,8 @@ pub enum CliError {
     Data(kmeans_data::DataError),
     /// Underlying clustering failure.
     KMeans(kmeans_core::KMeansError),
+    /// Distributed-runtime failure (connection, protocol, worker).
+    Cluster(kmeans_cluster::ClusterError),
     /// Output-write failure.
     Io(std::io::Error),
 }
@@ -64,6 +66,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg} (run `skm help`)"),
             CliError::Data(e) => write!(f, "{e}"),
             CliError::KMeans(e) => write!(f, "{e}"),
+            CliError::Cluster(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -89,12 +92,20 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<kmeans_cluster::ClusterError> for CliError {
+    fn from(e: kmeans_cluster::ClusterError) -> Self {
+        CliError::Cluster(e)
+    }
+}
+
 /// Dispatches one subcommand, writing human-readable output to `out`.
 pub fn dispatch(command: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     match command {
         "generate" => generate(args, out),
         "fit" => fit(args, out),
         "convert" => convert(args, out),
+        "shard" => shard(args, out),
+        "worker" => worker(args, out),
         "predict" => predict(args, out),
         "evaluate" => evaluate(args, out),
         "help" | "--help" | "-h" => {
@@ -122,11 +133,17 @@ USAGE:
                [--batch-size B] [--batch-iters I]  (minibatch refinement)
                [--max-iters I]                  (lloyd/hamerly refinement)
                [--tol T]                        (lloyd only: relative-improvement stop)
-               [--seed S] [--threads T] [--assignments-out FILE]
+               [--seed S] [--threads T] [--shard-size N] [--assignments-out FILE]
                [--chunked]                      (out-of-core: stream FILE block by block)
                [--block-rows N]                 (chunked csv input: rows per block, default 8192)
                [--mem-budget SIZE]              (chunked block-file input: e.g. 64m; default 256m)
+               [--distributed --workers A,B,C]  (run on remote skm workers; no --input)
+               [--io-timeout SECS]              (distributed: per-socket timeout, default 60)
+               [--manifest FILE]                (distributed: cross-check an skm-shard manifest)
   skm convert  --input data.csv --out data.skmb [--block-rows N] [--labels]
+  skm shard    --input data.skmb --workers N --out-prefix PATH [--align ROWS]
+  skm worker   --listen ADDR --data shard.skmb [--mem-budget SIZE] [--threads T]
+               [--io-timeout SECS] [--once]
   skm predict  --input FILE --centers FILE --out FILE
   skm evaluate --input FILE --centers FILE [--labels] [--silhouette-sample N]
   skm help
@@ -140,7 +157,16 @@ streaming pass), and `skm fit --chunked` streams either format without
 materializing the dataset — results are bit-identical to the in-memory
 fit for every --init/--refine except afk-mc2, hamerly (no chunked
 formulation) and partition (true streaming variant). --chunked drops
-ground-truth label metrics; block size never changes results."
+ground-truth label metrics; block size never changes results.
+
+Distributed: `skm shard` splits a block file into per-worker shard files
+(boundaries on the --align grid, default 8192 = the default shard size),
+each `skm worker` serves one shard, and `skm fit --distributed --workers
+a,b,c` runs k-means|| seeding and Lloyd refinement across them — bit-
+identical to the single-node fit of the concatenated data for any worker
+count (supported stages: --init random|kmeans-par, --refine lloyd|none).
+Workers own the data, so --distributed takes no --input; worker order in
+--workers is global row order."
 }
 
 fn require(args: &Args, name: &str) -> Result<String, CliError> {
@@ -344,14 +370,23 @@ fn parse_size(value: &str, flag: &str) -> Result<u64, CliError> {
         })
 }
 
+/// Flags that only mean something under `--distributed` (rejected
+/// without it, matching the `--chunked` precedent).
+const DIST_FLAGS: &[&str] = &["workers", "io-timeout", "manifest"];
+
 fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let input = require(args, "input")?;
     let centers_path = require(args, "centers-out")?;
     let k = args.usize_or("k", 0);
     if k == 0 {
         return Err(CliError::Usage("missing required --k".into()));
     }
     let chunked = args.flag("chunked");
+    let distributed = args.flag("distributed");
+    if chunked && distributed {
+        return Err(CliError::Usage(
+            "--chunked and --distributed are mutually exclusive".into(),
+        ));
+    }
     if !chunked {
         for flag in ["block-rows", "mem-budget"] {
             if !args.str_or(flag, "").is_empty() {
@@ -361,10 +396,32 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     }
-    let builder = KMeans::params(k)
+    if !distributed {
+        for flag in DIST_FLAGS {
+            if !args.str_or(flag, "").is_empty() {
+                return Err(CliError::Usage(format!(
+                    "--{flag} only applies to distributed fits (pass --distributed)"
+                )));
+            }
+        }
+    }
+    let mut builder = KMeans::params(k)
         .seed(args.u64_or("seed", 0))
         .parallelism(parallelism(args));
+    match args.usize_or("shard-size", 0) {
+        0 if args.str_or("shard-size", "").is_empty() => {}
+        0 => {
+            return Err(CliError::Usage(
+                "--shard-size must be at least 1 (omit for the 8192 default)".into(),
+            ))
+        }
+        s => builder = builder.shard_size(s),
+    }
     let builder = apply_refine(apply_init(builder, args)?, args)?;
+    if distributed {
+        return fit_distributed(args, builder, k, &centers_path, out);
+    }
+    let input = require(args, "input")?;
 
     // Ground truth is only available on the in-memory CSV path; chunked
     // sources stream features alone.
@@ -426,27 +483,7 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         &centers_path,
         &Dataset::new("centers", model.centers().clone()),
     )?;
-    writeln!(
-        out,
-        "fit k={k} on {n} points x {dim} dims: init={}, refine={}, \
-         cost {:.6e}, seed cost {:.6e}, {} refine iterations ({}), \
-         {} seeding passes, {} distance evals",
-        model.init_name(),
-        model.refiner_name(),
-        model.cost(),
-        model.init_stats().seed_cost,
-        model.iterations(),
-        if model.converged() {
-            "converged"
-        } else if model.refiner_name() == "minibatch" {
-            // A completed fixed-budget run, not a truncated one.
-            "fixed budget"
-        } else {
-            "iteration cap"
-        },
-        model.init_stats().passes,
-        model.distance_computations(),
-    )?;
+    report_fit(out, &model, k, n, dim)?;
     writeln!(out, "centers -> {centers_path}")?;
 
     if let Some(source) = source {
@@ -479,6 +516,241 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         write_labels(&assignments, model.labels())?;
         writeln!(out, "assignments -> {assignments}")?;
     }
+    Ok(())
+}
+
+/// The one-line fit summary shared by the local and distributed paths.
+fn report_fit(
+    out: &mut dyn Write,
+    model: &kmeans_core::model::KMeansModel,
+    k: usize,
+    n: usize,
+    dim: usize,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "fit k={k} on {n} points x {dim} dims: init={}, refine={}, \
+         cost {:.6e}, seed cost {:.6e}, {} refine iterations ({}), \
+         {} seeding passes, {} distance evals",
+        model.init_name(),
+        model.refiner_name(),
+        model.cost(),
+        model.init_stats().seed_cost,
+        model.iterations(),
+        if model.converged() {
+            "converged"
+        } else if model.refiner_name() == "minibatch" {
+            // A completed fixed-budget run, not a truncated one.
+            "fixed budget"
+        } else {
+            "iteration cap"
+        },
+        model.init_stats().passes,
+        model.distance_computations(),
+    )?;
+    Ok(())
+}
+
+/// `skm fit --distributed`: run the configured pipeline on remote
+/// workers. Workers own the data (no `--input`); the `--workers` list is
+/// global row order.
+fn fit_distributed(
+    args: &Args,
+    builder: KMeans,
+    k: usize,
+    centers_path: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use kmeans_cluster::FitDistributed;
+
+    if !args.str_or("input", "").is_empty() {
+        return Err(CliError::Usage(
+            "--input does not apply to distributed fits: workers own the data \
+             (start each with `skm worker --data shard.skmb`)"
+                .into(),
+        ));
+    }
+    if args.flag("labels") {
+        return Err(CliError::Usage(
+            "--labels does not apply to distributed fits: shard files store features only".into(),
+        ));
+    }
+    let workers_arg = require(args, "workers")?;
+    let addrs: Vec<String> = workers_arg
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(CliError::Usage(
+            "--workers expects a comma-separated list of host:port addresses".into(),
+        ));
+    }
+    let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 60).max(1));
+    let mut cluster = kmeans_cluster::Cluster::connect(&addrs, Some(timeout))?;
+
+    let manifest_path = args.str_or("manifest", "");
+    if !manifest_path.is_empty() {
+        let manifest = kmeans_data::ShardManifest::load(&manifest_path)?;
+        let summaries = cluster.worker_summaries();
+        if manifest.shards.len() != summaries.len() {
+            return Err(CliError::Usage(format!(
+                "manifest lists {} shards but {} workers are connected",
+                manifest.shards.len(),
+                summaries.len()
+            )));
+        }
+        if manifest.dim != cluster.dim() {
+            return Err(CliError::Usage(format!(
+                "manifest dim {} does not match worker dim {}",
+                manifest.dim,
+                cluster.dim()
+            )));
+        }
+        for (i, (entry, summary)) in manifest.shards.iter().zip(&summaries).enumerate() {
+            if entry.rows != summary.rows {
+                return Err(CliError::Usage(format!(
+                    "worker {i} serves {} rows but the manifest expects {} — is the \
+                     --workers order the manifest's shard order?",
+                    summary.rows, entry.rows
+                )));
+            }
+        }
+    }
+
+    let (n, dim) = (cluster.global_n(), cluster.dim());
+    let model = builder
+        .fit_distributed(&mut cluster)
+        .map_err(CliError::KMeans)?;
+    let worker_stats = cluster.fetch_stats()?;
+    let summaries = cluster.worker_summaries();
+    let job = cluster.job_stats();
+    let passes = cluster.data_passes();
+    let (sent, received) = (cluster.bytes_sent(), cluster.bytes_received());
+    cluster.shutdown();
+
+    write_csv(
+        centers_path,
+        &Dataset::new("centers", model.centers().clone()),
+    )?;
+    report_fit(out, &model, k, n, dim)?;
+    writeln!(out, "centers -> {centers_path}")?;
+    writeln!(
+        out,
+        "distributed: {} workers, {passes} data passes, {} B on the wire \
+         ({sent} B sent, {received} B received), coordinator blocked {:?}",
+        summaries.len(),
+        job.bytes_shuffled,
+        job.map_wall,
+    )?;
+    for (i, (summary, stats)) in summaries.iter().zip(&worker_stats).enumerate() {
+        writeln!(
+            out,
+            "  worker {i}: rows [{}..{}), {} B to / {} B from worker, \
+             peak resident {} B{}, {} block loads, {} cache hits",
+            summary.start_row,
+            summary.start_row + summary.rows,
+            summary.bytes_sent,
+            summary.bytes_received,
+            stats.peak_bytes,
+            if stats.budget_bytes == u64::MAX {
+                String::new()
+            } else {
+                format!(" (budget {} B)", stats.budget_bytes)
+            },
+            stats.loads,
+            stats.hits,
+        )?;
+    }
+    let assignments = args.str_or("assignments-out", "");
+    if !assignments.is_empty() {
+        write_labels(&assignments, model.labels())?;
+        writeln!(out, "assignments -> {assignments}")?;
+    }
+    Ok(())
+}
+
+/// `skm shard`: split a block file into per-worker shard files plus a
+/// manifest (`kmeans_data::shard`).
+fn shard(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = require(args, "input")?;
+    let out_prefix = require(args, "out-prefix")?;
+    let workers = args.usize_or("workers", 0);
+    if workers == 0 {
+        return Err(CliError::Usage("missing required --workers".into()));
+    }
+    if !is_block_file(&input) {
+        return Err(CliError::Usage(format!(
+            "'{input}' is not an SKMBLK01 block file; run `skm convert` first"
+        )));
+    }
+    // Default alignment: exactly the boundary grid a default-shard-size
+    // fit will validate (`sum_shard_size_for` nests the accumulation grid
+    // on the executor grid), probed from the input's row count. An
+    // explicit --align matches an explicit fit --shard-size instead.
+    let align = match args.usize_or("align", 0) {
+        0 if args.str_or("align", "").is_empty() => {
+            let probe = BlockFileSource::open(&input, u64::MAX / 2)?;
+            kmeans_core::assign::sum_shard_size_for(
+                kmeans_par::shards::DEFAULT_SHARD_SIZE,
+                probe.len(),
+            )
+        }
+        0 => {
+            return Err(CliError::Usage(
+                "--align must be at least 1 (omit to match the default fit shard grid)".into(),
+            ))
+        }
+        a => a,
+    };
+    let manifest = kmeans_data::shard_block_file(&input, &out_prefix, workers, align)?;
+    writeln!(
+        out,
+        "sharded {} points x {} dims into {} shards (boundaries on the {align}-row grid) \
+         -> {out_prefix}.manifest",
+        manifest.total_rows,
+        manifest.dim,
+        manifest.shards.len(),
+    )?;
+    for (i, s) in manifest.shards.iter().enumerate() {
+        writeln!(
+            out,
+            "  shard {i}: rows [{}..{}) -> {}",
+            s.start_row,
+            s.start_row + s.rows,
+            s.path
+        )?;
+    }
+    Ok(())
+}
+
+/// `skm worker`: serve one shard of the data to a distributed
+/// coordinator over TCP.
+fn worker(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let listen = require(args, "listen")?;
+    let data = require(args, "data")?;
+    if !is_block_file(&data) {
+        return Err(CliError::Usage(format!(
+            "'{data}' is not an SKMBLK01 block file; worker shards come from \
+             `skm convert` / `skm shard`"
+        )));
+    }
+    let budget = parse_size(&args.str_or("mem-budget", "256m"), "mem-budget")?;
+    let source = BlockFileSource::open(&data, budget)?;
+    let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 600).max(1));
+    let once = args.flag("once");
+    let server = kmeans_cluster::TcpWorkerServer::bind(&listen)?;
+    writeln!(
+        out,
+        "worker serving {} rows x {} dims from {data} on {}{}",
+        source.len(),
+        source.dim(),
+        server.local_addr()?,
+        if once { " (one session)" } else { "" },
+    )?;
+    out.flush()?;
+    let w = kmeans_cluster::Worker::from_boxed(Box::new(source), parallelism(args));
+    server.serve(w, Some(timeout), once)?;
     Ok(())
 }
 
@@ -1035,6 +1307,197 @@ mod tests {
         ] {
             assert!(out.contains(value), "usage() missing '{value}': {out}");
         }
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand_and_distributed_flag() {
+        let out = run("help", &args("")).unwrap();
+        for value in [
+            "skm generate",
+            "skm fit",
+            "skm convert",
+            "skm shard",
+            "skm worker",
+            "skm predict",
+            "skm evaluate",
+            "--distributed",
+            "--workers",
+            "--io-timeout",
+            "--manifest",
+            "--align",
+            "--listen",
+            "--once",
+            "--shard-size",
+        ] {
+            assert!(out.contains(value), "usage() missing '{value}': {out}");
+        }
+    }
+
+    #[test]
+    fn distributed_flags_are_validated() {
+        let data = tmp("dist_flags.csv");
+        std::fs::write(&data, "1.0,2.0\n3.0,4.0\n5.0,6.0\n").unwrap();
+        // Distributed-only flags without --distributed are rejected.
+        for flags in [
+            "--workers 127.0.0.1:1",
+            "--io-timeout 5",
+            "--manifest /tmp/m",
+        ] {
+            let err = run(
+                "fit",
+                &args(&format!(
+                    "--input {data} --k 2 {flags} --centers-out /tmp/x"
+                )),
+            )
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("only applies to distributed"),
+                "{flags}: {err}"
+            );
+        }
+        // --distributed needs --workers.
+        let err = run("fit", &args("--k 2 --distributed --centers-out /tmp/x")).unwrap_err();
+        assert!(err.to_string().contains("--workers"), "{err}");
+        // --input does not combine with --distributed (workers own the data).
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --distributed --workers 127.0.0.1:1 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--input does not apply"), "{err}");
+        // Neither do --chunked or --labels.
+        let err = run(
+            "fit",
+            &args("--k 2 --distributed --chunked --workers 127.0.0.1:1 --centers-out /tmp/x"),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        let err = run(
+            "fit",
+            &args("--k 2 --distributed --labels --workers 127.0.0.1:1 --centers-out /tmp/x"),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--labels does not apply"), "{err}");
+        // A dead address is a typed connection error, not a hang.
+        let err = run(
+            "fit",
+            &args("--k 2 --distributed --workers 127.0.0.1:9 --centers-out /tmp/x"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Cluster(_)), "{err}");
+        // Bad --shard-size is a usage error.
+        let err = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 2 --shard-size 0 --centers-out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--shard-size"), "{err}");
+    }
+
+    #[test]
+    fn shard_and_worker_validate_their_inputs() {
+        let csv = tmp("notblocks.csv");
+        std::fs::write(&csv, "1.0,2.0\n3.0,4.0\n").unwrap();
+        let err = run(
+            "shard",
+            &args(&format!("--input {csv} --workers 2 --out-prefix /tmp/s")),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("skm convert"), "{err}");
+        let err = run(
+            "shard",
+            &args(&format!("--input {csv} --out-prefix /tmp/s")),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--workers"), "{err}");
+        let err = run(
+            "worker",
+            &args(&format!("--listen 127.0.0.1:0 --data {csv}")),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("skm convert"), "{err}");
+    }
+
+    #[test]
+    fn distributed_fit_matches_local_fit_end_to_end() {
+        use kmeans_data::BlockFileSource;
+        use kmeans_par::Parallelism;
+
+        // generate → convert → shard → 2 TCP workers → fit --distributed,
+        // compared file-byte-identical against the local fit.
+        let data = tmp("dist.csv");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 4 --n 192 --variance 50 --seed 9 --out {data} --no-labels"
+            )),
+        )
+        .unwrap();
+        let blocks = tmp("dist.skmb");
+        run(
+            "convert",
+            &args(&format!("--input {data} --out {blocks} --block-rows 32")),
+        )
+        .unwrap();
+        let prefix = tmp("dist_shard");
+        let out = run(
+            "shard",
+            &args(&format!(
+                "--input {blocks} --workers 2 --align 96 --out-prefix {prefix}"
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("2 shards"), "{out}");
+
+        let manifest = kmeans_data::ShardManifest::load(format!("{prefix}.manifest")).unwrap();
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for entry in &manifest.shards {
+            let source = BlockFileSource::open(&entry.path, 1 << 20).unwrap();
+            let (addr, handle) = kmeans_cluster::spawn_tcp_worker(
+                source,
+                Parallelism::Threads(2),
+                Some(std::time::Duration::from_secs(30)),
+            )
+            .unwrap();
+            addrs.push(addr.to_string());
+            handles.push(handle);
+        }
+
+        let local_centers = tmp("dist_local.csv");
+        run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 4 --seed 3 --shard-size 96 --centers-out {local_centers}"
+            )),
+        )
+        .unwrap();
+        let dist_centers = tmp("dist_remote.csv");
+        let out = run(
+            "fit",
+            &args(&format!(
+                "--distributed --workers {} --manifest {prefix}.manifest --k 4 --seed 3 \
+                 --shard-size 96 --centers-out {dist_centers}",
+                addrs.join(",")
+            )),
+        )
+        .unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert!(out.contains("distributed: 2 workers"), "{out}");
+        assert!(out.contains("worker 0: rows [0..96)"), "{out}");
+        assert!(out.contains("B on the wire"), "{out}");
+        // Shortest-round-trip CSV formatting: bit-identical centers are
+        // file-identical.
+        assert_eq!(
+            std::fs::read_to_string(&dist_centers).unwrap(),
+            std::fs::read_to_string(&local_centers).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! The distributed runtime's error type.
+
+use crate::protocol::{FrameError, ReadFrameError};
+use kmeans_core::KMeansError;
+use std::fmt;
+
+/// Failures of the distributed runtime: transport problems, protocol
+/// violations, plan violations, and typed clustering errors relayed from
+/// workers. Every failure mode is a value — a worker vanishing mid-round
+/// surfaces as [`ClusterError::Disconnected`] (or an I/O timeout), never
+/// as a hang.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket/channel-level failure (includes read timeouts).
+    Io(std::io::Error),
+    /// The peer delivered bytes that do not form a valid frame.
+    Frame(FrameError),
+    /// The peer closed the connection (channel hung up / clean EOF).
+    Disconnected,
+    /// The peer sent a well-formed message that violates the conversation
+    /// (e.g. a `Rows` reply to a `Cost` request).
+    Protocol(String),
+    /// A worker's row range does not sit on the required boundary grid —
+    /// the alignment that makes distributed folds bit-identical to
+    /// single-node ones (see `docs/ARCHITECTURE.md`).
+    Misaligned {
+        /// Index of the offending worker (position in the worker list).
+        worker: usize,
+        /// The worker's global start row.
+        start_row: usize,
+        /// Required alignment of worker boundaries for this fit.
+        required: usize,
+    },
+    /// A typed clustering failure reported by a worker.
+    Remote {
+        /// Index of the reporting worker.
+        worker: usize,
+        /// The relayed error (global point indices).
+        error: KMeansError,
+    },
+    /// A typed clustering failure raised by the coordinator itself.
+    KMeans(KMeansError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o error: {e}"),
+            ClusterError::Frame(e) => write!(f, "cluster protocol frame error: {e}"),
+            ClusterError::Disconnected => write!(f, "worker disconnected"),
+            ClusterError::Protocol(msg) => write!(f, "cluster protocol violation: {msg}"),
+            ClusterError::Misaligned {
+                worker,
+                start_row,
+                required,
+            } => write!(
+                f,
+                "worker {worker} starts at global row {start_row}, which is not a multiple of \
+                 {required}; re-shard with `skm shard --align {required}` (or adjust the shard \
+                 size) so worker boundaries sit on the executor's shard grid"
+            ),
+            ClusterError::Remote { worker, error } => {
+                write!(f, "worker {worker}: {error}")
+            }
+            ClusterError::KMeans(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            ClusterError::Frame(e) => Some(e),
+            ClusterError::Remote { error, .. } | ClusterError::KMeans(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClusterError {
+    fn from(e: FrameError) -> Self {
+        ClusterError::Frame(e)
+    }
+}
+
+impl From<ReadFrameError> for ClusterError {
+    fn from(e: ReadFrameError) -> Self {
+        match e {
+            ReadFrameError::Io(io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+                ClusterError::Disconnected
+            }
+            ReadFrameError::Io(io) => ClusterError::Io(io),
+            ReadFrameError::Frame(fe) => ClusterError::Frame(fe),
+        }
+    }
+}
+
+impl From<KMeansError> for ClusterError {
+    fn from(e: KMeansError) -> Self {
+        ClusterError::KMeans(e)
+    }
+}
+
+impl From<ClusterError> for KMeansError {
+    /// Collapses into the pipeline's error type: typed clustering errors
+    /// (local or relayed) pass through unchanged — so a distributed fit
+    /// surfaces e.g. the *same* `NonFiniteData { point, dim }` a
+    /// single-node fit would — and transport failures become
+    /// [`KMeansError::Data`].
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::Remote { error, .. } | ClusterError::KMeans(error) => error,
+            other => KMeansError::Data(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_errors_pass_through_to_kmeans_error() {
+        let e = ClusterError::Remote {
+            worker: 1,
+            error: KMeansError::NonFiniteData { point: 42, dim: 3 },
+        };
+        assert_eq!(
+            KMeansError::from(e),
+            KMeansError::NonFiniteData { point: 42, dim: 3 }
+        );
+        let e = ClusterError::Disconnected;
+        assert!(matches!(KMeansError::from(e), KMeansError::Data(_)));
+    }
+
+    #[test]
+    fn display_names_the_remedy_for_misalignment() {
+        let e = ClusterError::Misaligned {
+            worker: 2,
+            start_row: 100,
+            required: 8192,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("--align 8192"), "{msg}");
+        assert!(msg.contains("worker 2"), "{msg}");
+    }
+}

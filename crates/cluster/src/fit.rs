@@ -1,0 +1,302 @@
+//! Pipeline integration: [`DistInit`] / [`DistRefine`] stages and the
+//! [`FitDistributed`] extension that gives the standard
+//! [`KMeans`] builder a `fit_distributed`
+//! entry point next to `fit` and `fit_chunked`.
+//!
+//! The builder's configured stages are resolved through the pipeline's
+//! `as_any` hook: `kmeans-par` and `random` seeds and `lloyd` / `none`
+//! refiners have distributed realizations; every other stage rejects with
+//! the shared typed error (`reject_distributed`) — the same fail-loudly
+//! contract the chunked path established.
+
+use crate::coordinator::Cluster;
+use crate::dist::{dist_kmeans_parallel, dist_label_and_cost, dist_lloyd, dist_random_init};
+use kmeans_core::init::{InitMethod, InitResult, KMeansParallelConfig};
+use kmeans_core::lloyd::LloydConfig;
+use kmeans_core::model::{KMeans, KMeansModel, ModelParts};
+use kmeans_core::pipeline::{self, reject_distributed, Initializer, RefineResult, Refiner};
+use kmeans_core::KMeansError;
+use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_par::Executor;
+use kmeans_util::timing::Stopwatch;
+
+fn reject_local(name: &str) -> KMeansError {
+    KMeansError::InvalidConfig(format!(
+        "{name} is a distributed stage: it runs on a worker cluster via fit_distributed, \
+         not on local data"
+    ))
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DistInitMethod {
+    Random,
+    KMeansParallel(KMeansParallelConfig),
+}
+
+/// A distributed seeding stage. Implements [`Initializer`] so it slots
+/// into the standard builder (`KMeans::params(k).init(DistInit::...)`),
+/// but its real entry point is [`DistInit::run`] over a [`Cluster`] —
+/// the in-memory/chunked trait methods reject with a typed error.
+#[derive(Clone, Copy, Debug)]
+pub struct DistInit(DistInitMethod);
+
+impl DistInit {
+    /// Distributed uniform seeding.
+    pub fn random() -> Self {
+        DistInit(DistInitMethod::Random)
+    }
+
+    /// Distributed k-means|| (Algorithm 2) with the given configuration.
+    pub fn kmeans_parallel(config: KMeansParallelConfig) -> Self {
+        DistInit(DistInitMethod::KMeansParallel(config))
+    }
+
+    /// Runs the seeding over the cluster, stamping duration and seed cost
+    /// with the same conventions as the single-node `finish_init_chunked`
+    /// epilogue (duration excludes the seed-cost pass).
+    pub fn run(
+        &self,
+        cluster: &mut Cluster,
+        k: usize,
+        seed: u64,
+    ) -> Result<InitResult, KMeansError> {
+        let sw = Stopwatch::start();
+        let (centers, mut stats) = match &self.0 {
+            DistInitMethod::Random => dist_random_init(cluster, k, seed)?,
+            DistInitMethod::KMeansParallel(config) => {
+                dist_kmeans_parallel(cluster, k, config, seed)?
+            }
+        };
+        stats.duration = sw.elapsed();
+        stats.seed_cost = cluster.potential(&centers)?;
+        Ok(InitResult { centers, stats })
+    }
+}
+
+impl Initializer for DistInit {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            DistInitMethod::Random => "random",
+            DistInitMethod::KMeansParallel(_) => "kmeans-par",
+        }
+    }
+
+    fn init(
+        &self,
+        _points: &PointMatrix,
+        _weights: Option<&[f64]>,
+        _k: usize,
+        _seed: u64,
+        _exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        Err(reject_local(self.name()))
+    }
+
+    fn init_chunked(
+        &self,
+        _source: &dyn ChunkedSource,
+        _k: usize,
+        _seed: u64,
+        _exec: &Executor,
+    ) -> Result<InitResult, KMeansError> {
+        Err(reject_local(self.name()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DistRefineMethod {
+    Lloyd(LloydConfig),
+    None,
+}
+
+/// A distributed refinement stage; see [`DistInit`] for the pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct DistRefine(DistRefineMethod);
+
+impl DistRefine {
+    /// Distributed Lloyd refinement.
+    pub fn lloyd(config: LloydConfig) -> Self {
+        DistRefine(DistRefineMethod::Lloyd(config))
+    }
+
+    /// Keep the seed centers; one distributed labeling pass.
+    pub fn none() -> Self {
+        DistRefine(DistRefineMethod::None)
+    }
+
+    /// Runs the refinement over the cluster, with the same result
+    /// conventions as the chunked `Lloyd`/`NoRefine` refiners (analytic
+    /// `n·k` distance accounting per assignment pass).
+    pub fn run(
+        &self,
+        cluster: &mut Cluster,
+        centers: &PointMatrix,
+    ) -> Result<RefineResult, KMeansError> {
+        let n = cluster.global_n() as u64;
+        let k = centers.len() as u64;
+        match &self.0 {
+            DistRefineMethod::Lloyd(config) => {
+                let r = dist_lloyd(cluster, centers, config)?;
+                Ok(RefineResult {
+                    distance_computations: n * k * r.assign_passes as u64,
+                    centers: r.centers,
+                    labels: r.labels,
+                    cost: r.cost,
+                    iterations: r.iterations,
+                    converged: r.converged,
+                    history: r.history,
+                })
+            }
+            DistRefineMethod::None => {
+                let (labels, cost) = dist_label_and_cost(cluster, centers)?;
+                Ok(RefineResult {
+                    centers: centers.clone(),
+                    labels,
+                    cost,
+                    iterations: 0,
+                    converged: true,
+                    history: Vec::new(),
+                    distance_computations: n * k,
+                })
+            }
+        }
+    }
+}
+
+impl Refiner for DistRefine {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            DistRefineMethod::Lloyd(_) => "lloyd",
+            DistRefineMethod::None => "none",
+        }
+    }
+
+    fn refine(
+        &self,
+        _points: &PointMatrix,
+        _weights: Option<&[f64]>,
+        _centers: &PointMatrix,
+        _seed: u64,
+        _exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        Err(reject_local(self.name()))
+    }
+
+    fn refine_chunked(
+        &self,
+        _source: &dyn ChunkedSource,
+        _centers: &PointMatrix,
+        _seed: u64,
+        _exec: &Executor,
+    ) -> Result<RefineResult, KMeansError> {
+        Err(reject_local(self.name()))
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Maps a builder seeding stage to its distributed realization.
+fn resolve_init(stage: &dyn Initializer) -> Result<DistInit, KMeansError> {
+    let any = stage
+        .as_any()
+        .ok_or_else(|| reject_distributed(stage.name()))?;
+    if let Some(d) = any.downcast_ref::<DistInit>() {
+        return Ok(*d);
+    }
+    if let Some(p) = any.downcast_ref::<pipeline::KMeansParallel>() {
+        return Ok(DistInit::kmeans_parallel(p.0));
+    }
+    if any.downcast_ref::<pipeline::Random>().is_some() {
+        return Ok(DistInit::random());
+    }
+    if let Some(m) = any.downcast_ref::<InitMethod>() {
+        return match m {
+            InitMethod::Random => Ok(DistInit::random()),
+            InitMethod::KMeansParallel(config) => Ok(DistInit::kmeans_parallel(*config)),
+            // k-means++ draws each center from a global sequential D²
+            // distribution — k dependent rounds with coordinator-resident
+            // state; no distributed formulation (the paper's point).
+            InitMethod::KMeansPlusPlus => Err(reject_distributed(stage.name())),
+        };
+    }
+    Err(reject_distributed(stage.name()))
+}
+
+/// Maps a builder refinement stage to its distributed realization.
+fn resolve_refine(stage: &dyn Refiner) -> Result<DistRefine, KMeansError> {
+    let any = stage
+        .as_any()
+        .ok_or_else(|| reject_distributed(stage.name()))?;
+    if let Some(d) = any.downcast_ref::<DistRefine>() {
+        return Ok(*d);
+    }
+    if let Some(l) = any.downcast_ref::<pipeline::Lloyd>() {
+        return Ok(DistRefine::lloyd(l.0));
+    }
+    if any.downcast_ref::<pipeline::NoRefine>().is_some() {
+        return Ok(DistRefine::none());
+    }
+    Err(reject_distributed(stage.name()))
+}
+
+/// Extension trait putting `fit_distributed` on the standard
+/// [`KMeans`] builder.
+///
+/// ```no_run
+/// use kmeans_cluster::{Cluster, FitDistributed};
+/// use kmeans_core::model::KMeans;
+///
+/// # fn demo(mut cluster: Cluster) -> Result<(), kmeans_core::KMeansError> {
+/// // Same builder, same seed, same results as fit()/fit_chunked() —
+/// // just executed by the cluster's workers.
+/// let model = KMeans::params(16).seed(7).fit_distributed(&mut cluster)?;
+/// assert_eq!(model.k(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub trait FitDistributed {
+    /// Runs initialization + refinement on a worker cluster. Results are
+    /// **bit-identical** to [`KMeans::fit`] / `fit_chunked` on the
+    /// concatenated worker data for the same seed and shard size, for any
+    /// worker count — stages without a distributed realization (and
+    /// weighted fits) reject with a typed error.
+    fn fit_distributed(&self, cluster: &mut Cluster) -> Result<KMeansModel, KMeansError>;
+}
+
+impl FitDistributed for KMeans {
+    fn fit_distributed(&self, cluster: &mut Cluster) -> Result<KMeansModel, KMeansError> {
+        if self.has_weights() {
+            return Err(KMeansError::InvalidConfig(
+                "distributed fits do not support weighted input".into(),
+            ));
+        }
+        let exec = self.executor();
+        let dist_init = resolve_init(self.initializer().as_ref())?;
+        let refiner = self.resolve_refiner()?;
+        let dist_refine = resolve_refine(refiner.as_ref())?;
+        cluster
+            .plan(exec.shard_spec().shard_size())
+            .map_err(KMeansError::from)?;
+        let init = dist_init.run(cluster, self.k(), self.configured_seed())?;
+        let result = dist_refine.run(cluster, &init.centers)?;
+        Ok(KMeansModel::from_parts(ModelParts {
+            centers: result.centers,
+            labels: result.labels,
+            cost: result.cost,
+            init_stats: init.stats,
+            iterations: result.iterations,
+            converged: result.converged,
+            history: result.history,
+            distance_computations: result.distance_computations,
+            init_name: dist_init.name(),
+            refiner_name: dist_refine.name(),
+            executor: exec,
+        }))
+    }
+}

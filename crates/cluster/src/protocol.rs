@@ -1,0 +1,1056 @@
+//! The wire protocol: length-prefixed, checksummed frames carrying the
+//! messages of the distributed k-means|| round structure.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! offset        size  field
+//! 0             4     magic  b"SKW1"
+//! 4             1     message tag
+//! 5             4     payload length `len` (u32)
+//! 9             len   payload (tag-specific encoding)
+//! 9 + len       8     FNV-1a 64 checksum over tag byte + payload
+//! ```
+//!
+//! Everything is hand-rolled `std` binary encoding — no external
+//! dependencies, mirroring the repo's `SKMBLK01` block format. Decoding is
+//! defensive: a frame is parsed only after its declared length passes the
+//! caller's cap (no attacker-controlled allocation), every vector count is
+//! checked against the bytes actually present before allocating, and every
+//! malformed input maps to a typed [`FrameError`] — never a panic
+//! (`tests/protocol_proptests.rs` fuzzes this contract).
+
+use kmeans_core::chunked::AccumShard;
+use kmeans_core::KMeansError;
+use kmeans_data::PointMatrix;
+use std::io::{Read, Write};
+
+/// Frame magic (see module docs).
+pub const FRAME_MAGIC: [u8; 4] = *b"SKW1";
+
+/// Default cap on a frame's payload (1 GiB — comfortably above the
+/// largest legitimate reply, a `Labels` frame for ~268M worker-local
+/// rows). Decoders reject an adversarial or corrupt length prefix beyond
+/// the cap *before* any allocation happens; transports enforce the same
+/// cap on send, so an over-large reply fails fast at its source instead
+/// of after the receiving end has done all the work.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Typed decoding failures. `Io` is deliberately absent: transports keep
+/// I/O errors separate so "the peer vanished" and "the peer sent garbage"
+/// stay distinguishable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The buffer ends before the declared frame does.
+    Truncated,
+    /// The declared payload length exceeds the decoder's cap.
+    Oversized {
+        /// Declared payload length.
+        len: u64,
+        /// The decoder's cap.
+        max: u64,
+    },
+    /// The checksum does not match the payload.
+    Checksum {
+        /// Checksum declared in the frame.
+        expected: u64,
+        /// Checksum computed over the received payload.
+        got: u64,
+    },
+    /// The tag byte does not name a known message.
+    UnknownTag(u8),
+    /// The payload does not parse as its tag's message.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic (expected SKW1)"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: declared {expected:#x}, computed {got:#x}"
+                )
+            }
+            FrameError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A typed clustering error crossing the wire (worker → coordinator).
+/// Mirrors [`KMeansError`] so the coordinator surfaces the *same* typed
+/// error a single-node run would (`NonFiniteData` carries the global point
+/// index, translated by the worker).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// [`KMeansError::EmptyInput`].
+    EmptyInput,
+    /// [`KMeansError::InvalidK`].
+    InvalidK {
+        /// Requested clusters.
+        k: u64,
+        /// Points available.
+        n: u64,
+    },
+    /// [`KMeansError::DimensionMismatch`].
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: u64,
+        /// Provided dimensionality.
+        got: u64,
+    },
+    /// [`KMeansError::InvalidConfig`].
+    InvalidConfig(String),
+    /// [`KMeansError::NonFiniteData`] (global point index).
+    NonFiniteData {
+        /// Global index of the offending point.
+        point: u64,
+        /// Offending dimension.
+        dim: u64,
+    },
+    /// [`KMeansError::Data`].
+    Data(String),
+}
+
+impl From<KMeansError> for WireError {
+    fn from(e: KMeansError) -> Self {
+        match e {
+            KMeansError::EmptyInput => WireError::EmptyInput,
+            KMeansError::InvalidK { k, n } => WireError::InvalidK {
+                k: k as u64,
+                n: n as u64,
+            },
+            KMeansError::DimensionMismatch { expected, got } => WireError::DimensionMismatch {
+                expected: expected as u64,
+                got: got as u64,
+            },
+            KMeansError::InvalidConfig(m) => WireError::InvalidConfig(m),
+            KMeansError::NonFiniteData { point, dim } => WireError::NonFiniteData {
+                point: point as u64,
+                dim: dim as u64,
+            },
+            KMeansError::Data(m) => WireError::Data(m),
+        }
+    }
+}
+
+impl From<WireError> for KMeansError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::EmptyInput => KMeansError::EmptyInput,
+            WireError::InvalidK { k, n } => KMeansError::InvalidK {
+                k: k as usize,
+                n: n as usize,
+            },
+            WireError::DimensionMismatch { expected, got } => KMeansError::DimensionMismatch {
+                expected: expected as usize,
+                got: got as usize,
+            },
+            WireError::InvalidConfig(m) => KMeansError::InvalidConfig(m),
+            WireError::NonFiniteData { point, dim } => KMeansError::NonFiniteData {
+                point: point as usize,
+                dim: dim as usize,
+            },
+            WireError::Data(m) => KMeansError::Data(m),
+        }
+    }
+}
+
+/// A worker's residency/accounting snapshot (reply to
+/// [`Message::FetchStats`]), surfaced in the CLI's per-worker report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Peak feature bytes the worker's source ever materialized at once.
+    pub peak_bytes: u64,
+    /// Blocks decoded from the worker's backing store.
+    pub loads: u64,
+    /// Block reads served from the worker's cache.
+    pub hits: u64,
+    /// Configured memory budget (`u64::MAX` when the source enforces
+    /// none).
+    pub budget_bytes: u64,
+}
+
+/// One message of the coordinator/worker conversation. The round
+/// structure of Algorithm 2 maps onto these directly: `InitTracker` /
+/// `UpdateTracker` are the centers broadcasts (Steps 2 and 5–6),
+/// `SampleBernoulli` / `SampleExact` are Step 4, `ShardSums` carries the
+/// `φ_X′(C)` cost partials of §3.5, `CandidateWeights` is Step 7, and
+/// `Assign`/`Partials` carry the accumulation-shard partials of the
+/// distributed Lloyd iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator on connect: local shard shape.
+    Hello {
+        /// Rows the worker serves.
+        rows: u64,
+        /// Row dimensionality.
+        dim: u32,
+    },
+    /// Coordinator → worker: the fit's global layout.
+    Plan {
+        /// Total rows across all workers.
+        global_n: u64,
+        /// Global index of this worker's first row.
+        start_row: u64,
+        /// Executor shard size (the reproducibility key's shard grid).
+        shard_size: u64,
+        /// Expected dimensionality (cross-check).
+        dim: u32,
+    },
+    /// Worker → coordinator: plan accepted.
+    PlanOk,
+    /// Broadcast of an initial candidate/center set; the worker (re)builds
+    /// its local `d²`/nearest tracker state and replies with `ShardSums`.
+    InitTracker {
+        /// The centers.
+        centers: PointMatrix,
+    },
+    /// Broadcast of newly added candidates only (`from` = index of the
+    /// first new row in the worker's candidate set). Replies `ShardSums`.
+    UpdateTracker {
+        /// Index of the first new candidate.
+        from: u64,
+        /// The new candidate rows.
+        centers: PointMatrix,
+    },
+    /// Per-executor-shard partial sums, in shard order (reply to
+    /// `InitTracker`, `UpdateTracker`, and `Cost`).
+    ShardSums {
+        /// One partial per executor shard of the worker's range.
+        sums: Vec<f64>,
+    },
+    /// Step 4, Bernoulli form: sample this round. Replies `Sampled`.
+    SampleBernoulli {
+        /// Round index (part of the RNG stream derivation).
+        round: u64,
+        /// Base seed.
+        seed: u64,
+        /// Oversampling ℓ.
+        l: f64,
+        /// Current global potential φ.
+        phi: f64,
+    },
+    /// The worker's picks: ascending global indices plus their rows.
+    Sampled {
+        /// Global row indices.
+        indices: Vec<u64>,
+        /// The corresponding rows, in the same order.
+        rows: PointMatrix,
+    },
+    /// Step 4, exact-ℓ form: per-shard Efraimidis–Spirakis keys. Replies
+    /// `ExactKeys`; the coordinator merges globally and gathers rows.
+    SampleExact {
+        /// Round index.
+        round: u64,
+        /// Base seed.
+        seed: u64,
+        /// Global sample size `m`.
+        m: u64,
+    },
+    /// Shard-local top-`m` keyed candidates `(key, global index)`.
+    ExactKeys {
+        /// The keyed entries, per-shard top-`m` concatenated.
+        entries: Vec<(f64, u64)>,
+    },
+    /// Step 7: candidate weights from the tracked nearest ids. Replies
+    /// `Weights`.
+    CandidateWeights {
+        /// Candidate count (cross-checked against the worker's set).
+        m: u64,
+    },
+    /// Per-candidate local point counts (integer-valued f64, summed
+    /// exactly by the coordinator).
+    Weights {
+        /// `w_x` restricted to the worker's rows.
+        weights: Vec<f64>,
+    },
+    /// Fetch specific rows by global index (within the worker's range).
+    GatherRows {
+        /// Global row indices, in the order the rows should come back.
+        indices: Vec<u64>,
+    },
+    /// Reply to `GatherRows`.
+    Rows {
+        /// The gathered rows.
+        rows: PointMatrix,
+    },
+    /// Fetch the worker's resident `d²` slice (top-up path only).
+    GatherD2,
+    /// Reply to `GatherD2`.
+    D2 {
+        /// The worker's `d²` values, in local row order.
+        values: Vec<f64>,
+    },
+    /// One distributed assignment pass against these centers. Replies
+    /// `Partials`; the worker stores the labels for `FetchLabels`.
+    Assign {
+        /// The centers.
+        centers: PointMatrix,
+    },
+    /// Accumulation-shard partials of one assignment pass, in shard
+    /// order, plus the reassignment count vs. the previous pass.
+    Partials {
+        /// Rows whose label changed (local count; first pass = all).
+        reassigned: u64,
+        /// One partial per accumulation shard of the worker's range.
+        shards: Vec<AccumShard>,
+    },
+    /// Potential partials for these centers (seed-cost pass; includes the
+    /// finiteness check). Replies `ShardSums`.
+    Cost {
+        /// The centers.
+        centers: PointMatrix,
+    },
+    /// Fetch the labels stored by the last `Assign`. Replies `Labels`.
+    FetchLabels,
+    /// Reply to `FetchLabels`.
+    Labels {
+        /// Labels in local row order.
+        labels: Vec<u32>,
+    },
+    /// Fetch the worker's residency accounting. Replies `Stats`.
+    FetchStats,
+    /// Reply to `FetchStats`.
+    Stats(WorkerStats),
+    /// Worker → coordinator: a typed failure (the session stays open).
+    Error(WireError),
+    /// Coordinator → worker: end the session. Replies `ShutdownOk`.
+    Shutdown,
+    /// Worker → coordinator: session ended.
+    ShutdownOk,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a over the tag byte and payload.
+fn fnv1a(tag: u8, payload: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut step = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    step(tag);
+    for &b in payload {
+        step(b);
+    }
+    h
+}
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+    fn u64s(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+    fn text(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn matrix(&mut self, m: &PointMatrix) {
+        self.u32(m.dim() as u32);
+        self.u64(m.len() as u64);
+        for &v in m.as_slice() {
+            self.f64(v);
+        }
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Malformed("payload ends mid-field"));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    /// Validates an element count against the bytes actually present
+    /// *before* any allocation — a forged count cannot over-allocate.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, FrameError> {
+        let declared = self.u64()?;
+        let need = declared
+            .checked_mul(elem_bytes as u64)
+            .ok_or(FrameError::Malformed("element count overflows"))?;
+        if need > self.remaining() as u64 {
+            return Err(FrameError::Malformed("element count exceeds payload"));
+        }
+        Ok(declared as usize)
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, FrameError> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn u64s(&mut self) -> Result<Vec<u64>, FrameError> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, FrameError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+    fn text(&mut self) -> Result<String, FrameError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed("non-UTF-8 text"))
+    }
+    fn matrix(&mut self) -> Result<PointMatrix, FrameError> {
+        let dim = self.u32()? as usize;
+        if dim == 0 {
+            return Err(FrameError::Malformed("matrix with zero dim"));
+        }
+        let rows = self.u64()?;
+        let values = rows
+            .checked_mul(dim as u64)
+            .ok_or(FrameError::Malformed("matrix size overflows"))?;
+        if values
+            .checked_mul(8)
+            .ok_or(FrameError::Malformed("matrix size overflows"))?
+            > self.remaining() as u64
+        {
+            return Err(FrameError::Malformed("matrix larger than payload"));
+        }
+        let flat: Vec<f64> = (0..values).map(|_| self.f64()).collect::<Result<_, _>>()?;
+        PointMatrix::from_flat(flat, dim).map_err(|_| FrameError::Malformed("ragged matrix"))
+    }
+    fn finish(self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+fn encode_accum_shard(e: &mut Enc, s: &AccumShard) {
+    e.f64s(&s.sums);
+    e.u64s(&s.counts);
+    e.f64(s.cost);
+    e.u64(if s.farthest.0 == usize::MAX {
+        u64::MAX
+    } else {
+        s.farthest.0 as u64
+    });
+    e.f64(s.farthest.1);
+}
+
+fn decode_accum_shard(d: &mut Dec<'_>) -> Result<AccumShard, FrameError> {
+    let sums = d.f64s()?;
+    let counts = d.u64s()?;
+    let cost = d.f64()?;
+    let far_idx = d.u64()?;
+    let far_d2 = d.f64()?;
+    Ok(AccumShard {
+        sums,
+        counts,
+        cost,
+        farthest: (
+            if far_idx == u64::MAX {
+                usize::MAX
+            } else {
+                far_idx as usize
+            },
+            far_d2,
+        ),
+    })
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Plan { .. } => 2,
+            Message::PlanOk => 3,
+            Message::InitTracker { .. } => 4,
+            Message::UpdateTracker { .. } => 5,
+            Message::ShardSums { .. } => 6,
+            Message::SampleBernoulli { .. } => 7,
+            Message::Sampled { .. } => 8,
+            Message::SampleExact { .. } => 9,
+            Message::ExactKeys { .. } => 10,
+            Message::CandidateWeights { .. } => 11,
+            Message::Weights { .. } => 12,
+            Message::GatherRows { .. } => 13,
+            Message::Rows { .. } => 14,
+            Message::GatherD2 => 15,
+            Message::D2 { .. } => 16,
+            Message::Assign { .. } => 17,
+            Message::Partials { .. } => 18,
+            Message::Cost { .. } => 19,
+            Message::FetchLabels => 20,
+            Message::Labels { .. } => 21,
+            Message::FetchStats => 22,
+            Message::Stats(_) => 23,
+            Message::Error(_) => 24,
+            Message::Shutdown => 25,
+            Message::ShutdownOk => 26,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        match self {
+            Message::Hello { rows, dim } => {
+                e.u64(*rows);
+                e.u32(*dim);
+            }
+            Message::Plan {
+                global_n,
+                start_row,
+                shard_size,
+                dim,
+            } => {
+                e.u64(*global_n);
+                e.u64(*start_row);
+                e.u64(*shard_size);
+                e.u32(*dim);
+            }
+            Message::PlanOk | Message::GatherD2 | Message::FetchLabels | Message::FetchStats => {}
+            Message::Shutdown | Message::ShutdownOk => {}
+            Message::InitTracker { centers }
+            | Message::Assign { centers }
+            | Message::Cost { centers } => {
+                e.matrix(centers);
+            }
+            Message::UpdateTracker { from, centers } => {
+                e.u64(*from);
+                e.matrix(centers);
+            }
+            Message::ShardSums { sums } => e.f64s(sums),
+            Message::SampleBernoulli {
+                round,
+                seed,
+                l,
+                phi,
+            } => {
+                e.u64(*round);
+                e.u64(*seed);
+                e.f64(*l);
+                e.f64(*phi);
+            }
+            Message::Sampled { indices, rows } => {
+                e.u64s(indices);
+                e.matrix(rows);
+            }
+            Message::SampleExact { round, seed, m } => {
+                e.u64(*round);
+                e.u64(*seed);
+                e.u64(*m);
+            }
+            Message::ExactKeys { entries } => {
+                e.u64(entries.len() as u64);
+                for &(key, idx) in entries {
+                    e.f64(key);
+                    e.u64(idx);
+                }
+            }
+            Message::CandidateWeights { m } => e.u64(*m),
+            Message::Weights { weights } => e.f64s(weights),
+            Message::GatherRows { indices } => e.u64s(indices),
+            Message::Rows { rows } => e.matrix(rows),
+            Message::D2 { values } => e.f64s(values),
+            Message::Partials { reassigned, shards } => {
+                e.u64(*reassigned);
+                e.u64(shards.len() as u64);
+                for s in shards {
+                    encode_accum_shard(&mut e, s);
+                }
+            }
+            Message::Labels { labels } => e.u32s(labels),
+            Message::Stats(s) => {
+                e.u64(s.peak_bytes);
+                e.u64(s.loads);
+                e.u64(s.hits);
+                e.u64(s.budget_bytes);
+            }
+            Message::Error(err) => match err {
+                WireError::EmptyInput => e.u8(1),
+                WireError::InvalidK { k, n } => {
+                    e.u8(2);
+                    e.u64(*k);
+                    e.u64(*n);
+                }
+                WireError::DimensionMismatch { expected, got } => {
+                    e.u8(3);
+                    e.u64(*expected);
+                    e.u64(*got);
+                }
+                WireError::InvalidConfig(m) => {
+                    e.u8(4);
+                    e.text(m);
+                }
+                WireError::NonFiniteData { point, dim } => {
+                    e.u8(5);
+                    e.u64(*point);
+                    e.u64(*dim);
+                }
+                WireError::Data(m) => {
+                    e.u8(6);
+                    e.text(m);
+                }
+            },
+        }
+        e.0
+    }
+
+    fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, FrameError> {
+        let mut d = Dec::new(payload);
+        let msg = match tag {
+            1 => Message::Hello {
+                rows: d.u64()?,
+                dim: d.u32()?,
+            },
+            2 => Message::Plan {
+                global_n: d.u64()?,
+                start_row: d.u64()?,
+                shard_size: d.u64()?,
+                dim: d.u32()?,
+            },
+            3 => Message::PlanOk,
+            4 => Message::InitTracker {
+                centers: d.matrix()?,
+            },
+            5 => Message::UpdateTracker {
+                from: d.u64()?,
+                centers: d.matrix()?,
+            },
+            6 => Message::ShardSums { sums: d.f64s()? },
+            7 => Message::SampleBernoulli {
+                round: d.u64()?,
+                seed: d.u64()?,
+                l: d.f64()?,
+                phi: d.f64()?,
+            },
+            8 => Message::Sampled {
+                indices: d.u64s()?,
+                rows: d.matrix()?,
+            },
+            9 => Message::SampleExact {
+                round: d.u64()?,
+                seed: d.u64()?,
+                m: d.u64()?,
+            },
+            10 => {
+                let n = d.count(16)?;
+                let entries = (0..n)
+                    .map(|_| Ok((d.f64()?, d.u64()?)))
+                    .collect::<Result<Vec<_>, FrameError>>()?;
+                Message::ExactKeys { entries }
+            }
+            11 => Message::CandidateWeights { m: d.u64()? },
+            12 => Message::Weights { weights: d.f64s()? },
+            13 => Message::GatherRows { indices: d.u64s()? },
+            14 => Message::Rows { rows: d.matrix()? },
+            15 => Message::GatherD2,
+            16 => Message::D2 { values: d.f64s()? },
+            17 => Message::Assign {
+                centers: d.matrix()?,
+            },
+            18 => {
+                let reassigned = d.u64()?;
+                // One AccumShard is at least 5 fixed u64/f64 fields.
+                let n = d.count(40)?;
+                let shards = (0..n)
+                    .map(|_| decode_accum_shard(&mut d))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Message::Partials { reassigned, shards }
+            }
+            19 => Message::Cost {
+                centers: d.matrix()?,
+            },
+            20 => Message::FetchLabels,
+            21 => Message::Labels { labels: d.u32s()? },
+            22 => Message::FetchStats,
+            23 => Message::Stats(WorkerStats {
+                peak_bytes: d.u64()?,
+                loads: d.u64()?,
+                hits: d.u64()?,
+                budget_bytes: d.u64()?,
+            }),
+            24 => {
+                let kind = d.u8()?;
+                let err = match kind {
+                    1 => WireError::EmptyInput,
+                    2 => WireError::InvalidK {
+                        k: d.u64()?,
+                        n: d.u64()?,
+                    },
+                    3 => WireError::DimensionMismatch {
+                        expected: d.u64()?,
+                        got: d.u64()?,
+                    },
+                    4 => WireError::InvalidConfig(d.text()?),
+                    5 => WireError::NonFiniteData {
+                        point: d.u64()?,
+                        dim: d.u64()?,
+                    },
+                    6 => WireError::Data(d.text()?),
+                    _ => return Err(FrameError::Malformed("unknown error kind")),
+                };
+                Message::Error(err)
+            }
+            25 => Message::Shutdown,
+            26 => Message::ShutdownOk,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+
+    /// Encodes the message as one complete frame (magic, tag, length,
+    /// payload, checksum). Returns the frame bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the u32 length field (4 GiB) — a
+    /// silent wrap would corrupt the stream; transports reject anything
+    /// over [`MAX_FRAME_PAYLOAD`] with a typed error long before this.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        assert!(
+            payload.len() <= u32::MAX as usize,
+            "frame payload of {} bytes exceeds the u32 length field",
+            payload.len()
+        );
+        let tag = self.tag();
+        let mut frame = Vec::with_capacity(17 + payload.len());
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.push(tag);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&fnv1a(tag, &payload).to_le_bytes());
+        frame
+    }
+
+    /// Decodes one frame from a byte buffer, returning the message and the
+    /// number of bytes consumed. `max_payload` caps the declared payload
+    /// length *before* any allocation.
+    pub fn decode_frame(bytes: &[u8], max_payload: usize) -> Result<(Message, usize), FrameError> {
+        if bytes.len() < 9 {
+            return Err(FrameError::Truncated);
+        }
+        if bytes[..4] != FRAME_MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let tag = bytes[4];
+        let len = u32::from_le_bytes(bytes[5..9].try_into().expect("4")) as u64;
+        if len > max_payload as u64 {
+            return Err(FrameError::Oversized {
+                len,
+                max: max_payload as u64,
+            });
+        }
+        let len = len as usize;
+        let total = 9 + len + 8;
+        if bytes.len() < total {
+            return Err(FrameError::Truncated);
+        }
+        let payload = &bytes[9..9 + len];
+        let expected = u64::from_le_bytes(bytes[9 + len..total].try_into().expect("8"));
+        let got = fnv1a(tag, payload);
+        if expected != got {
+            return Err(FrameError::Checksum { expected, got });
+        }
+        Ok((Message::decode_payload(tag, payload)?, total))
+    }
+
+    /// Writes the message as one frame. Returns the bytes written.
+    pub fn write_frame(&self, w: &mut impl Write) -> std::io::Result<usize> {
+        let frame = self.encode_frame();
+        w.write_all(&frame)?;
+        Ok(frame.len())
+    }
+
+    /// Reads one frame from a byte stream, returning the message and the
+    /// bytes consumed. I/O failures (peer gone, timeout) and invalid
+    /// frames are distinguished by [`ReadFrameError`].
+    pub fn read_frame(
+        r: &mut impl Read,
+        max_payload: usize,
+    ) -> Result<(Message, usize), ReadFrameError> {
+        let mut header = [0u8; 9];
+        r.read_exact(&mut header).map_err(ReadFrameError::Io)?;
+        if header[..4] != FRAME_MAGIC {
+            return Err(ReadFrameError::Frame(FrameError::BadMagic));
+        }
+        let tag = header[4];
+        let len = u32::from_le_bytes(header[5..9].try_into().expect("4")) as u64;
+        if len > max_payload as u64 {
+            return Err(ReadFrameError::Frame(FrameError::Oversized {
+                len,
+                max: max_payload as u64,
+            }));
+        }
+        let len = len as usize;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload).map_err(ReadFrameError::Io)?;
+        let mut check = [0u8; 8];
+        r.read_exact(&mut check).map_err(ReadFrameError::Io)?;
+        let expected = u64::from_le_bytes(check);
+        let got = fnv1a(tag, &payload);
+        if expected != got {
+            return Err(ReadFrameError::Frame(FrameError::Checksum {
+                expected,
+                got,
+            }));
+        }
+        Message::decode_payload(tag, &payload)
+            .map(|m| (m, 9 + len + 8))
+            .map_err(ReadFrameError::Frame)
+    }
+}
+
+/// Failure reading a frame from a stream: transport-level I/O vs. a
+/// well-delivered but invalid frame.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// The underlying stream failed (peer gone, timeout).
+    Io(std::io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Frame(FrameError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        let m = PointMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        vec![
+            Message::Hello { rows: 7, dim: 2 },
+            Message::Plan {
+                global_n: 100,
+                start_row: 32,
+                shard_size: 16,
+                dim: 2,
+            },
+            Message::PlanOk,
+            Message::InitTracker { centers: m.clone() },
+            Message::UpdateTracker {
+                from: 3,
+                centers: m.clone(),
+            },
+            Message::ShardSums {
+                sums: vec![1.5, -2.5, 0.0],
+            },
+            Message::SampleBernoulli {
+                round: 2,
+                seed: 42,
+                l: 8.0,
+                phi: 123.456,
+            },
+            Message::Sampled {
+                indices: vec![3, 9],
+                rows: m.clone(),
+            },
+            Message::SampleExact {
+                round: 1,
+                seed: 9,
+                m: 4,
+            },
+            Message::ExactKeys {
+                entries: vec![(-0.5, 3), (-1.25, 77)],
+            },
+            Message::CandidateWeights { m: 5 },
+            Message::Weights {
+                weights: vec![2.0, 0.0, 3.0],
+            },
+            Message::GatherRows {
+                indices: vec![0, 5, 5],
+            },
+            Message::Rows { rows: m.clone() },
+            Message::GatherD2,
+            Message::D2 {
+                values: vec![0.25; 4],
+            },
+            Message::Assign { centers: m.clone() },
+            Message::Partials {
+                reassigned: 11,
+                shards: vec![AccumShard {
+                    sums: vec![1.0, 2.0, 3.0, 4.0],
+                    counts: vec![2, 1],
+                    cost: 0.5,
+                    farthest: (17, 0.25),
+                }],
+            },
+            Message::Cost { centers: m },
+            Message::FetchLabels,
+            Message::Labels {
+                labels: vec![0, 1, 1, 0],
+            },
+            Message::FetchStats,
+            Message::Stats(WorkerStats {
+                peak_bytes: 1,
+                loads: 2,
+                hits: 3,
+                budget_bytes: u64::MAX,
+            }),
+            Message::Error(WireError::NonFiniteData { point: 40, dim: 1 }),
+            Message::Error(WireError::InvalidConfig("bad ℓ".into())),
+            Message::Shutdown,
+            Message::ShutdownOk,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let frame = msg.encode_frame();
+            let (decoded, used) = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+            // Stream form agrees.
+            let mut cursor = std::io::Cursor::new(&frame);
+            let (decoded, used) = Message::read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_errors() {
+        let msg = Message::ShardSums {
+            sums: vec![1.0, 2.0],
+        };
+        let frame = msg.encode_frame();
+
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            Message::decode_frame(&bad, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::BadMagic
+        );
+        // Truncation at every prefix length.
+        for cut in 0..frame.len() {
+            let e = Message::decode_frame(&frame[..cut], MAX_FRAME_PAYLOAD).unwrap_err();
+            assert_eq!(e, FrameError::Truncated, "cut {cut}");
+        }
+        // Flipped payload byte → checksum error.
+        let mut flipped = frame.clone();
+        flipped[12] ^= 0xff;
+        assert!(matches!(
+            Message::decode_frame(&flipped, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::Checksum { .. } | FrameError::Oversized { .. }
+        ));
+        // Oversized declared length is rejected before allocation.
+        let mut huge = frame.clone();
+        huge[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode_frame(&huge, 1024).unwrap_err(),
+            FrameError::Oversized { .. }
+        ));
+        // Unknown tag.
+        let unknown = Message::ShutdownOk;
+        let mut f = unknown.encode_frame();
+        f[4] = 200;
+        // Checksum covers the tag, so retag + fix checksum to isolate the case.
+        let csum = fnv1a(200, &[]);
+        let n = f.len();
+        f[n - 8..].copy_from_slice(&csum.to_le_bytes());
+        assert_eq!(
+            Message::decode_frame(&f, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::UnknownTag(200)
+        );
+    }
+
+    #[test]
+    fn forged_counts_cannot_over_allocate() {
+        // A ShardSums payload declaring 2^60 elements in 16 bytes.
+        let mut e = Enc(Vec::new());
+        e.u64(1u64 << 60);
+        e.f64(0.0);
+        let payload = e.0;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.push(6);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&fnv1a(6, &payload).to_le_bytes());
+        assert!(matches!(
+            Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn wire_error_round_trips_kmeans_error() {
+        let originals = vec![
+            KMeansError::EmptyInput,
+            KMeansError::InvalidK { k: 5, n: 2 },
+            KMeansError::DimensionMismatch {
+                expected: 3,
+                got: 4,
+            },
+            KMeansError::InvalidConfig("nope".into()),
+            KMeansError::NonFiniteData { point: 9, dim: 0 },
+            KMeansError::Data("disk gone".into()),
+        ];
+        for e in originals {
+            let wire: WireError = e.clone().into();
+            let back: KMeansError = wire.into();
+            assert_eq!(back, e);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Message transports: real TCP sockets and an in-process loopback.
+//!
+//! Both implementations move the *same encoded frames* ([`crate::protocol`])
+//! and count the same bytes, so loopback tests exercise the full
+//! encode/decode path and wire accounting is transport-independent — a
+//! loopback fit reports exactly the bytes a TCP fit would.
+
+use crate::error::ClusterError;
+use crate::protocol::{FrameError, Message, MAX_FRAME_PAYLOAD};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// A bidirectional, message-oriented connection to one peer.
+///
+/// `recv` must return a typed error — never hang forever — when the peer
+/// is gone: the TCP impl uses socket timeouts plus EOF detection, the
+/// loopback impl observes the closed channel.
+pub trait Transport: Send {
+    /// Sends one message (flushes).
+    fn send(&mut self, msg: &Message) -> Result<(), ClusterError>;
+    /// Receives the next message.
+    fn recv(&mut self) -> Result<Message, ClusterError>;
+    /// Total frame bytes written so far.
+    fn bytes_sent(&self) -> u64;
+    /// Total frame bytes read so far.
+    fn bytes_received(&self) -> u64;
+}
+
+/// [`Transport`] over a TCP socket.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    sent: u64,
+    received: u64,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. `io_timeout` bounds every read and write
+    /// so a silent peer produces a typed timeout error instead of a hang;
+    /// `None` trusts the OS defaults.
+    pub fn new(stream: TcpStream, io_timeout: Option<Duration>) -> Result<Self, ClusterError> {
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(TcpTransport {
+            reader,
+            writer,
+            sent: 0,
+            received: 0,
+        })
+    }
+}
+
+/// Send-side size enforcement: an over-large frame fails fast with a
+/// typed error at its source instead of after the peer has received (and
+/// rejected) it.
+fn check_outgoing(frame: &[u8]) -> Result<(), ClusterError> {
+    let payload = frame.len().saturating_sub(17);
+    if payload > MAX_FRAME_PAYLOAD {
+        return Err(ClusterError::Frame(FrameError::Oversized {
+            len: payload as u64,
+            max: MAX_FRAME_PAYLOAD as u64,
+        }));
+    }
+    Ok(())
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), ClusterError> {
+        let frame = msg.encode_frame();
+        check_outgoing(&frame)?;
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        self.sent += frame.len() as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, ClusterError> {
+        let (msg, used) = Message::read_frame(&mut self.reader, MAX_FRAME_PAYLOAD)?;
+        self.received += used as u64;
+        Ok(msg)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+/// [`Transport`] over in-process channels carrying encoded frames — the
+/// deterministic test/CI transport. Create pairs with [`loopback_pair`].
+pub struct LoopbackTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    sent: u64,
+    received: u64,
+}
+
+/// Creates a connected pair of loopback transports (coordinator side,
+/// worker side).
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (a_tx, b_rx) = std::sync::mpsc::channel();
+    let (b_tx, a_rx) = std::sync::mpsc::channel();
+    (
+        LoopbackTransport {
+            tx: a_tx,
+            rx: a_rx,
+            sent: 0,
+            received: 0,
+        },
+        LoopbackTransport {
+            tx: b_tx,
+            rx: b_rx,
+            sent: 0,
+            received: 0,
+        },
+    )
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), ClusterError> {
+        let frame = msg.encode_frame();
+        check_outgoing(&frame)?;
+        let len = frame.len() as u64;
+        self.tx
+            .send(frame)
+            .map_err(|_| ClusterError::Disconnected)?;
+        self.sent += len;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, ClusterError> {
+        let frame = self.rx.recv().map_err(|_| ClusterError::Disconnected)?;
+        let (msg, used) = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD)?;
+        if used != frame.len() {
+            return Err(ClusterError::Protocol(
+                "loopback frame carried trailing bytes".into(),
+            ));
+        }
+        self.received += used as u64;
+        Ok(msg)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trips_and_counts_bytes() {
+        let (mut a, mut b) = loopback_pair();
+        let msg = Message::Hello { rows: 10, dim: 3 };
+        a.send(&msg).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(a.bytes_sent(), b.bytes_received());
+        assert!(a.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn loopback_disconnect_is_a_typed_error() {
+        let (mut a, b) = loopback_pair();
+        drop(b);
+        assert!(matches!(
+            a.send(&Message::GatherD2),
+            Err(ClusterError::Disconnected)
+        ));
+        assert!(matches!(a.recv(), Err(ClusterError::Disconnected)));
+    }
+
+    #[test]
+    fn tcp_round_trip_over_localhost() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream, Some(Duration::from_secs(10))).unwrap();
+            let msg = t.recv().unwrap();
+            t.send(&msg).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::new(stream, Some(Duration::from_secs(10))).unwrap();
+        let msg = Message::CandidateWeights { m: 9 };
+        t.send(&msg).unwrap();
+        assert_eq!(t.recv().unwrap(), msg);
+        server.join().unwrap();
+        assert_eq!(t.bytes_sent(), t.bytes_received());
+    }
+
+    #[test]
+    fn tcp_peer_close_is_disconnect_not_hang() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate close
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::new(stream, Some(Duration::from_secs(10))).unwrap();
+        server.join().unwrap();
+        assert!(matches!(t.recv(), Err(ClusterError::Disconnected)));
+    }
+}

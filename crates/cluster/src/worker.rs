@@ -1,0 +1,391 @@
+//! The worker: owns one contiguous shard of the data (as a
+//! [`ChunkedSource`], typically an `SKMBLK01` block file with a residency
+//! budget) and executes the per-partition half of every pass — the
+//! "mapper" of the paper's §3.5 sketch.
+//!
+//! All order-sensitive state lives at the coordinator; the worker only
+//! ever computes **per-shard** quantities of the *global* shard grid
+//! (per-shard `Σ d²` partials, per-accumulation-shard assignment
+//! partials, per-shard sampling with globally derived RNG streams), which
+//! is what makes the distributed run bit-identical to a single-node one.
+//! The worker-local thread count never affects any value it ships.
+
+use crate::error::ClusterError;
+use crate::protocol::{Message, WorkerStats};
+use crate::transport::{TcpTransport, Transport};
+use kmeans_core::chunked::{
+    assign_partials_chunked, gather_rows, potential_shard_sums, ChunkedCostTracker,
+};
+use kmeans_core::init::{exact_sample_keys, sample_bernoulli};
+use kmeans_core::KMeansError;
+use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_par::{Executor, Parallelism};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// Per-session state established by [`Message::Plan`].
+struct Session {
+    global_n: usize,
+    start_row: usize,
+    shard_size: usize,
+    exec: Executor,
+    tracker: Option<ChunkedCostTracker>,
+    candidates: PointMatrix,
+    labels: Option<Vec<u32>>,
+}
+
+/// A worker serving one local data shard over any [`Transport`].
+pub struct Worker {
+    source: Box<dyn ChunkedSource>,
+    parallelism: Parallelism,
+}
+
+impl Worker {
+    /// Creates a worker over a local data shard. `parallelism` is the
+    /// worker's *local* thread count — never part of the result.
+    pub fn new(source: impl ChunkedSource + 'static, parallelism: Parallelism) -> Self {
+        Worker {
+            source: Box::new(source),
+            parallelism,
+        }
+    }
+
+    /// Boxed-source constructor (for callers that already erased the type).
+    pub fn from_boxed(source: Box<dyn ChunkedSource>, parallelism: Parallelism) -> Self {
+        Worker {
+            source,
+            parallelism,
+        }
+    }
+
+    /// Serves one coordinator session: sends `Hello`, then answers
+    /// requests until `Shutdown` or disconnect. Clustering errors are
+    /// relayed as typed [`Message::Error`] replies (with point indices
+    /// translated to global coordinates) and the session continues;
+    /// transport errors end the session.
+    pub fn serve(&mut self, transport: &mut dyn Transport) -> Result<(), ClusterError> {
+        let rows = self.source.len();
+        let dim = self.source.dim();
+        transport.send(&Message::Hello {
+            rows: rows as u64,
+            dim: dim as u32,
+        })?;
+
+        let mut session: Option<Session> = None;
+        loop {
+            let msg = match transport.recv() {
+                Ok(m) => m,
+                Err(ClusterError::Disconnected) => return Ok(()), // coordinator done
+                Err(e) => return Err(e),
+            };
+            let reply = match msg {
+                Message::Plan {
+                    global_n,
+                    start_row,
+                    shard_size,
+                    dim: plan_dim,
+                } => {
+                    if plan_dim as usize != dim {
+                        Message::Error(
+                            KMeansError::DimensionMismatch {
+                                expected: plan_dim as usize,
+                                got: dim,
+                            }
+                            .into(),
+                        )
+                    } else {
+                        session = Some(Session {
+                            global_n: global_n as usize,
+                            start_row: start_row as usize,
+                            shard_size: (shard_size as usize).max(1),
+                            exec: Executor::new(self.parallelism)
+                                .with_shard_size((shard_size as usize).max(1)),
+                            tracker: None,
+                            candidates: PointMatrix::new(dim),
+                            labels: None,
+                        });
+                        Message::PlanOk
+                    }
+                }
+                Message::Shutdown => {
+                    transport.send(&Message::ShutdownOk)?;
+                    return Ok(());
+                }
+                other => match &mut session {
+                    None => Message::Error(
+                        KMeansError::InvalidConfig("worker received a request before Plan".into())
+                            .into(),
+                    ),
+                    Some(s) => self.handle(s, other),
+                },
+            };
+            transport.send(&reply)?;
+        }
+    }
+
+    /// Handles one post-plan request, producing the reply.
+    fn handle(&self, s: &mut Session, msg: Message) -> Message {
+        match self.try_handle(s, msg) {
+            Ok(reply) => reply,
+            Err(e) => Message::Error(e.into()),
+        }
+    }
+
+    fn try_handle(&self, s: &mut Session, msg: Message) -> Result<Message, KMeansError> {
+        let source = self.source.as_ref();
+        let offset_err = |e: KMeansError| match e {
+            // The worker computes with local row indices; the coordinator
+            // (and the user) must see global ones.
+            KMeansError::NonFiniteData { point, dim } => KMeansError::NonFiniteData {
+                point: point + s.start_row,
+                dim,
+            },
+            other => other,
+        };
+        match msg {
+            Message::InitTracker { centers } => {
+                s.candidates = centers;
+                let tracker =
+                    ChunkedCostTracker::new(source, &s.candidates, &s.exec).map_err(offset_err)?;
+                let sums = per_shard_sums(tracker.d2(), &s.exec);
+                s.tracker = Some(tracker);
+                Ok(Message::ShardSums { sums })
+            }
+            Message::UpdateTracker { from, centers } => {
+                let tracker = s
+                    .tracker
+                    .as_mut()
+                    .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+                if from as usize != s.candidates.len() {
+                    return Err(KMeansError::InvalidConfig(format!(
+                        "tracker update from {from} but worker holds {} candidates",
+                        s.candidates.len()
+                    )));
+                }
+                s.candidates
+                    .extend_from(&centers)
+                    .map_err(|e| KMeansError::Data(e.to_string()))?;
+                tracker
+                    .update(source, &s.candidates, from as usize, &s.exec)
+                    .map_err(offset_err)?;
+                Ok(Message::ShardSums {
+                    sums: per_shard_sums(tracker.d2(), &s.exec),
+                })
+            }
+            Message::SampleBernoulli {
+                round,
+                seed,
+                l,
+                phi,
+            } => {
+                let tracker = s
+                    .tracker
+                    .as_ref()
+                    .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+                let first_shard = s.start_row / s.shard_size;
+                let local = sample_bernoulli(
+                    tracker.d2(),
+                    l,
+                    phi,
+                    seed,
+                    round as usize,
+                    &s.exec,
+                    first_shard,
+                );
+                let mut buf = source.block_buffer();
+                let rows = gather_rows(source, &local, &mut buf)?;
+                Ok(Message::Sampled {
+                    indices: local.iter().map(|&i| (i + s.start_row) as u64).collect(),
+                    rows,
+                })
+            }
+            Message::SampleExact { round, seed, m } => {
+                let tracker = s
+                    .tracker
+                    .as_ref()
+                    .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+                let first_shard = s.start_row / s.shard_size;
+                let entries = exact_sample_keys(
+                    tracker.d2(),
+                    m as usize,
+                    seed,
+                    round as usize,
+                    &s.exec,
+                    first_shard,
+                );
+                Ok(Message::ExactKeys {
+                    entries: entries
+                        .into_iter()
+                        .map(|(key, i)| (key, (i + s.start_row) as u64))
+                        .collect(),
+                })
+            }
+            Message::CandidateWeights { m } => {
+                let tracker = s
+                    .tracker
+                    .as_ref()
+                    .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+                if m as usize != s.candidates.len() {
+                    return Err(KMeansError::InvalidConfig(format!(
+                        "weights for {m} candidates requested, worker holds {}",
+                        s.candidates.len()
+                    )));
+                }
+                Ok(Message::Weights {
+                    weights: tracker.weights(m as usize),
+                })
+            }
+            Message::GatherRows { indices } => {
+                let local: Vec<usize> = indices
+                    .iter()
+                    .map(|&g| {
+                        let g = g as usize;
+                        if g < s.start_row || g >= s.start_row + source.len() {
+                            return Err(KMeansError::InvalidConfig(format!(
+                                "row {g} outside this worker's range [{}, {})",
+                                s.start_row,
+                                s.start_row + source.len()
+                            )));
+                        }
+                        Ok(g - s.start_row)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut buf = source.block_buffer();
+                Ok(Message::Rows {
+                    rows: gather_rows(source, &local, &mut buf)?,
+                })
+            }
+            Message::GatherD2 => {
+                let tracker = s
+                    .tracker
+                    .as_ref()
+                    .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+                Ok(Message::D2 {
+                    values: tracker.d2().to_vec(),
+                })
+            }
+            Message::Assign { centers } => {
+                let (labels, shards) =
+                    assign_partials_chunked(source, &centers, &s.exec, s.start_row, s.global_n)
+                        .map_err(offset_err)?;
+                let reassigned = match &s.labels {
+                    None => source.len() as u64,
+                    Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+                };
+                s.labels = Some(labels);
+                Ok(Message::Partials { reassigned, shards })
+            }
+            Message::Cost { centers } => Ok(Message::ShardSums {
+                sums: potential_shard_sums(source, &centers, &s.exec).map_err(offset_err)?,
+            }),
+            Message::FetchLabels => {
+                let labels = s.labels.clone().ok_or_else(|| {
+                    KMeansError::InvalidConfig("no assignment pass has run".into())
+                })?;
+                Ok(Message::Labels { labels })
+            }
+            Message::FetchStats => {
+                let r = source.residency();
+                Ok(Message::Stats(WorkerStats {
+                    peak_bytes: r.peak_bytes,
+                    loads: r.loads,
+                    hits: r.hits,
+                    budget_bytes: r.budget_bytes.unwrap_or(u64::MAX),
+                }))
+            }
+            other => Err(KMeansError::InvalidConfig(format!(
+                "worker cannot handle message {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Per-executor-shard sequential sums of a resident value slice, in shard
+/// order — the worker-local half of the coordinator's global potential
+/// fold (bit-identical to the in-memory tracker's `map_reduce` resum).
+fn per_shard_sums(values: &[f64], exec: &Executor) -> Vec<f64> {
+    exec.map_shards(values.len(), |_, range| {
+        range.map(|i| values[i]).sum::<f64>()
+    })
+}
+
+/// A bound TCP listener serving worker sessions — split from the serve
+/// loop so callers (tests, the CLI) can learn the bound address before
+/// blocking.
+pub struct TcpWorkerServer {
+    listener: TcpListener,
+}
+
+impl TcpWorkerServer {
+    /// Binds the listener (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Ok(TcpWorkerServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts coordinator connections and serves each as one session.
+    /// With `once`, returns after the first session ends; otherwise loops
+    /// until accept fails. `io_timeout` bounds every socket read/write.
+    pub fn serve(
+        self,
+        mut worker: Worker,
+        io_timeout: Option<Duration>,
+        once: bool,
+    ) -> Result<(), ClusterError> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let mut transport = TcpTransport::new(stream, io_timeout)?;
+            // A failed session (coordinator bug, timeout) should not kill
+            // a long-running worker; log-and-continue is the daemon mode.
+            let result = worker.serve(&mut transport);
+            if once {
+                return result;
+            }
+            if let Err(e) = result {
+                eprintln!("skm worker: session ended with error: {e}");
+            }
+        }
+    }
+}
+
+/// Spawns a TCP worker on an ephemeral localhost port and serves **one**
+/// session on a background thread — the smoke-test harness for real
+/// sockets. Returns the bound address and the join handle.
+pub fn spawn_tcp_worker(
+    source: impl ChunkedSource + 'static,
+    parallelism: Parallelism,
+    io_timeout: Option<Duration>,
+) -> std::io::Result<(
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), ClusterError>>,
+)> {
+    let server = TcpWorkerServer::bind("127.0.0.1:0")?;
+    let addr = server.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        server.serve(Worker::new(source, parallelism), io_timeout, true)
+    });
+    Ok((addr, handle))
+}
+
+/// Spawns an in-process loopback worker on a background thread, serving
+/// one session over a channel-backed transport — the deterministic
+/// multi-worker harness behind the parity tests and CI. Returns the
+/// coordinator-side transport and the join handle.
+pub fn spawn_loopback_worker(
+    source: impl ChunkedSource + 'static,
+    parallelism: Parallelism,
+) -> (
+    crate::transport::LoopbackTransport,
+    std::thread::JoinHandle<Result<(), ClusterError>>,
+) {
+    let (coordinator_side, mut worker_side) = crate::transport::loopback_pair();
+    let mut worker = Worker::new(source, parallelism);
+    let handle = std::thread::spawn(move || worker.serve(&mut worker_side));
+    (coordinator_side, handle)
+}

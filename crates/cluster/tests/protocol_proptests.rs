@@ -1,0 +1,169 @@
+//! Property tests for the wire protocol: adversarial bytes — truncations,
+//! oversized length prefixes, flipped bits, pure garbage — must decode to
+//! typed [`FrameError`]s, never panic, and never allocate from a forged
+//! length. Valid frames must round-trip exactly.
+
+use kmeans_cluster::protocol::MAX_FRAME_PAYLOAD;
+use kmeans_cluster::{FrameError, Message, WorkerStats};
+use kmeans_core::chunked::AccumShard;
+use kmeans_data::PointMatrix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A strategy-driven random message (one of several shapes, sized by the
+/// case's byte budget).
+fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> Message {
+    match shape % 7 {
+        0 => Message::ShardSums { sums: floats },
+        1 => Message::GatherRows { indices: ints },
+        2 => Message::Sampled {
+            indices: ints,
+            rows: matrix(&floats, 3),
+        },
+        3 => Message::Partials {
+            reassigned: ints.first().copied().unwrap_or(0),
+            shards: vec![AccumShard {
+                sums: floats.clone(),
+                counts: ints.clone(),
+                cost: floats.first().copied().unwrap_or(0.0),
+                farthest: (ints.last().copied().unwrap_or(0) as usize, 1.25),
+            }],
+        },
+        4 => Message::Assign {
+            centers: matrix(&floats, 2),
+        },
+        5 => Message::Labels {
+            labels: ints.iter().map(|&i| i as u32).collect(),
+        },
+        _ => Message::ExactKeys {
+            entries: floats.iter().zip(&ints).map(|(&f, &i)| (f, i)).collect(),
+        },
+    }
+}
+
+fn matrix(values: &[f64], dim: usize) -> PointMatrix {
+    let rows = values.len() / dim;
+    PointMatrix::from_flat(values[..rows * dim].to_vec(), dim)
+        .unwrap_or_else(|_| PointMatrix::from_flat(vec![0.0; dim], dim).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_messages_round_trip(
+        shape in 0usize..7,
+        floats in vec(-1e9f64..1e9, 1..40),
+        ints in vec(any::<u64>(), 1..40),
+    ) {
+        let ints: Vec<u64> = ints.into_iter().map(|i| i % (1 << 40)).collect();
+        let msg = build_message(shape, floats, ints);
+        let frame = msg.encode_frame();
+        let (decoded, used) = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(
+        shape in 0usize..7,
+        floats in vec(-1e3f64..1e3, 1..20),
+        ints in vec(0u64..1000, 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let msg = build_message(shape, floats, ints);
+        let frame = msg.encode_frame();
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        let result = Message::decode_frame(&frame[..cut.min(frame.len() - 1)], MAX_FRAME_PAYLOAD);
+        prop_assert_eq!(result.unwrap_err(), FrameError::Truncated);
+    }
+
+    #[test]
+    fn flipped_bytes_are_detected(
+        shape in 0usize..7,
+        floats in vec(-1e3f64..1e3, 1..20),
+        ints in vec(0u64..1000, 1..20),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u64..256,
+    ) {
+        let msg = build_message(shape, floats, ints);
+        let mut frame = msg.encode_frame();
+        let pos = ((frame.len() as f64) * pos_frac) as usize % frame.len();
+        frame[pos] ^= flip as u8;
+        // Either detected as a typed error, or (only when the flip landed
+        // in the checksum-covered payload and collided — impossible for a
+        // single-byte FNV flip — or restored the original) decoded; a
+        // decode, if it happens, must round-trip to *some* valid message.
+        match Message::decode_frame(&frame, MAX_FRAME_PAYLOAD) {
+            Err(_) => {}
+            Ok((m, used)) => {
+                prop_assert_eq!(used, frame.len());
+                prop_assert_eq!(m, msg); // only possible if flip was a no-op
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_or_over_allocates(
+        bytes in vec(any::<u64>(), 0..64),
+    ) {
+        let garbage: Vec<u8> = bytes.iter().flat_map(|b| b.to_le_bytes()).collect();
+        // Must return a typed error (or, vanishingly unlikely, decode) —
+        // and never allocate beyond the 1 KiB cap given here.
+        let _ = Message::decode_frame(&garbage, 1024);
+    }
+
+    #[test]
+    fn forged_length_prefixes_are_rejected_before_allocation(
+        declared in 1025u64..u32::MAX as u64,
+    ) {
+        let msg = Message::ShutdownOk;
+        let mut frame = msg.encode_frame();
+        frame[5..9].copy_from_slice(&(declared as u32).to_le_bytes());
+        let err = Message::decode_frame(&frame, 1024).unwrap_err();
+        prop_assert_eq!(err, FrameError::Oversized { len: declared, max: 1024 });
+    }
+
+    #[test]
+    fn forged_element_counts_are_rejected_before_allocation(
+        count in 64u64..u64::MAX / 16,
+    ) {
+        // A ShardSums payload whose count field promises far more floats
+        // than the payload holds.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&count.to_le_bytes());
+        payload.extend_from_slice(&1.0f64.to_le_bytes());
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"SKW1");
+        frame.push(6); // ShardSums
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        // Correct checksum so only the count is adversarial.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in std::iter::once(&6u8).chain(payload.iter()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        frame.extend_from_slice(&h.to_le_bytes());
+        let err = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap_err();
+        prop_assert!(matches!(err, FrameError::Malformed(_)));
+    }
+}
+
+#[test]
+fn stats_and_error_messages_survive_the_wire() {
+    // Deterministic spot check for the non-fuzzed shapes.
+    for msg in [
+        Message::Stats(WorkerStats {
+            peak_bytes: 123,
+            loads: 4,
+            hits: 5,
+            budget_bytes: u64::MAX,
+        }),
+        Message::Error(kmeans_core::KMeansError::NonFiniteData { point: 7, dim: 2 }.into()),
+    ] {
+        let frame = msg.encode_frame();
+        let (decoded, _) = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}

@@ -55,13 +55,28 @@ impl ClusterSums {
     }
 }
 
-/// Accumulation shard size used by [`assign_and_sum`]. Exposed inside the
-/// crate because the chunked assignment pass
-/// ([`crate::chunked::assign_and_sum_chunked`]) must reproduce the exact
-/// same shard layout to stay bit-identical with the in-memory path.
-pub(crate) fn sum_shard_size(exec: &Executor, n: usize) -> usize {
-    let base = exec.shard_spec().shard_size();
-    n.div_ceil(MAX_SUM_SHARDS).max(base).max(1)
+/// Accumulation shard size used by [`assign_and_sum`]. Public because every
+/// pass that must stay bit-identical with the in-memory fold has to
+/// reproduce the exact same shard layout: the chunked assignment pass
+/// ([`crate::chunked::assign_and_sum_chunked`]) and the distributed
+/// workers, whose row ranges must start on these boundaries.
+pub fn sum_shard_size(exec: &Executor, n: usize) -> usize {
+    sum_shard_size_for(exec.shard_spec().shard_size(), n)
+}
+
+/// [`sum_shard_size`] from a bare base shard size — for callers (the
+/// distributed coordinator) that know the executor's shard size but not
+/// the executor itself.
+///
+/// The result is always a **multiple of the base shard size** (and at
+/// least one base shard, at most [`MAX_SUM_SHARDS`] shards over `n`):
+/// the accumulation grid nests on the executor grid, so a distributed
+/// worker boundary aligned to this one value is automatically aligned to
+/// both grids — and the value stays O(n/64 + base), always reachable by
+/// `skm shard --align`.
+pub fn sum_shard_size_for(base_shard_size: usize, n: usize) -> usize {
+    let base = base_shard_size.max(1);
+    n.div_ceil(MAX_SUM_SHARDS).div_ceil(base).max(1) * base
 }
 
 /// Executor with the accumulation shard size described in the module docs.

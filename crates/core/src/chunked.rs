@@ -95,35 +95,38 @@ where
 /// sequentially within each executor shard and the per-shard sums are
 /// folded left-to-right, bit-identically to the in-memory pass — shard
 /// boundaries need not align with block boundaries.
-pub(crate) struct ShardSum {
+///
+/// Public because distributed workers use the same splitter to produce
+/// per-shard partial sums ([`ShardSum::into_sums`]) that the coordinator
+/// folds globally; [`ShardSum::finish`] is that fold done locally.
+pub struct ShardSum {
     shard_size: usize,
     boundary: usize,
     next: usize,
     acc: f64,
-    total: Option<f64>,
+    sums: Vec<f64>,
 }
 
 impl ShardSum {
-    pub(crate) fn new(shard_size: usize) -> Self {
+    /// Starts a splitter with the executor's shard size.
+    pub fn new(shard_size: usize) -> Self {
         ShardSum {
             shard_size,
             boundary: shard_size,
             next: 0,
             acc: 0.0,
-            total: None,
+            sums: Vec::new(),
         }
     }
 
     fn flush(&mut self) {
-        self.total = Some(match self.total {
-            None => self.acc,
-            Some(t) => t + self.acc,
-        });
+        self.sums.push(self.acc);
         self.acc = 0.0;
         self.boundary += self.shard_size;
     }
 
-    pub(crate) fn push(&mut self, value: f64) {
+    /// Feeds the next value of the row-ordered stream.
+    pub fn push(&mut self, value: f64) {
         if self.next == self.boundary {
             self.flush();
         }
@@ -131,11 +134,21 @@ impl ShardSum {
         self.next += 1;
     }
 
-    pub(crate) fn finish(mut self) -> f64 {
+    /// One partial sum per executor shard, in shard order.
+    pub fn into_sums(mut self) -> Vec<f64> {
         if self.next > self.boundary - self.shard_size {
             self.flush();
         }
-        self.total.unwrap_or(0.0)
+        self.sums
+    }
+
+    /// The shard-ordered left fold of the per-shard sums — bit-identical
+    /// to `Executor::map_reduce` with `+` on the same stream.
+    pub fn finish(self) -> f64 {
+        self.into_sums()
+            .into_iter()
+            .reduce(|a, b| a + b)
+            .unwrap_or(0.0)
     }
 }
 
@@ -148,6 +161,26 @@ pub fn potential_chunked(
     centers: &PointMatrix,
     exec: &Executor,
 ) -> Result<f64, KMeansError> {
+    let sums = potential_shard_sums(source, centers, exec)?;
+    Ok(sums.into_iter().reduce(|a, b| a + b).unwrap_or(0.0))
+}
+
+/// The per-executor-shard partial sums behind [`potential_chunked`]: one
+/// sequential `Σ d²` per shard of the executor grid, in shard order, with
+/// the same finiteness enforcement. The shard-ordered left fold of the
+/// returned values *is* `potential_chunked` (and thus
+/// [`crate::cost::potential`]) bit for bit.
+///
+/// Distributed workers call this on their local row range and ship the
+/// partials; the coordinator concatenates them in worker order (= global
+/// shard order, given shard-aligned worker boundaries) and performs the
+/// fold, which is what keeps the distributed potential bit-identical to
+/// the single-node one.
+pub fn potential_shard_sums(
+    source: &dyn ChunkedSource,
+    centers: &PointMatrix,
+    exec: &Executor,
+) -> Result<Vec<f64>, KMeansError> {
     if centers.is_empty() {
         return Err(KMeansError::InvalidK {
             k: 0,
@@ -176,7 +209,7 @@ pub fn potential_chunked(
         }
         Ok(())
     })?;
-    Ok(folder.finish())
+    Ok(folder.into_sums())
 }
 
 /// Initializer epilogue for chunked seeders: stamps duration and the seed
@@ -336,8 +369,9 @@ impl ChunkedCostTracker {
 /// Fetches the rows at `indices` (any order, duplicates allowed) from a
 /// chunked source, preserving the given order in the result. Needed blocks
 /// are read once each, in ascending order — a budgeted source's cache
-/// absorbs repeats.
-pub(crate) fn gather_rows(
+/// absorbs repeats. Public so distributed workers serve row-gather
+/// requests through the same code path as the chunked seeders.
+pub fn gather_rows(
     source: &dyn ChunkedSource,
     indices: &[usize],
     buf: &mut PointMatrix,
@@ -401,52 +435,87 @@ pub fn assign_and_sum_chunked(
     centers: &PointMatrix,
     exec: &Executor,
 ) -> Result<(Vec<u32>, ClusterSums), KMeansError> {
-    validate_refine_inputs_chunked(source, centers)?;
+    // assign_partials_chunked with offset 0 / global_n = len performs
+    // exactly the validate_refine_inputs_chunked checks.
+    let (labels, partials) = assign_partials_chunked(source, centers, exec, 0, source.len())?;
+    Ok((
+        labels,
+        fold_accum_shards(centers.len(), source.dim(), &partials),
+    ))
+}
+
+/// One accumulation shard's partial from an assignment pass: per-cluster
+/// coordinate sums and counts, the shard's cost contribution, and its
+/// farthest point (`(usize::MAX, -∞)` when the shard saw no rows — never
+/// produced by [`assign_partials_chunked`], but representable on the wire).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccumShard {
+    /// `k × d` per-cluster coordinate sums (row-major).
+    pub sums: Vec<f64>,
+    /// Points per cluster within this shard.
+    pub counts: Vec<u64>,
+    /// Cost contribution of this shard.
+    pub cost: f64,
+    /// `(global point index, d²)` of the shard's farthest point.
+    pub farthest: (usize, f64),
+}
+
+impl AccumShard {
+    fn new(k: usize, d: usize) -> Self {
+        AccumShard {
+            sums: vec![0.0; k * d],
+            counts: vec![0; k],
+            cost: 0.0,
+            farthest: (usize::MAX, f64::NEG_INFINITY),
+        }
+    }
+}
+
+/// The per-accumulation-shard partials behind [`assign_and_sum_chunked`]:
+/// labels for the source's rows plus one [`AccumShard`] per accumulation
+/// shard of the **global** layout (`sum_shard_size` of `global_n`), in
+/// shard order. `row_offset` is the global index of the source's first row;
+/// farthest-point records carry global indices.
+///
+/// Distributed workers call this on their local shard of the data (their
+/// `row_offset` is validated to sit on an accumulation-shard boundary) and
+/// ship the partials; the coordinator concatenates them in worker order
+/// and folds with [`fold_accum_shards`] — reproducing the in-memory
+/// [`crate::assign::assign_and_sum`] fold bit for bit.
+pub fn assign_partials_chunked(
+    source: &dyn ChunkedSource,
+    centers: &PointMatrix,
+    exec: &Executor,
+    row_offset: usize,
+    global_n: usize,
+) -> Result<(Vec<u32>, Vec<AccumShard>), KMeansError> {
+    if source.is_empty() {
+        return Err(KMeansError::EmptyInput);
+    }
+    if centers.is_empty() || centers.len() > global_n {
+        return Err(KMeansError::InvalidK {
+            k: centers.len(),
+            n: global_n,
+        });
+    }
+    if source.dim() != centers.dim() {
+        return Err(KMeansError::DimensionMismatch {
+            expected: source.dim(),
+            got: centers.dim(),
+        });
+    }
     let n = source.len();
     let k = centers.len();
     let d = source.dim();
-    let sum_size = sum_shard_size(exec, n);
-
-    struct Partial {
-        sums: Vec<f64>,
-        counts: Vec<u64>,
-        cost: f64,
-        farthest: (usize, f64),
-    }
-    impl Partial {
-        fn new(k: usize, d: usize) -> Self {
-            Partial {
-                sums: vec![0.0; k * d],
-                counts: vec![0; k],
-                cost: 0.0,
-                farthest: (usize::MAX, f64::NEG_INFINITY),
-            }
-        }
-    }
-    let flush = |out: &mut ClusterSums, p: &mut Partial| {
-        for (acc, v) in out.sums.iter_mut().zip(&p.sums) {
-            *acc += v;
-        }
-        for (acc, v) in out.counts.iter_mut().zip(&p.counts) {
-            *acc += v;
-        }
-        out.cost += p.cost;
-        if p.farthest.0 != usize::MAX {
-            out.farthest.push(p.farthest);
-        }
-        *p = Partial::new(out.counts.len(), out.sums.len() / out.counts.len());
-    };
+    let sum_size = sum_shard_size(exec, global_n);
 
     let mut labels = vec![0u32; n];
     let mut d2 = vec![0.0f64; source.block_rows()];
-    let mut out = ClusterSums {
-        sums: vec![0.0; k * d],
-        counts: vec![0; k],
-        cost: 0.0,
-        farthest: Vec::new(),
-    };
-    let mut partial = Partial::new(k, d);
-    let mut shard_end = sum_size;
+    let mut partials: Vec<AccumShard> = Vec::new();
+    let mut partial = AccumShard::new(k, d);
+    // First boundary in local coordinates: the next global multiple of
+    // `sum_size` after `row_offset` (aligned offsets make this `sum_size`).
+    let mut shard_end = sum_size - row_offset % sum_size;
     let mut buf = source.block_buffer();
     for_each_block(source, &mut buf, |_b, start, block| {
         let end = start + block.len();
@@ -461,14 +530,14 @@ pub fn assign_and_sum_chunked(
         for (off, &dist) in d2[..block.len()].iter().enumerate() {
             let gi = start + off;
             if gi == shard_end {
-                flush(&mut out, &mut partial);
+                partials.push(std::mem::replace(&mut partial, AccumShard::new(k, d)));
                 shard_end += sum_size;
             }
             let c = labels[gi] as usize;
             partial.counts[c] += 1;
             partial.cost += dist;
             if dist > partial.farthest.1 {
-                partial.farthest = (gi, dist);
+                partial.farthest = (row_offset + gi, dist);
             }
             let dst = &mut partial.sums[c * d..(c + 1) * d];
             for (acc, &v) in dst.iter_mut().zip(block.row(off)) {
@@ -477,8 +546,33 @@ pub fn assign_and_sum_chunked(
         }
         Ok(())
     })?;
-    flush(&mut out, &mut partial);
-    Ok((labels, out))
+    partials.push(partial);
+    Ok((labels, partials))
+}
+
+/// Folds accumulation-shard partials (in shard order) into one
+/// [`ClusterSums`] — the exact reducer of the in-memory
+/// [`crate::assign::assign_and_sum`] pass.
+pub fn fold_accum_shards(k: usize, d: usize, shards: &[AccumShard]) -> ClusterSums {
+    let mut out = ClusterSums {
+        sums: vec![0.0; k * d],
+        counts: vec![0; k],
+        cost: 0.0,
+        farthest: Vec::new(),
+    };
+    for p in shards {
+        for (acc, v) in out.sums.iter_mut().zip(&p.sums) {
+            *acc += v;
+        }
+        for (acc, v) in out.counts.iter_mut().zip(&p.counts) {
+            *acc += v;
+        }
+        out.cost += p.cost;
+        if p.farthest.0 != usize::MAX {
+            out.farthest.push(p.farthest);
+        }
+    }
+    out
 }
 
 /// Lloyd's iteration over a chunked source: one scan per iteration

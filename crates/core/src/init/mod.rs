@@ -16,8 +16,8 @@ mod random;
 pub use afkmc2::afk_mc2;
 pub use kmeanspp::{kmeanspp, kmeanspp_chunked, weighted_kmeanspp};
 pub use parallel::{
-    kmeans_parallel, kmeans_parallel_chunked, KMeansParallelConfig, Oversampling, Recluster,
-    Rounds, SamplingMode, TopUp,
+    exact_sample_keys, exact_sample_merge, kmeans_parallel, kmeans_parallel_chunked,
+    sample_bernoulli, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
 };
 pub use random::random_init;
 
@@ -138,6 +138,10 @@ impl crate::pipeline::Initializer for InitMethod {
                 crate::pipeline::KMeansParallel(*config).init_chunked(source, k, seed, exec)
             }
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

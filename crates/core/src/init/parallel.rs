@@ -184,7 +184,10 @@ impl KMeansParallelConfig {
         self
     }
 
-    fn validate(&self, k: usize) -> Result<(), KMeansError> {
+    /// Validates the configuration for a concrete `k`. Public so
+    /// distributed frontends running Algorithm 2 over a worker cluster
+    /// enforce the exact same contract before any round starts.
+    pub fn validate(&self, k: usize) -> Result<(), KMeansError> {
         let l = self.oversampling.resolve(k);
         if !l.is_finite() || l <= 0.0 {
             return Err(KMeansError::InvalidConfig(format!(
@@ -250,7 +253,7 @@ pub fn kmeans_parallel(
         }
         rounds_executed += 1;
         let new_indices = match config.sampling {
-            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec),
+            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec, 0),
             SamplingMode::ExactL => {
                 let m = (l.round() as usize).max(1);
                 sample_exact(tracker.d2(), m, seed, round, exec)
@@ -390,7 +393,7 @@ pub fn kmeans_parallel_chunked(
         }
         rounds_executed += 1;
         let new_indices = match config.sampling {
-            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec),
+            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec, 0),
             SamplingMode::ExactL => {
                 let m = (l.round() as usize).max(1);
                 sample_exact(tracker.d2(), m, seed, round, exec)
@@ -470,16 +473,24 @@ pub fn kmeans_parallel_chunked(
 
 /// Line 4: independent Bernoulli draws with `p = min(1, ℓ·d²/φ)`, shard
 /// parallel, deterministic per `(seed, round, shard)`.
-fn sample_bernoulli(
+///
+/// `first_shard` offsets the shard index used for RNG derivation: a
+/// distributed worker whose row range starts at global shard `s` passes
+/// `s` and draws the exact same per-shard streams the single-node pass
+/// would, making the union of all workers' picks bit-identical to the
+/// in-memory sample. Single-node callers pass 0. Returned indices are
+/// local to `d2` and ascending.
+pub fn sample_bernoulli(
     d2: &[f64],
     l: f64,
     phi: f64,
     seed: u64,
     round: usize,
     exec: &Executor,
+    first_shard: usize,
 ) -> Vec<usize> {
     let shard_lists = exec.map_shards(d2.len(), |shard, range| {
-        let mut rng = Rng::derive(seed, &[31, round as u64, shard as u64]);
+        let mut rng = Rng::derive(seed, &[31, round as u64, (first_shard + shard) as u64]);
         let mut picked = Vec::new();
         for i in range {
             let p = l * d2[i] / phi;
@@ -492,14 +503,22 @@ fn sample_bernoulli(
     shard_lists.into_iter().flatten().collect()
 }
 
-/// §5.3 exact-ℓ sampling: `m` distinct indices with probability ∝ d²,
-/// via per-shard Efraimidis–Spirakis top-m, merged globally.
-///
-/// E–S keys (`ln(u)/w`) are comparable across shards, so the global top-m
-/// of the per-shard top-m lists equals the top-m over all points.
-fn sample_exact(d2: &[f64], m: usize, seed: u64, round: usize, exec: &Executor) -> Vec<usize> {
+/// The per-shard half of §5.3 exact-ℓ sampling: Efraimidis–Spirakis keys
+/// (`ln(u)/d²`), truncated to the shard-local top-`m`, concatenated in
+/// shard order. Keys are comparable across shards (and across workers), so
+/// [`exact_sample_merge`] over any union of these lists equals the global
+/// top-`m`. `first_shard` plays the same role as in [`sample_bernoulli`];
+/// returned indices are local to `d2`.
+pub fn exact_sample_keys(
+    d2: &[f64],
+    m: usize,
+    seed: u64,
+    round: usize,
+    exec: &Executor,
+    first_shard: usize,
+) -> Vec<(f64, usize)> {
     let shard_tops: Vec<Vec<(f64, usize)>> = exec.map_shards(d2.len(), |shard, range| {
-        let mut rng = Rng::derive(seed, &[32, round as u64, shard as u64]);
+        let mut rng = Rng::derive(seed, &[32, round as u64, (first_shard + shard) as u64]);
         let mut keyed: Vec<(f64, usize)> = Vec::new();
         for i in range {
             let w = d2[i];
@@ -516,16 +535,33 @@ fn sample_exact(d2: &[f64], m: usize, seed: u64, round: usize, exec: &Executor) 
         keyed.truncate(m);
         keyed
     });
-    let mut all: Vec<(f64, usize)> = shard_tops.into_iter().flatten().collect();
-    all.sort_by(|a, b| {
+    shard_tops.into_iter().flatten().collect()
+}
+
+/// The merge half of §5.3 exact-ℓ sampling: global top-`m` of keyed
+/// candidates (ties broken by ascending index), returned as ascending
+/// indices. The coordinator of a distributed run feeds it the
+/// concatenation of every worker's [`exact_sample_keys`] (with indices
+/// already translated to global row ids).
+pub fn exact_sample_merge(mut entries: Vec<(f64, usize)>, m: usize) -> Vec<usize> {
+    entries.sort_by(|a, b| {
         b.0.partial_cmp(&a.0)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.1.cmp(&b.1))
     });
-    all.truncate(m);
-    let mut indices: Vec<usize> = all.into_iter().map(|(_, i)| i).collect();
+    entries.truncate(m);
+    let mut indices: Vec<usize> = entries.into_iter().map(|(_, i)| i).collect();
     indices.sort_unstable();
     indices
+}
+
+/// §5.3 exact-ℓ sampling: `m` distinct indices with probability ∝ d²,
+/// via per-shard Efraimidis–Spirakis top-m, merged globally.
+///
+/// E–S keys (`ln(u)/w`) are comparable across shards, so the global top-m
+/// of the per-shard top-m lists equals the top-m over all points.
+fn sample_exact(d2: &[f64], m: usize, seed: u64, round: usize, exec: &Executor) -> Vec<usize> {
+    exact_sample_merge(exact_sample_keys(d2, m, seed, round, exec, 0), m)
 }
 
 #[cfg(test)]

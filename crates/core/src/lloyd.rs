@@ -40,7 +40,9 @@ impl Default for LloydConfig {
 }
 
 impl LloydConfig {
-    pub(crate) fn validate(&self) -> Result<(), KMeansError> {
+    /// Validates the configuration. Public so distributed frontends
+    /// enforce the same contract before the first broadcast.
+    pub fn validate(&self) -> Result<(), KMeansError> {
         if self.max_iterations == 0 {
             return Err(KMeansError::InvalidConfig(
                 "max_iterations must be at least 1".into(),

@@ -172,8 +172,10 @@ impl KMeans {
         self
     }
 
-    /// Builds the executor this configuration implies.
-    fn executor(&self) -> Executor {
+    /// Builds the executor this configuration implies. Public for
+    /// alternative fit frontends (the distributed coordinator), which need
+    /// the shard size — part of every run's reproducibility key.
+    pub fn executor(&self) -> Executor {
         let exec = Executor::new(self.parallelism);
         match self.shard_size {
             Some(s) => exec.with_shard_size(s),
@@ -181,10 +183,32 @@ impl KMeans {
         }
     }
 
+    /// The configured number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured random seed.
+    pub fn configured_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether per-point weights were configured (weighted fits exist on
+    /// the in-memory path only; chunked and distributed frontends reject).
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The configured initialization stage.
+    pub fn initializer(&self) -> &Arc<dyn Initializer> {
+        &self.init
+    }
+
     /// Resolves the refinement stage, rejecting Lloyd knobs combined with
     /// a custom refiner (silently ignoring them would leave e.g. an
-    /// "iteration-capped" study uncapped; fail loudly instead).
-    fn resolve_refiner(&self) -> Result<Arc<dyn Refiner>, KMeansError> {
+    /// "iteration-capped" study uncapped; fail loudly instead). Public for
+    /// alternative fit frontends, which must apply the same conflict rule.
+    pub fn resolve_refiner(&self) -> Result<Arc<dyn Refiner>, KMeansError> {
         match &self.refiner {
             Some(r) => {
                 if self.lloyd_tuned {
@@ -280,7 +304,56 @@ pub struct KMeansModel {
     executor: Executor,
 }
 
+/// The raw fields of a [`KMeansModel`], for alternative fit frontends
+/// (the distributed coordinator in `kmeans-cluster`) that run the same
+/// init→refine pipeline outside [`KMeans::fit`] but must hand back the
+/// standard model type.
+#[derive(Clone, Debug)]
+pub struct ModelParts {
+    /// Final centers (`k × d`).
+    pub centers: PointMatrix,
+    /// Final assignment, consistent with `centers`.
+    pub labels: Vec<u32>,
+    /// Final potential.
+    pub cost: f64,
+    /// Seeding accounting.
+    pub init_stats: InitStats,
+    /// Refinement iterations executed.
+    pub iterations: usize,
+    /// Whether the refiner converged.
+    pub converged: bool,
+    /// Per-iteration refinement history (may be empty).
+    pub history: Vec<IterationStats>,
+    /// Point-to-center distance evaluations spent by the refiner.
+    pub distance_computations: u64,
+    /// Stable name of the initializer.
+    pub init_name: &'static str,
+    /// Stable name of the refiner.
+    pub refiner_name: &'static str,
+    /// Executor `predict`/`cost_of` will reuse.
+    pub executor: Executor,
+}
+
 impl KMeansModel {
+    /// Assembles a model from explicitly computed parts (see
+    /// [`ModelParts`]). The caller is responsible for the fields being
+    /// mutually consistent — `labels`/`cost` must describe `centers`.
+    pub fn from_parts(parts: ModelParts) -> Self {
+        KMeansModel {
+            centers: parts.centers,
+            labels: parts.labels,
+            cost: parts.cost,
+            init_stats: parts.init_stats,
+            iterations: parts.iterations,
+            converged: parts.converged,
+            history: parts.history,
+            distance_computations: parts.distance_computations,
+            init_name: parts.init_name,
+            refiner_name: parts.refiner_name,
+            executor: parts.executor,
+        }
+    }
+
     /// The fitted centers (`k × d`).
     pub fn centers(&self) -> &PointMatrix {
         &self.centers

@@ -103,6 +103,15 @@ pub trait Initializer: fmt::Debug + Send + Sync {
         let _ = (source, k, seed, exec);
         Err(reject_chunked(self.name()))
     }
+
+    /// Hook for alternative execution frontends (the distributed
+    /// coordinator in `kmeans-cluster`) to recover a stage's concrete
+    /// configuration from the type-erased builder slot. Stages that have
+    /// such a frontend return `Some(self)`; the default `None` makes the
+    /// frontend reject the stage with a typed error.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// A refinement stage: improves a set of seed centers over the dataset.
@@ -134,6 +143,11 @@ pub trait Refiner: fmt::Debug + Send + Sync {
         let _ = (source, centers, seed, exec);
         Err(reject_chunked(self.name()))
     }
+
+    /// Same hook as [`Initializer::as_any`], for refinement stages.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Typed rejection for stages without an out-of-core formulation (AFK-MC²'s
@@ -141,6 +155,13 @@ pub trait Refiner: fmt::Debug + Send + Sync {
 /// shared so the error text stays uniform across crates.
 pub fn reject_chunked(name: &str) -> KMeansError {
     KMeansError::InvalidConfig(format!("{name} does not support chunked data sources"))
+}
+
+/// Typed rejection for stages without a distributed formulation (the same
+/// fail-loudly contract as [`reject_chunked`], used by the coordinator in
+/// `kmeans-cluster` when a builder stage has no cluster realization).
+pub fn reject_distributed(name: &str) -> KMeansError {
+    KMeansError::InvalidConfig(format!("{name} does not support distributed execution"))
 }
 
 /// Unified outcome of any [`Refiner`].
@@ -235,6 +256,10 @@ impl Initializer for Random {
         "random"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn init(
         &self,
         points: &PointMatrix,
@@ -307,6 +332,10 @@ impl Initializer for KMeansPlusPlus {
         "kmeans++"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn init(
         &self,
         points: &PointMatrix,
@@ -361,6 +390,10 @@ impl Initializer for KMeansParallel {
         "kmeans-par"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn init(
         &self,
         points: &PointMatrix,
@@ -409,6 +442,10 @@ impl Initializer for AfkMc2 {
         "afk-mc2"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn init(
         &self,
         points: &PointMatrix,
@@ -451,6 +488,10 @@ pub struct Lloyd(pub LloydConfig);
 impl Refiner for Lloyd {
     fn name(&self) -> &'static str {
         "lloyd"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn refine(
@@ -550,6 +591,10 @@ impl Refiner for HamerlyLloyd {
         "hamerly"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn refine(
         &self,
         points: &PointMatrix,
@@ -583,6 +628,10 @@ pub struct MiniBatch(pub MiniBatchConfig);
 impl Refiner for MiniBatch {
     fn name(&self) -> &'static str {
         "minibatch"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn refine(
@@ -640,6 +689,10 @@ pub struct NoRefine;
 impl Refiner for NoRefine {
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn refine(

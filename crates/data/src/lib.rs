@@ -34,6 +34,7 @@
 //! | [`synth`] | §5.1 GaussMixture / Spam / KDDCup1999 workloads |
 //! | [`io`] | CSV/LIBSVM interchange for the §5 datasets |
 //! | [`chunked`], [`blockfile`] | the "data does not fit in main memory" premise of §1 |
+//! | [`shard`] | §3.5's input partitions `X′ ⊆ X`: per-worker shard files + manifest |
 //! | [`transform`] | feature scaling ahead of clustering (engineering extension) |
 
 #![forbid(unsafe_code)]
@@ -45,6 +46,7 @@ pub mod dataset;
 pub mod error;
 pub mod io;
 pub mod matrix;
+pub mod shard;
 pub mod synth;
 pub mod transform;
 
@@ -55,3 +57,4 @@ pub use chunked::{ChunkedSource, CsvSource, InMemorySource, Residency};
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use matrix::PointMatrix;
+pub use shard::{shard_block_file, ShardEntry, ShardManifest};

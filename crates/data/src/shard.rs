@@ -1,0 +1,364 @@
+//! Sharding a block file across distributed workers: `skm shard`.
+//!
+//! The distributed runtime (`kmeans-cluster`) assigns each worker one
+//! **contiguous** range of global rows, served from a worker-local
+//! `SKMBLK01` block file. [`shard_block_file`] splits one block file into
+//! per-worker shard files in a single streaming pass, and records the
+//! split in a [`ShardManifest`] so launch scripts (and the coordinator's
+//! optional cross-check) know which file holds which rows.
+//!
+//! **Alignment.** Bit-parity across worker counts requires every worker
+//! boundary to sit on the executor's logical shard grid — that is what
+//! lets per-shard RNG streams and shard-ordered floating-point folds
+//! decompose over workers without changing a single bit (see
+//! `docs/ARCHITECTURE.md`, "Distributed layer"). `align` is therefore a
+//! first-class parameter here: every shard except the last holds a
+//! multiple of `align` rows. The default executor shard size (8192) is the
+//! natural choice.
+
+use crate::blockfile::{BlockFileSource, BlockFileWriter};
+use crate::chunked::ChunkedSource;
+use crate::error::DataError;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// First line of a manifest file.
+const MANIFEST_MAGIC: &str = "SKMSHARD01";
+
+/// One worker's shard in a [`ShardManifest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Path of the shard's block file (as written; typically relative to
+    /// wherever the manifest lives).
+    pub path: String,
+    /// Global index of the shard's first row.
+    pub start_row: usize,
+    /// Number of rows in the shard.
+    pub rows: usize,
+}
+
+/// The record of one [`shard_block_file`] split: global shape, the
+/// alignment every boundary honors, and the per-worker shards in row
+/// order (worker `i` of `skm fit --distributed --workers ...` must serve
+/// `shards[i]`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Row dimensionality.
+    pub dim: usize,
+    /// Total rows across all shards.
+    pub total_rows: usize,
+    /// Row alignment of every shard boundary.
+    pub align: usize,
+    /// The shards, in global row order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Serializes the manifest to a small line-oriented text file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DataError> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "{MANIFEST_MAGIC}")?;
+        writeln!(out, "dim {}", self.dim)?;
+        writeln!(out, "rows {}", self.total_rows)?;
+        writeln!(out, "align {}", self.align)?;
+        for s in &self.shards {
+            writeln!(out, "shard {} {} {}", s.start_row, s.rows, s.path)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Parses a manifest written by [`ShardManifest::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut lines = reader.lines();
+        let bad = |line: usize, message: &str| DataError::Parse {
+            line,
+            message: message.to_string(),
+        };
+        let first = lines.next().ok_or_else(|| bad(1, "empty manifest"))??;
+        if first.trim() != MANIFEST_MAGIC {
+            return Err(bad(1, "not a shard manifest (bad magic)"));
+        }
+        let mut dim = None;
+        let mut total_rows = None;
+        let mut align = None;
+        let mut shards = Vec::new();
+        for (no, line) in lines.enumerate() {
+            let line_no = no + 2;
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let mut field = |what: &str| -> Result<usize, DataError> {
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line_no, &format!("bad {what}")))
+            };
+            match key {
+                "dim" => dim = Some(field("dim")?),
+                "rows" => total_rows = Some(field("rows")?),
+                "align" => align = Some(field("align")?),
+                "shard" => {
+                    let start_row = field("shard start")?;
+                    let rows = field("shard rows")?;
+                    let path: String = parts.collect::<Vec<_>>().join(" ");
+                    if path.is_empty() {
+                        return Err(bad(line_no, "shard entry missing path"));
+                    }
+                    shards.push(ShardEntry {
+                        path,
+                        start_row,
+                        rows,
+                    });
+                }
+                other => return Err(bad(line_no, &format!("unknown manifest key '{other}'"))),
+            }
+        }
+        let manifest = ShardManifest {
+            dim: dim.ok_or_else(|| bad(1, "manifest missing dim"))?,
+            total_rows: total_rows.ok_or_else(|| bad(1, "manifest missing rows"))?,
+            align: align.ok_or_else(|| bad(1, "manifest missing align"))?,
+            shards,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Checks internal consistency: shards contiguous from row 0, row
+    /// counts summing to the total, boundaries aligned.
+    pub fn validate(&self) -> Result<(), DataError> {
+        let mut next = 0usize;
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.start_row != next {
+                return Err(DataError::InvalidParam(format!(
+                    "shard {i} starts at row {}, expected {next} (shards must be contiguous)",
+                    s.start_row
+                )));
+            }
+            if s.rows == 0 {
+                return Err(DataError::InvalidParam(format!("shard {i} is empty")));
+            }
+            if self.align == 0 || s.start_row % self.align != 0 {
+                return Err(DataError::InvalidParam(format!(
+                    "shard {i} starts at row {} which is not a multiple of align {}",
+                    s.start_row, self.align
+                )));
+            }
+            next += s.rows;
+        }
+        if next != self.total_rows {
+            return Err(DataError::InvalidParam(format!(
+                "shard rows sum to {next}, manifest declares {}",
+                self.total_rows
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Splits a block file into `workers` contiguous per-worker shard files in
+/// one streaming pass (only one block of the input is ever resident), and
+/// returns the manifest describing the split. Shard files are written as
+/// `{out_prefix}-{i}.skmb` and the manifest as `{out_prefix}.manifest`.
+///
+/// Every shard except the last holds a multiple of `align` rows — the
+/// boundary contract the distributed coordinator validates (see module
+/// docs). Fails if the input cannot give every worker at least one
+/// aligned row range (`rows ≤ (workers − 1) · align`).
+pub fn shard_block_file(
+    input: impl AsRef<Path>,
+    out_prefix: &str,
+    workers: usize,
+    align: usize,
+) -> Result<ShardManifest, DataError> {
+    if workers == 0 {
+        return Err(DataError::InvalidParam("workers must be positive".into()));
+    }
+    if align == 0 {
+        return Err(DataError::InvalidParam("align must be positive".into()));
+    }
+    let source = {
+        // A budget of exactly one block: the split streams.
+        let probe = BlockFileSource::open(&input, u64::MAX / 2)?;
+        let block_bytes = (probe.block_rows() * probe.dim() * 8) as u64;
+        drop(probe);
+        BlockFileSource::open(&input, block_bytes)?
+    };
+    let n = source.len();
+    let dim = source.dim();
+    // Per-worker target: even split, rounded up to the alignment. The last
+    // worker absorbs the remainder (and the tail misalignment).
+    let per_worker = n.div_ceil(workers).div_ceil(align) * align;
+    if n <= (workers - 1) * per_worker {
+        return Err(DataError::InvalidParam(format!(
+            "cannot split {n} rows into {workers} shards of {align}-row aligned ranges; \
+             reduce --workers or --align"
+        )));
+    }
+
+    let mut shards = Vec::with_capacity(workers);
+    let mut writers: Vec<(PathBuf, BlockFileWriter)> = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let start = w * per_worker;
+        let rows = per_worker.min(n - start);
+        let path = PathBuf::from(format!("{out_prefix}-{w}.skmb"));
+        writers.push((
+            path.clone(),
+            BlockFileWriter::create(&path, dim, source.block_rows())?,
+        ));
+        shards.push(ShardEntry {
+            path: path.to_string_lossy().into_owned(),
+            start_row: start,
+            rows,
+        });
+    }
+
+    let result = (|| -> Result<(), DataError> {
+        let mut buf = source.block_buffer();
+        let mut row = 0usize;
+        for b in 0..source.num_blocks() {
+            source.read_block(b, &mut buf)?;
+            for r in buf.rows() {
+                let w = (row / per_worker).min(workers - 1);
+                writers[w].1.push_row(r)?;
+                row += 1;
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        // Never leave half-written shard files behind.
+        for (path, _) in &writers {
+            let _ = std::fs::remove_file(path);
+        }
+        return Err(e);
+    }
+    for (_, writer) in writers {
+        writer.finish()?;
+    }
+
+    let manifest = ShardManifest {
+        dim,
+        total_rows: n,
+        align,
+        shards,
+    };
+    manifest.save(format!("{out_prefix}.manifest"))?;
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockfile::write_block_file;
+    use crate::matrix::PointMatrix;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kmeans_shard_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn matrix(n: usize, dim: usize) -> PointMatrix {
+        PointMatrix::from_flat((0..n * dim).map(|i| i as f64 * 0.25).collect(), dim).unwrap()
+    }
+
+    #[test]
+    fn split_round_trips_and_aligns() {
+        let m = matrix(100, 3);
+        let input = tmp("split.skmb");
+        write_block_file(&input, &m, 16).unwrap();
+        let prefix = tmp("split_out").to_string_lossy().into_owned();
+        let manifest = shard_block_file(&input, &prefix, 3, 8).unwrap();
+        assert_eq!(manifest.total_rows, 100);
+        assert_eq!(manifest.dim, 3);
+        assert_eq!(manifest.shards.len(), 3);
+        // 100/3 → 34 → aligned up to 40; shards are 40, 40, 20.
+        assert_eq!(
+            manifest.shards.iter().map(|s| s.rows).collect::<Vec<_>>(),
+            vec![40, 40, 20]
+        );
+        manifest.validate().unwrap();
+        // Concatenating the shard files reproduces the input bit for bit.
+        let mut seen = 0usize;
+        for s in &manifest.shards {
+            let src = BlockFileSource::open(&s.path, 1 << 20).unwrap();
+            assert_eq!(src.len(), s.rows);
+            let mut buf = src.block_buffer();
+            for b in 0..src.num_blocks() {
+                src.read_block(b, &mut buf).unwrap();
+                for row in buf.rows() {
+                    assert_eq!(row, m.row(seen), "row {seen}");
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, 100);
+        // Manifest round-trips through save/load.
+        let loaded = ShardManifest::load(format!("{prefix}.manifest")).unwrap();
+        assert_eq!(loaded, manifest);
+    }
+
+    #[test]
+    fn split_rejects_impossible_requests() {
+        let m = matrix(10, 2);
+        let input = tmp("small.skmb");
+        write_block_file(&input, &m, 4).unwrap();
+        let prefix = tmp("small_out").to_string_lossy().into_owned();
+        // 10 rows cannot give 3 workers an 8-aligned range each.
+        assert!(matches!(
+            shard_block_file(&input, &prefix, 3, 8),
+            Err(DataError::InvalidParam(_))
+        ));
+        assert!(shard_block_file(&input, &prefix, 0, 8).is_err());
+        assert!(shard_block_file(&input, &prefix, 2, 0).is_err());
+    }
+
+    #[test]
+    fn manifest_validation_catches_corruption() {
+        let good = ShardManifest {
+            dim: 2,
+            total_rows: 16,
+            align: 8,
+            shards: vec![
+                ShardEntry {
+                    path: "a.skmb".into(),
+                    start_row: 0,
+                    rows: 8,
+                },
+                ShardEntry {
+                    path: "b.skmb".into(),
+                    start_row: 8,
+                    rows: 8,
+                },
+            ],
+        };
+        good.validate().unwrap();
+        let mut gap = good.clone();
+        gap.shards[1].start_row = 9;
+        assert!(gap.validate().is_err());
+        let mut short = good.clone();
+        short.total_rows = 20;
+        assert!(short.validate().is_err());
+        let mut misaligned = good.clone();
+        misaligned.align = 5;
+        assert!(misaligned.validate().is_err());
+    }
+
+    #[test]
+    fn manifest_load_rejects_garbage() {
+        let p = tmp("bad.manifest");
+        std::fs::write(&p, "NOTAMANIFEST\n").unwrap();
+        assert!(matches!(
+            ShardManifest::load(&p),
+            Err(DataError::Parse { .. })
+        ));
+        std::fs::write(&p, "SKMSHARD01\ndim 2\nrows x\n").unwrap();
+        assert!(ShardManifest::load(&p).is_err());
+    }
+}

@@ -57,6 +57,11 @@ pub struct JobStats {
     pub records_in: u64,
     /// Intermediate pairs shuffled.
     pub pairs_shuffled: u64,
+    /// Bytes moved through the shuffle. For the in-process model this is
+    /// the in-memory size of the shuffled pairs; a real cluster reports
+    /// bytes on the wire. The rounds-x-communication trade-off the paper's
+    /// §3.5 sketch implies is only visible with this field populated.
+    pub bytes_shuffled: u64,
     /// Distinct keys seen by the reduce phase.
     pub distinct_keys: usize,
     /// Measured wall time of the (parallel) map phase.
@@ -88,6 +93,7 @@ impl JobStats {
         self.map_tasks += other.map_tasks;
         self.records_in += other.records_in;
         self.pairs_shuffled += other.pairs_shuffled;
+        self.bytes_shuffled += other.bytes_shuffled;
         self.distinct_keys = self.distinct_keys.max(other.distinct_keys);
         self.map_wall += other.map_wall;
         self.shuffle_wall += other.shuffle_wall;
@@ -149,6 +155,7 @@ where
     let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
     for shard in shard_outputs {
         stats.pairs_shuffled += shard.len() as u64;
+        stats.bytes_shuffled += (shard.len() * std::mem::size_of::<(K, V)>()) as u64;
         for (k, v) in shard {
             groups.entry(k).or_default().push(v);
         }
@@ -193,6 +200,10 @@ mod tests {
         }
         assert_eq!(out.stats.records_in, 1000);
         assert_eq!(out.stats.pairs_shuffled, 1000);
+        assert_eq!(
+            out.stats.bytes_shuffled,
+            1000 * std::mem::size_of::<(u32, u64)>() as u64
+        );
         assert_eq!(out.stats.distinct_keys, 7);
         assert_eq!(out.stats.map_tasks, 8); // ceil(1000/128)
     }
@@ -268,6 +279,7 @@ mod tests {
             map_tasks: 100,
             records_in: 1_000_000,
             pairs_shuffled: 100,
+            bytes_shuffled: 1_600,
             distinct_keys: 1,
             map_wall: Duration::from_secs(10),
             shuffle_wall: Duration::from_secs(1),
@@ -287,6 +299,7 @@ mod tests {
             map_tasks: 1,
             records_in: 10,
             pairs_shuffled: 5,
+            bytes_shuffled: 80,
             distinct_keys: 2,
             map_wall: Duration::from_secs(1),
             shuffle_wall: Duration::from_secs(1),
@@ -297,6 +310,7 @@ mod tests {
         assert_eq!(a.map_tasks, 2);
         assert_eq!(a.records_in, 20);
         assert_eq!(a.pairs_shuffled, 10);
+        assert_eq!(a.bytes_shuffled, 160);
         assert_eq!(a.map_wall, Duration::from_secs(2));
     }
 

@@ -74,13 +74,26 @@ impl Bencher {
     }
 }
 
+/// One completed benchmark's summary, collected on the [`Criterion`]
+/// driver so harnesses can post-process results (e.g. the machine-
+/// readable `BENCH_cluster.json` emitted by `benches/cluster.rs`).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// `group/id` of the benchmark.
+    pub id: String,
+    /// Median over the timed samples.
+    pub median: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -123,6 +136,11 @@ impl BenchmarkGroup<'_> {
             median,
             sorted.len()
         );
+        self.criterion.records.push(BenchRecord {
+            id: format!("{}/{}", self.name, id),
+            median,
+            samples: sorted.len(),
+        });
     }
 
     /// Benchmarks `f` under `id` within this group.
@@ -154,7 +172,9 @@ impl BenchmarkGroup<'_> {
 
 /// Top-level benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
 
 impl Criterion {
     /// Starts a new benchmark group.
@@ -164,8 +184,13 @@ impl Criterion {
             sample_size: 10,
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_secs(1),
-            _criterion: self,
+            criterion: self,
         }
+    }
+
+    /// Every benchmark completed so far, in run order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
     }
 
     /// Benchmarks `f` outside any group.
@@ -221,5 +246,24 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+
+    #[test]
+    fn records_are_collected_for_post_processing() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(4));
+            g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_function("b", |b| b.iter(|| black_box(2 + 2)));
+            g.finish();
+        }
+        let records = c.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "grp/a");
+        assert_eq!(records[1].id, "grp/b");
+        assert!(records.iter().all(|r| r.samples == 2));
     }
 }

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use kmeans_cluster as cluster;
 pub use kmeans_core as core;
 pub use kmeans_data as data;
 pub use kmeans_par as par;
@@ -79,6 +80,9 @@ pub use kmeans_core::{
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
+    pub use kmeans_cluster::{
+        Cluster, DistInit, DistRefine, FitDistributed, Worker as ClusterWorker,
+    };
     pub use kmeans_core::accel::{hamerly_lloyd, HamerlyResult};
     pub use kmeans_core::init::{
         InitMethod, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
