@@ -1,0 +1,189 @@
+//! The batch assignment kernel vs the scalar per-point path on
+//! GaussMixture workloads — the headline single-node speedup of the
+//! kernel PR, recorded machine-readably in `BENCH_kernels.json`
+//! (kernel / n / d / k / tile / wall_ns / distance_computations /
+//! pruned), merged with the pair-level records from
+//! `benches/distance.rs`. (`tile` records the kernel's resident
+//! candidate-feature block in bytes — the structure that replaced center
+//! tiling; 0 for the untiled scalar path.)
+//!
+//! Results are bit-identical by contract (asserted up front on every
+//! configuration — a diverging kernel would make the numbers
+//! meaningless), so every delta is pure bound-based pruning: the sorted
+//! sweep's wholesale side stops plus the per-candidate coordinate-gap
+//! and norm filters.
+//!
+//! `KMEANS_BENCH_QUICK=1` shrinks the grid and measurement windows for
+//! the CI smoke, which relies on the always-on assertion that the norm
+//! bound actually prunes on the Gaussian-mixture workload.
+
+use criterion::Criterion;
+use kmeans_bench::bench_json::{write_merged, KernelRecord};
+use kmeans_core::distance::nearest;
+use kmeans_core::kernel::AssignKernel;
+use kmeans_data::synth::GaussMixture;
+use kmeans_data::PointMatrix;
+use std::path::Path;
+use std::time::Duration;
+
+fn scalar_assign(points: &PointMatrix, centers: &PointMatrix, labels: &mut [u32], d2: &mut [f64]) {
+    for (i, row) in points.rows().enumerate() {
+        let (c, dist) = nearest(row, centers);
+        labels[i] = c as u32;
+        d2[i] = dist;
+    }
+}
+
+struct Config {
+    n: usize,
+    d: usize,
+    k: usize,
+}
+
+fn main() {
+    let quick = std::env::var("KMEANS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let configs: &[Config] = if quick {
+        &[Config {
+            n: 2_048,
+            d: 16,
+            k: 64,
+        }]
+    } else {
+        &[
+            Config {
+                n: 8_192,
+                d: 16,
+                k: 64,
+            },
+            Config {
+                n: 8_192,
+                d: 16,
+                k: 256,
+            },
+            Config {
+                n: 8_192,
+                d: 42,
+                k: 64,
+            },
+            Config {
+                n: 8_192,
+                d: 42,
+                k: 256,
+            },
+        ]
+    };
+
+    let mut c = Criterion::default();
+    let mut records: Vec<KernelRecord> = Vec::new();
+
+    for cfg in configs {
+        let synth = GaussMixture::new(cfg.k)
+            .dim(cfg.d)
+            .points(cfg.n)
+            .center_variance(100.0) // the paper's hard separation setting
+            .generate(7)
+            .unwrap();
+        let points = synth.dataset.points().clone();
+        // Centers as a refinement pass sees them: the true mixture
+        // centers (any converging Lloyd run spends most of its passes
+        // near them).
+        let centers = synth.true_centers.clone();
+        // The kernel's resident per-candidate feature block (norm + two
+        // coordinates + index), reported as the `tile` axis.
+        let feature_bytes = cfg.k * (3 * 8 + 4);
+
+        // Parity gate: the kernel must reproduce the scalar path bitwise.
+        let mut ref_labels = vec![0u32; cfg.n];
+        let mut ref_d2 = vec![0.0f64; cfg.n];
+        scalar_assign(&points, &centers, &mut ref_labels, &mut ref_d2);
+        let kernel = AssignKernel::new(&centers);
+        let mut labels = vec![0u32; cfg.n];
+        let mut d2 = vec![0.0f64; cfg.n];
+        let stats = kernel.assign(&points, 0..cfg.n, &mut labels, &mut d2);
+        assert_eq!(labels, ref_labels, "kernel diverged");
+        let bits: Vec<u64> = d2.iter().map(|v| v.to_bits()).collect();
+        let ref_bits: Vec<u64> = ref_d2.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, ref_bits, "kernel d2 diverged");
+        assert!(
+            stats.pruned_by_norm_bound > 0,
+            "kernel bounds pruned nothing on GaussMixture n={} d={} k={}",
+            cfg.n,
+            cfg.d,
+            cfg.k
+        );
+
+        // Time scalar vs kernel, annotating each record with its work
+        // counters through the shim's BenchRecord plumbing.
+        let pairs = (cfg.n * cfg.k) as u64;
+        let group_name = format!("assign_n{}_d{}_k{}", cfg.n, cfg.d, cfg.k);
+        {
+            let mut group = c.benchmark_group(&group_name);
+            let (samples, measure) = if quick { (5, 400) } else { (15, 3_000) };
+            group
+                .sample_size(samples)
+                .warm_up_time(Duration::from_millis(if quick { 50 } else { 300 }))
+                .measurement_time(Duration::from_millis(measure));
+
+            group
+                .bench_function("scalar_per_point", |b| {
+                    b.iter(|| scalar_assign(&points, &centers, &mut labels, &mut d2))
+                })
+                // The scalar path computes/abandons per pair but has no
+                // counter plumbing; report the analytic pair count.
+                .annotate_last("distance_computations", pairs as f64)
+                .annotate_last("pruned", 0.0)
+                .annotate_last("tile", 0.0);
+            group
+                .bench_function("kernel", |b| {
+                    b.iter(|| kernel.assign(&points, 0..cfg.n, &mut labels, &mut d2))
+                })
+                .annotate_last("distance_computations", stats.distance_computations as f64)
+                .annotate_last("pruned", stats.pruned_by_norm_bound as f64)
+                .annotate_last("tile", feature_bytes as f64);
+            group.finish();
+        }
+
+        // Collect the annotated records for this group into the artifact.
+        let mut scalar_ns = 0u128;
+        for record in c.records().iter().filter(|r| r.id.starts_with(&group_name)) {
+            let scalar = record.id.ends_with("scalar_per_point");
+            if scalar {
+                scalar_ns = record.median.as_nanos();
+            }
+            records.push(KernelRecord {
+                id: record.id.clone(),
+                kernel: if scalar {
+                    "scalar_per_point"
+                } else {
+                    "assign_kernel"
+                }
+                .to_string(),
+                n: cfg.n,
+                d: cfg.d,
+                k: cfg.k,
+                tile: record.metric("tile").unwrap_or(0.0) as usize,
+                wall_ns: record.median.as_nanos(),
+                distance_computations: record
+                    .metric("distance_computations")
+                    .unwrap_or(pairs as f64) as u64,
+                pruned: record.metric("pruned").unwrap_or(0.0) as u64,
+            });
+            if !scalar && scalar_ns > 0 {
+                // Speedup summary for the scrollback (the acceptance
+                // observable).
+                println!(
+                    "{}: speedup {:.2}x over scalar ({:.1}% of pairs bound-pruned)",
+                    record.id,
+                    scalar_ns as f64 / record.median.as_nanos() as f64,
+                    100.0 * record.metric("pruned").unwrap_or(0.0) / pairs as f64,
+                );
+            }
+        }
+    }
+
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernels.json"
+    ));
+    write_merged(path, &records);
+}

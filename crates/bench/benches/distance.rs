@@ -1,10 +1,17 @@
 //! Micro-bench: the squared-distance kernel and nearest-center scan at the
 //! paper's dimensionalities (GaussMixture d=15, KDD d=42, Spam d=58).
+//!
+//! Contributes the pair-level baseline records to `BENCH_kernels.json`
+//! (merged with the batch-kernel records from `benches/assign_kernel.rs`),
+//! so the perf trajectory of the distance layer is machine-readable
+//! across PRs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, BenchmarkId, Criterion};
+use kmeans_bench::bench_json::{write_merged, KernelRecord};
 use kmeans_core::distance::{nearest, sq_dist, sq_dist_bounded};
 use kmeans_data::PointMatrix;
 use kmeans_util::Rng;
+use std::path::Path;
 use std::time::Duration;
 
 fn random_vec(dim: usize, rng: &mut Rng) -> Vec<f64> {
@@ -52,5 +59,44 @@ fn bench_nearest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sq_dist, bench_nearest);
-criterion_main!(benches);
+/// Parses the configuration axes back out of a record id
+/// (`sq_dist/plain/15` → d = 15; `nearest_center/pruned_scan/100` → k).
+fn record_for(id: &str, wall_ns: u128) -> KernelRecord {
+    let param: usize = id.rsplit('/').next().and_then(|p| p.parse().ok()).unwrap();
+    let (kernel, n, d, k) = if id.starts_with("sq_dist/plain") {
+        ("sq_dist", 1, param, 0)
+    } else if id.starts_with("sq_dist/bounded_inf") {
+        ("sq_dist_bounded", 1, param, 0)
+    } else {
+        ("scalar_nearest_1pt", 1, 42, param)
+    };
+    KernelRecord {
+        id: id.to_string(),
+        kernel: kernel.to_string(),
+        n,
+        d,
+        k,
+        tile: 0, // scalar paths are untiled
+        wall_ns,
+        // Pair-level micro-benches: one evaluation per pair / k per scan
+        // (analytic; the scalar scan has no counter plumbing).
+        distance_computations: if k == 0 { 1 } else { k as u64 },
+        pruned: 0,
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_sq_dist(&mut c);
+    bench_nearest(&mut c);
+    let records: Vec<KernelRecord> = c
+        .records()
+        .iter()
+        .map(|r| record_for(&r.id, r.median.as_nanos()))
+        .collect();
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernels.json"
+    ));
+    write_merged(path, &records);
+}

@@ -1,0 +1,140 @@
+//! Shared writer for the workspace's machine-readable bench artifacts.
+//!
+//! Multiple bench binaries contribute to one JSON file (the kernel
+//! trajectory `BENCH_kernels.json` is fed by both `benches/distance.rs`
+//! and `benches/assign_kernel.rs`), so the writer **merges by record id**:
+//! it keeps existing records whose id is not being re-reported, replaces
+//! those that are, and appends the rest — successive `cargo bench` runs
+//! converge on one complete snapshot instead of clobbering each other.
+//!
+//! The format is deliberately rigid (one record per line, fixed fields)
+//! so it can be parsed back without a JSON dependency.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One kernel-bench record: a benchmark identity, its configuration axes,
+/// the median wall time, and the kernel work counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelRecord {
+    /// Unique record id (`group/bench/param`); the merge key.
+    pub id: String,
+    /// Kernel / code path being measured (e.g. `"assign_kernel"`,
+    /// `"scalar_nearest"`, `"sq_dist"`).
+    pub kernel: String,
+    /// Points in the workload (1 for pair-level micro-benches).
+    pub n: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Centers (0 where not applicable).
+    pub k: usize,
+    /// Center-tile size (0 for untiled scalar paths).
+    pub tile: usize,
+    /// Median wall time in nanoseconds.
+    pub wall_ns: u128,
+    /// Point–center distance evaluations actually performed per run.
+    pub distance_computations: u64,
+    /// Candidates skipped by the norm lower bound per run.
+    pub pruned: u64,
+}
+
+impl KernelRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "  {{\"id\": \"{}\", \"kernel\": \"{}\", \"n\": {}, \"d\": {}, \"k\": {}, \
+             \"tile\": {}, \"wall_ns\": {}, \"distance_computations\": {}, \"pruned\": {}}}",
+            escape_free(&self.id),
+            escape_free(&self.kernel),
+            self.n,
+            self.d,
+            self.k,
+            self.tile,
+            self.wall_ns,
+            self.distance_computations,
+            self.pruned,
+        )
+    }
+}
+
+fn escape_free(s: &str) -> &str {
+    debug_assert!(
+        !s.contains('"') && !s.contains('\\'),
+        "bench ids stay in the JSON-safe subset"
+    );
+    s
+}
+
+/// Extracts the `"id"` value from one record line written by this module.
+fn line_id(line: &str) -> Option<&str> {
+    let rest = line.split("\"id\": \"").nth(1)?;
+    rest.split('"').next()
+}
+
+/// Writes `records` into the JSON array at `path`, replacing any existing
+/// records with matching ids and keeping the rest (see module docs).
+///
+/// # Panics
+///
+/// Panics on I/O errors — bench harnesses have no error channel and a
+/// silently missing artifact is worse than an aborted bench run.
+pub fn write_merged(path: &Path, records: &[KernelRecord]) {
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let Some(id) = line_id(line) else { continue };
+            if records.iter().all(|r| r.id != id) {
+                lines.push(line.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    lines.extend(records.iter().map(|r| r.to_line()));
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    let mut file = std::fs::File::create(path).expect("create bench JSON artifact");
+    file.write_all(out.as_bytes())
+        .expect("write bench JSON artifact");
+    println!(
+        "wrote {} records ({} new/updated) -> {}",
+        lines.len(),
+        records.len(),
+        path.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, wall: u128) -> KernelRecord {
+        KernelRecord {
+            id: id.into(),
+            kernel: "assign_kernel".into(),
+            n: 100,
+            d: 16,
+            k: 64,
+            tile: 256,
+            wall_ns: wall,
+            distance_computations: 123,
+            pruned: 45,
+        }
+    }
+
+    #[test]
+    fn merge_replaces_matching_ids_and_keeps_others() {
+        let dir = std::env::temp_dir().join(format!("bench_json_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        write_merged(&path, &[record("a/x", 10), record("a/y", 20)]);
+        write_merged(&path, &[record("a/y", 99), record("b/z", 30)]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"id\": \"a/x\""), "{body}");
+        assert!(body.contains("\"wall_ns\": 99"), "replaced: {body}");
+        assert!(!body.contains("\"wall_ns\": 20"), "stale kept: {body}");
+        assert!(body.contains("\"id\": \"b/z\""), "{body}");
+        assert_eq!(body.matches("\"id\"").count(), 3);
+        // The artifact stays parseable line by line.
+        assert!(body.starts_with("[\n") && body.ends_with("]\n"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

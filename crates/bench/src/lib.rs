@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod bench_json;
 pub mod chart;
 pub mod exp;
 pub mod format;

@@ -312,6 +312,8 @@ pub fn dist_lloyd(
         iterations: history.len(),
         converged,
         assign_passes: history.len() + closing_pass,
+        // Workers prune locally but don't ship kernel counters.
+        pruned_by_norm_bound: 0,
         history,
         centers,
     })

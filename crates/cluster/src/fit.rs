@@ -143,6 +143,9 @@ impl DistRefine {
                 let r = dist_lloyd(cluster, centers, config)?;
                 Ok(RefineResult {
                     distance_computations: n * k * r.assign_passes as u64,
+                    // Workers don't ship kernel counters over the wire;
+                    // the norm-prune observable is a single-node metric.
+                    pruned_by_norm_bound: 0,
                     centers: r.centers,
                     labels: r.labels,
                     cost: r.cost,
@@ -161,6 +164,7 @@ impl DistRefine {
                     converged: true,
                     history: Vec::new(),
                     distance_computations: n * k,
+                    pruned_by_norm_bound: 0,
                 })
             }
         }
@@ -294,6 +298,7 @@ impl FitDistributed for KMeans {
             converged: result.converged,
             history: result.history,
             distance_computations: result.distance_computations,
+            pruned_by_norm_bound: result.pruned_by_norm_bound,
             init_name: dist_init.name(),
             refiner_name: dist_refine.name(),
             executor: exec,

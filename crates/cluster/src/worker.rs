@@ -265,7 +265,9 @@ impl Worker {
                 })
             }
             Message::Assign { centers } => {
-                let (labels, shards) =
+                // Kernel counters stay worker-local; only the partials go
+                // on the (unchanged) wire.
+                let (labels, shards, _stats) =
                     assign_partials_chunked(source, &centers, &s.exec, s.start_row, s.global_n)
                         .map_err(offset_err)?;
                 let reassigned = match &s.labels {

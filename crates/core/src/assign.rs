@@ -12,6 +12,7 @@
 //! a fixed number, so determinism across worker counts is preserved.
 
 use crate::distance::nearest;
+use crate::kernel::{AssignKernel, KernelStats};
 use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
 
@@ -32,6 +33,11 @@ pub struct ClusterSums {
     /// Globally farthest point from its center in each accumulation shard:
     /// `(point_index, d²)` — used for deterministic empty-cluster reseeding.
     pub farthest: Vec<(usize, f64)>,
+    /// Kernel work accounting for the pass (distance evaluations actually
+    /// performed and candidates skipped by the norm bound). Deterministic
+    /// across thread counts and block sizes; zero when the sums were
+    /// folded from wire partials that don't carry counters (distributed).
+    pub stats: KernelStats,
 }
 
 impl ClusterSums {
@@ -100,6 +106,7 @@ pub fn assign_and_sum(
     let k = centers.len();
     let d = points.dim();
     let exec = sum_executor(exec, points.len());
+    let kernel = AssignKernel::new(centers);
 
     struct Partial {
         labels: Vec<u32>,
@@ -107,25 +114,30 @@ pub fn assign_and_sum(
         counts: Vec<u64>,
         cost: f64,
         farthest: (usize, f64),
+        stats: KernelStats,
     }
 
     let partials: Vec<Partial> = exec.map_shards(points.len(), |_, range| {
-        let mut labels = Vec::with_capacity(range.len());
+        // Batched nearest-center pass (tiled + norm-pruned; bit-identical
+        // to the per-point scalar scan), then one accumulation sweep over
+        // the still-warm rows.
+        let mut labels = vec![0u32; range.len()];
+        let mut d2 = vec![0.0f64; range.len()];
+        let stats = kernel.assign(points, range.clone(), &mut labels, &mut d2);
         let mut sums = vec![0.0f64; k * d];
         let mut counts = vec![0u64; k];
         let mut cost = 0.0;
         let mut farthest = (usize::MAX, f64::NEG_INFINITY);
-        for i in range {
-            let row = points.row(i);
-            let (c, d2) = nearest(row, centers);
-            labels.push(c as u32);
+        for (off, i) in range.enumerate() {
+            let c = labels[off] as usize;
+            let dist = d2[off];
             counts[c] += 1;
-            cost += d2;
-            if d2 > farthest.1 {
-                farthest = (i, d2);
+            cost += dist;
+            if dist > farthest.1 {
+                farthest = (i, dist);
             }
             let dst = &mut sums[c * d..(c + 1) * d];
-            for (acc, &v) in dst.iter_mut().zip(row) {
+            for (acc, &v) in dst.iter_mut().zip(points.row(i)) {
                 *acc += v;
             }
         }
@@ -135,6 +147,7 @@ pub fn assign_and_sum(
             counts,
             cost,
             farthest,
+            stats,
         }
     });
 
@@ -144,6 +157,7 @@ pub fn assign_and_sum(
         counts: vec![0; k],
         cost: 0.0,
         farthest: Vec::with_capacity(partials.len()),
+        stats: KernelStats::default(),
     };
     for p in partials {
         labels.extend_from_slice(&p.labels);
@@ -157,6 +171,7 @@ pub fn assign_and_sum(
         if p.farthest.0 != usize::MAX {
             out.farthest.push(p.farthest);
         }
+        out.stats.absorb(p.stats);
     }
     (labels, out)
 }

@@ -28,9 +28,9 @@
 //!    executor's exact shard boundaries across block edges.
 
 use crate::assign::{sum_shard_size, ClusterSums};
-use crate::distance::{nearest, sq_dist_bounded};
 use crate::error::KMeansError;
 use crate::init::{InitResult, InitStats};
+use crate::kernel::{AssignKernel, KernelStats};
 use crate::lloyd::{IterationStats, LloydConfig, LloydResult};
 use crate::minibatch::MiniBatchConfig;
 use kmeans_data::{ChunkedSource, DataError, PointMatrix};
@@ -195,16 +195,18 @@ pub fn potential_shard_sums(
     }
     let mut buf = source.block_buffer();
     let mut d2 = vec![0.0f64; source.block_rows()];
+    let mut labels = vec![0u32; source.block_rows()];
     let mut folder = ShardSum::new(exec.shard_spec().shard_size());
+    let kernel = AssignKernel::new(centers);
     for_each_block(source, &mut buf, |_b, start, block| {
         check_block_finite(block, start)?;
-        let chunk = &mut d2[..block.len()];
-        exec.update_shards(chunk, |_, local, slots| {
-            for (off, slot) in slots.iter_mut().enumerate() {
-                *slot = nearest(block.row(local + off), centers).1;
-            }
+        let end = block.len();
+        // One reused label scratch per pass (shard-aligned chunks of it),
+        // not one allocation per shard per block.
+        exec.update_shards2(&mut labels[..end], &mut d2[..end], |_, local, cl, cd| {
+            kernel.assign(block, local..local + cl.len(), cl, cd);
         });
-        for &v in chunk.iter() {
+        for &v in d2[..end].iter() {
             folder.push(v);
         }
         Ok(())
@@ -256,6 +258,7 @@ impl ChunkedCostTracker {
         let mut d2 = vec![0.0f64; n];
         let mut nearest_id = vec![0u32; n];
         let mut buf = source.block_buffer();
+        let kernel = AssignKernel::new(centers);
         for_each_block(source, &mut buf, |_b, start, block| {
             check_block_finite(block, start)?;
             let end = start + block.len();
@@ -263,11 +266,7 @@ impl ChunkedCostTracker {
                 &mut d2[start..end],
                 &mut nearest_id[start..end],
                 |_, local, cd, cn| {
-                    for (off, (slot_d, slot_n)) in cd.iter_mut().zip(cn.iter_mut()).enumerate() {
-                        let (idx, dist) = nearest(block.row(local + off), centers);
-                        *slot_d = dist;
-                        *slot_n = idx as u32;
-                    }
+                    kernel.assign(block, local..local + cd.len(), cn, cd);
                 },
             );
             Ok(())
@@ -302,28 +301,16 @@ impl ChunkedCostTracker {
         let mut buf = source.block_buffer();
         let d2 = &mut self.d2;
         let nearest_id = &mut self.nearest_id;
+        // Suffix scan pruned by the carried best — the exact arithmetic of
+        // the in-memory tracker, via the same kernel.
+        let kernel = AssignKernel::suffix(centers, from);
         for_each_block(source, &mut buf, |_b, start, block| {
             let end = start + block.len();
             exec.update_shards2(
                 &mut d2[start..end],
                 &mut nearest_id[start..end],
                 |_, local, cd, cn| {
-                    for (off, (slot_d, slot_n)) in cd.iter_mut().zip(cn.iter_mut()).enumerate() {
-                        let row = block.row(local + off);
-                        let mut best = *slot_d;
-                        let mut best_id = u32::MAX;
-                        for c in from..centers.len() {
-                            let dist = sq_dist_bounded(row, centers.row(c), best);
-                            if dist < best {
-                                best = dist;
-                                best_id = c as u32;
-                            }
-                        }
-                        if best_id != u32::MAX {
-                            *slot_d = best;
-                            *slot_n = best_id;
-                        }
-                    }
+                    kernel.update(block, local..local + cd.len(), cn, cd);
                 },
             );
             Ok(())
@@ -437,11 +424,11 @@ pub fn assign_and_sum_chunked(
 ) -> Result<(Vec<u32>, ClusterSums), KMeansError> {
     // assign_partials_chunked with offset 0 / global_n = len performs
     // exactly the validate_refine_inputs_chunked checks.
-    let (labels, partials) = assign_partials_chunked(source, centers, exec, 0, source.len())?;
-    Ok((
-        labels,
-        fold_accum_shards(centers.len(), source.dim(), &partials),
-    ))
+    let (labels, partials, stats) =
+        assign_partials_chunked(source, centers, exec, 0, source.len())?;
+    let mut sums = fold_accum_shards(centers.len(), source.dim(), &partials);
+    sums.stats = stats;
+    Ok((labels, sums))
 }
 
 /// One accumulation shard's partial from an assignment pass: per-cluster
@@ -482,13 +469,17 @@ impl AccumShard {
 /// ship the partials; the coordinator concatenates them in worker order
 /// and folds with [`fold_accum_shards`] — reproducing the in-memory
 /// [`crate::assign::assign_and_sum`] fold bit for bit.
+///
+/// The returned [`KernelStats`] account for this pass's local kernel work
+/// (distance evaluations performed / norm-bound prunes); they stay local —
+/// the wire [`AccumShard`] format does not carry them.
 pub fn assign_partials_chunked(
     source: &dyn ChunkedSource,
     centers: &PointMatrix,
     exec: &Executor,
     row_offset: usize,
     global_n: usize,
-) -> Result<(Vec<u32>, Vec<AccumShard>), KMeansError> {
+) -> Result<(Vec<u32>, Vec<AccumShard>, KernelStats), KMeansError> {
     if source.is_empty() {
         return Err(KMeansError::EmptyInput);
     }
@@ -517,16 +508,18 @@ pub fn assign_partials_chunked(
     // `sum_size` after `row_offset` (aligned offsets make this `sum_size`).
     let mut shard_end = sum_size - row_offset % sum_size;
     let mut buf = source.block_buffer();
+    let kernel = AssignKernel::new(centers);
+    let mut stats = KernelStats::default();
     for_each_block(source, &mut buf, |_b, start, block| {
         let end = start + block.len();
         let chunk = &mut d2[..block.len()];
-        exec.update_shards2(&mut labels[start..end], chunk, |_, local, cl, cd| {
-            for (off, (slot_l, slot_d)) in cl.iter_mut().zip(cd.iter_mut()).enumerate() {
-                let (c, dist) = nearest(block.row(local + off), centers);
-                *slot_l = c as u32;
-                *slot_d = dist;
-            }
-        });
+        let shard_stats =
+            exec.update_map_shards2(&mut labels[start..end], chunk, |_, local, cl, cd| {
+                kernel.assign(block, local..local + cl.len(), cl, cd)
+            });
+        for s in shard_stats {
+            stats.absorb(s);
+        }
         for (off, &dist) in d2[..block.len()].iter().enumerate() {
             let gi = start + off;
             if gi == shard_end {
@@ -547,18 +540,21 @@ pub fn assign_partials_chunked(
         Ok(())
     })?;
     partials.push(partial);
-    Ok((labels, partials))
+    Ok((labels, partials, stats))
 }
 
 /// Folds accumulation-shard partials (in shard order) into one
 /// [`ClusterSums`] — the exact reducer of the in-memory
-/// [`crate::assign::assign_and_sum`] pass.
+/// [`crate::assign::assign_and_sum`] pass. Wire partials carry no kernel
+/// counters, so the folded `stats` start at zero; local callers that have
+/// them ([`assign_and_sum_chunked`]) stamp them afterwards.
 pub fn fold_accum_shards(k: usize, d: usize, shards: &[AccumShard]) -> ClusterSums {
     let mut out = ClusterSums {
         sums: vec![0.0; k * d],
         counts: vec![0; k],
         cost: 0.0,
         farthest: Vec::new(),
+        stats: KernelStats::default(),
     };
     for p in shards {
         for (acc, v) in out.sums.iter_mut().zip(&p.sums) {
@@ -595,11 +591,13 @@ pub fn lloyd_chunked(
     let mut prev_cost = f64::INFINITY;
     let mut history = Vec::new();
     let mut converged = false;
+    let mut pruned = 0u64;
     let mut stable_exit = false;
     let mut buf = source.block_buffer();
 
     for _ in 0..config.max_iterations {
         let (labels, sums) = assign_and_sum_chunked(source, &centers, exec)?;
+        pruned += sums.stats.pruned_by_norm_bound;
         let reassigned = match &prev_labels {
             None => source.len() as u64,
             Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
@@ -664,6 +662,7 @@ pub fn lloyd_chunked(
         (Some(labels), true) => (labels.clone(), prev_cost, 0),
         _ => {
             let (labels, sums) = assign_and_sum_chunked(source, &centers, exec)?;
+            pruned += sums.stats.pruned_by_norm_bound;
             (labels, sums.cost, 1)
         }
     };
@@ -674,6 +673,7 @@ pub fn lloyd_chunked(
         iterations: history.len(),
         converged,
         assign_passes: history.len() + closing_pass,
+        pruned_by_norm_bound: pruned,
         history,
         centers,
     })
@@ -694,6 +694,17 @@ pub fn minibatch_chunked(
     config: &MiniBatchConfig,
     seed: u64,
 ) -> Result<PointMatrix, KMeansError> {
+    Ok(minibatch_chunked_traced(source, initial_centers, config, seed)?.0)
+}
+
+/// [`minibatch_chunked`] with kernel work accounting: also returns the
+/// batch-assignment [`KernelStats`] accumulated across all steps.
+pub fn minibatch_chunked_traced(
+    source: &dyn ChunkedSource,
+    initial_centers: &PointMatrix,
+    config: &MiniBatchConfig,
+    seed: u64,
+) -> Result<(PointMatrix, KernelStats), KMeansError> {
     validate_refine_inputs_chunked(source, initial_centers)?;
     if config.batch_size == 0 || config.iterations == 0 {
         return Err(KMeansError::InvalidConfig(
@@ -705,6 +716,9 @@ pub fn minibatch_chunked(
     let mut seen = vec![0u64; centers.len()];
     let mut rng = Rng::derive(seed, &[40]);
     let mut batch = vec![0usize; config.batch_size];
+    let mut labels = vec![0u32; config.batch_size];
+    let mut d2 = vec![0.0f64; config.batch_size];
+    let mut stats = KernelStats::default();
     let mut buf = source.block_buffer();
     for _ in 0..config.iterations {
         for slot in &mut batch {
@@ -713,8 +727,12 @@ pub fn minibatch_chunked(
         let rows = gather_rows(source, &batch, &mut buf)?;
         // Assign against frozen centers, then apply the gradient steps in
         // batch order — Sculley's two-phase step, same as in-memory.
-        let assigned: Vec<usize> = rows.rows().map(|row| nearest(row, &centers).0).collect();
-        for (j, &c) in assigned.iter().enumerate() {
+        {
+            let kernel = AssignKernel::new(&centers);
+            stats.absorb(kernel.assign(&rows, 0..rows.len(), &mut labels, &mut d2));
+        }
+        for (j, &c) in labels.iter().enumerate() {
+            let c = c as usize;
             seen[c] += 1;
             let eta = 1.0 / seen[c] as f64;
             let row = rows.row(j);
@@ -724,7 +742,7 @@ pub fn minibatch_chunked(
             }
         }
     }
-    Ok(centers)
+    Ok((centers, stats))
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@
 //!
 //! All passes run on the deterministic shard executor.
 
-use crate::distance::{nearest, sq_dist_bounded};
+use crate::distance::nearest;
+use crate::kernel::AssignKernel;
 use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
 
@@ -28,14 +29,16 @@ use kmeans_par::Executor;
 pub fn potential(points: &PointMatrix, centers: &PointMatrix, exec: &Executor) -> f64 {
     assert!(!centers.is_empty(), "potential: no centers");
     assert_eq!(points.dim(), centers.dim(), "potential: dim mismatch");
+    let kernel = AssignKernel::new(centers);
     exec.map_reduce(
         points.len(),
         |_, range| {
-            let mut sum = 0.0;
-            for i in range {
-                sum += nearest(points.row(i), centers).1;
-            }
-            sum
+            // Kernel pass per shard; the d² values (and the sum order)
+            // are bit-identical to the old per-point scalar loop.
+            let mut labels = vec![0u32; range.len()];
+            let mut d2 = vec![0.0f64; range.len()];
+            kernel.assign(points, range, &mut labels, &mut d2);
+            d2.iter().sum::<f64>()
         },
         |a, b| a + b,
     )
@@ -78,12 +81,9 @@ impl<'a> CostTracker<'a> {
         let n = points.len();
         let mut d2 = vec![0.0f64; n];
         let mut nearest_id = vec![0u32; n];
+        let kernel = AssignKernel::new(centers);
         exec.update_shards2(&mut d2, &mut nearest_id, |_, start, cd, cn| {
-            for (off, (slot_d, slot_n)) in cd.iter_mut().zip(cn.iter_mut()).enumerate() {
-                let (idx, dist) = nearest(points.row(start + off), centers);
-                *slot_d = dist;
-                *slot_n = idx as u32;
-            }
+            kernel.assign(points, start..start + cd.len(), cn, cd);
         });
         let mut tracker = CostTracker {
             points,
@@ -110,24 +110,11 @@ impl<'a> CostTracker<'a> {
             return;
         }
         let points = self.points;
+        // Scan only the new suffix, pruned by the carried best (norm bound
+        // first, partial-distance abandon inside) — same bits as before.
+        let kernel = AssignKernel::suffix(centers, from);
         exec.update_shards2(&mut self.d2, &mut self.nearest_id, |_, start, cd, cn| {
-            for (off, (slot_d, slot_n)) in cd.iter_mut().zip(cn.iter_mut()).enumerate() {
-                let row = points.row(start + off);
-                // Scan only the new suffix, pruned by the current best.
-                let mut best = *slot_d;
-                let mut best_id = u32::MAX;
-                for c in from..centers.len() {
-                    let d = sq_dist_bounded(row, centers.row(c), best);
-                    if d < best {
-                        best = d;
-                        best_id = c as u32;
-                    }
-                }
-                if best_id != u32::MAX {
-                    *slot_d = best;
-                    *slot_n = best_id;
-                }
-            }
+            kernel.update(points, start..start + cd.len(), cn, cd);
         });
         self.resum(exec);
     }

@@ -78,13 +78,50 @@ pub fn nearest(point: &[f64], centers: &PointMatrix) -> (usize, f64) {
     (best, best_d2)
 }
 
+/// One 8-coordinate block of the bounded squared-distance accumulation:
+/// the *sequential* local sum `(((d₀²+d₁²)+d₂²)+…)+d₇²` that
+/// [`sq_dist_bounded`] adds onto its running accumulator once per chunk.
+///
+/// This is the workspace's **signature accumulation order** for
+/// nearest-center scans: every value [`nearest`] can return was produced
+/// by these exact operations in this exact sequence, and the batch kernel
+/// ([`crate::kernel`]) calls the same helper per point–center pair so the
+/// two paths cannot drift. Callers pass equal-length slices (normally 8
+/// coordinates from `chunks_exact(8)`).
+#[inline(always)]
+pub(crate) fn sq_chunk8(a: &[f64], b: &[f64]) -> f64 {
+    let mut local = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        local += d * d;
+    }
+    local
+}
+
+/// The remainder (`len % 8` coordinates) of the bounded squared-distance
+/// accumulation: each squared difference is added **directly onto the
+/// running accumulator**, element by element — a different order than
+/// summing the tail locally first, and therefore kept as its own shared
+/// helper (see [`sq_chunk8`]).
+#[inline(always)]
+pub(crate) fn sq_tail(acc: &mut f64, a: &[f64], b: &[f64]) {
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        *acc += d * d;
+    }
+}
+
 /// Like [`sq_dist`], but abandons early once the partial sum exceeds
 /// `bound` (returning a value `≥ bound`). This "partial distance" pruning
 /// is the classic nearest-neighbor trick; with hundreds of candidate
 /// centers (Step 7 of Algorithm 2) it skips most of each row.
 ///
 /// Shares [`sq_dist`]'s length contract: mismatched slices are truncated
-/// to the common prefix, explicitly and in every build profile.
+/// to the common prefix, explicitly and in every build profile. The
+/// accumulation itself is built from the shared `sq_chunk8`/`sq_tail`
+/// helpers, the same ones the batch kernel ([`crate::kernel`]) uses — a
+/// single definition of the per-pair operation order, so the scalar and
+/// batched paths stay bit-identical by construction.
 #[inline]
 pub fn sq_dist_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
     if a.len() != b.len() {
@@ -97,20 +134,12 @@ pub fn sq_dist_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
     let mut chunks_a = a.chunks_exact(8);
     let mut chunks_b = b.chunks_exact(8);
     for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        let mut local = 0.0;
-        for (x, y) in ca.iter().zip(cb) {
-            let d = x - y;
-            local += d * d;
-        }
-        acc += local;
+        acc += sq_chunk8(ca, cb);
         if acc >= bound {
             return acc;
         }
     }
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        let d = x - y;
-        acc += d * d;
-    }
+    sq_tail(&mut acc, chunks_a.remainder(), chunks_b.remainder());
     acc
 }
 

@@ -17,6 +17,10 @@
 //!
 //! * [`distance`], [`cost`], [`assign`] — the `d²`/potential kernels and
 //!   the incremental [`cost::CostTracker`] all seeding builds on.
+//! * [`kernel`] — the tiled, register-blocked, norm-bound-pruned batch
+//!   assignment kernel every consumer above routes through — bit-identical
+//!   to the scalar path for any tile size (the hot-path engine of the
+//!   whole workspace).
 //! * [`chunked`] — the out-of-core kernels: every pass re-expressed as one
 //!   scan over a block-resident [`kmeans_data::ChunkedSource`] (§1's
 //!   "massive data" premise), bit-identical to the in-memory paths.
@@ -59,6 +63,7 @@
 //! | [`accel`] | extension (Hamerly 2010): exact pruned Lloyd |
 //! | [`minibatch`] | §7's question about Sculley \[31] |
 //! | [`assign`] | the §3.5 MapReduce assignment round |
+//! | [`kernel`] | the batch nearest-center engine behind all of the above |
 //! | [`chunked`] | §1's memory premise: every pass as one block scan |
 //! | [`metrics`] | §5 evaluation measures |
 //! | [`pipeline`], [`model`] | the seeding/refinement split of §1 as an API |
@@ -73,6 +78,7 @@ pub mod cost;
 pub mod distance;
 pub mod error;
 pub mod init;
+pub mod kernel;
 pub mod lloyd;
 pub mod metrics;
 pub mod minibatch;

@@ -87,8 +87,16 @@ pub struct LloydResult {
     pub history: Vec<IterationStats>,
     /// Full assignment passes executed, including the closing relabel
     /// pass when the loop did not end on a stable assignment. Distance
-    /// evaluations spent = `n · k · assign_passes`.
+    /// evaluations *offered* = `n · k · assign_passes`; of those,
+    /// `pruned_by_norm_bound` were skipped without touching coordinates.
     pub assign_passes: usize,
+    /// Point–center pairs the assignment kernel skipped via its `O(1)`
+    /// lower bounds — the norm bound `(‖x‖−‖c‖)²` and the coordinate
+    /// gaps, wholesale sorted-sweep stops included — summed over every
+    /// pass (the closing relabel included). Deterministic across thread
+    /// counts and block sizes; reported as 0 by the distributed
+    /// frontend, whose workers do not ship kernel counters.
+    pub pruned_by_norm_bound: u64,
 }
 
 /// Input contract shared by every refinement entry point (plain and
@@ -136,6 +144,7 @@ pub fn lloyd(
     let mut prev_cost = f64::INFINITY;
     let mut history = Vec::new();
     let mut converged = false;
+    let mut pruned = 0u64;
     // Whether the loop ended on a stable assignment (no centroid update
     // after the stored labels) — only then do they match the final
     // centers without a closing relabel pass. A tol-based stop applies
@@ -144,6 +153,7 @@ pub fn lloyd(
 
     for _ in 0..config.max_iterations {
         let (labels, sums) = assign_and_sum(points, &centers, exec);
+        pruned += sums.stats.pruned_by_norm_bound;
         let reassigned = match &prev_labels {
             None => points.len() as u64,
             Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
@@ -219,6 +229,7 @@ pub fn lloyd(
         // after the stored assignment: relabel against the final centers.
         _ => {
             let (labels, sums) = assign_and_sum(points, &centers, exec);
+            pruned += sums.stats.pruned_by_norm_bound;
             (labels, sums.cost, 1)
         }
     };
@@ -229,6 +240,7 @@ pub fn lloyd(
         iterations: history.len(),
         converged,
         assign_passes: history.len() + closing_pass,
+        pruned_by_norm_bound: pruned,
         history,
         centers,
     })

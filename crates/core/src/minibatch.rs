@@ -12,8 +12,8 @@
 //! full passes to place the centers well, after which mini-batch steps
 //! refine them touching only `O(batch · iters)` points.
 
-use crate::distance::nearest;
 use crate::error::KMeansError;
+use crate::kernel::{AssignKernel, KernelStats};
 use kmeans_data::PointMatrix;
 use kmeans_util::Rng;
 
@@ -49,6 +49,18 @@ pub fn minibatch_kmeans(
     config: &MiniBatchConfig,
     seed: u64,
 ) -> Result<PointMatrix, KMeansError> {
+    Ok(minibatch_kmeans_traced(points, initial_centers, config, seed)?.0)
+}
+
+/// [`minibatch_kmeans`] with kernel work accounting: also returns the
+/// batch-assignment [`KernelStats`] accumulated across all steps (the
+/// centers are bit-identical to the plain entry point's).
+pub fn minibatch_kmeans_traced(
+    points: &PointMatrix,
+    initial_centers: &PointMatrix,
+    config: &MiniBatchConfig,
+    seed: u64,
+) -> Result<(PointMatrix, KernelStats), KMeansError> {
     crate::lloyd::validate_refine_inputs(points, initial_centers)?;
     if config.batch_size == 0 || config.iterations == 0 {
         return Err(KMeansError::InvalidConfig(
@@ -60,17 +72,29 @@ pub fn minibatch_kmeans(
     let mut seen = vec![0u64; centers.len()];
     let mut rng = Rng::derive(seed, &[40]);
     let mut batch = vec![0usize; config.batch_size];
+    let mut gathered = PointMatrix::with_capacity(points.dim(), config.batch_size);
+    let mut labels = vec![0u32; config.batch_size];
+    let mut d2 = vec![0.0f64; config.batch_size];
+    let mut stats = KernelStats::default();
     for _ in 0..config.iterations {
+        gathered.clear();
         for slot in &mut batch {
             *slot = rng.range_usize(points.len());
         }
-        // Assign against frozen centers, then apply the gradient steps
+        for &i in &batch {
+            gathered
+                .push(points.row(i))
+                .expect("batch rows share the dataset dimensionality");
+        }
+        // Assign against frozen centers (one batched kernel pass — same
+        // bits as the old per-point scan), then apply the gradient steps
         // (Sculley's two-phase step avoids order dependence within a batch).
-        let assigned: Vec<usize> = batch
-            .iter()
-            .map(|&i| nearest(points.row(i), &centers).0)
-            .collect();
-        for (&i, &c) in batch.iter().zip(&assigned) {
+        {
+            let kernel = AssignKernel::new(&centers);
+            stats.absorb(kernel.assign(&gathered, 0..gathered.len(), &mut labels, &mut d2));
+        }
+        for (&i, &c) in batch.iter().zip(&labels) {
+            let c = c as usize;
             seen[c] += 1;
             let eta = 1.0 / seen[c] as f64;
             let row = points.row(i);
@@ -80,7 +104,7 @@ pub fn minibatch_kmeans(
             }
         }
     }
-    Ok(centers)
+    Ok((centers, stats))
 }
 
 #[cfg(test)]

@@ -241,6 +241,7 @@ impl KMeans {
             converged: result.converged,
             history: result.history,
             distance_computations: result.distance_computations,
+            pruned_by_norm_bound: result.pruned_by_norm_bound,
             init_name: self.init.name(),
             refiner_name: refiner.name(),
             executor: exec,
@@ -281,6 +282,7 @@ impl KMeans {
             converged: result.converged,
             history: result.history,
             distance_computations: result.distance_computations,
+            pruned_by_norm_bound: result.pruned_by_norm_bound,
             init_name: self.init.name(),
             refiner_name: refiner.name(),
             executor: exec,
@@ -299,6 +301,7 @@ pub struct KMeansModel {
     converged: bool,
     history: Vec<IterationStats>,
     distance_computations: u64,
+    pruned_by_norm_bound: u64,
     init_name: &'static str,
     refiner_name: &'static str,
     executor: Executor,
@@ -326,6 +329,10 @@ pub struct ModelParts {
     pub history: Vec<IterationStats>,
     /// Point-to-center distance evaluations spent by the refiner.
     pub distance_computations: u64,
+    /// Candidates the assignment kernel skipped via its norm/coordinate
+    /// lower bounds (0 where the frontend cannot measure it — e.g.
+    /// distributed).
+    pub pruned_by_norm_bound: u64,
     /// Stable name of the initializer.
     pub init_name: &'static str,
     /// Stable name of the refiner.
@@ -348,6 +355,7 @@ impl KMeansModel {
             converged: parts.converged,
             history: parts.history,
             distance_computations: parts.distance_computations,
+            pruned_by_norm_bound: parts.pruned_by_norm_bound,
             init_name: parts.init_name,
             refiner_name: parts.refiner_name,
             executor: parts.executor,
@@ -400,6 +408,16 @@ impl KMeansModel {
         self.distance_computations
     }
 
+    /// Candidates the batch assignment kernel skipped via its exact
+    /// `O(1)` lower bounds during refinement — the norm bound
+    /// `(‖x‖−‖c‖)²` plus the coordinate-gap bounds of the sorted sweep —
+    /// the second pruning observable next to
+    /// [`KMeansModel::distance_computations`]. Exactly reproducible:
+    /// thread counts and block sizes never change it.
+    pub fn pruned_by_norm_bound(&self) -> u64 {
+        self.pruned_by_norm_bound
+    }
+
     /// Name of the initializer that seeded this model.
     pub fn init_name(&self) -> &'static str {
         self.init_name
@@ -439,10 +457,12 @@ impl KMeansModel {
                 got: points.dim(),
             });
         }
+        let kernel = crate::kernel::AssignKernel::new(&self.centers);
         let shards: Vec<Vec<u32>> = self.executor.map_shards(points.len(), |_, range| {
-            range
-                .map(|i| crate::distance::nearest(points.row(i), &self.centers).0 as u32)
-                .collect()
+            let mut labels = vec![0u32; range.len()];
+            let mut d2 = vec![0.0f64; range.len()];
+            kernel.assign(points, range, &mut labels, &mut d2);
+            labels
         });
         Ok(shards.into_iter().flatten().collect())
     }
@@ -461,14 +481,16 @@ impl KMeansModel {
                 got: points.dim(),
             });
         }
+        let kernel = crate::kernel::AssignKernel::new(&self.centers);
         Ok(self
             .executor
             .map_reduce(
                 points.len(),
                 |_, range| {
-                    range
-                        .map(|i| crate::distance::nearest(points.row(i), &self.centers).1)
-                        .sum::<f64>()
+                    let mut labels = vec![0u32; range.len()];
+                    let mut d2 = vec![0.0f64; range.len()];
+                    kernel.assign(points, range, &mut labels, &mut d2);
+                    d2.iter().sum::<f64>()
                 },
                 |a, b| a + b,
             )

@@ -27,7 +27,7 @@
 use crate::accel::hamerly_lloyd;
 use crate::assign::{assign_and_sum, assign_weighted};
 use crate::chunked::{
-    assign_and_sum_chunked, finish_init_chunked, lloyd_chunked, minibatch_chunked,
+    assign_and_sum_chunked, finish_init_chunked, lloyd_chunked, minibatch_chunked_traced,
     validate_refine_inputs_chunked, validate_source,
 };
 use crate::cost::{potential, weighted_potential};
@@ -40,7 +40,7 @@ use crate::init::{kmeans_parallel_chunked, kmeanspp_chunked};
 use crate::lloyd::{
     lloyd, validate_refine_inputs, weighted_lloyd_traced, IterationStats, LloydConfig,
 };
-use crate::minibatch::{minibatch_kmeans, MiniBatchConfig};
+use crate::minibatch::{minibatch_kmeans_traced, MiniBatchConfig};
 use kmeans_data::{ChunkedSource, PointMatrix};
 use kmeans_par::Executor;
 use kmeans_util::sampling::{uniform_distinct, weighted_distinct};
@@ -187,6 +187,16 @@ pub struct RefineResult {
     /// pruned loop); analytic `n·k`-per-pass for the others. The ratio
     /// Lloyd/Hamerly at equal iterations is the pruning factor.
     pub distance_computations: u64,
+    /// Point–center pairs the batch assignment kernel skipped via its
+    /// exact `O(1)` lower bounds (the norm bound `(‖x‖−‖c‖)²` and the
+    /// coordinate gaps, wholesale sorted-sweep stops included) — the
+    /// second pruning observable, next to `distance_computations`.
+    /// Measured wherever the refiner runs on the kernel ([`Lloyd`]
+    /// unweighted/chunked, [`MiniBatch`], [`NoRefine`]); 0 for
+    /// [`HamerlyLloyd`] (its pruning is bound-based and already
+    /// reflected in `distance_computations`), the sequential weighted
+    /// paths, and the distributed frontend.
+    pub pruned_by_norm_bound: u64,
 }
 
 /// Validates an optional weight vector against the dataset.
@@ -512,6 +522,7 @@ impl Refiner for Lloyd {
                 // counts the closing relabel pass itself.
                 Ok(RefineResult {
                     distance_computations: n * k * r.assign_passes as u64,
+                    pruned_by_norm_bound: r.pruned_by_norm_bound,
                     centers: r.centers,
                     labels: r.labels,
                     cost: r.cost,
@@ -552,6 +563,9 @@ impl Refiner for Lloyd {
                     converged: trace.converged,
                     history: Vec::new(),
                     distance_computations: n * k * (trace.assign_passes as u64 + closing),
+                    // The weighted kernels are sequential scalar code on
+                    // candidate-set-sized data; no norm pruning there.
+                    pruned_by_norm_bound: 0,
                 })
             }
         }
@@ -569,6 +583,7 @@ impl Refiner for Lloyd {
         let r = lloyd_chunked(source, centers, &self.0, exec)?;
         Ok(RefineResult {
             distance_computations: n * k * r.assign_passes as u64,
+            pruned_by_norm_bound: r.pruned_by_norm_bound,
             centers: r.centers,
             labels: r.labels,
             cost: r.cost,
@@ -610,6 +625,7 @@ impl Refiner for HamerlyLloyd {
             // its own counter; add it so refiners are comparable.
             distance_computations: r.distance_computations
                 + points.len() as u64 * centers.len() as u64,
+            pruned_by_norm_bound: 0, // Hamerly prunes via bounds, counted above
             centers: r.centers,
             labels: r.labels,
             cost: r.cost,
@@ -644,7 +660,7 @@ impl Refiner for MiniBatch {
     ) -> Result<RefineResult, KMeansError> {
         reject_weights("minibatch", weights)?;
         let k = centers.len() as u64;
-        let refined = minibatch_kmeans(points, centers, &self.0, seed)?;
+        let (refined, batch_stats) = minibatch_kmeans_traced(points, centers, &self.0, seed)?;
         let (labels, sums) = assign_and_sum(points, &refined, exec);
         Ok(RefineResult {
             centers: refined,
@@ -655,6 +671,8 @@ impl Refiner for MiniBatch {
             history: Vec::new(),
             distance_computations: (self.0.batch_size * self.0.iterations) as u64 * k
                 + points.len() as u64 * k,
+            pruned_by_norm_bound: batch_stats.pruned_by_norm_bound
+                + sums.stats.pruned_by_norm_bound,
         })
     }
 
@@ -666,7 +684,7 @@ impl Refiner for MiniBatch {
         exec: &Executor,
     ) -> Result<RefineResult, KMeansError> {
         let k = centers.len() as u64;
-        let refined = minibatch_chunked(source, centers, &self.0, seed)?;
+        let (refined, batch_stats) = minibatch_chunked_traced(source, centers, &self.0, seed)?;
         let (labels, sums) = assign_and_sum_chunked(source, &refined, exec)?;
         Ok(RefineResult {
             centers: refined,
@@ -677,6 +695,8 @@ impl Refiner for MiniBatch {
             history: Vec::new(),
             distance_computations: (self.0.batch_size * self.0.iterations) as u64 * k
                 + source.len() as u64 * k,
+            pruned_by_norm_bound: batch_stats.pruned_by_norm_bound
+                + sums.stats.pruned_by_norm_bound,
         })
     }
 }
@@ -705,14 +725,14 @@ impl Refiner for NoRefine {
     ) -> Result<RefineResult, KMeansError> {
         validate_weights(points, weights)?;
         validate_refine_inputs(points, centers)?;
-        let (labels, cost) = match weights {
+        let (labels, cost, pruned) = match weights {
             None => {
                 let (labels, sums) = assign_and_sum(points, centers, exec);
-                (labels, sums.cost)
+                (labels, sums.cost, sums.stats.pruned_by_norm_bound)
             }
             Some(w) => {
                 let (labels, _sums, _wsum, cost) = assign_weighted(points, w, centers);
-                (labels, cost)
+                (labels, cost, 0)
             }
         };
         Ok(RefineResult {
@@ -723,6 +743,7 @@ impl Refiner for NoRefine {
             converged: true,
             history: Vec::new(),
             distance_computations: points.len() as u64 * centers.len() as u64,
+            pruned_by_norm_bound: pruned,
         })
     }
 
@@ -743,6 +764,7 @@ impl Refiner for NoRefine {
             converged: true,
             history: Vec::new(),
             distance_computations: source.len() as u64 * centers.len() as u64,
+            pruned_by_norm_bound: sums.stats.pruned_by_norm_bound,
         })
     }
 }

@@ -265,6 +265,82 @@ impl Executor {
     }
 
     /// Runs `f` over shard-aligned mutable chunks of two equal-length
+    /// slices while collecting one result per shard, returned **in shard
+    /// order** — the two-array sibling of [`Executor::update_map_shards`]
+    /// (the shape of a batched assignment pass: labels and `d²` mutated
+    /// in place, per-shard kernel statistics coming back for a
+    /// deterministic fold).
+    ///
+    /// `f` receives `(shard_index, start_offset, chunk_a, chunk_b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn update_map_shards2<A, B, T, F>(&self, a: &mut [A], b: &mut [B], f: F) -> Vec<T>
+    where
+        A: Send,
+        B: Send,
+        T: Send,
+        F: Fn(usize, usize, &mut [A], &mut [B]) -> T + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "update_map_shards2: length mismatch");
+        let n = a.len();
+        let count = self.spec.count(n);
+        let workers = self.workers().min(count.max(1));
+        if workers <= 1 || count <= 1 {
+            return self
+                .spec
+                .ranges(n)
+                .enumerate()
+                .map(|(s, range)| {
+                    let start = range.start;
+                    f(s, start, &mut a[range.clone()], &mut b[range])
+                })
+                .collect();
+        }
+        let size = self.spec.shard_size();
+        let slots: Vec<Slot<Chunk2<'_, A, B>>> = self
+            .spec
+            .ranges(n)
+            .zip(a.chunks_mut(size).zip(b.chunks_mut(size)))
+            .map(|(range, (ca, cb))| Mutex::new(Some((range.start, ca, cb))))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            if s >= count {
+                                break;
+                            }
+                            let (start, ca, cb) = slots[s]
+                                .lock()
+                                .expect("shard slot poisoned")
+                                .take()
+                                .expect("shard claimed twice");
+                            local.push((s, f(s, start, ca, cb)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (s, value) in handle.join().expect("shard worker panicked") {
+                    results[s] = Some(value);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("shard result missing"))
+            .collect()
+    }
+
+    /// Runs `f` over shard-aligned mutable chunks of two equal-length
     /// slices (e.g. the `d²` and nearest-center arrays of k-means||).
     ///
     /// `f` receives `(shard_index, start_offset, chunk_a, chunk_b)`.
@@ -437,6 +513,30 @@ mod tests {
             let total: u64 = sums.iter().map(|(_, t)| t).sum();
             assert_eq!(total, (0..1000u64).sum::<u64>());
             assert_eq!(data[999], 999);
+        }
+    }
+
+    #[test]
+    fn update_map_shards2_mutates_both_and_collects_in_order() {
+        for exec in executors() {
+            let mut a = vec![0u32; 500];
+            let mut b = vec![0.0f64; 500];
+            let out = exec.update_map_shards2(&mut a, &mut b, |s, start, ca, cb| {
+                for (i, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    *x = (start + i) as u32;
+                    *y = (start + i) as f64 * 0.5;
+                }
+                (s, ca.len())
+            });
+            assert_eq!(out.len(), 8); // ceil(500/64)
+            for (i, (s, _)) in out.iter().enumerate() {
+                assert_eq!(*s, i, "out of order");
+            }
+            assert_eq!(out.iter().map(|(_, l)| l).sum::<usize>(), 500);
+            for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x, i as u32);
+                assert_eq!(y, i as f64 * 0.5);
+            }
         }
     }
 

@@ -76,7 +76,8 @@ impl Bencher {
 
 /// One completed benchmark's summary, collected on the [`Criterion`]
 /// driver so harnesses can post-process results (e.g. the machine-
-/// readable `BENCH_cluster.json` emitted by `benches/cluster.rs`).
+/// readable `BENCH_cluster.json` / `BENCH_kernels.json` artifacts
+/// emitted by `benches/cluster.rs` and `benches/assign_kernel.rs`).
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
     /// `group/id` of the benchmark.
@@ -85,6 +86,19 @@ pub struct BenchRecord {
     pub median: Duration,
     /// Number of timed samples.
     pub samples: usize,
+    /// Free-form numeric annotations attached by the bench harness after
+    /// the run (work counters, configuration axes) via
+    /// [`Criterion::annotate_last`] — real criterion has no equivalent,
+    /// but machine-readable perf artifacts need the counters next to the
+    /// timings.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Looks up an annotation by key.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
 }
 
 /// A named group of related benchmarks.
@@ -140,6 +154,7 @@ impl BenchmarkGroup<'_> {
             id: format!("{}/{}", self.name, id),
             median,
             samples: sorted.len(),
+            metrics: Vec::new(),
         });
     }
 
@@ -163,6 +178,15 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Attaches a numeric annotation to the most recently completed
+    /// benchmark of this run (see [`Criterion::annotate_last`]); chains
+    /// after `bench_function` so counters land on the record they
+    /// describe.
+    pub fn annotate_last(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.criterion.annotate_last(key, value);
         self
     }
 
@@ -191,6 +215,16 @@ impl Criterion {
     /// Every benchmark completed so far, in run order.
     pub fn records(&self) -> &[BenchRecord] {
         &self.records
+    }
+
+    /// Attaches a numeric annotation to the most recently completed
+    /// benchmark (no-op before the first one) — how harnesses thread
+    /// work counters and configuration axes into their JSON artifacts.
+    pub fn annotate_last(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        if let Some(last) = self.records.last_mut() {
+            last.metrics.push((key.into(), value));
+        }
+        self
     }
 
     /// Benchmarks `f` outside any group.
@@ -265,5 +299,25 @@ mod tests {
         assert_eq!(records[0].id, "grp/a");
         assert_eq!(records[1].id, "grp/b");
         assert!(records.iter().all(|r| r.samples == 2));
+    }
+
+    #[test]
+    fn annotations_attach_to_the_last_record() {
+        let mut c = Criterion::default();
+        c.annotate_last("before_any", 1.0); // no-op, nothing recorded yet
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(1)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            g.bench_function("a", |b| b.iter(|| black_box(1)));
+            g.finish();
+        }
+        c.annotate_last("n", 42.0).annotate_last("pruned", 7.0);
+        let r = &c.records()[0];
+        assert_eq!(r.metric("n"), Some(42.0));
+        assert_eq!(r.metric("pruned"), Some(7.0));
+        assert_eq!(r.metric("missing"), None);
+        assert_eq!(r.metric("before_any"), None);
     }
 }

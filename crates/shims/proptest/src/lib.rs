@@ -189,6 +189,18 @@ pub mod strategy {
             (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
         }
     }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.sample(rng),
+                self.1.sample(rng),
+                self.2.sample(rng),
+                self.3.sample(rng),
+            )
+        }
+    }
 }
 
 pub mod collection {
@@ -330,7 +342,7 @@ macro_rules! prop_assert_eq {
 /// becomes a `#[test]` looping over `config.cases` deterministic cases.
 #[macro_export]
 macro_rules! proptest {
-    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {

@@ -1,0 +1,276 @@
+//! Bit-parity of the batch assignment kernel (`kmeans_core::kernel`)
+//! against the scalar per-point path, across random shapes, duplicate
+//! centers, non-finite inputs, and ulp-adversarial near-ties.
+//!
+//! These tests are meaningful in **both** build profiles: release-mode
+//! FP contraction or vectorization differences are exactly what they
+//! would catch, so CI runs them in debug *and* release explicitly.
+#![recursion_limit = "256"]
+
+use kmeans_core::assign::assign_and_sum;
+use kmeans_core::chunked::assign_and_sum_chunked;
+use kmeans_core::distance::{nearest, sq_dist_bounded};
+use kmeans_core::kernel::{AssignKernel, KernelStats};
+use kmeans_data::{InMemorySource, PointMatrix};
+use kmeans_par::Executor;
+use proptest::prelude::*;
+
+fn scalar_assign(points: &PointMatrix, centers: &PointMatrix) -> (Vec<u32>, Vec<f64>) {
+    points
+        .rows()
+        .map(|row| {
+            let (c, d2) = nearest(row, centers);
+            (c as u32, d2)
+        })
+        .unzip()
+}
+
+/// The scalar suffix scan of the cost trackers, verbatim.
+fn scalar_update(
+    points: &PointMatrix,
+    centers: &PointMatrix,
+    from: usize,
+    labels: &mut [u32],
+    d2: &mut [f64],
+) {
+    for (i, row) in points.rows().enumerate() {
+        let mut best = d2[i];
+        let mut best_id = u32::MAX;
+        for c in from..centers.len() {
+            let dist = sq_dist_bounded(row, centers.row(c), best);
+            if dist < best {
+                best = dist;
+                best_id = c as u32;
+            }
+        }
+        if best_id != u32::MAX {
+            d2[i] = best;
+            labels[i] = best_id;
+        }
+    }
+}
+
+fn assert_assign_matches(points: &PointMatrix, centers: &PointMatrix) -> KernelStats {
+    let (ref_labels, ref_d2) = scalar_assign(points, centers);
+    let kernel = AssignKernel::new(centers);
+    let n = points.len();
+    let mut labels = vec![u32::MAX; n];
+    let mut d2 = vec![-1.0f64; n];
+    let stats = kernel.assign(points, 0..n, &mut labels, &mut d2);
+    assert_eq!(labels, ref_labels, "labels diverged");
+    let bits: Vec<u64> = d2.iter().map(|v| v.to_bits()).collect();
+    let ref_bits: Vec<u64> = ref_d2.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, ref_bits, "d2 bits diverged");
+    assert_eq!(
+        stats.distance_computations + stats.pruned_by_norm_bound,
+        (n * centers.len()) as u64,
+        "every pair must be computed or pruned exactly once"
+    );
+    stats
+}
+
+/// A dataset plus center set of arbitrary small shape; centers include
+/// deliberate duplicates and rows copied from the data (exact-tie bait).
+fn workloads() -> impl Strategy<Value = (PointMatrix, PointMatrix)> {
+    (1usize..24, 1usize..10, 1usize..24, 0u64..1 << 20).prop_map(|(n, d, k, salt)| {
+        let mut rng = kmeans_util::Rng::new(salt);
+        let mut points = PointMatrix::new(d);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..d).map(|_| (rng.normal() * 8.0).round() / 4.0).collect();
+            points.push(&row).unwrap();
+        }
+        let mut centers = PointMatrix::new(d);
+        for i in 0..k {
+            // A third of the centers are duplicates of data rows or of
+            // earlier centers — exact ties with low/high index variants.
+            match i % 3 {
+                0 if i > 0 => {
+                    let src = centers.row(rng.range_usize(i)).to_vec();
+                    centers.push(&src).unwrap();
+                }
+                1 => {
+                    let src = points.row(rng.range_usize(n)).to_vec();
+                    centers.push(&src).unwrap();
+                }
+                _ => {
+                    let row: Vec<f64> =
+                        (0..d).map(|_| (rng.normal() * 8.0).round() / 4.0).collect();
+                    centers.push(&row).unwrap();
+                }
+            }
+        }
+        (points, centers)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assign_is_bit_identical_for_random_shapes((points, centers) in workloads()) {
+        assert_assign_matches(&points, &centers);
+    }
+
+    #[test]
+    fn update_is_bit_identical_for_random_suffixes(
+        (points, centers) in workloads(),
+        split in 0usize..64,
+    ) {
+        let from = split % (centers.len() + 1);
+        // Carried state from a full assignment over the prefix (or a
+        // fresh state when from == 0).
+        let n = points.len();
+        let mut labels = vec![0u32; n];
+        let mut d2 = vec![f64::INFINITY; n];
+        if from > 0 {
+            let prefix = PointMatrix::from_flat(
+                centers.as_slice()[..from * centers.dim()].to_vec(),
+                centers.dim(),
+            )
+            .unwrap();
+            let (l, dd) = scalar_assign(&points, &prefix);
+            labels = l;
+            d2 = dd;
+        }
+        let (mut ref_labels, mut ref_d2) = (labels.clone(), d2.clone());
+        scalar_update(&points, &centers, from, &mut ref_labels, &mut ref_d2);
+        let kernel = AssignKernel::suffix(&centers, from);
+        kernel.update(&points, 0..n, &mut labels, &mut d2);
+        prop_assert_eq!(labels, ref_labels);
+        let bits: Vec<u64> = d2.iter().map(|v| v.to_bits()).collect();
+        let ref_bits: Vec<u64> = ref_d2.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits, ref_bits);
+    }
+
+    #[test]
+    fn non_finite_coordinates_keep_parity(
+        (mut points, mut centers) in workloads(),
+        poison in 0u64..1 << 16,
+    ) {
+        // Sprinkle NaN/±∞ into both sides, deterministically per case.
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let pd = points.dim();
+        let slot = (poison as usize) % (points.len() * pd);
+        points.row_mut(slot / pd)[slot % pd] = specials[(poison as usize) % 3];
+        let cd = centers.dim();
+        let slot = (poison as usize / 3) % (centers.len() * cd);
+        centers.row_mut(slot / cd)[slot % cd] = specials[(poison as usize / 7) % 3];
+        assert_assign_matches(&points, &centers);
+    }
+}
+
+/// Adversarial pruning safety: centers placed within a few ulps of the
+/// best distance, including exact duplicates at distance 0, in the 1-D
+/// and 2-D geometries where the coordinate/norm bounds are *tight* (the
+/// bound equals the distance up to rounding, so an unsound margin would
+/// flip winners here first).
+#[test]
+fn pruning_never_skips_ulp_near_winners() {
+    let mut rng = kmeans_util::Rng::new(42);
+    for d in [1usize, 2] {
+        for case in 0..200u64 {
+            let a = 1.0 + (case as f64) * 0.125;
+            let r = 0.5 + (case as f64 % 7.0) * 0.25;
+            let mut centers = PointMatrix::new(d);
+            // A ladder of centers at distance r from the query, each a
+            // few ulps apart, on both sides, in scrambled index order —
+            // plus exact duplicates of the query itself for distance-0
+            // ties.
+            let mut values = Vec::new();
+            for ulps in 0..6 {
+                let mut lo = a - r;
+                let mut hi = a + r;
+                for _ in 0..ulps {
+                    lo = lo.next_up();
+                    hi = hi.next_down();
+                }
+                values.push(lo);
+                values.push(hi);
+            }
+            if case % 3 == 0 {
+                values.push(a); // exact duplicate (distance 0)
+                values.push(a);
+            }
+            // Scramble so low/high indices interleave across near-ties.
+            for i in (1..values.len()).rev() {
+                values.swap(i, rng.range_usize(i + 1));
+            }
+            for &v in &values {
+                let mut row = vec![v; d];
+                if d > 1 {
+                    row[1] = a; // distance concentrated in coordinate 0
+                }
+                centers.push(&row).unwrap();
+            }
+            let query = PointMatrix::from_flat(vec![a; d], d).unwrap();
+            assert_assign_matches(&query, &centers);
+        }
+    }
+}
+
+/// The kernel's work counters are identical however the rows are grouped
+/// — and identical between the in-memory and chunked assignment passes,
+/// for any block size and thread count.
+#[test]
+fn stats_match_across_in_memory_and_chunked_paths() {
+    let mut rng = kmeans_util::Rng::new(7);
+    let mut points = PointMatrix::new(5);
+    for _ in 0..300 {
+        let row: Vec<f64> = (0..5).map(|_| rng.normal() * 20.0).collect();
+        points.push(&row).unwrap();
+    }
+    let mut centers = PointMatrix::new(5);
+    for _ in 0..24 {
+        let row: Vec<f64> = (0..5).map(|_| rng.normal() * 20.0).collect();
+        centers.push(&row).unwrap();
+    }
+    let exec = Executor::sequential().with_shard_size(32);
+    let (ref_labels, ref_sums) = assign_and_sum(&points, &centers, &exec);
+    assert!(
+        ref_sums.stats.pruned_by_norm_bound > 0,
+        "workload must exercise pruning: {:?}",
+        ref_sums.stats
+    );
+    for block_rows in [1usize, 7, 64, 300] {
+        for threads in [1usize, 3] {
+            let exec = if threads == 1 {
+                Executor::sequential().with_shard_size(32)
+            } else {
+                Executor::new(kmeans_par::Parallelism::Threads(threads)).with_shard_size(32)
+            };
+            let source = InMemorySource::new(points.clone(), block_rows).unwrap();
+            let (labels, sums) = assign_and_sum_chunked(&source, &centers, &exec).unwrap();
+            assert_eq!(
+                labels, ref_labels,
+                "block_rows {block_rows} threads {threads}"
+            );
+            assert_eq!(
+                sums.stats, ref_sums.stats,
+                "kernel stats diverged: block_rows {block_rows} threads {threads}"
+            );
+            assert_eq!(sums.cost.to_bits(), ref_sums.cost.to_bits());
+        }
+    }
+}
+
+/// d == 1 exercises the degenerate secondary feature (inert), and the
+/// unroll-tail paths of the canonical distance.
+#[test]
+fn tiny_dimensions_and_counts() {
+    for d in 1..5usize {
+        for k in 1..12usize {
+            let mut rng = kmeans_util::Rng::new((d * 31 + k) as u64);
+            let mut points = PointMatrix::new(d);
+            for _ in 0..17 {
+                let row: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+                points.push(&row).unwrap();
+            }
+            let mut centers = PointMatrix::new(d);
+            for _ in 0..k {
+                let row: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+                centers.push(&row).unwrap();
+            }
+            assert_assign_matches(&points, &centers);
+        }
+    }
+}
