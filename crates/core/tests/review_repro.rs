@@ -1,0 +1,56 @@
+use kmeans_core::distance::sq_dist_bounded;
+use kmeans_core::kernel::AssignKernel;
+use kmeans_data::PointMatrix;
+
+#[test]
+fn update_with_tight_carried_best_finds_mid_flank_winner() {
+    // Sorted-by-key layout (key_dim = 0 thanks to the +-1e5 outposts):
+    //   outpost(-1e5), W(-0.05), D1..D4 (decoys, huge 3rd coord), M(2, huge
+    //   3rd coord), F(4), outpost(+1e5)
+    // Point x = origin, carried best d2 = 0.01. True winner is W with
+    // d2 = 0.0025.
+    let mut centers = PointMatrix::new(3);
+    centers.push(&[-1.0e5, 0.0, 0.0]).unwrap(); // 0 outpost
+    centers.push(&[-0.05, 0.0, 0.0]).unwrap(); // 1 = W, true winner
+    centers.push(&[-0.03, 0.0, 1000.0]).unwrap(); // 2 decoy
+    centers.push(&[-0.02, 0.0, 1000.0]).unwrap(); // 3 decoy
+    centers.push(&[-0.01, 0.0, 1000.0]).unwrap(); // 4 decoy
+    centers.push(&[0.005, 0.0, 1000.0]).unwrap(); // 5 decoy (pos0)
+    centers.push(&[2.0, 0.0, 1000.0]).unwrap(); // 6 = M (mid-flank trigger)
+    centers.push(&[4.0, 0.0, 0.0]).unwrap(); // 7 = F (intended seed)
+    centers.push(&[1.0e5, 0.0, 0.0]).unwrap(); // 8 outpost
+
+    let points = PointMatrix::from_flat(vec![0.0, 0.0, 0.0], 3).unwrap();
+
+    // Scalar reference: the tracker-update loop over every center with the
+    // carried best.
+    let row = points.row(0);
+    let mut ref_best = 0.01f64;
+    let mut ref_label = 0u32;
+    let mut ref_id = u32::MAX;
+    for c in 0..centers.len() {
+        let d = sq_dist_bounded(row, centers.row(c), ref_best);
+        if d < ref_best {
+            ref_best = d;
+            ref_id = c as u32;
+        }
+    }
+    if ref_id != u32::MAX {
+        ref_label = ref_id;
+    }
+
+    let kernel = AssignKernel::new(&centers);
+    let mut labels = vec![0u32; 1];
+    let mut d2 = vec![0.01f64; 1];
+    kernel.update(&points, 0..1, &mut labels, &mut d2);
+
+    assert_eq!(
+        (labels[0], d2[0].to_bits()),
+        (ref_label, ref_best.to_bits()),
+        "kernel: label {} d2 {}, scalar: label {} d2 {}",
+        labels[0],
+        d2[0],
+        ref_label,
+        ref_best
+    );
+}
