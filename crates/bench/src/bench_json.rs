@@ -64,10 +64,82 @@ fn escape_free(s: &str) -> &str {
     s
 }
 
+/// One driver-bench record: a benchmark identity, the algorithm and the
+/// execution backend it ran on, the configuration axes, the median wall
+/// time, and the round/wire accounting (0 where the backend has no
+/// wire). Written to `BENCH_driver.json` by `benches/driver.rs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriverRecord {
+    /// Unique record id (`group/method/backend`); the merge key.
+    pub id: String,
+    /// Algorithm pipeline being driven (e.g. `"kmeans-par+lloyd"`).
+    pub method: String,
+    /// Execution backend (`"in-memory"`, `"chunked"`,
+    /// `"distributed-w2"`, …).
+    pub backend: String,
+    /// Points in the workload.
+    pub n: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Centers.
+    pub k: usize,
+    /// Median wall time in nanoseconds.
+    pub wall_ns: u128,
+    /// Frame bytes moved, coordinator↔workers (0 off the wire).
+    pub bytes_on_wire: u64,
+    /// Full data passes driven (0 where the backend does not count them).
+    pub data_passes: u64,
+}
+
+impl DriverRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "  {{\"id\": \"{}\", \"method\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"d\": {}, \
+             \"k\": {}, \"wall_ns\": {}, \"bytes_on_wire\": {}, \"data_passes\": {}}}",
+            escape_free(&self.id),
+            escape_free(&self.method),
+            escape_free(&self.backend),
+            self.n,
+            self.d,
+            self.k,
+            self.wall_ns,
+            self.bytes_on_wire,
+            self.data_passes,
+        )
+    }
+}
+
 /// Extracts the `"id"` value from one record line written by this module.
 fn line_id(line: &str) -> Option<&str> {
     let rest = line.split("\"id\": \"").nth(1)?;
     rest.split('"').next()
+}
+
+/// The shared merge-by-id writer: keeps existing record lines whose id is
+/// not being re-reported, replaces the rest with `new` (id, line) pairs.
+fn merge_lines(path: &Path, new: &[(String, String)]) {
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let Some(id) = line_id(line) else { continue };
+            if new.iter().all(|(new_id, _)| new_id != id) {
+                lines.push(line.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    lines.extend(new.iter().map(|(_, line)| line.clone()));
+    let mut out = String::from("[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    let mut file = std::fs::File::create(path).expect("create bench JSON artifact");
+    file.write_all(out.as_bytes())
+        .expect("write bench JSON artifact");
+    println!(
+        "wrote {} records ({} new/updated) -> {}",
+        lines.len(),
+        new.len(),
+        path.display()
+    );
 }
 
 /// Writes `records` into the JSON array at `path`, replacing any existing
@@ -78,28 +150,39 @@ fn line_id(line: &str) -> Option<&str> {
 /// Panics on I/O errors — bench harnesses have no error channel and a
 /// silently missing artifact is worse than an aborted bench run.
 pub fn write_merged(path: &Path, records: &[KernelRecord]) {
-    let mut lines: Vec<String> = Vec::new();
-    if let Ok(existing) = std::fs::read_to_string(path) {
-        for line in existing.lines() {
-            let Some(id) = line_id(line) else { continue };
-            if records.iter().all(|r| r.id != id) {
-                lines.push(line.trim_end_matches(',').to_string());
-            }
+    let new: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.id.clone(), r.to_line()))
+        .collect();
+    merge_lines(path, &new);
+}
+
+/// [`write_merged`] for [`DriverRecord`]s (same merge-by-id semantics,
+/// different record shape — the driver trajectory lives in its own
+/// artifact, `BENCH_driver.json`).
+pub fn write_merged_driver(path: &Path, records: &[DriverRecord]) {
+    let new: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.id.clone(), r.to_line()))
+        .collect();
+    merge_lines(path, &new);
+}
+
+/// Reads back the `"wall_ns"` value of the record with `id` from a bench
+/// artifact written by this module, if present — the hook the driver
+/// bench's quick mode uses to compare against the committed pre-refactor
+/// trajectory.
+pub fn read_wall_ns(path: &Path, fragment: &str) -> Option<u128> {
+    let body = std::fs::read_to_string(path).ok()?;
+    for line in body.lines() {
+        if !line.contains(fragment) {
+            continue;
         }
+        let rest = line.split("\"wall_ns\": ").nth(1)?;
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        return digits.parse().ok();
     }
-    lines.extend(records.iter().map(|r| r.to_line()));
-    let mut out = String::from("[\n");
-    out.push_str(&lines.join(",\n"));
-    out.push_str("\n]\n");
-    let mut file = std::fs::File::create(path).expect("create bench JSON artifact");
-    file.write_all(out.as_bytes())
-        .expect("write bench JSON artifact");
-    println!(
-        "wrote {} records ({} new/updated) -> {}",
-        lines.len(),
-        records.len(),
-        path.display()
-    );
+    None
 }
 
 #[cfg(test)]

@@ -162,11 +162,12 @@ ground-truth label metrics; block size never changes results.
 Distributed: `skm shard` splits a block file into per-worker shard files
 (boundaries on the --align grid, default 8192 = the default shard size),
 each `skm worker` serves one shard, and `skm fit --distributed --workers
-a,b,c` runs k-means|| seeding and Lloyd refinement across them — bit-
-identical to the single-node fit of the concatenated data for any worker
-count (supported stages: --init random|kmeans-par, --refine lloyd|none).
-Workers own the data, so --distributed takes no --input; worker order in
---workers is global row order."
+a,b,c` runs the configured pipeline across them — bit-identical to the
+single-node fit of the concatenated data for any worker count (supported
+stages: --init random|kmeans-par, --refine lloyd|minibatch|none; the
+same backend-generic round drivers run every mode). Workers own the
+data, so --distributed takes no --input; worker order in --workers is
+global row order."
 }
 
 fn require(args: &Args, name: &str) -> Result<String, CliError> {

@@ -1,0 +1,184 @@
+//! [`ClusterBackend`]: the worker cluster as a
+//! [`RoundBackend`], so the backend-generic drivers in
+//! `kmeans_core::driver` (one implementation of k-means||, Lloyd,
+//! mini-batch, random seeding) execute on a distributed cluster exactly
+//! as they do in memory or out of core.
+//!
+//! Every primitive maps onto one coordinator conversation
+//! ([`Cluster`]'s broadcast/collect methods): the backend holds no
+//! algorithm state of its own — tracker slices and labels live on the
+//! workers, every order-sensitive fold happens in [`Cluster`] over
+//! worker-ordered (= global-shard-ordered) partials, and every scalar
+//! RNG decision stays in the driver. That split is the whole bit-parity
+//! argument (see `docs/ARCHITECTURE.md`, "Driver layer").
+//!
+//! Errors: typed clustering failures relayed from workers pass through
+//! unchanged (a distributed fit reports the *same*
+//! `NonFiniteData { point, dim }` a single-node fit would); transport
+//! failures surface as `KMeansError::Data` via the standard
+//! [`ClusterError`] conversion — a value, never a hang.
+
+use crate::coordinator::Cluster;
+use crate::error::ClusterError;
+use kmeans_core::assign::ClusterSums;
+use kmeans_core::driver::{BackendKind, RoundBackend};
+use kmeans_core::KMeansError;
+use kmeans_data::PointMatrix;
+
+/// A [`RoundBackend`] over a connected worker [`Cluster`].
+///
+/// Construct with [`ClusterBackend::new`] *after* [`Cluster::plan`] —
+/// the plan establishes the global shard layout the per-shard RNG
+/// streams and fold grids derive from — or with
+/// [`ClusterBackend::deferred`] to plan lazily on the first wire
+/// primitive. Deferral is what lets a stage without a distributed
+/// realization reject with its typed error *before* any planning (so an
+/// unsupported stage is reported as unsupported even on a misaligned
+/// cluster, matching the pre-driver behavior).
+pub struct ClusterBackend<'a> {
+    cluster: &'a mut Cluster,
+    pending_plan: Option<usize>,
+}
+
+impl<'a> ClusterBackend<'a> {
+    /// Wraps an already-planned cluster.
+    pub fn new(cluster: &'a mut Cluster) -> Self {
+        ClusterBackend {
+            cluster,
+            pending_plan: None,
+        }
+    }
+
+    /// Wraps a cluster, planning it with `shard_size` on the first wire
+    /// primitive (validation and shape queries stay plan-free).
+    pub fn deferred(cluster: &'a mut Cluster, shard_size: usize) -> Self {
+        ClusterBackend {
+            cluster,
+            pending_plan: Some(shard_size),
+        }
+    }
+
+    fn ensure_planned(&mut self) -> Result<(), KMeansError> {
+        if let Some(shard_size) = self.pending_plan.take() {
+            self.cluster.plan(shard_size).map_err(flatten)?;
+        }
+        Ok(())
+    }
+}
+
+fn flatten(e: ClusterError) -> KMeansError {
+    KMeansError::from(e)
+}
+
+impl RoundBackend for ClusterBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Distributed
+    }
+
+    fn len(&self) -> usize {
+        self.cluster.global_n()
+    }
+
+    fn dim(&self) -> usize {
+        self.cluster.dim()
+    }
+
+    fn validate(&self, k: usize) -> Result<(), KMeansError> {
+        let n = self.cluster.global_n();
+        if n == 0 {
+            return Err(KMeansError::EmptyInput);
+        }
+        if k == 0 || k > n {
+            return Err(KMeansError::InvalidK { k, n });
+        }
+        // Finiteness is checked by the workers on their first full pass,
+        // which reports the global point index — same deferred contract
+        // as the chunked backend.
+        Ok(())
+    }
+
+    fn validate_refine(&self, centers: &PointMatrix) -> Result<(), KMeansError> {
+        let n = self.cluster.global_n();
+        if n == 0 {
+            return Err(KMeansError::EmptyInput);
+        }
+        if centers.is_empty() || centers.len() > n {
+            return Err(KMeansError::InvalidK {
+                k: centers.len(),
+                n,
+            });
+        }
+        if self.cluster.dim() != centers.dim() {
+            return Err(KMeansError::DimensionMismatch {
+                expected: self.cluster.dim(),
+                got: centers.dim(),
+            });
+        }
+        Ok(())
+    }
+
+    fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.gather_rows(indices).map_err(flatten)
+    }
+
+    fn tracker_init(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.tracker_init(centers).map_err(flatten)
+    }
+
+    fn tracker_update(&mut self, from: usize, new_rows: &PointMatrix) -> Result<f64, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.tracker_update(from, new_rows).map_err(flatten)
+    }
+
+    fn sample_bernoulli(
+        &mut self,
+        round: usize,
+        seed: u64,
+        l: f64,
+        phi: f64,
+    ) -> Result<(Vec<usize>, PointMatrix), KMeansError> {
+        self.ensure_planned()?;
+        self.cluster
+            .sample_bernoulli_round(round, seed, l, phi)
+            .map_err(flatten)
+    }
+
+    fn sample_exact_keys(
+        &mut self,
+        round: usize,
+        seed: u64,
+        m: usize,
+    ) -> Result<Vec<(f64, usize)>, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster
+            .sample_exact_round(round, seed, m)
+            .map_err(flatten)
+    }
+
+    fn gather_d2(&mut self) -> Result<Vec<f64>, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.gather_d2().map_err(flatten)
+    }
+
+    fn candidate_weights(&mut self, m: usize) -> Result<Vec<f64>, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.candidate_weights(m).map_err(flatten)
+    }
+
+    fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.assign(centers).map_err(flatten)
+    }
+
+    fn fetch_labels(&mut self) -> Result<Vec<u32>, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.fetch_labels().map_err(flatten)
+    }
+
+    fn potential(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster.potential(centers).map_err(flatten)
+    }
+}

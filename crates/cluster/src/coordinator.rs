@@ -17,6 +17,7 @@ use crate::protocol::{Message, WorkerStats};
 use crate::transport::Transport;
 use kmeans_core::assign::{sum_shard_size_for, ClusterSums};
 use kmeans_core::chunked::fold_accum_shards;
+use kmeans_core::kernel::KernelStats;
 use kmeans_data::PointMatrix;
 use kmeans_par::mapreduce::JobStats;
 use std::time::{Duration, Instant};
@@ -463,7 +464,10 @@ impl Cluster {
 
     /// One distributed assignment pass: returns the global reassignment
     /// count and the folded [`ClusterSums`] — bit-identical to the
-    /// single-node `assign_and_sum` on the same centers.
+    /// single-node `assign_and_sum` on the same centers, the kernel work
+    /// counters included (workers ship them in the partials frames; the
+    /// counters are deterministic per point, so their sum over workers
+    /// equals the single-node pass's).
     pub fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), ClusterError> {
         let k = centers.len();
         let d = self.dim;
@@ -472,14 +476,17 @@ impl Cluster {
         })?;
         let mut reassigned = 0u64;
         let mut all_shards = Vec::new();
+        let mut stats = KernelStats::default();
         for (i, r) in replies.into_iter().enumerate() {
             match r {
                 Message::Partials {
                     reassigned: re,
                     shards,
+                    stats: worker_stats,
                 } => {
                     reassigned += re;
                     all_shards.extend(shards);
+                    stats.absorb(worker_stats);
                 }
                 other => {
                     return Err(ClusterError::Protocol(format!(
@@ -496,7 +503,9 @@ impl Cluster {
             }
         }
         self.note_pass(all_shards.len() as u64);
-        Ok((reassigned, fold_accum_shards(k, d, &all_shards)))
+        let mut sums = fold_accum_shards(k, d, &all_shards);
+        sums.stats = stats;
+        Ok((reassigned, sums))
     }
 
     /// Global potential of `centers` over all workers' rows (with the

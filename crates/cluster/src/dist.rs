@@ -1,333 +1,98 @@
-//! The distributed algorithms: Algorithm 2 (k-means||) and Lloyd's
-//! iteration over a worker [`Cluster`].
+//! The distributed algorithm entry points: thin wrappers binding the
+//! backend-generic round drivers of `kmeans_core::driver` to a worker
+//! [`Cluster`] via [`ClusterBackend`].
 //!
-//! Every function here is a line-for-line mirror of its single-node
-//! chunked twin (`kmeans_core::init::kmeans_parallel_chunked`,
-//! `kmeans_core::chunked::lloyd_chunked`), with the data-touching steps
-//! replaced by cluster passes. The order-sensitive pieces — the
-//! coordinator-sequential RNG (tag 30/20 streams: first center, top-up,
-//! Step 8 recluster), the shard-ordered potential folds, and the
-//! accumulation-shard assignment folds — run on the same code paths as
-//! the single-node implementations, which is why
-//! `tests/distributed_parity.rs` can pin the results bit for bit for any
+//! Before the driver layer existed, this module carried line-for-line
+//! mirrors of the single-node chunked algorithm bodies. Those loops now
+//! exist **once**, in `kmeans_core::driver` (`drive_kmeans_parallel`,
+//! `drive_lloyd`, `drive_minibatch`, `drive_random_init`), and every
+//! execution mode — in-memory, chunked, distributed — runs the same
+//! function. The order-sensitive pieces (the coordinator-sequential RNG
+//! streams of tags 20/30/40, the shard-ordered potential folds, the
+//! accumulation-shard assignment folds) run on the driver/coordinator
+//! side for every mode, which is why `tests/distributed_parity.rs` and
+//! `tests/driver_parity.rs` can pin the results bit for bit for any
 //! worker count.
 
+use crate::backend::ClusterBackend;
 use crate::coordinator::Cluster;
 use crate::error::ClusterError;
-use kmeans_core::init::{
-    exact_sample_merge, InitStats, KMeansParallelConfig, Recluster, Rounds, SamplingMode, TopUp,
+use kmeans_core::driver::{
+    drive_kmeans_parallel, drive_label_pass, drive_lloyd, drive_minibatch, drive_random_init,
 };
-use kmeans_core::lloyd::{IterationStats, LloydConfig, LloydResult};
-use kmeans_core::KMeansError;
+use kmeans_core::init::{InitStats, KMeansParallelConfig};
+use kmeans_core::kernel::KernelStats;
+use kmeans_core::lloyd::{LloydConfig, LloydResult};
+use kmeans_core::minibatch::MiniBatchConfig;
 use kmeans_data::PointMatrix;
-use kmeans_util::sampling::uniform_distinct;
-use kmeans_util::Rng;
 
-fn validate_cluster(cluster: &Cluster, k: usize) -> Result<(), ClusterError> {
-    if cluster.global_n() == 0 {
-        return Err(KMeansError::EmptyInput.into());
-    }
-    if k == 0 || k > cluster.global_n() {
-        return Err(KMeansError::InvalidK {
-            k,
-            n: cluster.global_n(),
-        }
-        .into());
-    }
-    Ok(())
-}
-
-/// Uniform seeding over the cluster — the distributed twin of
-/// `Random::init_chunked` (same RNG stream, tag 20; same stats shape).
-/// The seed cost is stamped by the caller ([`crate::fit::DistInit::run`]).
+/// Uniform seeding over the cluster (RNG tag 20). The seed cost is
+/// stamped by the caller ([`crate::fit::DistInit::run`]).
 pub fn dist_random_init(
     cluster: &mut Cluster,
     k: usize,
     seed: u64,
 ) -> Result<(PointMatrix, InitStats), ClusterError> {
-    validate_cluster(cluster, k)?;
-    let mut rng = Rng::derive(seed, &[20]);
-    let indices = uniform_distinct(cluster.global_n(), k, &mut rng);
-    let centers = cluster.gather_rows(&indices)?;
-    let stats = InitStats {
-        rounds: 0,
-        passes: 1,
-        candidates: k,
-        ..InitStats::default()
-    };
-    Ok((centers, stats))
+    drive_random_init(&mut ClusterBackend::new(cluster), k, seed).map_err(ClusterError::from)
 }
 
-/// Algorithm 2 over the cluster — the distributed twin of
-/// `kmeans_parallel_chunked`, bit-identical to it (and to the in-memory
-/// `kmeans_parallel`) on the same data, k, config, seed, and shard size,
-/// for any worker count.
-///
-/// Pass structure per round: the coordinator broadcasts only the *new*
-/// candidates; each worker folds them into its resident `d²` slice (one
-/// local scan) and ships per-shard potential partials plus its Step 4
-/// samples — exactly the §3.5 sketch ("each mapper can sample
-/// independently", "the reducer can simply add these values").
+/// Algorithm 2 over the cluster — [`drive_kmeans_parallel`] on a
+/// [`ClusterBackend`], bit-identical to the in-memory and chunked
+/// entry points on the same data, k, config, seed, and shard size, for
+/// any worker count.
 pub fn dist_kmeans_parallel(
     cluster: &mut Cluster,
     k: usize,
     config: &KMeansParallelConfig,
     seed: u64,
 ) -> Result<(PointMatrix, InitStats), ClusterError> {
-    validate_cluster(cluster, k)?;
-    config.validate(k)?;
-    let n = cluster.global_n();
-    let l = config.oversampling.resolve(k);
-    // Sequential RNG for the O(1)-size decisions (first center, top-up,
-    // recluster) — the exact tag-30 stream of the single-node paths.
-    let mut rng = Rng::derive(seed, &[30]);
-
-    // Step 1: one uniform center, fetched from its owner.
-    let first = rng.range_usize(n);
-    let mut cand_idx: Vec<usize> = vec![first];
-    let mut candidates = cluster.gather_rows(&cand_idx)?;
-
-    // Step 2: ψ = φ_X(C) — every worker builds its tracker slice.
-    let psi = cluster.tracker_init(&candidates)?;
-    let mut phi = psi;
-    let max_rounds = match config.rounds {
-        Rounds::Fixed(r) => r,
-        Rounds::LogPsi { cap } => {
-            if psi <= 1.0 {
-                1
-            } else {
-                (psi.ln().ceil() as usize).clamp(1, cap)
-            }
-        }
-    };
-
-    // Steps 3–6: workers sample against resident d²; one broadcast of the
-    // new candidates per round.
-    let mut rounds_executed = 0usize;
-    for round in 0..max_rounds {
-        if phi <= 0.0 {
-            break; // every point coincides with a candidate
-        }
-        rounds_executed += 1;
-        let (new_indices, rows) = match config.sampling {
-            SamplingMode::Bernoulli => cluster.sample_bernoulli_round(round, seed, l, phi)?,
-            SamplingMode::ExactL => {
-                let m = (l.round() as usize).max(1);
-                let keys = cluster.sample_exact_round(round, seed, m)?;
-                let indices = exact_sample_merge(keys, m);
-                let rows = cluster.gather_rows(&indices)?;
-                (indices, rows)
-            }
-        };
-        if new_indices.is_empty() {
-            continue; // a dry Bernoulli round: possible, simply proceed
-        }
-        let from = candidates.len();
-        candidates
-            .extend_from(&rows)
-            .expect("candidate dim matches");
-        cand_idx.extend_from_slice(&new_indices);
-        phi = cluster.tracker_update(from, &rows)?;
-    }
-
-    // Top-up to k candidates — same policies, same RNG stream. The
-    // D²-weighted draw needs the full resident d² array; this is the one
-    // O(n)-transfer path, taken only when r·ℓ under-sampled.
-    if candidates.len() < k {
-        let needed = k - candidates.len();
-        let mut extra = match config.topup {
-            TopUp::D2Continue => {
-                let d2 = cluster.gather_d2()?;
-                kmeans_util::sampling::weighted_distinct(&d2, needed, &mut rng)
-            }
-            TopUp::Uniform => Vec::new(),
-        };
-        if extra.len() < needed {
-            let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
-            taken.sort_unstable();
-            let mut free: Vec<usize> = (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
-            let want = (needed - extra.len()).min(free.len());
-            for j in 0..want {
-                let pick = j + rng.range_usize(free.len() - j);
-                free.swap(j, pick);
-                extra.push(free[j]);
-            }
-        }
-        let from = candidates.len();
-        let rows = cluster.gather_rows(&extra)?;
-        candidates
-            .extend_from(&rows)
-            .expect("candidate dim matches");
-        cand_idx.extend_from_slice(&extra);
-        // The update keeps worker trackers current for Step 7's weights;
-        // the potential itself is no longer needed.
-        cluster.tracker_update(from, &rows)?;
-    }
-
-    // Step 7: candidate weights — an O(|C|) exchange, no data pass.
-    let weights = cluster.candidate_weights(candidates.len())?;
-    let stats = InitStats {
-        rounds: rounds_executed,
-        passes: 1 + rounds_executed,
-        candidates: candidates.len(),
-        seed_cost: 0.0, // stamped by DistInit::run
-        duration: std::time::Duration::ZERO,
-    };
-
-    // Step 8: recluster the (resident, small) weighted candidate set —
-    // literally the single-node code.
-    let centers = if candidates.len() == k {
-        candidates
-    } else {
-        match config.recluster {
-            Recluster::WeightedKMeansPlusPlus => {
-                kmeans_core::init::weighted_kmeanspp(&candidates, &weights, k, &mut rng)
-                    .map_err(ClusterError::KMeans)?
-            }
-            Recluster::Refined { lloyd_iterations } => {
-                let seeded =
-                    kmeans_core::init::weighted_kmeanspp(&candidates, &weights, k, &mut rng)
-                        .map_err(ClusterError::KMeans)?;
-                kmeans_core::lloyd::weighted_lloyd(&candidates, &weights, seeded, lloyd_iterations)
-            }
-            Recluster::Uniform => {
-                let picks = uniform_distinct(candidates.len(), k, &mut rng);
-                candidates.select(&picks)
-            }
-        }
-    };
-    Ok((centers, stats))
+    drive_kmeans_parallel(&mut ClusterBackend::new(cluster), k, config, seed)
+        .map_err(ClusterError::from)
 }
 
-fn validate_refine(cluster: &Cluster, centers: &PointMatrix) -> Result<(), ClusterError> {
-    if cluster.global_n() == 0 {
-        return Err(KMeansError::EmptyInput.into());
-    }
-    if centers.is_empty() || centers.len() > cluster.global_n() {
-        return Err(KMeansError::InvalidK {
-            k: centers.len(),
-            n: cluster.global_n(),
-        }
-        .into());
-    }
-    if cluster.dim() != centers.dim() {
-        return Err(KMeansError::DimensionMismatch {
-            expected: cluster.dim(),
-            got: centers.dim(),
-        }
-        .into());
-    }
-    Ok(())
-}
-
-/// Lloyd's iteration over the cluster — the distributed twin of
-/// `lloyd_chunked`, bit-identical to it (and to the in-memory `lloyd`) on
-/// the same data, centers, config, and shard size, for any worker count:
-/// workers ship the carried accumulation-shard partials, the coordinator
-/// folds them in shard order, updates centroids, and repairs empty
-/// clusters by fetching the farthest point back from its owner.
+/// Lloyd's iteration over the cluster — [`drive_lloyd`] on a
+/// [`ClusterBackend`]: workers ship accumulation-shard partials (kernel
+/// counters included), the coordinator folds them in shard order,
+/// updates centroids, and repairs empty clusters by fetching the
+/// farthest point back from its owner. Bit-identical to the single-node
+/// paths, `pruned_by_norm_bound` included.
 pub fn dist_lloyd(
     cluster: &mut Cluster,
     initial_centers: &PointMatrix,
     config: &LloydConfig,
 ) -> Result<LloydResult, ClusterError> {
-    config.validate()?;
-    validate_refine(cluster, initial_centers)?;
+    drive_lloyd(&mut ClusterBackend::new(cluster), initial_centers, config)
+        .map_err(ClusterError::from)
+}
 
-    let d = cluster.dim();
-    let mut centers = initial_centers.clone();
-    let mut prev_cost = f64::INFINITY;
-    let mut history = Vec::new();
-    let mut converged = false;
-    let mut stable_exit = false;
-
-    for _ in 0..config.max_iterations {
-        let (reassigned, sums) = cluster.assign(&centers)?;
-
-        if reassigned == 0 {
-            converged = true;
-            stable_exit = true;
-            history.push(IterationStats {
-                cost: sums.cost,
-                reassigned: 0,
-                reseeded: 0,
-            });
-            prev_cost = sums.cost;
-            break;
-        }
-
-        let mut reseeded = 0usize;
-        let mut farthest: Vec<(usize, f64)> = sums.farthest.clone();
-        farthest.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        let mut next_far = farthest.into_iter();
-        for c in 0..centers.len() {
-            if let Some(centroid) = sums.centroid(c, d) {
-                centers.row_mut(c).copy_from_slice(&centroid);
-            } else if let Some((idx, _)) = next_far.next() {
-                // Empty cluster: land on the farthest available point,
-                // fetched back from its owning worker.
-                let row = cluster.gather_rows(&[idx])?;
-                centers.row_mut(c).copy_from_slice(row.row(0));
-                reseeded += 1;
-            }
-            // More empty clusters than shard maxima: leave the center in
-            // place, matching the single-node repair.
-        }
-
-        history.push(IterationStats {
-            cost: sums.cost,
-            reassigned,
-            reseeded,
-        });
-
-        if config.tol > 0.0
-            && prev_cost.is_finite()
-            && reseeded == 0
-            && prev_cost - sums.cost <= config.tol * prev_cost
-        {
-            converged = true;
-            prev_cost = sums.cost;
-            break;
-        }
-        prev_cost = sums.cost;
-    }
-
-    // On a stable exit the workers' stored labels already describe the
-    // final centers; otherwise one closing relabel pass (counted).
-    let (cost, closing_pass) = if stable_exit {
-        (prev_cost, 0)
-    } else {
-        let (_, sums) = cluster.assign(&centers)?;
-        (sums.cost, 1)
-    };
-    let labels = cluster.fetch_labels()?;
-
-    Ok(LloydResult {
-        labels,
-        cost,
-        iterations: history.len(),
-        converged,
-        assign_passes: history.len() + closing_pass,
-        // Workers prune locally but don't ship kernel counters.
-        pruned_by_norm_bound: 0,
-        history,
-        centers,
-    })
+/// Mini-batch k-means over the cluster — [`drive_minibatch`] on a
+/// [`ClusterBackend`]: each step gathers its uniform batch from the
+/// owning workers (`O(batch · d)` on the wire per step) and applies the
+/// gradient update on the coordinator. Bit-identical to the single-node
+/// mini-batch on the same seed — the distributed realization the driver
+/// abstraction bought for free.
+pub fn dist_minibatch(
+    cluster: &mut Cluster,
+    initial_centers: &PointMatrix,
+    config: &MiniBatchConfig,
+    seed: u64,
+) -> Result<(PointMatrix, KernelStats), ClusterError> {
+    drive_minibatch(
+        &mut ClusterBackend::new(cluster),
+        initial_centers,
+        config,
+        seed,
+    )
+    .map_err(ClusterError::from)
 }
 
 /// One labeling pass over the cluster: labels and potential of `centers`
-/// without moving them — the distributed twin of `NoRefine`'s chunked
-/// path.
+/// without moving them — [`drive_label_pass`] on a [`ClusterBackend`].
 pub fn dist_label_and_cost(
     cluster: &mut Cluster,
     centers: &PointMatrix,
 ) -> Result<(Vec<u32>, f64), ClusterError> {
-    validate_refine(cluster, centers)?;
-    let (_, sums) = cluster.assign(centers)?;
-    let labels = cluster.fetch_labels()?;
+    let (labels, sums) =
+        drive_label_pass(&mut ClusterBackend::new(cluster), centers).map_err(ClusterError::from)?;
     Ok((labels, sums.cost))
 }

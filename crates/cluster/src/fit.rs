@@ -1,24 +1,29 @@
-//! Pipeline integration: [`DistInit`] / [`DistRefine`] stages and the
-//! [`FitDistributed`] extension that gives the standard
-//! [`KMeans`] builder a `fit_distributed`
-//! entry point next to `fit` and `fit_chunked`.
+//! Pipeline integration: the [`FitDistributed`] extension that gives the
+//! standard [`KMeans`] builder a `fit_distributed` entry point next to
+//! `fit` and `fit_chunked`, plus the [`DistInit`] / [`DistRefine`]
+//! convenience stages.
 //!
-//! The builder's configured stages are resolved through the pipeline's
-//! `as_any` hook: `kmeans-par` and `random` seeds and `lloyd` / `none`
-//! refiners have distributed realizations; every other stage rejects with
-//! the shared typed error (`reject_distributed`) — the same fail-loudly
-//! contract the chunked path established.
+//! With the backend-generic driver layer, a distributed fit is the same
+//! pipeline as a local one: the builder's configured stages run their
+//! `init_backend` / `refine_backend` entry points on a
+//! [`ClusterBackend`], and stages without a distributed formulation
+//! (AFK-MC², Hamerly, k-means++, the streaming seeders) reject with the
+//! shared typed error — the same fail-loudly contract the chunked path
+//! established. No stage resolution or downcasting is involved anymore:
+//! `random`/`kmeans-par` seeds and `lloyd`/`minibatch`/`none` refiners
+//! work because their round drivers are backend-generic.
 
+use crate::backend::ClusterBackend;
 use crate::coordinator::Cluster;
-use crate::dist::{dist_kmeans_parallel, dist_label_and_cost, dist_lloyd, dist_random_init};
-use kmeans_core::init::{InitMethod, InitResult, KMeansParallelConfig};
+use kmeans_core::driver::{BackendKind, RoundBackend};
+use kmeans_core::init::{InitResult, KMeansParallelConfig};
 use kmeans_core::lloyd::LloydConfig;
+use kmeans_core::minibatch::MiniBatchConfig;
 use kmeans_core::model::{KMeans, KMeansModel, ModelParts};
-use kmeans_core::pipeline::{self, reject_distributed, Initializer, RefineResult, Refiner};
+use kmeans_core::pipeline::{self, Initializer, RefineResult, Refiner};
 use kmeans_core::KMeansError;
-use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
-use kmeans_util::timing::Stopwatch;
 
 fn reject_local(name: &str) -> KMeansError {
     KMeansError::InvalidConfig(format!(
@@ -35,8 +40,11 @@ enum DistInitMethod {
 
 /// A distributed seeding stage. Implements [`Initializer`] so it slots
 /// into the standard builder (`KMeans::params(k).init(DistInit::...)`),
-/// but its real entry point is [`DistInit::run`] over a [`Cluster`] —
-/// the in-memory/chunked trait methods reject with a typed error.
+/// but it is a thin adapter: it delegates to the corresponding core
+/// stage's backend-generic driver, restricted to cluster backends — the
+/// in-memory/chunked entry points reject with a typed error. (Passing
+/// the core stage itself to the builder works identically; `DistInit`
+/// exists for callers that want "distributed-only" to fail loudly.)
 #[derive(Clone, Copy, Debug)]
 pub struct DistInit(DistInitMethod);
 
@@ -51,25 +59,30 @@ impl DistInit {
         DistInit(DistInitMethod::KMeansParallel(config))
     }
 
-    /// Runs the seeding over the cluster, stamping duration and seed cost
-    /// with the same conventions as the single-node `finish_init_chunked`
-    /// epilogue (duration excludes the seed-cost pass).
+    fn delegate(
+        &self,
+        backend: &mut dyn RoundBackend,
+        k: usize,
+        seed: u64,
+    ) -> Result<InitResult, KMeansError> {
+        match self.0 {
+            DistInitMethod::Random => pipeline::Random.init_backend(backend, k, seed),
+            DistInitMethod::KMeansParallel(config) => {
+                pipeline::KMeansParallel(config).init_backend(backend, k, seed)
+            }
+        }
+    }
+
+    /// Runs the seeding over the cluster, stamping duration and seed
+    /// cost with the same conventions as every other backend-generic
+    /// initializer (duration excludes the seed-cost pass).
     pub fn run(
         &self,
         cluster: &mut Cluster,
         k: usize,
         seed: u64,
     ) -> Result<InitResult, KMeansError> {
-        let sw = Stopwatch::start();
-        let (centers, mut stats) = match &self.0 {
-            DistInitMethod::Random => dist_random_init(cluster, k, seed)?,
-            DistInitMethod::KMeansParallel(config) => {
-                dist_kmeans_parallel(cluster, k, config, seed)?
-            }
-        };
-        stats.duration = sw.elapsed();
-        stats.seed_cost = cluster.potential(&centers)?;
-        Ok(InitResult { centers, stats })
+        self.delegate(&mut ClusterBackend::new(cluster), k, seed)
     }
 }
 
@@ -92,24 +105,27 @@ impl Initializer for DistInit {
         Err(reject_local(self.name()))
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        _source: &dyn ChunkedSource,
-        _k: usize,
-        _seed: u64,
-        _exec: &Executor,
+        backend: &mut dyn RoundBackend,
+        k: usize,
+        seed: u64,
     ) -> Result<InitResult, KMeansError> {
-        Err(reject_local(self.name()))
+        if backend.kind() != BackendKind::Distributed {
+            return Err(reject_local(self.name()));
+        }
+        self.delegate(backend, k, seed)
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, kind: BackendKind) -> bool {
+        kind == BackendKind::Distributed
     }
 }
 
 #[derive(Clone, Copy, Debug)]
 enum DistRefineMethod {
     Lloyd(LloydConfig),
+    MiniBatch(MiniBatchConfig),
     None,
 }
 
@@ -123,51 +139,45 @@ impl DistRefine {
         DistRefine(DistRefineMethod::Lloyd(config))
     }
 
+    /// Distributed mini-batch refinement: batches are gathered from the
+    /// owning workers, the gradient steps run on the coordinator.
+    pub fn minibatch(config: MiniBatchConfig) -> Self {
+        DistRefine(DistRefineMethod::MiniBatch(config))
+    }
+
     /// Keep the seed centers; one distributed labeling pass.
     pub fn none() -> Self {
         DistRefine(DistRefineMethod::None)
     }
 
+    fn delegate(
+        &self,
+        backend: &mut dyn RoundBackend,
+        centers: &PointMatrix,
+        seed: u64,
+    ) -> Result<RefineResult, KMeansError> {
+        match self.0 {
+            DistRefineMethod::Lloyd(config) => {
+                pipeline::Lloyd(config).refine_backend(backend, centers, seed)
+            }
+            DistRefineMethod::MiniBatch(config) => {
+                pipeline::MiniBatch(config).refine_backend(backend, centers, seed)
+            }
+            DistRefineMethod::None => pipeline::NoRefine.refine_backend(backend, centers, seed),
+        }
+    }
+
     /// Runs the refinement over the cluster, with the same result
-    /// conventions as the chunked `Lloyd`/`NoRefine` refiners (analytic
-    /// `n·k` distance accounting per assignment pass).
+    /// conventions as the other backend-generic refiners (analytic
+    /// `n·k` distance accounting per assignment pass; measured kernel
+    /// counters folded from the workers' partials frames).
     pub fn run(
         &self,
         cluster: &mut Cluster,
         centers: &PointMatrix,
+        seed: u64,
     ) -> Result<RefineResult, KMeansError> {
-        let n = cluster.global_n() as u64;
-        let k = centers.len() as u64;
-        match &self.0 {
-            DistRefineMethod::Lloyd(config) => {
-                let r = dist_lloyd(cluster, centers, config)?;
-                Ok(RefineResult {
-                    distance_computations: n * k * r.assign_passes as u64,
-                    // Workers don't ship kernel counters over the wire;
-                    // the norm-prune observable is a single-node metric.
-                    pruned_by_norm_bound: 0,
-                    centers: r.centers,
-                    labels: r.labels,
-                    cost: r.cost,
-                    iterations: r.iterations,
-                    converged: r.converged,
-                    history: r.history,
-                })
-            }
-            DistRefineMethod::None => {
-                let (labels, cost) = dist_label_and_cost(cluster, centers)?;
-                Ok(RefineResult {
-                    centers: centers.clone(),
-                    labels,
-                    cost,
-                    iterations: 0,
-                    converged: true,
-                    history: Vec::new(),
-                    distance_computations: n * k,
-                    pruned_by_norm_bound: 0,
-                })
-            }
-        }
+        self.delegate(&mut ClusterBackend::new(cluster), centers, seed)
     }
 }
 
@@ -175,6 +185,7 @@ impl Refiner for DistRefine {
     fn name(&self) -> &'static str {
         match self.0 {
             DistRefineMethod::Lloyd(_) => "lloyd",
+            DistRefineMethod::MiniBatch(_) => "minibatch",
             DistRefineMethod::None => "none",
         }
     }
@@ -190,63 +201,21 @@ impl Refiner for DistRefine {
         Err(reject_local(self.name()))
     }
 
-    fn refine_chunked(
+    fn refine_backend(
         &self,
-        _source: &dyn ChunkedSource,
-        _centers: &PointMatrix,
-        _seed: u64,
-        _exec: &Executor,
+        backend: &mut dyn RoundBackend,
+        centers: &PointMatrix,
+        seed: u64,
     ) -> Result<RefineResult, KMeansError> {
-        Err(reject_local(self.name()))
+        if backend.kind() != BackendKind::Distributed {
+            return Err(reject_local(self.name()));
+        }
+        self.delegate(backend, centers, seed)
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, kind: BackendKind) -> bool {
+        kind == BackendKind::Distributed
     }
-}
-
-/// Maps a builder seeding stage to its distributed realization.
-fn resolve_init(stage: &dyn Initializer) -> Result<DistInit, KMeansError> {
-    let any = stage
-        .as_any()
-        .ok_or_else(|| reject_distributed(stage.name()))?;
-    if let Some(d) = any.downcast_ref::<DistInit>() {
-        return Ok(*d);
-    }
-    if let Some(p) = any.downcast_ref::<pipeline::KMeansParallel>() {
-        return Ok(DistInit::kmeans_parallel(p.0));
-    }
-    if any.downcast_ref::<pipeline::Random>().is_some() {
-        return Ok(DistInit::random());
-    }
-    if let Some(m) = any.downcast_ref::<InitMethod>() {
-        return match m {
-            InitMethod::Random => Ok(DistInit::random()),
-            InitMethod::KMeansParallel(config) => Ok(DistInit::kmeans_parallel(*config)),
-            // k-means++ draws each center from a global sequential D²
-            // distribution — k dependent rounds with coordinator-resident
-            // state; no distributed formulation (the paper's point).
-            InitMethod::KMeansPlusPlus => Err(reject_distributed(stage.name())),
-        };
-    }
-    Err(reject_distributed(stage.name()))
-}
-
-/// Maps a builder refinement stage to its distributed realization.
-fn resolve_refine(stage: &dyn Refiner) -> Result<DistRefine, KMeansError> {
-    let any = stage
-        .as_any()
-        .ok_or_else(|| reject_distributed(stage.name()))?;
-    if let Some(d) = any.downcast_ref::<DistRefine>() {
-        return Ok(*d);
-    }
-    if let Some(l) = any.downcast_ref::<pipeline::Lloyd>() {
-        return Ok(DistRefine::lloyd(l.0));
-    }
-    if any.downcast_ref::<pipeline::NoRefine>().is_some() {
-        return Ok(DistRefine::none());
-    }
-    Err(reject_distributed(stage.name()))
 }
 
 /// Extension trait putting `fit_distributed` on the standard
@@ -281,14 +250,25 @@ impl FitDistributed for KMeans {
             ));
         }
         let exec = self.executor();
-        let dist_init = resolve_init(self.initializer().as_ref())?;
         let refiner = self.resolve_refiner()?;
-        let dist_refine = resolve_refine(refiner.as_ref())?;
-        cluster
-            .plan(exec.shard_spec().shard_size())
-            .map_err(KMeansError::from)?;
-        let init = dist_init.run(cluster, self.k(), self.configured_seed())?;
-        let result = dist_refine.run(cluster, &init.centers)?;
+        // Both stages are capability-checked up front, and the plan (with
+        // its worker-alignment validation) is deferred to the first wire
+        // primitive — so an unsupported stage always rejects with its own
+        // typed error, before any stage touches the cluster.
+        if !self
+            .initializer()
+            .supports_backend(BackendKind::Distributed)
+        {
+            return Err(pipeline::reject_distributed(self.initializer().name()));
+        }
+        if !refiner.supports_backend(BackendKind::Distributed) {
+            return Err(pipeline::reject_distributed(refiner.name()));
+        }
+        let mut backend = ClusterBackend::deferred(cluster, exec.shard_spec().shard_size());
+        let init =
+            self.initializer()
+                .init_backend(&mut backend, self.k(), self.configured_seed())?;
+        let result = refiner.refine_backend(&mut backend, &init.centers, self.configured_seed())?;
         Ok(KMeansModel::from_parts(ModelParts {
             centers: result.centers,
             labels: result.labels,
@@ -299,8 +279,8 @@ impl FitDistributed for KMeans {
             history: result.history,
             distance_computations: result.distance_computations,
             pruned_by_norm_bound: result.pruned_by_norm_bound,
-            init_name: dist_init.name(),
-            refiner_name: dist_refine.name(),
+            init_name: self.initializer().name(),
+            refiner_name: refiner.name(),
             executor: exec,
         }))
     }

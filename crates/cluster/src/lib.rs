@@ -20,7 +20,13 @@
 //!   with a residency budget) and computes per-shard partials only.
 //! * [`coordinator`] — [`Cluster`]: the conversation driver and the home
 //!   of every order-sensitive fold.
-//! * [`dist`] — the distributed algorithms (Algorithm 2, Lloyd).
+//! * [`backend`] — [`ClusterBackend`]: the cluster as a
+//!   `kmeans_core::driver::RoundBackend`, so the backend-generic round
+//!   drivers (the *single* implementation of k-means||, Lloyd,
+//!   mini-batch, and random seeding shared with the in-memory and
+//!   chunked modes) execute distributed.
+//! * [`dist`] — thin per-algorithm entry points binding those drivers to
+//!   a [`Cluster`].
 //! * [`fit`] — [`FitDistributed`] puts `fit_distributed` on the standard
 //!   [`KMeans`](kmeans_core::model::KMeans) builder, next to `fit` and
 //!   `fit_chunked`, plus the [`DistInit`]/[`DistRefine`] pipeline stages.
@@ -39,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod coordinator;
 pub mod dist;
 pub mod error;
@@ -47,6 +54,7 @@ pub mod protocol;
 pub mod transport;
 pub mod worker;
 
+pub use backend::ClusterBackend;
 pub use coordinator::{Cluster, WorkerSummary};
 pub use error::ClusterError;
 pub use fit::{DistInit, DistRefine, FitDistributed};

@@ -21,6 +21,7 @@
 //! (`tests/protocol_proptests.rs` fuzzes this contract).
 
 use kmeans_core::chunked::AccumShard;
+use kmeans_core::kernel::KernelStats;
 use kmeans_core::KMeansError;
 use kmeans_data::PointMatrix;
 use std::io::{Read, Write};
@@ -299,12 +300,20 @@ pub enum Message {
         centers: PointMatrix,
     },
     /// Accumulation-shard partials of one assignment pass, in shard
-    /// order, plus the reassignment count vs. the previous pass.
+    /// order, plus the reassignment count vs. the previous pass and the
+    /// pass's kernel work counters.
     Partials {
         /// Rows whose label changed (local count; first pass = all).
         reassigned: u64,
         /// One partial per accumulation shard of the worker's range.
         shards: Vec<AccumShard>,
+        /// The worker's kernel counters for this pass (distance
+        /// evaluations performed, candidates pruned by the norm /
+        /// coordinate bounds). Encoded as a trailing field; decoders
+        /// accept frames without it (older workers) as zeroed counters,
+        /// so the coordinator degrades to under-counting instead of
+        /// failing the round.
+        stats: KernelStats,
     },
     /// Potential partials for these centers (seed-cost pass; includes the
     /// finiteness check). Replies `ShardSums`.
@@ -610,12 +619,20 @@ impl Message {
             Message::GatherRows { indices } => e.u64s(indices),
             Message::Rows { rows } => e.matrix(rows),
             Message::D2 { values } => e.f64s(values),
-            Message::Partials { reassigned, shards } => {
+            Message::Partials {
+                reassigned,
+                shards,
+                stats,
+            } => {
                 e.u64(*reassigned);
                 e.u64(shards.len() as u64);
                 for s in shards {
                     encode_accum_shard(&mut e, s);
                 }
+                // Trailing stats field (added in frame revision 2; absent
+                // in frames from older peers — see the decoder).
+                e.u64(stats.distance_computations);
+                e.u64(stats.pruned_by_norm_bound);
             }
             Message::Labels { labels } => e.u32s(labels),
             Message::Stats(s) => {
@@ -714,7 +731,24 @@ impl Message {
                 let shards = (0..n)
                     .map(|_| decode_accum_shard(&mut d))
                     .collect::<Result<Vec<_>, _>>()?;
-                Message::Partials { reassigned, shards }
+                // Defensive versioning: the kernel-counter field trails
+                // the shards. A frame ending right here is a revision-1
+                // frame (counters default to zero); anything else must be
+                // the full pair of u64s — `d.finish()` below rejects
+                // stragglers.
+                let stats = if d.remaining() == 0 {
+                    KernelStats::default()
+                } else {
+                    KernelStats {
+                        distance_computations: d.u64()?,
+                        pruned_by_norm_bound: d.u64()?,
+                    }
+                };
+                Message::Partials {
+                    reassigned,
+                    shards,
+                    stats,
+                }
             }
             19 => Message::Cost {
                 centers: d.matrix()?,
@@ -933,6 +967,10 @@ mod tests {
                     cost: 0.5,
                     farthest: (17, 0.25),
                 }],
+                stats: KernelStats {
+                    distance_computations: 42,
+                    pruned_by_norm_bound: 7,
+                },
             },
             Message::Cost { centers: m },
             Message::FetchLabels,
@@ -1013,6 +1051,57 @@ mod tests {
             Message::decode_frame(&f, MAX_FRAME_PAYLOAD).unwrap_err(),
             FrameError::UnknownTag(200)
         );
+    }
+
+    #[test]
+    fn partials_without_trailing_stats_decode_as_zeroed_counters() {
+        // A revision-1 Partials frame (no kernel-counter field): rebuild
+        // the payload without the trailing 16 bytes and re-checksum. The
+        // decoder must accept it with zeroed stats, not reject the frame.
+        let msg = Message::Partials {
+            reassigned: 3,
+            shards: vec![AccumShard {
+                sums: vec![1.0, 2.0],
+                counts: vec![2],
+                cost: 0.5,
+                farthest: (4, 0.25),
+            }],
+            stats: KernelStats {
+                distance_computations: 9,
+                pruned_by_norm_bound: 1,
+            },
+        };
+        let full = msg.encode_frame();
+        let payload_len = full.len() - 9 - 8; // minus header and checksum
+        let old_payload = &full[9..9 + payload_len - 16]; // drop the stats
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.push(18);
+        frame.extend_from_slice(&(old_payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(old_payload);
+        frame.extend_from_slice(&fnv1a(18, old_payload).to_le_bytes());
+        let (decoded, _) = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+        match decoded {
+            Message::Partials {
+                reassigned, stats, ..
+            } => {
+                assert_eq!(reassigned, 3);
+                assert_eq!(stats, KernelStats::default());
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // A frame with a *partial* stats field is malformed, not zeroed.
+        let cut_payload = &full[9..9 + payload_len - 8];
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&FRAME_MAGIC);
+        bad.push(18);
+        bad.extend_from_slice(&(cut_payload.len() as u32).to_le_bytes());
+        bad.extend_from_slice(cut_payload);
+        bad.extend_from_slice(&fnv1a(18, cut_payload).to_le_bytes());
+        assert!(matches!(
+            Message::decode_frame(&bad, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
     }
 
     #[test]

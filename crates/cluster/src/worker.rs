@@ -265,9 +265,10 @@ impl Worker {
                 })
             }
             Message::Assign { centers } => {
-                // Kernel counters stay worker-local; only the partials go
-                // on the (unchanged) wire.
-                let (labels, shards, _stats) =
+                // Kernel counters ride along as the trailing stats field,
+                // so the coordinator's fold reports the same measured
+                // work a single-node pass would.
+                let (labels, shards, stats) =
                     assign_partials_chunked(source, &centers, &s.exec, s.start_row, s.global_n)
                         .map_err(offset_err)?;
                 let reassigned = match &s.labels {
@@ -275,7 +276,11 @@ impl Worker {
                     Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
                 };
                 s.labels = Some(labels);
-                Ok(Message::Partials { reassigned, shards })
+                Ok(Message::Partials {
+                    reassigned,
+                    shards,
+                    stats,
+                })
             }
             Message::Cost { centers } => Ok(Message::ShardSums {
                 sums: potential_shard_sums(source, &centers, &s.exec).map_err(offset_err)?,

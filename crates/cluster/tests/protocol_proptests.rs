@@ -28,6 +28,10 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> Message {
                 cost: floats.first().copied().unwrap_or(0.0),
                 farthest: (ints.last().copied().unwrap_or(0) as usize, 1.25),
             }],
+            stats: kmeans_core::kernel::KernelStats {
+                distance_computations: ints.first().copied().unwrap_or(0),
+                pruned_by_norm_bound: ints.last().copied().unwrap_or(0),
+            },
         },
         4 => Message::Assign {
             centers: matrix(&floats, 2),

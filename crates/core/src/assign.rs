@@ -35,8 +35,9 @@ pub struct ClusterSums {
     pub farthest: Vec<(usize, f64)>,
     /// Kernel work accounting for the pass (distance evaluations actually
     /// performed and candidates skipped by the norm bound). Deterministic
-    /// across thread counts and block sizes; zero when the sums were
-    /// folded from wire partials that don't carry counters (distributed).
+    /// across thread counts, block sizes, and worker counts — distributed
+    /// workers ship their counters in the partials frames and the
+    /// coordinator sums them, so the fold equals the single-node value.
     pub stats: KernelStats,
 }
 

@@ -1,6 +1,14 @@
-//! Out-of-core kernels: the multi-pass building blocks that run every
-//! in-memory algorithm of this crate over a
-//! [`ChunkedSource`] instead of a resident [`PointMatrix`].
+//! Out-of-core kernels: the per-pass building blocks that let the
+//! backend-generic drivers in [`crate::driver`] run every algorithm of
+//! this crate over a [`ChunkedSource`] instead of a resident
+//! [`PointMatrix`].
+//!
+//! The algorithm round loops themselves live in [`crate::driver`]
+//! (`drive_kmeans_parallel`, `drive_lloyd`, `drive_minibatch`) — this
+//! module provides the primitives their
+//! [`ChunkedBackend`](crate::driver::ChunkedBackend) is built from, and
+//! the same primitives are what distributed workers run on their local
+//! shards.
 //!
 //! This is the "data does not fit in main memory" premise of the paper's
 //! §1 made executable: each k-means|| round (Algorithm 2), each Lloyd
@@ -11,9 +19,8 @@
 //! feature payload, which is the part that outgrows RAM at the paper's
 //! scales (KDDCup1999: 4.8 M × 42 doubles).
 //!
-//! **Bit-parity contract.** For every kernel here except the streaming
-//! Partition seeder, running on a chunked source produces results
-//! bit-identical to the in-memory entry point on the same data, seed, and
+//! **Bit-parity contract.** Every kernel here produces results
+//! bit-identical to its in-memory counterpart on the same data, seed, and
 //! executor — for *any* block size (`tests/chunked_parity.rs`). Two
 //! mechanisms make that hold:
 //!
@@ -29,14 +36,9 @@
 
 use crate::assign::{sum_shard_size, ClusterSums};
 use crate::error::KMeansError;
-use crate::init::{InitResult, InitStats};
 use crate::kernel::{AssignKernel, KernelStats};
-use crate::lloyd::{IterationStats, LloydConfig, LloydResult};
-use crate::minibatch::MiniBatchConfig;
 use kmeans_data::{ChunkedSource, DataError, PointMatrix};
 use kmeans_par::Executor;
-use kmeans_util::timing::Stopwatch;
-use kmeans_util::Rng;
 
 /// Converts a data-layer block failure into the typed clustering error.
 pub(crate) fn source_err(e: DataError) -> KMeansError {
@@ -214,21 +216,6 @@ pub fn potential_shard_sums(
     Ok(folder.into_sums())
 }
 
-/// Initializer epilogue for chunked seeders: stamps duration and the seed
-/// cost (one [`potential_chunked`] pass) — the chunked analogue of
-/// [`crate::pipeline::finish_init`], on the same seed-cost convention.
-pub fn finish_init_chunked(
-    source: &dyn ChunkedSource,
-    centers: PointMatrix,
-    mut stats: InitStats,
-    sw: Stopwatch,
-    exec: &Executor,
-) -> Result<InitResult, KMeansError> {
-    stats.duration = sw.elapsed();
-    stats.seed_cost = potential_chunked(source, &centers, exec)?;
-    Ok(InitResult { centers, stats })
-}
-
 /// [`crate::cost::CostTracker`] for chunked sources: maintains the
 /// per-point `d²` and nearest-candidate-id arrays (resident `O(n)` scalar
 /// state) across center additions, re-reading the feature blocks on each
@@ -363,9 +350,35 @@ pub fn gather_rows(
     indices: &[usize],
     buf: &mut PointMatrix,
 ) -> Result<PointMatrix, KMeansError> {
+    let mut out = PointMatrix::with_capacity(source.dim(), indices.len());
+    gather_rows_into(source, indices, buf, &mut out)?;
+    Ok(out)
+}
+
+/// [`gather_rows`] into a caller-provided matrix (cleared first, must
+/// match the source's dimensionality) — allocation-free in steady state
+/// when `out` is reused across calls, which is what keeps repeated
+/// mini-batch gathers off the allocator.
+pub fn gather_rows_into(
+    source: &dyn ChunkedSource,
+    indices: &[usize],
+    buf: &mut PointMatrix,
+    out: &mut PointMatrix,
+) -> Result<(), KMeansError> {
     let dim = source.dim();
-    let mut out = PointMatrix::from_flat(vec![0.0; indices.len() * dim], dim)
-        .expect("buffer length is a multiple of dim");
+    if out.dim() != dim {
+        return Err(KMeansError::DimensionMismatch {
+            expected: dim,
+            got: out.dim(),
+        });
+    }
+    // Pre-size with zero rows (reusing the buffer's capacity) so the
+    // block-ordered reads below can fill the request-ordered slots.
+    out.clear();
+    let zero = vec![0.0f64; dim];
+    for _ in 0..indices.len() {
+        out.push(&zero).expect("dim checked above");
+    }
     let mut order: Vec<(usize, usize)> = indices.iter().copied().zip(0..).collect();
     order.sort_unstable();
     let block_rows = source.block_rows();
@@ -380,7 +393,7 @@ pub fn gather_rows(
             i += 1;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Chunked analogue of [`crate::lloyd::validate_refine_inputs`].
@@ -471,8 +484,9 @@ impl AccumShard {
 /// [`crate::assign::assign_and_sum`] fold bit for bit.
 ///
 /// The returned [`KernelStats`] account for this pass's local kernel work
-/// (distance evaluations performed / norm-bound prunes); they stay local —
-/// the wire [`AccumShard`] format does not carry them.
+/// (distance evaluations performed / norm-bound prunes). Distributed
+/// workers ship them as the trailing stats field of their partials frame
+/// (the [`AccumShard`] wire format itself does not carry them).
 pub fn assign_partials_chunked(
     source: &dyn ChunkedSource,
     centers: &PointMatrix,
@@ -545,9 +559,11 @@ pub fn assign_partials_chunked(
 
 /// Folds accumulation-shard partials (in shard order) into one
 /// [`ClusterSums`] — the exact reducer of the in-memory
-/// [`crate::assign::assign_and_sum`] pass. Wire partials carry no kernel
-/// counters, so the folded `stats` start at zero; local callers that have
-/// them ([`assign_and_sum_chunked`]) stamp them afterwards.
+/// [`crate::assign::assign_and_sum`] pass. [`AccumShard`]s carry no
+/// kernel counters (those travel separately, summed order-free), so the
+/// folded `stats` start at zero; callers that have them
+/// ([`assign_and_sum_chunked`], the distributed coordinator) stamp them
+/// afterwards.
 pub fn fold_accum_shards(k: usize, d: usize, shards: &[AccumShard]) -> ClusterSums {
     let mut out = ClusterSums {
         sums: vec![0.0; k * d],
@@ -571,189 +587,14 @@ pub fn fold_accum_shards(k: usize, d: usize, shards: &[AccumShard]) -> ClusterSu
     out
 }
 
-/// Lloyd's iteration over a chunked source: one scan per iteration
-/// (§3.1's MapReduce round), bit-identical to [`crate::lloyd::lloyd`] —
-/// including the per-iteration history, deterministic empty-cluster
-/// reseeding (the farthest point is fetched back from the source), and
-/// the closing-relabel convention.
-pub fn lloyd_chunked(
-    source: &dyn ChunkedSource,
-    initial_centers: &PointMatrix,
-    config: &LloydConfig,
-    exec: &Executor,
-) -> Result<LloydResult, KMeansError> {
-    config.validate()?;
-    validate_refine_inputs_chunked(source, initial_centers)?;
-
-    let d = source.dim();
-    let mut centers = initial_centers.clone();
-    let mut prev_labels: Option<Vec<u32>> = None;
-    let mut prev_cost = f64::INFINITY;
-    let mut history = Vec::new();
-    let mut converged = false;
-    let mut pruned = 0u64;
-    let mut stable_exit = false;
-    let mut buf = source.block_buffer();
-
-    for _ in 0..config.max_iterations {
-        let (labels, sums) = assign_and_sum_chunked(source, &centers, exec)?;
-        pruned += sums.stats.pruned_by_norm_bound;
-        let reassigned = match &prev_labels {
-            None => source.len() as u64,
-            Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
-        };
-
-        if reassigned == 0 {
-            converged = true;
-            stable_exit = true;
-            history.push(IterationStats {
-                cost: sums.cost,
-                reassigned: 0,
-                reseeded: 0,
-            });
-            prev_cost = sums.cost;
-            prev_labels = Some(labels);
-            break;
-        }
-
-        let mut reseeded = 0usize;
-        let mut farthest: Vec<(usize, f64)> = sums.farthest.clone();
-        farthest.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        let mut next_far = farthest.into_iter();
-        for c in 0..centers.len() {
-            if let Some(centroid) = sums.centroid(c, d) {
-                centers.row_mut(c).copy_from_slice(&centroid);
-            } else if let Some((idx, _)) = next_far.next() {
-                // Empty cluster: land on the farthest available point,
-                // fetched back from its block.
-                let row = gather_rows(source, &[idx], &mut buf)?;
-                centers.row_mut(c).copy_from_slice(row.row(0));
-                reseeded += 1;
-            }
-            // More empty clusters than shard maxima: leave the center in
-            // place, matching the in-memory repair.
-        }
-
-        history.push(IterationStats {
-            cost: sums.cost,
-            reassigned,
-            reseeded,
-        });
-
-        if config.tol > 0.0
-            && prev_cost.is_finite()
-            && reseeded == 0
-            && prev_cost - sums.cost <= config.tol * prev_cost
-        {
-            converged = true;
-            prev_cost = sums.cost;
-            prev_labels = Some(labels);
-            break;
-        }
-        prev_cost = sums.cost;
-        prev_labels = Some(labels);
-    }
-
-    let (labels, cost, closing_pass) = match (&prev_labels, stable_exit) {
-        (Some(labels), true) => (labels.clone(), prev_cost, 0),
-        _ => {
-            let (labels, sums) = assign_and_sum_chunked(source, &centers, exec)?;
-            pruned += sums.stats.pruned_by_norm_bound;
-            (labels, sums.cost, 1)
-        }
-    };
-
-    Ok(LloydResult {
-        labels,
-        cost,
-        iterations: history.len(),
-        converged,
-        assign_passes: history.len() + closing_pass,
-        pruned_by_norm_bound: pruned,
-        history,
-        centers,
-    })
-}
-
-/// Mini-batch k-means over a chunked source — bit-identical centers to
-/// [`crate::minibatch::minibatch_kmeans`] on the same seed. Each step
-/// draws the same uniform batch indices and gathers the rows from the
-/// source; only `O(batch · d)` feature data is resident per step.
-///
-/// The random gather pattern is where the source implementations diverge
-/// in cost: a budgeted `BlockFileSource` serves repeated blocks from its
-/// cache, while `CsvSource` re-parses every touched block on every batch —
-/// convert large CSVs (`skm convert`) before mini-batch refinement.
-pub fn minibatch_chunked(
-    source: &dyn ChunkedSource,
-    initial_centers: &PointMatrix,
-    config: &MiniBatchConfig,
-    seed: u64,
-) -> Result<PointMatrix, KMeansError> {
-    Ok(minibatch_chunked_traced(source, initial_centers, config, seed)?.0)
-}
-
-/// [`minibatch_chunked`] with kernel work accounting: also returns the
-/// batch-assignment [`KernelStats`] accumulated across all steps.
-pub fn minibatch_chunked_traced(
-    source: &dyn ChunkedSource,
-    initial_centers: &PointMatrix,
-    config: &MiniBatchConfig,
-    seed: u64,
-) -> Result<(PointMatrix, KernelStats), KMeansError> {
-    validate_refine_inputs_chunked(source, initial_centers)?;
-    if config.batch_size == 0 || config.iterations == 0 {
-        return Err(KMeansError::InvalidConfig(
-            "batch_size and iterations must be positive".into(),
-        ));
-    }
-
-    let mut centers = initial_centers.clone();
-    let mut seen = vec![0u64; centers.len()];
-    let mut rng = Rng::derive(seed, &[40]);
-    let mut batch = vec![0usize; config.batch_size];
-    let mut labels = vec![0u32; config.batch_size];
-    let mut d2 = vec![0.0f64; config.batch_size];
-    let mut stats = KernelStats::default();
-    let mut buf = source.block_buffer();
-    for _ in 0..config.iterations {
-        for slot in &mut batch {
-            *slot = rng.range_usize(source.len());
-        }
-        let rows = gather_rows(source, &batch, &mut buf)?;
-        // Assign against frozen centers, then apply the gradient steps in
-        // batch order — Sculley's two-phase step, same as in-memory.
-        {
-            let kernel = AssignKernel::new(&centers);
-            stats.absorb(kernel.assign(&rows, 0..rows.len(), &mut labels, &mut d2));
-        }
-        for (j, &c) in labels.iter().enumerate() {
-            let c = c as usize;
-            seen[c] += 1;
-            let eta = 1.0 / seen[c] as f64;
-            let row = rows.row(j);
-            let center = centers.row_mut(c);
-            for (slot, &x) in center.iter_mut().zip(row) {
-                *slot += eta * (x - *slot);
-            }
-        }
-    }
-    Ok((centers, stats))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::assign::assign_and_sum;
     use crate::cost::{potential, CostTracker};
-    use crate::lloyd::lloyd;
-    use crate::minibatch::minibatch_kmeans;
     use kmeans_data::InMemorySource;
     use kmeans_par::Parallelism;
+    use kmeans_util::Rng;
 
     fn blobs(n: usize) -> PointMatrix {
         let mut m = PointMatrix::new(2);
@@ -882,46 +723,6 @@ mod tests {
     }
 
     #[test]
-    fn lloyd_chunked_is_bit_identical_including_reseeds() {
-        let m = blobs(400);
-        // Two centers glued far away: forces empty-cluster reseeding.
-        let init =
-            PointMatrix::from_flat(vec![0.0, 0.0, -900.0, -900.0, -900.0, -900.0], 2).unwrap();
-        let exec = Executor::new(Parallelism::Threads(3)).with_shard_size(32);
-        let reference = lloyd(&m, &init, &LloydConfig::default(), &exec).unwrap();
-        assert!(reference.history[0].reseeded >= 1, "setup must reseed");
-        for block_rows in [11, 128, 400] {
-            let got = lloyd_chunked(
-                &source(&m, block_rows),
-                &init,
-                &LloydConfig::default(),
-                &exec,
-            )
-            .unwrap();
-            assert_eq!(got.centers, reference.centers, "block_rows {block_rows}");
-            assert_eq!(got.labels, reference.labels);
-            assert_eq!(got.cost.to_bits(), reference.cost.to_bits());
-            assert_eq!(got.iterations, reference.iterations);
-            assert_eq!(got.assign_passes, reference.assign_passes);
-        }
-    }
-
-    #[test]
-    fn minibatch_chunked_is_bit_identical() {
-        let m = blobs(600);
-        let init = PointMatrix::from_flat(vec![10.0, 0.0, 50.0, 20.0, 70.0, 40.0], 2).unwrap();
-        let config = MiniBatchConfig {
-            batch_size: 64,
-            iterations: 30,
-        };
-        let reference = minibatch_kmeans(&m, &init, &config, 9).unwrap();
-        for block_rows in [23, 100, 600] {
-            let got = minibatch_chunked(&source(&m, block_rows), &init, &config, 9).unwrap();
-            assert_eq!(got, reference, "block_rows {block_rows}");
-        }
-    }
-
-    #[test]
     fn chunked_validation_rejects_bad_shapes() {
         let m = blobs(10);
         let src = source(&m, 4);
@@ -938,15 +739,5 @@ mod tests {
             validate_refine_inputs_chunked(&src, &wrong),
             Err(KMeansError::DimensionMismatch { .. })
         ));
-        assert!(matches!(
-            lloyd_chunked(
-                &src,
-                &wrong,
-                &LloydConfig::default(),
-                &Executor::sequential()
-            ),
-            Err(KMeansError::DimensionMismatch { .. })
-        ));
-        assert!(minibatch_chunked(&src, &wrong, &MiniBatchConfig::default(), 0).is_err());
     }
 }

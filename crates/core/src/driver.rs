@@ -1,0 +1,1054 @@
+//! The backend-generic round drivers: **one** implementation of each of
+//! the paper's data-parallel algorithms, executable on any
+//! [`RoundBackend`].
+//!
+//! The paper's algorithms are defined as sequences of data-parallel
+//! rounds — broadcast the new candidates, sample by D², fold partial
+//! sums — and before this module the workspace carried three
+//! hand-synchronized copies of each: the in-memory originals, their
+//! `_chunked` twins, and the coordinator loops in `kmeans-cluster`
+//! (which PR 3 documented as mirroring the chunked twins "line for
+//! line"). [`RoundBackend`] captures exactly the per-round primitives
+//! those three execution modes already shared, in the spirit of the MPC
+//! round-primitive formulation of k-means (Jiang et al.), so each
+//! algorithm's round logic now exists in exactly one function:
+//!
+//! * [`drive_kmeans_parallel`] — Algorithm 2 (k-means\|\|),
+//! * [`drive_random_init`] — uniform seeding,
+//! * [`drive_lloyd`] — Lloyd's iteration (§3.1),
+//! * [`drive_minibatch`] — Sculley's mini-batch k-means,
+//! * [`drive_label_pass`] — one labeling/cost pass (seed-only studies).
+//!
+//! Backends:
+//!
+//! * [`InMemoryBackend`] — a resident [`PointMatrix`]; the in-memory
+//!   entry points (`kmeans_parallel`, `lloyd`, `minibatch_kmeans`) are
+//!   thin wrappers over it.
+//! * [`ChunkedBackend`] — a block-resident
+//!   [`ChunkedSource`]; behind
+//!   [`Initializer::init_chunked`](crate::pipeline::Initializer::init_chunked)
+//!   / [`Refiner::refine_chunked`](crate::pipeline::Refiner::refine_chunked).
+//! * `ClusterBackend` (in `kmeans-cluster`) — a coordinator's worker
+//!   cluster speaking the SKW1 wire protocol.
+//!
+//! **Bit-parity contract.** A driver's outcome is a pure function of
+//! `(data, k, config, seed, executor shard size)` — never of the
+//! backend. Three clauses make that structural (`tests/driver_parity.rs`
+//! pins it over a backend × block-size × worker-count × thread grid):
+//!
+//! 1. Per-point arithmetic (tracker updates, nearest-center scans,
+//!    centroid contributions) is order-insensitive, so each backend
+//!    computes it with whatever parallelism and blocking it has.
+//! 2. Order-sensitive *scalar* decisions (first center, top-up draws,
+//!    the Step 8 recluster, mini-batch index draws) run **here**, on the
+//!    driver side, on the same RNG streams for every backend (tags
+//!    20/21/30/40; per-shard sampling tags 31/32 are derived from
+//!    *global* shard indices inside the backends).
+//! 3. Order-sensitive *folds* stay shard-ordered left folds: backends
+//!    only ever produce per-shard partials of the global shard grid, and
+//!    every fold happens on the driver side of the primitive (the
+//!    tracker potentials, [`RoundBackend::assign`]'s
+//!    accumulation-shard fold).
+
+use crate::assign::{assign_and_sum, ClusterSums};
+use crate::chunked::{
+    assign_partials_chunked, fold_accum_shards, gather_rows, validate_refine_inputs_chunked,
+    validate_source, ChunkedCostTracker,
+};
+use crate::cost::{potential, CostTracker};
+use crate::error::KMeansError;
+use crate::init::{
+    exact_sample_keys, exact_sample_merge, sample_bernoulli, InitResult, InitStats,
+    KMeansParallelConfig, Recluster, Rounds, SamplingMode, TopUp,
+};
+use crate::init::{validate, weighted_kmeanspp};
+use crate::kernel::{AssignKernel, KernelStats};
+use crate::lloyd::{validate_refine_inputs, IterationStats, LloydConfig, LloydResult};
+use crate::minibatch::MiniBatchConfig;
+use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_par::Executor;
+use kmeans_util::sampling::uniform_distinct;
+use kmeans_util::timing::Stopwatch;
+use kmeans_util::Rng;
+
+/// Which execution mode a [`RoundBackend`] represents — used only for
+/// typed rejections (stages without a formulation on that mode) and
+/// reporting, never for algorithmic decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// A resident [`PointMatrix`].
+    InMemory,
+    /// A single-node block-resident [`ChunkedSource`].
+    Chunked,
+    /// A coordinator's view of a worker cluster.
+    Distributed,
+}
+
+impl BackendKind {
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::InMemory => "in-memory",
+            BackendKind::Chunked => "chunked",
+            BackendKind::Distributed => "distributed",
+        }
+    }
+}
+
+/// The per-round primitives shared by the in-memory, chunked, and
+/// distributed execution modes. Everything a backend returns is either
+/// order-insensitive per-point data or per-shard partials of the
+/// *global* shard grid; every order-sensitive fold and every scalar RNG
+/// decision lives in the drivers.
+///
+/// State carried between calls (and between a seeding driver and the
+/// refinement driver that follows it on the same backend): the D²/nearest
+/// tracker slices built by [`RoundBackend::tracker_init`], and the labels
+/// of the last [`RoundBackend::assign`] pass.
+pub trait RoundBackend {
+    /// Which execution mode this backend is (for typed rejections).
+    fn kind(&self) -> BackendKind;
+
+    /// Total number of rows.
+    fn len(&self) -> usize;
+
+    /// Whether the backend serves no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row dimensionality.
+    fn dim(&self) -> usize;
+
+    /// The local block-resident source (and the executor its passes run
+    /// on) behind this backend, when it has one — `None` for remote
+    /// backends. Stages with a block-streaming but not fully
+    /// round-generic formulation (k-means++'s sequential D² draws, the
+    /// streaming Partition/coreset seeders) use this to run on local
+    /// backends and reject remote ones with a typed error.
+    fn local_source(&self) -> Option<(&dyn ChunkedSource, &Executor)> {
+        None
+    }
+
+    /// Validates the seeding input contract for `k` clusters — the same
+    /// checks the legacy per-mode entry points performed (the in-memory
+    /// backend includes the upfront finiteness scan; block-backed
+    /// backends defer it to their first full pass, which reports the
+    /// same global `NonFiniteData` index).
+    fn validate(&self, k: usize) -> Result<(), KMeansError>;
+
+    /// Validates the refinement input contract (non-empty data,
+    /// `1 ≤ |centers| ≤ n`, matching dimensionality).
+    fn validate_refine(&self, centers: &PointMatrix) -> Result<(), KMeansError>;
+
+    /// Fetches the rows at `indices` (any order, duplicates allowed),
+    /// preserving the request order.
+    fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError>;
+
+    /// [`RoundBackend::gather_rows`] into a caller-provided matrix
+    /// (cleared first), so steady-state gather loops — mini-batch draws
+    /// one batch per step — can reuse a single buffer. The default
+    /// delegates to `gather_rows`; local backends override it to be
+    /// allocation-free per call in steady state.
+    fn gather_rows_into(
+        &mut self,
+        indices: &[usize],
+        out: &mut PointMatrix,
+    ) -> Result<(), KMeansError> {
+        *out = self.gather_rows(indices)?;
+        Ok(())
+    }
+
+    /// Broadcast of an initial candidate set: (re)builds the backend's
+    /// resident `d²`/nearest tracker state and returns the global
+    /// potential ψ (the shard-ordered fold of per-shard partials).
+    fn tracker_init(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError>;
+
+    /// Broadcast of newly appended candidates only (`from` = index of
+    /// the first new candidate). Returns the updated global potential φ.
+    fn tracker_update(&mut self, from: usize, new_rows: &PointMatrix) -> Result<f64, KMeansError>;
+
+    /// Step 4, Bernoulli form: every point independently with
+    /// probability `min(1, ℓ·d²/φ)` against the tracked `d²`, with the
+    /// per-shard RNG streams of tag 31 derived from **global** shard
+    /// indices. Returns ascending global indices plus their rows.
+    fn sample_bernoulli(
+        &mut self,
+        round: usize,
+        seed: u64,
+        l: f64,
+        phi: f64,
+    ) -> Result<(Vec<usize>, PointMatrix), KMeansError>;
+
+    /// Step 4, exact-ℓ form: per-shard Efraimidis–Spirakis top-`m` keys
+    /// (tag 32, global shard indices), `(key, global index)` — the
+    /// driver merges them globally with
+    /// [`exact_sample_merge`].
+    fn sample_exact_keys(
+        &mut self,
+        round: usize,
+        seed: u64,
+        m: usize,
+    ) -> Result<Vec<(f64, usize)>, KMeansError>;
+
+    /// The full resident `d²` array in global row order — the one-shot
+    /// O(n) transfer behind the D² top-up (taken only when `r·ℓ < k`
+    /// under-sampled).
+    fn gather_d2(&mut self) -> Result<Vec<f64>, KMeansError>;
+
+    /// Step 7: candidate weights as a histogram over the tracked nearest
+    /// ids (`m` = candidate count, cross-checked by remote backends).
+    fn candidate_weights(&mut self, m: usize) -> Result<Vec<f64>, KMeansError>;
+
+    /// One assignment pass against `centers`: stores the labels, and
+    /// returns the number of rows whose label changed relative to the
+    /// previous pass (first pass: all rows) plus the accumulation-shard
+    /// fold of the pass — bit-identical to the in-memory
+    /// [`assign_and_sum`] on the same data and
+    /// executor, [`KernelStats`] included.
+    fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), KMeansError>;
+
+    /// The labels stored by the last [`RoundBackend::assign`] pass, in
+    /// global row order.
+    fn fetch_labels(&mut self) -> Result<Vec<u32>, KMeansError>;
+
+    /// The potential `φ_X(C)` of `centers` (with the finiteness check on
+    /// block-backed backends) — the seed-cost pass.
+    fn potential(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError>;
+}
+
+/// Seeding epilogue shared by every backend-generic initializer: stamps
+/// the duration and the seed cost (one [`RoundBackend::potential`] pass)
+/// — the backend-generic form of [`crate::pipeline::finish_init`], on
+/// the same convention (duration excludes the seed-cost pass).
+pub fn finish_init_backend(
+    backend: &mut dyn RoundBackend,
+    centers: PointMatrix,
+    mut stats: InitStats,
+    sw: Stopwatch,
+) -> Result<InitResult, KMeansError> {
+    stats.duration = sw.elapsed();
+    stats.seed_cost = backend.potential(&centers)?;
+    Ok(InitResult { centers, stats })
+}
+
+// ---------------------------------------------------------------------------
+// The drivers
+// ---------------------------------------------------------------------------
+
+/// Uniform seeding over any backend (RNG tag 20): `k` distinct rows,
+/// gathered from their owners. The seed cost is stamped by the caller
+/// (usually [`finish_init_backend`]).
+pub fn drive_random_init(
+    backend: &mut dyn RoundBackend,
+    k: usize,
+    seed: u64,
+) -> Result<(PointMatrix, InitStats), KMeansError> {
+    backend.validate(k)?;
+    let mut rng = Rng::derive(seed, &[20]);
+    let indices = uniform_distinct(backend.len(), k, &mut rng);
+    let centers = backend.gather_rows(&indices)?;
+    let stats = InitStats {
+        rounds: 0,
+        passes: 1,
+        candidates: k,
+        ..InitStats::default()
+    };
+    Ok((centers, stats))
+}
+
+/// Algorithm 2 — **k-means||** — over any backend; the one and only
+/// implementation of the paper's round structure.
+///
+/// Pass structure per round: the driver broadcasts only the *new*
+/// candidates ([`RoundBackend::tracker_update`]); the backend folds them
+/// into its resident `d²` state (one scan) and serves the Step 4 samples
+/// against it — exactly the §3.5 sketch ("each mapper can sample
+/// independently", "the reducer can simply add these values"). All
+/// O(1)-size decisions (first center, top-up, Step 8 recluster) run here
+/// on the sequential tag-30 stream.
+pub fn drive_kmeans_parallel(
+    backend: &mut dyn RoundBackend,
+    k: usize,
+    config: &KMeansParallelConfig,
+    seed: u64,
+) -> Result<(PointMatrix, InitStats), KMeansError> {
+    backend.validate(k)?;
+    config.validate(k)?;
+    let n = backend.len();
+    let l = config.oversampling.resolve(k);
+    let mut rng = Rng::derive(seed, &[30]);
+
+    // Step 1: one uniform center, fetched from its owner.
+    let first = rng.range_usize(n);
+    let mut cand_idx: Vec<usize> = vec![first];
+    let mut candidates = backend.gather_rows(&cand_idx)?;
+
+    // Step 2: ψ = φ_X(C) — the backend builds its tracker state (this is
+    // pass 1 over the data, doubling as the finiteness check on
+    // block-backed backends).
+    let psi = backend.tracker_init(&candidates)?;
+    let mut phi = psi;
+    let max_rounds = match config.rounds {
+        Rounds::Fixed(r) => r,
+        Rounds::LogPsi { cap } => {
+            if psi <= 1.0 {
+                1
+            } else {
+                (psi.ln().ceil() as usize).clamp(1, cap)
+            }
+        }
+    };
+
+    // Steps 3–6: one tracker-update scan per round; sampling reads only
+    // the resident d².
+    let mut rounds_executed = 0usize;
+    for round in 0..max_rounds {
+        if phi <= 0.0 {
+            break; // every point coincides with a candidate
+        }
+        rounds_executed += 1;
+        let (new_indices, rows) = match config.sampling {
+            SamplingMode::Bernoulli => backend.sample_bernoulli(round, seed, l, phi)?,
+            SamplingMode::ExactL => {
+                let m = (l.round() as usize).max(1);
+                let keys = backend.sample_exact_keys(round, seed, m)?;
+                let indices = exact_sample_merge(keys, m);
+                let rows = backend.gather_rows(&indices)?;
+                (indices, rows)
+            }
+        };
+        if new_indices.is_empty() {
+            continue; // a dry Bernoulli round: possible, simply proceed
+        }
+        let from = candidates.len();
+        candidates
+            .extend_from(&rows)
+            .expect("candidate dim matches");
+        cand_idx.extend_from_slice(&new_indices);
+        phi = backend.tracker_update(from, &rows)?;
+    }
+
+    // Top-up: the paper notes that with r·ℓ < k "we run the risk of
+    // having fewer than k centers" — guarantee k by continuing to draw
+    // D²-weighted distinct points (uniform among unchosen once everything
+    // is covered). The D² draw needs the full resident d² array; this is
+    // the one O(n)-transfer path, taken only when r·ℓ under-sampled.
+    if candidates.len() < k {
+        let needed = k - candidates.len();
+        let mut extra = match config.topup {
+            TopUp::D2Continue => {
+                let d2 = backend.gather_d2()?;
+                kmeans_util::sampling::weighted_distinct(&d2, needed, &mut rng)
+            }
+            TopUp::Uniform => Vec::new(),
+        };
+        if extra.len() < needed {
+            let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
+            taken.sort_unstable();
+            let mut free: Vec<usize> = (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
+            let want = (needed - extra.len()).min(free.len());
+            // Partial Fisher–Yates: uniform distinct draw from the free set.
+            for j in 0..want {
+                let pick = j + rng.range_usize(free.len() - j);
+                free.swap(j, pick);
+                extra.push(free[j]);
+            }
+        }
+        let from = candidates.len();
+        let rows = backend.gather_rows(&extra)?;
+        candidates
+            .extend_from(&rows)
+            .expect("candidate dim matches");
+        cand_idx.extend_from_slice(&extra);
+        // The update keeps the tracker current for Step 7's weights; the
+        // potential itself is no longer needed.
+        backend.tracker_update(from, &rows)?;
+    }
+
+    // Step 7: candidate weights from the tracked nearest ids — an O(|C|)
+    // exchange, no data pass.
+    let weights = backend.candidate_weights(candidates.len())?;
+    let stats = InitStats {
+        rounds: rounds_executed,
+        passes: 1 + rounds_executed,
+        candidates: candidates.len(),
+        seed_cost: 0.0, // stamped by finish_init_backend
+        duration: std::time::Duration::ZERO,
+    };
+
+    // Step 8: recluster the (resident, small) weighted candidate set.
+    let centers = if candidates.len() == k {
+        candidates
+    } else {
+        match config.recluster {
+            Recluster::WeightedKMeansPlusPlus => {
+                weighted_kmeanspp(&candidates, &weights, k, &mut rng)?
+            }
+            Recluster::Refined { lloyd_iterations } => {
+                let seeded = weighted_kmeanspp(&candidates, &weights, k, &mut rng)?;
+                crate::lloyd::weighted_lloyd(&candidates, &weights, seeded, lloyd_iterations)
+            }
+            Recluster::Uniform => {
+                let picks = uniform_distinct(candidates.len(), k, &mut rng);
+                candidates.select(&picks)
+            }
+        }
+    };
+    Ok((centers, stats))
+}
+
+/// Lloyd's iteration (§3.1) over any backend — the one implementation of
+/// the assignment/update round loop, including the per-iteration
+/// history, deterministic empty-cluster reseeding (the farthest point is
+/// fetched back from its owner), and the closing-relabel convention.
+pub fn drive_lloyd(
+    backend: &mut dyn RoundBackend,
+    initial_centers: &PointMatrix,
+    config: &LloydConfig,
+) -> Result<LloydResult, KMeansError> {
+    config.validate()?;
+    backend.validate_refine(initial_centers)?;
+
+    let d = backend.dim();
+    let mut centers = initial_centers.clone();
+    let mut prev_cost = f64::INFINITY;
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut pruned = 0u64;
+    // Whether the loop ended on a stable assignment (no centroid update
+    // after the stored labels) — only then do they match the final
+    // centers without a closing relabel pass. A tol-based stop applies
+    // the centroid update *before* breaking, so it does not qualify.
+    let mut stable_exit = false;
+
+    for _ in 0..config.max_iterations {
+        let (reassigned, sums) = backend.assign(&centers)?;
+        pruned += sums.stats.pruned_by_norm_bound;
+
+        // Stability: nothing moved → the centroid update is a no-op.
+        if reassigned == 0 {
+            converged = true;
+            stable_exit = true;
+            history.push(IterationStats {
+                cost: sums.cost,
+                reassigned: 0,
+                reseeded: 0,
+            });
+            prev_cost = sums.cost;
+            break;
+        }
+
+        // Centroid update, with deterministic empty-cluster repair.
+        let mut reseeded = 0usize;
+        let mut farthest: Vec<(usize, f64)> = sums.farthest.clone();
+        farthest.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut next_far = farthest.into_iter();
+        for c in 0..centers.len() {
+            if let Some(centroid) = sums.centroid(c, d) {
+                centers.row_mut(c).copy_from_slice(&centroid);
+            } else if let Some((idx, _)) = next_far.next() {
+                // Empty cluster: land on the farthest available point,
+                // fetched back from its owner.
+                let row = backend.gather_rows(&[idx])?;
+                centers.row_mut(c).copy_from_slice(row.row(0));
+                reseeded += 1;
+            }
+            // More empty clusters than shard maxima (pathological
+            // duplicate-heavy data): leave the center in place.
+        }
+
+        history.push(IterationStats {
+            cost: sums.cost,
+            reassigned,
+            reseeded,
+        });
+
+        // Relative-improvement stop (after at least one update).
+        if config.tol > 0.0
+            && prev_cost.is_finite()
+            && reseeded == 0
+            && prev_cost - sums.cost <= config.tol * prev_cost
+        {
+            converged = true;
+            prev_cost = sums.cost;
+            break;
+        }
+        prev_cost = sums.cost;
+    }
+
+    // Produce a final self-consistent (labels, cost) for the final
+    // centers. On a stable exit the stored labels already describe them;
+    // otherwise (iteration cap or tol stop) one closing relabel pass.
+    let (cost, closing_pass) = if stable_exit {
+        (prev_cost, 0)
+    } else {
+        let (_, sums) = backend.assign(&centers)?;
+        pruned += sums.stats.pruned_by_norm_bound;
+        (sums.cost, 1)
+    };
+    let labels = backend.fetch_labels()?;
+
+    Ok(LloydResult {
+        labels,
+        cost,
+        iterations: history.len(),
+        converged,
+        assign_passes: history.len() + closing_pass,
+        pruned_by_norm_bound: pruned,
+        history,
+        centers,
+    })
+}
+
+/// Sculley's mini-batch k-means over any backend — the one
+/// implementation of the step loop. Each step draws the same uniform
+/// batch indices (RNG tag 40), gathers the rows from their owners, and
+/// applies the two-phase gradient step on the driver side; only
+/// `O(batch · d)` feature data ever moves per step, which is what makes
+/// the distributed realization essentially free.
+///
+/// The random gather pattern is where backends diverge in *cost*: a
+/// budgeted `BlockFileSource` serves repeated blocks from its cache,
+/// `CsvSource` re-parses every touched block per batch (convert large
+/// CSVs with `skm convert` first), and a cluster ships each batch over
+/// the wire.
+///
+/// Returns the refined centers plus the batch-assignment [`KernelStats`]
+/// accumulated across all steps.
+pub fn drive_minibatch(
+    backend: &mut dyn RoundBackend,
+    initial_centers: &PointMatrix,
+    config: &MiniBatchConfig,
+    seed: u64,
+) -> Result<(PointMatrix, KernelStats), KMeansError> {
+    backend.validate_refine(initial_centers)?;
+    if config.batch_size == 0 || config.iterations == 0 {
+        return Err(KMeansError::InvalidConfig(
+            "batch_size and iterations must be positive".into(),
+        ));
+    }
+
+    let n = backend.len();
+    let mut centers = initial_centers.clone();
+    let mut seen = vec![0u64; centers.len()];
+    let mut rng = Rng::derive(seed, &[40]);
+    let mut batch = vec![0usize; config.batch_size];
+    let mut labels = vec![0u32; config.batch_size];
+    let mut d2 = vec![0.0f64; config.batch_size];
+    // One reused gather buffer across all steps — local backends fill it
+    // allocation-free in steady state.
+    let mut rows = PointMatrix::with_capacity(backend.dim(), config.batch_size);
+    let mut stats = KernelStats::default();
+    for _ in 0..config.iterations {
+        for slot in &mut batch {
+            *slot = rng.range_usize(n);
+        }
+        backend.gather_rows_into(&batch, &mut rows)?;
+        // Assign against frozen centers, then apply the gradient steps in
+        // batch order — Sculley's two-phase step avoids order dependence
+        // within a batch. The batch is candidate-set sized, so the kernel
+        // pass runs on the driver side for every backend.
+        {
+            let kernel = AssignKernel::new(&centers);
+            stats.absorb(kernel.assign(&rows, 0..rows.len(), &mut labels, &mut d2));
+        }
+        for (j, &c) in labels.iter().enumerate() {
+            let c = c as usize;
+            seen[c] += 1;
+            let eta = 1.0 / seen[c] as f64;
+            let row = rows.row(j);
+            let center = centers.row_mut(c);
+            for (slot, &x) in center.iter_mut().zip(row) {
+                *slot += eta * (x - *slot);
+            }
+        }
+    }
+    Ok((centers, stats))
+}
+
+/// One labeling pass over any backend: labels and the assignment fold of
+/// `centers` without moving them — the driver behind seed-only
+/// refinement ([`NoRefine`](crate::pipeline::NoRefine)) and mini-batch's
+/// closing relabel.
+pub fn drive_label_pass(
+    backend: &mut dyn RoundBackend,
+    centers: &PointMatrix,
+) -> Result<(Vec<u32>, ClusterSums), KMeansError> {
+    backend.validate_refine(centers)?;
+    let (_, sums) = backend.assign(centers)?;
+    let labels = backend.fetch_labels()?;
+    Ok((labels, sums))
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryBackend
+// ---------------------------------------------------------------------------
+
+/// [`RoundBackend`] over a resident [`PointMatrix`]: every primitive is
+/// the in-memory kernel it always was ([`CostTracker`],
+/// [`assign_and_sum`], [`potential`]), so the drivers reproduce the
+/// legacy in-memory entry points bit for bit.
+pub struct InMemoryBackend<'a> {
+    points: &'a PointMatrix,
+    exec: &'a Executor,
+    tracker: Option<CostTracker<'a>>,
+    candidates: PointMatrix,
+    labels: Option<Vec<u32>>,
+}
+
+impl<'a> InMemoryBackend<'a> {
+    /// Wraps a resident matrix and the executor every pass runs on.
+    pub fn new(points: &'a PointMatrix, exec: &'a Executor) -> Self {
+        InMemoryBackend {
+            points,
+            exec,
+            tracker: None,
+            candidates: PointMatrix::new(points.dim().max(1)),
+            labels: None,
+        }
+    }
+
+    fn tracker(&self) -> Result<&CostTracker<'a>, KMeansError> {
+        self.tracker
+            .as_ref()
+            .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))
+    }
+}
+
+impl RoundBackend for InMemoryBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::InMemory
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn validate(&self, k: usize) -> Result<(), KMeansError> {
+        validate(self.points, k)
+    }
+
+    fn validate_refine(&self, centers: &PointMatrix) -> Result<(), KMeansError> {
+        validate_refine_inputs(self.points, centers)
+    }
+
+    fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError> {
+        Ok(self.points.select(indices))
+    }
+
+    fn gather_rows_into(
+        &mut self,
+        indices: &[usize],
+        out: &mut PointMatrix,
+    ) -> Result<(), KMeansError> {
+        out.clear();
+        for &i in indices {
+            out.push(self.points.row(i))
+                .map_err(|e| KMeansError::Data(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn tracker_init(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
+        self.candidates = centers.clone();
+        let tracker = CostTracker::new(self.points, &self.candidates, self.exec);
+        let psi = tracker.potential();
+        self.tracker = Some(tracker);
+        Ok(psi)
+    }
+
+    fn tracker_update(&mut self, from: usize, new_rows: &PointMatrix) -> Result<f64, KMeansError> {
+        debug_assert_eq!(from, self.candidates.len(), "tracker update out of order");
+        self.candidates
+            .extend_from(new_rows)
+            .map_err(|e| KMeansError::Data(e.to_string()))?;
+        let tracker = self
+            .tracker
+            .as_mut()
+            .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+        tracker.update(&self.candidates, from, self.exec);
+        Ok(tracker.potential())
+    }
+
+    fn sample_bernoulli(
+        &mut self,
+        round: usize,
+        seed: u64,
+        l: f64,
+        phi: f64,
+    ) -> Result<(Vec<usize>, PointMatrix), KMeansError> {
+        let picked = sample_bernoulli(self.tracker()?.d2(), l, phi, seed, round, self.exec, 0);
+        let rows = self.points.select(&picked);
+        Ok((picked, rows))
+    }
+
+    fn sample_exact_keys(
+        &mut self,
+        round: usize,
+        seed: u64,
+        m: usize,
+    ) -> Result<Vec<(f64, usize)>, KMeansError> {
+        Ok(exact_sample_keys(
+            self.tracker()?.d2(),
+            m,
+            seed,
+            round,
+            self.exec,
+            0,
+        ))
+    }
+
+    fn gather_d2(&mut self) -> Result<Vec<f64>, KMeansError> {
+        Ok(self.tracker()?.d2().to_vec())
+    }
+
+    fn candidate_weights(&mut self, m: usize) -> Result<Vec<f64>, KMeansError> {
+        Ok(self.tracker()?.weights(m))
+    }
+
+    fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), KMeansError> {
+        let (labels, sums) = assign_and_sum(self.points, centers, self.exec);
+        let reassigned = match &self.labels {
+            None => self.points.len() as u64,
+            Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+        };
+        self.labels = Some(labels);
+        Ok((reassigned, sums))
+    }
+
+    fn fetch_labels(&mut self) -> Result<Vec<u32>, KMeansError> {
+        self.labels
+            .clone()
+            .ok_or_else(|| KMeansError::InvalidConfig("no assignment pass has run".into()))
+    }
+
+    fn potential(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
+        Ok(potential(self.points, centers, self.exec))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedBackend
+// ---------------------------------------------------------------------------
+
+/// [`RoundBackend`] over a block-resident [`ChunkedSource`]: every
+/// primitive is the out-of-core kernel from [`crate::chunked`]
+/// ([`ChunkedCostTracker`], [`assign_partials_chunked`] + the
+/// shard-ordered fold, [`gather_rows`]), so the drivers stay
+/// bit-identical to the in-memory path for **any** block size.
+pub struct ChunkedBackend<'a> {
+    source: &'a dyn ChunkedSource,
+    exec: &'a Executor,
+    tracker: Option<ChunkedCostTracker>,
+    candidates: PointMatrix,
+    buf: PointMatrix,
+    labels: Option<Vec<u32>>,
+}
+
+impl<'a> ChunkedBackend<'a> {
+    /// Wraps a chunked source and the executor every pass runs on.
+    pub fn new(source: &'a dyn ChunkedSource, exec: &'a Executor) -> Self {
+        ChunkedBackend {
+            source,
+            exec,
+            tracker: None,
+            candidates: PointMatrix::new(source.dim().max(1)),
+            buf: source.block_buffer(),
+            labels: None,
+        }
+    }
+
+    fn tracker(&self) -> Result<&ChunkedCostTracker, KMeansError> {
+        self.tracker
+            .as_ref()
+            .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))
+    }
+}
+
+impl RoundBackend for ChunkedBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Chunked
+    }
+
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.source.dim()
+    }
+
+    fn local_source(&self) -> Option<(&dyn ChunkedSource, &Executor)> {
+        Some((self.source, self.exec))
+    }
+
+    fn validate(&self, k: usize) -> Result<(), KMeansError> {
+        validate_source(self.source, k)
+    }
+
+    fn validate_refine(&self, centers: &PointMatrix) -> Result<(), KMeansError> {
+        validate_refine_inputs_chunked(self.source, centers)
+    }
+
+    fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError> {
+        gather_rows(self.source, indices, &mut self.buf)
+    }
+
+    fn gather_rows_into(
+        &mut self,
+        indices: &[usize],
+        out: &mut PointMatrix,
+    ) -> Result<(), KMeansError> {
+        crate::chunked::gather_rows_into(self.source, indices, &mut self.buf, out)
+    }
+
+    fn tracker_init(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
+        self.candidates = centers.clone();
+        let tracker = ChunkedCostTracker::new(self.source, &self.candidates, self.exec)?;
+        let psi = tracker.potential();
+        self.tracker = Some(tracker);
+        Ok(psi)
+    }
+
+    fn tracker_update(&mut self, from: usize, new_rows: &PointMatrix) -> Result<f64, KMeansError> {
+        debug_assert_eq!(from, self.candidates.len(), "tracker update out of order");
+        self.candidates
+            .extend_from(new_rows)
+            .map_err(|e| KMeansError::Data(e.to_string()))?;
+        let tracker = self
+            .tracker
+            .as_mut()
+            .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+        tracker.update(self.source, &self.candidates, from, self.exec)?;
+        Ok(tracker.potential())
+    }
+
+    fn sample_bernoulli(
+        &mut self,
+        round: usize,
+        seed: u64,
+        l: f64,
+        phi: f64,
+    ) -> Result<(Vec<usize>, PointMatrix), KMeansError> {
+        let picked = sample_bernoulli(self.tracker()?.d2(), l, phi, seed, round, self.exec, 0);
+        let rows = gather_rows(self.source, &picked, &mut self.buf)?;
+        Ok((picked, rows))
+    }
+
+    fn sample_exact_keys(
+        &mut self,
+        round: usize,
+        seed: u64,
+        m: usize,
+    ) -> Result<Vec<(f64, usize)>, KMeansError> {
+        Ok(exact_sample_keys(
+            self.tracker()?.d2(),
+            m,
+            seed,
+            round,
+            self.exec,
+            0,
+        ))
+    }
+
+    fn gather_d2(&mut self) -> Result<Vec<f64>, KMeansError> {
+        Ok(self.tracker()?.d2().to_vec())
+    }
+
+    fn candidate_weights(&mut self, m: usize) -> Result<Vec<f64>, KMeansError> {
+        Ok(self.tracker()?.weights(m))
+    }
+
+    fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), KMeansError> {
+        let (labels, partials, stats) =
+            assign_partials_chunked(self.source, centers, self.exec, 0, self.source.len())?;
+        let reassigned = match &self.labels {
+            None => self.source.len() as u64,
+            Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
+        };
+        self.labels = Some(labels);
+        let mut sums = fold_accum_shards(centers.len(), self.source.dim(), &partials);
+        sums.stats = stats;
+        Ok((reassigned, sums))
+    }
+
+    fn fetch_labels(&mut self) -> Result<Vec<u32>, KMeansError> {
+        self.labels
+            .clone()
+            .ok_or_else(|| KMeansError::InvalidConfig("no assignment pass has run".into()))
+    }
+
+    fn potential(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
+        crate::chunked::potential_chunked(self.source, centers, self.exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::kmeans_parallel;
+    use crate::lloyd::lloyd;
+    use crate::minibatch::minibatch_kmeans;
+    use kmeans_data::InMemorySource;
+    use kmeans_par::Parallelism;
+
+    fn blobs(n: usize) -> PointMatrix {
+        let mut m = PointMatrix::new(2);
+        let mut rng = Rng::new(7);
+        for i in 0..n {
+            let c = (i % 3) as f64 * 40.0;
+            m.push(&[c + rng.normal(), c * 0.5 + rng.normal()]).unwrap();
+        }
+        m
+    }
+
+    fn source(m: &PointMatrix, block_rows: usize) -> InMemorySource {
+        InMemorySource::new(m.clone(), block_rows).unwrap()
+    }
+
+    /// The wrappers route through the driver, so comparing the chunked
+    /// backend against the public in-memory entry points is the full
+    /// in-memory ≡ chunked equivalence.
+    #[test]
+    fn kmeans_parallel_is_bit_identical_across_backends() {
+        let m = blobs(500);
+        let config = KMeansParallelConfig::default();
+        for threads in [Parallelism::Sequential, Parallelism::Threads(3)] {
+            let exec = Executor::new(threads).with_shard_size(64);
+            let (ref_centers, ref_stats) = kmeans_parallel(&m, 5, &config, 42, &exec).unwrap();
+            for block_rows in [1, 13, 64, 500, 1000] {
+                let src = source(&m, block_rows);
+                let mut backend = ChunkedBackend::new(&src, &exec);
+                let (centers, stats) = drive_kmeans_parallel(&mut backend, 5, &config, 42).unwrap();
+                assert_eq!(centers, ref_centers, "block_rows {block_rows}");
+                assert_eq!(stats.candidates, ref_stats.candidates);
+                assert_eq!(stats.rounds, ref_stats.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_l_and_topup_are_bit_identical_across_backends() {
+        let m = blobs(400);
+        let exec = Executor::sequential().with_shard_size(32);
+        for config in [
+            KMeansParallelConfig::default().sampling(SamplingMode::ExactL),
+            // ℓ = 0.1k, one round: forces the D² top-up path.
+            KMeansParallelConfig::default()
+                .oversampling_factor(0.1)
+                .rounds(1),
+        ] {
+            let (ref_centers, _) = kmeans_parallel(&m, 20, &config, 9, &exec).unwrap();
+            let src = source(&m, 37);
+            let mut backend = ChunkedBackend::new(&src, &exec);
+            let (centers, _) = drive_kmeans_parallel(&mut backend, 20, &config, 9).unwrap();
+            assert_eq!(centers, ref_centers, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn lloyd_is_bit_identical_across_backends_including_reseeds() {
+        let m = blobs(400);
+        // Two centers glued far away: forces empty-cluster reseeding.
+        let init =
+            PointMatrix::from_flat(vec![0.0, 0.0, -900.0, -900.0, -900.0, -900.0], 2).unwrap();
+        let exec = Executor::new(Parallelism::Threads(3)).with_shard_size(32);
+        let reference = lloyd(&m, &init, &LloydConfig::default(), &exec).unwrap();
+        assert!(reference.history[0].reseeded >= 1, "setup must reseed");
+        for block_rows in [11, 128, 400] {
+            let src = source(&m, block_rows);
+            let mut backend = ChunkedBackend::new(&src, &exec);
+            let got = drive_lloyd(&mut backend, &init, &LloydConfig::default()).unwrap();
+            assert_eq!(got.centers, reference.centers, "block_rows {block_rows}");
+            assert_eq!(got.labels, reference.labels);
+            assert_eq!(got.cost.to_bits(), reference.cost.to_bits());
+            assert_eq!(got.iterations, reference.iterations);
+            assert_eq!(got.assign_passes, reference.assign_passes);
+            assert_eq!(got.pruned_by_norm_bound, reference.pruned_by_norm_bound);
+        }
+    }
+
+    #[test]
+    fn minibatch_is_bit_identical_across_backends() {
+        let m = blobs(600);
+        let init = PointMatrix::from_flat(vec![10.0, 0.0, 50.0, 20.0, 70.0, 40.0], 2).unwrap();
+        let config = MiniBatchConfig {
+            batch_size: 64,
+            iterations: 30,
+        };
+        let reference = minibatch_kmeans(&m, &init, &config, 9).unwrap();
+        let exec = Executor::sequential();
+        for block_rows in [23, 100, 600] {
+            let src = source(&m, block_rows);
+            let mut backend = ChunkedBackend::new(&src, &exec);
+            let (got, _) = drive_minibatch(&mut backend, &init, &config, 9).unwrap();
+            assert_eq!(got, reference, "block_rows {block_rows}");
+        }
+    }
+
+    #[test]
+    fn random_is_bit_identical_across_backends() {
+        let m = blobs(200);
+        let exec = Executor::sequential();
+        let mut mem = InMemoryBackend::new(&m, &exec);
+        let (ref_centers, _) = drive_random_init(&mut mem, 7, 3).unwrap();
+        let src = source(&m, 17);
+        let mut chunked = ChunkedBackend::new(&src, &exec);
+        let (centers, _) = drive_random_init(&mut chunked, 7, 3).unwrap();
+        assert_eq!(centers, ref_centers);
+    }
+
+    #[test]
+    fn drivers_validate_inputs_per_backend_contract() {
+        let m = blobs(10);
+        let exec = Executor::sequential();
+        let mut mem = InMemoryBackend::new(&m, &exec);
+        assert!(matches!(
+            drive_random_init(&mut mem, 0, 0),
+            Err(KMeansError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            drive_random_init(&mut mem, 11, 0),
+            Err(KMeansError::InvalidK { .. })
+        ));
+        let wrong = PointMatrix::from_flat(vec![0.0], 1).unwrap();
+        assert!(matches!(
+            drive_lloyd(&mut mem, &wrong, &LloydConfig::default()),
+            Err(KMeansError::DimensionMismatch { .. })
+        ));
+        assert!(drive_minibatch(&mut mem, &wrong, &MiniBatchConfig::default(), 0).is_err());
+        let src = source(&m, 4);
+        let mut chunked = ChunkedBackend::new(&src, &exec);
+        assert!(matches!(
+            drive_lloyd(&mut chunked, &wrong, &LloydConfig::default()),
+            Err(KMeansError::DimensionMismatch { .. })
+        ));
+        // Sampling primitives before tracker_init are a typed error.
+        assert!(chunked.sample_bernoulli(0, 0, 1.0, 1.0).is_err());
+        assert!(chunked.gather_d2().is_err());
+        assert!(mem.fetch_labels().is_err());
+    }
+
+    #[test]
+    fn label_pass_matches_assign_and_sum() {
+        let m = blobs(300);
+        let centers = PointMatrix::from_flat(vec![0.0, 0.0, 40.0, 20.0, 80.0, 40.0], 2).unwrap();
+        let exec = Executor::new(Parallelism::Threads(2)).with_shard_size(16);
+        let (ref_labels, ref_sums) = assign_and_sum(&m, &centers, &exec);
+        let src = source(&m, 29);
+        let mut backend = ChunkedBackend::new(&src, &exec);
+        let (labels, sums) = drive_label_pass(&mut backend, &centers).unwrap();
+        assert_eq!(labels, ref_labels);
+        assert_eq!(sums.cost.to_bits(), ref_sums.cost.to_bits());
+        assert_eq!(sums.stats, ref_sums.stats);
+    }
+}

@@ -16,8 +16,8 @@ mod random;
 pub use afkmc2::afk_mc2;
 pub use kmeanspp::{kmeanspp, kmeanspp_chunked, weighted_kmeanspp};
 pub use parallel::{
-    exact_sample_keys, exact_sample_merge, kmeans_parallel, kmeans_parallel_chunked,
-    sample_bernoulli, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
+    exact_sample_keys, exact_sample_merge, kmeans_parallel, sample_bernoulli, KMeansParallelConfig,
+    Oversampling, Recluster, Rounds, SamplingMode, TopUp,
 };
 pub use random::random_init;
 
@@ -122,26 +122,37 @@ impl crate::pipeline::Initializer for InitMethod {
         }
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        source: &dyn kmeans_data::ChunkedSource,
+        backend: &mut dyn crate::driver::RoundBackend,
         k: usize,
         seed: u64,
-        exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
         match self {
-            InitMethod::Random => crate::pipeline::Random.init_chunked(source, k, seed, exec),
+            InitMethod::Random => crate::pipeline::Random.init_backend(backend, k, seed),
             InitMethod::KMeansPlusPlus => {
-                crate::pipeline::KMeansPlusPlus.init_chunked(source, k, seed, exec)
+                crate::pipeline::KMeansPlusPlus.init_backend(backend, k, seed)
             }
             InitMethod::KMeansParallel(config) => {
-                crate::pipeline::KMeansParallel(*config).init_chunked(source, k, seed, exec)
+                crate::pipeline::KMeansParallel(*config).init_backend(backend, k, seed)
             }
         }
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, kind: crate::driver::BackendKind) -> bool {
+        match self {
+            InitMethod::Random => {
+                crate::pipeline::Initializer::supports_backend(&crate::pipeline::Random, kind)
+            }
+            InitMethod::KMeansPlusPlus => crate::pipeline::Initializer::supports_backend(
+                &crate::pipeline::KMeansPlusPlus,
+                kind,
+            ),
+            InitMethod::KMeansParallel(config) => crate::pipeline::Initializer::supports_backend(
+                &crate::pipeline::KMeansParallel(*config),
+                kind,
+            ),
+        }
     }
 }
 

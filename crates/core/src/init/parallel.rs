@@ -33,13 +33,10 @@
 //! candidate id incrementally ([`CostTracker`]), so Step 7 costs one O(n)
 //! histogram instead of a full `O(n·|C|·d)` pass — see DESIGN.md §4.
 
-use crate::cost::CostTracker;
 use crate::error::KMeansError;
-use crate::init::kmeanspp::weighted_kmeanspp;
 use crate::init::InitStats;
 use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
-use kmeans_util::sampling::uniform_distinct;
 use kmeans_util::Rng;
 
 /// The oversampling factor ℓ of Algorithm 2.
@@ -211,6 +208,12 @@ impl KMeansParallelConfig {
 /// Determinism: the outcome is a pure function of
 /// `(points, k, config, seed, executor shard size)` — the worker count
 /// never changes the result.
+///
+/// Thin wrapper over the backend-generic
+/// [`drive_kmeans_parallel`](crate::driver::drive_kmeans_parallel) on an
+/// [`InMemoryBackend`](crate::driver::InMemoryBackend): the round logic
+/// exists once, shared bit-for-bit with the chunked and distributed
+/// execution modes.
 pub fn kmeans_parallel(
     points: &PointMatrix,
     k: usize,
@@ -218,257 +221,8 @@ pub fn kmeans_parallel(
     seed: u64,
     exec: &Executor,
 ) -> Result<(PointMatrix, InitStats), KMeansError> {
-    super::validate(points, k)?;
-    config.validate(k)?;
-    let n = points.len();
-    let l = config.oversampling.resolve(k);
-    // Sequential RNG for the O(1)-size decisions (first center, recluster).
-    let mut rng = Rng::derive(seed, &[30]);
-
-    // Step 1: one uniform center.
-    let first = rng.range_usize(n);
-    let mut cand_idx: Vec<usize> = vec![first];
-    let mut candidates = points.select(&cand_idx);
-
-    // Step 2: ψ = φ_X(C) (this is pass 1 over the data).
-    let mut tracker = CostTracker::new(points, &candidates, exec);
-    let psi = tracker.potential();
-    let max_rounds = match config.rounds {
-        Rounds::Fixed(r) => r,
-        Rounds::LogPsi { cap } => {
-            if psi <= 1.0 {
-                1
-            } else {
-                (psi.ln().ceil() as usize).clamp(1, cap)
-            }
-        }
-    };
-
-    // Steps 3–6: oversampling rounds.
-    let mut rounds_executed = 0usize;
-    for round in 0..max_rounds {
-        let phi = tracker.potential();
-        if phi <= 0.0 {
-            break; // every point coincides with a candidate
-        }
-        rounds_executed += 1;
-        let new_indices = match config.sampling {
-            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec, 0),
-            SamplingMode::ExactL => {
-                let m = (l.round() as usize).max(1);
-                sample_exact(tracker.d2(), m, seed, round, exec)
-            }
-        };
-        if new_indices.is_empty() {
-            continue; // a dry Bernoulli round: possible, simply proceed
-        }
-        let from = candidates.len();
-        for &i in &new_indices {
-            candidates
-                .push(points.row(i))
-                .expect("candidate dim matches");
-        }
-        cand_idx.extend_from_slice(&new_indices);
-        tracker.update(&candidates, from, exec);
-    }
-
-    // Top-up: the paper notes that with r·ℓ < k "we run the risk of having
-    // fewer than k centers" — guarantee k by continuing to draw D²-weighted
-    // distinct points (uniform among unchosen once everything is covered).
-    if candidates.len() < k {
-        let needed = k - candidates.len();
-        let mut extra = match config.topup {
-            TopUp::D2Continue => {
-                kmeans_util::sampling::weighted_distinct(tracker.d2(), needed, &mut rng)
-            }
-            TopUp::Uniform => Vec::new(),
-        };
-        if extra.len() < needed {
-            let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
-            taken.sort_unstable();
-            let mut free: Vec<usize> = (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
-            let want = (needed - extra.len()).min(free.len());
-            // Partial Fisher–Yates: uniform distinct draw from the free set.
-            for j in 0..want {
-                let pick = j + rng.range_usize(free.len() - j);
-                free.swap(j, pick);
-                extra.push(free[j]);
-            }
-        }
-        let from = candidates.len();
-        for &i in &extra {
-            candidates
-                .push(points.row(i))
-                .expect("candidate dim matches");
-        }
-        cand_idx.extend_from_slice(&extra);
-        tracker.update(&candidates, from, exec);
-    }
-
-    // Step 7: weights — free, thanks to the tracked nearest ids.
-    let weights = tracker.weights(candidates.len());
-    let stats = InitStats {
-        rounds: rounds_executed,
-        passes: 1 + rounds_executed,
-        candidates: candidates.len(),
-        seed_cost: 0.0, // filled by InitMethod::run
-        duration: std::time::Duration::ZERO,
-    };
-
-    // Step 8: recluster the weighted candidate set down to k.
-    let centers = if candidates.len() == k {
-        candidates
-    } else {
-        match config.recluster {
-            Recluster::WeightedKMeansPlusPlus => {
-                weighted_kmeanspp(&candidates, &weights, k, &mut rng)?
-            }
-            Recluster::Refined { lloyd_iterations } => {
-                let seeded = weighted_kmeanspp(&candidates, &weights, k, &mut rng)?;
-                crate::lloyd::weighted_lloyd(&candidates, &weights, seeded, lloyd_iterations)
-            }
-            Recluster::Uniform => {
-                let picks = uniform_distinct(candidates.len(), k, &mut rng);
-                candidates.select(&picks)
-            }
-        }
-    };
-    Ok((centers, stats))
-}
-
-/// Runs Algorithm 2 over a [`ChunkedSource`](kmeans_data::ChunkedSource) —
-/// the out-of-core form of [`kmeans_parallel`], **bit-identical** to it on
-/// the same data, seed, config, and executor, for any block size
-/// (`tests/chunked_parity.rs`).
-///
-/// Pass structure per the paper's §3.5 MapReduce sketch: one scan to seed
-/// the cost tracker (Step 2), then one scan per round to fold the new
-/// candidates into `d²` (Steps 4–6; the candidate gather piggybacks on the
-/// blocks it touches). Everything order-sensitive — the per-shard Bernoulli
-/// / exact-ℓ sampling RNG streams, the shard-ordered potential folds, the
-/// Step 8 recluster — operates on the resident `O(n)` scalar tracker state
-/// and *shares the in-memory code paths*, which is what makes bitwise
-/// parity structural rather than coincidental.
-pub fn kmeans_parallel_chunked(
-    source: &dyn kmeans_data::ChunkedSource,
-    k: usize,
-    config: &KMeansParallelConfig,
-    seed: u64,
-    exec: &Executor,
-) -> Result<(PointMatrix, InitStats), KMeansError> {
-    use crate::chunked::{gather_rows, ChunkedCostTracker};
-
-    crate::chunked::validate_source(source, k)?;
-    config.validate(k)?;
-    let n = source.len();
-    let l = config.oversampling.resolve(k);
-    let mut rng = Rng::derive(seed, &[30]);
-
-    // Step 1: one uniform center, fetched from its block.
-    let first = rng.range_usize(n);
-    let mut cand_idx: Vec<usize> = vec![first];
-    let mut buf = source.block_buffer();
-    let mut candidates = gather_rows(source, &cand_idx, &mut buf)?;
-
-    // Step 2: ψ = φ_X(C) — scan 1 (doubles as the finiteness check).
-    let mut tracker = ChunkedCostTracker::new(source, &candidates, exec)?;
-    let psi = tracker.potential();
-    let max_rounds = match config.rounds {
-        Rounds::Fixed(r) => r,
-        Rounds::LogPsi { cap } => {
-            if psi <= 1.0 {
-                1
-            } else {
-                (psi.ln().ceil() as usize).clamp(1, cap)
-            }
-        }
-    };
-
-    // Steps 3–6: one scan per round (sampling reads only the resident d²).
-    let mut rounds_executed = 0usize;
-    for round in 0..max_rounds {
-        let phi = tracker.potential();
-        if phi <= 0.0 {
-            break;
-        }
-        rounds_executed += 1;
-        let new_indices = match config.sampling {
-            SamplingMode::Bernoulli => sample_bernoulli(tracker.d2(), l, phi, seed, round, exec, 0),
-            SamplingMode::ExactL => {
-                let m = (l.round() as usize).max(1);
-                sample_exact(tracker.d2(), m, seed, round, exec)
-            }
-        };
-        if new_indices.is_empty() {
-            continue;
-        }
-        let from = candidates.len();
-        let rows = gather_rows(source, &new_indices, &mut buf)?;
-        candidates
-            .extend_from(&rows)
-            .expect("candidate dim matches");
-        cand_idx.extend_from_slice(&new_indices);
-        tracker.update(source, &candidates, from, exec)?;
-    }
-
-    // Top-up to k candidates — same policies, same RNG stream as in-memory.
-    if candidates.len() < k {
-        let needed = k - candidates.len();
-        let mut extra = match config.topup {
-            TopUp::D2Continue => {
-                kmeans_util::sampling::weighted_distinct(tracker.d2(), needed, &mut rng)
-            }
-            TopUp::Uniform => Vec::new(),
-        };
-        if extra.len() < needed {
-            let mut taken: Vec<usize> = cand_idx.iter().chain(extra.iter()).copied().collect();
-            taken.sort_unstable();
-            let mut free: Vec<usize> = (0..n).filter(|i| taken.binary_search(i).is_err()).collect();
-            let want = (needed - extra.len()).min(free.len());
-            for j in 0..want {
-                let pick = j + rng.range_usize(free.len() - j);
-                free.swap(j, pick);
-                extra.push(free[j]);
-            }
-        }
-        let from = candidates.len();
-        let rows = gather_rows(source, &extra, &mut buf)?;
-        candidates
-            .extend_from(&rows)
-            .expect("candidate dim matches");
-        cand_idx.extend_from_slice(&extra);
-        tracker.update(source, &candidates, from, exec)?;
-    }
-
-    // Step 7: candidate weights from the tracked nearest ids — no scan.
-    let weights = tracker.weights(candidates.len());
-    let stats = InitStats {
-        rounds: rounds_executed,
-        passes: 1 + rounds_executed,
-        candidates: candidates.len(),
-        seed_cost: 0.0, // filled by finish_init_chunked
-        duration: std::time::Duration::ZERO,
-    };
-
-    // Step 8: recluster the (resident, small) weighted candidate set.
-    let centers = if candidates.len() == k {
-        candidates
-    } else {
-        match config.recluster {
-            Recluster::WeightedKMeansPlusPlus => {
-                weighted_kmeanspp(&candidates, &weights, k, &mut rng)?
-            }
-            Recluster::Refined { lloyd_iterations } => {
-                let seeded = weighted_kmeanspp(&candidates, &weights, k, &mut rng)?;
-                crate::lloyd::weighted_lloyd(&candidates, &weights, seeded, lloyd_iterations)
-            }
-            Recluster::Uniform => {
-                let picks = uniform_distinct(candidates.len(), k, &mut rng);
-                candidates.select(&picks)
-            }
-        }
-    };
-    Ok((centers, stats))
+    let mut backend = crate::driver::InMemoryBackend::new(points, exec);
+    crate::driver::drive_kmeans_parallel(&mut backend, k, config, seed)
 }
 
 /// Line 4: independent Bernoulli draws with `p = min(1, ℓ·d²/φ)`, shard
@@ -553,15 +307,6 @@ pub fn exact_sample_merge(mut entries: Vec<(f64, usize)>, m: usize) -> Vec<usize
     let mut indices: Vec<usize> = entries.into_iter().map(|(_, i)| i).collect();
     indices.sort_unstable();
     indices
-}
-
-/// §5.3 exact-ℓ sampling: `m` distinct indices with probability ∝ d²,
-/// via per-shard Efraimidis–Spirakis top-m, merged globally.
-///
-/// E–S keys (`ln(u)/w`) are comparable across shards, so the global top-m
-/// of the per-shard top-m lists equals the top-m over all points.
-fn sample_exact(d2: &[f64], m: usize, seed: u64, round: usize, exec: &Executor) -> Vec<usize> {
-    exact_sample_merge(exact_sample_keys(d2, m, seed, round, exec, 0), m)
 }
 
 #[cfg(test)]

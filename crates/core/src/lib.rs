@@ -24,6 +24,11 @@
 //! * [`chunked`] — the out-of-core kernels: every pass re-expressed as one
 //!   scan over a block-resident [`kmeans_data::ChunkedSource`] (§1's
 //!   "massive data" premise), bit-identical to the in-memory paths.
+//! * [`driver`] — the backend-generic round drivers: **one**
+//!   implementation of each algorithm's round loop (k-means||, Lloyd,
+//!   mini-batch, random seeding), executable on any
+//!   [`driver::RoundBackend`] — in-memory, chunked, or the distributed
+//!   cluster backend in `kmeans-cluster`.
 //! * [`pipeline`] — the object-safe [`pipeline::Initializer`] /
 //!   [`pipeline::Refiner`] traits, the unified [`pipeline::RefineResult`]
 //!   (with distance-evaluation accounting), and the core implementations:
@@ -65,6 +70,7 @@
 //! | [`assign`] | the §3.5 MapReduce assignment round |
 //! | [`kernel`] | the batch nearest-center engine behind all of the above |
 //! | [`chunked`] | §1's memory premise: every pass as one block scan |
+//! | [`driver`] | §3.5's round structure as a backend-generic abstraction |
 //! | [`metrics`] | §5 evaluation measures |
 //! | [`pipeline`], [`model`] | the seeding/refinement split of §1 as an API |
 
@@ -76,6 +82,7 @@ pub mod assign;
 pub mod chunked;
 pub mod cost;
 pub mod distance;
+pub mod driver;
 pub mod error;
 pub mod init;
 pub mod kernel;

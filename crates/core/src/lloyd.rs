@@ -13,7 +13,7 @@
 //! currently farthest from its assigned center — the standard
 //! "split the worst cluster" heuristic.
 
-use crate::assign::{assign_and_sum, assign_weighted};
+use crate::assign::assign_weighted;
 use crate::error::KMeansError;
 use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
@@ -94,8 +94,9 @@ pub struct LloydResult {
     /// lower bounds — the norm bound `(‖x‖−‖c‖)²` and the coordinate
     /// gaps, wholesale sorted-sweep stops included — summed over every
     /// pass (the closing relabel included). Deterministic across thread
-    /// counts and block sizes; reported as 0 by the distributed
-    /// frontend, whose workers do not ship kernel counters.
+    /// counts, block sizes, *and* worker counts: distributed workers
+    /// ship their kernel counters in the partials frames, so the fold
+    /// equals the single-node value.
     pub pruned_by_norm_bound: u64,
 }
 
@@ -126,6 +127,12 @@ pub(crate) fn validate_refine_inputs(
 
 /// Runs Lloyd's iteration from the given initial centers.
 ///
+/// Thin wrapper over the backend-generic
+/// [`drive_lloyd`](crate::driver::drive_lloyd) on an
+/// [`InMemoryBackend`](crate::driver::InMemoryBackend): the
+/// assignment/update round loop exists once, shared bit-for-bit with the
+/// chunked and distributed execution modes.
+///
 /// # Errors
 ///
 /// Fails on empty input, dimension mismatch, or invalid configuration.
@@ -135,115 +142,8 @@ pub fn lloyd(
     config: &LloydConfig,
     exec: &Executor,
 ) -> Result<LloydResult, KMeansError> {
-    config.validate()?;
-    validate_refine_inputs(points, initial_centers)?;
-
-    let d = points.dim();
-    let mut centers = initial_centers.clone();
-    let mut prev_labels: Option<Vec<u32>> = None;
-    let mut prev_cost = f64::INFINITY;
-    let mut history = Vec::new();
-    let mut converged = false;
-    let mut pruned = 0u64;
-    // Whether the loop ended on a stable assignment (no centroid update
-    // after the stored labels) — only then do they match the final
-    // centers without a closing relabel pass. A tol-based stop applies
-    // the centroid update *before* breaking, so it does not qualify.
-    let mut stable_exit = false;
-
-    for _ in 0..config.max_iterations {
-        let (labels, sums) = assign_and_sum(points, &centers, exec);
-        pruned += sums.stats.pruned_by_norm_bound;
-        let reassigned = match &prev_labels {
-            None => points.len() as u64,
-            Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
-        };
-
-        // Stability: nothing moved → the centroid update is a no-op.
-        if reassigned == 0 {
-            converged = true;
-            stable_exit = true;
-            history.push(IterationStats {
-                cost: sums.cost,
-                reassigned: 0,
-                reseeded: 0,
-            });
-            prev_cost = sums.cost;
-            prev_labels = Some(labels);
-            break;
-        }
-
-        // Centroid update, with deterministic empty-cluster repair.
-        let mut reseeded = 0usize;
-        let mut farthest: Vec<(usize, f64)> = sums.farthest.clone();
-        farthest.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        let mut next_far = farthest.into_iter();
-        for c in 0..centers.len() {
-            if let Some(centroid) = sums.centroid(c, d) {
-                centers.row_mut(c).copy_from_slice(&centroid);
-            } else {
-                // Empty cluster: land on the farthest available point.
-                match next_far.next() {
-                    Some((idx, _)) => {
-                        centers.row_mut(c).copy_from_slice(points.row(idx));
-                        reseeded += 1;
-                    }
-                    None => {
-                        // More empty clusters than shard maxima (pathological
-                        // duplicate-heavy data): leave the center in place.
-                    }
-                }
-            }
-        }
-
-        history.push(IterationStats {
-            cost: sums.cost,
-            reassigned,
-            reseeded,
-        });
-
-        // Relative-improvement stop (after at least one update).
-        if config.tol > 0.0
-            && prev_cost.is_finite()
-            && reseeded == 0
-            && prev_cost - sums.cost <= config.tol * prev_cost
-        {
-            converged = true;
-            prev_cost = sums.cost;
-            prev_labels = Some(labels);
-            break;
-        }
-        prev_cost = sums.cost;
-        prev_labels = Some(labels);
-    }
-
-    // Produce a final self-consistent (labels, cost) for the final centers.
-    let (labels, cost, closing_pass) = match (&prev_labels, stable_exit) {
-        // On stability the stored labels already match the centers.
-        (Some(labels), true) => (labels.clone(), prev_cost, 0),
-        // Otherwise (iteration cap or tol stop) the centroid update ran
-        // after the stored assignment: relabel against the final centers.
-        _ => {
-            let (labels, sums) = assign_and_sum(points, &centers, exec);
-            pruned += sums.stats.pruned_by_norm_bound;
-            (labels, sums.cost, 1)
-        }
-    };
-
-    Ok(LloydResult {
-        labels,
-        cost,
-        iterations: history.len(),
-        converged,
-        assign_passes: history.len() + closing_pass,
-        pruned_by_norm_bound: pruned,
-        history,
-        centers,
-    })
+    let mut backend = crate::driver::InMemoryBackend::new(points, exec);
+    crate::driver::drive_lloyd(&mut backend, initial_centers, config)
 }
 
 /// Weighted Lloyd iterations on a (small) weighted point set — used to

@@ -13,9 +13,8 @@
 //! refine them touching only `O(batch · iters)` points.
 
 use crate::error::KMeansError;
-use crate::kernel::{AssignKernel, KernelStats};
+use crate::kernel::KernelStats;
 use kmeans_data::PointMatrix;
-use kmeans_util::Rng;
 
 /// Configuration for mini-batch refinement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,56 +54,22 @@ pub fn minibatch_kmeans(
 /// [`minibatch_kmeans`] with kernel work accounting: also returns the
 /// batch-assignment [`KernelStats`] accumulated across all steps (the
 /// centers are bit-identical to the plain entry point's).
+///
+/// Thin wrapper over the backend-generic
+/// [`drive_minibatch`](crate::driver::drive_minibatch) on an
+/// [`InMemoryBackend`](crate::driver::InMemoryBackend): the step loop
+/// exists once, shared bit-for-bit with the chunked and distributed
+/// execution modes. (The executor is irrelevant here — mini-batch work
+/// is batch-sized and sequential by design.)
 pub fn minibatch_kmeans_traced(
     points: &PointMatrix,
     initial_centers: &PointMatrix,
     config: &MiniBatchConfig,
     seed: u64,
 ) -> Result<(PointMatrix, KernelStats), KMeansError> {
-    crate::lloyd::validate_refine_inputs(points, initial_centers)?;
-    if config.batch_size == 0 || config.iterations == 0 {
-        return Err(KMeansError::InvalidConfig(
-            "batch_size and iterations must be positive".into(),
-        ));
-    }
-
-    let mut centers = initial_centers.clone();
-    let mut seen = vec![0u64; centers.len()];
-    let mut rng = Rng::derive(seed, &[40]);
-    let mut batch = vec![0usize; config.batch_size];
-    let mut gathered = PointMatrix::with_capacity(points.dim(), config.batch_size);
-    let mut labels = vec![0u32; config.batch_size];
-    let mut d2 = vec![0.0f64; config.batch_size];
-    let mut stats = KernelStats::default();
-    for _ in 0..config.iterations {
-        gathered.clear();
-        for slot in &mut batch {
-            *slot = rng.range_usize(points.len());
-        }
-        for &i in &batch {
-            gathered
-                .push(points.row(i))
-                .expect("batch rows share the dataset dimensionality");
-        }
-        // Assign against frozen centers (one batched kernel pass — same
-        // bits as the old per-point scan), then apply the gradient steps
-        // (Sculley's two-phase step avoids order dependence within a batch).
-        {
-            let kernel = AssignKernel::new(&centers);
-            stats.absorb(kernel.assign(&gathered, 0..gathered.len(), &mut labels, &mut d2));
-        }
-        for (&i, &c) in batch.iter().zip(&labels) {
-            let c = c as usize;
-            seen[c] += 1;
-            let eta = 1.0 / seen[c] as f64;
-            let row = points.row(i);
-            let center = centers.row_mut(c);
-            for (slot, &x) in center.iter_mut().zip(row) {
-                *slot += eta * (x - *slot);
-            }
-        }
-    }
-    Ok((centers, stats))
+    let exec = kmeans_par::Executor::sequential();
+    let mut backend = crate::driver::InMemoryBackend::new(points, &exec);
+    crate::driver::drive_minibatch(&mut backend, initial_centers, config, seed)
 }
 
 #[cfg(test)]
@@ -112,6 +77,7 @@ mod tests {
     use super::*;
     use crate::cost::potential;
     use kmeans_par::Executor;
+    use kmeans_util::Rng;
 
     fn blobs() -> PointMatrix {
         let mut m = PointMatrix::new(1);

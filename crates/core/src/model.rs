@@ -330,8 +330,8 @@ pub struct ModelParts {
     /// Point-to-center distance evaluations spent by the refiner.
     pub distance_computations: u64,
     /// Candidates the assignment kernel skipped via its norm/coordinate
-    /// lower bounds (0 where the frontend cannot measure it — e.g.
-    /// distributed).
+    /// lower bounds — measured on every execution mode (distributed
+    /// workers ship their counters in the partials frames).
     pub pruned_by_norm_bound: u64,
     /// Stable name of the initializer.
     pub init_name: &'static str,
@@ -413,7 +413,7 @@ impl KMeansModel {
     /// `(‖x‖−‖c‖)²` plus the coordinate-gap bounds of the sorted sweep —
     /// the second pruning observable next to
     /// [`KMeansModel::distance_computations`]. Exactly reproducible:
-    /// thread counts and block sizes never change it.
+    /// thread counts, block sizes, and worker counts never change it.
     pub fn pruned_by_norm_bound(&self) -> u64 {
         self.pruned_by_norm_bound
     }

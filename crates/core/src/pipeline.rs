@@ -26,17 +26,16 @@
 
 use crate::accel::hamerly_lloyd;
 use crate::assign::{assign_and_sum, assign_weighted};
-use crate::chunked::{
-    assign_and_sum_chunked, finish_init_chunked, lloyd_chunked, minibatch_chunked_traced,
-    validate_refine_inputs_chunked, validate_source,
-};
 use crate::cost::{potential, weighted_potential};
+use crate::driver::{
+    drive_kmeans_parallel, drive_label_pass, drive_lloyd, drive_minibatch, drive_random_init,
+    finish_init_backend, BackendKind, ChunkedBackend, RoundBackend,
+};
 use crate::error::KMeansError;
 use crate::init::{
-    afk_mc2, kmeans_parallel, kmeanspp, random_init, validate, weighted_kmeanspp, InitResult,
-    InitStats, KMeansParallelConfig,
+    afk_mc2, kmeans_parallel, kmeanspp, kmeanspp_chunked, random_init, validate, weighted_kmeanspp,
+    InitResult, InitStats, KMeansParallelConfig,
 };
-use crate::init::{kmeans_parallel_chunked, kmeanspp_chunked};
 use crate::lloyd::{
     lloyd, validate_refine_inputs, weighted_lloyd_traced, IterationStats, LloydConfig,
 };
@@ -84,15 +83,50 @@ pub trait Initializer: fmt::Debug + Send + Sync {
         exec: &Executor,
     ) -> Result<InitResult, KMeansError>;
 
+    /// Runs the seeding over any [`RoundBackend`] — the **one**
+    /// backend-taking entry point behind both
+    /// [`KMeans::fit_chunked`](crate::model::KMeans::fit_chunked) (via
+    /// [`ChunkedBackend`]) and `fit_distributed` (via `kmeans-cluster`'s
+    /// `ClusterBackend`).
+    ///
+    /// Stages whose round structure is expressible in the backend
+    /// primitives (k-means||, random) override this once and run on
+    /// every execution mode, staying **bit-identical** to
+    /// [`Initializer::init`] on the same data, seed, and executor shard
+    /// size. Stages with a block-streaming but not fully round-generic
+    /// formulation (k-means++, the streaming seeders) restrict
+    /// themselves via [`RoundBackend::local_source`]; stages with
+    /// neither inherit this default, which rejects with the
+    /// mode-specific typed error ([`reject_backend`]). Weighted input is
+    /// not supported on backend paths.
+    fn init_backend(
+        &self,
+        backend: &mut dyn RoundBackend,
+        k: usize,
+        seed: u64,
+    ) -> Result<InitResult, KMeansError> {
+        let _ = (k, seed);
+        Err(reject_backend(self.name(), backend.kind()))
+    }
+
+    /// Whether [`Initializer::init_backend`] has a realization on the
+    /// given backend kind. Declarative twin of `init_backend`'s own
+    /// rejection behavior (must agree with it) — frontends use it to
+    /// fail fast with the stage's typed rejection *before* any stage
+    /// touches the backend (`fit_distributed` checks both pipeline
+    /// stages up front, so an unsupported refiner is reported before
+    /// the seeding runs).
+    fn supports_backend(&self, kind: BackendKind) -> bool {
+        let _ = kind;
+        false
+    }
+
     /// Runs the seeding over a block-resident [`ChunkedSource`] — the
     /// out-of-core entry point behind
     /// [`KMeans::fit_chunked`](crate::model::KMeans::fit_chunked).
     ///
-    /// Stages with a multi-pass formulation override this and stay
-    /// **bit-identical** to [`Initializer::init`] on the same data, seed,
-    /// and executor (k-means||, k-means++, random, the streaming coreset);
-    /// the default rejects with a typed error, and weighted input is not
-    /// supported on the chunked path.
+    /// Provided: routes through [`Initializer::init_backend`] on a
+    /// [`ChunkedBackend`]. Implement `init_backend`, not this.
     fn init_chunked(
         &self,
         source: &dyn ChunkedSource,
@@ -100,17 +134,7 @@ pub trait Initializer: fmt::Debug + Send + Sync {
         seed: u64,
         exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
-        let _ = (source, k, seed, exec);
-        Err(reject_chunked(self.name()))
-    }
-
-    /// Hook for alternative execution frontends (the distributed
-    /// coordinator in `kmeans-cluster`) to recover a stage's concrete
-    /// configuration from the type-erased builder slot. Stages that have
-    /// such a frontend return `Some(self)`; the default `None` makes the
-    /// frontend reject the stage with a typed error.
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        None
+        self.init_backend(&mut ChunkedBackend::new(source, exec), k, seed)
     }
 }
 
@@ -129,10 +153,35 @@ pub trait Refiner: fmt::Debug + Send + Sync {
         exec: &Executor,
     ) -> Result<RefineResult, KMeansError>;
 
+    /// Runs the refinement over any [`RoundBackend`] — the **one**
+    /// backend-taking entry point behind `fit_chunked` and
+    /// `fit_distributed` (see [`Initializer::init_backend`] for the
+    /// contract). Overriding stages stay bit-identical to
+    /// [`Refiner::refine`]; the default rejects with the mode-specific
+    /// typed error.
+    fn refine_backend(
+        &self,
+        backend: &mut dyn RoundBackend,
+        centers: &PointMatrix,
+        seed: u64,
+    ) -> Result<RefineResult, KMeansError> {
+        let _ = (centers, seed);
+        Err(reject_backend(self.name(), backend.kind()))
+    }
+
+    /// Whether [`Refiner::refine_backend`] has a realization on the
+    /// given backend kind — see
+    /// [`Initializer::supports_backend`] for the contract.
+    fn supports_backend(&self, kind: BackendKind) -> bool {
+        let _ = kind;
+        false
+    }
+
     /// Runs the refinement over a block-resident [`ChunkedSource`] (one
     /// scan per Lloyd iteration, gathered batches for mini-batch).
-    /// Overriding stages stay bit-identical to [`Refiner::refine`]; the
-    /// default rejects with a typed error.
+    ///
+    /// Provided: routes through [`Refiner::refine_backend`] on a
+    /// [`ChunkedBackend`]. Implement `refine_backend`, not this.
     fn refine_chunked(
         &self,
         source: &dyn ChunkedSource,
@@ -140,13 +189,7 @@ pub trait Refiner: fmt::Debug + Send + Sync {
         seed: u64,
         exec: &Executor,
     ) -> Result<RefineResult, KMeansError> {
-        let _ = (source, centers, seed, exec);
-        Err(reject_chunked(self.name()))
-    }
-
-    /// Same hook as [`Initializer::as_any`], for refinement stages.
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        None
+        self.refine_backend(&mut ChunkedBackend::new(source, exec), centers, seed)
     }
 }
 
@@ -158,10 +201,25 @@ pub fn reject_chunked(name: &str) -> KMeansError {
 }
 
 /// Typed rejection for stages without a distributed formulation (the same
-/// fail-loudly contract as [`reject_chunked`], used by the coordinator in
-/// `kmeans-cluster` when a builder stage has no cluster realization).
+/// fail-loudly contract as [`reject_chunked`], used when a builder stage
+/// has no realization on a worker-cluster backend).
 pub fn reject_distributed(name: &str) -> KMeansError {
     KMeansError::InvalidConfig(format!("{name} does not support distributed execution"))
+}
+
+/// Typed rejection for a stage without a formulation on the given
+/// execution mode — dispatches to that mode's established error text
+/// ([`reject_chunked`] / [`reject_distributed`]), so the default
+/// [`Initializer::init_backend`] / [`Refiner::refine_backend`] fail with
+/// the exact message the per-mode entry points always produced.
+pub fn reject_backend(name: &str, kind: BackendKind) -> KMeansError {
+    match kind {
+        BackendKind::InMemory => KMeansError::InvalidConfig(format!(
+            "{name} has no backend-generic round driver; use the in-memory entry point"
+        )),
+        BackendKind::Chunked => reject_chunked(name),
+        BackendKind::Distributed => reject_distributed(name),
+    }
 }
 
 /// Unified outcome of any [`Refiner`].
@@ -191,11 +249,12 @@ pub struct RefineResult {
     /// exact `O(1)` lower bounds (the norm bound `(‖x‖−‖c‖)²` and the
     /// coordinate gaps, wholesale sorted-sweep stops included) — the
     /// second pruning observable, next to `distance_computations`.
-    /// Measured wherever the refiner runs on the kernel ([`Lloyd`]
-    /// unweighted/chunked, [`MiniBatch`], [`NoRefine`]); 0 for
-    /// [`HamerlyLloyd`] (its pruning is bound-based and already
-    /// reflected in `distance_computations`), the sequential weighted
-    /// paths, and the distributed frontend.
+    /// Measured wherever the refiner runs on the kernel ([`Lloyd`],
+    /// [`MiniBatch`], [`NoRefine`] — on every backend, the distributed
+    /// one included, whose workers ship their counters in the partials
+    /// frames); 0 for [`HamerlyLloyd`] (its pruning is bound-based and
+    /// already reflected in `distance_computations`) and the sequential
+    /// weighted paths.
     pub pruned_by_norm_bound: u64,
 }
 
@@ -266,8 +325,8 @@ impl Initializer for Random {
         "random"
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, _kind: BackendKind) -> bool {
+        true
     }
 
     fn init(
@@ -309,26 +368,15 @@ impl Initializer for Random {
         Ok(finish_init(points, weights, centers, stats, sw, exec))
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         k: usize,
         seed: u64,
-        exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
-        validate_source(source, k)?;
         let sw = Stopwatch::start();
-        let mut rng = Rng::derive(seed, &[20]);
-        let indices = uniform_distinct(source.len(), k, &mut rng);
-        let mut buf = source.block_buffer();
-        let centers = crate::chunked::gather_rows(source, &indices, &mut buf)?;
-        let stats = InitStats {
-            rounds: 0,
-            passes: 1,
-            candidates: k,
-            ..InitStats::default()
-        };
-        finish_init_chunked(source, centers, stats, sw, exec)
+        let (centers, stats) = drive_random_init(backend, k, seed)?;
+        finish_init_backend(backend, centers, stats, sw)
     }
 }
 
@@ -342,8 +390,8 @@ impl Initializer for KMeansPlusPlus {
         "kmeans++"
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, kind: BackendKind) -> bool {
+        kind == BackendKind::Chunked
     }
 
     fn init(
@@ -371,13 +419,20 @@ impl Initializer for KMeansPlusPlus {
         Ok(finish_init(points, weights, centers, stats, sw, exec))
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         k: usize,
         seed: u64,
-        exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
+        // Algorithm 1 draws each center from a global sequential D²
+        // distribution — k dependent rounds over the resident d² array.
+        // That streams fine block by block, but has no per-round
+        // decomposition a remote backend could serve cheaply (the
+        // paper's point), so it runs on local sources only.
+        let Some((source, exec)) = backend.local_source() else {
+            return Err(reject_backend(self.name(), backend.kind()));
+        };
         let sw = Stopwatch::start();
         let mut rng = Rng::derive(seed, &[21]);
         let centers = kmeanspp_chunked(source, k, &mut rng, exec)?;
@@ -387,7 +442,7 @@ impl Initializer for KMeansPlusPlus {
             candidates: k,
             ..InitStats::default()
         };
-        finish_init_chunked(source, centers, stats, sw, exec)
+        finish_init_backend(backend, centers, stats, sw)
     }
 }
 
@@ -400,8 +455,8 @@ impl Initializer for KMeansParallel {
         "kmeans-par"
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, _kind: BackendKind) -> bool {
+        true
     }
 
     fn init(
@@ -419,16 +474,15 @@ impl Initializer for KMeansParallel {
         Ok(finish_init(points, weights, centers, stats, sw, exec))
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         k: usize,
         seed: u64,
-        exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
         let sw = Stopwatch::start();
-        let (centers, stats) = kmeans_parallel_chunked(source, k, &self.0, seed, exec)?;
-        finish_init_chunked(source, centers, stats, sw, exec)
+        let (centers, stats) = drive_kmeans_parallel(backend, k, &self.0, seed)?;
+        finish_init_backend(backend, centers, stats, sw)
     }
 }
 
@@ -450,10 +504,6 @@ impl Default for AfkMc2 {
 impl Initializer for AfkMc2 {
     fn name(&self) -> &'static str {
         "afk-mc2"
-    }
-
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
     }
 
     fn init(
@@ -500,8 +550,8 @@ impl Refiner for Lloyd {
         "lloyd"
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, _kind: BackendKind) -> bool {
+        true
     }
 
     fn refine(
@@ -571,16 +621,15 @@ impl Refiner for Lloyd {
         }
     }
 
-    fn refine_chunked(
+    fn refine_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         centers: &PointMatrix,
         _seed: u64,
-        exec: &Executor,
     ) -> Result<RefineResult, KMeansError> {
-        let n = source.len() as u64;
+        let n = backend.len() as u64;
         let k = centers.len() as u64;
-        let r = lloyd_chunked(source, centers, &self.0, exec)?;
+        let r = drive_lloyd(backend, centers, &self.0)?;
         Ok(RefineResult {
             distance_computations: n * k * r.assign_passes as u64,
             pruned_by_norm_bound: r.pruned_by_norm_bound,
@@ -604,10 +653,6 @@ pub struct HamerlyLloyd(pub LloydConfig);
 impl Refiner for HamerlyLloyd {
     fn name(&self) -> &'static str {
         "hamerly"
-    }
-
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
     }
 
     fn refine(
@@ -646,8 +691,8 @@ impl Refiner for MiniBatch {
         "minibatch"
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, _kind: BackendKind) -> bool {
+        true
     }
 
     fn refine(
@@ -676,16 +721,16 @@ impl Refiner for MiniBatch {
         })
     }
 
-    fn refine_chunked(
+    fn refine_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         centers: &PointMatrix,
         seed: u64,
-        exec: &Executor,
     ) -> Result<RefineResult, KMeansError> {
+        let n = backend.len() as u64;
         let k = centers.len() as u64;
-        let (refined, batch_stats) = minibatch_chunked_traced(source, centers, &self.0, seed)?;
-        let (labels, sums) = assign_and_sum_chunked(source, &refined, exec)?;
+        let (refined, batch_stats) = drive_minibatch(backend, centers, &self.0, seed)?;
+        let (labels, sums) = drive_label_pass(backend, &refined)?;
         Ok(RefineResult {
             centers: refined,
             labels,
@@ -693,8 +738,7 @@ impl Refiner for MiniBatch {
             iterations: self.0.iterations,
             converged: false, // fixed budget; no convergence test
             history: Vec::new(),
-            distance_computations: (self.0.batch_size * self.0.iterations) as u64 * k
-                + source.len() as u64 * k,
+            distance_computations: (self.0.batch_size * self.0.iterations) as u64 * k + n * k,
             pruned_by_norm_bound: batch_stats.pruned_by_norm_bound
                 + sums.stats.pruned_by_norm_bound,
         })
@@ -711,8 +755,8 @@ impl Refiner for NoRefine {
         "none"
     }
 
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn supports_backend(&self, _kind: BackendKind) -> bool {
+        true
     }
 
     fn refine(
@@ -747,15 +791,14 @@ impl Refiner for NoRefine {
         })
     }
 
-    fn refine_chunked(
+    fn refine_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         centers: &PointMatrix,
         _seed: u64,
-        exec: &Executor,
     ) -> Result<RefineResult, KMeansError> {
-        validate_refine_inputs_chunked(source, centers)?;
-        let (labels, sums) = assign_and_sum_chunked(source, centers, exec)?;
+        let n = backend.len() as u64;
+        let (labels, sums) = drive_label_pass(backend, centers)?;
         Ok(RefineResult {
             centers: centers.clone(),
             labels,
@@ -763,7 +806,7 @@ impl Refiner for NoRefine {
             iterations: 0,
             converged: true,
             history: Vec::new(),
-            distance_computations: source.len() as u64 * centers.len() as u64,
+            distance_computations: n * centers.len() as u64,
             pruned_by_norm_bound: sums.stats.pruned_by_norm_bound,
         })
     }

@@ -37,17 +37,26 @@ pub fn read_csv(path: impl AsRef<Path>, labels: LabelColumn) -> Result<Dataset, 
 }
 
 /// Reads a dataset from any buffered reader (exposed for tests and piping).
+///
+/// Parsing and per-row validation are shared with
+/// [`CsvSource`](crate::CsvSource) (`parse_cells` / `validate_row`), so
+/// the in-memory and chunked CSV readers accept exactly the same files
+/// and report identical errors — message and line number — on the same
+/// malformed input (pinned by this module's tests).
 pub fn read_csv_from(
     reader: impl Read,
     name: &str,
     labels: LabelColumn,
 ) -> Result<Dataset, DataError> {
+    use crate::chunked::{parse_cells, validate_row};
+
     let mut reader = BufReader::new(reader);
     let mut line = String::new();
     let mut line_no = 0usize;
     let mut points: Option<PointMatrix> = None;
     let mut label_vec: Vec<u32> = Vec::new();
     let mut row: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
 
     loop {
         line.clear();
@@ -59,20 +68,10 @@ pub fn read_csv_from(
         if trimmed.is_empty() {
             continue;
         }
-        row.clear();
-        let mut parse_failed = false;
-        for cell in trimmed.split(',') {
-            match cell.trim().parse::<f64>() {
-                Ok(v) => row.push(v),
-                Err(_) => {
-                    parse_failed = true;
-                    break;
-                }
-            }
-        }
-        if parse_failed {
-            // Only the first data-bearing line may fail to parse (header).
-            if points.is_none() && label_vec.is_empty() {
+        if !parse_cells(trimmed, &mut row) {
+            // Only the first data-bearing line may be non-numeric
+            // (header); label/shape violations are never headers.
+            if points.is_none() {
                 continue;
             }
             return Err(DataError::Parse {
@@ -80,42 +79,16 @@ pub fn read_csv_from(
                 message: format!("unparseable numeric row: {trimmed:.40}"),
             });
         }
-        let (features, label) = match labels {
-            LabelColumn::None => (row.as_slice(), None),
-            LabelColumn::Last => {
-                if row.is_empty() {
-                    return Err(DataError::Parse {
-                        line: line_no,
-                        message: "label column requested but row is empty".into(),
-                    });
-                }
-                let (feats, lab) = row.split_at(row.len() - 1);
-                (feats, Some(lab[0]))
-            }
-        };
-        if features.is_empty() {
-            return Err(DataError::Parse {
-                line: line_no,
-                message: "row has no feature columns".into(),
-            });
-        }
-        let matrix = points.get_or_insert_with(|| PointMatrix::new(features.len()));
-        matrix.push(features).map_err(|_| DataError::Parse {
-            line: line_no,
-            message: format!(
-                "row has {} features, expected {}",
-                features.len(),
-                matrix.dim()
-            ),
-        })?;
-        if let Some(lab) = label {
-            if lab < 0.0 || lab.fract() != 0.0 || lab > u32::MAX as f64 {
-                return Err(DataError::Parse {
-                    line: line_no,
-                    message: format!("label {lab} is not a non-negative integer"),
-                });
-            }
-            label_vec.push(lab as u32);
+        let features = validate_row(&row, labels, line_no, dim)?;
+        dim = Some(features);
+        let matrix = points.get_or_insert_with(|| PointMatrix::new(features));
+        matrix
+            .push(&row[..features])
+            .expect("validate_row pinned the dimensionality");
+        if labels == LabelColumn::Last {
+            // validate_row checked the trailing cell is a u32-ranged
+            // non-negative integer.
+            label_vec.push(row[features] as u32);
         }
     }
 
@@ -248,6 +221,52 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = read_csv("/nonexistent/nope.csv", LabelColumn::None).unwrap_err();
         assert!(matches!(err, DataError::Io(_)));
+    }
+
+    /// The two CSV readers share one parse/validate path
+    /// (`parse_cells`/`validate_row`), so any malformed file must produce
+    /// the *identical* error — same message, same 1-based line number —
+    /// from `read_csv_from` and from `CsvSource::open` on the same bytes.
+    #[test]
+    fn reader_errors_match_csv_source_exactly() {
+        use crate::chunked::CsvSource;
+        let dir = std::env::temp_dir().join("kmeans_io_error_parity");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases: &[(&str, LabelColumn)] = &[
+            // Mid-file garbage after a valid row (header rule not in play).
+            ("1,2\nnot,numbers\n", LabelColumn::None),
+            // Ragged row (dimensionality fixed by line 1).
+            ("1,2\n3,4,5\n", LabelColumn::None),
+            ("head,er\n1,2\n\n3\n", LabelColumn::None),
+            // Label violations: fractional, negative, non-finite.
+            ("1,2,0.5\n", LabelColumn::Last),
+            ("1,2,0\n7,8,-1\n", LabelColumn::Last),
+            ("1,2,nan\n", LabelColumn::Last),
+            // A single cell with a label column leaves no features.
+            ("5\n", LabelColumn::Last),
+            // Empty / header-only inputs.
+            ("", LabelColumn::None),
+            ("alpha,beta\n", LabelColumn::None),
+        ];
+        for (i, (contents, labels)) in cases.iter().enumerate() {
+            let mem_err = read_csv_from(contents.as_bytes(), "parity", *labels).unwrap_err();
+            let path = dir.join(format!("case_{i}.csv"));
+            std::fs::write(&path, contents).unwrap();
+            let chunked_err = CsvSource::open(&path, 4, *labels).unwrap_err();
+            assert_eq!(
+                mem_err.to_string(),
+                chunked_err.to_string(),
+                "case {i} ({contents:?}): messages diverge"
+            );
+            match (&mem_err, &chunked_err) {
+                (DataError::Parse { line: a, .. }, DataError::Parse { line: b, .. }) => {
+                    assert_eq!(a, b, "case {i}: line numbers diverge")
+                }
+                (DataError::Empty, DataError::Empty) => {}
+                other => panic!("case {i}: error kinds diverge: {other:?}"),
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 }
 

@@ -15,11 +15,12 @@
 
 use crate::coreset::CoresetTree;
 use crate::partition::{partition_init, partition_init_chunked, PartitionConfig};
-use kmeans_core::chunked::{check_block_finite, finish_init_chunked, validate_source};
+use kmeans_core::chunked::{check_block_finite, validate_source};
+use kmeans_core::driver::{finish_init_backend, RoundBackend};
 use kmeans_core::init::{validate, InitResult, InitStats};
-use kmeans_core::pipeline::{finish_init, reject_weights, Initializer};
+use kmeans_core::pipeline::{finish_init, reject_backend, reject_weights, Initializer};
 use kmeans_core::KMeansError;
-use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
 use kmeans_util::timing::Stopwatch;
 
@@ -31,6 +32,10 @@ pub struct Partition(pub PartitionConfig);
 impl Initializer for Partition {
     fn name(&self) -> &'static str {
         "partition"
+    }
+
+    fn supports_backend(&self, kind: kmeans_core::driver::BackendKind) -> bool {
+        kind == kmeans_core::driver::BackendKind::Chunked
     }
 
     fn init(
@@ -63,13 +68,18 @@ impl Initializer for Partition {
         ))
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         k: usize,
         seed: u64,
-        exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
+        // Partition consumes the stream's blocks directly (contiguous
+        // stream groups — the documented non-parity case), so it runs on
+        // local block-backed backends only.
+        let Some((source, exec)) = backend.local_source() else {
+            return Err(reject_backend(self.name(), backend.kind()));
+        };
         let sw = Stopwatch::start();
         let result = partition_init_chunked(source, k, &self.0, seed, exec)?;
         let stats = InitStats {
@@ -78,7 +88,7 @@ impl Initializer for Partition {
             candidates: result.intermediate_centers,
             ..InitStats::default()
         };
-        finish_init_chunked(source, result.centers, stats, sw, exec)
+        finish_init_backend(backend, result.centers, stats, sw)
     }
 }
 
@@ -100,6 +110,10 @@ impl Default for Coreset {
 impl Initializer for Coreset {
     fn name(&self) -> &'static str {
         "coreset"
+    }
+
+    fn supports_backend(&self, kind: kmeans_core::driver::BackendKind) -> bool {
+        kind == kmeans_core::driver::BackendKind::Chunked
     }
 
     fn init(
@@ -130,13 +144,17 @@ impl Initializer for Coreset {
         Ok(finish_init(points, weights, centers, stats, sw, exec))
     }
 
-    fn init_chunked(
+    fn init_backend(
         &self,
-        source: &dyn ChunkedSource,
+        backend: &mut dyn RoundBackend,
         k: usize,
         seed: u64,
-        exec: &Executor,
     ) -> Result<InitResult, KMeansError> {
+        // The tree wants every row streamed through it in order — a
+        // block-local pass, so local backends only.
+        let Some((source, _exec)) = backend.local_source() else {
+            return Err(reject_backend(self.name(), backend.kind()));
+        };
         validate_source(source, k)?;
         let sw = Stopwatch::start();
         let mut tree = CoresetTree::new(source.dim(), self.coreset_size, seed)?;
@@ -159,7 +177,7 @@ impl Initializer for Coreset {
             candidates,
             ..InitStats::default()
         };
-        finish_init_chunked(source, centers, stats, sw, exec)
+        finish_init_backend(backend, centers, stats, sw)
     }
 }
 

@@ -9,7 +9,7 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`core`] (`kmeans-core`) | k-means\|\|, k-means++, Random seeding, Lloyd's iteration, mini-batch k-means, metrics, the [`KMeans`] pipeline |
+//! | [`core`] (`kmeans-core`) | k-means\|\|, k-means++, Random seeding, Lloyd's iteration, mini-batch k-means, the backend-generic round drivers, metrics, the [`KMeans`] pipeline |
 //! | [`data`] (`kmeans-data`) | `PointMatrix` storage, the GaussMixture / SpamLike / KddLike generators, CSV I/O |
 //! | [`par`] (`kmeans-par`) | deterministic shard executor + MapReduce-model simulator |
 //! | [`streaming`] (`kmeans-streaming`) | the Partition baseline (Ailon et al.), k-means#, a coreset tree |
@@ -81,9 +81,10 @@ pub use kmeans_core::{
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use kmeans_cluster::{
-        Cluster, DistInit, DistRefine, FitDistributed, Worker as ClusterWorker,
+        Cluster, ClusterBackend, DistInit, DistRefine, FitDistributed, Worker as ClusterWorker,
     };
     pub use kmeans_core::accel::{hamerly_lloyd, HamerlyResult};
+    pub use kmeans_core::driver::{BackendKind, ChunkedBackend, InMemoryBackend, RoundBackend};
     pub use kmeans_core::init::{
         InitMethod, KMeansParallelConfig, Oversampling, Recluster, Rounds, SamplingMode, TopUp,
     };
