@@ -1,0 +1,158 @@
+//! Load generator for the serving tier: concurrent clients hammer one
+//! `skm serve` engine over real TCP with fixed-size predict batches, and
+//! the run writes `BENCH_serve.json` (merge-by-id, like the other bench
+//! artifacts) with p50/p99 request latency, QPS, and points/s per
+//! (batch size × client count) configuration.
+//!
+//! Served answers are asserted bit-identical to the local
+//! `KMeansModel::predict` up front — throughput numbers for a diverging
+//! server would be meaningless. `KMEANS_BENCH_QUICK=1` shrinks the grid
+//! and the request budget for CI smoke runs.
+
+use kmeans_bench::bench_json::{write_merged_serve, ServeRecord};
+use kmeans_core::model::KMeans;
+use kmeans_data::synth::GaussMixture;
+use kmeans_data::PointMatrix;
+use kmeans_par::{Executor, Parallelism};
+use kmeans_serve::{spawn_tcp_serve, ServeClient, ServeEngine};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const N: usize = 4_096;
+const K: usize = 8;
+
+fn slice_rows(points: &PointMatrix, start: usize, rows: usize) -> PointMatrix {
+    let dim = points.dim();
+    PointMatrix::from_flat(
+        points.as_slice()[start * dim..(start + rows) * dim].to_vec(),
+        dim,
+    )
+    .unwrap()
+}
+
+/// One load-generator configuration: `clients` connections, each issuing
+/// `requests_per_client` predicts of `batch` points. Returns per-request
+/// latencies and the measured wall time.
+fn run_load(
+    addr: &str,
+    data: &PointMatrix,
+    batch: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> (Vec<u128>, Duration) {
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..clients {
+        let addr = addr.to_string();
+        // Each client cycles through its own window of the data so
+        // batches are not byte-identical across clients.
+        let queries: Vec<PointMatrix> = (0..requests_per_client)
+            .map(|i| slice_rows(data, (c * 97 + i * 31) % (data.len() - batch), batch))
+            .collect();
+        workers.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&addr, Some(Duration::from_secs(60))).unwrap();
+            let mut latencies = Vec::with_capacity(queries.len());
+            for query in &queries {
+                let sent = Instant::now();
+                let prediction = client.predict(query).unwrap();
+                latencies.push(sent.elapsed().as_nanos());
+                assert_eq!(prediction.labels.len(), query.len());
+            }
+            latencies
+        }));
+    }
+    let mut all = Vec::with_capacity(clients * requests_per_client);
+    for w in workers {
+        all.extend(w.join().expect("load client panicked"));
+    }
+    (all, started.elapsed())
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let quick = std::env::var("KMEANS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let synth = GaussMixture::new(K)
+        .points(N)
+        .center_variance(50.0)
+        .generate(7)
+        .unwrap();
+    let points = synth.dataset.points().clone();
+    let dim = points.dim();
+    let model = KMeans::params(K)
+        .seed(1)
+        .parallelism(Parallelism::Sequential)
+        .fit(&points)
+        .unwrap();
+
+    let engine = ServeEngine::new(model.to_record(), Executor::new(Parallelism::Threads(2)))
+        .expect("engine from a fitted model");
+    let (addr, handle) = spawn_tcp_serve(engine, Some(Duration::from_secs(60))).unwrap();
+    let addr = addr.to_string();
+
+    // Sanity: served answers match the local model bitwise, or the
+    // throughput numbers mean nothing.
+    {
+        let mut client = ServeClient::connect(&addr, Some(Duration::from_secs(60))).unwrap();
+        let probe = slice_rows(&points, 11, 64);
+        let served = client.predict(&probe).unwrap();
+        assert_eq!(served.labels, model.predict(&probe).unwrap());
+        assert_eq!(
+            served.cost.to_bits(),
+            model.cost_of(&probe).unwrap().to_bits(),
+            "served cost diverged from the local model"
+        );
+    }
+
+    // batch size × client count grid (at least two configs even in quick
+    // mode — the committed artifact must cover the plane).
+    let grid: &[(usize, usize)] = if quick {
+        &[(16, 2), (256, 4)]
+    } else {
+        &[(1, 1), (16, 1), (16, 4), (256, 2), (256, 8), (1024, 4)]
+    };
+    let requests_per_client = if quick { 50 } else { 400 };
+
+    let mut records = Vec::new();
+    for &(batch, clients) in grid {
+        // Warm up connections/kernel, then measure.
+        let _ = run_load(&addr, &points, batch, clients, requests_per_client / 10 + 1);
+        let (mut latencies, wall) = run_load(&addr, &points, batch, clients, requests_per_client);
+        latencies.sort_unstable();
+        let requests = latencies.len() as u64;
+        let secs = wall.as_secs_f64().max(1e-9);
+        let record = ServeRecord {
+            id: format!("serve/tcp/b{batch}_c{clients}"),
+            transport: "tcp".into(),
+            batch,
+            clients,
+            requests,
+            d: dim,
+            k: K,
+            p50_ns: percentile(&latencies, 0.50),
+            p99_ns: percentile(&latencies, 0.99),
+            qps: (requests as f64 / secs) as u64,
+            points_per_sec: (requests as f64 * batch as f64 / secs) as u64,
+        };
+        println!(
+            "{}: p50 {} ns, p99 {} ns, {} req/s, {} points/s",
+            record.id, record.p50_ns, record.p99_ns, record.qps, record.points_per_sec
+        );
+        records.push(record);
+    }
+
+    ServeClient::connect(&addr, Some(Duration::from_secs(60)))
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join().unwrap().unwrap();
+
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve.json"
+    ));
+    write_merged_serve(path, &records);
+}

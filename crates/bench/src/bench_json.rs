@@ -109,6 +109,57 @@ impl DriverRecord {
     }
 }
 
+/// One serving-bench record: a load-generator configuration (request
+/// batch size × concurrent clients), its throughput, and the tail
+/// latencies. Written to `BENCH_serve.json` by `benches/serve.rs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRecord {
+    /// Unique record id (`serve/<transport>/b<batch>_c<clients>`); the
+    /// merge key.
+    pub id: String,
+    /// Transport the load ran over (`"tcp"`).
+    pub transport: String,
+    /// Points per predict request.
+    pub batch: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests answered in the measured window.
+    pub requests: u64,
+    /// Dimensionality of the served model.
+    pub d: usize,
+    /// Centers in the served model.
+    pub k: usize,
+    /// Median request latency in nanoseconds.
+    pub p50_ns: u128,
+    /// 99th-percentile request latency in nanoseconds.
+    pub p99_ns: u128,
+    /// Requests per second over the measured window.
+    pub qps: u64,
+    /// Points assigned per second over the measured window.
+    pub points_per_sec: u64,
+}
+
+impl ServeRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "  {{\"id\": \"{}\", \"transport\": \"{}\", \"batch\": {}, \"clients\": {}, \
+             \"requests\": {}, \"d\": {}, \"k\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"qps\": {}, \"points_per_sec\": {}}}",
+            escape_free(&self.id),
+            escape_free(&self.transport),
+            self.batch,
+            self.clients,
+            self.requests,
+            self.d,
+            self.k,
+            self.p50_ns,
+            self.p99_ns,
+            self.qps,
+            self.points_per_sec,
+        )
+    }
+}
+
 /// Extracts the `"id"` value from one record line written by this module.
 fn line_id(line: &str) -> Option<&str> {
     let rest = line.split("\"id\": \"").nth(1)?;
@@ -161,6 +212,16 @@ pub fn write_merged(path: &Path, records: &[KernelRecord]) {
 /// different record shape — the driver trajectory lives in its own
 /// artifact, `BENCH_driver.json`).
 pub fn write_merged_driver(path: &Path, records: &[DriverRecord]) {
+    let new: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.id.clone(), r.to_line()))
+        .collect();
+    merge_lines(path, &new);
+}
+
+/// [`write_merged`] for [`ServeRecord`]s (same merge-by-id semantics;
+/// the serving trajectory lives in `BENCH_serve.json`).
+pub fn write_merged_serve(path: &Path, records: &[ServeRecord]) {
     let new: Vec<(String, String)> = records
         .iter()
         .map(|r| (r.id.clone(), r.to_line()))

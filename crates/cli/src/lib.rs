@@ -36,9 +36,11 @@ use kmeans_core::pipeline;
 use kmeans_data::blockfile::{csv_to_block_file, is_block_file, BlockFileSource};
 use kmeans_data::chunked::{ChunkedSource, CsvSource};
 use kmeans_data::io::{read_csv, write_csv, LabelColumn};
+use kmeans_data::modelfile::{is_model_file, load_model_file};
 use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
 use kmeans_data::{Dataset, PointMatrix};
 use kmeans_par::Parallelism;
+use kmeans_serve::{ServeClient, ServeEngine, TcpServeServer, DEFAULT_MAX_BATCH_POINTS};
 use kmeans_streaming::partition::PartitionConfig;
 use kmeans_util::cli::Args;
 use std::fmt;
@@ -106,6 +108,7 @@ pub fn dispatch(command: &str, args: &Args, out: &mut dyn Write) -> Result<(), C
         "convert" => convert(args, out),
         "shard" => shard(args, out),
         "worker" => worker(args, out),
+        "serve" => serve(args, out),
         "predict" => predict(args, out),
         "evaluate" => evaluate(args, out),
         "help" | "--help" | "-h" => {
@@ -140,12 +143,16 @@ USAGE:
                [--distributed --workers A,B,C]  (run on remote skm workers; no --input)
                [--io-timeout SECS]              (distributed: per-socket timeout, default 60)
                [--manifest FILE]                (distributed: cross-check an skm-shard manifest)
+               [--save-model FILE]              (persist the fit as an SKMMDL01 model file)
   skm convert  --input data.csv --out data.skmb [--block-rows N] [--labels]
   skm shard    --input data.skmb --workers N --out-prefix PATH [--align ROWS]
   skm worker   --listen ADDR --data shard.skmb [--mem-budget SIZE] [--threads T]
                [--io-timeout SECS] [--once]
-  skm predict  --input FILE --centers FILE --out FILE
-  skm evaluate --input FILE --centers FILE [--labels] [--silhouette-sample N]
+  skm serve    --listen ADDR --model model.skmm [--threads T] [--batch-cap POINTS]
+               [--io-timeout SECS] [--once]
+  skm predict  --input FILE (--centers FILE | --server ADDR) --out FILE
+  skm evaluate --input FILE (--centers FILE | --server ADDR) [--labels]
+               [--silhouette-sample N]
   skm help
 
 Every --init seeder composes with every --refine refiner; --refine none
@@ -167,7 +174,15 @@ single-node fit of the concatenated data for any worker count (supported
 stages: --init random|kmeans-par, --refine lloyd|minibatch|none; the
 same backend-generic round drivers run every mode). Workers own the
 data, so --distributed takes no --input; worker order in --workers is
-global row order."
+global row order.
+
+Serving: `skm fit --save-model model.skmm` persists the fitted model,
+`skm serve` answers predict/cost queries over TCP from one prepared
+assignment kernel per model revision (concurrent clients micro-batch
+into shared kernel sweeps; models hot-swap without downtime), and
+`--server ADDR` routes `skm predict` / `skm evaluate` to a running
+server — answers are bit-identical to the local path on the same model.
+`--centers` also accepts a model file directly (detected by magic)."
 }
 
 fn require(args: &Args, name: &str) -> Result<String, CliError> {
@@ -486,6 +501,7 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     report_fit(out, &model, k, n, dim)?;
     writeln!(out, "centers -> {centers_path}")?;
+    maybe_save_model(args, &model, out)?;
 
     if let Some(source) = source {
         let r = source.residency();
@@ -516,6 +532,21 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if !assignments.is_empty() {
         write_labels(&assignments, model.labels())?;
         writeln!(out, "assignments -> {assignments}")?;
+    }
+    Ok(())
+}
+
+/// `--save-model`: persist the fit as an `SKMMDL01` model file (the
+/// format `skm serve` loads and `--centers` auto-detects).
+fn maybe_save_model(
+    args: &Args,
+    model: &kmeans_core::model::KMeansModel,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let path = args.str_or("save-model", "");
+    if !path.is_empty() {
+        model.save(std::path::Path::new(&path))?;
+        writeln!(out, "model -> {path} (SKMMDL01)")?;
     }
     Ok(())
 }
@@ -637,6 +668,7 @@ fn fit_distributed(
     )?;
     report_fit(out, &model, k, n, dim)?;
     writeln!(out, "centers -> {centers_path}")?;
+    maybe_save_model(args, &model, out)?;
     writeln!(
         out,
         "distributed: {} workers, {passes} data passes, {} B on the wire \
@@ -756,6 +788,75 @@ fn worker(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `skm serve`: the online assignment service — load an `SKMMDL01`
+/// model and answer predict/cost queries over TCP, micro-batching
+/// concurrent clients through one prepared kernel per model revision.
+fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let listen = require(args, "listen")?;
+    let model_path = require(args, "model")?;
+    if !is_model_file(&model_path) {
+        return Err(CliError::Usage(format!(
+            "'{model_path}' is not an SKMMDL01 model file; save one with \
+             `skm fit --save-model`"
+        )));
+    }
+    let record = load_model_file(&model_path)?;
+    let batch_cap = match args.usize_or("batch-cap", 0) {
+        0 if args.str_or("batch-cap", "").is_empty() => DEFAULT_MAX_BATCH_POINTS,
+        0 => {
+            return Err(CliError::Usage(format!(
+                "--batch-cap must be at least 1 (omit for the {DEFAULT_MAX_BATCH_POINTS} default)"
+            )))
+        }
+        c => c,
+    };
+    let engine = ServeEngine::with_batch_cap(
+        record,
+        kmeans_par::Executor::new(parallelism(args)),
+        batch_cap,
+    )?;
+    let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 600).max(1));
+    let once = args.flag("once");
+    let server = TcpServeServer::bind(&listen)?;
+    let version = engine.current();
+    writeln!(
+        out,
+        "serving k={} dim={} (init={}, refine={}, revision {}) from {model_path} on {}{}",
+        version.predictor().k(),
+        version.predictor().dim(),
+        version.init_name,
+        version.refiner_name,
+        version.revision,
+        server.local_addr()?,
+        if once { " (one session)" } else { "" },
+    )?;
+    out.flush()?;
+    server.serve(engine, Some(timeout), once)?;
+    Ok(())
+}
+
+/// Loads query centers from either an `SKMMDL01` model file (detected by
+/// magic — the same loader `skm serve` uses) or a centers CSV.
+fn load_centers(path: &str) -> Result<PointMatrix, CliError> {
+    if is_model_file(path) {
+        Ok(load_model_file(path)?.centers)
+    } else {
+        Ok(read_csv(path, LabelColumn::None)?.into_parts().1)
+    }
+}
+
+/// `--server` for predict/evaluate: reject `--centers` (the server owns
+/// the model) and dial the endpoint.
+fn connect_server(args: &Args, addr: &str) -> Result<ServeClient, CliError> {
+    if !args.str_or("centers", "").is_empty() {
+        return Err(CliError::Usage(
+            "--centers does not combine with --server: the server owns the model".into(),
+        ));
+    }
+    let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 60).max(1));
+    Ok(ServeClient::connect(addr, Some(timeout))?)
+}
+
 /// `skm convert`: stream a CSV into the binary block format (never
 /// materializes the dataset; see `kmeans_data::blockfile`).
 fn convert(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -783,10 +884,25 @@ fn batch_labels(points: &kmeans_data::PointMatrix, centers: &kmeans_data::PointM
 
 fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let input = require(args, "input")?;
-    let centers_path = require(args, "centers")?;
     let out_path = require(args, "out")?;
     let data = read_csv(&input, label_mode(args))?;
-    let centers = read_csv(&centers_path, LabelColumn::None)?;
+    let server = args.str_or("server", "");
+    if !server.is_empty() {
+        let mut client = connect_server(args, &server)?;
+        let prediction = client.predict(data.points())?;
+        write_labels(&out_path, &prediction.labels)?;
+        writeln!(
+            out,
+            "predicted {} points against {} centers served by {server} \
+             (model revision {}) -> {out_path}",
+            data.len(),
+            client.info().k,
+            prediction.revision,
+        )?;
+        return Ok(());
+    }
+    let centers_path = require(args, "centers")?;
+    let centers = load_centers(&centers_path)?;
     if centers.dim() != data.dim() {
         return Err(CliError::KMeans(
             kmeans_core::KMeansError::DimensionMismatch {
@@ -795,7 +911,7 @@ fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             },
         ));
     }
-    let labels = batch_labels(data.points(), centers.points());
+    let labels = batch_labels(data.points(), &centers);
     write_labels(&out_path, &labels)?;
     writeln!(
         out,
@@ -808,30 +924,38 @@ fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let input = require(args, "input")?;
-    let centers_path = require(args, "centers")?;
     let data = read_csv(&input, label_mode(args))?;
-    let centers = read_csv(&centers_path, LabelColumn::None)?;
-    if centers.dim() != data.dim() {
-        return Err(CliError::KMeans(
-            kmeans_core::KMeansError::DimensionMismatch {
-                expected: centers.dim(),
-                got: data.dim(),
-            },
-        ));
-    }
-    let exec = kmeans_par::Executor::new(parallelism(args));
-    let cost = kmeans_core::cost::potential(data.points(), centers.points(), &exec);
-    let labels = batch_labels(data.points(), centers.points());
-    let mut sizes = vec![0u64; centers.len()];
+    let server = args.str_or("server", "");
+    let (labels, cost, k) = if server.is_empty() {
+        let centers_path = require(args, "centers")?;
+        let centers = load_centers(&centers_path)?;
+        if centers.dim() != data.dim() {
+            return Err(CliError::KMeans(
+                kmeans_core::KMeansError::DimensionMismatch {
+                    expected: centers.dim(),
+                    got: data.dim(),
+                },
+            ));
+        }
+        let exec = kmeans_par::Executor::new(parallelism(args));
+        let cost = kmeans_core::cost::potential(data.points(), &centers, &exec);
+        let labels = batch_labels(data.points(), &centers);
+        (labels, cost, centers.len())
+    } else {
+        let mut client = connect_server(args, &server)?;
+        let prediction = client.predict(data.points())?;
+        let k = client.info().k as usize;
+        (prediction.labels, prediction.cost, k)
+    };
+    let mut sizes = vec![0u64; k];
     for &l in &labels {
         sizes[l as usize] += 1;
     }
     let empty = sizes.iter().filter(|&&s| s == 0).count();
     writeln!(
         out,
-        "cost {cost:.6e} over {} points, {} centers ({empty} empty)",
+        "cost {cost:.6e} over {} points, {k} centers ({empty} empty)",
         data.len(),
-        centers.len()
     )?;
     if let Some(truth) = data.labels() {
         writeln!(
@@ -1332,9 +1456,130 @@ mod tests {
             "--listen",
             "--once",
             "--shard-size",
+            "skm serve",
+            "--save-model",
+            "--server",
+            "--batch-cap",
+            "--model",
         ] {
             assert!(out.contains(value), "usage() missing '{value}': {out}");
         }
+    }
+
+    #[test]
+    fn save_model_serves_predict_and_evaluate() {
+        let data = tmp("serve.csv");
+        let centers = tmp("serve_centers.csv");
+        let model = tmp("serve_model.skmm");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 3 --n 150 --variance 80 --seed 11 --out {data} --no-labels"
+            )),
+        )
+        .unwrap();
+        let out = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 3 --seed 4 --centers-out {centers} --save-model {model}"
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("model -> "), "{out}");
+        assert!(out.contains("SKMMDL01"), "{out}");
+
+        // --centers auto-detects the model file by magic; labels match the
+        // centers-CSV path exactly (shortest-round-trip CSV is bit-exact).
+        let from_csv = tmp("serve_pred_csv.txt");
+        let from_model = tmp("serve_pred_model.txt");
+        run(
+            "predict",
+            &args(&format!(
+                "--input {data} --centers {centers} --out {from_csv}"
+            )),
+        )
+        .unwrap();
+        let out = run(
+            "predict",
+            &args(&format!(
+                "--input {data} --centers {model} --out {from_model}"
+            )),
+        )
+        .unwrap();
+        assert!(
+            out.contains("predicted 150 points against 3 centers"),
+            "{out}"
+        );
+        let local_labels = std::fs::read_to_string(&from_csv).unwrap();
+        assert_eq!(std::fs::read_to_string(&from_model).unwrap(), local_labels);
+        let out = run(
+            "evaluate",
+            &args(&format!("--input {data} --centers {model}")),
+        )
+        .unwrap();
+        assert!(out.contains("3 centers"), "{out}");
+
+        // Served predict/evaluate through a real TCP server: the labels
+        // file is identical to the local predict's.
+        let record = load_model_file(&model).unwrap();
+        let engine =
+            ServeEngine::new(record, kmeans_par::Executor::new(Parallelism::Threads(2))).unwrap();
+        let (addr, handle) =
+            kmeans_serve::spawn_tcp_serve(engine, Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+        let served = tmp("serve_pred_tcp.txt");
+        let out = run(
+            "predict",
+            &args(&format!("--input {data} --server {addr} --out {served}")),
+        )
+        .unwrap();
+        assert!(out.contains("model revision 1"), "{out}");
+        assert_eq!(std::fs::read_to_string(&served).unwrap(), local_labels);
+        let out = run(
+            "evaluate",
+            &args(&format!("--input {data} --server {addr}")),
+        )
+        .unwrap();
+        assert!(out.contains("3 centers"), "{out}");
+        ServeClient::connect(&addr.to_string(), Some(std::time::Duration::from_secs(30)))
+            .unwrap()
+            .shutdown()
+            .unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn serve_and_server_flags_are_validated() {
+        let csv = tmp("serve_flags.csv");
+        std::fs::write(&csv, "1.0,2.0\n3.0,4.0\n").unwrap();
+        // serve needs a model file, not a CSV.
+        let err = run(
+            "serve",
+            &args(&format!("--listen 127.0.0.1:0 --model {csv}")),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--save-model"), "{err}");
+        let err = run("serve", &args("--listen 127.0.0.1:0")).unwrap_err();
+        assert!(err.to_string().contains("--model"), "{err}");
+        // --centers and --server are mutually exclusive.
+        let err = run(
+            "predict",
+            &args(&format!(
+                "--input {csv} --centers {csv} --server 127.0.0.1:9 --out /tmp/x"
+            )),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("--centers does not combine"),
+            "{err}"
+        );
+        // A dead server address is a typed connection error, not a hang.
+        let err = run(
+            "predict",
+            &args(&format!("--input {csv} --server 127.0.0.1:9 --out /tmp/x")),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Cluster(_)), "{err}");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod error;
 pub mod fit;
 pub mod protocol;
 pub mod transport;
+pub mod wire;
 pub mod worker;
 
 pub use backend::ClusterBackend;
@@ -60,4 +61,5 @@ pub use error::ClusterError;
 pub use fit::{DistInit, DistRefine, FitDistributed};
 pub use protocol::{FrameError, Message, WorkerStats};
 pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport};
+pub use wire::{ReadFrameError, WireMessage};
 pub use worker::{spawn_loopback_worker, spawn_tcp_worker, TcpWorkerServer, Worker};

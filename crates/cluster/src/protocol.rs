@@ -19,7 +19,17 @@
 //! checked against the bytes actually present before allocating, and every
 //! malformed input maps to a typed [`FrameError`] — never a panic
 //! (`tests/protocol_proptests.rs` fuzzes this contract).
+//!
+//! The frame assembly, checksum, and decoder primitives are the shared
+//! machinery of [`crate::wire`]; this module supplies the `SKW1`
+//! vocabulary — the distributed-runtime [`Message`] enum and its per-tag
+//! payload codecs — via the [`WireMessage`] impl. The serving tier's
+//! `SKS1` vocabulary (`kmeans-serve`) is a second instance of the same
+//! machinery.
 
+pub use crate::wire::{fnv1a, FrameError, ReadFrameError, MAX_FRAME_PAYLOAD};
+
+use crate::wire::{Dec, Enc, WireMessage};
 use kmeans_core::chunked::AccumShard;
 use kmeans_core::kernel::KernelStats;
 use kmeans_core::KMeansError;
@@ -28,65 +38,6 @@ use std::io::{Read, Write};
 
 /// Frame magic (see module docs).
 pub const FRAME_MAGIC: [u8; 4] = *b"SKW1";
-
-/// Default cap on a frame's payload (1 GiB — comfortably above the
-/// largest legitimate reply, a `Labels` frame for ~268M worker-local
-/// rows). Decoders reject an adversarial or corrupt length prefix beyond
-/// the cap *before* any allocation happens; transports enforce the same
-/// cap on send, so an over-large reply fails fast at its source instead
-/// of after the receiving end has done all the work.
-pub const MAX_FRAME_PAYLOAD: usize = 1 << 30;
-
-/// Typed decoding failures. `Io` is deliberately absent: transports keep
-/// I/O errors separate so "the peer vanished" and "the peer sent garbage"
-/// stay distinguishable.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FrameError {
-    /// The frame does not start with [`FRAME_MAGIC`].
-    BadMagic,
-    /// The buffer ends before the declared frame does.
-    Truncated,
-    /// The declared payload length exceeds the decoder's cap.
-    Oversized {
-        /// Declared payload length.
-        len: u64,
-        /// The decoder's cap.
-        max: u64,
-    },
-    /// The checksum does not match the payload.
-    Checksum {
-        /// Checksum declared in the frame.
-        expected: u64,
-        /// Checksum computed over the received payload.
-        got: u64,
-    },
-    /// The tag byte does not name a known message.
-    UnknownTag(u8),
-    /// The payload does not parse as its tag's message.
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for FrameError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FrameError::BadMagic => write!(f, "bad frame magic (expected SKW1)"),
-            FrameError::Truncated => write!(f, "truncated frame"),
-            FrameError::Oversized { len, max } => {
-                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
-            }
-            FrameError::Checksum { expected, got } => {
-                write!(
-                    f,
-                    "frame checksum mismatch: declared {expected:#x}, computed {got:#x}"
-                )
-            }
-            FrameError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
-            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for FrameError {}
 
 /// A typed clustering error crossing the wire (worker → coordinator).
 /// Mirrors [`KMeansError`] so the coordinator surfaces the *same* typed
@@ -344,154 +295,6 @@ pub enum Message {
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// 64-bit FNV-1a over the tag byte and payload.
-fn fnv1a(tag: u8, payload: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut step = |b: u8| {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    step(tag);
-    for &b in payload {
-        step(b);
-    }
-    h
-}
-
-struct Enc(Vec<u8>);
-
-impl Enc {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64s(&mut self, vs: &[f64]) {
-        self.u64(vs.len() as u64);
-        for &v in vs {
-            self.f64(v);
-        }
-    }
-    fn u64s(&mut self, vs: &[u64]) {
-        self.u64(vs.len() as u64);
-        for &v in vs {
-            self.u64(v);
-        }
-    }
-    fn u32s(&mut self, vs: &[u32]) {
-        self.u64(vs.len() as u64);
-        for &v in vs {
-            self.u32(v);
-        }
-    }
-    fn text(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        self.0.extend_from_slice(s.as_bytes());
-    }
-    fn matrix(&mut self, m: &PointMatrix) {
-        self.u32(m.dim() as u32);
-        self.u64(m.len() as u64);
-        for &v in m.as_slice() {
-            self.f64(v);
-        }
-    }
-}
-
-struct Dec<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Dec<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Dec { bytes, pos: 0 }
-    }
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
-    }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
-        if self.remaining() < n {
-            return Err(FrameError::Malformed("payload ends mid-field"));
-        }
-        let out = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-    fn u8(&mut self) -> Result<u8, FrameError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
-    }
-    fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-    }
-    fn f64(&mut self) -> Result<f64, FrameError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-    }
-    /// Validates an element count against the bytes actually present
-    /// *before* any allocation — a forged count cannot over-allocate.
-    fn count(&mut self, elem_bytes: usize) -> Result<usize, FrameError> {
-        let declared = self.u64()?;
-        let need = declared
-            .checked_mul(elem_bytes as u64)
-            .ok_or(FrameError::Malformed("element count overflows"))?;
-        if need > self.remaining() as u64 {
-            return Err(FrameError::Malformed("element count exceeds payload"));
-        }
-        Ok(declared as usize)
-    }
-    fn f64s(&mut self) -> Result<Vec<f64>, FrameError> {
-        let n = self.count(8)?;
-        (0..n).map(|_| self.f64()).collect()
-    }
-    fn u64s(&mut self) -> Result<Vec<u64>, FrameError> {
-        let n = self.count(8)?;
-        (0..n).map(|_| self.u64()).collect()
-    }
-    fn u32s(&mut self) -> Result<Vec<u32>, FrameError> {
-        let n = self.count(4)?;
-        (0..n).map(|_| self.u32()).collect()
-    }
-    fn text(&mut self) -> Result<String, FrameError> {
-        let n = self.count(1)?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed("non-UTF-8 text"))
-    }
-    fn matrix(&mut self) -> Result<PointMatrix, FrameError> {
-        let dim = self.u32()? as usize;
-        if dim == 0 {
-            return Err(FrameError::Malformed("matrix with zero dim"));
-        }
-        let rows = self.u64()?;
-        let values = rows
-            .checked_mul(dim as u64)
-            .ok_or(FrameError::Malformed("matrix size overflows"))?;
-        if values
-            .checked_mul(8)
-            .ok_or(FrameError::Malformed("matrix size overflows"))?
-            > self.remaining() as u64
-        {
-            return Err(FrameError::Malformed("matrix larger than payload"));
-        }
-        let flat: Vec<f64> = (0..values).map(|_| self.f64()).collect::<Result<_, _>>()?;
-        PointMatrix::from_flat(flat, dim).map_err(|_| FrameError::Malformed("ragged matrix"))
-    }
-    fn finish(self) -> Result<(), FrameError> {
-        if self.remaining() != 0 {
-            return Err(FrameError::Malformed("trailing bytes after payload"));
-        }
-        Ok(())
-    }
-}
-
 fn encode_accum_shard(e: &mut Enc, s: &AccumShard) {
     e.f64s(&s.sums);
     e.u64s(&s.counts);
@@ -525,7 +328,9 @@ fn decode_accum_shard(d: &mut Dec<'_>) -> Result<AccumShard, FrameError> {
     })
 }
 
-impl Message {
+impl WireMessage for Message {
+    const MAGIC: [u8; 4] = FRAME_MAGIC;
+
     fn tag(&self) -> u8 {
         match self {
             Message::Hello { .. } => 1,
@@ -558,7 +363,7 @@ impl Message {
     }
 
     fn encode_payload(&self) -> Vec<u8> {
-        let mut e = Enc(Vec::new());
+        let mut e = Enc::new();
         match self {
             Message::Hello { rows, dim } => {
                 e.u64(*rows);
@@ -668,7 +473,7 @@ impl Message {
                 }
             },
         }
-        e.0
+        e.into_bytes()
     }
 
     fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, FrameError> {
@@ -791,69 +596,27 @@ impl Message {
         d.finish()?;
         Ok(msg)
     }
+}
 
+impl Message {
     /// Encodes the message as one complete frame (magic, tag, length,
-    /// payload, checksum). Returns the frame bytes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the payload exceeds the u32 length field (4 GiB) — a
-    /// silent wrap would corrupt the stream; transports reject anything
-    /// over [`MAX_FRAME_PAYLOAD`] with a typed error long before this.
+    /// payload, checksum). Returns the frame bytes. Inherent forwarder
+    /// to [`WireMessage::encode_frame`] so call sites need no trait
+    /// import.
     pub fn encode_frame(&self) -> Vec<u8> {
-        let payload = self.encode_payload();
-        assert!(
-            payload.len() <= u32::MAX as usize,
-            "frame payload of {} bytes exceeds the u32 length field",
-            payload.len()
-        );
-        let tag = self.tag();
-        let mut frame = Vec::with_capacity(17 + payload.len());
-        frame.extend_from_slice(&FRAME_MAGIC);
-        frame.push(tag);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        frame.extend_from_slice(&fnv1a(tag, &payload).to_le_bytes());
-        frame
+        WireMessage::encode_frame(self)
     }
 
     /// Decodes one frame from a byte buffer, returning the message and the
     /// number of bytes consumed. `max_payload` caps the declared payload
     /// length *before* any allocation.
     pub fn decode_frame(bytes: &[u8], max_payload: usize) -> Result<(Message, usize), FrameError> {
-        if bytes.len() < 9 {
-            return Err(FrameError::Truncated);
-        }
-        if bytes[..4] != FRAME_MAGIC {
-            return Err(FrameError::BadMagic);
-        }
-        let tag = bytes[4];
-        let len = u32::from_le_bytes(bytes[5..9].try_into().expect("4")) as u64;
-        if len > max_payload as u64 {
-            return Err(FrameError::Oversized {
-                len,
-                max: max_payload as u64,
-            });
-        }
-        let len = len as usize;
-        let total = 9 + len + 8;
-        if bytes.len() < total {
-            return Err(FrameError::Truncated);
-        }
-        let payload = &bytes[9..9 + len];
-        let expected = u64::from_le_bytes(bytes[9 + len..total].try_into().expect("8"));
-        let got = fnv1a(tag, payload);
-        if expected != got {
-            return Err(FrameError::Checksum { expected, got });
-        }
-        Ok((Message::decode_payload(tag, payload)?, total))
+        <Message as WireMessage>::decode_frame(bytes, max_payload)
     }
 
     /// Writes the message as one frame. Returns the bytes written.
     pub fn write_frame(&self, w: &mut impl Write) -> std::io::Result<usize> {
-        let frame = self.encode_frame();
-        w.write_all(&frame)?;
-        Ok(frame.len())
+        WireMessage::write_frame(self, w)
     }
 
     /// Reads one frame from a byte stream, returning the message and the
@@ -863,46 +626,8 @@ impl Message {
         r: &mut impl Read,
         max_payload: usize,
     ) -> Result<(Message, usize), ReadFrameError> {
-        let mut header = [0u8; 9];
-        r.read_exact(&mut header).map_err(ReadFrameError::Io)?;
-        if header[..4] != FRAME_MAGIC {
-            return Err(ReadFrameError::Frame(FrameError::BadMagic));
-        }
-        let tag = header[4];
-        let len = u32::from_le_bytes(header[5..9].try_into().expect("4")) as u64;
-        if len > max_payload as u64 {
-            return Err(ReadFrameError::Frame(FrameError::Oversized {
-                len,
-                max: max_payload as u64,
-            }));
-        }
-        let len = len as usize;
-        let mut payload = vec![0u8; len];
-        r.read_exact(&mut payload).map_err(ReadFrameError::Io)?;
-        let mut check = [0u8; 8];
-        r.read_exact(&mut check).map_err(ReadFrameError::Io)?;
-        let expected = u64::from_le_bytes(check);
-        let got = fnv1a(tag, &payload);
-        if expected != got {
-            return Err(ReadFrameError::Frame(FrameError::Checksum {
-                expected,
-                got,
-            }));
-        }
-        Message::decode_payload(tag, &payload)
-            .map(|m| (m, 9 + len + 8))
-            .map_err(ReadFrameError::Frame)
+        <Message as WireMessage>::read_frame(r, max_payload)
     }
-}
-
-/// Failure reading a frame from a stream: transport-level I/O vs. a
-/// well-delivered but invalid frame.
-#[derive(Debug)]
-pub enum ReadFrameError {
-    /// The underlying stream failed (peer gone, timeout).
-    Io(std::io::Error),
-    /// The bytes arrived but do not form a valid frame.
-    Frame(FrameError),
 }
 
 #[cfg(test)]
@@ -1107,10 +832,10 @@ mod tests {
     #[test]
     fn forged_counts_cannot_over_allocate() {
         // A ShardSums payload declaring 2^60 elements in 16 bytes.
-        let mut e = Enc(Vec::new());
+        let mut e = Enc::new();
         e.u64(1u64 << 60);
         e.f64(0.0);
-        let payload = e.0;
+        let payload = e.into_bytes();
         let mut frame = Vec::new();
         frame.extend_from_slice(&FRAME_MAGIC);
         frame.push(6);

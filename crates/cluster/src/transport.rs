@@ -1,13 +1,21 @@
 //! Message transports: real TCP sockets and an in-process loopback.
 //!
-//! Both implementations move the *same encoded frames* ([`crate::protocol`])
+//! Both implementations move the *same encoded frames* ([`crate::wire`])
 //! and count the same bytes, so loopback tests exercise the full
 //! encode/decode path and wire accounting is transport-independent — a
 //! loopback fit reports exactly the bytes a TCP fit would.
+//!
+//! The transports are generic over the frame vocabulary: the message
+//! type parameter defaults to the distributed runtime's
+//! [`Message`] (`SKW1`), and the serving tier
+//! instantiates the same types with its `SKS1` vocabulary — one socket
+//! layer, two protocols.
 
 use crate::error::ClusterError;
 use crate::protocol::{FrameError, Message, MAX_FRAME_PAYLOAD};
+use crate::wire::{WireMessage, FRAME_OVERHEAD};
 use std::io::{BufReader, BufWriter, Write};
+use std::marker::PhantomData;
 use std::net::TcpStream;
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Duration;
@@ -17,11 +25,11 @@ use std::time::Duration;
 /// `recv` must return a typed error — never hang forever — when the peer
 /// is gone: the TCP impl uses socket timeouts plus EOF detection, the
 /// loopback impl observes the closed channel.
-pub trait Transport: Send {
+pub trait Transport<M: WireMessage = Message>: Send {
     /// Sends one message (flushes).
-    fn send(&mut self, msg: &Message) -> Result<(), ClusterError>;
+    fn send(&mut self, msg: &M) -> Result<(), ClusterError>;
     /// Receives the next message.
-    fn recv(&mut self) -> Result<Message, ClusterError>;
+    fn recv(&mut self) -> Result<M, ClusterError>;
     /// Total frame bytes written so far.
     fn bytes_sent(&self) -> u64;
     /// Total frame bytes read so far.
@@ -29,14 +37,15 @@ pub trait Transport: Send {
 }
 
 /// [`Transport`] over a TCP socket.
-pub struct TcpTransport {
+pub struct TcpTransport<M: WireMessage = Message> {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     sent: u64,
     received: u64,
+    _vocabulary: PhantomData<fn() -> M>,
 }
 
-impl TcpTransport {
+impl<M: WireMessage> TcpTransport<M> {
     /// Wraps a connected stream. `io_timeout` bounds every read and write
     /// so a silent peer produces a typed timeout error instead of a hang;
     /// `None` trusts the OS defaults.
@@ -51,6 +60,7 @@ impl TcpTransport {
             writer,
             sent: 0,
             received: 0,
+            _vocabulary: PhantomData,
         })
     }
 }
@@ -59,7 +69,7 @@ impl TcpTransport {
 /// typed error at its source instead of after the peer has received (and
 /// rejected) it.
 fn check_outgoing(frame: &[u8]) -> Result<(), ClusterError> {
-    let payload = frame.len().saturating_sub(17);
+    let payload = frame.len().saturating_sub(FRAME_OVERHEAD);
     if payload > MAX_FRAME_PAYLOAD {
         return Err(ClusterError::Frame(FrameError::Oversized {
             len: payload as u64,
@@ -69,8 +79,8 @@ fn check_outgoing(frame: &[u8]) -> Result<(), ClusterError> {
     Ok(())
 }
 
-impl Transport for TcpTransport {
-    fn send(&mut self, msg: &Message) -> Result<(), ClusterError> {
+impl<M: WireMessage> Transport<M> for TcpTransport<M> {
+    fn send(&mut self, msg: &M) -> Result<(), ClusterError> {
         let frame = msg.encode_frame();
         check_outgoing(&frame)?;
         self.writer.write_all(&frame)?;
@@ -79,8 +89,8 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<Message, ClusterError> {
-        let (msg, used) = Message::read_frame(&mut self.reader, MAX_FRAME_PAYLOAD)?;
+    fn recv(&mut self) -> Result<M, ClusterError> {
+        let (msg, used) = M::read_frame(&mut self.reader, MAX_FRAME_PAYLOAD)?;
         self.received += used as u64;
         Ok(msg)
     }
@@ -96,16 +106,17 @@ impl Transport for TcpTransport {
 
 /// [`Transport`] over in-process channels carrying encoded frames — the
 /// deterministic test/CI transport. Create pairs with [`loopback_pair`].
-pub struct LoopbackTransport {
+pub struct LoopbackTransport<M: WireMessage = Message> {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
     sent: u64,
     received: u64,
+    _vocabulary: PhantomData<fn() -> M>,
 }
 
 /// Creates a connected pair of loopback transports (coordinator side,
-/// worker side).
-pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+/// worker side — or client side, server side for the serving tier).
+pub fn loopback_pair<M: WireMessage>() -> (LoopbackTransport<M>, LoopbackTransport<M>) {
     let (a_tx, b_rx) = std::sync::mpsc::channel();
     let (b_tx, a_rx) = std::sync::mpsc::channel();
     (
@@ -114,18 +125,20 @@ pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
             rx: a_rx,
             sent: 0,
             received: 0,
+            _vocabulary: PhantomData,
         },
         LoopbackTransport {
             tx: b_tx,
             rx: b_rx,
             sent: 0,
             received: 0,
+            _vocabulary: PhantomData,
         },
     )
 }
 
-impl Transport for LoopbackTransport {
-    fn send(&mut self, msg: &Message) -> Result<(), ClusterError> {
+impl<M: WireMessage> Transport<M> for LoopbackTransport<M> {
+    fn send(&mut self, msg: &M) -> Result<(), ClusterError> {
         let frame = msg.encode_frame();
         check_outgoing(&frame)?;
         let len = frame.len() as u64;
@@ -136,9 +149,9 @@ impl Transport for LoopbackTransport {
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<Message, ClusterError> {
+    fn recv(&mut self) -> Result<M, ClusterError> {
         let frame = self.rx.recv().map_err(|_| ClusterError::Disconnected)?;
-        let (msg, used) = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD)?;
+        let (msg, used) = M::decode_frame(&frame, MAX_FRAME_PAYLOAD)?;
         if used != frame.len() {
             return Err(ClusterError::Protocol(
                 "loopback frame carried trailing bytes".into(),
@@ -174,7 +187,7 @@ mod tests {
 
     #[test]
     fn loopback_disconnect_is_a_typed_error() {
-        let (mut a, b) = loopback_pair();
+        let (mut a, b) = loopback_pair::<Message>();
         drop(b);
         assert!(matches!(
             a.send(&Message::GatherD2),
@@ -189,12 +202,13 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
             let (stream, _) = listener.accept().unwrap();
-            let mut t = TcpTransport::new(stream, Some(Duration::from_secs(10))).unwrap();
+            let mut t =
+                TcpTransport::<Message>::new(stream, Some(Duration::from_secs(10))).unwrap();
             let msg = t.recv().unwrap();
             t.send(&msg).unwrap();
         });
         let stream = TcpStream::connect(addr).unwrap();
-        let mut t = TcpTransport::new(stream, Some(Duration::from_secs(10))).unwrap();
+        let mut t = TcpTransport::<Message>::new(stream, Some(Duration::from_secs(10))).unwrap();
         let msg = Message::CandidateWeights { m: 9 };
         t.send(&msg).unwrap();
         assert_eq!(t.recv().unwrap(), msg);
@@ -211,7 +225,7 @@ mod tests {
             drop(stream); // immediate close
         });
         let stream = TcpStream::connect(addr).unwrap();
-        let mut t = TcpTransport::new(stream, Some(Duration::from_secs(10))).unwrap();
+        let mut t = TcpTransport::<Message>::new(stream, Some(Duration::from_secs(10))).unwrap();
         server.join().unwrap();
         assert!(matches!(t.recv(), Err(ClusterError::Disconnected)));
     }

@@ -457,10 +457,21 @@ impl AssignKernel {
                 let pos = left - 1;
                 let gk = xk - self.keys[pos];
                 if gk * gk > binv {
-                    // Monotone: everything further left is out too.
-                    stats.pruned_by_norm_bound += left as u64;
-                    left = 0;
-                    break;
+                    // The single-candidate gap bound always certifies
+                    // `pos` out, but the *wholesale* extension is only
+                    // monotone once the walk is at or below the point's
+                    // key (`gk ≥ 0`). Between a displaced seed and the
+                    // key-nearest position the gaps still shrink leftward,
+                    // so there only this candidate may be skipped.
+                    if gk >= 0.0 {
+                        stats.pruned_by_norm_bound += left as u64;
+                        left = 0;
+                        break;
+                    }
+                    stats.pruned_by_norm_bound += 1;
+                    left = pos;
+                    steps -= 1;
+                    continue;
                 }
                 left = pos;
                 steps -= 1;
@@ -470,10 +481,17 @@ impl AssignKernel {
             while steps > 0 {
                 let gk = self.keys[right] - xk;
                 if gk * gk > binv {
-                    // Monotone: everything further right is out too.
-                    stats.pruned_by_norm_bound += (fin - right) as u64;
-                    right = fin;
-                    break;
+                    // Mirror of the left walk: wholesale stop only once
+                    // the walk is at or above the point's key.
+                    if gk >= 0.0 {
+                        stats.pruned_by_norm_bound += (fin - right) as u64;
+                        right = fin;
+                        break;
+                    }
+                    stats.pruned_by_norm_bound += 1;
+                    right += 1;
+                    steps -= 1;
+                    continue;
                 }
                 let pos = right;
                 right += 1;

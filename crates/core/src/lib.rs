@@ -95,5 +95,5 @@ pub mod pipeline;
 pub use error::KMeansError;
 pub use init::{InitMethod, InitResult, InitStats, KMeansParallelConfig};
 pub use lloyd::{LloydConfig, LloydResult};
-pub use model::{KMeans, KMeansModel};
+pub use model::{KMeans, KMeansModel, ModelParts, PreparedPredictor};
 pub use pipeline::{Initializer, RefineResult, Refiner};

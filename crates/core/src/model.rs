@@ -34,11 +34,14 @@
 
 use crate::error::KMeansError;
 use crate::init::{InitMethod, InitStats};
+use crate::kernel::{AssignKernel, KernelStats};
 use crate::lloyd::{IterationStats, LloydConfig};
 use crate::pipeline::{validate_weights, Initializer, Lloyd, Refiner};
-use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_data::{ChunkedSource, ModelRecord, PointMatrix};
 use kmeans_par::{Executor, Parallelism};
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Builder for a k-means run (defaults follow the paper's recommendation:
 /// k-means|| seeding with `ℓ = 2k`, `r = 5`, then Lloyd to stability).
@@ -447,41 +450,225 @@ impl KMeansModel {
     /// model's executor (deterministic: shard results concatenate in
     /// shard order).
     ///
+    /// Builds a fresh [`PreparedPredictor`] per call; callers issuing
+    /// many predict/cost queries against the same model (the serving
+    /// tier) should hold a [`KMeansModel::prepared`] engine instead and
+    /// amortize the kernel preparation.
+    ///
     /// # Errors
     ///
     /// Fails if `points` has a different dimensionality than the model.
     pub fn predict(&self, points: &PointMatrix) -> Result<Vec<u32>, KMeansError> {
-        if points.dim() != self.centers.dim() {
-            return Err(KMeansError::DimensionMismatch {
-                expected: self.centers.dim(),
-                got: points.dim(),
-            });
-        }
-        let kernel = crate::kernel::AssignKernel::new(&self.centers);
-        let shards: Vec<Vec<u32>> = self.executor.map_shards(points.len(), |_, range| {
-            let mut labels = vec![0u32; range.len()];
-            let mut d2 = vec![0.0f64; range.len()];
-            kernel.assign(points, range, &mut labels, &mut d2);
-            labels
-        });
-        Ok(shards.into_iter().flatten().collect())
+        self.prepared().predict(points)
     }
 
     /// Potential of new points under the fitted centers, in parallel on
     /// the model's executor (shard partials folded in shard order, so the
-    /// result is bit-identical for any worker count).
+    /// result is bit-identical for any worker count). Same
+    /// prepare-per-call note as [`KMeansModel::predict`].
     ///
     /// # Errors
     ///
     /// Fails if `points` has a different dimensionality than the model.
     pub fn cost_of(&self, points: &PointMatrix) -> Result<f64, KMeansError> {
+        self.prepared().cost_of(points)
+    }
+
+    /// Builds a long-lived assignment engine over this model's centers
+    /// and executor. `predict`/`cost_of` on the returned engine are
+    /// bit-identical to the model's own methods (they share one
+    /// implementation) while paying the `O(k·d + k log k)` kernel
+    /// preparation once instead of per call.
+    pub fn prepared(&self) -> PreparedPredictor {
+        PreparedPredictor::new(self.centers.clone(), self.executor.clone())
+    }
+
+    /// The persistable subset of this model as a [`ModelRecord`]
+    /// (`SKMMDL01`). Training-set artifacts that scale with `n` — labels
+    /// and per-iteration history — and the executor configuration are
+    /// deliberately not part of the record: a serving process supplies
+    /// its own executor, and labels can be recomputed by `predict` on
+    /// the training data.
+    pub fn to_record(&self) -> ModelRecord {
+        ModelRecord {
+            centers: self.centers.clone(),
+            cost: self.cost,
+            seed_cost: self.init_stats.seed_cost,
+            distance_computations: self.distance_computations,
+            pruned_by_norm_bound: self.pruned_by_norm_bound,
+            iterations: self.iterations as u64,
+            init_rounds: self.init_stats.rounds.min(u32::MAX as usize) as u32,
+            init_passes: self.init_stats.passes.min(u32::MAX as usize) as u32,
+            init_candidates: self.init_stats.candidates as u64,
+            converged: self.converged,
+            init_name: self.init_name.to_string(),
+            refiner_name: self.refiner_name.to_string(),
+        }
+    }
+
+    /// Reassembles a model from a persisted [`ModelRecord`] plus the
+    /// executor the revived model should run on. The training-set labels
+    /// and iteration history are empty (not persisted); stage names are
+    /// mapped back to the workspace's stable names, with unknown names
+    /// collapsing to `"loaded"`.
+    pub fn from_record(record: ModelRecord, executor: Executor) -> KMeansModel {
+        KMeansModel {
+            init_stats: InitStats {
+                rounds: record.init_rounds as usize,
+                passes: record.init_passes as usize,
+                candidates: record.init_candidates as usize,
+                seed_cost: record.seed_cost,
+                duration: Duration::ZERO,
+            },
+            centers: record.centers,
+            labels: Vec::new(),
+            cost: record.cost,
+            iterations: record.iterations as usize,
+            converged: record.converged,
+            history: Vec::new(),
+            distance_computations: record.distance_computations,
+            pruned_by_norm_bound: record.pruned_by_norm_bound,
+            init_name: static_stage_name(&record.init_name, INIT_NAMES),
+            refiner_name: static_stage_name(&record.refiner_name, REFINER_NAMES),
+            executor,
+        }
+    }
+
+    /// Saves this model as an `SKMMDL01` file (see
+    /// `kmeans_data::modelfile` for the layout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and I/O failures as [`KMeansError::Data`].
+    pub fn save(&self, path: &Path) -> Result<(), KMeansError> {
+        kmeans_data::save_model_file(path, &self.to_record())
+            .map_err(|e| KMeansError::Data(e.to_string()))
+    }
+
+    /// Loads an `SKMMDL01` file saved by [`KMeansModel::save`], running
+    /// on a default-shard-size executor with the given parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding and I/O failures as [`KMeansError::Data`].
+    pub fn load(path: &Path, parallelism: Parallelism) -> Result<KMeansModel, KMeansError> {
+        let record =
+            kmeans_data::load_model_file(path).map_err(|e| KMeansError::Data(e.to_string()))?;
+        Ok(KMeansModel::from_record(record, Executor::new(parallelism)))
+    }
+}
+
+/// Stage names a persisted record can map back to `&'static str`.
+const INIT_NAMES: &[&str] = &[
+    "kmeans-par",
+    "kmeans++",
+    "random",
+    "afk-mc2",
+    "partition",
+    "coreset",
+];
+const REFINER_NAMES: &[&str] = &["lloyd", "hamerly", "minibatch", "none"];
+
+fn static_stage_name(name: &str, known: &[&'static str]) -> &'static str {
+    known
+        .iter()
+        .find(|&&k| k == name)
+        .copied()
+        .unwrap_or("loaded")
+}
+
+/// A long-lived batch assignment engine: the centers with their
+/// [`AssignKernel`] prepared once, plus the executor that shards each
+/// query. This is the unit the serving tier holds per model revision —
+/// the `O(k·d + k log k)` preparation is paid at construction and every
+/// subsequent query reuses it, where the one-shot
+/// [`KMeansModel::predict`] pays it per call.
+///
+/// Determinism contract: [`PreparedPredictor::predict`] and
+/// [`PreparedPredictor::cost_of`] are bit-identical to the
+/// [`KMeansModel`] methods of the model the engine came from (they are
+/// the single shared implementation), and
+/// [`PreparedPredictor::cost_from_d2`] folds an externally stored `d²`
+/// slice on the same shard grid, so a server that batches queries
+/// through [`PreparedPredictor::assign`] reproduces `cost_of` bitwise.
+#[derive(Debug)]
+pub struct PreparedPredictor {
+    centers: PointMatrix,
+    kernel: AssignKernel,
+    executor: Executor,
+}
+
+impl PreparedPredictor {
+    /// Prepares the assignment kernel over `centers` (`O(k·d + k log k)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` is empty (no assignment target exists) —
+    /// matching [`AssignKernel::new`].
+    pub fn new(centers: PointMatrix, executor: Executor) -> Self {
+        let kernel = AssignKernel::new(&centers);
+        PreparedPredictor {
+            centers,
+            kernel,
+            executor,
+        }
+    }
+
+    /// The centers the engine assigns against (`k × d`).
+    pub fn centers(&self) -> &PointMatrix {
+        &self.centers
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Dimensionality of the centers.
+    pub fn dim(&self) -> usize {
+        self.centers.dim()
+    }
+
+    /// The executor queries run on.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    fn check_dim(&self, points: &PointMatrix) -> Result<(), KMeansError> {
         if points.dim() != self.centers.dim() {
             return Err(KMeansError::DimensionMismatch {
                 expected: self.centers.dim(),
                 got: points.dim(),
             });
         }
-        let kernel = crate::kernel::AssignKernel::new(&self.centers);
+        Ok(())
+    }
+
+    /// Nearest-center label for each point, shard results concatenated
+    /// in shard order (deterministic for any worker count).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `points` has a different dimensionality than the centers.
+    pub fn predict(&self, points: &PointMatrix) -> Result<Vec<u32>, KMeansError> {
+        self.check_dim(points)?;
+        let shards: Vec<Vec<u32>> = self.executor.map_shards(points.len(), |_, range| {
+            let mut labels = vec![0u32; range.len()];
+            let mut d2 = vec![0.0f64; range.len()];
+            self.kernel.assign(points, range, &mut labels, &mut d2);
+            labels
+        });
+        Ok(shards.into_iter().flatten().collect())
+    }
+
+    /// Potential of `points` under the centers (shard partials folded in
+    /// shard order — bit-identical for any worker count).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `points` has a different dimensionality than the centers.
+    pub fn cost_of(&self, points: &PointMatrix) -> Result<f64, KMeansError> {
+        self.check_dim(points)?;
         Ok(self
             .executor
             .map_reduce(
@@ -489,12 +676,61 @@ impl KMeansModel {
                 |_, range| {
                     let mut labels = vec![0u32; range.len()];
                     let mut d2 = vec![0.0f64; range.len()];
-                    kernel.assign(points, range, &mut labels, &mut d2);
+                    self.kernel.assign(points, range, &mut labels, &mut d2);
                     d2.iter().sum::<f64>()
                 },
                 |a, b| a + b,
             )
             .unwrap_or(0.0))
+    }
+
+    /// Labels **and** squared distances in one pass, plus the kernel's
+    /// pruning counters — the batch shape of the serving tier, which
+    /// answers predict and cost queries from the same sweep. Per-point
+    /// outputs are pure functions of (point, centers), so slicing the
+    /// returned vectors at request boundaries yields exactly what each
+    /// request would have gotten alone.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `points` has a different dimensionality than the centers.
+    #[allow(clippy::type_complexity)]
+    pub fn assign(
+        &self,
+        points: &PointMatrix,
+    ) -> Result<(Vec<u32>, Vec<f64>, KernelStats), KMeansError> {
+        self.check_dim(points)?;
+        let shards: Vec<(Vec<u32>, Vec<f64>, KernelStats)> =
+            self.executor.map_shards(points.len(), |_, range| {
+                let mut labels = vec![0u32; range.len()];
+                let mut d2 = vec![0.0f64; range.len()];
+                let stats = self.kernel.assign(points, range, &mut labels, &mut d2);
+                (labels, d2, stats)
+            });
+        let mut all_labels = Vec::with_capacity(points.len());
+        let mut all_d2 = Vec::with_capacity(points.len());
+        let mut stats = KernelStats::default();
+        for (labels, d2, s) in shards {
+            all_labels.extend(labels);
+            all_d2.extend(d2);
+            stats.absorb(s);
+        }
+        Ok((all_labels, all_d2, stats))
+    }
+
+    /// Folds a `d²` slice on the engine's shard grid — bit-identical to
+    /// [`PreparedPredictor::cost_of`] on the points that produced it
+    /// (same per-shard left-to-right sums, same in-order combine). Lets
+    /// a server answer cost queries from stored [`PreparedPredictor::assign`]
+    /// outputs without re-sweeping the points.
+    pub fn cost_from_d2(&self, d2: &[f64]) -> f64 {
+        self.executor
+            .map_reduce(
+                d2.len(),
+                |_, range| d2[range].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0)
     }
 }
 
@@ -717,6 +953,86 @@ mod tests {
         );
         // Self-prediction reproduces training labels.
         assert_eq!(par.predict(&points).unwrap(), par.labels());
+    }
+
+    #[test]
+    fn prepared_predictor_matches_model_bitwise() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .seed(2)
+            .parallelism(Parallelism::Threads(3))
+            .shard_size(16)
+            .fit(&points)
+            .unwrap();
+        let engine = model.prepared();
+        assert_eq!(engine.k(), model.k());
+        assert_eq!(engine.dim(), points.dim());
+        assert_eq!(engine.predict(&points).unwrap(), model.labels());
+        let (labels, d2, stats) = engine.assign(&points).unwrap();
+        assert_eq!(labels, model.labels());
+        assert!(stats.distance_computations > 0);
+        let direct = model.cost_of(&points).unwrap();
+        assert_eq!(engine.cost_of(&points).unwrap().to_bits(), direct.to_bits());
+        // Folding the stored d² slice reproduces cost_of bitwise — the
+        // serving tier's cost path.
+        assert_eq!(engine.cost_from_d2(&d2).to_bits(), direct.to_bits());
+        assert!(engine.predict(&PointMatrix::new(3)).is_err());
+    }
+
+    #[test]
+    fn model_save_load_round_trip() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .seed(5)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "skm-model-rt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.skm");
+        model.save(&path).unwrap();
+        let revived = KMeansModel::load(&path, Parallelism::Sequential).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(revived.centers(), model.centers());
+        assert_eq!(revived.cost().to_bits(), model.cost().to_bits());
+        assert_eq!(
+            revived.init_stats().seed_cost.to_bits(),
+            model.init_stats().seed_cost.to_bits()
+        );
+        assert_eq!(revived.iterations(), model.iterations());
+        assert_eq!(revived.converged(), model.converged());
+        assert_eq!(revived.init_name(), "kmeans-par");
+        assert_eq!(revived.refiner_name(), "lloyd");
+        assert!(revived.labels().is_empty());
+        // The revived model predicts/costs bit-identically to the source.
+        assert_eq!(
+            revived.predict(&points).unwrap(),
+            model.predict(&points).unwrap()
+        );
+        assert_eq!(
+            revived.cost_of(&points).unwrap().to_bits(),
+            model.cost_of(&points).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn unknown_stage_names_collapse_to_loaded() {
+        let points = blobs();
+        let model = KMeans::params(3)
+            .seed(5)
+            .parallelism(Parallelism::Sequential)
+            .fit(&points)
+            .unwrap();
+        let mut record = model.to_record();
+        record.init_name = "mystery".into();
+        record.refiner_name = "mystery".into();
+        let revived = KMeansModel::from_record(record, Executor::new(Parallelism::Sequential));
+        assert_eq!(revived.init_name(), "loaded");
+        assert_eq!(revived.refiner_name(), "loaded");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! | [`io`] | CSV/LIBSVM interchange for the §5 datasets |
 //! | [`chunked`], [`blockfile`] | the "data does not fit in main memory" premise of §1 |
 //! | [`shard`] | §3.5's input partitions `X′ ⊆ X`: per-worker shard files + manifest |
+//! | [`modelfile`] | persisted fit results (`SKMMDL01`) feeding the online serving tier |
 //! | [`transform`] | feature scaling ahead of clustering (engineering extension) |
 
 #![forbid(unsafe_code)]
@@ -46,6 +47,7 @@ pub mod dataset;
 pub mod error;
 pub mod io;
 pub mod matrix;
+pub mod modelfile;
 pub mod shard;
 pub mod synth;
 pub mod transform;
@@ -57,4 +59,7 @@ pub use chunked::{ChunkedSource, CsvSource, InMemorySource, Residency};
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use matrix::PointMatrix;
+pub use modelfile::{
+    decode_model, encode_model, is_model_file, load_model_file, save_model_file, ModelRecord,
+};
 pub use shard::{shard_block_file, ShardEntry, ShardManifest};

@@ -1,0 +1,208 @@
+//! The serve client: handshake, predict/cost/stats/swap/shutdown calls,
+//! and the typed-error mapping that makes a served failure surface as
+//! the same `KMeansError` a local call would produce.
+
+use crate::protocol::{ServeMessage, ServeStats};
+use kmeans_cluster::transport::{TcpTransport, Transport};
+use kmeans_cluster::ClusterError;
+use kmeans_core::KMeansError;
+use kmeans_data::{encode_model, ModelRecord, PointMatrix};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The server's model descriptor, captured at handshake (and refreshed
+/// by [`ServeClient::refresh_info`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedModelInfo {
+    /// Monotonic model revision.
+    pub revision: u64,
+    /// Number of clusters.
+    pub k: u64,
+    /// Center dimensionality.
+    pub dim: u32,
+    /// Training cost recorded in the model file.
+    pub cost: f64,
+    /// Initializer name recorded in the model file.
+    pub init_name: String,
+    /// Refiner name recorded in the model file.
+    pub refiner_name: String,
+}
+
+/// A predict answer: labels plus the request's potential, all computed
+/// under one model revision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Revision the request's batch ran on.
+    pub revision: u64,
+    /// Nearest-center label per query point.
+    pub labels: Vec<u32>,
+    /// Potential of the query points, bit-identical to a local `cost_of`.
+    pub cost: f64,
+}
+
+/// A client session over any transport. Construct with
+/// [`ServeClient::connect`] (TCP) or [`ServeClient::handshake`] (any
+/// transport, e.g. loopback).
+pub struct ServeClient<T: Transport<ServeMessage> = TcpTransport<ServeMessage>> {
+    transport: T,
+    info: ServedModelInfo,
+}
+
+impl<T: Transport<ServeMessage>> std::fmt::Debug for ServeClient<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("info", &self.info)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeClient<TcpTransport<ServeMessage>> {
+    /// Dials a serve endpoint and performs the Hello/ModelInfo handshake.
+    /// `io_timeout` bounds every socket read/write.
+    pub fn connect(addr: &str, io_timeout: Option<Duration>) -> Result<Self, ClusterError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::handshake(TcpTransport::new(stream, io_timeout)?)
+    }
+}
+
+impl<T: Transport<ServeMessage>> ServeClient<T> {
+    /// Performs the Hello/ModelInfo handshake over an established
+    /// transport.
+    pub fn handshake(mut transport: T) -> Result<Self, ClusterError> {
+        let info = fetch_info(&mut transport)?;
+        Ok(ServeClient { transport, info })
+    }
+
+    /// The server's model descriptor as of the last handshake/refresh.
+    pub fn info(&self) -> &ServedModelInfo {
+        &self.info
+    }
+
+    /// Re-queries the model descriptor (e.g. after a swap elsewhere).
+    pub fn refresh_info(&mut self) -> Result<&ServedModelInfo, ClusterError> {
+        self.info = fetch_info(&mut self.transport)?;
+        Ok(&self.info)
+    }
+
+    /// Served predict: labels and the request's potential. Bit-identical
+    /// to the local `KMeansModel::predict`/`cost_of` on the server's
+    /// model (`tests/serve_parity.rs` pins this).
+    pub fn predict(&mut self, points: &PointMatrix) -> Result<Prediction, ClusterError> {
+        match self.roundtrip(&ServeMessage::Predict {
+            points: points.clone(),
+        })? {
+            ServeMessage::Labels {
+                revision,
+                labels,
+                cost,
+            } => {
+                if labels.len() != points.len() {
+                    return Err(ClusterError::Protocol(format!(
+                        "predict reply carries {} labels for {} points",
+                        labels.len(),
+                        points.len()
+                    )));
+                }
+                Ok(Prediction {
+                    revision,
+                    labels,
+                    cost,
+                })
+            }
+            other => Err(unexpected("Labels", &other)),
+        }
+    }
+
+    /// Served cost: the potential of `points` under the server's model,
+    /// without shipping labels back. Returns `(revision, cost)`.
+    pub fn cost_of(&mut self, points: &PointMatrix) -> Result<(u64, f64), ClusterError> {
+        let sent = points.len() as u64;
+        match self.roundtrip(&ServeMessage::Cost {
+            points: points.clone(),
+        })? {
+            ServeMessage::CostReply { revision, n, cost } => {
+                if n != sent {
+                    return Err(ClusterError::Protocol(format!(
+                        "cost reply covers {n} points, sent {sent}"
+                    )));
+                }
+                Ok((revision, cost))
+            }
+            other => Err(unexpected("CostReply", &other)),
+        }
+    }
+
+    /// The server's cumulative serving statistics.
+    pub fn fetch_stats(&mut self) -> Result<ServeStats, ClusterError> {
+        match self.roundtrip(&ServeMessage::FetchStats)? {
+            ServeMessage::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Atomically installs `record` on the server (shipped as an
+    /// `SKMMDL01` image, the same bytes `--save-model` writes). Returns
+    /// the new revision and refreshes [`ServeClient::info`].
+    pub fn swap_model(&mut self, record: &ModelRecord) -> Result<u64, ClusterError> {
+        let image = encode_model(record)
+            .map_err(|e| ClusterError::KMeans(KMeansError::Data(e.to_string())))?;
+        match self.roundtrip(&ServeMessage::SwapModel { model: image })? {
+            ServeMessage::SwapOk { revision, .. } => {
+                self.refresh_info()?;
+                Ok(revision)
+            }
+            other => Err(unexpected("SwapOk", &other)),
+        }
+    }
+
+    /// Stops the server (its accept loop exits after acknowledging).
+    /// Consumes the client.
+    pub fn shutdown(mut self) -> Result<(), ClusterError> {
+        match self.roundtrip(&ServeMessage::Shutdown)? {
+            ServeMessage::ShutdownOk => Ok(()),
+            other => Err(unexpected("ShutdownOk", &other)),
+        }
+    }
+
+    /// Hands back the transport (for wire-accounting assertions).
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    fn roundtrip(&mut self, msg: &ServeMessage) -> Result<ServeMessage, ClusterError> {
+        self.transport.send(msg)?;
+        match self.transport.recv()? {
+            ServeMessage::Error(e) => Err(ClusterError::KMeans(e.into())),
+            reply => Ok(reply),
+        }
+    }
+}
+
+fn fetch_info<T: Transport<ServeMessage>>(
+    transport: &mut T,
+) -> Result<ServedModelInfo, ClusterError> {
+    transport.send(&ServeMessage::Hello)?;
+    match transport.recv()? {
+        ServeMessage::ModelInfo {
+            revision,
+            k,
+            dim,
+            cost,
+            init_name,
+            refiner_name,
+        } => Ok(ServedModelInfo {
+            revision,
+            k,
+            dim,
+            cost,
+            init_name,
+            refiner_name,
+        }),
+        ServeMessage::Error(e) => Err(ClusterError::KMeans(e.into())),
+        other => Err(unexpected("ModelInfo", &other)),
+    }
+}
+
+fn unexpected(wanted: &str, got: &ServeMessage) -> ClusterError {
+    ClusterError::Protocol(format!("expected {wanted}, server sent {got:?}"))
+}

@@ -1,0 +1,382 @@
+//! The batch assignment engine behind every serve session: one prepared
+//! kernel per model revision, a micro-batching queue that funnels
+//! concurrent requests through it, and the atomic hot-swap path.
+//!
+//! ## Batching and amortization
+//!
+//! Each connection handler submits its request to a shared queue and
+//! blocks on a private reply channel. A single batcher thread drains the
+//! queue, concatenates the pending requests into one matrix, and runs
+//! one [`PreparedPredictor::assign`] sweep over the whole batch — the
+//! kernel's `O(k·d + k log k)` preparation was paid once at model
+//! install, and the per-batch sweep parallelizes across the executor's
+//! threads. Per-point labels and `d²` are pure functions of (point,
+//! centers), so slicing the batch outputs at request boundaries yields
+//! exactly what each request would have gotten alone; per-request cost
+//! is re-folded on the request's own shard grid
+//! ([`PreparedPredictor::cost_from_d2`]), keeping served costs
+//! bit-identical to a local `cost_of`.
+//!
+//! ## Hot-swap semantics
+//!
+//! The installed model lives behind `RwLock<Arc<ModelVersion>>`. A swap
+//! prepares the replacement kernel *outside* the lock, then replaces the
+//! `Arc` under a brief write lock and bumps the revision. The batcher
+//! clones the `Arc` once per batch, so an in-flight batch finishes on
+//! the version it started with and every reply is tagged with the
+//! revision that computed it — no request ever mixes versions.
+
+use crate::protocol::ServeStats;
+use kmeans_cluster::protocol::WireError;
+use kmeans_core::{KMeansError, PreparedPredictor};
+use kmeans_data::{decode_model, ModelRecord, PointMatrix};
+use kmeans_par::Executor;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+
+/// Default cap on the points gathered into one kernel batch. Draining
+/// stops at the cap, so a burst of large requests cannot starve later
+/// arrivals behind one enormous sweep.
+pub const DEFAULT_MAX_BATCH_POINTS: usize = 1 << 16;
+
+/// One installed model: the prepared kernel plus the descriptor fields
+/// served by `ModelInfo`.
+#[derive(Debug)]
+pub struct ModelVersion {
+    /// Monotonic revision (1 = the model the engine started with).
+    pub revision: u64,
+    /// Training cost recorded in the model file.
+    pub cost: f64,
+    /// Initializer name recorded in the model file.
+    pub init_name: String,
+    /// Refiner name recorded in the model file.
+    pub refiner_name: String,
+    predictor: PreparedPredictor,
+}
+
+impl ModelVersion {
+    fn build(record: ModelRecord, revision: u64, executor: &Executor) -> Result<Self, WireError> {
+        if record.centers.is_empty() {
+            return Err(KMeansError::EmptyInput.into());
+        }
+        Ok(ModelVersion {
+            revision,
+            cost: record.cost,
+            init_name: record.init_name,
+            refiner_name: record.refiner_name,
+            predictor: PreparedPredictor::new(record.centers, executor.clone()),
+        })
+    }
+
+    /// The prepared assignment engine of this version.
+    pub fn predictor(&self) -> &PreparedPredictor {
+        &self.predictor
+    }
+}
+
+/// One request's batch result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignReply {
+    /// Revision of the model that computed this reply.
+    pub revision: u64,
+    /// Per-point labels (empty when the request asked for cost only).
+    pub labels: Vec<u32>,
+    /// Potential of the request's points, bit-identical to a local
+    /// `cost_of` on the same points.
+    pub cost: f64,
+}
+
+struct AssignJob {
+    points: PointMatrix,
+    want_labels: bool,
+    reply: Sender<Result<AssignReply, WireError>>,
+}
+
+struct Shared {
+    current: RwLock<Arc<ModelVersion>>,
+    executor: Executor,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    points: AtomicU64,
+    batches: AtomicU64,
+    max_batch_points: AtomicU64,
+    swaps: AtomicU64,
+    distance_computations: AtomicU64,
+    pruned_by_norm_bound: AtomicU64,
+}
+
+/// Handle to one serving engine. Cheap to clone; every session holds a
+/// clone and submits through the shared micro-batch queue.
+#[derive(Clone)]
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    jobs: Sender<AssignJob>,
+}
+
+impl ServeEngine {
+    /// Installs `record` as revision 1 and starts the batcher thread,
+    /// with the default batch cap.
+    pub fn new(record: ModelRecord, executor: Executor) -> Result<Self, KMeansError> {
+        Self::with_batch_cap(record, executor, DEFAULT_MAX_BATCH_POINTS)
+    }
+
+    /// Like [`ServeEngine::new`] with an explicit cap on points per
+    /// kernel batch.
+    pub fn with_batch_cap(
+        record: ModelRecord,
+        executor: Executor,
+        max_batch_points: usize,
+    ) -> Result<Self, KMeansError> {
+        let version = ModelVersion::build(record, 1, &executor).map_err(KMeansError::from)?;
+        let shared = Arc::new(Shared {
+            current: RwLock::new(Arc::new(version)),
+            executor,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            points: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch_points: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            distance_computations: AtomicU64::new(0),
+            pruned_by_norm_bound: AtomicU64::new(0),
+        });
+        let (tx, rx) = channel::<AssignJob>();
+        let batcher_shared = Arc::clone(&shared);
+        std::thread::spawn(move || batcher(batcher_shared, rx, max_batch_points.max(1)));
+        Ok(ServeEngine { shared, jobs: tx })
+    }
+
+    /// The currently installed model version (the batcher may still be
+    /// finishing a batch on an older one).
+    pub fn current(&self) -> Arc<ModelVersion> {
+        Arc::clone(&self.shared.current.read().expect("model lock poisoned"))
+    }
+
+    /// Assigns `points` through the batch queue and waits for the reply —
+    /// the path every session request takes. With `want_labels` false the
+    /// reply's label vector is left empty (cost queries skip the payload).
+    pub fn assign(&self, points: PointMatrix, want_labels: bool) -> Result<AssignReply, WireError> {
+        let (tx, rx) = channel();
+        self.jobs
+            .send(AssignJob {
+                points,
+                want_labels,
+                reply: tx,
+            })
+            .map_err(|_| WireError::Data("assignment engine is gone".into()))?;
+        rx.recv()
+            .map_err(|_| WireError::Data("assignment engine dropped the request".into()))?
+    }
+
+    /// Decodes an `SKMMDL01` image and atomically installs it, returning
+    /// `(revision, k, dim)` of the new model. Disk loads and wire swaps
+    /// share this validation path.
+    pub fn swap_model_bytes(&self, image: &[u8]) -> Result<(u64, u64, u32), WireError> {
+        let record = decode_model(image).map_err(|e| WireError::Data(e.to_string()))?;
+        self.swap_record(record)
+    }
+
+    /// Atomically installs a decoded model record (see module docs for
+    /// the swap semantics), returning `(revision, k, dim)`.
+    pub fn swap_record(&self, record: ModelRecord) -> Result<(u64, u64, u32), WireError> {
+        // Prepare outside the lock: a slow kernel build must not block
+        // readers (the batcher's Arc clone) any longer than the pointer
+        // swap itself.
+        let mut version = ModelVersion::build(record, 0, &self.shared.executor)?;
+        let k = version.predictor.k() as u64;
+        let dim = version.predictor.dim() as u32;
+        let mut current = self.shared.current.write().expect("model lock poisoned");
+        version.revision = current.revision + 1;
+        let revision = version.revision;
+        *current = Arc::new(version);
+        drop(current);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok((revision, k, dim))
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared;
+        ServeStats {
+            revision: self.current().revision,
+            requests: s.requests.load(Ordering::Relaxed),
+            points: s.points.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            max_batch_points: s.max_batch_points.load(Ordering::Relaxed),
+            swaps: s.swaps.load(Ordering::Relaxed),
+            distance_computations: s.distance_computations.load(Ordering::Relaxed),
+            pruned_by_norm_bound: s.pruned_by_norm_bound.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Asks the accept loop to exit (set by a `Shutdown` request).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+fn batcher(shared: Arc<Shared>, rx: Receiver<AssignJob>, cap: usize) {
+    // recv() fails only when every engine handle (and with them all job
+    // senders) is gone — the engine's natural end of life.
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        let mut total = jobs[0].points.len();
+        while total < cap {
+            match rx.try_recv() {
+                Ok(job) => {
+                    total += job.points.len();
+                    jobs.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        let version = Arc::clone(&shared.current.read().expect("model lock poisoned"));
+        let dim = version.predictor.dim();
+        let mut valid = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.points.dim() != dim {
+                let _ = job.reply.send(Err(KMeansError::DimensionMismatch {
+                    expected: dim,
+                    got: job.points.dim(),
+                }
+                .into()));
+            } else {
+                valid.push(job);
+            }
+        }
+        if valid.is_empty() {
+            continue;
+        }
+        let mut flat = Vec::with_capacity(valid.iter().map(|j| j.points.as_slice().len()).sum());
+        for job in &valid {
+            flat.extend_from_slice(job.points.as_slice());
+        }
+        let batch = PointMatrix::from_flat(flat, dim).expect("concatenation of same-dim matrices");
+        let batch_points = batch.len();
+        let (labels, d2, kstats) = version
+            .predictor
+            .assign(&batch)
+            .expect("dimensionality checked per job");
+        let mut offset = 0;
+        for job in valid {
+            let n = job.points.len();
+            let cost = version.predictor.cost_from_d2(&d2[offset..offset + n]);
+            let reply = AssignReply {
+                revision: version.revision,
+                labels: if job.want_labels {
+                    labels[offset..offset + n].to_vec()
+                } else {
+                    Vec::new()
+                },
+                cost,
+            };
+            offset += n;
+            // A client that disconnected mid-request just drops its
+            // receiver; the batch carries on for everyone else.
+            let _ = job.reply.send(Ok(reply));
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            shared.points.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .max_batch_points
+            .fetch_max(batch_points as u64, Ordering::Relaxed);
+        shared
+            .distance_computations
+            .fetch_add(kstats.distance_computations, Ordering::Relaxed);
+        shared
+            .pruned_by_norm_bound
+            .fetch_add(kstats.pruned_by_norm_bound, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_core::model::KMeans;
+    use kmeans_par::Parallelism;
+
+    fn fitted_record(seed: u64) -> (PointMatrix, ModelRecord) {
+        let mut m = PointMatrix::new(2);
+        for (cx, cy) in [(0.0, 0.0), (40.0, 0.0), (0.0, 40.0)] {
+            for i in 0..40 {
+                m.push(&[cx + (i % 5) as f64 * 0.2, cy + (i / 5) as f64 * 0.2])
+                    .unwrap();
+            }
+        }
+        let model = KMeans::params(3)
+            .seed(seed)
+            .parallelism(Parallelism::Sequential)
+            .fit(&m)
+            .unwrap();
+        (m, model.to_record())
+    }
+
+    #[test]
+    fn engine_matches_local_predict_bitwise() {
+        let (points, record) = fitted_record(1);
+        let local = kmeans_core::KMeansModel::from_record(
+            record.clone(),
+            Executor::new(Parallelism::Sequential),
+        );
+        let engine = ServeEngine::new(record, Executor::new(Parallelism::Sequential)).unwrap();
+        let reply = engine.assign(points.clone(), true).unwrap();
+        assert_eq!(reply.revision, 1);
+        assert_eq!(reply.labels, local.predict(&points).unwrap());
+        assert_eq!(
+            reply.cost.to_bits(),
+            local.cost_of(&points).unwrap().to_bits()
+        );
+        let cost_only = engine.assign(points.clone(), false).unwrap();
+        assert!(cost_only.labels.is_empty());
+        assert_eq!(cost_only.cost.to_bits(), reply.cost.to_bits());
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.points, 2 * points.len() as u64);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed_and_session_survivable() {
+        let (_, record) = fitted_record(2);
+        let engine = ServeEngine::new(record, Executor::new(Parallelism::Sequential)).unwrap();
+        let wrong = PointMatrix::from_flat(vec![1.0, 2.0, 3.0], 3).unwrap();
+        let err = engine.assign(wrong, true).unwrap_err();
+        assert!(matches!(err, WireError::DimensionMismatch { .. }));
+        // The engine still answers afterwards.
+        let ok = PointMatrix::from_flat(vec![1.0, 2.0], 2).unwrap();
+        assert!(engine.assign(ok, true).is_ok());
+    }
+
+    #[test]
+    fn swap_bumps_revision_and_changes_answers() {
+        let (points, record) = fitted_record(3);
+        let (_, other) = fitted_record(4);
+        let engine =
+            ServeEngine::new(record.clone(), Executor::new(Parallelism::Sequential)).unwrap();
+        assert_eq!(engine.current().revision, 1);
+        let before = engine.assign(points.clone(), true).unwrap();
+        assert_eq!(before.revision, 1);
+        let (rev, k, dim) = engine
+            .swap_model_bytes(&kmeans_data::encode_model(&other).unwrap())
+            .unwrap();
+        assert_eq!(rev, 2);
+        assert_eq!(k, 3);
+        assert_eq!(dim, 2);
+        let after = engine.assign(points, true).unwrap();
+        assert_eq!(after.revision, 2);
+        assert_eq!(engine.stats().swaps, 1);
+        // Garbage image is rejected without disturbing the installed model.
+        assert!(matches!(
+            engine.swap_model_bytes(b"not a model"),
+            Err(WireError::Data(_))
+        ));
+        assert_eq!(engine.current().revision, 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! **kmeans-serve** — the online assignment service: a long-lived,
+//! std-only TCP server that loads a persisted `SKMMDL01` model,
+//! micro-batches concurrent predict/cost queries through one prepared
+//! assignment kernel, and hot-swaps models with zero downtime.
+//!
+//! Scalable K-Means++ (Bahmani et al., VLDB 2012) motivates clustering
+//! at web scale — millions of users whose points must be *assigned*
+//! continuously, not just clustered once. This crate is that serving
+//! tier. Predict is stateless (a pure function of the model's centers),
+//! so servers scale horizontally behind the same frame discipline the
+//! distributed runtime already ships; what a long-lived server adds over
+//! one-shot CLI predict is **amortization**: the assignment kernel's
+//! `O(k·d + k log k)` preparation (norm-sorted candidate table, slack
+//! constants) is paid once per model revision and reused by every
+//! request, and concurrent requests coalesce into one kernel sweep.
+//!
+//! * [`protocol`] — the `SKS1` wire vocabulary ([`ServeMessage`]):
+//!   Hello/ModelInfo, Predict→Labels, Cost→CostReply, FetchStats→Stats,
+//!   SwapModel→SwapOk, Shutdown→ShutdownOk, plus typed `Error` replies.
+//!   Frames share the cluster runtime's checksummed layout
+//!   (`kmeans_cluster::wire`) under a distinct magic.
+//! * [`engine`] — [`ServeEngine`]: the micro-batching queue, the
+//!   per-revision [`PreparedPredictor`](kmeans_core::PreparedPredictor),
+//!   and the atomic hot-swap (`RwLock<Arc<ModelVersion>>`; in-flight
+//!   batches finish on the version they started with, every reply is
+//!   revision-tagged).
+//! * [`server`] — [`TcpServeServer`] (thread per connection, shared
+//!   engine), the transport-generic [`session`] loop, and the
+//!   loopback/TCP spawn harnesses mirroring the cluster worker's.
+//! * [`client`] — [`ServeClient`]: handshake + typed calls; a served
+//!   failure surfaces as the same `KMeansError` a local call would.
+//!
+//! **The serving parity contract.** Served `predict`/`cost_of` are
+//! bit-identical to `KMeansModel::predict`/`cost_of` on the same model —
+//! for any batch size, client count, server thread count, and across
+//! hot-swaps (each reply consistent with exactly one revision) — because
+//! per-point labels/`d²` are pure functions of (point, centers) and
+//! per-request costs are re-folded on the request's own shard grid.
+//! `tests/serve_parity.rs` pins this over both loopback and real TCP.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Prediction, ServeClient, ServedModelInfo};
+pub use engine::{AssignReply, ModelVersion, ServeEngine, DEFAULT_MAX_BATCH_POINTS};
+pub use protocol::{ServeMessage, ServeStats, SERVE_MAGIC};
+pub use server::{session, spawn_loopback_serve, spawn_tcp_serve, TcpServeServer};

@@ -1,0 +1,442 @@
+//! The serving wire vocabulary: `SKS1` frames carrying predict/cost
+//! queries and their model-revision-tagged answers.
+//!
+//! The frame layout, checksum, cap enforcement, and codec primitives are
+//! the shared machinery of `kmeans_cluster::wire`; this module only
+//! supplies the vocabulary — a distinct magic (`SKS1` vs. the cluster
+//! runtime's `SKW1`, so a serve client that dials a worker port fails
+//! with `BadMagic` instead of mis-parsing), the tag map, and per-tag
+//! payload codecs. Typed failures reuse the cluster protocol's
+//! [`WireError`], so a served error surfaces as the *same*
+//! `KMeansError` a local call would produce.
+//!
+//! Conversation shape (client drives; one reply per request):
+//!
+//! | request | reply |
+//! |---------|-------|
+//! | [`ServeMessage::Hello`] | [`ServeMessage::ModelInfo`] |
+//! | [`ServeMessage::Predict`] | [`ServeMessage::Labels`] (labels + request cost) |
+//! | [`ServeMessage::Cost`] | [`ServeMessage::CostReply`] |
+//! | [`ServeMessage::FetchStats`] | [`ServeMessage::Stats`] |
+//! | [`ServeMessage::SwapModel`] | [`ServeMessage::SwapOk`] |
+//! | [`ServeMessage::Shutdown`] | [`ServeMessage::ShutdownOk`] |
+//!
+//! Any request may instead draw an [`ServeMessage::Error`] reply; the
+//! session stays open.
+
+use kmeans_cluster::protocol::WireError;
+use kmeans_cluster::wire::{Dec, Enc, FrameError, WireMessage};
+use kmeans_data::PointMatrix;
+
+/// Frame magic of the serving vocabulary.
+pub const SERVE_MAGIC: [u8; 4] = *b"SKS1";
+
+/// A server's cumulative accounting, shipped as the reply to
+/// [`ServeMessage::FetchStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Revision of the model currently installed.
+    pub revision: u64,
+    /// Predict/cost requests answered.
+    pub requests: u64,
+    /// Points assigned across all requests.
+    pub points: u64,
+    /// Kernel batches executed (requests ÷ batches = amortization).
+    pub batches: u64,
+    /// Largest single batch, in points.
+    pub max_batch_points: u64,
+    /// Model hot-swaps performed.
+    pub swaps: u64,
+    /// Kernel distance evaluations spent serving.
+    pub distance_computations: u64,
+    /// Kernel candidates pruned by the norm/coordinate bounds.
+    pub pruned_by_norm_bound: u64,
+}
+
+/// One message of the serve conversation (see module docs for the
+/// request/reply pairing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeMessage {
+    /// Client → server: request the model descriptor.
+    Hello,
+    /// Server → client: the currently installed model.
+    ModelInfo {
+        /// Monotonic model revision (1 = the model the server loaded).
+        revision: u64,
+        /// Number of clusters.
+        k: u64,
+        /// Center dimensionality.
+        dim: u32,
+        /// Training cost recorded in the model file.
+        cost: f64,
+        /// Initializer name recorded in the model file.
+        init_name: String,
+        /// Refiner name recorded in the model file.
+        refiner_name: String,
+    },
+    /// Client → server: assign these points. Replies [`ServeMessage::Labels`].
+    Predict {
+        /// The query points.
+        points: PointMatrix,
+    },
+    /// Server → client: labels plus the request's potential, all computed
+    /// under one model revision.
+    Labels {
+        /// Revision the batch ran on.
+        revision: u64,
+        /// Nearest-center label per query point.
+        labels: Vec<u32>,
+        /// Potential of the query points (`Σ d²`), bit-identical to a
+        /// local `cost_of` on the same points.
+        cost: f64,
+    },
+    /// Client → server: potential only (no label payload back). Replies
+    /// [`ServeMessage::CostReply`].
+    Cost {
+        /// The query points.
+        points: PointMatrix,
+    },
+    /// Server → client: the request's potential.
+    CostReply {
+        /// Revision the batch ran on.
+        revision: u64,
+        /// Number of points costed.
+        n: u64,
+        /// Potential of the query points.
+        cost: f64,
+    },
+    /// Client → server: request cumulative serving statistics.
+    FetchStats,
+    /// Server → client: reply to [`ServeMessage::FetchStats`].
+    Stats(ServeStats),
+    /// Client → server: atomically install a new model. The payload is a
+    /// complete `SKMMDL01` image — the same bytes `skm fit --save-model`
+    /// writes — so wire and disk share one validation path.
+    SwapModel {
+        /// `SKMMDL01` image of the replacement model.
+        model: Vec<u8>,
+    },
+    /// Server → client: the swap landed; later batches run the new model.
+    SwapOk {
+        /// Revision assigned to the installed model.
+        revision: u64,
+        /// Its cluster count.
+        k: u64,
+        /// Its dimensionality.
+        dim: u32,
+    },
+    /// Server → client: a typed failure (the session stays open).
+    Error(WireError),
+    /// Client → server: stop the server. Replies
+    /// [`ServeMessage::ShutdownOk`], then the accept loop exits.
+    Shutdown,
+    /// Server → client: shutdown acknowledged.
+    ShutdownOk,
+}
+
+fn encode_wire_error(e: &mut Enc, err: &WireError) {
+    match err {
+        WireError::EmptyInput => e.u8(1),
+        WireError::InvalidK { k, n } => {
+            e.u8(2);
+            e.u64(*k);
+            e.u64(*n);
+        }
+        WireError::DimensionMismatch { expected, got } => {
+            e.u8(3);
+            e.u64(*expected);
+            e.u64(*got);
+        }
+        WireError::InvalidConfig(m) => {
+            e.u8(4);
+            e.text(m);
+        }
+        WireError::NonFiniteData { point, dim } => {
+            e.u8(5);
+            e.u64(*point);
+            e.u64(*dim);
+        }
+        WireError::Data(m) => {
+            e.u8(6);
+            e.text(m);
+        }
+    }
+}
+
+fn decode_wire_error(d: &mut Dec<'_>) -> Result<WireError, FrameError> {
+    let kind = d.u8()?;
+    Ok(match kind {
+        1 => WireError::EmptyInput,
+        2 => WireError::InvalidK {
+            k: d.u64()?,
+            n: d.u64()?,
+        },
+        3 => WireError::DimensionMismatch {
+            expected: d.u64()?,
+            got: d.u64()?,
+        },
+        4 => WireError::InvalidConfig(d.text()?),
+        5 => WireError::NonFiniteData {
+            point: d.u64()?,
+            dim: d.u64()?,
+        },
+        6 => WireError::Data(d.text()?),
+        _ => return Err(FrameError::Malformed("unknown error kind")),
+    })
+}
+
+impl WireMessage for ServeMessage {
+    const MAGIC: [u8; 4] = SERVE_MAGIC;
+
+    fn tag(&self) -> u8 {
+        match self {
+            ServeMessage::Hello => 1,
+            ServeMessage::ModelInfo { .. } => 2,
+            ServeMessage::Predict { .. } => 3,
+            ServeMessage::Labels { .. } => 4,
+            ServeMessage::Cost { .. } => 5,
+            ServeMessage::CostReply { .. } => 6,
+            ServeMessage::FetchStats => 7,
+            ServeMessage::Stats(_) => 8,
+            ServeMessage::SwapModel { .. } => 9,
+            ServeMessage::SwapOk { .. } => 10,
+            ServeMessage::Error(_) => 11,
+            ServeMessage::Shutdown => 12,
+            ServeMessage::ShutdownOk => 13,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            ServeMessage::Hello
+            | ServeMessage::FetchStats
+            | ServeMessage::Shutdown
+            | ServeMessage::ShutdownOk => {}
+            ServeMessage::ModelInfo {
+                revision,
+                k,
+                dim,
+                cost,
+                init_name,
+                refiner_name,
+            } => {
+                e.u64(*revision);
+                e.u64(*k);
+                e.u32(*dim);
+                e.f64(*cost);
+                e.text(init_name);
+                e.text(refiner_name);
+            }
+            ServeMessage::Predict { points } | ServeMessage::Cost { points } => {
+                e.matrix(points);
+            }
+            ServeMessage::Labels {
+                revision,
+                labels,
+                cost,
+            } => {
+                e.u64(*revision);
+                e.u32s(labels);
+                e.f64(*cost);
+            }
+            ServeMessage::CostReply { revision, n, cost } => {
+                e.u64(*revision);
+                e.u64(*n);
+                e.f64(*cost);
+            }
+            ServeMessage::Stats(s) => {
+                e.u64(s.revision);
+                e.u64(s.requests);
+                e.u64(s.points);
+                e.u64(s.batches);
+                e.u64(s.max_batch_points);
+                e.u64(s.swaps);
+                e.u64(s.distance_computations);
+                e.u64(s.pruned_by_norm_bound);
+            }
+            ServeMessage::SwapModel { model } => e.bytes(model),
+            ServeMessage::SwapOk { revision, k, dim } => {
+                e.u64(*revision);
+                e.u64(*k);
+                e.u32(*dim);
+            }
+            ServeMessage::Error(err) => encode_wire_error(&mut e, err),
+        }
+        e.into_bytes()
+    }
+
+    fn decode_payload(tag: u8, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut d = Dec::new(payload);
+        let msg = match tag {
+            1 => ServeMessage::Hello,
+            2 => ServeMessage::ModelInfo {
+                revision: d.u64()?,
+                k: d.u64()?,
+                dim: d.u32()?,
+                cost: d.f64()?,
+                init_name: d.text()?,
+                refiner_name: d.text()?,
+            },
+            3 => ServeMessage::Predict {
+                points: d.matrix()?,
+            },
+            4 => ServeMessage::Labels {
+                revision: d.u64()?,
+                labels: d.u32s()?,
+                cost: d.f64()?,
+            },
+            5 => ServeMessage::Cost {
+                points: d.matrix()?,
+            },
+            6 => ServeMessage::CostReply {
+                revision: d.u64()?,
+                n: d.u64()?,
+                cost: d.f64()?,
+            },
+            7 => ServeMessage::FetchStats,
+            8 => ServeMessage::Stats(ServeStats {
+                revision: d.u64()?,
+                requests: d.u64()?,
+                points: d.u64()?,
+                batches: d.u64()?,
+                max_batch_points: d.u64()?,
+                swaps: d.u64()?,
+                distance_computations: d.u64()?,
+                pruned_by_norm_bound: d.u64()?,
+            }),
+            9 => ServeMessage::SwapModel { model: d.bytes()? },
+            10 => ServeMessage::SwapOk {
+                revision: d.u64()?,
+                k: d.u64()?,
+                dim: d.u32()?,
+            },
+            11 => ServeMessage::Error(decode_wire_error(&mut d)?),
+            12 => ServeMessage::Shutdown,
+            13 => ServeMessage::ShutdownOk,
+            other => return Err(FrameError::UnknownTag(other)),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmeans_cluster::protocol::{Message, MAX_FRAME_PAYLOAD};
+
+    fn sample_messages() -> Vec<ServeMessage> {
+        let m = PointMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        vec![
+            ServeMessage::Hello,
+            ServeMessage::ModelInfo {
+                revision: 3,
+                k: 10,
+                dim: 2,
+                cost: 12.5,
+                init_name: "kmeans-par".into(),
+                refiner_name: "lloyd".into(),
+            },
+            ServeMessage::Predict { points: m.clone() },
+            ServeMessage::Labels {
+                revision: 3,
+                labels: vec![0, 7, 7],
+                cost: 0.25,
+            },
+            ServeMessage::Cost { points: m },
+            ServeMessage::CostReply {
+                revision: 4,
+                n: 2,
+                cost: 1.75,
+            },
+            ServeMessage::FetchStats,
+            ServeMessage::Stats(ServeStats {
+                revision: 2,
+                requests: 100,
+                points: 5000,
+                batches: 40,
+                max_batch_points: 512,
+                swaps: 1,
+                distance_computations: 123,
+                pruned_by_norm_bound: 456,
+            }),
+            ServeMessage::SwapModel {
+                model: vec![1, 2, 3, 4, 5],
+            },
+            ServeMessage::SwapOk {
+                revision: 2,
+                k: 10,
+                dim: 2,
+            },
+            ServeMessage::Error(WireError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+            }),
+            ServeMessage::Error(WireError::Data("model image rejected".into())),
+            ServeMessage::Shutdown,
+            ServeMessage::ShutdownOk,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let frame = msg.encode_frame();
+            let (decoded, used) = ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+            let mut cursor = std::io::Cursor::new(&frame);
+            let (decoded, used) = ServeMessage::read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_errors() {
+        let frame = ServeMessage::FetchStats.encode_frame();
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            ServeMessage::decode_frame(&bad, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::BadMagic
+        );
+        for cut in 0..frame.len() {
+            assert_eq!(
+                ServeMessage::decode_frame(&frame[..cut], MAX_FRAME_PAYLOAD).unwrap_err(),
+                FrameError::Truncated,
+                "cut {cut}"
+            );
+        }
+        let msg = ServeMessage::Labels {
+            revision: 1,
+            labels: vec![1, 2, 3],
+            cost: 0.5,
+        };
+        let mut flipped = msg.encode_frame();
+        let mid = flipped.len() - 10;
+        flipped[mid] ^= 0xff;
+        assert!(matches!(
+            ServeMessage::decode_frame(&flipped, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::Checksum { .. }
+        ));
+    }
+
+    #[test]
+    fn cluster_frames_are_rejected_by_magic() {
+        // A serve endpoint that receives a distributed-runtime frame (or
+        // vice versa) fails closed on the magic instead of mis-parsing a
+        // same-tag message from the other vocabulary.
+        let worker_frame = Message::Hello { rows: 5, dim: 2 }.encode_frame();
+        assert_eq!(
+            ServeMessage::decode_frame(&worker_frame, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::BadMagic
+        );
+        let serve_frame = ServeMessage::Hello.encode_frame();
+        assert_eq!(
+            Message::decode_frame(&serve_frame, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::BadMagic
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The serve session loop and TCP front door, in the style of the
+//! cluster runtime's `Worker::serve`/`TcpWorkerServer`: a blocking
+//! request/reply loop per connection, a thread per connection, and the
+//! shared [`ServeEngine`] batching across all of them.
+
+use crate::engine::ServeEngine;
+use crate::protocol::ServeMessage;
+use kmeans_cluster::protocol::WireError;
+use kmeans_cluster::transport::{LoopbackTransport, TcpTransport, Transport};
+use kmeans_cluster::ClusterError;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Serves one client session over any transport: a blocking recv/reply
+/// loop that ends cleanly on peer disconnect or `Shutdown`. Malformed
+/// *conversation* (a reply-tagged message used as a request) draws a
+/// typed [`ServeMessage::Error`] and the session continues; transport
+/// failures propagate.
+pub fn session<T: Transport<ServeMessage> + ?Sized>(
+    transport: &mut T,
+    engine: &ServeEngine,
+) -> Result<(), ClusterError> {
+    loop {
+        let msg = match transport.recv() {
+            Ok(msg) => msg,
+            Err(ClusterError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = match msg {
+            ServeMessage::Hello => {
+                let version = engine.current();
+                ServeMessage::ModelInfo {
+                    revision: version.revision,
+                    k: version.predictor().k() as u64,
+                    dim: version.predictor().dim() as u32,
+                    cost: version.cost,
+                    init_name: version.init_name.clone(),
+                    refiner_name: version.refiner_name.clone(),
+                }
+            }
+            ServeMessage::Predict { points } => match engine.assign(points, true) {
+                Ok(r) => ServeMessage::Labels {
+                    revision: r.revision,
+                    labels: r.labels,
+                    cost: r.cost,
+                },
+                Err(e) => ServeMessage::Error(e),
+            },
+            ServeMessage::Cost { points } => {
+                let n = points.len() as u64;
+                match engine.assign(points, false) {
+                    Ok(r) => ServeMessage::CostReply {
+                        revision: r.revision,
+                        n,
+                        cost: r.cost,
+                    },
+                    Err(e) => ServeMessage::Error(e),
+                }
+            }
+            ServeMessage::FetchStats => ServeMessage::Stats(engine.stats()),
+            ServeMessage::SwapModel { model } => match engine.swap_model_bytes(&model) {
+                Ok((revision, k, dim)) => ServeMessage::SwapOk { revision, k, dim },
+                Err(e) => ServeMessage::Error(e),
+            },
+            ServeMessage::Shutdown => {
+                transport.send(&ServeMessage::ShutdownOk)?;
+                engine.request_shutdown();
+                return Ok(());
+            }
+            other => ServeMessage::Error(WireError::InvalidConfig(format!(
+                "server cannot handle message {other:?}"
+            ))),
+        };
+        transport.send(&reply)?;
+    }
+}
+
+/// A bound TCP listener serving assignment sessions — split from the
+/// serve loop so callers (tests, the CLI) can learn the bound address
+/// before blocking.
+pub struct TcpServeServer {
+    listener: TcpListener,
+}
+
+impl TcpServeServer {
+    /// Binds the listener (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Ok(TcpServeServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts client connections, each served on its own thread against
+    /// the shared engine (so concurrent clients batch together). With
+    /// `once`, returns after the first session ends — the deterministic
+    /// smoke-test mode. Otherwise loops until a session receives
+    /// `Shutdown`; a failed session is logged, not fatal (daemon mode).
+    /// `io_timeout` bounds every socket read/write.
+    pub fn serve(
+        self,
+        engine: ServeEngine,
+        io_timeout: Option<Duration>,
+        once: bool,
+    ) -> Result<(), ClusterError> {
+        let addr = self.listener.local_addr()?;
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            // A Shutdown in some session set the flag, then poked the
+            // listener with a bare connection to unblock this accept.
+            if engine.shutdown_requested() {
+                return Ok(());
+            }
+            let mut transport = TcpTransport::<ServeMessage>::new(stream, io_timeout)?;
+            if once {
+                return session(&mut transport, &engine);
+            }
+            let session_engine = engine.clone();
+            std::thread::spawn(move || {
+                let had_shutdown_request = || session_engine.shutdown_requested();
+                if let Err(e) = session(&mut transport, &session_engine) {
+                    eprintln!("skm serve: session ended with error: {e}");
+                }
+                // Unblock the accept loop so the flag is observed.
+                if had_shutdown_request() {
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+        }
+    }
+}
+
+/// Spawns a TCP serve daemon on an ephemeral localhost port on a
+/// background thread. The server runs until a client sends `Shutdown`.
+/// Returns the bound address and the join handle.
+pub fn spawn_tcp_serve(
+    engine: ServeEngine,
+    io_timeout: Option<Duration>,
+) -> std::io::Result<(
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), ClusterError>>,
+)> {
+    let server = TcpServeServer::bind("127.0.0.1:0")?;
+    let addr = server.local_addr()?;
+    let handle = std::thread::spawn(move || server.serve(engine, io_timeout, false));
+    Ok((addr, handle))
+}
+
+/// Spawns an in-process loopback session on a background thread, serving
+/// one client over a channel-backed transport — the deterministic test
+/// harness. Returns the client-side transport and the join handle.
+pub fn spawn_loopback_serve(
+    engine: &ServeEngine,
+) -> (
+    LoopbackTransport<ServeMessage>,
+    std::thread::JoinHandle<Result<(), ClusterError>>,
+) {
+    let (client_side, mut server_side) = kmeans_cluster::transport::loopback_pair();
+    let session_engine = engine.clone();
+    let handle = std::thread::spawn(move || session(&mut server_side, &session_engine));
+    (client_side, handle)
+}

@@ -1,0 +1,187 @@
+//! Property tests for the `SKS1` serving protocol, in the style of the
+//! cluster runtime's `protocol_proptests`: adversarial bytes —
+//! truncations, forged length prefixes, flipped bits, garbage, frames
+//! from the *other* protocol — must decode to typed [`FrameError`]s,
+//! never panic, and never allocate from a forged length. Valid frames
+//! round-trip exactly.
+
+use kmeans_cluster::protocol::{Message, WireError, MAX_FRAME_PAYLOAD};
+use kmeans_cluster::{FrameError, WireMessage};
+use kmeans_data::PointMatrix;
+use kmeans_serve::{ServeMessage, ServeStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn matrix(values: &[f64], dim: usize) -> PointMatrix {
+    let rows = values.len() / dim;
+    PointMatrix::from_flat(values[..rows * dim].to_vec(), dim)
+        .unwrap_or_else(|_| PointMatrix::from_flat(vec![0.0; dim], dim).unwrap())
+}
+
+/// A strategy-driven random serve message (one of every payload shape).
+fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage {
+    let f0 = floats.first().copied().unwrap_or(0.5);
+    let get = |i: usize| ints.get(i).copied().unwrap_or(3);
+    match shape % 10 {
+        0 => ServeMessage::Hello,
+        1 => ServeMessage::ModelInfo {
+            revision: get(0),
+            k: get(1),
+            dim: get(2) as u32,
+            cost: f0,
+            init_name: "kmeans-par".into(),
+            refiner_name: "lloyd".into(),
+        },
+        2 => ServeMessage::Predict {
+            points: matrix(&floats, 3),
+        },
+        3 => ServeMessage::Labels {
+            revision: get(0),
+            labels: ints.iter().map(|&i| i as u32).collect(),
+            cost: f0,
+        },
+        4 => ServeMessage::Cost {
+            points: matrix(&floats, 2),
+        },
+        5 => ServeMessage::CostReply {
+            revision: get(0),
+            n: get(1),
+            cost: f0,
+        },
+        6 => ServeMessage::Stats(ServeStats {
+            revision: get(0),
+            requests: get(1),
+            points: get(2),
+            batches: get(3),
+            max_batch_points: get(4),
+            swaps: get(5),
+            distance_computations: get(6),
+            pruned_by_norm_bound: get(7),
+        }),
+        7 => ServeMessage::SwapModel {
+            model: ints.iter().flat_map(|i| i.to_le_bytes()).collect(),
+        },
+        8 => ServeMessage::SwapOk {
+            revision: get(0),
+            k: get(1),
+            dim: get(2) as u32,
+        },
+        _ => ServeMessage::Error(WireError::DimensionMismatch {
+            expected: get(0) % 4096,
+            got: get(1) % 4096,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_serve_messages_round_trip(
+        shape in 0usize..10,
+        floats in vec(-1e9f64..1e9, 1..40),
+        ints in vec(any::<u64>(), 1..40),
+    ) {
+        let ints: Vec<u64> = ints.into_iter().map(|i| i % (1 << 40)).collect();
+        let msg = build_message(shape, floats, ints);
+        let frame = msg.encode_frame();
+        let (decoded, used) = ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_serve_frames_never_panic(
+        shape in 0usize..10,
+        floats in vec(-1e3f64..1e3, 1..20),
+        ints in vec(0u64..1000, 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let msg = build_message(shape, floats, ints);
+        let frame = msg.encode_frame();
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        let result =
+            ServeMessage::decode_frame(&frame[..cut.min(frame.len() - 1)], MAX_FRAME_PAYLOAD);
+        prop_assert_eq!(result.unwrap_err(), FrameError::Truncated);
+    }
+
+    #[test]
+    fn flipped_serve_bytes_are_detected(
+        shape in 0usize..10,
+        floats in vec(-1e3f64..1e3, 1..20),
+        ints in vec(0u64..1000, 1..20),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u64..256,
+    ) {
+        let msg = build_message(shape, floats, ints);
+        let mut frame = msg.encode_frame();
+        let pos = ((frame.len() as f64) * pos_frac) as usize % frame.len();
+        frame[pos] ^= flip as u8;
+        match ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD) {
+            Err(_) => {}
+            Ok((m, used)) => {
+                prop_assert_eq!(used, frame.len());
+                prop_assert_eq!(m, msg); // only possible if the flip was a no-op
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_or_over_allocates(
+        bytes in vec(any::<u64>(), 0..64),
+    ) {
+        let garbage: Vec<u8> = bytes.iter().flat_map(|b| b.to_le_bytes()).collect();
+        let _ = ServeMessage::decode_frame(&garbage, 1024);
+    }
+
+    #[test]
+    fn forged_length_prefixes_are_rejected_before_allocation(
+        declared in 1025u64..u32::MAX as u64,
+    ) {
+        let mut frame = ServeMessage::Shutdown.encode_frame();
+        frame[5..9].copy_from_slice(&(declared as u32).to_le_bytes());
+        let err = ServeMessage::decode_frame(&frame, 1024).unwrap_err();
+        prop_assert_eq!(err, FrameError::Oversized { len: declared, max: 1024 });
+    }
+
+    #[test]
+    fn cluster_and_serve_vocabularies_never_cross(
+        shape in 0usize..10,
+        floats in vec(-1e3f64..1e3, 1..20),
+        ints in vec(0u64..1000, 1..20),
+    ) {
+        // An SKS1 frame fed to the SKW1 decoder (and vice versa) is a
+        // typed BadMagic, whatever the payload — the magic, not the tag
+        // space, separates the protocols.
+        let serve = build_message(shape, floats, ints).encode_frame();
+        prop_assert_eq!(
+            Message::decode_frame(&serve, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::BadMagic
+        );
+        let cluster = Message::ShutdownOk.encode_frame();
+        prop_assert_eq!(
+            ServeMessage::decode_frame(&cluster, MAX_FRAME_PAYLOAD).unwrap_err(),
+            FrameError::BadMagic
+        );
+    }
+}
+
+#[test]
+fn every_wire_error_kind_survives_the_serve_wire() {
+    for err in [
+        WireError::EmptyInput,
+        WireError::InvalidK { k: 3, n: 2 },
+        WireError::DimensionMismatch {
+            expected: 4,
+            got: 7,
+        },
+        WireError::InvalidConfig("zero rounds".into()),
+        WireError::NonFiniteData { point: 9, dim: 1 },
+        WireError::Data("swap image rejected".into()),
+    ] {
+        let msg = ServeMessage::Error(err);
+        let frame = msg.encode_frame();
+        let (decoded, _) = ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}

@@ -9,9 +9,11 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
+//! | [`cluster`] (`kmeans-cluster`) | coordinator/worker distributed runtime: checksummed wire protocol, TCP + loopback transports, `fit_distributed` |
 //! | [`core`] (`kmeans-core`) | k-means\|\|, k-means++, Random seeding, Lloyd's iteration, mini-batch k-means, the backend-generic round drivers, metrics, the [`KMeans`] pipeline |
-//! | [`data`] (`kmeans-data`) | `PointMatrix` storage, the GaussMixture / SpamLike / KddLike generators, CSV I/O |
+//! | [`data`] (`kmeans-data`) | `PointMatrix` storage, the GaussMixture / SpamLike / KddLike generators, CSV I/O, the `SKMMDL01` model file |
 //! | [`par`] (`kmeans-par`) | deterministic shard executor + MapReduce-model simulator |
+//! | [`serve`] (`kmeans-serve`) | online assignment service: micro-batching engine, `SKS1` protocol, TCP/loopback server + client, atomic model hot-swap |
 //! | [`streaming`] (`kmeans-streaming`) | the Partition baseline (Ailon et al.), k-means#, a coreset tree |
 //! | [`util`] (`kmeans-util`) | portable RNG, weighted sampling, statistics |
 //!
@@ -70,6 +72,7 @@ pub use kmeans_cluster as cluster;
 pub use kmeans_core as core;
 pub use kmeans_data as data;
 pub use kmeans_par as par;
+pub use kmeans_serve as serve;
 pub use kmeans_streaming as streaming;
 pub use kmeans_util as util;
 
@@ -102,6 +105,7 @@ pub mod prelude {
         InMemorySource, PointMatrix, Residency,
     };
     pub use kmeans_par::{Executor, Parallelism};
+    pub use kmeans_serve::{ServeClient, ServeEngine, TcpServeServer};
     pub use kmeans_streaming::partition::{partition_init, PartitionConfig};
     pub use kmeans_streaming::{Coreset, Partition};
     pub use kmeans_util::Rng;

@@ -1,0 +1,379 @@
+//! The serving parity contract: answers from `skm serve`'s engine must
+//! be **bit-identical** to the local `KMeansModel::predict`/`cost_of` on
+//! the same model — for any batch size, client count, server thread
+//! count, and transport (loopback or real TCP) — and across hot-swaps,
+//! where every reply must be consistent with exactly one model revision.
+//! Mid-request disconnects surface as typed errors, never hangs or
+//! panics (style of `tests/failure_injection.rs`).
+
+use scalable_kmeans::cluster::protocol::WireError;
+use scalable_kmeans::cluster::transport::{TcpTransport, Transport};
+use scalable_kmeans::cluster::{ClusterError, WireMessage};
+use scalable_kmeans::data::{load_model_file, ModelRecord};
+use scalable_kmeans::prelude::*;
+use scalable_kmeans::serve::{
+    spawn_loopback_serve, spawn_tcp_serve, ServeClient, ServeEngine, ServeMessage, TcpServeServer,
+};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const IO: Option<Duration> = Some(Duration::from_secs(30));
+
+fn dataset(seed: u64) -> PointMatrix {
+    GaussMixture::new(6)
+        .points(600)
+        .center_variance(80.0)
+        .generate(seed)
+        .unwrap()
+        .dataset
+        .points()
+        .clone()
+}
+
+fn fitted(points: &PointMatrix, seed: u64) -> KMeansModel {
+    KMeans::params(6)
+        .seed(seed)
+        .parallelism(Parallelism::Sequential)
+        .fit(points)
+        .unwrap()
+}
+
+/// Rows `range` of `points` as an owned matrix (a client's query batch).
+fn rows(points: &PointMatrix, range: std::ops::Range<usize>) -> PointMatrix {
+    let d = points.dim();
+    PointMatrix::from_flat(
+        points.as_slice()[range.start * d..range.end * d].to_vec(),
+        d,
+    )
+    .unwrap()
+}
+
+/// Asserts one served prediction against the local model, bitwise.
+fn assert_parity(local: &KMeansModel, query: &PointMatrix, labels: &[u32], cost: f64) {
+    assert_eq!(labels, local.predict(query).unwrap(), "labels diverged");
+    assert_eq!(
+        cost.to_bits(),
+        local.cost_of(query).unwrap().to_bits(),
+        "cost diverged: served {cost:?} vs local {:?}",
+        local.cost_of(query).unwrap()
+    );
+}
+
+#[test]
+fn served_answers_are_bit_identical_over_loopback_and_tcp() {
+    let data = dataset(7);
+    let model = fitted(&data, 3);
+
+    // Through the SKMMDL01 file boundary — the exact record `skm serve`
+    // would load.
+    let dir = std::env::temp_dir().join(format!(
+        "skm_serve_parity_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.skmm");
+    model.save(&path).unwrap();
+    let record = load_model_file(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    // Server thread counts × batch caps; the local reference stays on a
+    // sequential executor — parity must hold regardless.
+    for (parallelism, cap) in [
+        (Parallelism::Sequential, 5),
+        (Parallelism::Threads(3), 5),
+        (Parallelism::Threads(2), 1 << 16),
+    ] {
+        let engine =
+            ServeEngine::with_batch_cap(record.clone(), Executor::new(parallelism), cap).unwrap();
+
+        // Loopback transport.
+        let (transport, loop_handle) = spawn_loopback_serve(&engine);
+        let mut client = ServeClient::handshake(transport).unwrap();
+        assert_eq!(client.info().revision, 1);
+        assert_eq!(client.info().k, 6);
+        assert_eq!(client.info().dim as usize, data.dim());
+        for size in [1usize, 7, 64, 300] {
+            let query = rows(&data, 0..size);
+            let prediction = client.predict(&query).unwrap();
+            assert_eq!(prediction.revision, 1);
+            assert_parity(&model, &query, &prediction.labels, prediction.cost);
+            let (revision, cost) = client.cost_of(&query).unwrap();
+            assert_eq!(revision, 1);
+            assert_eq!(cost.to_bits(), prediction.cost.to_bits());
+        }
+        drop(client); // hang up: the session must end cleanly
+        loop_handle.join().unwrap().unwrap();
+
+        // Real TCP.
+        let (addr, tcp_handle) = spawn_tcp_serve(engine.clone(), IO).unwrap();
+        let mut client = ServeClient::connect(&addr.to_string(), IO).unwrap();
+        for (start, size) in [(0usize, 1usize), (13, 17), (100, 256)] {
+            let query = rows(&data, start..start + size);
+            let prediction = client.predict(&query).unwrap();
+            assert_parity(&model, &query, &prediction.labels, prediction.cost);
+        }
+        client.shutdown().unwrap();
+        tcp_handle.join().unwrap().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_clients_coalesce_into_shared_batches_bit_identically() {
+    let data = dataset(11);
+    let model = fitted(&data, 5);
+    let record = model.to_record();
+
+    // A small batch cap plus parallel clients forces multi-request
+    // batches (and cap-splitting) through one kernel.
+    let engine =
+        ServeEngine::with_batch_cap(record.clone(), Executor::new(Parallelism::Threads(2)), 64)
+            .unwrap();
+    let (addr, handle) = spawn_tcp_serve(engine, IO).unwrap();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 8;
+    let data = Arc::new(data);
+    let mut workers = Vec::new();
+    let mut expected_points = 0u64;
+    for t in 0..CLIENTS {
+        for i in 0..REQUESTS {
+            expected_points += (1 + 29 * t + 7 * i) as u64;
+        }
+        let data = Arc::clone(&data);
+        let record = record.clone();
+        let addr = addr.to_string();
+        workers.push(std::thread::spawn(move || {
+            let local = KMeansModel::from_record(record, Executor::new(Parallelism::Sequential));
+            let mut client = ServeClient::connect(&addr, IO).unwrap();
+            for i in 0..REQUESTS {
+                let size = 1 + 29 * t + 7 * i;
+                let query = rows(&data, t..t + size);
+                let prediction = client.predict(&query).unwrap();
+                assert_eq!(prediction.revision, 1);
+                assert_parity(&local, &query, &prediction.labels, prediction.cost);
+            }
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let mut client = ServeClient::connect(&addr.to_string(), IO).unwrap();
+    let stats = client.fetch_stats().unwrap();
+    assert_eq!(stats.revision, 1);
+    assert_eq!(stats.requests, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(stats.points, expected_points);
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+    assert!(stats.max_batch_points >= 1);
+    assert!(stats.distance_computations > 0);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn hot_swap_under_load_keeps_every_reply_on_exactly_one_revision() {
+    let data = dataset(23);
+    let model_a = fitted(&data, 1);
+    let model_b = fitted(&data, 2);
+    assert_ne!(
+        model_a.centers().as_slice(),
+        model_b.centers().as_slice(),
+        "swap test needs distinguishable models"
+    );
+
+    let engine = ServeEngine::with_batch_cap(
+        model_a.to_record(),
+        Executor::new(Parallelism::Threads(2)),
+        128,
+    )
+    .unwrap();
+    let (addr, handle) = spawn_tcp_serve(engine, IO).unwrap();
+
+    // Every in-flight reply must match exactly one of the two local
+    // models, selected by its revision tag — never a mixture.
+    let query = rows(&data, 40..140);
+    let expected_a = (
+        model_a.predict(&query).unwrap(),
+        model_a.cost_of(&query).unwrap().to_bits(),
+    );
+    let expected_b = (
+        model_b.predict(&query).unwrap(),
+        model_b.cost_of(&query).unwrap().to_bits(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..3 {
+        let stop = Arc::clone(&stop);
+        let addr = addr.to_string();
+        let query = query.clone();
+        let expected_a = expected_a.clone();
+        let expected_b = expected_b.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&addr, IO).unwrap();
+            let (mut on_a, mut on_b) = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let p = client.predict(&query).unwrap();
+                let expected = match p.revision {
+                    1 => {
+                        on_a += 1;
+                        &expected_a
+                    }
+                    2 => {
+                        on_b += 1;
+                        &expected_b
+                    }
+                    other => panic!("reply tagged with unknown revision {other}"),
+                };
+                assert_eq!(p.labels, expected.0, "labels off-revision");
+                assert_eq!(p.cost.to_bits(), expected.1, "cost off-revision");
+            }
+            (on_a, on_b)
+        }));
+    }
+
+    let mut admin = ServeClient::connect(&addr.to_string(), IO).unwrap();
+    // Let the load run on revision 1 for a moment, then swap.
+    for _ in 0..5 {
+        assert_eq!(admin.predict(&query).unwrap().revision, 1);
+    }
+    let revision = admin.swap_model(&model_b.to_record()).unwrap();
+    assert_eq!(revision, 2);
+    assert_eq!(admin.info().revision, 2);
+    // Post-swap answers come from the new model.
+    let p = admin.predict(&query).unwrap();
+    assert_eq!(p.revision, 2);
+    assert_eq!(p.labels, expected_b.0);
+    assert_eq!(p.cost.to_bits(), expected_b.1);
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total_b = 0;
+    for w in workers {
+        let (_, on_b) = w.join().unwrap();
+        total_b += on_b;
+    }
+    // The workers kept running past the swap, so at least the final
+    // stretch ran on revision 2 (the admin's own revision-2 reply above
+    // proves the swap landed mid-load).
+    let stats = admin.fetch_stats().unwrap();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.revision, 2);
+    let _ = total_b; // revision-2 worker replies are timing-dependent
+
+    admin.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn swapping_garbage_is_a_typed_error_and_the_session_survives() {
+    let data = dataset(31);
+    let model = fitted(&data, 9);
+    let engine =
+        ServeEngine::new(model.to_record(), Executor::new(Parallelism::Sequential)).unwrap();
+    let (addr, handle) = spawn_tcp_serve(engine, IO).unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut transport = TcpTransport::<ServeMessage>::new(stream, IO).unwrap();
+    transport
+        .send(&ServeMessage::SwapModel {
+            model: b"definitely not SKMMDL01".to_vec(),
+        })
+        .unwrap();
+    match transport.recv().unwrap() {
+        ServeMessage::Error(WireError::Data(_)) => {}
+        other => panic!("expected a typed Data error, got {other:?}"),
+    }
+    // Same session keeps answering; the installed model is undisturbed.
+    transport.send(&ServeMessage::Hello).unwrap();
+    match transport.recv().unwrap() {
+        ServeMessage::ModelInfo { revision, k, .. } => {
+            assert_eq!(revision, 1);
+            assert_eq!(k, 6);
+        }
+        other => panic!("expected ModelInfo, got {other:?}"),
+    }
+    drop(transport);
+
+    let client = ServeClient::connect(&addr.to_string(), IO).unwrap();
+    assert_eq!(client.info().revision, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn mid_request_disconnects_are_typed_never_hangs() {
+    let data = dataset(41);
+    let model = fitted(&data, 4);
+    let record = model.to_record();
+
+    // (a) A client that vanishes mid-frame doesn't take the daemon down:
+    // the next client gets bit-identical service.
+    let engine = ServeEngine::new(record.clone(), Executor::new(Parallelism::Sequential)).unwrap();
+    let (addr, handle) = spawn_tcp_serve(engine, IO).unwrap();
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Valid magic, Predict tag, then half a length prefix — gone.
+        s.write_all(b"SKS1\x03\xff\xff").unwrap();
+    }
+    let mut client = ServeClient::connect(&addr.to_string(), IO).unwrap();
+    let query = rows(&data, 0..50);
+    let prediction = client.predict(&query).unwrap();
+    assert_parity(&model, &query, &prediction.labels, prediction.cost);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+
+    // (b) A corrupted frame is a typed frame error at the server.
+    let engine = ServeEngine::new(record.clone(), Executor::new(Parallelism::Sequential)).unwrap();
+    let server = TcpServeServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    let once = std::thread::spawn(move || server.serve(engine, IO, true));
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut frame = ServeMessage::Hello.encode_frame();
+    *frame.last_mut().unwrap() ^= 0xff; // break the checksum
+    s.write_all(&frame).unwrap();
+    s.flush().unwrap();
+    let err = once.join().unwrap().unwrap_err();
+    assert!(matches!(err, ClusterError::Frame(_)), "{err:?}");
+    drop(s);
+
+    // (c) A server that vanishes mid-request is a typed client error.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let gone = listener.local_addr().unwrap();
+    let drop_first = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+    });
+    let err = ServeClient::connect(&gone.to_string(), IO).unwrap_err();
+    assert!(
+        matches!(err, ClusterError::Disconnected | ClusterError::Io(_)),
+        "{err:?}"
+    );
+    drop_first.join().unwrap();
+}
+
+#[test]
+fn model_record_survives_the_file_and_wire_boundary_bitwise() {
+    let data = dataset(53);
+    let model = fitted(&data, 8);
+    let record = model.to_record();
+    let image = scalable_kmeans::data::encode_model(&record).unwrap();
+    let back: ModelRecord = scalable_kmeans::data::decode_model(&image).unwrap();
+    assert_eq!(back, record);
+    assert_eq!(
+        back.centers
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        record
+            .centers
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+    );
+}
