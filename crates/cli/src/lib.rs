@@ -143,6 +143,7 @@ USAGE:
                [--distributed --workers A,B,C]  (run on remote skm workers; no --input)
                [--io-timeout SECS]              (distributed: per-socket timeout, default 60)
                [--manifest FILE]                (distributed: cross-check an skm-shard manifest)
+               [--checkpoint FILE]              (distributed: resumable round journal, SKMCKPT1)
                [--save-model FILE]              (persist the fit as an SKMMDL01 model file)
   skm convert  --input data.csv --out data.skmb [--block-rows N] [--labels]
   skm shard    --input data.skmb --workers N --out-prefix PATH [--align ROWS]
@@ -174,7 +175,10 @@ single-node fit of the concatenated data for any worker count (supported
 stages: --init random|kmeans-par, --refine lloyd|minibatch|none; the
 same backend-generic round drivers run every mode). Workers own the
 data, so --distributed takes no --input; worker order in --workers is
-global row order.
+global row order. Fits are fault tolerant: a worker that dies mid-fit is
+re-dialed with backoff and caught up (restart `skm worker` on the same
+address), and --checkpoint FILE journals round results so a killed
+coordinator re-run with the same command resumes bit-identically.
 
 Serving: `skm fit --save-model model.skmm` persists the fitted model,
 `skm serve` answers predict/cost queries over TCP from one prepared
@@ -388,7 +392,7 @@ fn parse_size(value: &str, flag: &str) -> Result<u64, CliError> {
 
 /// Flags that only mean something under `--distributed` (rejected
 /// without it, matching the `--chunked` precedent).
-const DIST_FLAGS: &[&str] = &["workers", "io-timeout", "manifest"];
+const DIST_FLAGS: &[&str] = &["workers", "io-timeout", "manifest", "checkpoint"];
 
 fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let centers_path = require(args, "centers-out")?;
@@ -652,9 +656,17 @@ fn fit_distributed(
     }
 
     let (n, dim) = (cluster.global_n(), cluster.dim());
-    let model = builder
-        .fit_distributed(&mut cluster)
-        .map_err(CliError::KMeans)?;
+    let ckpt_path = args.str_or("checkpoint", "");
+    let model = if ckpt_path.is_empty() {
+        builder.fit_distributed(&mut cluster)
+    } else {
+        // Resumable fit: round results journal to an SKMCKPT1 file after
+        // every round; re-running the same command after a coordinator
+        // crash replays the journal and continues bit-identically. The
+        // file is removed once the fit completes.
+        builder.fit_distributed_checkpointed(&mut cluster, std::path::Path::new(&ckpt_path))
+    }
+    .map_err(CliError::KMeans)?;
     let worker_stats = cluster.fetch_stats()?;
     let summaries = cluster.worker_summaries();
     let job = cluster.job_stats();

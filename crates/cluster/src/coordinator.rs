@@ -11,6 +11,20 @@
 //! `fit_distributed` being bit-identical to `fit`/`fit_chunked` for any
 //! worker count: the same values are folded in the same order, just
 //! computed on more machines.
+//!
+//! **Fault tolerance.** With a recovery path configured
+//! ([`Cluster::set_recovery`]; [`Cluster::connect`] installs one that
+//! redials the worker's address), a transport-level failure mid-round —
+//! disconnect, I/O error, malformed frame — triggers a bounded
+//! re-ask: the coordinator obtains a replacement transport for the dead
+//! worker's slot, re-handshakes, replays the session state the lost
+//! worker held (the plan, the exact tracker segment sequence, the last
+//! assignment's centers via `RestoreLabels`), and re-sends the in-flight
+//! round request. Because workers hold no order-sensitive fold state —
+//! only deterministic functions of (shard data, replayed broadcasts) —
+//! the recovered fit is bit-identical to the zero-failure run. Attempts
+//! are bounded by [`RetryPolicy`]; exhaustion is the typed
+//! [`ClusterError::RecoveryFailed`], never a hang.
 
 use crate::error::ClusterError;
 use crate::protocol::{Message, WorkerStats};
@@ -27,6 +41,62 @@ struct WorkerConn {
     transport: Box<dyn Transport>,
     rows: usize,
     start_row: usize,
+    /// Byte counters of transports this slot has already worn out —
+    /// replaced during recovery — so job accounting stays monotonic.
+    retired_sent: u64,
+    retired_received: u64,
+}
+
+impl WorkerConn {
+    fn bytes_sent(&self) -> u64 {
+        self.retired_sent + self.transport.bytes_sent()
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.retired_received + self.transport.bytes_received()
+    }
+}
+
+/// One send + one recv on a single worker's transport — the unit step of
+/// the recovery replay (free function so replay can iterate coordinator
+/// state while holding the slot mutably).
+fn roundtrip(w: &mut WorkerConn, msg: &Message) -> Result<Message, ClusterError> {
+    w.transport.send(msg)?;
+    w.transport.recv()
+}
+
+/// Bounded retry/backoff schedule shared by the connect path
+/// ([`Cluster::connect_with_retry`]) and mid-round worker recovery.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts before giving up (at least 1 is always made).
+    pub attempts: u32,
+    /// Sleep between attempts (and before the first recovery attempt,
+    /// giving a restarted worker time to bind).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 25 attempts × 200 ms ≈ a 5-second window for a replacement worker
+    /// to appear.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 25,
+            backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Produces a replacement transport for a worker slot (by index). The
+/// returned transport must be a fresh worker session about to send its
+/// `Hello` — e.g. a redial of the slot's address, or a freshly spawned
+/// in-process worker over the same shard.
+pub type TransportSupplier =
+    Box<dyn FnMut(usize) -> Result<Box<dyn Transport>, ClusterError> + Send>;
+
+struct Recovery {
+    supplier: TransportSupplier,
+    policy: RetryPolicy,
 }
 
 /// Per-worker connection summary for reports.
@@ -54,6 +124,18 @@ pub struct Cluster {
     data_passes: u64,
     pairs: u64,
     blocked_wall: Duration,
+    recovery: Option<Recovery>,
+    /// Replay mirror: the exact `InitTracker`/`UpdateTracker` candidate
+    /// segment sequence broadcast so far (updated only after a round
+    /// fully succeeds). A replacement worker replays it verbatim, so its
+    /// tracker — including nearest-candidate tie-breaks, which depend on
+    /// the segment boundaries — is bit-identical to the lost worker's.
+    tracker_segments: Vec<PointMatrix>,
+    /// Replay mirror: centers of the last completed assignment pass, so
+    /// a replacement can rebuild its labels (`RestoreLabels`) and the
+    /// next `Assign` counts reassignments exactly as the lost worker
+    /// would have.
+    last_assign: Option<PointMatrix>,
 }
 
 impl Cluster {
@@ -92,6 +174,8 @@ impl Cluster {
                 transport,
                 rows,
                 start_row,
+                retired_sent: 0,
+                retired_received: 0,
             });
             start_row += rows;
         }
@@ -103,20 +187,69 @@ impl Cluster {
             data_passes: 0,
             pairs: 0,
             blocked_wall: Duration::ZERO,
+            recovery: None,
+            tracker_segments: Vec::new(),
+            last_assign: None,
         })
     }
 
+    fn dial(addr: &str, io_timeout: Option<Duration>) -> Result<Box<dyn Transport>, ClusterError> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        Ok(Box::new(crate::transport::TcpTransport::new(
+            stream, io_timeout,
+        )?))
+    }
+
     /// Connects to TCP workers at `addrs` (in row order) with the given
-    /// per-socket I/O timeout.
+    /// per-socket I/O timeout, the default [`RetryPolicy`] on each dial
+    /// (a worker that is still starting up does not kill the job), and a
+    /// recovery path that redials a worker's address when it fails
+    /// mid-round — so restarting `skm worker` on the same address lets
+    /// the job adopt the replacement and finish.
     pub fn connect(addrs: &[String], io_timeout: Option<Duration>) -> Result<Self, ClusterError> {
+        Self::connect_with_retry(addrs, io_timeout, RetryPolicy::default())
+    }
+
+    /// [`Cluster::connect`] with an explicit retry/backoff schedule,
+    /// applied both to the initial dials and to mid-round recovery.
+    pub fn connect_with_retry(
+        addrs: &[String],
+        io_timeout: Option<Duration>,
+        policy: RetryPolicy,
+    ) -> Result<Self, ClusterError> {
+        let attempts = policy.attempts.max(1);
         let mut transports: Vec<Box<dyn Transport>> = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            let stream = std::net::TcpStream::connect(addr.as_str())?;
-            transports.push(Box::new(crate::transport::TcpTransport::new(
-                stream, io_timeout,
-            )?));
+            let mut dialed: Result<Box<dyn Transport>, ClusterError> =
+                Err(ClusterError::Disconnected);
+            for attempt in 0..attempts {
+                if attempt > 0 {
+                    std::thread::sleep(policy.backoff);
+                }
+                dialed = Self::dial(addr, io_timeout);
+                if dialed.is_ok() {
+                    break;
+                }
+            }
+            transports.push(dialed?);
         }
-        Cluster::new(transports)
+        let mut cluster = Cluster::new(transports)?;
+        let addrs: Vec<String> = addrs.to_vec();
+        cluster.set_recovery(
+            Box::new(move |slot| Self::dial(&addrs[slot], io_timeout)),
+            policy,
+        );
+        Ok(cluster)
+    }
+
+    /// Arms mid-round worker recovery: on a transport-level failure the
+    /// coordinator asks `supplier` for a replacement transport for the
+    /// slot, replays the lost worker's session state, and re-asks the
+    /// in-flight request — up to `policy.attempts` times with
+    /// `policy.backoff` between attempts. Without a recovery path (the
+    /// [`Cluster::new`] default) failures stay immediate typed errors.
+    pub fn set_recovery(&mut self, supplier: TransportSupplier, policy: RetryPolicy) {
+        self.recovery = Some(Recovery { supplier, policy });
     }
 
     /// Total rows across all workers.
@@ -163,17 +296,49 @@ impl Cluster {
         self.data_passes = 0;
         self.pairs = 0;
         self.blocked_wall = Duration::ZERO;
+        self.tracker_segments.clear();
+        self.last_assign = None;
         let dim = self.dim as u32;
         let global_n = self.global_n as u64;
-        for w in &mut self.workers {
-            w.transport.send(&Message::Plan {
+        let plans: Vec<Message> = self
+            .workers
+            .iter()
+            .map(|w| Message::Plan {
                 global_n,
                 start_row: w.start_row as u64,
                 shard_size: shard_size as u64,
                 dim,
-            })?;
+            })
+            .collect();
+        let n = self.workers.len();
+        let mut early: Vec<Option<Message>> = std::iter::repeat_with(|| None).take(n).collect();
+        for i in 0..n {
+            if let Err(e) = self.workers[i].transport.send(&plans[i]) {
+                early[i] = Some(self.reask(i, &plans[i], e)?);
+            }
         }
-        let replies = self.collect_all()?;
+        let mut replies = Vec::with_capacity(n);
+        let mut first_err: Option<ClusterError> = None;
+        for (i, slot_early) in early.into_iter().enumerate() {
+            let r = match slot_early {
+                Some(m) => Ok(m),
+                None => self.workers[i].transport.recv(),
+            };
+            let r = match r {
+                Err(e) if first_err.is_none() => self.reask(i, &plans[i], e),
+                other => other,
+            };
+            match r {
+                Ok(m) => replies.push(m),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    replies.push(Message::ShutdownOk); // placeholder, never read
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         for (i, r) in replies.into_iter().enumerate() {
             if r != Message::PlanOk {
                 return Err(ClusterError::Protocol(format!(
@@ -184,22 +349,173 @@ impl Cluster {
         Ok(())
     }
 
-    /// Receives exactly one reply from every worker (in worker order),
-    /// then surfaces the first relayed error, if any. Draining all
-    /// replies before failing keeps every conversation in sync.
-    fn collect_all(&mut self) -> Result<Vec<Message>, ClusterError> {
-        let mut replies = Vec::with_capacity(self.workers.len());
-        let mut first_err: Option<(usize, ClusterError)> = None;
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            match w.transport.recv() {
+    /// Whether a failure class is worth a recovery attempt: transport
+    /// breakage (disconnects, I/O errors, bad frames) is; a well-formed
+    /// remote/protocol error is deterministic and is not.
+    fn recoverable(e: &ClusterError) -> bool {
+        matches!(
+            e,
+            ClusterError::Io(_) | ClusterError::Frame(_) | ClusterError::Disconnected
+        )
+    }
+
+    /// Bounded recovery of worker `slot` after `trigger`: obtain a
+    /// replacement transport, rebuild the session, re-send `request`,
+    /// and return its reply. Without a recovery path — or for a
+    /// non-transport failure — returns `trigger` unchanged; after
+    /// exhausting the policy's attempts, [`ClusterError::RecoveryFailed`].
+    fn reask(
+        &mut self,
+        slot: usize,
+        request: &Message,
+        trigger: ClusterError,
+    ) -> Result<Message, ClusterError> {
+        let policy = match &self.recovery {
+            Some(r) if Self::recoverable(&trigger) => r.policy,
+            _ => return Err(trigger),
+        };
+        let attempts = policy.attempts.max(1);
+        let mut last = trigger;
+        for _ in 0..attempts {
+            std::thread::sleep(policy.backoff);
+            match self.try_adopt(slot, request) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => last = e,
+            }
+        }
+        Err(ClusterError::RecoveryFailed {
+            worker: slot,
+            attempts,
+            last: Box::new(last),
+        })
+    }
+
+    /// One recovery attempt: replacement transport → `Hello` validation
+    /// → adopt into the slot → replay plan + tracker segments + last
+    /// assignment labels → re-send the in-flight request.
+    fn try_adopt(&mut self, slot: usize, request: &Message) -> Result<Message, ClusterError> {
+        let recovery = self.recovery.as_mut().expect("recovery configured");
+        let mut transport = (recovery.supplier)(slot)?;
+        let (rows, wdim) = match transport.recv()? {
+            Message::Hello { rows, dim } => (rows as usize, dim as usize),
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "replacement worker {slot} opened with {other:?} instead of Hello"
+                )))
+            }
+        };
+        if rows != self.workers[slot].rows || wdim != self.dim {
+            return Err(ClusterError::Protocol(format!(
+                "replacement worker {slot} serves {rows} rows × {wdim} dims, expected {} × {}",
+                self.workers[slot].rows, self.dim
+            )));
+        }
+        let old = std::mem::replace(&mut self.workers[slot].transport, transport);
+        self.workers[slot].retired_sent += old.bytes_sent();
+        self.workers[slot].retired_received += old.bytes_received();
+        drop(old);
+        if self.shard_size > 0 {
+            let plan = Message::Plan {
+                global_n: self.global_n as u64,
+                start_row: self.workers[slot].start_row as u64,
+                shard_size: self.shard_size as u64,
+                dim: self.dim as u32,
+            };
+            match roundtrip(&mut self.workers[slot], &plan)? {
+                Message::PlanOk => {}
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "replacement worker {slot} answered Plan with {other:?}"
+                    )))
+                }
+            }
+            // Replay the exact broadcast sequence the lost worker saw;
+            // the per-segment ShardSums replies were already folded
+            // before the failure and are discarded here.
+            let mut from = 0u64;
+            for (i, seg) in self.tracker_segments.iter().enumerate() {
+                let msg = if i == 0 {
+                    Message::InitTracker {
+                        centers: seg.clone(),
+                    }
+                } else {
+                    Message::UpdateTracker {
+                        from,
+                        centers: seg.clone(),
+                    }
+                };
+                match roundtrip(&mut self.workers[slot], &msg)? {
+                    Message::ShardSums { .. } => {}
+                    Message::Error(e) => {
+                        return Err(ClusterError::Remote {
+                            worker: slot,
+                            error: e.into(),
+                        })
+                    }
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "replacement worker {slot} answered tracker replay with {other:?}"
+                        )))
+                    }
+                }
+                from += seg.len() as u64;
+            }
+            if let Some(centers) = &self.last_assign {
+                let msg = Message::RestoreLabels {
+                    centers: centers.clone(),
+                };
+                match roundtrip(&mut self.workers[slot], &msg)? {
+                    Message::RestoreOk => {}
+                    Message::Error(e) => {
+                        return Err(ClusterError::Remote {
+                            worker: slot,
+                            error: e.into(),
+                        })
+                    }
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "replacement worker {slot} answered RestoreLabels with {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        roundtrip(&mut self.workers[slot], request)
+    }
+
+    /// Receives exactly one reply from every worker (in worker order) —
+    /// `early` carries replies already obtained on the send path —
+    /// recovering failed workers along the way when a recovery path is
+    /// armed (`request` is re-asked), then surfaces the first error, if
+    /// any. Draining all replies before failing keeps every conversation
+    /// in sync.
+    fn collect_all_with_early(
+        &mut self,
+        request: &Message,
+        mut early: Vec<Option<Message>>,
+    ) -> Result<Vec<Message>, ClusterError> {
+        let n = self.workers.len();
+        early.resize_with(n, || None);
+        let mut replies = Vec::with_capacity(n);
+        let mut first_err: Option<ClusterError> = None;
+        for (i, slot_early) in early.into_iter().enumerate() {
+            let r = match slot_early {
+                Some(m) => Ok(m),
+                None => self.workers[i].transport.recv(),
+            };
+            let r = match r {
+                Err(e) if first_err.is_none() => self.reask(i, request, e),
+                other => other,
+            };
+            match r {
                 Ok(m) => replies.push(m),
                 Err(e) => {
-                    first_err.get_or_insert((i, e));
+                    first_err.get_or_insert(e);
                     replies.push(Message::ShutdownOk); // placeholder, never read
                 }
             }
         }
-        if let Some((_, e)) = first_err {
+        if let Some(e) = first_err {
             return Err(e);
         }
         for (i, r) in replies.iter().enumerate() {
@@ -213,13 +529,24 @@ impl Cluster {
         Ok(replies)
     }
 
-    /// Broadcasts one message to every worker and collects the replies.
+    /// Broadcasts one message to every worker and collects the replies
+    /// (recovering mid-round failures when a recovery path is armed).
     fn request_all(&mut self, msg: &Message) -> Result<Vec<Message>, ClusterError> {
         let t0 = Instant::now();
-        for w in &mut self.workers {
-            w.transport.send(msg)?;
+        let n = self.workers.len();
+        let mut early: Vec<Option<Message>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, slot) in early.iter_mut().enumerate() {
+            if let Err(e) = self.workers[i].transport.send(msg) {
+                match self.reask(i, msg, e) {
+                    Ok(reply) => *slot = Some(reply),
+                    Err(e) => {
+                        self.blocked_wall += t0.elapsed();
+                        return Err(e);
+                    }
+                }
+            }
         }
-        let replies = self.collect_all();
+        let replies = self.collect_all_with_early(msg, early);
         self.blocked_wall += t0.elapsed();
         replies
     }
@@ -260,6 +587,9 @@ impl Cluster {
         let sums = self.request_shard_sums(&Message::InitTracker {
             centers: centers.clone(),
         })?;
+        // Round succeeded on every worker: this segment is now part of
+        // the replay mirror for any later recovery.
+        self.tracker_segments = vec![centers.clone()];
         Ok(Self::fold(sums))
     }
 
@@ -274,6 +604,7 @@ impl Cluster {
             from: from as u64,
             centers: new_rows.clone(),
         })?;
+        self.tracker_segments.push(new_rows.clone());
         Ok(Self::fold(sums))
     }
 
@@ -395,15 +726,37 @@ impl Cluster {
         let involved: Vec<usize> = (0..self.workers.len())
             .filter(|&w| !per_worker[w].is_empty())
             .collect();
-        for &w in &involved {
-            self.workers[w].transport.send(&Message::GatherRows {
+        let requests: Vec<Message> = (0..self.workers.len())
+            .map(|w| Message::GatherRows {
                 indices: per_worker[w].clone(),
-            })?;
+            })
+            .collect();
+        let mut early: Vec<Option<Message>> = std::iter::repeat_with(|| None)
+            .take(self.workers.len())
+            .collect();
+        for &w in &involved {
+            if let Err(e) = self.workers[w].transport.send(&requests[w]) {
+                match self.reask(w, &requests[w], e) {
+                    Ok(reply) => early[w] = Some(reply),
+                    Err(e) => {
+                        self.blocked_wall += t0.elapsed();
+                        return Err(e);
+                    }
+                }
+            }
         }
         let mut gathered: Vec<Option<PointMatrix>> = vec![None; self.workers.len()];
         let mut first_err: Option<ClusterError> = None;
         for &w in &involved {
-            match self.workers[w].transport.recv() {
+            let r = match early[w].take() {
+                Some(m) => Ok(m),
+                None => self.workers[w].transport.recv(),
+            };
+            let r = match r {
+                Err(e) if first_err.is_none() => self.reask(w, &requests[w], e),
+                other => other,
+            };
+            match r {
                 Ok(Message::Rows { rows }) => gathered[w] = Some(rows),
                 Ok(Message::Error(e)) => {
                     first_err.get_or_insert(ClusterError::Remote {
@@ -505,6 +858,7 @@ impl Cluster {
         self.note_pass(all_shards.len() as u64);
         let mut sums = fold_accum_shards(k, d, &all_shards);
         sums.stats = stats;
+        self.last_assign = Some(centers.clone());
         Ok((reassigned, sums))
     }
 
@@ -575,23 +929,22 @@ impl Cluster {
             .map(|w| WorkerSummary {
                 rows: w.rows,
                 start_row: w.start_row,
-                bytes_sent: w.transport.bytes_sent(),
-                bytes_received: w.transport.bytes_received(),
+                bytes_sent: w.bytes_sent(),
+                bytes_received: w.bytes_received(),
             })
             .collect()
     }
 
-    /// Total frame bytes the coordinator sent.
+    /// Total frame bytes the coordinator sent (across replaced
+    /// transports too).
     pub fn bytes_sent(&self) -> u64 {
-        self.workers.iter().map(|w| w.transport.bytes_sent()).sum()
+        self.workers.iter().map(|w| w.bytes_sent()).sum()
     }
 
-    /// Total frame bytes the coordinator received.
+    /// Total frame bytes the coordinator received (across replaced
+    /// transports too).
     pub fn bytes_received(&self) -> u64 {
-        self.workers
-            .iter()
-            .map(|w| w.transport.bytes_received())
-            .sum()
+        self.workers.iter().map(|w| w.bytes_received()).sum()
     }
 
     /// Full data passes driven so far (tracker builds/updates, assignment

@@ -40,6 +40,19 @@ pub enum ClusterError {
     },
     /// A typed clustering failure raised by the coordinator itself.
     KMeans(KMeansError),
+    /// A worker failed mid-round and every recovery attempt (replacement
+    /// transport, re-handshake, state replay, round re-ask) was exhausted.
+    /// Recovery is bounded by [`crate::coordinator::RetryPolicy`], so a
+    /// dead worker — even one that keeps dying *during* recovery — is
+    /// always this typed error, never a hang.
+    RecoveryFailed {
+        /// Index of the unrecoverable worker.
+        worker: usize,
+        /// Recovery attempts made before giving up.
+        attempts: u32,
+        /// The error that defeated the final attempt.
+        last: Box<ClusterError>,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -63,6 +76,14 @@ impl fmt::Display for ClusterError {
                 write!(f, "worker {worker}: {error}")
             }
             ClusterError::KMeans(e) => write!(f, "{e}"),
+            ClusterError::RecoveryFailed {
+                worker,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "worker {worker} not recovered after {attempts} attempt(s); last error: {last}"
+            ),
         }
     }
 }
@@ -73,6 +94,7 @@ impl std::error::Error for ClusterError {
             ClusterError::Io(e) => Some(e),
             ClusterError::Frame(e) => Some(e),
             ClusterError::Remote { error, .. } | ClusterError::KMeans(error) => Some(error),
+            ClusterError::RecoveryFailed { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }

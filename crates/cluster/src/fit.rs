@@ -14,6 +14,7 @@
 //! work because their round drivers are backend-generic.
 
 use crate::backend::ClusterBackend;
+use crate::checkpoint::{CheckpointingBackend, RoundCheckpoint};
 use crate::coordinator::Cluster;
 use kmeans_core::driver::{BackendKind, RoundBackend};
 use kmeans_core::init::{InitResult, KMeansParallelConfig};
@@ -22,8 +23,10 @@ use kmeans_core::minibatch::MiniBatchConfig;
 use kmeans_core::model::{KMeans, KMeansModel, ModelParts};
 use kmeans_core::pipeline::{self, Initializer, RefineResult, Refiner};
 use kmeans_core::KMeansError;
+use kmeans_data::checkpoint::CheckpointMeta;
 use kmeans_data::PointMatrix;
 use kmeans_par::Executor;
+use std::path::Path;
 
 fn reject_local(name: &str) -> KMeansError {
     KMeansError::InvalidConfig(format!(
@@ -240,48 +243,141 @@ pub trait FitDistributed {
     /// worker count — stages without a distributed realization (and
     /// weighted fits) reject with a typed error.
     fn fit_distributed(&self, cluster: &mut Cluster) -> Result<KMeansModel, KMeansError>;
+
+    /// [`fit_distributed`](FitDistributed::fit_distributed) with a round
+    /// journal: every completed round's result is appended to `ckpt`
+    /// (and persisted if the journal is file-backed), and rounds already
+    /// in the journal are *replayed* instead of re-run — so a fit
+    /// restarted with the journal of an interrupted run resumes at the
+    /// first incomplete round and finishes **bit-identically** to an
+    /// uninterrupted fit. The journal must belong to this exact job
+    /// (seed, k, n, dim, shard size) or the fit rejects with a typed
+    /// error.
+    fn fit_distributed_resumable(
+        &self,
+        cluster: &mut Cluster,
+        ckpt: &mut RoundCheckpoint,
+    ) -> Result<KMeansModel, KMeansError>;
+
+    /// File-backed convenience over
+    /// [`fit_distributed_resumable`](FitDistributed::fit_distributed_resumable):
+    /// loads (or creates) the `SKMCKPT1` checkpoint at `path`, fits with
+    /// journaling, and removes the file once the fit completes — the
+    /// checkpoint is a crash artifact, not an output. This is the engine
+    /// behind `skm fit --distributed --checkpoint FILE`.
+    fn fit_distributed_checkpointed(
+        &self,
+        cluster: &mut Cluster,
+        path: &Path,
+    ) -> Result<KMeansModel, KMeansError>;
+}
+
+/// The expected journal identity for fitting `kmeans` on `cluster`.
+fn checkpoint_meta(kmeans: &KMeans, cluster: &Cluster) -> CheckpointMeta {
+    CheckpointMeta {
+        seed: kmeans.configured_seed(),
+        k: kmeans.k() as u64,
+        global_n: cluster.global_n() as u64,
+        shard_size: kmeans.executor().shard_spec().shard_size() as u64,
+        dim: cluster.dim() as u32,
+    }
+}
+
+/// The shared fit body: capability checks, then init + refine over
+/// whichever [`RoundBackend`] the entry point built (plain cluster or
+/// checkpoint-journaling wrapper).
+fn fit_over_backend(
+    kmeans: &KMeans,
+    backend: &mut dyn RoundBackend,
+) -> Result<KMeansModel, KMeansError> {
+    if kmeans.has_weights() {
+        return Err(KMeansError::InvalidConfig(
+            "distributed fits do not support weighted input".into(),
+        ));
+    }
+    let exec = kmeans.executor();
+    let refiner = kmeans.resolve_refiner()?;
+    // Both stages are capability-checked up front, and the plan (with
+    // its worker-alignment validation) is deferred to the first wire
+    // primitive — so an unsupported stage always rejects with its own
+    // typed error, before any stage touches the cluster.
+    if !kmeans
+        .initializer()
+        .supports_backend(BackendKind::Distributed)
+    {
+        return Err(pipeline::reject_distributed(kmeans.initializer().name()));
+    }
+    if !refiner.supports_backend(BackendKind::Distributed) {
+        return Err(pipeline::reject_distributed(refiner.name()));
+    }
+    let init = kmeans
+        .initializer()
+        .init_backend(backend, kmeans.k(), kmeans.configured_seed())?;
+    let result = refiner.refine_backend(backend, &init.centers, kmeans.configured_seed())?;
+    Ok(KMeansModel::from_parts(ModelParts {
+        centers: result.centers,
+        labels: result.labels,
+        cost: result.cost,
+        init_stats: init.stats,
+        iterations: result.iterations,
+        converged: result.converged,
+        history: result.history,
+        distance_computations: result.distance_computations,
+        pruned_by_norm_bound: result.pruned_by_norm_bound,
+        init_name: kmeans.initializer().name(),
+        refiner_name: refiner.name(),
+        executor: exec,
+    }))
 }
 
 impl FitDistributed for KMeans {
     fn fit_distributed(&self, cluster: &mut Cluster) -> Result<KMeansModel, KMeansError> {
-        if self.has_weights() {
-            return Err(KMeansError::InvalidConfig(
-                "distributed fits do not support weighted input".into(),
-            ));
+        let shard_size = self.executor().shard_spec().shard_size();
+        let mut backend = ClusterBackend::deferred(cluster, shard_size);
+        fit_over_backend(self, &mut backend)
+    }
+
+    fn fit_distributed_resumable(
+        &self,
+        cluster: &mut Cluster,
+        ckpt: &mut RoundCheckpoint,
+    ) -> Result<KMeansModel, KMeansError> {
+        let expected = checkpoint_meta(self, cluster);
+        if *ckpt.meta() != expected {
+            return Err(KMeansError::InvalidConfig(format!(
+                "checkpoint journal belongs to a different job (journal: seed {} k {} n {} \
+                 shard {} dim {}; this fit: seed {} k {} n {} shard {} dim {})",
+                ckpt.meta().seed,
+                ckpt.meta().k,
+                ckpt.meta().global_n,
+                ckpt.meta().shard_size,
+                ckpt.meta().dim,
+                expected.seed,
+                expected.k,
+                expected.global_n,
+                expected.shard_size,
+                expected.dim,
+            )));
         }
-        let exec = self.executor();
-        let refiner = self.resolve_refiner()?;
-        // Both stages are capability-checked up front, and the plan (with
-        // its worker-alignment validation) is deferred to the first wire
-        // primitive — so an unsupported stage always rejects with its own
-        // typed error, before any stage touches the cluster.
-        if !self
-            .initializer()
-            .supports_backend(BackendKind::Distributed)
-        {
-            return Err(pipeline::reject_distributed(self.initializer().name()));
-        }
-        if !refiner.supports_backend(BackendKind::Distributed) {
-            return Err(pipeline::reject_distributed(refiner.name()));
-        }
-        let mut backend = ClusterBackend::deferred(cluster, exec.shard_spec().shard_size());
-        let init =
-            self.initializer()
-                .init_backend(&mut backend, self.k(), self.configured_seed())?;
-        let result = refiner.refine_backend(&mut backend, &init.centers, self.configured_seed())?;
-        Ok(KMeansModel::from_parts(ModelParts {
-            centers: result.centers,
-            labels: result.labels,
-            cost: result.cost,
-            init_stats: init.stats,
-            iterations: result.iterations,
-            converged: result.converged,
-            history: result.history,
-            distance_computations: result.distance_computations,
-            pruned_by_norm_bound: result.pruned_by_norm_bound,
-            init_name: self.initializer().name(),
-            refiner_name: refiner.name(),
-            executor: exec,
-        }))
+        ckpt.rewind();
+        let shard_size = self.executor().shard_spec().shard_size();
+        let inner = ClusterBackend::deferred(cluster, shard_size);
+        let mut backend = CheckpointingBackend::new(inner, ckpt);
+        fit_over_backend(self, &mut backend)
+    }
+
+    fn fit_distributed_checkpointed(
+        &self,
+        cluster: &mut Cluster,
+        path: &Path,
+    ) -> Result<KMeansModel, KMeansError> {
+        let meta = checkpoint_meta(self, cluster);
+        let mut ckpt = RoundCheckpoint::load_or_new(path, meta)?;
+        let model = self.fit_distributed_resumable(cluster, &mut ckpt)?;
+        // Completed fits don't leave a stale journal behind: a later run
+        // with different parameters would otherwise reject on the
+        // leftover file.
+        let _ = std::fs::remove_file(path);
+        Ok(model)
     }
 }

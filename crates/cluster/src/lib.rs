@@ -30,6 +30,13 @@
 //! * [`fit`] — [`FitDistributed`] puts `fit_distributed` on the standard
 //!   [`KMeans`](kmeans_core::model::KMeans) builder, next to `fit` and
 //!   `fit_chunked`, plus the [`DistInit`]/[`DistRefine`] pipeline stages.
+//! * [`fault`] — deterministic fault injection ([`FaultTransport`]):
+//!   scripted kills, mid-frame truncations, and delays at exact
+//!   `(message tag, occurrence)` triggers, for reproducible chaos tests.
+//! * [`checkpoint`] — round checkpoints ([`RoundCheckpoint`],
+//!   [`CheckpointingBackend`]): a journal of round results persisted as
+//!   an `SKMCKPT1` file so an interrupted distributed fit resumes
+//!   bit-identically (`skm fit --distributed --checkpoint FILE`).
 //!
 //! **The bit-parity contract.** `fit_distributed` returns bit-identical
 //! centers, labels, and cost to `fit`/`fit_chunked` on the concatenated
@@ -46,9 +53,11 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod coordinator;
 pub mod dist;
 pub mod error;
+pub mod fault;
 pub mod fit;
 pub mod protocol;
 pub mod transport;
@@ -56,8 +65,13 @@ pub mod wire;
 pub mod worker;
 
 pub use backend::ClusterBackend;
-pub use coordinator::{Cluster, WorkerSummary};
+pub use checkpoint::{CheckpointingBackend, RoundCheckpoint};
+pub use coordinator::{Cluster, RetryPolicy, WorkerSummary};
 pub use error::ClusterError;
+pub use fault::{
+    spawn_loopback_worker_with_faults, spawn_tcp_worker_with_faults, FaultAction, FaultTransport,
+    Faultable,
+};
 pub use fit::{DistInit, DistRefine, FitDistributed};
 pub use protocol::{FrameError, Message, WorkerStats};
 pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport};

@@ -289,6 +289,18 @@ pub enum Message {
     Shutdown,
     /// Worker → coordinator: session ended.
     ShutdownOk,
+    /// Coordinator → worker (recovery catch-up): rebuild the labels the
+    /// last completed `Assign` round left behind by re-running assignment
+    /// against the same centers, discarding the partials. Sent to a
+    /// replacement worker after the tracker replay so the next real
+    /// `Assign` counts reassignments — and `FetchLabels` answers —
+    /// exactly as the lost worker would have. Replies `RestoreOk`.
+    RestoreLabels {
+        /// Centers of the last completed assignment round.
+        centers: PointMatrix,
+    },
+    /// Worker → coordinator: labels restored.
+    RestoreOk,
 }
 
 // ---------------------------------------------------------------------------
@@ -359,6 +371,8 @@ impl WireMessage for Message {
             Message::Error(_) => 24,
             Message::Shutdown => 25,
             Message::ShutdownOk => 26,
+            Message::RestoreLabels { .. } => 27,
+            Message::RestoreOk => 28,
         }
     }
 
@@ -381,10 +395,11 @@ impl WireMessage for Message {
                 e.u32(*dim);
             }
             Message::PlanOk | Message::GatherD2 | Message::FetchLabels | Message::FetchStats => {}
-            Message::Shutdown | Message::ShutdownOk => {}
+            Message::Shutdown | Message::ShutdownOk | Message::RestoreOk => {}
             Message::InitTracker { centers }
             | Message::Assign { centers }
-            | Message::Cost { centers } => {
+            | Message::Cost { centers }
+            | Message::RestoreLabels { centers } => {
                 e.matrix(centers);
             }
             Message::UpdateTracker { from, centers } => {
@@ -591,6 +606,10 @@ impl WireMessage for Message {
             }
             25 => Message::Shutdown,
             26 => Message::ShutdownOk,
+            27 => Message::RestoreLabels {
+                centers: d.matrix()?,
+            },
+            28 => Message::RestoreOk,
             other => return Err(FrameError::UnknownTag(other)),
         };
         d.finish()?;
@@ -697,7 +716,9 @@ mod tests {
                     pruned_by_norm_bound: 7,
                 },
             },
-            Message::Cost { centers: m },
+            Message::Cost { centers: m.clone() },
+            Message::RestoreLabels { centers: m },
+            Message::RestoreOk,
             Message::FetchLabels,
             Message::Labels {
                 labels: vec![0, 1, 1, 0],

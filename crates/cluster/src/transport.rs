@@ -63,6 +63,17 @@ impl<M: WireMessage> TcpTransport<M> {
             _vocabulary: PhantomData,
         })
     }
+
+    /// Writes pre-encoded frame bytes verbatim — possibly *not* a whole
+    /// frame. Fault-injection hook ([`crate::fault`]): lets a scripted
+    /// fault ship a truncated frame so the peer's defensive decode path
+    /// is exercised over a real socket.
+    pub(crate) fn send_raw_frame(&mut self, bytes: &[u8]) -> Result<(), ClusterError> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.sent += bytes.len() as u64;
+        Ok(())
+    }
 }
 
 /// Send-side size enforcement: an over-large frame fails fast with a
@@ -135,6 +146,18 @@ pub fn loopback_pair<M: WireMessage>() -> (LoopbackTransport<M>, LoopbackTranspo
             _vocabulary: PhantomData,
         },
     )
+}
+
+impl<M: WireMessage> LoopbackTransport<M> {
+    /// Loopback counterpart of [`TcpTransport::send_raw_frame`]: delivers
+    /// raw (possibly truncated) frame bytes as one channel message.
+    pub(crate) fn send_raw_frame(&mut self, bytes: &[u8]) -> Result<(), ClusterError> {
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| ClusterError::Disconnected)?;
+        self.sent += bytes.len() as u64;
+        Ok(())
+    }
 }
 
 impl<M: WireMessage> Transport<M> for LoopbackTransport<M> {

@@ -285,6 +285,16 @@ impl Worker {
             Message::Cost { centers } => Ok(Message::ShardSums {
                 sums: potential_shard_sums(source, &centers, &s.exec).map_err(offset_err)?,
             }),
+            Message::RestoreLabels { centers } => {
+                // Recovery catch-up: rebuild the labels the lost worker's
+                // last assignment pass stored, discarding partials — the
+                // coordinator already folded them before the failure.
+                let (labels, _shards, _stats) =
+                    assign_partials_chunked(source, &centers, &s.exec, s.start_row, s.global_n)
+                        .map_err(offset_err)?;
+                s.labels = Some(labels);
+                Ok(Message::RestoreOk)
+            }
             Message::FetchLabels => {
                 let labels = s.labels.clone().ok_or_else(|| {
                     KMeansError::InvalidConfig("no assignment pass has run".into())

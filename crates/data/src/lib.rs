@@ -36,12 +36,14 @@
 //! | [`chunked`], [`blockfile`] | the "data does not fit in main memory" premise of §1 |
 //! | [`shard`] | §3.5's input partitions `X′ ⊆ X`: per-worker shard files + manifest |
 //! | [`modelfile`] | persisted fit results (`SKMMDL01`) feeding the online serving tier |
+//! | [`checkpoint`] | distributed-fit round journal (`SKMCKPT1`) for restartable jobs |
 //! | [`transform`] | feature scaling ahead of clustering (engineering extension) |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod blockfile;
+pub mod checkpoint;
 pub mod chunked;
 pub mod dataset;
 pub mod error;
@@ -54,6 +56,10 @@ pub mod transform;
 
 pub use blockfile::{
     csv_to_block_file, is_block_file, write_block_file, BlockFileSource, BlockFileWriter,
+};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, is_checkpoint_file, load_checkpoint_file,
+    save_checkpoint_file, CheckpointMeta, CheckpointRecord,
 };
 pub use chunked::{ChunkedSource, CsvSource, InMemorySource, Residency};
 pub use dataset::Dataset;

@@ -282,6 +282,12 @@ pub mod arbitrary {
         }
     }
 
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.next_u64() & 1 == 1

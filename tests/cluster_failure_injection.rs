@@ -1,0 +1,694 @@
+//! Fault-tolerance acceptance tests: scripted worker deaths at every
+//! round type of the distributed conversation, injected deterministically
+//! with [`FaultTransport`] — and every recovered fit must be
+//! **bit-identical** to the zero-failure fit (centers, labels, cost,
+//! iteration history, distance accounting). Also pinned here: the
+//! elasticity paths (a replacement worker adopted mid-job over TCP, a
+//! worker restarted on the *same* address, a worker that starts late) and
+//! the bounded-failure contract (a fault during recovery itself is a
+//! typed error, never a hang).
+
+use scalable_kmeans::cluster::fault::tag;
+use scalable_kmeans::cluster::{
+    spawn_loopback_worker, spawn_loopback_worker_with_faults, spawn_tcp_worker,
+    spawn_tcp_worker_with_faults, Cluster, ClusterError, FaultAction, FitDistributed, RetryPolicy,
+    TcpTransport, TcpWorkerServer, Transport, Worker,
+};
+use scalable_kmeans::core::init::KMeansParallelConfig;
+use scalable_kmeans::core::model::{KMeans, KMeansModel};
+use scalable_kmeans::core::pipeline::{KMeansParallel, NoRefine};
+use scalable_kmeans::data::synth::GaussMixture;
+use scalable_kmeans::data::{InMemorySource, PointMatrix};
+use scalable_kmeans::par::Parallelism;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const N: usize = 192;
+const K: usize = 6;
+const SHARD: usize = 16;
+
+type WorkerHandle = std::thread::JoinHandle<Result<(), ClusterError>>;
+type SharedHandles = Arc<Mutex<Vec<WorkerHandle>>>;
+
+fn gauss() -> PointMatrix {
+    GaussMixture::new(K)
+        .points(N)
+        .center_variance(50.0)
+        .generate(11)
+        .unwrap()
+        .dataset
+        .into_parts()
+        .1
+}
+
+fn slice_rows(points: &PointMatrix, start: usize, rows: usize) -> PointMatrix {
+    let dim = points.dim();
+    PointMatrix::from_flat(
+        points.as_slice()[start * dim..(start + rows) * dim].to_vec(),
+        dim,
+    )
+    .unwrap()
+}
+
+fn even_slices(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let per = n / workers;
+    (0..workers)
+        .map(|w| {
+            let rows = if w + 1 == workers { n - w * per } else { per };
+            (w * per, rows)
+        })
+        .collect()
+}
+
+fn assert_bit_identical(reference: &KMeansModel, got: &KMeansModel, what: &str) {
+    assert_eq!(reference.centers(), got.centers(), "{what}: centers");
+    assert_eq!(reference.labels(), got.labels(), "{what}: labels");
+    assert_eq!(
+        reference.cost().to_bits(),
+        got.cost().to_bits(),
+        "{what}: cost"
+    );
+    assert_eq!(
+        reference.iterations(),
+        got.iterations(),
+        "{what}: iterations"
+    );
+    assert_eq!(
+        reference.history().len(),
+        got.history().len(),
+        "{what}: history length"
+    );
+    for (i, (a, b)) in reference.history().iter().zip(got.history()).enumerate() {
+        assert_eq!(
+            a.reassigned, b.reassigned,
+            "{what}: history[{i}] reassigned"
+        );
+        assert_eq!(a.reseeded, b.reseeded, "{what}: history[{i}] reseeded");
+        assert_eq!(
+            a.cost.to_bits(),
+            b.cost.to_bits(),
+            "{what}: history[{i}] cost"
+        );
+    }
+    assert_eq!(
+        reference.init_stats().seed_cost.to_bits(),
+        got.init_stats().seed_cost.to_bits(),
+        "{what}: seed cost"
+    );
+    assert_eq!(
+        reference.distance_computations(),
+        got.distance_computations(),
+        "{what}: distance accounting"
+    );
+}
+
+/// Spawns a loopback cluster over even slices of `points`, wrapping the
+/// workers named in `scripts` with fault scripts, and arms recovery with
+/// a supplier that respawns a healthy worker over the slot's slice.
+/// Returns the cluster, the original worker handles (scripted ones end
+/// in `Err` once their fault fires), and the replacement handles the
+/// supplier accumulates.
+fn recovering_loopback_cluster(
+    points: &PointMatrix,
+    workers: usize,
+    scripts: &[(usize, Vec<FaultAction>)],
+) -> (Cluster, Vec<WorkerHandle>, SharedHandles) {
+    let slices = even_slices(points.len(), workers);
+    let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+    let mut originals = Vec::new();
+    for (w, &(start, rows)) in slices.iter().enumerate() {
+        let source = InMemorySource::new(slice_rows(points, start, rows), 3).unwrap();
+        let script = scripts
+            .iter()
+            .find(|(slot, _)| *slot == w)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        let (t, h) = spawn_loopback_worker_with_faults(source, Parallelism::Sequential, script);
+        transports.push(Box::new(t));
+        originals.push(h);
+    }
+    let mut cluster = Cluster::new(transports).unwrap();
+    let replacements: SharedHandles = Arc::new(Mutex::new(Vec::new()));
+    let supplier_handles = Arc::clone(&replacements);
+    let supplier_points = points.clone();
+    cluster.set_recovery(
+        Box::new(move |slot| {
+            let (start, rows) = slices[slot];
+            let shard = slice_rows(&supplier_points, start, rows);
+            let source = InMemorySource::new(shard, 3).unwrap();
+            let (t, h) = spawn_loopback_worker(source, Parallelism::Sequential);
+            supplier_handles.lock().unwrap().push(h);
+            Ok(Box::new(t))
+        }),
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    (cluster, originals, replacements)
+}
+
+fn drain(replacements: &SharedHandles) {
+    for h in replacements.lock().unwrap().drain(..) {
+        h.join().unwrap().unwrap();
+    }
+}
+
+/// The kill grid: workers die at each round type of the default
+/// k-means|| + Lloyd conversation — on the request (`KillOnRecv`: the
+/// machine crashed before doing the round's work) and on the reply
+/// (`KillOnSend`: it crashed after the work, before the reply escaped) —
+/// across {2, 4}-worker clusters. Every worker carries the script, so
+/// every worker the round touches dies at once (point gathers only reach
+/// the rows' owners; broadcasts kill the whole fleet). Every recovered
+/// fit is bit-identical to the in-memory fit.
+#[test]
+fn killing_workers_at_each_round_type_recovers_bit_identically() {
+    let points = gauss();
+    let reference = KMeans::params(K)
+        .seed(42)
+        .shard_size(SHARD)
+        .fit(&points)
+        .unwrap();
+    let grid: Vec<(&str, FaultAction)> = vec![
+        (
+            "gather-rows request",
+            FaultAction::KillOnRecv {
+                tag: tag::GATHER_ROWS,
+                occurrence: 1,
+            },
+        ),
+        (
+            "init-tracker request",
+            FaultAction::KillOnRecv {
+                tag: tag::INIT_TRACKER,
+                occurrence: 1,
+            },
+        ),
+        (
+            "sample request",
+            FaultAction::KillOnRecv {
+                tag: tag::SAMPLE_BERNOULLI,
+                occurrence: 2,
+            },
+        ),
+        (
+            "tracker-update request",
+            FaultAction::KillOnRecv {
+                tag: tag::UPDATE_TRACKER,
+                occurrence: 1,
+            },
+        ),
+        (
+            "weights request",
+            FaultAction::KillOnRecv {
+                tag: tag::CANDIDATE_WEIGHTS,
+                occurrence: 1,
+            },
+        ),
+        (
+            "assign request",
+            FaultAction::KillOnRecv {
+                tag: tag::ASSIGN,
+                occurrence: 1,
+            },
+        ),
+        (
+            "label fetch",
+            FaultAction::KillOnRecv {
+                tag: tag::FETCH_LABELS,
+                occurrence: 1,
+            },
+        ),
+        (
+            "tracker reply lost",
+            FaultAction::KillOnSend {
+                tag: tag::SHARD_SUMS,
+                occurrence: 2,
+            },
+        ),
+        (
+            "partials reply lost",
+            FaultAction::KillOnSend {
+                tag: tag::PARTIALS,
+                occurrence: 1,
+            },
+        ),
+    ];
+    for workers in [2usize, 4] {
+        for (what, action) in &grid {
+            let scripts: Vec<(usize, Vec<FaultAction>)> =
+                (0..workers).map(|w| (w, vec![*action])).collect();
+            let (mut cluster, originals, replacements) =
+                recovering_loopback_cluster(&points, workers, &scripts);
+            let got = KMeans::params(K)
+                .seed(42)
+                .shard_size(SHARD)
+                .fit_distributed(&mut cluster)
+                .unwrap_or_else(|e| panic!("{workers} workers, {what}: {e}"));
+            cluster.shutdown();
+            // A recv-path kill looks like a coordinator hang-up to the
+            // worker (clean exit); a send-path kill errors its thread.
+            // Either way the thread must have ended — join all of them.
+            for h in originals {
+                let _ = h.join().unwrap();
+            }
+            assert!(
+                !replacements.lock().unwrap().is_empty(),
+                "{workers} workers, {what}: the scripted fault never fired (no recovery ran)"
+            );
+            drain(&replacements);
+            assert_bit_identical(&reference, &got, &format!("{workers} workers, {what}"));
+        }
+    }
+}
+
+/// The acceptance pin from the issue: a 4-worker fit survives three
+/// scripted deaths at three *distinct* round types (seeding sample,
+/// Lloyd assignment, final label fetch) on three different workers, and
+/// still reproduces the zero-failure fit bit for bit.
+#[test]
+fn four_workers_survive_three_deaths_at_distinct_rounds() {
+    let points = gauss();
+    let reference = KMeans::params(K)
+        .seed(42)
+        .shard_size(SHARD)
+        .fit(&points)
+        .unwrap();
+    let scripts = vec![
+        (
+            1usize,
+            vec![FaultAction::KillOnRecv {
+                tag: tag::SAMPLE_BERNOULLI,
+                occurrence: 1,
+            }],
+        ),
+        (
+            2,
+            vec![FaultAction::KillOnRecv {
+                tag: tag::ASSIGN,
+                occurrence: 1,
+            }],
+        ),
+        (
+            3,
+            vec![FaultAction::KillOnRecv {
+                tag: tag::FETCH_LABELS,
+                occurrence: 1,
+            }],
+        ),
+    ];
+    let (mut cluster, originals, replacements) = recovering_loopback_cluster(&points, 4, &scripts);
+    let got = KMeans::params(K)
+        .seed(42)
+        .shard_size(SHARD)
+        .fit_distributed(&mut cluster)
+        .unwrap();
+    cluster.shutdown();
+    for (w, h) in originals.into_iter().enumerate() {
+        let outcome = h.join().unwrap();
+        if w == 0 {
+            outcome.unwrap(); // the untouched worker retires cleanly
+        }
+    }
+    assert_eq!(
+        replacements.lock().unwrap().len(),
+        3,
+        "each scripted death must trigger exactly one adoption"
+    );
+    drain(&replacements);
+    assert_bit_identical(&reference, &got, "three deaths at distinct rounds");
+}
+
+/// All but one worker die *simultaneously* (same round, same trigger) —
+/// the worst survivable failure short of total loss — and the fit still
+/// recovers bit-identically.
+#[test]
+fn all_but_one_worker_dying_at_once_recovers() {
+    let points = gauss();
+    let reference = KMeans::params(K)
+        .seed(42)
+        .shard_size(SHARD)
+        .fit(&points)
+        .unwrap();
+    let die = vec![FaultAction::KillOnRecv {
+        tag: tag::SAMPLE_BERNOULLI,
+        occurrence: 2,
+    }];
+    let scripts: Vec<(usize, Vec<FaultAction>)> = (1..4).map(|w| (w, die.clone())).collect();
+    let (mut cluster, originals, replacements) = recovering_loopback_cluster(&points, 4, &scripts);
+    let got = KMeans::params(K)
+        .seed(42)
+        .shard_size(SHARD)
+        .fit_distributed(&mut cluster)
+        .unwrap();
+    cluster.shutdown();
+    for (w, h) in originals.into_iter().enumerate() {
+        let outcome = h.join().unwrap();
+        if w == 0 {
+            outcome.unwrap();
+        }
+    }
+    assert_eq!(
+        replacements.lock().unwrap().len(),
+        3,
+        "all three scripted deaths must trigger adoptions"
+    );
+    drain(&replacements);
+    assert_bit_identical(&reference, &got, "w-1 simultaneous deaths");
+}
+
+/// The O(n) D² top-up gather (ℓ < k forces it) recovers like every other
+/// round, and a slow worker (delayed reply) is *not* treated as dead.
+#[test]
+fn topup_gather_death_and_delayed_replies() {
+    let points = gauss();
+    let base = || {
+        KMeans::params(K)
+            .init(KMeansParallel(
+                KMeansParallelConfig::default()
+                    .oversampling_factor(0.1)
+                    .rounds(1),
+            ))
+            .refine(NoRefine)
+            .seed(3)
+            .shard_size(SHARD)
+    };
+    let reference = base().fit(&points).unwrap();
+
+    let (mut cluster, originals, replacements) = recovering_loopback_cluster(
+        &points,
+        2,
+        &[(
+            1,
+            vec![FaultAction::KillOnRecv {
+                tag: tag::GATHER_D2,
+                occurrence: 1,
+            }],
+        )],
+    );
+    let got = base().fit_distributed(&mut cluster).unwrap();
+    cluster.shutdown();
+    for h in originals {
+        let _ = h.join().unwrap();
+    }
+    assert_eq!(
+        replacements.lock().unwrap().len(),
+        1,
+        "the D² gather death must trigger one adoption"
+    );
+    drain(&replacements);
+    assert_bit_identical(&reference, &got, "D² top-up gather death");
+
+    // A delayed reply stalls the round but kills nothing: no recovery
+    // runs, the original workers retire cleanly, results are identical.
+    let (mut cluster, originals, replacements) = recovering_loopback_cluster(
+        &points,
+        2,
+        &[(
+            1,
+            vec![FaultAction::DelayOnSend {
+                tag: tag::SHARD_SUMS,
+                occurrence: 1,
+                delay: Duration::from_millis(50),
+            }],
+        )],
+    );
+    let got = base().fit_distributed(&mut cluster).unwrap();
+    cluster.shutdown();
+    for h in originals {
+        h.join().unwrap().unwrap();
+    }
+    assert!(
+        replacements.lock().unwrap().is_empty(),
+        "no recovery expected"
+    );
+    assert_bit_identical(&reference, &got, "delayed reply");
+}
+
+/// A worker dying *during* recovery (every replacement the supplier
+/// offers dies the same way) exhausts the bounded retry schedule and
+/// surfaces as a typed error — never a hang, never a panic.
+#[test]
+fn death_during_recovery_is_a_typed_error_not_a_hang() {
+    let points = gauss();
+    let slices = even_slices(points.len(), 2);
+    let die_at_init = vec![FaultAction::KillOnRecv {
+        tag: tag::INIT_TRACKER,
+        occurrence: 1,
+    }];
+    let mut transports: Vec<Box<dyn Transport>> = Vec::new();
+    let mut handles = Vec::new();
+    for (w, &(start, rows)) in slices.iter().enumerate() {
+        let source = InMemorySource::new(slice_rows(&points, start, rows), 3).unwrap();
+        let script = if w == 1 { die_at_init.clone() } else { vec![] };
+        let (t, h) = spawn_loopback_worker_with_faults(source, Parallelism::Sequential, script);
+        transports.push(Box::new(t));
+        handles.push(h);
+    }
+    let mut cluster = Cluster::new(transports).unwrap();
+    let doomed: SharedHandles = Arc::new(Mutex::new(Vec::new()));
+    let supplier_handles = Arc::clone(&doomed);
+    let supplier_points = points.clone();
+    cluster.set_recovery(
+        Box::new(move |slot| {
+            let (start, rows) = slices[slot];
+            let source = InMemorySource::new(slice_rows(&supplier_points, start, rows), 3).unwrap();
+            // Every replacement is scripted to die at the same round.
+            let (t, h) = spawn_loopback_worker_with_faults(
+                source,
+                Parallelism::Sequential,
+                vec![FaultAction::KillOnRecv {
+                    tag: tag::INIT_TRACKER,
+                    occurrence: 1,
+                }],
+            );
+            supplier_handles.lock().unwrap().push(h);
+            Ok(Box::new(t))
+        }),
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        },
+    );
+    let start = std::time::Instant::now();
+    let err = KMeans::params(K)
+        .seed(42)
+        .shard_size(SHARD)
+        .fit_distributed(&mut cluster)
+        .unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "recovery exhaustion must be bounded"
+    );
+    assert!(
+        err.to_string().contains("not recovered"),
+        "expected a recovery-exhaustion error, got: {err}"
+    );
+    // The retry schedule is bounded: exactly `attempts` replacements were
+    // tried, each of which died during its own catch-up.
+    assert_eq!(doomed.lock().unwrap().len(), 3);
+    for h in doomed.lock().unwrap().drain(..) {
+        let _ = h.join().unwrap();
+    }
+}
+
+/// TCP elasticity: a worker ships half a Partials frame over a real
+/// socket and dies; the coordinator sees a typed frame error, asks the
+/// supplier for a replacement (a brand-new `skm worker`-style process on
+/// a fresh port), catches it up, and finishes bit-identically.
+#[test]
+fn tcp_worker_truncating_mid_frame_is_replaced_and_caught_up() {
+    let points = gauss();
+    let reference = KMeans::params(K)
+        .seed(5)
+        .shard_size(SHARD)
+        .fit(&points)
+        .unwrap();
+    let timeout = Some(Duration::from_secs(30));
+    let slices = even_slices(points.len(), 2);
+
+    let mut addrs = Vec::new();
+    let mut originals = Vec::new();
+    for (w, &(start, rows)) in slices.iter().enumerate() {
+        let source = InMemorySource::new(slice_rows(&points, start, rows), 5).unwrap();
+        let script = if w == 1 {
+            vec![FaultAction::TruncateOnSend {
+                tag: tag::PARTIALS,
+                occurrence: 1,
+                keep: 10,
+            }]
+        } else {
+            vec![]
+        };
+        let (addr, h) =
+            spawn_tcp_worker_with_faults(source, Parallelism::Sequential, timeout, script).unwrap();
+        addrs.push(addr.to_string());
+        originals.push(h);
+    }
+    let mut cluster = Cluster::connect(&addrs, timeout).unwrap();
+    let replacements: SharedHandles = Arc::new(Mutex::new(Vec::new()));
+    let supplier_handles = Arc::clone(&replacements);
+    let supplier_points = points.clone();
+    cluster.set_recovery(
+        Box::new(move |slot| {
+            let (start, rows) = slices[slot];
+            let source = InMemorySource::new(slice_rows(&supplier_points, start, rows), 5).unwrap();
+            let (addr, h) = spawn_tcp_worker(source, Parallelism::Sequential, timeout)
+                .map_err(ClusterError::Io)?;
+            supplier_handles.lock().unwrap().push(h);
+            let stream = std::net::TcpStream::connect(addr).map_err(ClusterError::Io)?;
+            Ok(Box::new(TcpTransport::new(stream, timeout)?))
+        }),
+        RetryPolicy {
+            attempts: 5,
+            backoff: Duration::from_millis(10),
+        },
+    );
+    let got = KMeans::params(K)
+        .seed(5)
+        .shard_size(SHARD)
+        .fit_distributed(&mut cluster)
+        .unwrap();
+    cluster.shutdown();
+    let mut originals = originals;
+    assert!(originals.pop().unwrap().join().unwrap().is_err());
+    originals.pop().unwrap().join().unwrap().unwrap();
+    drain(&replacements);
+    assert_bit_identical(&reference, &got, "tcp mid-frame truncation");
+}
+
+/// The operational re-join story end to end: `Cluster::connect`'s default
+/// recovery redials the worker's *original address*, so restarting
+/// `skm worker` on the same port mid-job is all an operator has to do. A
+/// standby thread plays the restarted worker: it waits for the port to
+/// free up, rebinds it, and serves the same shard.
+#[test]
+fn worker_restarted_on_same_address_is_adopted() {
+    let points = gauss();
+    let reference = KMeans::params(K)
+        .seed(7)
+        .shard_size(SHARD)
+        .fit(&points)
+        .unwrap();
+    let timeout = Some(Duration::from_secs(30));
+    let slices = even_slices(points.len(), 2);
+
+    let mut addrs = Vec::new();
+    let mut originals = Vec::new();
+    for (w, &(start, rows)) in slices.iter().enumerate() {
+        let source = InMemorySource::new(slice_rows(&points, start, rows), 5).unwrap();
+        let script = if w == 1 {
+            vec![FaultAction::KillOnRecv {
+                tag: tag::ASSIGN,
+                occurrence: 1,
+            }]
+        } else {
+            vec![]
+        };
+        let (addr, h) =
+            spawn_tcp_worker_with_faults(source, Parallelism::Sequential, timeout, script).unwrap();
+        addrs.push(addr.to_string());
+        originals.push(h);
+    }
+
+    // The "operator": restart the dead worker on its original address as
+    // soon as the port frees up.
+    let restart_addr = addrs[1].clone();
+    let (start, rows) = slices[1];
+    let restart_shard = slice_rows(&points, start, rows);
+    let standby = std::thread::spawn(move || -> Result<(), ClusterError> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            match TcpWorkerServer::bind(&restart_addr) {
+                Ok(server) => {
+                    let source = InMemorySource::new(restart_shard, 5).unwrap();
+                    return server.serve(
+                        Worker::new(source, Parallelism::Sequential),
+                        timeout,
+                        true,
+                    );
+                }
+                Err(e) if std::time::Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(ClusterError::Io(e)),
+            }
+        }
+    });
+
+    let mut cluster = Cluster::connect_with_retry(
+        &addrs,
+        timeout,
+        RetryPolicy {
+            attempts: 100,
+            backoff: Duration::from_millis(100),
+        },
+    )
+    .unwrap();
+    let got = KMeans::params(K)
+        .seed(7)
+        .shard_size(SHARD)
+        .fit_distributed(&mut cluster)
+        .unwrap();
+    cluster.shutdown();
+    for h in originals {
+        let _ = h.join().unwrap();
+    }
+    // The standby only returns Ok if the port freed up (the scripted
+    // death fired) and a coordinator session ran against it (adoption).
+    standby.join().unwrap().unwrap();
+    assert_bit_identical(&reference, &got, "same-address restart");
+}
+
+/// A worker that has not even *started* when the coordinator dials is
+/// waited for: `connect_with_retry` keeps redialing with backoff instead
+/// of failing on the first refused connection.
+#[test]
+fn late_starting_worker_is_waited_for() {
+    let points = gauss();
+    let reference = KMeans::params(K)
+        .seed(9)
+        .shard_size(SHARD)
+        .fit(&points)
+        .unwrap();
+    let timeout = Some(Duration::from_secs(30));
+    let slices = even_slices(points.len(), 2);
+
+    // Worker 0 is up immediately.
+    let source0 = InMemorySource::new(slice_rows(&points, slices[0].0, slices[0].1), 5).unwrap();
+    let (addr0, h0) = spawn_tcp_worker(source0, Parallelism::Sequential, timeout).unwrap();
+
+    // Worker 1's address exists, but nothing listens there yet.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr1 = probe.local_addr().unwrap().to_string();
+    drop(probe);
+    let late_shard = slice_rows(&points, slices[1].0, slices[1].1);
+    let late_addr = addr1.clone();
+    let h1 = std::thread::spawn(move || -> Result<(), ClusterError> {
+        std::thread::sleep(Duration::from_millis(400));
+        let server = TcpWorkerServer::bind(&late_addr).map_err(ClusterError::Io)?;
+        let source = InMemorySource::new(late_shard, 5).unwrap();
+        server.serve(Worker::new(source, Parallelism::Sequential), timeout, true)
+    });
+
+    let mut cluster = Cluster::connect_with_retry(
+        &[addr0.to_string(), addr1],
+        timeout,
+        RetryPolicy {
+            attempts: 100,
+            backoff: Duration::from_millis(100),
+        },
+    )
+    .unwrap();
+    let got = KMeans::params(K)
+        .seed(9)
+        .shard_size(SHARD)
+        .fit_distributed(&mut cluster)
+        .unwrap();
+    cluster.shutdown();
+    h0.join().unwrap().unwrap();
+    h1.join().unwrap().unwrap();
+    assert_bit_identical(&reference, &got, "late-starting worker");
+}
