@@ -13,6 +13,7 @@ use kmeans_bench::bench_json::{write_merged_serve, ServeRecord};
 use kmeans_core::model::KMeans;
 use kmeans_data::synth::GaussMixture;
 use kmeans_data::PointMatrix;
+use kmeans_obs::percentile_nearest_rank;
 use kmeans_par::{Executor, Parallelism};
 use kmeans_serve::{spawn_tcp_serve, ServeClient, ServeEngine};
 use std::path::Path;
@@ -66,11 +67,6 @@ fn run_load(
         all.extend(w.join().expect("load client panicked"));
     }
     (all, started.elapsed())
-}
-
-fn percentile(sorted: &[u128], p: f64) -> u128 {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -132,8 +128,8 @@ fn main() {
             requests,
             d: dim,
             k: K,
-            p50_ns: percentile(&latencies, 0.50),
-            p99_ns: percentile(&latencies, 0.99),
+            p50_ns: percentile_nearest_rank(&latencies, 0.50),
+            p99_ns: percentile_nearest_rank(&latencies, 0.99),
             qps: (requests as f64 / secs) as u64,
             points_per_sec: (requests as f64 * batch as f64 / secs) as u64,
         };

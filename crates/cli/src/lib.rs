@@ -39,6 +39,7 @@ use kmeans_data::io::{read_csv, write_csv, LabelColumn};
 use kmeans_data::modelfile::{is_model_file, load_model_file};
 use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
 use kmeans_data::{Dataset, PointMatrix};
+use kmeans_obs::{parse_chrome_trace, write_chrome_trace, ArgValue, Recorder, SpanEvent};
 use kmeans_par::Parallelism;
 use kmeans_serve::{ServeClient, ServeEngine, TcpServeServer, DEFAULT_MAX_BATCH_POINTS};
 use kmeans_streaming::partition::PartitionConfig;
@@ -111,6 +112,7 @@ pub fn dispatch(command: &str, args: &Args, out: &mut dyn Write) -> Result<(), C
         "serve" => serve(args, out),
         "predict" => predict(args, out),
         "evaluate" => evaluate(args, out),
+        "trace" => trace(args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage())?;
             Ok(())
@@ -145,15 +147,19 @@ USAGE:
                [--manifest FILE]                (distributed: cross-check an skm-shard manifest)
                [--checkpoint FILE]              (distributed: resumable round journal, SKMCKPT1)
                [--save-model FILE]              (persist the fit as an SKMMDL01 model file)
+               [--trace FILE]                   (flight recorder: Chrome/perfetto trace JSON)
   skm convert  --input data.csv --out data.skmb [--block-rows N] [--labels]
   skm shard    --input data.skmb --workers N --out-prefix PATH [--align ROWS]
   skm worker   --listen ADDR --data shard.skmb [--mem-budget SIZE] [--threads T]
                [--io-timeout SECS] [--once]
+               [--log]                          (structured per-frame event log on stderr)
   skm serve    --listen ADDR --model model.skmm [--threads T] [--batch-cap POINTS]
                [--io-timeout SECS] [--once]
+               [--metrics-listen ADDR]          (plain-HTTP GET /metrics, Prometheus text)
   skm predict  --input FILE (--centers FILE | --server ADDR) --out FILE
   skm evaluate --input FILE (--centers FILE | --server ADDR) [--labels]
                [--silhouette-sample N]
+  skm trace    summarize FILE                   (per-span breakdown of a --trace capture)
   skm help
 
 Every --init seeder composes with every --refine refiner; --refine none
@@ -186,7 +192,16 @@ assignment kernel per model revision (concurrent clients micro-batch
 into shared kernel sweeps; models hot-swap without downtime), and
 `--server ADDR` routes `skm predict` / `skm evaluate` to a running
 server — answers are bit-identical to the local path on the same model.
-`--centers` also accepts a model file directly (detected by magic)."
+`--centers` also accepts a model file directly (detected by magic).
+
+Observability: `skm fit --trace FILE` records every round, pipeline
+stage, and coordinator conversation as Chrome trace-event JSON (open in
+https://ui.perfetto.dev or summarize with `skm trace summarize FILE`);
+tracing reads results, never touches them — traced fits stay
+bit-identical. `skm serve --metrics-listen ADDR` exposes request/batch
+latency quantiles and per-revision counters at GET /metrics in the
+Prometheus text format, and `skm worker --log` prints one structured
+line per served frame (message, rows, bytes, duration) on stderr."
 }
 
 fn require(args: &Args, name: &str) -> Result<String, CliError> {
@@ -438,8 +453,20 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         s => builder = builder.shard_size(s),
     }
     let builder = apply_refine(apply_init(builder, args)?, args)?;
+    // --trace arms the flight recorder: every backend round, pipeline
+    // stage, and (distributed) coordinator conversation lands in FILE as
+    // Chrome trace-event JSON. The recorder only reads values flowing
+    // past it, so a traced fit stays bit-identical to an untraced one.
+    let trace_path = args.str_or("trace", "");
+    let recorder = if trace_path.is_empty() {
+        Recorder::disabled()
+    } else {
+        Recorder::monotonic()
+    };
+    let builder = builder.recorder(recorder.clone());
     if distributed {
-        return fit_distributed(args, builder, k, &centers_path, out);
+        fit_distributed(args, builder, k, &centers_path, out)?;
+        return write_trace_file(&trace_path, &recorder, out);
     }
     let input = require(args, "input")?;
 
@@ -537,6 +564,23 @@ fn fit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         write_labels(&assignments, model.labels())?;
         writeln!(out, "assignments -> {assignments}")?;
     }
+    write_trace_file(&trace_path, &recorder, out)?;
+    Ok(())
+}
+
+/// `--trace FILE`: dump the recorder's timeline as one Chrome
+/// trace-event JSON document (loadable in `chrome://tracing` and
+/// perfetto, summarizable with `skm trace summarize`).
+fn write_trace_file(path: &str, recorder: &Recorder, out: &mut dyn Write) -> Result<(), CliError> {
+    if path.is_empty() {
+        return Ok(());
+    }
+    let events = recorder.events();
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_chrome_trace(&mut writer, &events)?;
+    writer.flush()?;
+    writeln!(out, "trace -> {path} ({} events)", events.len())?;
     Ok(())
 }
 
@@ -625,6 +669,10 @@ fn fit_distributed(
     }
     let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 60).max(1));
     let mut cluster = kmeans_cluster::Cluster::connect(&addrs, Some(timeout))?;
+    // Share the fit's recorder so coordinator conversation spans
+    // (broadcast:*, recover:*) interleave with the round spans on one
+    // timeline. A disabled recorder makes this a no-op.
+    cluster.set_recorder(builder.configured_recorder().clone());
 
     let manifest_path = args.str_or("manifest", "");
     if !manifest_path.is_empty() {
@@ -795,9 +843,26 @@ fn worker(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         if once { " (one session)" } else { "" },
     )?;
     out.flush()?;
-    let w = kmeans_cluster::Worker::from_boxed(Box::new(source), parallelism(args));
+    let mut w = kmeans_cluster::Worker::from_boxed(Box::new(source), parallelism(args));
+    if args.flag("log") {
+        // --log: one structured line per served frame on stderr (stdout
+        // stays machine-readable). The hook runs on the session thread,
+        // so lines appear live while a coordinator drives the worker.
+        w.set_recorder(Recorder::monotonic());
+        w.set_frame_log(|ev| eprintln!("{}", frame_log_line(ev)));
+    }
     server.serve(w, Some(timeout), once)?;
     Ok(())
+}
+
+/// One `--log` line: `frame:assign dur_us=123 rows=96 bytes=410`, the
+/// span name followed by its duration and structured arguments.
+fn frame_log_line(ev: &SpanEvent) -> String {
+    let mut line = format!("[skm worker] {} dur_us={}", ev.name, ev.dur_ns / 1_000);
+    for (name, value) in &ev.args {
+        line.push_str(&format!(" {name}={value}"));
+    }
+    line
 }
 
 /// `skm serve`: the online assignment service — load an `SKMMDL01`
@@ -842,8 +907,32 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         server.local_addr()?,
         if once { " (one session)" } else { "" },
     )?;
+    // --metrics-listen: a separate plain-HTTP port answering GET /metrics
+    // with the engine's live counters and latency quantiles (Prometheus
+    // text exposition) — curl-readable while the serve port is under load.
+    let metrics_arg = args.str_or("metrics-listen", "");
+    let metrics_handle = if metrics_arg.is_empty() {
+        None
+    } else {
+        let metrics = kmeans_serve::MetricsServer::bind(&metrics_arg)?;
+        writeln!(out, "metrics on http://{}/metrics", metrics.local_addr()?)?;
+        Some(metrics.spawn(engine.clone()))
+    };
     out.flush()?;
-    server.serve(engine, Some(timeout), once)?;
+    let shutdown = engine.clone();
+    let served = server.serve(engine, Some(timeout), once);
+    if let Some(handle) = metrics_handle {
+        // A --once session may end without a Shutdown message; raise the
+        // flag ourselves so the metrics accept loop exits and joins.
+        shutdown.request_shutdown();
+        match handle.join() {
+            Ok(result) => result?,
+            Err(_) => {
+                return Err(CliError::Io(std::io::Error::other("metrics endpoint thread panicked")))
+            }
+        }
+    }
+    served?;
     Ok(())
 }
 
@@ -986,6 +1075,129 @@ fn evaluate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `skm trace summarize FILE`: aggregate a `--trace` capture into a
+/// per-span-kind breakdown table — how often each round / pipeline stage
+/// / coordinator conversation ran, where the wall time went, what moved
+/// on the wire, and what the kernels spent.
+fn trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("summarize") => {}
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown trace action '{other}' (expected `skm trace summarize FILE`)"
+            )))
+        }
+        None => {
+            return Err(CliError::Usage(
+                "missing trace action (expected `skm trace summarize FILE`)".into(),
+            ))
+        }
+    }
+    let path = args.positional(1).ok_or_else(|| {
+        CliError::Usage("missing trace file (expected `skm trace summarize FILE`)".into())
+    })?;
+    let text = std::fs::read_to_string(path)?;
+    let events = parse_chrome_trace(&text)
+        .map_err(|e| CliError::Usage(format!("'{path}' is not a Chrome trace: {e}")))?;
+    if events.is_empty() {
+        writeln!(out, "0 events in {path}")?;
+        return Ok(());
+    }
+
+    // One row per (category, span name), folding the structured span
+    // arguments every tier attaches (wire_bytes, kernel counters).
+    #[derive(Default)]
+    struct SpanAgg {
+        count: u64,
+        dur_ns: u64,
+        wire_bytes: u64,
+        distance_computations: u64,
+        pruned: u64,
+    }
+    let arg_total = |ev: &SpanEvent, name: &str| -> u64 {
+        ev.args
+            .iter()
+            .find_map(|(n, v)| match v {
+                ArgValue::U64(u) if n == name => Some(*u),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let mut rows: std::collections::BTreeMap<(String, String), SpanAgg> =
+        std::collections::BTreeMap::new();
+    let (mut first_ns, mut last_ns, mut round_ns) = (u64::MAX, 0u64, 0u64);
+    for ev in &events {
+        first_ns = first_ns.min(ev.start_ns);
+        last_ns = last_ns.max(ev.start_ns + ev.dur_ns);
+        if ev.cat == "round" {
+            round_ns += ev.dur_ns;
+        }
+        let agg = rows.entry((ev.cat.clone(), ev.name.clone())).or_default();
+        agg.count += 1;
+        agg.dur_ns += ev.dur_ns;
+        agg.wire_bytes += arg_total(ev, "wire_bytes");
+        agg.distance_computations += arg_total(ev, "distance_computations");
+        agg.pruned += arg_total(ev, "pruned_by_norm_bound");
+    }
+    let wall_ns = last_ns.saturating_sub(first_ns);
+    let share = |ns: u64| {
+        if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * ns as f64 / wall_ns as f64
+        }
+    };
+
+    // Heaviest spans first; the BTreeMap made ties deterministic.
+    let mut sorted: Vec<_> = rows.into_iter().collect();
+    sorted.sort_by_key(|b| std::cmp::Reverse(b.1.dur_ns));
+    writeln!(
+        out,
+        "{} events over {} in {path}",
+        events.len(),
+        format_ns(wall_ns),
+    )?;
+    writeln!(
+        out,
+        "{:<28} {:>6} {:>12} {:>7} {:>12} {:>12} {:>10}",
+        "span", "count", "time", "share", "wire B", "dist evals", "prunes"
+    )?;
+    for ((cat, name), agg) in &sorted {
+        writeln!(
+            out,
+            "{:<28} {:>6} {:>12} {:>6.1}% {:>12} {:>12} {:>10}",
+            format!("{cat}/{name}"),
+            agg.count,
+            format_ns(agg.dur_ns),
+            share(agg.dur_ns),
+            agg.wire_bytes,
+            agg.distance_computations,
+            agg.pruned,
+        )?;
+    }
+    writeln!(
+        out,
+        "round spans cover {:.1}% of the wall clock ({} of {})",
+        share(round_ns),
+        format_ns(round_ns),
+        format_ns(wall_ns),
+    )?;
+    Ok(())
+}
+
+/// Nanoseconds at a human scale (`1.234s`, `5.678ms`, `910ns`).
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 /// Writes one label per line.
@@ -1473,9 +1685,102 @@ mod tests {
             "--server",
             "--batch-cap",
             "--model",
+            "skm trace",
+            "--trace",
+            "--metrics-listen",
+            "--log",
         ] {
             assert!(out.contains(value), "usage() missing '{value}': {out}");
         }
+    }
+
+    #[test]
+    fn traced_fit_writes_a_parseable_trace_and_changes_nothing() {
+        let data = tmp("trace.csv");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 3 --n 200 --variance 60 --seed 7 --out {data} --no-labels"
+            )),
+        )
+        .unwrap();
+        // Untraced reference.
+        let plain_centers = tmp("trace_plain.csv");
+        run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 3 --seed 5 --centers-out {plain_centers}"
+            )),
+        )
+        .unwrap();
+        // Traced fit: bit-identical centers plus a Chrome trace whose
+        // spans cover every tier the in-memory path exercises.
+        let traced_centers = tmp("trace_traced.csv");
+        let trace_file = tmp("trace_fit.json");
+        let out = run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 3 --seed 5 --centers-out {traced_centers} \
+                 --trace {trace_file}"
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("trace -> "), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&traced_centers).unwrap(),
+            std::fs::read_to_string(&plain_centers).unwrap()
+        );
+        let events =
+            kmeans_obs::parse_chrome_trace(&std::fs::read_to_string(&trace_file).unwrap()).unwrap();
+        for name in ["stage:init", "stage:refine", "assign", "sample_bernoulli"] {
+            assert!(
+                events.iter().any(|e| e.name == name),
+                "trace missing span '{name}'"
+            );
+        }
+        assert!(events.iter().all(|e| !e.cat.is_empty()));
+
+        // The summarize action prints a per-span table off the same file.
+        let out = run("trace", &args(&format!("summarize {trace_file}"))).unwrap();
+        assert!(out.contains("round/assign"), "{out}");
+        assert!(out.contains("fit/stage:refine"), "{out}");
+        assert!(out.contains("round spans cover"), "{out}");
+
+        // Chunked fits trace through the same recorder.
+        let chunk_centers = tmp("trace_chunk.csv");
+        let chunk_trace = tmp("trace_chunk.json");
+        run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 3 --seed 5 --chunked --block-rows 64 \
+                 --centers-out {chunk_centers} --trace {chunk_trace}"
+            )),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&chunk_centers).unwrap(),
+            std::fs::read_to_string(&plain_centers).unwrap()
+        );
+        let events =
+            kmeans_obs::parse_chrome_trace(&std::fs::read_to_string(&chunk_trace).unwrap())
+                .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "assign" && e.cat == "round"));
+    }
+
+    #[test]
+    fn trace_actions_are_validated() {
+        let err = run("trace", &args("")).unwrap_err();
+        assert!(err.to_string().contains("missing trace action"), "{err}");
+        let err = run("trace", &args("frobnicate /tmp/x")).unwrap_err();
+        assert!(err.to_string().contains("unknown trace action"), "{err}");
+        let err = run("trace", &args("summarize")).unwrap_err();
+        assert!(err.to_string().contains("missing trace file"), "{err}");
+        let bad = tmp("not_a_trace.json");
+        std::fs::write(&bad, "{\"other\": []}").unwrap();
+        let err = run("trace", &args(&format!("summarize {bad}"))).unwrap_err();
+        assert!(err.to_string().contains("not a Chrome trace"), "{err}");
     }
 
     #[test]
@@ -1738,11 +2043,12 @@ mod tests {
         )
         .unwrap();
         let dist_centers = tmp("dist_remote.csv");
+        let dist_trace = tmp("dist_trace.json");
         let out = run(
             "fit",
             &args(&format!(
                 "--distributed --workers {} --manifest {prefix}.manifest --k 4 --seed 3 \
-                 --shard-size 96 --centers-out {dist_centers}",
+                 --shard-size 96 --centers-out {dist_centers} --trace {dist_trace}",
                 addrs.join(",")
             )),
         )
@@ -1753,12 +2059,29 @@ mod tests {
         assert!(out.contains("distributed: 2 workers"), "{out}");
         assert!(out.contains("worker 0: rows [0..96)"), "{out}");
         assert!(out.contains("B on the wire"), "{out}");
+        assert!(out.contains("trace -> "), "{out}");
         // Shortest-round-trip CSV formatting: bit-identical centers are
-        // file-identical.
+        // file-identical (the flight recorder never touches results).
         assert_eq!(
             std::fs::read_to_string(&dist_centers).unwrap(),
             std::fs::read_to_string(&local_centers).unwrap()
         );
+        // The distributed trace carries all three tiers: round spans with
+        // wire-byte deltas, pipeline stages, coordinator broadcasts.
+        let events =
+            kmeans_obs::parse_chrome_trace(&std::fs::read_to_string(&dist_trace).unwrap()).unwrap();
+        assert!(events.iter().any(|e| e.cat == "round"
+            && e.name == "assign"
+            && e.args
+                .iter()
+                .any(|(n, v)| n == "wire_bytes"
+                    && matches!(v, kmeans_obs::ArgValue::U64(b) if *b > 0))));
+        assert!(events
+            .iter()
+            .any(|e| e.cat == "cluster" && e.name.starts_with("broadcast:")));
+        assert!(events
+            .iter()
+            .any(|e| e.cat == "fit" && e.name == "stage:refine"));
     }
 
     #[test]

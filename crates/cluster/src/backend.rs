@@ -117,6 +117,12 @@ impl RoundBackend for ClusterBackend<'_> {
         Ok(())
     }
 
+    fn wire_bytes(&self) -> Option<u64> {
+        // Monotonic across worker re-dials: retired transports fold
+        // their totals into the per-worker counters on replacement.
+        Some(self.cluster.bytes_sent() + self.cluster.bytes_received())
+    }
+
     fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError> {
         self.ensure_planned()?;
         self.cluster.gather_rows(indices).map_err(flatten)

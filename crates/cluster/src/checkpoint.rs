@@ -449,6 +449,13 @@ impl RoundBackend for CheckpointingBackend<'_, '_> {
         self.inner.validate_refine(centers)
     }
 
+    fn wire_bytes(&self) -> Option<u64> {
+        // Replayed (journal-served) rounds move no wire bytes, so a
+        // resumed fit's trace shows zero-byte spans for them — the
+        // counter itself stays the inner cluster's monotonic total.
+        self.inner.wire_bytes()
+    }
+
     fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError> {
         let mut args = Enc::new();
         let idx: Vec<u64> = indices.iter().map(|&i| i as u64).collect();

@@ -33,8 +33,13 @@ use kmeans_core::assign::{sum_shard_size_for, ClusterSums};
 use kmeans_core::chunked::fold_accum_shards;
 use kmeans_core::kernel::KernelStats;
 use kmeans_data::PointMatrix;
+use kmeans_obs::{arg_u64, Recorder};
 use kmeans_par::mapreduce::JobStats;
 use std::time::{Duration, Instant};
+
+/// Span category for coordinator-side worker conversations and
+/// recovery events.
+const CLUSTER_CAT: &str = "cluster";
 
 /// One connected worker.
 struct WorkerConn {
@@ -136,6 +141,10 @@ pub struct Cluster {
     /// next `Assign` counts reassignments exactly as the lost worker
     /// would have.
     last_assign: Option<PointMatrix>,
+    /// Flight recorder for the conversation tier: one span per worker
+    /// broadcast, instant events for recovery (re-dial, replay, adopt).
+    /// Disabled by default — observes only, never affects results.
+    recorder: Recorder,
 }
 
 impl Cluster {
@@ -190,7 +199,17 @@ impl Cluster {
             recovery: None,
             tracker_segments: Vec::new(),
             last_assign: None,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Arms the flight recorder for this cluster's conversation tier:
+    /// every worker broadcast records a `broadcast:<message>` span (cat
+    /// `cluster`, with the worker count), and mid-round recovery records
+    /// instant events (`recover:redial`) plus an adoption span
+    /// (`recover:adopt`) covering the replacement's handshake and replay.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     fn dial(addr: &str, io_timeout: Option<Duration>) -> Result<Box<dyn Transport>, ClusterError> {
@@ -376,13 +395,25 @@ impl Cluster {
         };
         let attempts = policy.attempts.max(1);
         let mut last = trigger;
-        for _ in 0..attempts {
+        for attempt in 0..attempts {
             std::thread::sleep(policy.backoff);
+            self.recorder.instant("recover:redial", CLUSTER_CAT, || {
+                vec![
+                    arg_u64("worker", slot as u64),
+                    arg_u64("attempt", attempt as u64 + 1),
+                ]
+            });
             match self.try_adopt(slot, request) {
                 Ok(reply) => return Ok(reply),
                 Err(e) => last = e,
             }
         }
+        self.recorder.instant("recover:failed", CLUSTER_CAT, || {
+            vec![
+                arg_u64("worker", slot as u64),
+                arg_u64("attempts", attempts as u64),
+            ]
+        });
         Err(ClusterError::RecoveryFailed {
             worker: slot,
             attempts,
@@ -394,6 +425,7 @@ impl Cluster {
     /// → adopt into the slot → replay plan + tracker segments + last
     /// assignment labels → re-send the in-flight request.
     fn try_adopt(&mut self, slot: usize, request: &Message) -> Result<Message, ClusterError> {
+        let adopt_span = self.recorder.start();
         let recovery = self.recovery.as_mut().expect("recovery configured");
         let mut transport = (recovery.supplier)(slot)?;
         let (rows, wdim) = match transport.recv()? {
@@ -480,7 +512,22 @@ impl Cluster {
                 }
             }
         }
-        roundtrip(&mut self.workers[slot], request)
+        let reply = roundtrip(&mut self.workers[slot], request)?;
+        // The adoption span covers handshake + plan + tracker/label
+        // replay + the re-asked request, so a recovered round's extra
+        // wall time is visible in the trace next to the recover:redial
+        // instants.
+        let segments = self.tracker_segments.len() as u64;
+        let restored = self.last_assign.is_some() as u64;
+        self.recorder
+            .span(adopt_span, "recover:adopt", CLUSTER_CAT, || {
+                vec![
+                    arg_u64("worker", slot as u64),
+                    arg_u64("replayed_segments", segments),
+                    arg_u64("labels_restored", restored),
+                ]
+            });
+        Ok(reply)
     }
 
     /// Receives exactly one reply from every worker (in worker order) —
@@ -533,6 +580,7 @@ impl Cluster {
     /// (recovering mid-round failures when a recovery path is armed).
     fn request_all(&mut self, msg: &Message) -> Result<Vec<Message>, ClusterError> {
         let t0 = Instant::now();
+        let span = self.recorder.start();
         let n = self.workers.len();
         let mut early: Vec<Option<Message>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, slot) in early.iter_mut().enumerate() {
@@ -541,6 +589,7 @@ impl Cluster {
                     Ok(reply) => *slot = Some(reply),
                     Err(e) => {
                         self.blocked_wall += t0.elapsed();
+                        self.finish_broadcast_span(span, msg, n, false);
                         return Err(e);
                     }
                 }
@@ -548,7 +597,25 @@ impl Cluster {
         }
         let replies = self.collect_all_with_early(msg, early);
         self.blocked_wall += t0.elapsed();
+        self.finish_broadcast_span(span, msg, n, replies.is_ok());
         replies
+    }
+
+    /// Closes the conversation span opened at the top of a broadcast.
+    fn finish_broadcast_span(
+        &self,
+        span: kmeans_obs::SpanStart,
+        msg: &Message,
+        workers: usize,
+        ok: bool,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let name = format!("broadcast:{}", msg.name());
+        self.recorder.span(span, &name, CLUSTER_CAT, || {
+            vec![arg_u64("workers", workers as u64), arg_u64("ok", ok as u64)]
+        });
     }
 
     fn note_pass(&mut self, items: u64) {

@@ -20,7 +20,7 @@ use kmeans_core::driver::{BackendKind, RoundBackend};
 use kmeans_core::init::{InitResult, KMeansParallelConfig};
 use kmeans_core::lloyd::LloydConfig;
 use kmeans_core::minibatch::MiniBatchConfig;
-use kmeans_core::model::{KMeans, KMeansModel, ModelParts};
+use kmeans_core::model::{KMeans, KMeansModel};
 use kmeans_core::pipeline::{self, Initializer, RefineResult, Refiner};
 use kmeans_core::KMeansError;
 use kmeans_data::checkpoint::CheckpointMeta;
@@ -283,51 +283,20 @@ fn checkpoint_meta(kmeans: &KMeans, cluster: &Cluster) -> CheckpointMeta {
     }
 }
 
-/// The shared fit body: capability checks, then init + refine over
-/// whichever [`RoundBackend`] the entry point built (plain cluster or
-/// checkpoint-journaling wrapper).
+/// The shared fit body: delegates to the core builder's
+/// backend-generic engine ([`KMeans::fit_round_backend`]), which
+/// performs the capability checks (the plan, with its worker-alignment
+/// validation, is deferred to the first wire primitive — so an
+/// unsupported stage always rejects with its own typed error before
+/// any stage touches the cluster), wraps the backend in the flight
+/// recorder's span decorator when a recorder is configured, and runs
+/// init + refine over whichever [`RoundBackend`] the entry point built
+/// (plain cluster or checkpoint-journaling wrapper).
 fn fit_over_backend(
     kmeans: &KMeans,
     backend: &mut dyn RoundBackend,
 ) -> Result<KMeansModel, KMeansError> {
-    if kmeans.has_weights() {
-        return Err(KMeansError::InvalidConfig(
-            "distributed fits do not support weighted input".into(),
-        ));
-    }
-    let exec = kmeans.executor();
-    let refiner = kmeans.resolve_refiner()?;
-    // Both stages are capability-checked up front, and the plan (with
-    // its worker-alignment validation) is deferred to the first wire
-    // primitive — so an unsupported stage always rejects with its own
-    // typed error, before any stage touches the cluster.
-    if !kmeans
-        .initializer()
-        .supports_backend(BackendKind::Distributed)
-    {
-        return Err(pipeline::reject_distributed(kmeans.initializer().name()));
-    }
-    if !refiner.supports_backend(BackendKind::Distributed) {
-        return Err(pipeline::reject_distributed(refiner.name()));
-    }
-    let init = kmeans
-        .initializer()
-        .init_backend(backend, kmeans.k(), kmeans.configured_seed())?;
-    let result = refiner.refine_backend(backend, &init.centers, kmeans.configured_seed())?;
-    Ok(KMeansModel::from_parts(ModelParts {
-        centers: result.centers,
-        labels: result.labels,
-        cost: result.cost,
-        init_stats: init.stats,
-        iterations: result.iterations,
-        converged: result.converged,
-        history: result.history,
-        distance_computations: result.distance_computations,
-        pruned_by_norm_bound: result.pruned_by_norm_bound,
-        init_name: kmeans.initializer().name(),
-        refiner_name: refiner.name(),
-        executor: exec,
-    }))
+    kmeans.fit_round_backend(backend)
 }
 
 impl FitDistributed for KMeans {

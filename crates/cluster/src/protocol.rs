@@ -618,6 +618,42 @@ impl WireMessage for Message {
 }
 
 impl Message {
+    /// Stable lower-snake-case name of the variant — the round tag used
+    /// by the flight recorder's coordinator spans and `skm worker
+    /// --log` lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Plan { .. } => "plan",
+            Message::PlanOk => "plan_ok",
+            Message::InitTracker { .. } => "init_tracker",
+            Message::UpdateTracker { .. } => "update_tracker",
+            Message::ShardSums { .. } => "shard_sums",
+            Message::SampleBernoulli { .. } => "sample_bernoulli",
+            Message::Sampled { .. } => "sampled",
+            Message::SampleExact { .. } => "sample_exact",
+            Message::ExactKeys { .. } => "exact_keys",
+            Message::CandidateWeights { .. } => "candidate_weights",
+            Message::Weights { .. } => "weights",
+            Message::GatherRows { .. } => "gather_rows",
+            Message::Rows { .. } => "rows",
+            Message::GatherD2 => "gather_d2",
+            Message::D2 { .. } => "d2",
+            Message::Assign { .. } => "assign",
+            Message::Partials { .. } => "partials",
+            Message::Cost { .. } => "cost",
+            Message::FetchLabels => "fetch_labels",
+            Message::Labels { .. } => "labels",
+            Message::FetchStats => "fetch_stats",
+            Message::Stats(_) => "stats",
+            Message::Error(_) => "error",
+            Message::Shutdown => "shutdown",
+            Message::ShutdownOk => "shutdown_ok",
+            Message::RestoreLabels { .. } => "restore_labels",
+            Message::RestoreOk => "restore_ok",
+        }
+    }
+
     /// Encodes the message as one complete frame (magic, tag, length,
     /// payload, checksum). Returns the frame bytes. Inherent forwarder
     /// to [`WireMessage::encode_frame`] so call sites need no trait

@@ -19,9 +19,17 @@ use kmeans_core::chunked::{
 use kmeans_core::init::{exact_sample_keys, sample_bernoulli};
 use kmeans_core::KMeansError;
 use kmeans_data::{ChunkedSource, PointMatrix};
+use kmeans_obs::{arg_u64, Recorder, SpanEvent};
 use kmeans_par::{Executor, Parallelism};
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
+
+/// Span category for worker-side frame events.
+const WORKER_CAT: &str = "worker";
+
+/// Sink for per-frame [`SpanEvent`]s when live frame logging is armed
+/// (see [`Worker::set_frame_log`]).
+pub type FrameLog = Box<dyn FnMut(&SpanEvent) + Send>;
 
 /// Per-session state established by [`Message::Plan`].
 struct Session {
@@ -38,6 +46,8 @@ struct Session {
 pub struct Worker {
     source: Box<dyn ChunkedSource>,
     parallelism: Parallelism,
+    recorder: Recorder,
+    log: Option<FrameLog>,
 }
 
 impl Worker {
@@ -47,6 +57,8 @@ impl Worker {
         Worker {
             source: Box::new(source),
             parallelism,
+            recorder: Recorder::disabled(),
+            log: None,
         }
     }
 
@@ -55,6 +67,58 @@ impl Worker {
         Worker {
             source,
             parallelism,
+            recorder: Recorder::disabled(),
+            log: None,
+        }
+    }
+
+    /// Arms the worker-side flight recorder: every served frame records
+    /// a `frame:<message>` span (cat `worker`) with the rows touched and
+    /// the frame bytes moved. Purely observational — replies are
+    /// byte-identical with or without a recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Installs a live per-frame sink: after each served frame the
+    /// recorder's new events are drained into `log` (so a long-running
+    /// `skm worker --log` prints as it serves instead of at session
+    /// end). Requires an enabled recorder to see any events.
+    pub fn set_frame_log(&mut self, log: impl FnMut(&SpanEvent) + Send + 'static) {
+        self.log = Some(Box::new(log));
+    }
+
+    /// Rows a frame touches, for the frame log: full local passes report
+    /// the shard size, point-addressed requests their index count.
+    fn frame_rows(msg: &Message, local_rows: usize) -> u64 {
+        match msg {
+            Message::GatherRows { indices } => indices.len() as u64,
+            Message::InitTracker { .. }
+            | Message::UpdateTracker { .. }
+            | Message::Assign { .. }
+            | Message::Cost { .. }
+            | Message::RestoreLabels { .. }
+            | Message::SampleBernoulli { .. }
+            | Message::SampleExact { .. }
+            | Message::GatherD2
+            | Message::FetchLabels => local_rows as u64,
+            _ => 0,
+        }
+    }
+
+    /// Closes one frame span and feeds any new events to the live log.
+    fn emit_frame(&mut self, span: kmeans_obs::SpanStart, name: &str, rows: u64, bytes: u64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let full = format!("frame:{name}");
+        self.recorder.span(span, &full, WORKER_CAT, || {
+            vec![arg_u64("rows", rows), arg_u64("bytes", bytes)]
+        });
+        if let Some(log) = self.log.as_mut() {
+            for e in self.recorder.drain() {
+                log(&e);
+            }
         }
     }
 
@@ -72,12 +136,20 @@ impl Worker {
         })?;
 
         let mut session: Option<Session> = None;
+        let mut bytes_mark = transport.bytes_sent() + transport.bytes_received();
         loop {
             let msg = match transport.recv() {
                 Ok(m) => m,
                 Err(ClusterError::Disconnected) => return Ok(()), // coordinator done
                 Err(e) => return Err(e),
             };
+            // Frame accounting: the span starts after the request is in
+            // (receive wait is coordinator-side idle time, not worker
+            // work); the byte mark advances across recv + send, so each
+            // frame's delta covers its request and reply together.
+            let span = self.recorder.start();
+            let frame_name = msg.name();
+            let frame_rows = Self::frame_rows(&msg, rows);
             let reply = match msg {
                 Message::Plan {
                     global_n,
@@ -109,6 +181,8 @@ impl Worker {
                 }
                 Message::Shutdown => {
                     transport.send(&Message::ShutdownOk)?;
+                    let total = transport.bytes_sent() + transport.bytes_received();
+                    self.emit_frame(span, frame_name, frame_rows, total - bytes_mark);
                     return Ok(());
                 }
                 other => match &mut session {
@@ -120,6 +194,11 @@ impl Worker {
                 },
             };
             transport.send(&reply)?;
+            if self.recorder.is_enabled() {
+                let total = transport.bytes_sent() + transport.bytes_received();
+                self.emit_frame(span, frame_name, frame_rows, total - bytes_mark);
+                bytes_mark = total;
+            }
         }
     }
 

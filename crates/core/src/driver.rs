@@ -215,6 +215,16 @@ pub trait RoundBackend {
     /// The potential `φ_X(C)` of `centers` (with the finiteness check on
     /// block-backed backends) — the seed-cost pass.
     fn potential(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError>;
+
+    /// Cumulative wire traffic (sent + received bytes) this backend has
+    /// moved, when it moves any — `None` for local backends. The
+    /// recording wrapper ([`crate::record::RecordingBackend`]) diffs
+    /// this across each round call to attach per-round wire bytes to its
+    /// spans; the counter must therefore be monotonically non-decreasing
+    /// and include traffic on retired connections.
+    fn wire_bytes(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Seeding epilogue shared by every backend-generic initializer: stamps

@@ -91,9 +91,11 @@ pub mod metrics;
 pub mod minibatch;
 pub mod model;
 pub mod pipeline;
+pub mod record;
 
 pub use error::KMeansError;
 pub use init::{InitMethod, InitResult, InitStats, KMeansParallelConfig};
 pub use lloyd::{LloydConfig, LloydResult};
 pub use model::{KMeans, KMeansModel, ModelParts, PreparedPredictor};
 pub use pipeline::{Initializer, RefineResult, Refiner};
+pub use record::RecordingBackend;

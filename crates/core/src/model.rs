@@ -32,12 +32,15 @@
 //! assert!(model.distance_computations() > 0);
 //! ```
 
+use crate::driver::{BackendKind, ChunkedBackend, InMemoryBackend, RoundBackend};
 use crate::error::KMeansError;
 use crate::init::{InitMethod, InitStats};
 use crate::kernel::{AssignKernel, KernelStats};
 use crate::lloyd::{IterationStats, LloydConfig};
-use crate::pipeline::{validate_weights, Initializer, Lloyd, Refiner};
+use crate::pipeline::{reject_backend, validate_weights, Initializer, Lloyd, Refiner};
+use crate::record::RecordingBackend;
 use kmeans_data::{ChunkedSource, ModelRecord, PointMatrix};
+use kmeans_obs::{arg_str, Recorder};
 use kmeans_par::{Executor, Parallelism};
 use std::path::Path;
 use std::sync::Arc;
@@ -57,6 +60,7 @@ pub struct KMeans {
     seed: u64,
     parallelism: Parallelism,
     shard_size: Option<usize>,
+    recorder: Recorder,
 }
 
 impl KMeans {
@@ -73,6 +77,7 @@ impl KMeans {
             seed: 0,
             parallelism: Parallelism::Auto,
             shard_size: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -175,6 +180,23 @@ impl KMeans {
         self
     }
 
+    /// Attaches a flight recorder. With an enabled recorder every fit —
+    /// in-memory, chunked, or distributed — records one span per round
+    /// primitive (round kind, wall time, wire bytes, kernel counters);
+    /// with the default disabled recorder the instrumentation costs one
+    /// branch per call. Recording never changes results: an instrumented
+    /// fit is bit-identical to an uninstrumented one (pinned by
+    /// `tests/obs_parity.rs`).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The configured flight recorder (disabled by default).
+    pub fn configured_recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Builds the executor this configuration implies. Public for
     /// alternative fit frontends (the distributed coordinator), which need
     /// the shard size — part of every run's reproducibility key.
@@ -233,8 +255,30 @@ impl KMeans {
         let weights = self.weights.as_deref();
         validate_weights(points, weights)?;
         let refiner = self.resolve_refiner()?;
+        // An enabled recorder routes through the backend-generic round
+        // drivers — bit-identical to the direct path (the driver layer's
+        // pinned parity contract) — so every round primitive gets its
+        // own span. Stages without an in-memory round realization
+        // (AFK-MC², Hamerly, k-means++) and weighted fits stay on the
+        // direct path and record coarse per-stage spans instead.
+        if self.recorder.is_enabled()
+            && weights.is_none()
+            && self.init.supports_backend(BackendKind::InMemory)
+            && refiner.supports_backend(BackendKind::InMemory)
+        {
+            let mut backend = InMemoryBackend::new(points, &exec);
+            return self.fit_round_backend(&mut backend);
+        }
+        let start = self.recorder.start();
         let init = self.init.init(points, weights, self.k, self.seed, &exec)?;
+        self.recorder.span(start, "stage:init", "fit", || {
+            vec![arg_str("stage", self.init.name())]
+        });
+        let start = self.recorder.start();
         let result = refiner.refine(points, weights, &init.centers, self.seed, &exec)?;
+        self.recorder.span(start, "stage:refine", "fit", || {
+            vec![arg_str("stage", refiner.name())]
+        });
         Ok(KMeansModel {
             centers: result.centers,
             labels: result.labels,
@@ -272,10 +316,28 @@ impl KMeans {
         }
         let exec = self.executor();
         let refiner = self.resolve_refiner()?;
+        // Same routing rule as `fit`: an enabled recorder runs the fit
+        // through the backend-generic drivers (bit-identical) so every
+        // block scan records a per-primitive span.
+        if self.recorder.is_enabled()
+            && self.init.supports_backend(BackendKind::Chunked)
+            && refiner.supports_backend(BackendKind::Chunked)
+        {
+            let mut backend = ChunkedBackend::new(source.as_ref(), &exec);
+            return self.fit_round_backend(&mut backend);
+        }
+        let start = self.recorder.start();
         let init = self
             .init
             .init_chunked(source.as_ref(), self.k, self.seed, &exec)?;
+        self.recorder.span(start, "stage:init", "fit", || {
+            vec![arg_str("stage", self.init.name())]
+        });
+        let start = self.recorder.start();
         let result = refiner.refine_chunked(source.as_ref(), &init.centers, self.seed, &exec)?;
+        self.recorder.span(start, "stage:refine", "fit", || {
+            vec![arg_str("stage", refiner.name())]
+        });
         Ok(KMeansModel {
             centers: result.centers,
             labels: result.labels,
@@ -290,6 +352,70 @@ impl KMeans {
             refiner_name: refiner.name(),
             executor: exec,
         })
+    }
+
+    /// Runs the standard init → refine pipeline over an explicit
+    /// [`RoundBackend`] — the shared fit engine behind [`KMeans::fit`] /
+    /// [`KMeans::fit_chunked`] when instrumented, and behind
+    /// `kmeans-cluster`'s distributed fit entry points.
+    ///
+    /// Both stages are capability-checked against the backend's
+    /// [`BackendKind`] up front and rejected with the mode's typed error
+    /// when they have no round formulation; weighted input is rejected
+    /// (weights exist only on the in-memory direct path). When the
+    /// configured [`Recorder`] is enabled the backend is wrapped in a
+    /// [`RecordingBackend`] so every round primitive records a span; the
+    /// wrapper only observes, so results are bit-identical either way.
+    pub fn fit_round_backend(
+        &self,
+        backend: &mut dyn RoundBackend,
+    ) -> Result<KMeansModel, KMeansError> {
+        let kind = backend.kind();
+        if self.weights.is_some() {
+            return Err(KMeansError::InvalidConfig(format!(
+                "{} fits do not support weighted input",
+                kind.name()
+            )));
+        }
+        let refiner = self.resolve_refiner()?;
+        if !self.init.supports_backend(kind) {
+            return Err(reject_backend(self.init.name(), kind));
+        }
+        if !refiner.supports_backend(kind) {
+            return Err(reject_backend(refiner.name(), kind));
+        }
+        let exec = self.executor();
+        let mut recorded;
+        let backend: &mut dyn RoundBackend = if self.recorder.is_enabled() {
+            recorded = RecordingBackend::new(backend, self.recorder.clone());
+            &mut recorded
+        } else {
+            backend
+        };
+        let start = self.recorder.start();
+        let init = self.init.init_backend(backend, self.k, self.seed)?;
+        self.recorder.span(start, "stage:init", "fit", || {
+            vec![arg_str("stage", self.init.name())]
+        });
+        let start = self.recorder.start();
+        let result = refiner.refine_backend(backend, &init.centers, self.seed)?;
+        self.recorder.span(start, "stage:refine", "fit", || {
+            vec![arg_str("stage", refiner.name())]
+        });
+        Ok(KMeansModel::from_parts(ModelParts {
+            centers: result.centers,
+            labels: result.labels,
+            cost: result.cost,
+            init_stats: init.stats,
+            iterations: result.iterations,
+            converged: result.converged,
+            history: result.history,
+            distance_computations: result.distance_computations,
+            pruned_by_norm_bound: result.pruned_by_norm_bound,
+            init_name: self.init.name(),
+            refiner_name: refiner.name(),
+            executor: exec,
+        }))
     }
 }
 

@@ -1,0 +1,117 @@
+//! Time sources for the recorder: a real monotonic clock for production
+//! and a scripted fake for deterministic tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond counter. The origin is arbitrary but fixed for
+/// the clock's lifetime; only differences between readings are
+/// meaningful.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's origin. Must never go backwards.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-based, origin at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates after ~584 years of process uptime — acceptable.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A scripted clock for tests: time advances only when the test says so,
+/// making every span duration and histogram bucket assertion exact.
+/// Clones share the same underlying counter, so a test can hand one
+/// clone to a [`Recorder`](crate::Recorder) and keep another to drive it.
+#[derive(Debug, Clone, Default)]
+pub struct FakeClock {
+    now: Arc<AtomicU64>,
+}
+
+impl FakeClock {
+    /// A fake clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        FakeClock {
+            now: Arc::new(AtomicU64::new(start_ns)),
+        }
+    }
+
+    /// Advances the clock by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.now.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to `now_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now_ns` is behind the current reading — the [`Clock`]
+    /// contract is monotonic, and a test scripting time backwards is a
+    /// bug worth failing loudly on.
+    pub fn set(&self, now_ns: u64) {
+        let prev = self.now.swap(now_ns, Ordering::SeqCst);
+        assert!(
+            prev <= now_ns,
+            "FakeClock set backwards: {prev} -> {now_ns}"
+        );
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_is_scripted_and_shared() {
+        let c = FakeClock::new(100);
+        let handle = c.clone();
+        assert_eq!(c.now_ns(), 100);
+        handle.advance(50);
+        assert_eq!(c.now_ns(), 150);
+        handle.set(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "set backwards")]
+    fn fake_clock_rejects_time_travel() {
+        let c = FakeClock::new(10);
+        c.set(5);
+    }
+}

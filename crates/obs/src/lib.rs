@@ -1,0 +1,47 @@
+//! **kmeans-obs** — the workspace's flight recorder: structured spans
+//! and counters, fixed-bucket latency histograms, Chrome trace-event
+//! export, and Prometheus text exposition. `std`-only, zero external
+//! dependencies, like every other crate here.
+//!
+//! The source paper's whole argument is *round accounting* — Bahmani et
+//! al. (PVLDB 2012) sell k-means|| on needing `r ≈ 5` rounds where
+//! k-means++ needs `k` — and the distributed runtime's costs are
+//! likewise dominated by coordinator round trips. This crate turns those
+//! costs from post-hoc benchmark artifacts into per-run observable
+//! facts, without ever touching the results they describe:
+//!
+//! * [`recorder`] — the [`Recorder`]: monotonic spans and named
+//!   counters behind a [`Clock`] trait. The default recorder is
+//!   **disabled** and truly cheap (one `Option` branch per call, no
+//!   allocation, no time read); an enabled recorder reads the clock and
+//!   appends to an in-memory event log. Instrumented code paths *read*
+//!   results and *never* change them — instrumented fits stay
+//!   bit-identical to uninstrumented ones (pinned by
+//!   `tests/obs_parity.rs`).
+//! * [`clock`] — [`MonotonicClock`] (production) and the scripted
+//!   [`FakeClock`] (tests), so every timing assertion can be
+//!   deterministic.
+//! * [`hist`] — [`LatencyHistogram`]: fixed-bucket log2 histograms with
+//!   nearest-rank p50/p99/p999 extraction, plus the exact
+//!   [`percentile_nearest_rank`] over sorted samples (graduated from the
+//!   serve bench).
+//! * [`trace`] — Chrome trace-event JSON (`chrome://tracing`,
+//!   [perfetto](https://ui.perfetto.dev)) writer and a minimal parser
+//!   for `skm trace summarize` and round-trip tests.
+//! * [`prom`] — hand-rolled Prometheus text-exposition rendering for
+//!   `skm serve --metrics-listen`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod hist;
+pub mod prom;
+pub mod recorder;
+pub mod trace;
+
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use hist::{percentile_nearest_rank, HistogramSummary, LatencyHistogram};
+pub use prom::PromText;
+pub use recorder::{arg_f64, arg_str, arg_u64, ArgValue, Recorder, SpanEvent, SpanStart};
+pub use trace::{json_escape, parse_chrome_trace, write_chrome_trace};

@@ -1,0 +1,103 @@
+//! Prometheus text-exposition rendering (version 0.0.4 of the format):
+//! the hand-rolled backend of `skm serve --metrics-listen`.
+//!
+//! Only the subset the serving tier needs: counters, gauges, and
+//! summaries (quantile-labeled samples plus `_sum`/`_count`, the
+//! rendering of a [`HistogramSummary`]). A plain `curl ADDR/metrics`
+//! reads the output; no client library is required on either side.
+
+use crate::hist::HistogramSummary;
+use std::fmt::Write as _;
+
+/// An append-only Prometheus text-exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Appends a counter metric (monotonically increasing total).
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a gauge metric (a value that can go up and down).
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a latency summary in **seconds** (the Prometheus base
+    /// unit) from a nanosecond [`HistogramSummary`]: `quantile`-labeled
+    /// samples for p50/p99/p999 plus the `_sum` and `_count` series.
+    pub fn summary_seconds(&mut self, name: &str, help: &str, s: &HistogramSummary) {
+        self.header(name, help, "summary");
+        for (q, ns) in [("0.5", s.p50_ns), ("0.99", s.p99_ns), ("0.999", s.p999_ns)] {
+            let _ = writeln!(self.out, "{name}{{quantile=\"{q}\"}} {}", ns_to_s(ns));
+        }
+        let _ = writeln!(self.out, "{name}_sum {}", ns_to_s(s.sum_ns));
+        let _ = writeln!(self.out, "{name}_count {}", s.count);
+    }
+
+    /// The finished exposition body.
+    pub fn render(self) -> String {
+        self.out
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+}
+
+/// Nanoseconds as decimal seconds, rendered without float noise.
+fn ns_to_s(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut p = PromText::new();
+        p.counter("skm_serve_requests_total", "Requests answered.", 42);
+        p.gauge("skm_serve_model_revision", "Installed revision.", 3.0);
+        let text = p.render();
+        assert!(text.contains("# HELP skm_serve_requests_total Requests answered.\n"));
+        assert!(text.contains("# TYPE skm_serve_requests_total counter\n"));
+        assert!(text.contains("\nskm_serve_requests_total 42\n"));
+        assert!(text.contains("# TYPE skm_serve_model_revision gauge\n"));
+        assert!(text.contains("\nskm_serve_model_revision 3\n"));
+    }
+
+    #[test]
+    fn summaries_render_quantiles_in_seconds() {
+        let s = HistogramSummary {
+            count: 10,
+            sum_ns: 2_500_000_000,
+            p50_ns: 1_500,
+            p99_ns: 2_000_000,
+            p999_ns: 3_000_000_000,
+            max_ns: 4_000_000_000,
+        };
+        let mut p = PromText::new();
+        p.summary_seconds("skm_serve_request_latency_seconds", "Request latency.", &s);
+        let text = p.render();
+        assert!(text.contains("# TYPE skm_serve_request_latency_seconds summary\n"));
+        assert!(text.contains("skm_serve_request_latency_seconds{quantile=\"0.5\"} 0.000001500\n"));
+        assert!(text.contains("skm_serve_request_latency_seconds{quantile=\"0.99\"} 0.002000000\n"));
+        assert!(
+            text.contains("skm_serve_request_latency_seconds{quantile=\"0.999\"} 3.000000000\n")
+        );
+        assert!(text.contains("skm_serve_request_latency_seconds_sum 2.500000000\n"));
+        assert!(text.contains("skm_serve_request_latency_seconds_count 10\n"));
+    }
+}

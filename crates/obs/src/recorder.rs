@@ -1,0 +1,277 @@
+//! The [`Recorder`]: structured spans and named counters behind a
+//! [`Clock`], cheap enough to be always-compiled.
+//!
+//! ## Zero cost when disabled
+//!
+//! [`Recorder::disabled`] (the `Default`) holds no state at all —
+//! `inner` is `None`. Every recording call starts with one branch on
+//! that `Option` and returns immediately: no clock read, no lock, no
+//! allocation. Argument lists are built through `FnOnce` closures, so a
+//! disabled recorder never even constructs them. Instrumentation
+//! therefore rides permanently in the hot paths (no feature flags), and
+//! results are untouched either way — the recorder only ever *reads*
+//! the values flowing past it.
+
+use crate::clock::{Clock, MonotonicClock};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One argument value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned counter-like value.
+    U64(u64),
+    /// A floating-point value.
+    F64(f64),
+    /// A short string (stage name, backend kind, address…).
+    Str(String),
+}
+
+impl std::fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One recorded event: a completed span (`dur_ns > 0` possible) or an
+/// instant marker (`dur_ns == 0`, e.g. a recovery event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Event name (e.g. the round kind: `assign`, `tracker_update`).
+    pub name: String,
+    /// Category (one per tier: `round`, `cluster`, `serve`, `fit`).
+    pub cat: String,
+    /// Start, in the recorder clock's nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instant events).
+    pub dur_ns: u64,
+    /// Structured arguments (wire bytes, row counts, kernel counters…).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// An opaque span-start token. [`Recorder::start`] on a disabled
+/// recorder hands back an empty token, and the matching
+/// [`Recorder::span`] is a no-op — the token is how "start a timer"
+/// stays free when observability is off.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart(Option<u64>);
+
+struct Inner {
+    clock: Box<dyn Clock>,
+    events: Mutex<Vec<SpanEvent>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+/// The flight recorder. Cheap to clone (an `Arc` under the hood);
+/// clones share one event log, so a coordinator and the backend wrapper
+/// instrumenting it append to the same timeline.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: records nothing, costs one branch per call.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder over the given clock.
+    pub fn with_clock(clock: impl Clock + 'static) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                clock: Box::new(clock),
+                events: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// An enabled recorder on the real monotonic clock.
+    pub fn monotonic() -> Self {
+        Self::with_clock(MonotonicClock::new())
+    }
+
+    /// Whether this recorder records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The clock's current reading, when enabled.
+    pub fn now_ns(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.clock.now_ns())
+    }
+
+    /// Starts a span timer. Free when disabled.
+    pub fn start(&self) -> SpanStart {
+        SpanStart(self.inner.as_ref().map(|i| i.clock.now_ns()))
+    }
+
+    /// Completes the span opened by `start`. `args` is only invoked when
+    /// the recorder is enabled, so building the argument list costs
+    /// nothing when it is not.
+    pub fn span(
+        &self,
+        start: SpanStart,
+        name: &str,
+        cat: &str,
+        args: impl FnOnce() -> Vec<(String, ArgValue)>,
+    ) {
+        let (Some(inner), Some(start_ns)) = (self.inner.as_ref(), start.0) else {
+            return;
+        };
+        let end_ns = inner.clock.now_ns();
+        inner
+            .events
+            .lock()
+            .expect("recorder poisoned")
+            .push(SpanEvent {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns),
+                args: args(),
+            });
+    }
+
+    /// Records an instant event (a zero-duration marker — recovery
+    /// steps, revision boundaries). Same laziness as [`Recorder::span`].
+    pub fn instant(&self, name: &str, cat: &str, args: impl FnOnce() -> Vec<(String, ArgValue)>) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let now = inner.clock.now_ns();
+        inner
+            .events
+            .lock()
+            .expect("recorder poisoned")
+            .push(SpanEvent {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start_ns: now,
+                dur_ns: 0,
+                args: args(),
+            });
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, counter: &str, delta: u64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut counters = inner.counters.lock().expect("recorder poisoned");
+        *counters.entry(counter.to_string()).or_insert(0) += delta;
+    }
+
+    /// A snapshot of every recorded event, in recording order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        match self.inner.as_ref() {
+            Some(inner) => inner.events.lock().expect("recorder poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Takes (and clears) the recorded events — the shape the worker's
+    /// per-frame `--log` output wants.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        match self.inner.as_ref() {
+            Some(inner) => std::mem::take(&mut *inner.events.lock().expect("recorder poisoned")),
+            None => Vec::new(),
+        }
+    }
+
+    /// A snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        match self.inner.as_ref() {
+            Some(inner) => inner
+                .counters
+                .lock()
+                .expect("recorder poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Convenience: a `u64` argument pair.
+pub fn arg_u64(name: &str, v: u64) -> (String, ArgValue) {
+    (name.to_string(), ArgValue::U64(v))
+}
+
+/// Convenience: an `f64` argument pair.
+pub fn arg_f64(name: &str, v: f64) -> (String, ArgValue) {
+    (name.to_string(), ArgValue::F64(v))
+}
+
+/// Convenience: a string argument pair.
+pub fn arg_str(name: &str, v: &str) -> (String, ArgValue) {
+    (name.to_string(), ArgValue::Str(v.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_never_builds_args() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let s = r.start();
+        r.span(s, "x", "test", || {
+            panic!("args built on a disabled recorder")
+        });
+        r.instant("y", "test", || panic!("args built on a disabled recorder"));
+        r.add("c", 5);
+        assert!(r.events().is_empty());
+        assert!(r.counters().is_empty());
+        assert_eq!(r.now_ns(), None);
+    }
+
+    #[test]
+    fn spans_are_deterministic_under_a_fake_clock() {
+        let clock = FakeClock::new(1_000);
+        let r = Recorder::with_clock(clock.clone());
+        let s = r.start();
+        clock.advance(250);
+        r.span(s, "round", "test", || vec![arg_u64("rows", 7)]);
+        clock.advance(10);
+        r.instant("marker", "test", Vec::new);
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "round");
+        assert_eq!(events[0].start_ns, 1_000);
+        assert_eq!(events[0].dur_ns, 250);
+        assert_eq!(events[0].args, vec![arg_u64("rows", 7)]);
+        assert_eq!(events[1].start_ns, 1_260);
+        assert_eq!(events[1].dur_ns, 0);
+    }
+
+    #[test]
+    fn clones_share_one_log_and_drain_empties_it() {
+        let r = Recorder::with_clock(FakeClock::new(0));
+        let clone = r.clone();
+        clone.instant("a", "test", Vec::new);
+        r.instant("b", "test", Vec::new);
+        clone.add("frames", 1);
+        clone.add("frames", 2);
+        assert_eq!(r.counters(), vec![("frames".to_string(), 3)]);
+        let drained = r.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(clone.events().is_empty());
+    }
+}

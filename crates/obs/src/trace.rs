@@ -1,0 +1,446 @@
+//! Chrome trace-event JSON: the export format `skm fit --trace` writes
+//! (loadable in `chrome://tracing` and [perfetto](https://ui.perfetto.dev))
+//! and the minimal parser behind `skm trace summarize` and the
+//! round-trip tests.
+//!
+//! Writer output shape (the "JSON object format" of the trace-event
+//! spec): `{"traceEvents": [...]}` where each event is a complete-span
+//! record — `"ph": "X"` with microsecond `ts`/`dur` — or an instant
+//! (`"ph": "i"`). Span arguments travel in `"args"`. Timestamps are
+//! rendered with nanosecond precision (three decimal places of a
+//! microsecond); round-trips are exact for any timestamp below 2⁵³ ns
+//! (~104 days), far beyond any real trace.
+
+use crate::recorder::{ArgValue, SpanEvent};
+use std::io::Write;
+
+/// Writes `events` as one Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_chrome_trace(w: &mut impl Write, events: &[SpanEvent]) -> std::io::Result<()> {
+    writeln!(w, "{{\"traceEvents\": [")?;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = if ev.dur_ns == 0 { "i" } else { "X" };
+        write!(
+            w,
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{}\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 1, \"tid\": 1",
+            json_escape(&ev.name),
+            json_escape(&ev.cat),
+            ph,
+            format_us(ev.start_ns),
+            format_us(ev.dur_ns),
+        )?;
+        if ph == "i" {
+            // Instant events need a scope for the viewers.
+            write!(w, ", \"s\": \"t\"")?;
+        }
+        write!(w, ", \"args\": {{")?;
+        for (j, (name, value)) in ev.args.iter().enumerate() {
+            if j > 0 {
+                write!(w, ", ")?;
+            }
+            write!(w, "\"{}\": ", json_escape(name))?;
+            match value {
+                ArgValue::U64(v) => write!(w, "{v}")?,
+                ArgValue::F64(v) => {
+                    if v.is_finite() {
+                        write!(w, "{v:?}")?;
+                    } else {
+                        // JSON has no NaN/Inf literal; ship the name.
+                        write!(w, "\"{v}\"")?;
+                    }
+                }
+                ArgValue::Str(s) => write!(w, "\"{}\"", json_escape(s))?,
+            }
+        }
+        write!(w, "}}}}")?;
+        writeln!(w, "{}", if i + 1 < events.len() { "," } else { "" })?;
+    }
+    writeln!(w, "]}}")
+}
+
+/// Nanoseconds as a microsecond decimal with exactly three fractional
+/// digits (the trace-event `ts`/`dur` unit is microseconds).
+fn format_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Escapes a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a Chrome trace-event JSON document (either the
+/// `{"traceEvents": [...]}` object form this crate writes or a bare
+/// event array) back into [`SpanEvent`]s. Unknown fields are ignored;
+/// events without a `name` are rejected. Numeric `args` parse to
+/// [`ArgValue::U64`] when they are non-negative integers, otherwise
+/// [`ArgValue::F64`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (not valid
+/// JSON, no event array, an event that is not an object…).
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<SpanEvent>, String> {
+    let value = Json::parse(text)?;
+    let events_value = match &value {
+        Json::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .ok_or("top-level object has no \"traceEvents\" array")?,
+        Json::Array(_) => &value,
+        _ => return Err("trace is neither an object nor an event array".into()),
+    };
+    let Json::Array(items) = events_value else {
+        return Err("\"traceEvents\" is not an array".into());
+    };
+    let mut events = Vec::with_capacity(items.len());
+    for item in items {
+        let Json::Object(fields) = item else {
+            return Err("trace event is not an object".into());
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let name = match get("name") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err("trace event has no string \"name\"".into()),
+        };
+        let cat = match get("cat") {
+            Some(Json::String(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let num = |v: Option<&Json>| -> u64 {
+            match v {
+                Some(Json::Number(n)) if *n >= 0.0 => (*n * 1000.0).round() as u64,
+                Some(Json::UInt(u)) => u.saturating_mul(1000),
+                _ => 0,
+            }
+        };
+        let start_ns = num(get("ts"));
+        let dur_ns = num(get("dur"));
+        let mut args = Vec::new();
+        if let Some(Json::Object(arg_fields)) = get("args") {
+            for (k, v) in arg_fields {
+                let parsed = match v {
+                    Json::UInt(u) => ArgValue::U64(*u),
+                    Json::Number(n) => {
+                        if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 {
+                            ArgValue::U64(*n as u64)
+                        } else {
+                            ArgValue::F64(*n)
+                        }
+                    }
+                    Json::String(s) => ArgValue::Str(s.clone()),
+                    Json::Bool(b) => ArgValue::Str(b.to_string()),
+                    Json::Null => ArgValue::Str("null".into()),
+                    _ => continue,
+                };
+                args.push((k.clone(), parsed));
+            }
+        }
+        events.push(SpanEvent {
+            name,
+            cat,
+            start_ns,
+            dur_ns,
+            args,
+        });
+    }
+    Ok(events)
+}
+
+/// A minimal JSON value — just enough for trace documents. Unsigned
+/// integer tokens keep their own variant so `u64` span arguments (wire
+/// bytes, kernel counters) round-trip exactly above 2⁵³.
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    UInt(u64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+    if let Ok(u) = token.parse::<u64>() {
+        return Ok(Json::UInt(u));
+    }
+    token
+        .parse::<f64>()
+        .ok()
+        .map(Json::Number)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hex) {
+                            // Surrogate pair: the low half must follow.
+                            if bytes.get(*pos..*pos + 2) != Some(b"\\u") {
+                                return Err("lone high surrogate".into());
+                            }
+                            *pos += 2;
+                            let low = bytes
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            *pos += 4;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("bad low surrogate".into());
+                            }
+                            0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            hex
+                        };
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    _ => return Err(format!("bad escape '\\{}'", esc as char)),
+                }
+            }
+            _ => {
+                // Re-decode the UTF-8 sequence starting at b.
+                let len = match b {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err("bad UTF-8 in string".into()),
+                };
+                let start = *pos - 1;
+                let end = start + len;
+                let chunk = bytes.get(start..end).ok_or("truncated UTF-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad UTF-8 in string")?);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{arg_f64, arg_str, arg_u64};
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "assign".into(),
+                cat: "round".into(),
+                start_ns: 1_234_567,
+                dur_ns: 89_012,
+                args: vec![
+                    arg_u64("rows", 4096),
+                    arg_u64("wire_bytes", 123_456),
+                    arg_f64("phi", 12.5),
+                    arg_str("backend", "distributed"),
+                ],
+            },
+            SpanEvent {
+                name: "recover:redial \"w0\"\n\\".into(),
+                cat: "cluster".into(),
+                start_ns: 2_000_000,
+                dur_ns: 0,
+                args: vec![arg_str("addr", "127.0.0.1:7401\t\"quoted\"")],
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips_through_write_and_parse() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn bare_array_form_parses_too() {
+        let text = r#"[{"name": "x", "ts": 1.5, "dur": 2, "args": {"n": 3}}]"#;
+        let parsed = parse_chrome_trace(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "x");
+        assert_eq!(parsed[0].start_ns, 1500);
+        assert_eq!(parsed[0].dur_ns, 2000);
+        assert_eq!(parsed[0].args, vec![arg_u64("n", 3)]);
+    }
+
+    #[test]
+    fn escapes_cover_the_json_control_set() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(json_escape("φ≈5"), "φ≈5");
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        assert!(parse_chrome_trace("").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\": 5}").is_err());
+        assert!(parse_chrome_trace("{\"other\": []}").is_err());
+        assert!(parse_chrome_trace("[{\"ts\": 1}]").is_err());
+        assert!(parse_chrome_trace("[{\"name\": \"x\"}] junk").is_err());
+        assert!(parse_chrome_trace("[{\"name\": \"unterminated]").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_and_unicode_escapes_decode() {
+        let text = "[{\"name\": \"\\u0041\\ud83d\\ude00\"}]";
+        let parsed = parse_chrome_trace(text).unwrap();
+        assert_eq!(parsed[0].name, "A😀");
+    }
+}

@@ -30,10 +30,11 @@ use crate::protocol::ServeStats;
 use kmeans_cluster::protocol::WireError;
 use kmeans_core::{KMeansError, PreparedPredictor};
 use kmeans_data::{decode_model, ModelRecord, PointMatrix};
+use kmeans_obs::{Clock, LatencyHistogram, MonotonicClock};
 use kmeans_par::Executor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Default cap on the points gathered into one kernel batch. Draining
 /// stops at the cap, so a burst of large requests cannot starve later
@@ -93,6 +94,16 @@ struct AssignJob {
     reply: Sender<Result<AssignReply, WireError>>,
 }
 
+/// Counter snapshot taken at each swap: the base the current revision's
+/// per-revision counters are measured against.
+#[derive(Clone, Copy, Default)]
+struct RevisionBase {
+    requests: u64,
+    points: u64,
+    batches: u64,
+    installed_ns: u64,
+}
+
 struct Shared {
     current: RwLock<Arc<ModelVersion>>,
     executor: Executor,
@@ -104,6 +115,10 @@ struct Shared {
     swaps: AtomicU64,
     distance_computations: AtomicU64,
     pruned_by_norm_bound: AtomicU64,
+    clock: MonotonicClock,
+    request_hist: Mutex<LatencyHistogram>,
+    batch_hist: Mutex<LatencyHistogram>,
+    rev_base: Mutex<RevisionBase>,
 }
 
 /// Handle to one serving engine. Cheap to clone; every session holds a
@@ -140,6 +155,10 @@ impl ServeEngine {
             swaps: AtomicU64::new(0),
             distance_computations: AtomicU64::new(0),
             pruned_by_norm_bound: AtomicU64::new(0),
+            clock: MonotonicClock::new(),
+            request_hist: Mutex::new(LatencyHistogram::new()),
+            batch_hist: Mutex::new(LatencyHistogram::new()),
+            rev_base: Mutex::new(RevisionBase::default()),
         });
         let (tx, rx) = channel::<AssignJob>();
         let batcher_shared = Arc::clone(&shared);
@@ -157,6 +176,7 @@ impl ServeEngine {
     /// the path every session request takes. With `want_labels` false the
     /// reply's label vector is left empty (cost queries skip the payload).
     pub fn assign(&self, points: PointMatrix, want_labels: bool) -> Result<AssignReply, WireError> {
+        let t0 = self.shared.clock.now_ns();
         let (tx, rx) = channel();
         self.jobs
             .send(AssignJob {
@@ -165,8 +185,18 @@ impl ServeEngine {
                 reply: tx,
             })
             .map_err(|_| WireError::Data("assignment engine is gone".into()))?;
-        rx.recv()
-            .map_err(|_| WireError::Data("assignment engine dropped the request".into()))?
+        let reply = rx
+            .recv()
+            .map_err(|_| WireError::Data("assignment engine dropped the request".into()))?;
+        // Submit → reply covers queue wait plus the batch sweep — the
+        // latency a session actually observes.
+        let dur = self.shared.clock.now_ns().saturating_sub(t0);
+        self.shared
+            .request_hist
+            .lock()
+            .expect("request histogram lock poisoned")
+            .record(dur);
+        reply
     }
 
     /// Decodes an `SKMMDL01` image and atomically installs it, returning
@@ -192,21 +222,52 @@ impl ServeEngine {
         *current = Arc::new(version);
         drop(current);
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
-        Ok((revision, k, dim))
-    }
-
-    /// Cumulative serving statistics.
-    pub fn stats(&self) -> ServeStats {
+        // Rebase the per-revision counters: a swap is a timestamped
+        // revision boundary, and everything counted after it belongs to
+        // the new revision. (In-flight batches finishing on the old
+        // version may land just after the base — the same benign skew
+        // the cumulative counters already have.)
         let s = &self.shared;
-        ServeStats {
-            revision: self.current().revision,
+        *s.rev_base.lock().expect("revision base lock poisoned") = RevisionBase {
             requests: s.requests.load(Ordering::Relaxed),
             points: s.points.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
+            installed_ns: s.clock.now_ns(),
+        };
+        Ok((revision, k, dim))
+    }
+
+    /// Cumulative serving statistics, plus the current revision's
+    /// rebased counters and the request/batch latency summaries.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared;
+        let base = *s.rev_base.lock().expect("revision base lock poisoned");
+        let requests = s.requests.load(Ordering::Relaxed);
+        let points = s.points.load(Ordering::Relaxed);
+        let batches = s.batches.load(Ordering::Relaxed);
+        ServeStats {
+            revision: self.current().revision,
+            requests,
+            points,
+            batches,
             max_batch_points: s.max_batch_points.load(Ordering::Relaxed),
             swaps: s.swaps.load(Ordering::Relaxed),
             distance_computations: s.distance_computations.load(Ordering::Relaxed),
             pruned_by_norm_bound: s.pruned_by_norm_bound.load(Ordering::Relaxed),
+            revision_requests: requests.saturating_sub(base.requests),
+            revision_points: points.saturating_sub(base.points),
+            revision_batches: batches.saturating_sub(base.batches),
+            revision_installed_ns: base.installed_ns,
+            request_latency: s
+                .request_hist
+                .lock()
+                .expect("request histogram lock poisoned")
+                .summary(),
+            batch_latency: s
+                .batch_hist
+                .lock()
+                .expect("batch histogram lock poisoned")
+                .summary(),
         }
     }
 
@@ -259,10 +320,30 @@ fn batcher(shared: Arc<Shared>, rx: Receiver<AssignJob>, cap: usize) {
         }
         let batch = PointMatrix::from_flat(flat, dim).expect("concatenation of same-dim matrices");
         let batch_points = batch.len();
+        let t0 = shared.clock.now_ns();
         let (labels, d2, kstats) = version
             .predictor
             .assign(&batch)
             .expect("dimensionality checked per job");
+        let sweep_ns = shared.clock.now_ns().saturating_sub(t0);
+        shared
+            .batch_hist
+            .lock()
+            .expect("batch histogram lock poisoned")
+            .record(sweep_ns);
+        // Account the batch before any reply goes out: a client that
+        // reads its reply and immediately fetches stats must see its own
+        // request counted.
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .max_batch_points
+            .fetch_max(batch_points as u64, Ordering::Relaxed);
+        shared
+            .distance_computations
+            .fetch_add(kstats.distance_computations, Ordering::Relaxed);
+        shared
+            .pruned_by_norm_bound
+            .fetch_add(kstats.pruned_by_norm_bound, Ordering::Relaxed);
         let mut offset = 0;
         for job in valid {
             let n = job.points.len();
@@ -277,22 +358,12 @@ fn batcher(shared: Arc<Shared>, rx: Receiver<AssignJob>, cap: usize) {
                 cost,
             };
             offset += n;
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            shared.points.fetch_add(n as u64, Ordering::Relaxed);
             // A client that disconnected mid-request just drops its
             // receiver; the batch carries on for everyone else.
             let _ = job.reply.send(Ok(reply));
-            shared.requests.fetch_add(1, Ordering::Relaxed);
-            shared.points.fetch_add(n as u64, Ordering::Relaxed);
         }
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .max_batch_points
-            .fetch_max(batch_points as u64, Ordering::Relaxed);
-        shared
-            .distance_computations
-            .fetch_add(kstats.distance_computations, Ordering::Relaxed);
-        shared
-            .pruned_by_norm_bound
-            .fetch_add(kstats.pruned_by_norm_bound, Ordering::Relaxed);
     }
 }
 

@@ -29,6 +29,10 @@
 //!   loopback/TCP spawn harnesses mirroring the cluster worker's.
 //! * [`client`] — [`ServeClient`]: handshake + typed calls; a served
 //!   failure surfaces as the same `KMeansError` a local call would.
+//! * [`metrics`] — the `--metrics-listen` endpoint: a hand-rolled
+//!   plain-HTTP server answering `GET /metrics` with Prometheus text
+//!   exposition (request/batch latency quantiles, per-revision
+//!   counters) straight off the engine — curl-readable mid-load.
 //!
 //! **The serving parity contract.** Served `predict`/`cost_of` are
 //! bit-identical to `KMeansModel::predict`/`cost_of` on the same model —
@@ -43,10 +47,12 @@
 
 pub mod client;
 pub mod engine;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Prediction, ServeClient, ServedModelInfo};
 pub use engine::{AssignReply, ModelVersion, ServeEngine, DEFAULT_MAX_BATCH_POINTS};
+pub use metrics::{render_metrics, MetricsServer};
 pub use protocol::{ServeMessage, ServeStats, SERVE_MAGIC};
 pub use server::{session, spawn_loopback_serve, spawn_tcp_serve, TcpServeServer};

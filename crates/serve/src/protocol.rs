@@ -27,12 +27,17 @@
 use kmeans_cluster::protocol::WireError;
 use kmeans_cluster::wire::{Dec, Enc, FrameError, WireMessage};
 use kmeans_data::PointMatrix;
+use kmeans_obs::HistogramSummary;
 
 /// Frame magic of the serving vocabulary.
 pub const SERVE_MAGIC: [u8; 4] = *b"SKS1";
 
 /// A server's cumulative accounting, shipped as the reply to
 /// [`ServeMessage::FetchStats`].
+///
+/// The fields after `pruned_by_norm_bound` are encoded as a trailing
+/// group: decoders accept frames without them (older servers) as zeroed
+/// values, so a new client degrades gracefully against an old server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Revision of the model currently installed.
@@ -51,6 +56,21 @@ pub struct ServeStats {
     pub distance_computations: u64,
     /// Kernel candidates pruned by the norm/coordinate bounds.
     pub pruned_by_norm_bound: u64,
+    /// Requests answered under the currently installed revision (the
+    /// cumulative counters above never reset; these rebase at each
+    /// swap).
+    pub revision_requests: u64,
+    /// Points assigned under the currently installed revision.
+    pub revision_points: u64,
+    /// Kernel batches executed under the currently installed revision.
+    pub revision_batches: u64,
+    /// Engine-monotonic timestamp (ns since engine start) at which the
+    /// current revision was installed — 0 for the initial model.
+    pub revision_installed_ns: u64,
+    /// Request latency (submit → reply) summary, in nanoseconds.
+    pub request_latency: HistogramSummary,
+    /// Kernel batch sweep latency summary, in nanoseconds.
+    pub batch_latency: HistogramSummary,
 }
 
 /// One message of the serve conversation (see module docs for the
@@ -132,6 +152,26 @@ pub enum ServeMessage {
     Shutdown,
     /// Server → client: shutdown acknowledged.
     ShutdownOk,
+}
+
+fn encode_hist_summary(e: &mut Enc, s: &HistogramSummary) {
+    e.u64(s.count);
+    e.u64(s.sum_ns);
+    e.u64(s.p50_ns);
+    e.u64(s.p99_ns);
+    e.u64(s.p999_ns);
+    e.u64(s.max_ns);
+}
+
+fn decode_hist_summary(d: &mut Dec<'_>) -> Result<HistogramSummary, FrameError> {
+    Ok(HistogramSummary {
+        count: d.u64()?,
+        sum_ns: d.u64()?,
+        p50_ns: d.u64()?,
+        p99_ns: d.u64()?,
+        p999_ns: d.u64()?,
+        max_ns: d.u64()?,
+    })
 }
 
 fn encode_wire_error(e: &mut Enc, err: &WireError) {
@@ -254,6 +294,13 @@ impl WireMessage for ServeMessage {
                 e.u64(s.swaps);
                 e.u64(s.distance_computations);
                 e.u64(s.pruned_by_norm_bound);
+                // Trailing group (decoders accept its absence).
+                e.u64(s.revision_requests);
+                e.u64(s.revision_points);
+                e.u64(s.revision_batches);
+                e.u64(s.revision_installed_ns);
+                encode_hist_summary(&mut e, &s.request_latency);
+                encode_hist_summary(&mut e, &s.batch_latency);
             }
             ServeMessage::SwapModel { model } => e.bytes(model),
             ServeMessage::SwapOk { revision, k, dim } => {
@@ -295,16 +342,31 @@ impl WireMessage for ServeMessage {
                 cost: d.f64()?,
             },
             7 => ServeMessage::FetchStats,
-            8 => ServeMessage::Stats(ServeStats {
-                revision: d.u64()?,
-                requests: d.u64()?,
-                points: d.u64()?,
-                batches: d.u64()?,
-                max_batch_points: d.u64()?,
-                swaps: d.u64()?,
-                distance_computations: d.u64()?,
-                pruned_by_norm_bound: d.u64()?,
-            }),
+            8 => {
+                let mut s = ServeStats {
+                    revision: d.u64()?,
+                    requests: d.u64()?,
+                    points: d.u64()?,
+                    batches: d.u64()?,
+                    max_batch_points: d.u64()?,
+                    swaps: d.u64()?,
+                    distance_computations: d.u64()?,
+                    pruned_by_norm_bound: d.u64()?,
+                    ..ServeStats::default()
+                };
+                // Backward-compatible trailing group: absent (an older
+                // server) decodes as zeroed; a *partial* group is still
+                // a malformed frame (the field reads below fail).
+                if d.remaining() > 0 {
+                    s.revision_requests = d.u64()?;
+                    s.revision_points = d.u64()?;
+                    s.revision_batches = d.u64()?;
+                    s.revision_installed_ns = d.u64()?;
+                    s.request_latency = decode_hist_summary(&mut d)?;
+                    s.batch_latency = decode_hist_summary(&mut d)?;
+                }
+                ServeMessage::Stats(s)
+            }
             9 => ServeMessage::SwapModel { model: d.bytes()? },
             10 => ServeMessage::SwapOk {
                 revision: d.u64()?,
@@ -360,6 +422,19 @@ mod tests {
                 swaps: 1,
                 distance_computations: 123,
                 pruned_by_norm_bound: 456,
+                revision_requests: 60,
+                revision_points: 3000,
+                revision_batches: 25,
+                revision_installed_ns: 1_234_567,
+                request_latency: HistogramSummary {
+                    count: 100,
+                    sum_ns: 9_999,
+                    p50_ns: 64,
+                    p99_ns: 1023,
+                    p999_ns: 2047,
+                    max_ns: 1999,
+                },
+                batch_latency: HistogramSummary::default(),
             }),
             ServeMessage::SwapModel {
                 model: vec![1, 2, 3, 4, 5],
@@ -390,6 +465,38 @@ mod tests {
             let (decoded, used) = ServeMessage::read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap();
             assert_eq!(decoded, msg);
             assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn legacy_stats_frames_decode_with_zeroed_trailing_group() {
+        // A tag-8 frame carrying only the original eight counters (an
+        // older server) must decode, with the per-revision and latency
+        // fields zeroed.
+        let mut e = Enc::new();
+        for v in [2u64, 100, 5000, 40, 512, 1, 123, 456] {
+            e.u64(v);
+        }
+        let payload = e.into_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&SERVE_MAGIC);
+        frame.push(8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&kmeans_cluster::wire::fnv1a(8, &payload).to_le_bytes());
+        let (decoded, used) = ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
+        assert_eq!(used, frame.len());
+        match decoded {
+            ServeMessage::Stats(s) => {
+                assert_eq!(s.revision, 2);
+                assert_eq!(s.requests, 100);
+                assert_eq!(s.pruned_by_norm_bound, 456);
+                assert_eq!(s.revision_requests, 0);
+                assert_eq!(s.revision_installed_ns, 0);
+                assert_eq!(s.request_latency, HistogramSummary::default());
+                assert_eq!(s.batch_latency, HistogramSummary::default());
+            }
+            other => panic!("decoded {other:?}"),
         }
     }
 

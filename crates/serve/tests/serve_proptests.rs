@@ -8,6 +8,7 @@
 use kmeans_cluster::protocol::{Message, WireError, MAX_FRAME_PAYLOAD};
 use kmeans_cluster::{FrameError, WireMessage};
 use kmeans_data::PointMatrix;
+use kmeans_obs::HistogramSummary;
 use kmeans_serve::{ServeMessage, ServeStats};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -57,6 +58,26 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage
             swaps: get(5),
             distance_computations: get(6),
             pruned_by_norm_bound: get(7),
+            revision_requests: get(8),
+            revision_points: get(9),
+            revision_batches: get(10),
+            revision_installed_ns: get(11),
+            request_latency: HistogramSummary {
+                count: get(12),
+                sum_ns: get(13),
+                p50_ns: get(14),
+                p99_ns: get(15),
+                p999_ns: get(16),
+                max_ns: get(17),
+            },
+            batch_latency: HistogramSummary {
+                count: get(18),
+                sum_ns: get(19),
+                p50_ns: get(20),
+                p99_ns: get(21),
+                p999_ns: get(22),
+                max_ns: get(23),
+            },
         }),
         7 => ServeMessage::SwapModel {
             model: ints.iter().flat_map(|i| i.to_le_bytes()).collect(),

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 pub struct Args {
     values: HashMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -24,7 +25,10 @@ impl Args {
         let mut iter = tokens.into_iter().peekable();
         while let Some(token) = iter.next() {
             let Some(name) = token.strip_prefix("--") else {
-                eprintln!("warning: ignoring stray argument '{token}'");
+                // Bare tokens are positionals (e.g. the action and file of
+                // `skm trace summarize FILE`); commands that take none
+                // simply never read them.
+                args.positionals.push(token);
                 continue;
             };
             match iter.peek() {
@@ -41,6 +45,11 @@ impl Args {
     /// Boolean flag presence (`--full`).
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The `i`th bare (non-`--`) token, in command-line order.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// String value with default.

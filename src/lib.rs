@@ -12,6 +12,7 @@
 //! | [`cluster`] (`kmeans-cluster`) | coordinator/worker distributed runtime: checksummed wire protocol, TCP + loopback transports, `fit_distributed` |
 //! | [`core`] (`kmeans-core`) | k-means\|\|, k-means++, Random seeding, Lloyd's iteration, mini-batch k-means, the backend-generic round drivers, metrics, the [`KMeans`] pipeline |
 //! | [`data`] (`kmeans-data`) | `PointMatrix` storage, the GaussMixture / SpamLike / KddLike generators, CSV I/O, the `SKMMDL01` model file |
+//! | [`obs`] (`kmeans-obs`) | flight recorder: structured spans + counters behind a `Clock`, log2 latency histograms with exact quantiles, Chrome trace JSON, Prometheus text rendering |
 //! | [`par`] (`kmeans-par`) | deterministic shard executor + MapReduce-model simulator |
 //! | [`serve`] (`kmeans-serve`) | online assignment service: micro-batching engine, `SKS1` protocol, TCP/loopback server + client, atomic model hot-swap |
 //! | [`streaming`] (`kmeans-streaming`) | the Partition baseline (Ailon et al.), k-means#, a coreset tree |
@@ -71,6 +72,7 @@
 pub use kmeans_cluster as cluster;
 pub use kmeans_core as core;
 pub use kmeans_data as data;
+pub use kmeans_obs as obs;
 pub use kmeans_par as par;
 pub use kmeans_serve as serve;
 pub use kmeans_streaming as streaming;
@@ -104,6 +106,7 @@ pub mod prelude {
         write_block_file, BlockFileSource, BlockFileWriter, ChunkedSource, CsvSource, Dataset,
         InMemorySource, PointMatrix, Residency,
     };
+    pub use kmeans_obs::{FakeClock, HistogramSummary, LatencyHistogram, MonotonicClock, Recorder};
     pub use kmeans_par::{Executor, Parallelism};
     pub use kmeans_serve::{ServeClient, ServeEngine, TcpServeServer};
     pub use kmeans_streaming::partition::{partition_init, PartitionConfig};

@@ -1,0 +1,192 @@
+//! Property tests for the observability layer (`kmeans-obs`): the log2
+//! latency histogram's quantiles pinned against a brute-force
+//! sort-the-samples oracle, Chrome trace JSON surviving adversarial
+//! strings through a write→parse round trip, and span streams being a
+//! pure function of the clock script under a [`FakeClock`].
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scalable_kmeans::obs::{
+    arg_f64, arg_str, arg_u64, parse_chrome_trace, write_chrome_trace, FakeClock, LatencyHistogram,
+    Recorder, SpanEvent,
+};
+
+/// The oracle twin of the histogram's bucket geometry: the largest value
+/// sharing a log2 bucket with `v` (0 and 1 share bucket 0).
+fn oracle_bucket_upper(v: u64) -> u64 {
+    if v <= 1 {
+        1
+    } else {
+        let i = 63 - v.leading_zeros() as usize;
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+}
+
+/// What `quantile(q)` must return, derived from the sorted samples
+/// alone: the bucket upper bound of the nearest-rank sample, clamped to
+/// the observed maximum.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let sample = sorted[rank as usize - 1];
+    oracle_bucket_upper(sample).min(*sorted.last().unwrap())
+}
+
+/// Spreads raw `u64`s across every scale (shifting by a value-derived
+/// amount), so the buckets from 0 to 63 all see traffic.
+fn mixed_scale(raw: Vec<u64>) -> Vec<u64> {
+    raw.into_iter().map(|v| v >> (v % 64)).collect()
+}
+
+/// A short adversarial string off a palette of JSON-hostile characters.
+fn hostile_string(codes: &[u64]) -> String {
+    const PALETTE: &[char] = &[
+        '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '/', ' ', 'a', 'z', '0', 'φ', '≈', '😀',
+        '{', '}', '[', ']', ',', ':',
+    ];
+    codes
+        .iter()
+        .map(|&c| PALETTE[c as usize % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_quantiles_match_the_sort_oracle(
+        raw in vec(any::<u64>(), 1..200),
+    ) {
+        let samples = mixed_scale(raw);
+        let mut hist = LatencyHistogram::new();
+        let mut sorted = samples.clone();
+        for &s in &samples {
+            hist.record(s);
+        }
+        sorted.sort_unstable();
+
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.max(), *sorted.last().unwrap());
+        prop_assert_eq!(hist.min(), Some(sorted[0]));
+        let exact_sum = samples.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        prop_assert_eq!(hist.sum(), exact_sum);
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let got = hist.quantile(q);
+            let want = oracle_quantile(&sorted, q);
+            prop_assert_eq!(
+                got, want,
+                "q={} over {} samples: histogram {} vs oracle {}",
+                q, sorted.len(), got, want
+            );
+            // Never below the true ranked sample, never above the max.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            prop_assert!(got >= sorted[rank - 1]);
+            prop_assert!(got <= hist.max());
+        }
+        let summary = hist.summary();
+        prop_assert_eq!(summary.p50_ns, hist.quantile(0.5));
+        prop_assert_eq!(summary.p99_ns, hist.quantile(0.99));
+        prop_assert_eq!(summary.p999_ns, hist.quantile(0.999));
+        prop_assert_eq!(summary.max_ns, hist.max());
+    }
+
+    #[test]
+    fn merged_histograms_equal_the_concatenated_histogram(
+        raw_a in vec(any::<u64>(), 0..80),
+        raw_b in vec(any::<u64>(), 1..80),
+    ) {
+        let (a, b) = (mixed_scale(raw_a), mixed_scale(raw_b));
+        let mut merged = LatencyHistogram::new();
+        let mut other = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for &s in &a {
+            merged.record(s);
+            whole.record(s);
+        }
+        for &s in &b {
+            other.record(s);
+            whole.record(s);
+        }
+        merged.merge(&other);
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.summary(), whole.summary());
+    }
+
+    #[test]
+    fn trace_documents_round_trip_for_adversarial_strings(
+        name_codes in vec(any::<u64>(), 0..12),
+        cat_codes in vec(any::<u64>(), 0..6),
+        arg_codes in vec(any::<u64>(), 0..10),
+        start_ns in 0u64..(1 << 50),
+        dur_ns in 0u64..(1 << 40),
+        count in any::<u64>(),
+        measure in -1e6f64..1e6,
+    ) {
+        // Keep the float non-integral so the parser's "non-negative
+        // integer numbers become U64" rule cannot legitimately retype it.
+        let measure = if measure.fract() == 0.0 { measure + 0.5 } else { measure };
+        let events = vec![
+            SpanEvent {
+                name: hostile_string(&name_codes),
+                cat: hostile_string(&cat_codes),
+                start_ns,
+                dur_ns,
+                args: vec![
+                    arg_u64("count", count),
+                    arg_f64("measure", measure),
+                    arg_str(&hostile_string(&arg_codes), &hostile_string(&name_codes)),
+                ],
+            },
+            // A zero-duration instant rides along in every case.
+            SpanEvent {
+                name: hostile_string(&arg_codes),
+                cat: "cluster".into(),
+                start_ns: start_ns.saturating_add(dur_ns),
+                dur_ns: 0,
+                args: vec![arg_str("addr", "127.0.0.1:0")],
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).expect("trace writer emitted invalid UTF-8");
+        let parsed = parse_chrome_trace(&text)
+            .unwrap_or_else(|e| panic!("unparseable trace: {e}\n{text}"));
+        prop_assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn fake_clock_spans_are_a_pure_function_of_the_script(
+        script in vec(0u64..1_000_000, 1..20),
+        start in 0u64..(1 << 40),
+    ) {
+        let run = |script: &[u64]| -> Vec<SpanEvent> {
+            let clock = FakeClock::new(start);
+            let recorder = Recorder::with_clock(clock.clone());
+            for (i, &step) in script.iter().enumerate() {
+                let span = recorder.start();
+                clock.advance(step);
+                recorder.span(span, &format!("step{i}"), "test", || {
+                    vec![arg_u64("step", step)]
+                });
+                recorder.add("steps", 1);
+            }
+            recorder.events()
+        };
+        let first = run(&script);
+        let second = run(&script);
+        prop_assert_eq!(&first, &second);
+
+        // The scripted durations come back exactly; spans tile the clock.
+        let mut expected_start = start;
+        for (ev, &step) in first.iter().zip(&script) {
+            prop_assert_eq!(ev.start_ns, expected_start);
+            prop_assert_eq!(ev.dur_ns, step);
+            expected_start += step;
+        }
+    }
+}
