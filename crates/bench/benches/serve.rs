@@ -10,12 +10,14 @@
 //! and the request budget for CI smoke runs.
 
 use kmeans_bench::bench_json::{write_merged_serve, ServeRecord};
+use kmeans_cluster::ClusterError;
 use kmeans_core::model::KMeans;
+use kmeans_core::KMeansError;
 use kmeans_data::synth::GaussMixture;
 use kmeans_data::PointMatrix;
 use kmeans_obs::percentile_nearest_rank;
 use kmeans_par::{Executor, Parallelism};
-use kmeans_serve::{spawn_tcp_serve, ServeClient, ServeEngine};
+use kmeans_serve::{spawn_tcp_serve, EngineConfig, ServeClient, ServeEngine};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -31,16 +33,24 @@ fn slice_rows(points: &PointMatrix, start: usize, rows: usize) -> PointMatrix {
     .unwrap()
 }
 
+/// Whether a served error is an admission-control shed (the overload
+/// configuration expects these; anything else is a real failure).
+fn is_shed(err: &ClusterError) -> bool {
+    matches!(err, ClusterError::KMeans(KMeansError::Data(msg)) if msg.contains("overloaded"))
+}
+
 /// One load-generator configuration: `clients` connections, each issuing
 /// `requests_per_client` predicts of `batch` points. Returns per-request
-/// latencies and the measured wall time.
+/// latencies of *accepted* requests, the shed count, and the measured
+/// wall time. Outside the overload configuration the shed count is 0
+/// (the queue cap far exceeds the offered in-flight load).
 fn run_load(
     addr: &str,
     data: &PointMatrix,
     batch: usize,
     clients: usize,
     requests_per_client: usize,
-) -> (Vec<u128>, Duration) {
+) -> (Vec<u128>, u64, Duration) {
     let started = Instant::now();
     let mut workers = Vec::new();
     for c in 0..clients {
@@ -53,20 +63,29 @@ fn run_load(
         workers.push(std::thread::spawn(move || {
             let mut client = ServeClient::connect(&addr, Some(Duration::from_secs(60))).unwrap();
             let mut latencies = Vec::with_capacity(queries.len());
+            let mut shed = 0u64;
             for query in &queries {
                 let sent = Instant::now();
-                let prediction = client.predict(query).unwrap();
-                latencies.push(sent.elapsed().as_nanos());
-                assert_eq!(prediction.labels.len(), query.len());
+                match client.predict(query) {
+                    Ok(prediction) => {
+                        latencies.push(sent.elapsed().as_nanos());
+                        assert_eq!(prediction.labels.len(), query.len());
+                    }
+                    Err(e) if is_shed(&e) => shed += 1,
+                    Err(e) => panic!("load client failed non-shed: {e}"),
+                }
             }
-            latencies
+            (latencies, shed)
         }));
     }
     let mut all = Vec::with_capacity(clients * requests_per_client);
+    let mut shed_total = 0u64;
     for w in workers {
-        all.extend(w.join().expect("load client panicked"));
+        let (latencies, shed) = w.join().expect("load client panicked");
+        all.extend(latencies);
+        shed_total += shed;
     }
-    (all, started.elapsed())
+    (all, shed_total, started.elapsed())
 }
 
 fn main() {
@@ -116,7 +135,9 @@ fn main() {
     for &(batch, clients) in grid {
         // Warm up connections/kernel, then measure.
         let _ = run_load(&addr, &points, batch, clients, requests_per_client / 10 + 1);
-        let (mut latencies, wall) = run_load(&addr, &points, batch, clients, requests_per_client);
+        let (mut latencies, shed, wall) =
+            run_load(&addr, &points, batch, clients, requests_per_client);
+        assert_eq!(shed, 0, "default queue cap shed under the bench grid");
         latencies.sort_unstable();
         let requests = latencies.len() as u64;
         let secs = wall.as_secs_f64().max(1e-9);
@@ -132,6 +153,8 @@ fn main() {
             p99_ns: percentile_nearest_rank(&latencies, 0.99),
             qps: (requests as f64 / secs) as u64,
             points_per_sec: (requests as f64 * batch as f64 / secs) as u64,
+            shed_requests: 0,
+            shed_rate: 0.0,
         };
         println!(
             "{}: p50 {} ns, p99 {} ns, {} req/s, {} points/s",
@@ -139,6 +162,73 @@ fn main() {
         );
         records.push(record);
     }
+
+    ServeClient::connect(&addr, Some(Duration::from_secs(60)))
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join().unwrap().unwrap();
+
+    // Overload row: a queue cap of one request's worth of points under
+    // many hammering clients — admission control must shed the excess
+    // *typed* while the accepted requests keep bounded tails (this is
+    // the row that shows overload degrades throughput, not latency).
+    let (over_batch, over_clients) = if quick { (256, 4) } else { (256, 8) };
+    let engine = ServeEngine::with_config(
+        model.to_record(),
+        Executor::new(Parallelism::Threads(2)),
+        EngineConfig {
+            queue_cap: over_batch,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine from a fitted model");
+    let (addr, handle) = spawn_tcp_serve(engine, Some(Duration::from_secs(60))).unwrap();
+    let addr = addr.to_string();
+    let _ = run_load(
+        &addr,
+        &points,
+        over_batch,
+        over_clients,
+        requests_per_client / 10 + 1,
+    );
+    let (mut latencies, shed, wall) = run_load(
+        &addr,
+        &points,
+        over_batch,
+        over_clients,
+        requests_per_client,
+    );
+    latencies.sort_unstable();
+    let answered = latencies.len() as u64;
+    let offered = answered + shed;
+    let secs = wall.as_secs_f64().max(1e-9);
+    let record = ServeRecord {
+        id: format!("serve/tcp/overload_b{over_batch}_c{over_clients}"),
+        transport: "tcp".into(),
+        batch: over_batch,
+        clients: over_clients,
+        requests: answered,
+        d: dim,
+        k: K,
+        p50_ns: percentile_nearest_rank(&latencies, 0.50),
+        p99_ns: percentile_nearest_rank(&latencies, 0.99),
+        qps: (answered as f64 / secs) as u64,
+        points_per_sec: (answered as f64 * over_batch as f64 / secs) as u64,
+        shed_requests: shed,
+        shed_rate: shed as f64 / offered.max(1) as f64,
+    };
+    println!(
+        "{}: p50 {} ns, p99 {} ns, {} req/s, shed {}/{} ({:.1}%)",
+        record.id,
+        record.p50_ns,
+        record.p99_ns,
+        record.qps,
+        shed,
+        offered,
+        100.0 * record.shed_rate,
+    );
+    records.push(record);
 
     ServeClient::connect(&addr, Some(Duration::from_secs(60)))
         .unwrap()

@@ -137,6 +137,12 @@ pub struct ServeRecord {
     pub qps: u64,
     /// Points assigned per second over the measured window.
     pub points_per_sec: u64,
+    /// Requests shed by admission control during the window (0 for an
+    /// un-overloaded configuration). Latency quantiles cover *accepted*
+    /// requests only — shedding is what keeps them bounded.
+    pub shed_requests: u64,
+    /// Shed fraction of the offered load (`shed / (shed + answered)`).
+    pub shed_rate: f64,
 }
 
 impl ServeRecord {
@@ -144,7 +150,7 @@ impl ServeRecord {
         format!(
             "  {{\"id\": \"{}\", \"transport\": \"{}\", \"batch\": {}, \"clients\": {}, \
              \"requests\": {}, \"d\": {}, \"k\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
-             \"qps\": {}, \"points_per_sec\": {}}}",
+             \"qps\": {}, \"points_per_sec\": {}, \"shed_requests\": {}, \"shed_rate\": {:.4}}}",
             escape_free(&self.id),
             escape_free(&self.transport),
             self.batch,
@@ -156,6 +162,8 @@ impl ServeRecord {
             self.p99_ns,
             self.qps,
             self.points_per_sec,
+            self.shed_requests,
+            self.shed_rate,
         )
     }
 }

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use kmeans_cluster::RetryPolicy;
 use kmeans_core::init::KMeansParallelConfig;
 use kmeans_core::lloyd::LloydConfig;
 use kmeans_core::metrics::{adjusted_rand_index, nmi, purity, silhouette_sampled};
@@ -41,7 +42,10 @@ use kmeans_data::synth::{GaussMixture, KddLike, SpamLike};
 use kmeans_data::{Dataset, PointMatrix};
 use kmeans_obs::{parse_chrome_trace, write_chrome_trace, ArgValue, Recorder, SpanEvent};
 use kmeans_par::Parallelism;
-use kmeans_serve::{ServeClient, ServeEngine, TcpServeServer, DEFAULT_MAX_BATCH_POINTS};
+use kmeans_serve::{
+    EngineConfig, ServeClient, ServeEngine, TcpServeServer, DEFAULT_MAX_BATCH_POINTS,
+    DEFAULT_QUEUE_CAP_POINTS,
+};
 use kmeans_streaming::partition::PartitionConfig;
 use kmeans_util::cli::Args;
 use std::fmt;
@@ -110,6 +114,7 @@ pub fn dispatch(command: &str, args: &Args, out: &mut dyn Write) -> Result<(), C
         "shard" => shard(args, out),
         "worker" => worker(args, out),
         "serve" => serve(args, out),
+        "drain" => drain(args, out),
         "predict" => predict(args, out),
         "evaluate" => evaluate(args, out),
         "trace" => trace(args, out),
@@ -154,11 +159,15 @@ USAGE:
                [--io-timeout SECS] [--once]
                [--log]                          (structured per-frame event log on stderr)
   skm serve    --listen ADDR --model model.skmm [--threads T] [--batch-cap POINTS]
+               [--queue-cap POINTS]             (admission cap; excess load is shed typed)
                [--io-timeout SECS] [--once]
-               [--metrics-listen ADDR]          (plain-HTTP GET /metrics, Prometheus text)
-  skm predict  --input FILE (--centers FILE | --server ADDR) --out FILE
-  skm evaluate --input FILE (--centers FILE | --server ADDR) [--labels]
-               [--silhouette-sample N]
+               [--metrics-listen ADDR]          (plain-HTTP GET /metrics + /healthz + /readyz)
+               [--metrics-timeout SECS]         (per-scrape socket timeout, default 5)
+  skm drain    --server ADDR [--io-timeout SECS]  (graceful drain: finish admitted work, exit)
+  skm predict  --input FILE (--centers FILE | --server A[,B,...]) --out FILE
+               [--deadline-ms MS] [--chunk-points N] [--retries N]
+  skm evaluate --input FILE (--centers FILE | --server A[,B,...]) [--labels]
+               [--deadline-ms MS] [--retries N] [--silhouette-sample N]
   skm trace    summarize FILE                   (per-span breakdown of a --trace capture)
   skm help
 
@@ -193,6 +202,18 @@ into shared kernel sweeps; models hot-swap without downtime), and
 `--server ADDR` routes `skm predict` / `skm evaluate` to a running
 server — answers are bit-identical to the local path on the same model.
 `--centers` also accepts a model file directly (detected by magic).
+
+Serving robustness: `--queue-cap` bounds admitted-but-unanswered points;
+excess requests are shed immediately with a typed overload error (never
+queued into collapse), and `--deadline-ms` attaches a budget so a
+request still queued past it draws a typed deadline error instead of a
+stale answer. `--server` accepts a comma-separated replica list: the
+client fails over on disconnect/drain/overload with bounded jittered
+backoff and re-sends (predict is idempotent), and `--chunk-points`
+(default: the server's batch cap) streams large predict inputs as
+bounded chunks with byte-identical concatenated labels. `skm drain`
+rolls a server out gracefully: admitted work is answered, new requests
+are rejected typed, /readyz flips to 503, and the process exits.
 
 Observability: `skm fit --trace FILE` records every round, pipeline
 stage, and coordinator conversation as Chrome trace-event JSON (open in
@@ -871,13 +892,6 @@ fn frame_log_line(ev: &SpanEvent) -> String {
 fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let listen = require(args, "listen")?;
     let model_path = require(args, "model")?;
-    if !is_model_file(&model_path) {
-        return Err(CliError::Usage(format!(
-            "'{model_path}' is not an SKMMDL01 model file; save one with \
-             `skm fit --save-model`"
-        )));
-    }
-    let record = load_model_file(&model_path)?;
     let batch_cap = match args.usize_or("batch-cap", 0) {
         0 if args.str_or("batch-cap", "").is_empty() => DEFAULT_MAX_BATCH_POINTS,
         0 => {
@@ -887,10 +901,30 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
         c => c,
     };
-    let engine = ServeEngine::with_batch_cap(
+    let queue_cap = match args.usize_or("queue-cap", 0) {
+        0 if args.str_or("queue-cap", "").is_empty() => DEFAULT_QUEUE_CAP_POINTS,
+        0 => {
+            return Err(CliError::Usage(format!(
+                "--queue-cap must be at least 1 (omit for the {DEFAULT_QUEUE_CAP_POINTS} default)"
+            )))
+        }
+        c => c,
+    };
+    if !is_model_file(&model_path) {
+        return Err(CliError::Usage(format!(
+            "'{model_path}' is not an SKMMDL01 model file; save one with \
+             `skm fit --save-model`"
+        )));
+    }
+    let record = load_model_file(&model_path)?;
+    let engine = ServeEngine::with_config(
         record,
         kmeans_par::Executor::new(parallelism(args)),
-        batch_cap,
+        EngineConfig {
+            batch_cap,
+            queue_cap,
+            ..EngineConfig::default()
+        },
     )?;
     let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 600).max(1));
     let once = args.flag("once");
@@ -914,7 +948,9 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let metrics_handle = if metrics_arg.is_empty() {
         None
     } else {
-        let metrics = kmeans_serve::MetricsServer::bind(&metrics_arg)?;
+        let scrape_timeout =
+            std::time::Duration::from_secs(args.u64_or("metrics-timeout", 5).max(1));
+        let metrics = kmeans_serve::MetricsServer::bind_with_timeout(&metrics_arg, scrape_timeout)?;
         writeln!(out, "metrics on http://{}/metrics", metrics.local_addr()?)?;
         Some(metrics.spawn(engine.clone()))
     };
@@ -928,7 +964,9 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         match handle.join() {
             Ok(result) => result?,
             Err(_) => {
-                return Err(CliError::Io(std::io::Error::other("metrics endpoint thread panicked")))
+                return Err(CliError::Io(std::io::Error::other(
+                    "metrics endpoint thread panicked",
+                )))
             }
         }
     }
@@ -947,7 +985,10 @@ fn load_centers(path: &str) -> Result<PointMatrix, CliError> {
 }
 
 /// `--server` for predict/evaluate: reject `--centers` (the server owns
-/// the model) and dial the endpoint.
+/// the model) and dial the endpoint. A comma-separated `addr` is a
+/// replica set: the client dials the first reachable one and
+/// transparently fails over on disconnect/drain/overload under a
+/// bounded, jittered exponential backoff (`--retries` attempts).
 fn connect_server(args: &Args, addr: &str) -> Result<ServeClient, CliError> {
     if !args.str_or("centers", "").is_empty() {
         return Err(CliError::Usage(
@@ -955,7 +996,57 @@ fn connect_server(args: &Args, addr: &str) -> Result<ServeClient, CliError> {
         ));
     }
     let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 60).max(1));
-    Ok(ServeClient::connect(addr, Some(timeout))?)
+    let replicas: Vec<String> = addr
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut client = match replicas.as_slice() {
+        [] => {
+            return Err(CliError::Usage(
+                "--server needs at least one address".into(),
+            ))
+        }
+        [single] => ServeClient::connect(single, Some(timeout))?,
+        many => {
+            let retries = args.u64_or("retries", 5).max(1) as u32;
+            let policy = RetryPolicy::exponential(
+                retries,
+                std::time::Duration::from_millis(100),
+                std::time::Duration::from_secs(2),
+            );
+            ServeClient::connect_any(many, Some(timeout), policy)?
+        }
+    };
+    let deadline = args.u64_or("deadline-ms", 0);
+    if deadline > 0 {
+        client.set_deadline(Some(deadline));
+    }
+    Ok(client)
+}
+
+/// `skm drain`: begin a graceful drain of one running `skm serve`
+/// process — it stops admitting work, answers everything already
+/// admitted, and exits. The rolling-restart primitive: drain, wait for
+/// exit, start the replacement.
+fn drain(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let server = require(args, "server")?;
+    if server.contains(',') {
+        return Err(CliError::Usage(
+            "skm drain targets exactly one server (no replica lists): \
+             draining is per-process"
+                .into(),
+        ));
+    }
+    let timeout = std::time::Duration::from_secs(args.u64_or("io-timeout", 60).max(1));
+    let mut client = ServeClient::connect(&server, Some(timeout))?;
+    let owed = client.drain()?;
+    writeln!(
+        out,
+        "draining {server}: {owed} admitted points still owed; \
+         the server exits once they are answered"
+    )?;
+    Ok(())
 }
 
 /// `skm convert`: stream a CSV into the binary block format (never
@@ -990,7 +1081,19 @@ fn predict(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let server = args.str_or("server", "");
     if !server.is_empty() {
         let mut client = connect_server(args, &server)?;
-        let prediction = client.predict(data.points())?;
+        // Stream large inputs as bounded chunks so no single request
+        // exceeds the server's batch cap; the concatenated labels are
+        // byte-identical to one unchunked predict. Default chunk size is
+        // the cap the server advertised (0 = an older server; send whole).
+        let chunk = match args.usize_or("chunk-points", 0) {
+            0 => client.info().batch_cap as usize,
+            c => c,
+        };
+        let prediction = if chunk > 0 {
+            client.predict_chunked(data.points(), chunk)?
+        } else {
+            client.predict(data.points())?
+        };
         write_labels(&out_path, &prediction.labels)?;
         writeln!(
             out,
@@ -1689,6 +1792,13 @@ mod tests {
             "--trace",
             "--metrics-listen",
             "--log",
+            "skm drain",
+            "--queue-cap",
+            "--deadline-ms",
+            "--chunk-points",
+            "--retries",
+            "--metrics-timeout",
+            "/readyz",
         ] {
             assert!(out.contains(value), "usage() missing '{value}': {out}");
         }
@@ -1897,6 +2007,96 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Cluster(_)), "{err}");
+        // --queue-cap 0 is a usage error, not a wedged server.
+        let err = run(
+            "serve",
+            &args("--listen 127.0.0.1:0 --model /tmp/nope.skmm --queue-cap 0"),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--queue-cap"), "{err}");
+        // drain is per-process: no replica lists, and --server is required.
+        let err = run("drain", &args("--server a:1,b:2")).unwrap_err();
+        assert!(err.to_string().contains("exactly one server"), "{err}");
+        let err = run("drain", &args("")).unwrap_err();
+        assert!(err.to_string().contains("--server"), "{err}");
+    }
+
+    #[test]
+    fn rolling_drain_across_replicas_keeps_served_answers_identical() {
+        let data = tmp("roll.csv");
+        let model = tmp("roll_model.skmm");
+        run(
+            "generate",
+            &args(&format!(
+                "--dataset gauss --k 3 --n 120 --variance 80 --seed 13 --out {data} --no-labels"
+            )),
+        )
+        .unwrap();
+        run(
+            "fit",
+            &args(&format!(
+                "--input {data} --k 3 --seed 6 --centers-out /dev/null --save-model {model}"
+            )),
+        )
+        .unwrap();
+        let local = tmp("roll_local.txt");
+        run(
+            "predict",
+            &args(&format!("--input {data} --centers {model} --out {local}")),
+        )
+        .unwrap();
+        let expected = std::fs::read_to_string(&local).unwrap();
+
+        // Two replicas of the same model.
+        let io = Some(std::time::Duration::from_secs(30));
+        let record = load_model_file(&model).unwrap();
+        let spawn = || {
+            let engine = ServeEngine::new(
+                record.clone(),
+                kmeans_par::Executor::new(Parallelism::Sequential),
+            )
+            .unwrap();
+            kmeans_serve::spawn_tcp_serve(engine, io).unwrap()
+        };
+        let (addr1, handle1) = spawn();
+        let (addr2, handle2) = spawn();
+        let replicas = format!("{addr1},{addr2}");
+
+        // Chunked served predict against the replica set (with a deadline
+        // budget attached) matches the local labels byte-for-byte.
+        let served = tmp("roll_served.txt");
+        run(
+            "predict",
+            &args(&format!(
+                "--input {data} --server {replicas} --out {served} \
+                 --chunk-points 7 --deadline-ms 60000"
+            )),
+        )
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&served).unwrap(), expected);
+
+        // Roll replica 1 out: drain it, wait for its process to exit.
+        let out = run("drain", &args(&format!("--server {addr1}"))).unwrap();
+        assert!(out.contains("draining"), "{out}");
+        handle1.join().unwrap().unwrap();
+
+        // The replica list still serves identical answers — the client
+        // fails over to replica 2 without a user-visible error.
+        let failed_over = tmp("roll_failover.txt");
+        run(
+            "predict",
+            &args(&format!(
+                "--input {data} --server {replicas} --out {failed_over}"
+            )),
+        )
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&failed_over).unwrap(), expected);
+
+        ServeClient::connect(&addr2.to_string(), io)
+            .unwrap()
+            .shutdown()
+            .unwrap();
+        handle2.join().unwrap().unwrap();
     }
 
     #[test]

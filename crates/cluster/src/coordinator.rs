@@ -70,27 +70,7 @@ fn roundtrip(w: &mut WorkerConn, msg: &Message) -> Result<Message, ClusterError>
     w.transport.recv()
 }
 
-/// Bounded retry/backoff schedule shared by the connect path
-/// ([`Cluster::connect_with_retry`]) and mid-round worker recovery.
-#[derive(Clone, Copy, Debug)]
-pub struct RetryPolicy {
-    /// Maximum attempts before giving up (at least 1 is always made).
-    pub attempts: u32,
-    /// Sleep between attempts (and before the first recovery attempt,
-    /// giving a restarted worker time to bind).
-    pub backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    /// 25 attempts × 200 ms ≈ a 5-second window for a replacement worker
-    /// to appear.
-    fn default() -> Self {
-        RetryPolicy {
-            attempts: 25,
-            backoff: Duration::from_millis(200),
-        }
-    }
-}
+pub use crate::retry::RetryPolicy;
 
 /// Produces a replacement transport for a worker slot (by index). The
 /// returned transport must be a fresh worker session about to send its
@@ -243,7 +223,7 @@ impl Cluster {
                 Err(ClusterError::Disconnected);
             for attempt in 0..attempts {
                 if attempt > 0 {
-                    std::thread::sleep(policy.backoff);
+                    std::thread::sleep(policy.delay_for(attempt));
                 }
                 dialed = Self::dial(addr, io_timeout);
                 if dialed.is_ok() {
@@ -396,7 +376,7 @@ impl Cluster {
         let attempts = policy.attempts.max(1);
         let mut last = trigger;
         for attempt in 0..attempts {
-            std::thread::sleep(policy.backoff);
+            std::thread::sleep(policy.delay_for(attempt + 1));
             self.recorder.instant("recover:redial", CLUSTER_CAT, || {
                 vec![
                     arg_u64("worker", slot as u64),

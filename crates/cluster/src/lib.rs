@@ -60,13 +60,14 @@ pub mod error;
 pub mod fault;
 pub mod fit;
 pub mod protocol;
+pub mod retry;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
 pub use backend::ClusterBackend;
 pub use checkpoint::{CheckpointingBackend, RoundCheckpoint};
-pub use coordinator::{Cluster, RetryPolicy, WorkerSummary};
+pub use coordinator::{Cluster, WorkerSummary};
 pub use error::ClusterError;
 pub use fault::{
     spawn_loopback_worker_with_faults, spawn_tcp_worker_with_faults, FaultAction, FaultTransport,
@@ -74,6 +75,7 @@ pub use fault::{
 };
 pub use fit::{DistInit, DistRefine, FitDistributed};
 pub use protocol::{FrameError, Message, WorkerStats};
+pub use retry::RetryPolicy;
 pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport};
 pub use wire::{ReadFrameError, WireMessage};
 pub use worker::{spawn_loopback_worker, spawn_tcp_worker, TcpWorkerServer, Worker};

@@ -72,6 +72,25 @@ pub enum WireError {
     },
     /// [`KMeansError::Data`].
     Data(String),
+    /// The serving tier's admission queue is full: the request was shed
+    /// *before* touching the kernel. Retriable — another replica (or the
+    /// same one, moments later) may have room.
+    Overloaded {
+        /// Points admitted but not yet answered when the request arrived.
+        queued_points: u64,
+        /// The server's admission cap (`--queue-cap`), in points.
+        cap: u64,
+    },
+    /// The request's deadline budget expired while it waited in the
+    /// admission queue; the server skipped the kernel sweep whose answer
+    /// the client had already abandoned.
+    DeadlineExceeded {
+        /// The budget the request carried, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The server is draining: already-admitted work completes and
+    /// replies, new work is rejected. Retriable against another replica.
+    Draining,
 }
 
 impl From<KMeansError> for WireError {
@@ -114,6 +133,20 @@ impl From<WireError> for KMeansError {
                 dim: dim as usize,
             },
             WireError::Data(m) => KMeansError::Data(m),
+            // The serving tier's typed rejections have no local
+            // counterpart (a local predict is never shed); they collapse
+            // into the catch-all with the queue state preserved in text.
+            WireError::Overloaded { queued_points, cap } => KMeansError::Data(format!(
+                "server overloaded: {queued_points} points queued (admission cap {cap}); \
+                 request shed"
+            )),
+            WireError::DeadlineExceeded { budget_ms } => KMeansError::Data(format!(
+                "deadline exceeded: the {budget_ms} ms budget expired before the request \
+                 was batched"
+            )),
+            WireError::Draining => {
+                KMeansError::Data("server draining: new requests are rejected".into())
+            }
         }
     }
 }
@@ -486,6 +519,16 @@ impl WireMessage for Message {
                     e.u8(6);
                     e.text(m);
                 }
+                WireError::Overloaded { queued_points, cap } => {
+                    e.u8(7);
+                    e.u64(*queued_points);
+                    e.u64(*cap);
+                }
+                WireError::DeadlineExceeded { budget_ms } => {
+                    e.u8(8);
+                    e.u64(*budget_ms);
+                }
+                WireError::Draining => e.u8(9),
             },
         }
         e.into_bytes()
@@ -600,6 +643,14 @@ impl WireMessage for Message {
                         dim: d.u64()?,
                     },
                     6 => WireError::Data(d.text()?),
+                    7 => WireError::Overloaded {
+                        queued_points: d.u64()?,
+                        cap: d.u64()?,
+                    },
+                    8 => WireError::DeadlineExceeded {
+                        budget_ms: d.u64()?,
+                    },
+                    9 => WireError::Draining,
                     _ => return Err(FrameError::Malformed("unknown error kind")),
                 };
                 Message::Error(err)

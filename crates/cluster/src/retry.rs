@@ -1,0 +1,167 @@
+//! Bounded retry/backoff schedules — the shared home of [`RetryPolicy`].
+//!
+//! One policy shape serves every reconnection path in the workspace: the
+//! coordinator's worker re-dial and mid-round recovery
+//! ([`crate::coordinator::Cluster`]) and the serving tier's client
+//! failover across a replica set (`kmeans_serve::ServeClient`). The
+//! schedule is a pure function of the attempt number — deterministic for
+//! a given policy, so chaos tests that count sleeps stay reproducible —
+//! and covers both the cluster's historical fixed-interval shape and the
+//! exponential, jittered shape a fleet of failing-over clients needs (all
+//! clients of a dying replica re-dial at *decorrelated* times instead of
+//! stampeding the next one in lockstep).
+
+use std::time::Duration;
+
+/// Bounded retry/backoff schedule. `attempts` bounds how many times an
+/// operation is retried; [`RetryPolicy::delay_for`] maps the 1-based
+/// attempt number to the sleep that precedes it.
+///
+/// With `multiplier == 1.0` and `jitter == 0.0` (the [`Default`], and
+/// [`RetryPolicy::fixed`]) this is the classic fixed-interval schedule
+/// the distributed runtime has always used. [`RetryPolicy::exponential`]
+/// doubles the delay each attempt up to `max_backoff` and subtracts a
+/// deterministic pseudo-random jitter fraction.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts before giving up (at least 1 is always made).
+    pub attempts: u32,
+    /// Base sleep between attempts (and before the first recovery
+    /// attempt, giving a restarted peer time to bind).
+    pub backoff: Duration,
+    /// Per-attempt growth factor (1.0 = fixed interval).
+    pub multiplier: f64,
+    /// Ceiling on the grown delay.
+    pub max_backoff: Duration,
+    /// Fraction of the delay randomized away (0.0 = none, 0.5 = each
+    /// delay lands in `[delay/2, delay]`). The jitter is a deterministic
+    /// hash of `(jitter_seed, attempt)`, so a given policy always
+    /// produces the same schedule — tests stay reproducible while
+    /// distinct clients (distinct seeds) decorrelate.
+    pub jitter: f64,
+    /// Seed decorrelating jitter streams across policy instances.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 25 attempts × 200 ms fixed ≈ a 5-second window for a replacement
+    /// worker to appear — the distributed runtime's historical schedule.
+    fn default() -> Self {
+        RetryPolicy::fixed(25, Duration::from_millis(200))
+    }
+}
+
+/// SplitMix64 — the deterministic jitter hash (public-domain constant
+/// schedule; one round is plenty for decorrelating sleep times).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Fixed-interval schedule: `attempts` tries, `backoff` between each.
+    pub fn fixed(attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            attempts,
+            backoff,
+            multiplier: 1.0,
+            max_backoff: backoff,
+            jitter: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Exponential schedule: the delay before attempt `n` is
+    /// `base · 2^(n-1)` clamped to `max`, with half the delay jittered
+    /// away deterministically. The failover-client default shape.
+    pub fn exponential(attempts: u32, base: Duration, max: Duration) -> Self {
+        RetryPolicy {
+            attempts,
+            backoff: base,
+            multiplier: 2.0,
+            max_backoff: max,
+            jitter: 0.5,
+            jitter_seed: 1,
+        }
+    }
+
+    /// Returns a copy with a different jitter seed — distinct clients
+    /// should use distinct seeds so their retry storms decorrelate.
+    pub fn jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The sleep preceding the `attempt`-th try (1-based; attempt 0 is
+    /// treated as 1). Pure: same policy + attempt → same duration.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let attempt = attempt.max(1);
+        let base = self.backoff.as_secs_f64();
+        let mult = if self.multiplier.is_finite() && self.multiplier >= 1.0 {
+            self.multiplier
+        } else {
+            1.0
+        };
+        // Grow in f64 (cheap, saturates cleanly via the clamp below).
+        let grown = base * mult.powi((attempt - 1).min(63) as i32);
+        let capped = grown.min(self.max_backoff.as_secs_f64().max(base));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let frac = if jitter > 0.0 {
+            let h = splitmix64(self.jitter_seed ^ u64::from(attempt));
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        } else {
+            0.0
+        };
+        Duration::from_secs_f64(capped * (1.0 - jitter * frac))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_constant() {
+        let p = RetryPolicy::fixed(5, Duration::from_millis(200));
+        for attempt in 1..=5 {
+            assert_eq!(p.delay_for(attempt), Duration::from_millis(200));
+        }
+        // Attempt 0 is clamped to 1.
+        assert_eq!(p.delay_for(0), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn default_matches_the_historical_cluster_schedule() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.attempts, 25);
+        assert_eq!(p.delay_for(1), Duration::from_millis(200));
+        assert_eq!(p.delay_for(25), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn exponential_grows_caps_and_jitters_within_bounds() {
+        let p = RetryPolicy::exponential(8, Duration::from_millis(50), Duration::from_secs(1));
+        let mut prev_max = Duration::ZERO;
+        for attempt in 1..=8u32 {
+            let d = p.delay_for(attempt);
+            // Undithered envelope: base·2^(n-1) capped at max.
+            let envelope = Duration::from_secs_f64((0.05 * 2f64.powi(attempt as i32 - 1)).min(1.0));
+            assert!(d <= envelope, "attempt {attempt}: {d:?} > {envelope:?}");
+            // Jitter removes at most half.
+            assert!(
+                d.as_secs_f64() >= envelope.as_secs_f64() * 0.5 - 1e-9,
+                "attempt {attempt}: {d:?} below jitter floor"
+            );
+            prev_max = prev_max.max(d);
+        }
+        assert!(prev_max <= Duration::from_secs(1));
+        // Deterministic: the same policy re-queried gives the same delays.
+        assert_eq!(p.delay_for(3), p.delay_for(3));
+        // Distinct seeds decorrelate (with overwhelming probability the
+        // hashed fractions differ).
+        let q = p.jitter_seed(42);
+        assert_ne!(p.delay_for(3), q.delay_for(3));
+    }
+}

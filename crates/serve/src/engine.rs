@@ -25,21 +25,85 @@
 //! clones the `Arc` once per batch, so an in-flight batch finishes on
 //! the version it started with and every reply is tagged with the
 //! revision that computed it — no request ever mixes versions.
+//!
+//! ## Admission control and overload shedding
+//!
+//! The queue in front of the batcher is bounded in *points* (the unit
+//! the kernel's work is linear in): [`EngineConfig::queue_cap`]. A
+//! request that would push the admitted-but-unanswered total past the
+//! cap is shed *synchronously* at submission with
+//! [`WireError::Overloaded`] — it never reaches the queue, never
+//! touches the kernel, and never perturbs the batching of admitted
+//! requests, so accepted replies stay bit-identical to an unloaded
+//! server. One exception keeps the engine live for any request size: a
+//! request is always admitted when the queue is empty, even if it alone
+//! exceeds the cap. The reservation is released when the reply is
+//! handed back, so `queued_points` counts work the server still owes.
+//!
+//! A request may carry a deadline budget; the batcher checks it at
+//! dequeue time and answers [`WireError::DeadlineExceeded`] instead of
+//! spending a sweep on an answer the client has already abandoned.
+//!
+//! ## Graceful drain
+//!
+//! [`ServeEngine::drain`] flips the engine into drain mode: every
+//! *new* submission is rejected with [`WireError::Draining`], while
+//! already-admitted work completes and replies normally. Drain-mode
+//! rejection double-checks after reserving queue space, so a submission
+//! racing the flag flip either lands wholly before the drain (and is
+//! honored) or is rejected with its reservation rolled back — admitted
+//! work is never lost. [`ServeEngine::is_drained`] reports when the
+//! last admitted point has been answered.
 
 use crate::protocol::ServeStats;
 use kmeans_cluster::protocol::WireError;
 use kmeans_core::{KMeansError, PreparedPredictor};
 use kmeans_data::{decode_model, ModelRecord, PointMatrix};
-use kmeans_obs::{Clock, LatencyHistogram, MonotonicClock};
+use kmeans_obs::{arg_u64, Clock, LatencyHistogram, MonotonicClock, Recorder};
 use kmeans_par::Executor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Default cap on the points gathered into one kernel batch. Draining
 /// stops at the cap, so a burst of large requests cannot starve later
 /// arrivals behind one enormous sweep.
 pub const DEFAULT_MAX_BATCH_POINTS: usize = 1 << 16;
+
+/// Default admission cap, in points: four full batches of queued work
+/// before new requests are shed.
+pub const DEFAULT_QUEUE_CAP_POINTS: usize = 4 * DEFAULT_MAX_BATCH_POINTS;
+
+/// Trace category of the engine's overload/drain instants.
+const SERVE_CAT: &str = "serve";
+
+/// Construction knobs for [`ServeEngine::with_config`].
+pub struct EngineConfig {
+    /// Cap on points gathered into one kernel batch.
+    pub batch_cap: usize,
+    /// Admission cap: the most points that may be admitted-but-unanswered
+    /// before new requests are shed ([`WireError::Overloaded`]). A
+    /// request arriving at an empty queue is always admitted.
+    pub queue_cap: usize,
+    /// Flight recorder for shed/drain/deadline instants
+    /// ([`Recorder::disabled`] by default — zero overhead).
+    pub recorder: Recorder,
+    /// Clock the engine times requests and deadlines with. Swappable so
+    /// chaos tests drive deadlines deterministically
+    /// (`kmeans_obs::FakeClock`).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            batch_cap: DEFAULT_MAX_BATCH_POINTS,
+            queue_cap: DEFAULT_QUEUE_CAP_POINTS,
+            recorder: Recorder::disabled(),
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
+}
 
 /// One installed model: the prepared kernel plus the descriptor fields
 /// served by `ModelInfo`.
@@ -91,6 +155,9 @@ pub struct AssignReply {
 struct AssignJob {
     points: PointMatrix,
     want_labels: bool,
+    /// `(absolute engine-clock ns, original budget in ms)` — checked by
+    /// the batcher at dequeue.
+    deadline: Option<(u64, u64)>,
     reply: Sender<Result<AssignReply, WireError>>,
 }
 
@@ -115,10 +182,28 @@ struct Shared {
     swaps: AtomicU64,
     distance_computations: AtomicU64,
     pruned_by_norm_bound: AtomicU64,
-    clock: MonotonicClock,
+    clock: Arc<dyn Clock>,
     request_hist: Mutex<LatencyHistogram>,
     batch_hist: Mutex<LatencyHistogram>,
     rev_base: Mutex<RevisionBase>,
+    // Admission control / drain state.
+    batch_cap: u64,
+    queue_cap: u64,
+    queued_points: AtomicU64,
+    draining: AtomicBool,
+    shed_requests: AtomicU64,
+    shed_points: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    drain_rejected: AtomicU64,
+    recorder: Recorder,
+    // Requests a session has received but whose replies are not yet
+    // flushed to the peer; drain-exit waits for these to clear so the
+    // last admitted reply reaches the socket before the process dies.
+    busy_replies: AtomicU64,
+    // Chaos-test hook: while true the batcher holds its current batch,
+    // letting tests build a full queue deterministically.
+    paused: Mutex<bool>,
+    unpaused: Condvar,
 }
 
 /// Handle to one serving engine. Cheap to clone; every session holds a
@@ -131,9 +216,9 @@ pub struct ServeEngine {
 
 impl ServeEngine {
     /// Installs `record` as revision 1 and starts the batcher thread,
-    /// with the default batch cap.
+    /// with the default configuration.
     pub fn new(record: ModelRecord, executor: Executor) -> Result<Self, KMeansError> {
-        Self::with_batch_cap(record, executor, DEFAULT_MAX_BATCH_POINTS)
+        Self::with_config(record, executor, EngineConfig::default())
     }
 
     /// Like [`ServeEngine::new`] with an explicit cap on points per
@@ -143,7 +228,25 @@ impl ServeEngine {
         executor: Executor,
         max_batch_points: usize,
     ) -> Result<Self, KMeansError> {
+        Self::with_config(
+            record,
+            executor,
+            EngineConfig {
+                batch_cap: max_batch_points,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Like [`ServeEngine::new`] with full control over batching,
+    /// admission, tracing, and the clock.
+    pub fn with_config(
+        record: ModelRecord,
+        executor: Executor,
+        config: EngineConfig,
+    ) -> Result<Self, KMeansError> {
         let version = ModelVersion::build(record, 1, &executor).map_err(KMeansError::from)?;
+        let batch_cap = config.batch_cap.max(1);
         let shared = Arc::new(Shared {
             current: RwLock::new(Arc::new(version)),
             executor,
@@ -155,14 +258,26 @@ impl ServeEngine {
             swaps: AtomicU64::new(0),
             distance_computations: AtomicU64::new(0),
             pruned_by_norm_bound: AtomicU64::new(0),
-            clock: MonotonicClock::new(),
+            clock: config.clock,
             request_hist: Mutex::new(LatencyHistogram::new()),
             batch_hist: Mutex::new(LatencyHistogram::new()),
             rev_base: Mutex::new(RevisionBase::default()),
+            batch_cap: batch_cap as u64,
+            queue_cap: config.queue_cap.max(1) as u64,
+            queued_points: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            shed_requests: AtomicU64::new(0),
+            shed_points: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            drain_rejected: AtomicU64::new(0),
+            recorder: config.recorder,
+            busy_replies: AtomicU64::new(0),
+            paused: Mutex::new(false),
+            unpaused: Condvar::new(),
         });
         let (tx, rx) = channel::<AssignJob>();
         let batcher_shared = Arc::clone(&shared);
-        std::thread::spawn(move || batcher(batcher_shared, rx, max_batch_points.max(1)));
+        std::thread::spawn(move || batcher(batcher_shared, rx, batch_cap));
         Ok(ServeEngine { shared, jobs: tx })
     }
 
@@ -176,27 +291,174 @@ impl ServeEngine {
     /// the path every session request takes. With `want_labels` false the
     /// reply's label vector is left empty (cost queries skip the payload).
     pub fn assign(&self, points: PointMatrix, want_labels: bool) -> Result<AssignReply, WireError> {
-        let t0 = self.shared.clock.now_ns();
+        self.assign_deadline(points, want_labels, None)
+    }
+
+    /// [`ServeEngine::assign`] with an optional deadline budget in
+    /// milliseconds, measured from admission: if the request is still
+    /// queued when the budget expires, the batcher answers
+    /// [`WireError::DeadlineExceeded`] without running the sweep.
+    /// Requests that would overflow the admission queue are shed here
+    /// with [`WireError::Overloaded`]; during a drain new requests get
+    /// [`WireError::Draining`].
+    pub fn assign_deadline(
+        &self,
+        points: PointMatrix,
+        want_labels: bool,
+        deadline_ms: Option<u64>,
+    ) -> Result<AssignReply, WireError> {
+        let s = &self.shared;
+        let n = points.len() as u64;
+        if s.draining.load(Ordering::SeqCst) {
+            return Err(self.reject_draining());
+        }
+        // Reserve queue space, or shed. The reservation is released when
+        // the reply is handed back (admitted-but-unanswered accounting).
+        // `queued == 0` always admits, so one request larger than the cap
+        // cannot wedge an idle server.
+        let mut queued = s.queued_points.load(Ordering::SeqCst);
+        loop {
+            if queued != 0 && queued.saturating_add(n) > s.queue_cap {
+                s.shed_requests.fetch_add(1, Ordering::Relaxed);
+                s.shed_points.fetch_add(n, Ordering::Relaxed);
+                let cap = s.queue_cap;
+                s.recorder.instant("serve:shed", SERVE_CAT, || {
+                    vec![
+                        arg_u64("queued_points", queued),
+                        arg_u64("request_points", n),
+                        arg_u64("cap", cap),
+                    ]
+                });
+                return Err(WireError::Overloaded {
+                    queued_points: queued,
+                    cap,
+                });
+            }
+            match s.queued_points.compare_exchange(
+                queued,
+                queued + n,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(actual) => queued = actual,
+            }
+        }
+        // Double-check after reserving: a drain that raced the
+        // reservation must not strand points in the queue counter (the
+        // drain watcher waits for it to reach zero).
+        if s.draining.load(Ordering::SeqCst) {
+            s.queued_points.fetch_sub(n, Ordering::SeqCst);
+            return Err(self.reject_draining());
+        }
+        let t0 = s.clock.now_ns();
+        let deadline = deadline_ms.map(|ms| (t0.saturating_add(ms.saturating_mul(1_000_000)), ms));
         let (tx, rx) = channel();
-        self.jobs
+        if self
+            .jobs
             .send(AssignJob {
                 points,
                 want_labels,
+                deadline,
                 reply: tx,
             })
-            .map_err(|_| WireError::Data("assignment engine is gone".into()))?;
-        let reply = rx
-            .recv()
-            .map_err(|_| WireError::Data("assignment engine dropped the request".into()))?;
+            .is_err()
+        {
+            s.queued_points.fetch_sub(n, Ordering::SeqCst);
+            return Err(WireError::Data("assignment engine is gone".into()));
+        }
+        let reply = match rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => {
+                // The batcher releases the reservation before every
+                // reply; a dropped reply sender means it never got there.
+                s.queued_points.fetch_sub(n, Ordering::SeqCst);
+                return Err(WireError::Data(
+                    "assignment engine dropped the request".into(),
+                ));
+            }
+        };
         // Submit → reply covers queue wait plus the batch sweep — the
         // latency a session actually observes.
-        let dur = self.shared.clock.now_ns().saturating_sub(t0);
-        self.shared
-            .request_hist
+        let dur = s.clock.now_ns().saturating_sub(t0);
+        s.request_hist
             .lock()
             .expect("request histogram lock poisoned")
             .record(dur);
         reply
+    }
+
+    fn reject_draining(&self) -> WireError {
+        self.shared.drain_rejected.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .recorder
+            .instant("serve:drain-reject", SERVE_CAT, Vec::new);
+        WireError::Draining
+    }
+
+    /// Flips the engine into drain mode (idempotent): new submissions are
+    /// rejected with [`WireError::Draining`], admitted work completes.
+    /// Returns the points admitted-but-unanswered at the flip.
+    pub fn drain(&self) -> u64 {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let queued = self.shared.queued_points.load(Ordering::SeqCst);
+        self.shared.recorder.instant("serve:drain", SERVE_CAT, || {
+            vec![arg_u64("queued_points", queued)]
+        });
+        queued
+    }
+
+    /// Whether a drain has begun (readiness should report down).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether a drain has begun *and* every admitted request has been
+    /// answered *and* every received reply has been flushed to its peer
+    /// ([`ServeEngine::reply_guard`]) — the point at which the server
+    /// process may exit without losing work.
+    pub fn is_drained(&self) -> bool {
+        self.is_draining()
+            && self.shared.queued_points.load(Ordering::SeqCst) == 0
+            && self.shared.busy_replies.load(Ordering::SeqCst) == 0
+    }
+
+    /// RAII marker a session holds from receiving a request until its
+    /// reply is flushed to the peer; [`ServeEngine::is_drained`] stays
+    /// false while any are live, so drain-exit cannot cut off a reply
+    /// that the engine has finished but the socket has not.
+    pub fn reply_guard(&self) -> ReplyGuard {
+        self.shared.busy_replies.fetch_add(1, Ordering::SeqCst);
+        ReplyGuard {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Points currently admitted but not yet answered.
+    pub fn queued_points(&self) -> u64 {
+        self.shared.queued_points.load(Ordering::SeqCst)
+    }
+
+    /// The admission cap, in points.
+    pub fn queue_cap(&self) -> u64 {
+        self.shared.queue_cap
+    }
+
+    /// The per-batch point cap — the natural chunk size for a client
+    /// streaming a large input (advertised in `ModelInfo`).
+    pub fn batch_cap(&self) -> u64 {
+        self.shared.batch_cap
+    }
+
+    /// Chaos-test hook (in the spirit of `kmeans_cluster::fault`): holds
+    /// the batcher before its next batch until the guard drops, so tests
+    /// can fill the admission queue deterministically and observe
+    /// overload/deadline behavior without timing races.
+    pub fn pause(&self) -> PauseGuard {
+        *self.shared.paused.lock().expect("pause lock poisoned") = true;
+        PauseGuard {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Decodes an `SKMMDL01` image and atomically installs it, returning
@@ -268,6 +530,13 @@ impl ServeEngine {
                 .lock()
                 .expect("batch histogram lock poisoned")
                 .summary(),
+            shed_requests: s.shed_requests.load(Ordering::Relaxed),
+            shed_points: s.shed_points.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            drain_rejected: s.drain_rejected.load(Ordering::Relaxed),
+            queued_points: s.queued_points.load(Ordering::SeqCst),
+            queue_cap: s.queue_cap,
+            draining: s.draining.load(Ordering::SeqCst),
         }
     }
 
@@ -282,10 +551,54 @@ impl ServeEngine {
     }
 }
 
+/// Marks one in-flight session reply (see [`ServeEngine::reply_guard`]);
+/// dropping it records the reply as flushed.
+pub struct ReplyGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        self.shared.busy_replies.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Holds the batcher paused (see [`ServeEngine::pause`]); dropping it
+/// resumes batching.
+pub struct PauseGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        *self.shared.paused.lock().expect("pause lock poisoned") = false;
+        self.shared.unpaused.notify_all();
+    }
+}
+
+/// Releases a job's admission reservation and hands back its reply.
+/// Every admitted job leaves the engine through here exactly once.
+fn finish(shared: &Shared, job: AssignJob, reply: Result<AssignReply, WireError>) {
+    shared
+        .queued_points
+        .fetch_sub(job.points.len() as u64, Ordering::SeqCst);
+    // A client that disconnected mid-request just drops its receiver;
+    // the batch carries on for everyone else.
+    let _ = job.reply.send(reply);
+}
+
 fn batcher(shared: Arc<Shared>, rx: Receiver<AssignJob>, cap: usize) {
     // recv() fails only when every engine handle (and with them all job
     // senders) is gone — the engine's natural end of life.
     while let Ok(first) = rx.recv() {
+        // Chaos-test hook: hold the batch here while paused, letting
+        // tests fill the queue behind a stalled batcher.
+        {
+            let mut paused = shared.paused.lock().expect("pause lock poisoned");
+            while *paused {
+                paused = shared.unpaused.wait(paused).expect("pause lock poisoned");
+            }
+        }
         let mut jobs = vec![first];
         let mut total = jobs[0].points.len();
         while total < cap {
@@ -299,14 +612,29 @@ fn batcher(shared: Arc<Shared>, rx: Receiver<AssignJob>, cap: usize) {
         }
         let version = Arc::clone(&shared.current.read().expect("model lock poisoned"));
         let dim = version.predictor.dim();
+        let now = shared.clock.now_ns();
         let mut valid = Vec::with_capacity(jobs.len());
         for job in jobs {
+            if let Some((abs_ns, budget_ms)) = job.deadline {
+                if now > abs_ns {
+                    // The budget expired while the request sat in the
+                    // queue: answer typed, spend no kernel work on it.
+                    shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .recorder
+                        .instant("serve:deadline-exceeded", SERVE_CAT, || {
+                            vec![arg_u64("budget_ms", budget_ms)]
+                        });
+                    finish(&shared, job, Err(WireError::DeadlineExceeded { budget_ms }));
+                    continue;
+                }
+            }
             if job.points.dim() != dim {
-                let _ = job.reply.send(Err(KMeansError::DimensionMismatch {
+                let err = KMeansError::DimensionMismatch {
                     expected: dim,
                     got: job.points.dim(),
-                }
-                .into()));
+                };
+                finish(&shared, job, Err(err.into()));
             } else {
                 valid.push(job);
             }
@@ -360,9 +688,7 @@ fn batcher(shared: Arc<Shared>, rx: Receiver<AssignJob>, cap: usize) {
             offset += n;
             shared.requests.fetch_add(1, Ordering::Relaxed);
             shared.points.fetch_add(n as u64, Ordering::Relaxed);
-            // A client that disconnected mid-request just drops its
-            // receiver; the batch carries on for everyone else.
-            let _ = job.reply.send(Ok(reply));
+            finish(&shared, job, Ok(reply));
         }
     }
 }
@@ -449,5 +775,157 @@ mod tests {
             Err(WireError::Data(_))
         ));
         assert_eq!(engine.current().revision, 2);
+    }
+
+    fn spin_until(deadline: std::time::Duration, mut f: impl FnMut() -> bool) {
+        let start = std::time::Instant::now();
+        while !f() {
+            assert!(start.elapsed() < deadline, "condition not reached in time");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn overload_sheds_typed_while_admitted_replies_stay_bit_identical() {
+        let (points, record) = fitted_record(5);
+        let n = points.len();
+        let local = kmeans_core::KMeansModel::from_record(
+            record.clone(),
+            Executor::new(Parallelism::Sequential),
+        );
+        let engine = ServeEngine::with_config(
+            record,
+            Executor::new(Parallelism::Sequential),
+            EngineConfig {
+                queue_cap: n,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let guard = engine.pause();
+        // Fill the queue exactly to the cap behind the stalled batcher.
+        let admitted = {
+            let engine = engine.clone();
+            let points = points.clone();
+            std::thread::spawn(move || engine.assign(points, true))
+        };
+        spin_until(std::time::Duration::from_secs(10), || {
+            engine.queued_points() == n as u64
+        });
+        // The next request is shed synchronously, typed, without ever
+        // touching the queue or the kernel.
+        let shed = engine.assign(points.clone(), true).unwrap_err();
+        assert_eq!(
+            shed,
+            WireError::Overloaded {
+                queued_points: n as u64,
+                cap: n as u64,
+            }
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.shed_requests, 1);
+        assert_eq!(stats.shed_points, n as u64);
+        assert_eq!(stats.queue_cap, n as u64);
+        drop(guard);
+        // The admitted request completes bit-identically to local predict
+        // — shedding never perturbed it.
+        let reply = admitted.join().unwrap().unwrap();
+        assert_eq!(reply.labels, local.predict(&points).unwrap());
+        assert_eq!(
+            reply.cost.to_bits(),
+            local.cost_of(&points).unwrap().to_bits()
+        );
+        assert_eq!(engine.queued_points(), 0);
+    }
+
+    #[test]
+    fn oversized_request_is_admitted_when_queue_is_empty() {
+        let (points, record) = fitted_record(6);
+        let engine = ServeEngine::with_config(
+            record,
+            Executor::new(Parallelism::Sequential),
+            EngineConfig {
+                queue_cap: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // points.len() >> 1, but the queue is empty: always admitted.
+        assert!(engine.assign(points, true).is_ok());
+    }
+
+    #[test]
+    fn drain_completes_admitted_work_and_rejects_new() {
+        let (points, record) = fitted_record(7);
+        let engine = ServeEngine::new(record, Executor::new(Parallelism::Sequential)).unwrap();
+        let guard = engine.pause();
+        let admitted = {
+            let engine = engine.clone();
+            let points = points.clone();
+            std::thread::spawn(move || engine.assign(points, true))
+        };
+        spin_until(std::time::Duration::from_secs(10), || {
+            engine.queued_points() > 0
+        });
+        let queued = engine.drain();
+        assert_eq!(queued, points.len() as u64);
+        assert!(engine.is_draining());
+        assert!(!engine.is_drained());
+        // New work is rejected typed while the drain runs.
+        assert_eq!(
+            engine.assign(points, true).unwrap_err(),
+            WireError::Draining
+        );
+        // Drain is idempotent.
+        assert_eq!(engine.drain(), queued);
+        drop(guard);
+        assert!(admitted.join().unwrap().is_ok());
+        spin_until(std::time::Duration::from_secs(10), || engine.is_drained());
+        let stats = engine.stats();
+        assert_eq!(stats.drain_rejected, 1);
+        assert!(stats.draining);
+        assert_eq!(stats.queued_points, 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_and_skips_the_kernel() {
+        let (points, record) = fitted_record(8);
+        let clock = kmeans_obs::FakeClock::new(0);
+        let engine = ServeEngine::with_config(
+            record,
+            Executor::new(Parallelism::Sequential),
+            EngineConfig {
+                clock: Arc::new(clock.clone()),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // An unexpired budget answers normally.
+        let ok = engine
+            .assign_deadline(points.clone(), true, Some(1_000))
+            .unwrap();
+        assert!(!ok.labels.is_empty());
+        // Stall the batcher, admit a deadlined request, and expire its
+        // budget before the batcher dequeues it.
+        let guard = engine.pause();
+        let late = {
+            let engine = engine.clone();
+            let points = points.clone();
+            std::thread::spawn(move || engine.assign_deadline(points, true, Some(5)))
+        };
+        spin_until(std::time::Duration::from_secs(10), || {
+            engine.queued_points() > 0
+        });
+        clock.advance(6_000_000);
+        drop(guard);
+        assert_eq!(
+            late.join().unwrap().unwrap_err(),
+            WireError::DeadlineExceeded { budget_ms: 5 }
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        // The expired request never ran a sweep or counted as answered.
+        assert_eq!(stats.requests, 1);
+        assert_eq!(engine.queued_points(), 0);
     }
 }

@@ -23,12 +23,21 @@
 //!   per-revision [`PreparedPredictor`](kmeans_core::PreparedPredictor),
 //!   and the atomic hot-swap (`RwLock<Arc<ModelVersion>>`; in-flight
 //!   batches finish on the version they started with, every reply is
-//!   revision-tagged).
+//!   revision-tagged), plus the overload-robustness machinery: a
+//!   points-bounded admission queue that sheds excess load with typed
+//!   errors, request deadline budgets, and graceful drain.
 //! * [`server`] — [`TcpServeServer`] (thread per connection, shared
 //!   engine), the transport-generic [`session`] loop, and the
 //!   loopback/TCP spawn harnesses mirroring the cluster worker's.
 //! * [`client`] — [`ServeClient`]: handshake + typed calls; a served
 //!   failure surfaces as the same `KMeansError` a local call would.
+//!   `connect_any` turns it into a replica-set client: bounded jittered
+//!   backoff, transparent re-dial on disconnect/drain/overload, and
+//!   chunked streaming of large predict inputs.
+//! * [`fault`] — deterministic fault injection for the serve protocol:
+//!   the cluster runtime's `FaultTransport` instantiated over `SKS1`
+//!   frames, with scripted kills/truncations/delays at exact
+//!   `(message tag, occurrence)` triggers.
 //! * [`metrics`] — the `--metrics-listen` endpoint: a hand-rolled
 //!   plain-HTTP server answering `GET /metrics` with Prometheus text
 //!   exposition (request/batch latency quantiles, per-revision
@@ -47,12 +56,17 @@
 
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Prediction, ServeClient, ServedModelInfo};
-pub use engine::{AssignReply, ModelVersion, ServeEngine, DEFAULT_MAX_BATCH_POINTS};
+pub use engine::{
+    AssignReply, EngineConfig, ModelVersion, PauseGuard, ReplyGuard, ServeEngine,
+    DEFAULT_MAX_BATCH_POINTS, DEFAULT_QUEUE_CAP_POINTS,
+};
+pub use fault::{spawn_loopback_serve_with_faults, spawn_tcp_serve_with_faults};
 pub use metrics::{render_metrics, MetricsServer};
 pub use protocol::{ServeMessage, ServeStats, SERVE_MAGIC};
 pub use server::{session, spawn_loopback_serve, spawn_tcp_serve, TcpServeServer};

@@ -92,6 +92,41 @@ pub fn render_metrics(stats: &ServeStats) -> String {
         "Kernel batch sweep latency.",
         &stats.batch_latency,
     );
+    p.counter(
+        "skm_serve_shed_requests_total",
+        "Requests rejected by admission control (queue full).",
+        stats.shed_requests,
+    );
+    p.counter(
+        "skm_serve_shed_points_total",
+        "Points carried by shed requests (never touched the kernel).",
+        stats.shed_points,
+    );
+    p.counter(
+        "skm_serve_deadline_exceeded_total",
+        "Requests whose deadline budget expired before batching.",
+        stats.deadline_exceeded,
+    );
+    p.counter(
+        "skm_serve_drain_rejected_total",
+        "Requests rejected because the server was draining.",
+        stats.drain_rejected,
+    );
+    p.gauge(
+        "skm_serve_queued_points",
+        "Points currently admitted but not yet answered.",
+        stats.queued_points as f64,
+    );
+    p.gauge(
+        "skm_serve_queue_cap_points",
+        "The admission cap, in points.",
+        stats.queue_cap as f64,
+    );
+    p.gauge(
+        "skm_serve_draining",
+        "1 while the server is draining (readiness down), else 0.",
+        if stats.draining { 1.0 } else { 0.0 },
+    );
     p.render()
 }
 
@@ -99,15 +134,33 @@ pub fn render_metrics(stats: &ServeStats) -> String {
 /// [`MetricsServer::serve`] answers scrapes until the engine shuts
 /// down. Bind-then-serve split so callers learn the bound address (and
 /// can print it) before blocking.
+///
+/// Besides `GET /metrics`, the endpoint answers the orchestration
+/// probes: `GET /healthz` is liveness (200 while the process serves
+/// scrapes, drain included) and `GET /readyz` is readiness (200 while
+/// accepting new work, `503` once a drain begins — the signal a load
+/// balancer uses to stop routing to a replica being rolled).
 pub struct MetricsServer {
     listener: TcpListener,
+    io_timeout: Duration,
 }
 
+/// Default bound on a scrape connection's socket reads/writes.
+pub const DEFAULT_SCRAPE_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 impl MetricsServer {
-    /// Binds the endpoint (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Binds the endpoint (e.g. `"127.0.0.1:0"` for an ephemeral port)
+    /// with the default scrape I/O timeout.
     pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Self::bind_with_timeout(addr, DEFAULT_SCRAPE_IO_TIMEOUT)
+    }
+
+    /// [`MetricsServer::bind`] with an explicit bound on each scrape
+    /// connection's socket reads/writes.
+    pub fn bind_with_timeout(addr: &str, io_timeout: Duration) -> std::io::Result<Self> {
         Ok(MetricsServer {
             listener: TcpListener::bind(addr)?,
+            io_timeout,
         })
     }
 
@@ -130,7 +183,7 @@ impl MetricsServer {
                 Ok((stream, _)) => {
                     // Scrape failures (slow peer, disconnect) only drop
                     // this one response; the endpoint carries on.
-                    let _ = handle_scrape(stream, &engine);
+                    let _ = handle_scrape(stream, &engine, self.io_timeout);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
@@ -146,10 +199,14 @@ impl MetricsServer {
     }
 }
 
-fn handle_scrape(mut stream: TcpStream, engine: &ServeEngine) -> std::io::Result<()> {
+fn handle_scrape(
+    mut stream: TcpStream,
+    engine: &ServeEngine,
+    io_timeout: Duration,
+) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
     let head = match read_request_head(&mut stream)? {
         Some(head) => head,
         None => {
@@ -175,7 +232,24 @@ fn handle_scrape(mut stream: TcpStream, engine: &ServeEngine) -> std::io::Result
             let body = render_metrics(&engine.stats());
             respond(&mut stream, "200 OK", &body)
         }
-        _ => respond(&mut stream, "404 Not Found", "try /metrics\n"),
+        // Liveness: the process is up and answering — true even while
+        // draining (the drain is the process finishing its work).
+        "/healthz" => respond(&mut stream, "200 OK", "ok\n"),
+        // Readiness: whether *new* work is being accepted. Flips to 503
+        // the moment a drain begins, so load balancers stop routing here
+        // while admitted work finishes.
+        "/readyz" => {
+            if engine.is_draining() {
+                respond(&mut stream, "503 Service Unavailable", "draining\n")
+            } else {
+                respond(&mut stream, "200 OK", "ready\n")
+            }
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "try /metrics, /healthz, or /readyz\n",
+        ),
     }
 }
 
@@ -275,5 +349,49 @@ mod tests {
 
         engine.request_shutdown();
         handle.join().unwrap().unwrap();
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn health_and_readiness_probes_track_drain() {
+        let (_, engine) = engine();
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn(engine.clone());
+        assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 200"));
+        engine.drain();
+        // Liveness stays up through a drain; readiness flips to 503.
+        assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 503"));
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.contains("skm_serve_draining 1"));
+        engine.request_shutdown();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn exposition_contains_overload_counters() {
+        let (_, engine) = engine();
+        let text = render_metrics(&engine.stats());
+        assert!(text.contains("# TYPE skm_serve_shed_requests_total counter"));
+        assert!(text.contains("skm_serve_shed_points_total 0"));
+        assert!(text.contains("skm_serve_deadline_exceeded_total 0"));
+        assert!(text.contains("skm_serve_drain_rejected_total 0"));
+        assert!(text.contains("skm_serve_queued_points 0"));
+        assert!(text.contains(&format!(
+            "skm_serve_queue_cap_points {}",
+            crate::engine::DEFAULT_QUEUE_CAP_POINTS
+        )));
+        assert!(text.contains("skm_serve_draining 0"));
     }
 }

@@ -19,10 +19,21 @@
 //! | [`ServeMessage::Cost`] | [`ServeMessage::CostReply`] |
 //! | [`ServeMessage::FetchStats`] | [`ServeMessage::Stats`] |
 //! | [`ServeMessage::SwapModel`] | [`ServeMessage::SwapOk`] |
+//! | [`ServeMessage::Drain`] | [`ServeMessage::DrainOk`] |
 //! | [`ServeMessage::Shutdown`] | [`ServeMessage::ShutdownOk`] |
 //!
 //! Any request may instead draw an [`ServeMessage::Error`] reply; the
 //! session stays open.
+//!
+//! ## Frame-revision tolerance
+//!
+//! Fields added after the vocabulary first shipped are encoded as
+//! *trailing groups*, following the cluster protocol's `Partials`
+//! precedent: a decoder that finds the payload exhausted where a newer
+//! group would start treats the group as absent (deadline → "no
+//! deadline", `ModelInfo` batch cap → 0, overload counters → zeroed) —
+//! so revision-1 frames from an older peer still decode, while a
+//! *partial* group remains a malformed frame.
 
 use kmeans_cluster::protocol::WireError;
 use kmeans_cluster::wire::{Dec, Enc, FrameError, WireMessage};
@@ -71,6 +82,23 @@ pub struct ServeStats {
     pub request_latency: HistogramSummary,
     /// Kernel batch sweep latency summary, in nanoseconds.
     pub batch_latency: HistogramSummary,
+    /// Requests rejected by admission control (queue full). Second
+    /// trailing group, with everything below — older servers decode as
+    /// zeroes.
+    pub shed_requests: u64,
+    /// Points carried by shed requests (they never touched the kernel).
+    pub shed_points: u64,
+    /// Requests whose deadline budget expired before batching.
+    pub deadline_exceeded: u64,
+    /// Requests rejected because the server was draining.
+    pub drain_rejected: u64,
+    /// Points currently admitted but not yet answered.
+    pub queued_points: u64,
+    /// The admission cap, in points (`--queue-cap`).
+    pub queue_cap: u64,
+    /// Whether the server is draining (readiness is down; admitted work
+    /// still completes).
+    pub draining: bool,
 }
 
 /// One message of the serve conversation (see module docs for the
@@ -93,11 +121,21 @@ pub enum ServeMessage {
         init_name: String,
         /// Refiner name recorded in the model file.
         refiner_name: String,
+        /// The engine's per-batch point cap — the natural chunk size for
+        /// a client streaming a large input. Trailing field: 0 when the
+        /// server predates it.
+        batch_cap: u64,
     },
     /// Client → server: assign these points. Replies [`ServeMessage::Labels`].
     Predict {
         /// The query points.
         points: PointMatrix,
+        /// Optional deadline budget in milliseconds, counted from
+        /// admission: if the request is still queued when the budget
+        /// expires, the server answers
+        /// [`WireError::DeadlineExceeded`] instead of running the sweep.
+        /// Trailing field — revision-1 frames decode as `None`.
+        deadline_ms: Option<u64>,
     },
     /// Server → client: labels plus the request's potential, all computed
     /// under one model revision.
@@ -115,6 +153,9 @@ pub enum ServeMessage {
     Cost {
         /// The query points.
         points: PointMatrix,
+        /// Optional deadline budget in milliseconds (see
+        /// [`ServeMessage::Predict::deadline_ms`]).
+        deadline_ms: Option<u64>,
     },
     /// Server → client: the request's potential.
     CostReply {
@@ -152,6 +193,17 @@ pub enum ServeMessage {
     Shutdown,
     /// Server → client: shutdown acknowledged.
     ShutdownOk,
+    /// Client → server: begin a graceful drain. Already-admitted work
+    /// completes and replies; new requests draw
+    /// [`WireError::Draining`]; readiness flips; the server process
+    /// exits once the admission queue is empty. Idempotent.
+    Drain,
+    /// Server → client: the drain has begun.
+    DrainOk {
+        /// Points admitted but not yet answered at the moment the drain
+        /// was accepted — the work the server will still complete.
+        queued_points: u64,
+    },
 }
 
 fn encode_hist_summary(e: &mut Enc, s: &HistogramSummary) {
@@ -200,6 +252,16 @@ fn encode_wire_error(e: &mut Enc, err: &WireError) {
             e.u8(6);
             e.text(m);
         }
+        WireError::Overloaded { queued_points, cap } => {
+            e.u8(7);
+            e.u64(*queued_points);
+            e.u64(*cap);
+        }
+        WireError::DeadlineExceeded { budget_ms } => {
+            e.u8(8);
+            e.u64(*budget_ms);
+        }
+        WireError::Draining => e.u8(9),
     }
 }
 
@@ -221,6 +283,14 @@ fn decode_wire_error(d: &mut Dec<'_>) -> Result<WireError, FrameError> {
             dim: d.u64()?,
         },
         6 => WireError::Data(d.text()?),
+        7 => WireError::Overloaded {
+            queued_points: d.u64()?,
+            cap: d.u64()?,
+        },
+        8 => WireError::DeadlineExceeded {
+            budget_ms: d.u64()?,
+        },
+        9 => WireError::Draining,
         _ => return Err(FrameError::Malformed("unknown error kind")),
     })
 }
@@ -243,6 +313,8 @@ impl WireMessage for ServeMessage {
             ServeMessage::Error(_) => 11,
             ServeMessage::Shutdown => 12,
             ServeMessage::ShutdownOk => 13,
+            ServeMessage::Drain => 14,
+            ServeMessage::DrainOk { .. } => 15,
         }
     }
 
@@ -252,7 +324,8 @@ impl WireMessage for ServeMessage {
             ServeMessage::Hello
             | ServeMessage::FetchStats
             | ServeMessage::Shutdown
-            | ServeMessage::ShutdownOk => {}
+            | ServeMessage::ShutdownOk
+            | ServeMessage::Drain => {}
             ServeMessage::ModelInfo {
                 revision,
                 k,
@@ -260,6 +333,7 @@ impl WireMessage for ServeMessage {
                 cost,
                 init_name,
                 refiner_name,
+                batch_cap,
             } => {
                 e.u64(*revision);
                 e.u64(*k);
@@ -267,9 +341,23 @@ impl WireMessage for ServeMessage {
                 e.f64(*cost);
                 e.text(init_name);
                 e.text(refiner_name);
+                // Trailing field (decoders accept its absence as 0).
+                e.u64(*batch_cap);
             }
-            ServeMessage::Predict { points } | ServeMessage::Cost { points } => {
+            ServeMessage::Predict {
+                points,
+                deadline_ms,
+            }
+            | ServeMessage::Cost {
+                points,
+                deadline_ms,
+            } => {
                 e.matrix(points);
+                // Trailing field: present only when a deadline is set, so
+                // a deadline-free frame is byte-identical to revision 1.
+                if let Some(ms) = deadline_ms {
+                    e.u64(*ms);
+                }
             }
             ServeMessage::Labels {
                 revision,
@@ -301,6 +389,14 @@ impl WireMessage for ServeMessage {
                 e.u64(s.revision_installed_ns);
                 encode_hist_summary(&mut e, &s.request_latency);
                 encode_hist_summary(&mut e, &s.batch_latency);
+                // Second trailing group: overload/drain accounting.
+                e.u64(s.shed_requests);
+                e.u64(s.shed_points);
+                e.u64(s.deadline_exceeded);
+                e.u64(s.drain_rejected);
+                e.u64(s.queued_points);
+                e.u64(s.queue_cap);
+                e.u8(u8::from(s.draining));
             }
             ServeMessage::SwapModel { model } => e.bytes(model),
             ServeMessage::SwapOk { revision, k, dim } => {
@@ -309,6 +405,7 @@ impl WireMessage for ServeMessage {
                 e.u32(*dim);
             }
             ServeMessage::Error(err) => encode_wire_error(&mut e, err),
+            ServeMessage::DrainOk { queued_points } => e.u64(*queued_points),
         }
         e.into_bytes()
     }
@@ -324,9 +421,15 @@ impl WireMessage for ServeMessage {
                 cost: d.f64()?,
                 init_name: d.text()?,
                 refiner_name: d.text()?,
+                batch_cap: if d.remaining() > 0 { d.u64()? } else { 0 },
             },
             3 => ServeMessage::Predict {
                 points: d.matrix()?,
+                deadline_ms: if d.remaining() > 0 {
+                    Some(d.u64()?)
+                } else {
+                    None
+                },
             },
             4 => ServeMessage::Labels {
                 revision: d.u64()?,
@@ -335,6 +438,11 @@ impl WireMessage for ServeMessage {
             },
             5 => ServeMessage::Cost {
                 points: d.matrix()?,
+                deadline_ms: if d.remaining() > 0 {
+                    Some(d.u64()?)
+                } else {
+                    None
+                },
             },
             6 => ServeMessage::CostReply {
                 revision: d.u64()?,
@@ -364,6 +472,17 @@ impl WireMessage for ServeMessage {
                     s.revision_installed_ns = d.u64()?;
                     s.request_latency = decode_hist_summary(&mut d)?;
                     s.batch_latency = decode_hist_summary(&mut d)?;
+                    // Second trailing group (overload/drain accounting),
+                    // same absent-vs-partial rule as the first.
+                    if d.remaining() > 0 {
+                        s.shed_requests = d.u64()?;
+                        s.shed_points = d.u64()?;
+                        s.deadline_exceeded = d.u64()?;
+                        s.drain_rejected = d.u64()?;
+                        s.queued_points = d.u64()?;
+                        s.queue_cap = d.u64()?;
+                        s.draining = d.u8()? != 0;
+                    }
                 }
                 ServeMessage::Stats(s)
             }
@@ -376,6 +495,10 @@ impl WireMessage for ServeMessage {
             11 => ServeMessage::Error(decode_wire_error(&mut d)?),
             12 => ServeMessage::Shutdown,
             13 => ServeMessage::ShutdownOk,
+            14 => ServeMessage::Drain,
+            15 => ServeMessage::DrainOk {
+                queued_points: d.u64()?,
+            },
             other => return Err(FrameError::UnknownTag(other)),
         };
         d.finish()?;
@@ -399,14 +522,29 @@ mod tests {
                 cost: 12.5,
                 init_name: "kmeans-par".into(),
                 refiner_name: "lloyd".into(),
+                batch_cap: 65536,
             },
-            ServeMessage::Predict { points: m.clone() },
+            ServeMessage::Predict {
+                points: m.clone(),
+                deadline_ms: None,
+            },
+            ServeMessage::Predict {
+                points: m.clone(),
+                deadline_ms: Some(250),
+            },
             ServeMessage::Labels {
                 revision: 3,
                 labels: vec![0, 7, 7],
                 cost: 0.25,
             },
-            ServeMessage::Cost { points: m },
+            ServeMessage::Cost {
+                points: m.clone(),
+                deadline_ms: None,
+            },
+            ServeMessage::Cost {
+                points: m,
+                deadline_ms: Some(1),
+            },
             ServeMessage::CostReply {
                 revision: 4,
                 n: 2,
@@ -435,6 +573,13 @@ mod tests {
                     max_ns: 1999,
                 },
                 batch_latency: HistogramSummary::default(),
+                shed_requests: 7,
+                shed_points: 7000,
+                deadline_exceeded: 2,
+                drain_rejected: 3,
+                queued_points: 640,
+                queue_cap: 262_144,
+                draining: true,
             }),
             ServeMessage::SwapModel {
                 model: vec![1, 2, 3, 4, 5],
@@ -449,8 +594,16 @@ mod tests {
                 got: 3,
             }),
             ServeMessage::Error(WireError::Data("model image rejected".into())),
+            ServeMessage::Error(WireError::Overloaded {
+                queued_points: 70_000,
+                cap: 65_536,
+            }),
+            ServeMessage::Error(WireError::DeadlineExceeded { budget_ms: 250 }),
+            ServeMessage::Error(WireError::Draining),
             ServeMessage::Shutdown,
             ServeMessage::ShutdownOk,
+            ServeMessage::Drain,
+            ServeMessage::DrainOk { queued_points: 640 },
         ]
     }
 
@@ -495,9 +648,129 @@ mod tests {
                 assert_eq!(s.revision_installed_ns, 0);
                 assert_eq!(s.request_latency, HistogramSummary::default());
                 assert_eq!(s.batch_latency, HistogramSummary::default());
+                assert_eq!(s.shed_requests, 0);
+                assert_eq!(s.queue_cap, 0);
+                assert!(!s.draining);
             }
             other => panic!("decoded {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_frames_without_the_overload_group_decode_zeroed() {
+        // A tag-8 frame carrying groups 0 and 1 but not the overload
+        // group (a server from before admission control) must decode
+        // with the overload counters zeroed and `draining == false`.
+        let mut e = Enc::new();
+        for v in [2u64, 100, 5000, 40, 512, 1, 123, 456] {
+            e.u64(v);
+        }
+        for v in [60u64, 3000, 25, 1_234_567] {
+            e.u64(v);
+        }
+        encode_hist_summary(&mut e, &HistogramSummary::default());
+        encode_hist_summary(&mut e, &HistogramSummary::default());
+        let payload = e.into_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&SERVE_MAGIC);
+        frame.push(8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&kmeans_cluster::wire::fnv1a(8, &payload).to_le_bytes());
+        match ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .0
+        {
+            ServeMessage::Stats(s) => {
+                assert_eq!(s.revision_requests, 60);
+                assert_eq!(s.shed_requests, 0);
+                assert_eq!(s.shed_points, 0);
+                assert_eq!(s.deadline_exceeded, 0);
+                assert_eq!(s.drain_rejected, 0);
+                assert_eq!(s.queued_points, 0);
+                assert_eq!(s.queue_cap, 0);
+                assert!(!s.draining);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_predict_and_model_info_frames_decode_without_new_fields() {
+        // Revision-1 Predict/Cost frames carry only the matrix; they must
+        // decode as "no deadline". Likewise a ModelInfo without the
+        // trailing batch cap decodes as cap 0.
+        let m = PointMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        for tag in [3u8, 5] {
+            let mut e = Enc::new();
+            e.matrix(&m);
+            let payload = e.into_bytes();
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&SERVE_MAGIC);
+            frame.push(tag);
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            frame.extend_from_slice(&kmeans_cluster::wire::fnv1a(tag, &payload).to_le_bytes());
+            match ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD)
+                .unwrap()
+                .0
+            {
+                ServeMessage::Predict {
+                    points,
+                    deadline_ms,
+                } => {
+                    assert_eq!(points, m);
+                    assert_eq!(deadline_ms, None);
+                }
+                ServeMessage::Cost {
+                    points,
+                    deadline_ms,
+                } => {
+                    assert_eq!(points, m);
+                    assert_eq!(deadline_ms, None);
+                }
+                other => panic!("decoded {other:?}"),
+            }
+        }
+        let mut e = Enc::new();
+        e.u64(3);
+        e.u64(10);
+        e.u32(2);
+        e.f64(12.5);
+        e.text("kmeans-par");
+        e.text("lloyd");
+        let payload = e.into_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&SERVE_MAGIC);
+        frame.push(2);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&kmeans_cluster::wire::fnv1a(2, &payload).to_le_bytes());
+        match ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .0
+        {
+            ServeMessage::ModelInfo {
+                batch_cap,
+                revision,
+                ..
+            } => {
+                assert_eq!(revision, 3);
+                assert_eq!(batch_cap, 0);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // A deadline-free Predict encodes byte-identically to revision 1
+        // (the field is simply omitted), so old servers accept it.
+        let modern = ServeMessage::Predict {
+            points: m,
+            deadline_ms: None,
+        };
+        let mut e = Enc::new();
+        if let ServeMessage::Predict { points, .. } = &modern {
+            e.matrix(points);
+        }
+        assert_eq!(modern.encode_payload(), e.into_bytes());
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub fn session<T: Transport<ServeMessage> + ?Sized>(
             Err(ClusterError::Disconnected) => return Ok(()),
             Err(e) => return Err(e),
         };
+        // Held from request receipt until the reply hits the wire, so a
+        // drain-exit cannot race the flush of the final admitted reply.
+        let flushing = engine.reply_guard();
         let reply = match msg {
             ServeMessage::Hello => {
                 let version = engine.current();
@@ -36,9 +39,13 @@ pub fn session<T: Transport<ServeMessage> + ?Sized>(
                     cost: version.cost,
                     init_name: version.init_name.clone(),
                     refiner_name: version.refiner_name.clone(),
+                    batch_cap: engine.batch_cap(),
                 }
             }
-            ServeMessage::Predict { points } => match engine.assign(points, true) {
+            ServeMessage::Predict {
+                points,
+                deadline_ms,
+            } => match engine.assign_deadline(points, true, deadline_ms) {
                 Ok(r) => ServeMessage::Labels {
                     revision: r.revision,
                     labels: r.labels,
@@ -46,9 +53,12 @@ pub fn session<T: Transport<ServeMessage> + ?Sized>(
                 },
                 Err(e) => ServeMessage::Error(e),
             },
-            ServeMessage::Cost { points } => {
+            ServeMessage::Cost {
+                points,
+                deadline_ms,
+            } => {
                 let n = points.len() as u64;
-                match engine.assign(points, false) {
+                match engine.assign_deadline(points, false, deadline_ms) {
                     Ok(r) => ServeMessage::CostReply {
                         revision: r.revision,
                         n,
@@ -62,6 +72,9 @@ pub fn session<T: Transport<ServeMessage> + ?Sized>(
                 Ok((revision, k, dim)) => ServeMessage::SwapOk { revision, k, dim },
                 Err(e) => ServeMessage::Error(e),
             },
+            ServeMessage::Drain => ServeMessage::DrainOk {
+                queued_points: engine.drain(),
+            },
             ServeMessage::Shutdown => {
                 transport.send(&ServeMessage::ShutdownOk)?;
                 engine.request_shutdown();
@@ -72,6 +85,7 @@ pub fn session<T: Transport<ServeMessage> + ?Sized>(
             ))),
         };
         transport.send(&reply)?;
+        drop(flushing);
     }
 }
 
@@ -99,8 +113,11 @@ impl TcpServeServer {
     /// the shared engine (so concurrent clients batch together). With
     /// `once`, returns after the first session ends — the deterministic
     /// smoke-test mode. Otherwise loops until a session receives
-    /// `Shutdown`; a failed session is logged, not fatal (daemon mode).
-    /// `io_timeout` bounds every socket read/write.
+    /// `Shutdown`, or until a `Drain` completes: a watcher thread polls
+    /// [`ServeEngine::is_drained`] and stops the accept loop once every
+    /// admitted request has been answered *and flushed* — zero admitted
+    /// work is lost. A failed session is logged, not fatal (daemon
+    /// mode). `io_timeout` bounds every socket read/write.
     pub fn serve(
         self,
         engine: ServeEngine,
@@ -108,6 +125,25 @@ impl TcpServeServer {
         once: bool,
     ) -> Result<(), ClusterError> {
         let addr = self.listener.local_addr()?;
+        if !once {
+            // Drain watcher: a Drain request only flips engine state; this
+            // thread turns "drained" into an accept-loop exit, using the
+            // same self-poke the Shutdown path uses. It also exits (without
+            // poking) once a Shutdown is observed, so it never outlives
+            // the server by more than one poll tick.
+            let watch_engine = engine.clone();
+            std::thread::spawn(move || loop {
+                if watch_engine.shutdown_requested() {
+                    return;
+                }
+                if watch_engine.is_drained() {
+                    watch_engine.request_shutdown();
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            });
+        }
         loop {
             let (stream, _) = self.listener.accept()?;
             // A Shutdown in some session set the flag, then poked the

@@ -19,11 +19,14 @@ fn matrix(values: &[f64], dim: usize) -> PointMatrix {
         .unwrap_or_else(|_| PointMatrix::from_flat(vec![0.0; dim], dim).unwrap())
 }
 
+/// Number of distinct payload shapes [`build_message`] produces.
+const SHAPES: usize = 14;
+
 /// A strategy-driven random serve message (one of every payload shape).
 fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage {
     let f0 = floats.first().copied().unwrap_or(0.5);
     let get = |i: usize| ints.get(i).copied().unwrap_or(3);
-    match shape % 10 {
+    match shape % SHAPES {
         0 => ServeMessage::Hello,
         1 => ServeMessage::ModelInfo {
             revision: get(0),
@@ -32,9 +35,12 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage
             cost: f0,
             init_name: "kmeans-par".into(),
             refiner_name: "lloyd".into(),
+            batch_cap: get(3),
         },
         2 => ServeMessage::Predict {
             points: matrix(&floats, 3),
+            // Exercise both the with- and without-deadline encodings.
+            deadline_ms: if get(0) % 2 == 0 { Some(get(1)) } else { None },
         },
         3 => ServeMessage::Labels {
             revision: get(0),
@@ -43,6 +49,7 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage
         },
         4 => ServeMessage::Cost {
             points: matrix(&floats, 2),
+            deadline_ms: if get(0) % 2 == 1 { Some(get(1)) } else { None },
         },
         5 => ServeMessage::CostReply {
             revision: get(0),
@@ -78,6 +85,13 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage
                 p999_ns: get(22),
                 max_ns: get(23),
             },
+            shed_requests: get(24),
+            shed_points: get(25),
+            deadline_exceeded: get(26),
+            drain_rejected: get(27),
+            queued_points: get(28),
+            queue_cap: get(29),
+            draining: get(30) % 2 == 1,
         }),
         7 => ServeMessage::SwapModel {
             model: ints.iter().flat_map(|i| i.to_le_bytes()).collect(),
@@ -87,6 +101,19 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> ServeMessage
             k: get(1),
             dim: get(2) as u32,
         },
+        9 => ServeMessage::Drain,
+        10 => ServeMessage::DrainOk {
+            queued_points: get(0),
+        },
+        11 => ServeMessage::Error(WireError::Overloaded {
+            queued_points: get(0),
+            cap: get(1),
+        }),
+        12 => ServeMessage::Error(if get(0) % 2 == 0 {
+            WireError::DeadlineExceeded { budget_ms: get(1) }
+        } else {
+            WireError::Draining
+        }),
         _ => ServeMessage::Error(WireError::DimensionMismatch {
             expected: get(0) % 4096,
             got: get(1) % 4096,
@@ -99,7 +126,7 @@ proptest! {
 
     #[test]
     fn random_serve_messages_round_trip(
-        shape in 0usize..10,
+        shape in 0usize..14,
         floats in vec(-1e9f64..1e9, 1..40),
         ints in vec(any::<u64>(), 1..40),
     ) {
@@ -113,7 +140,7 @@ proptest! {
 
     #[test]
     fn truncated_serve_frames_never_panic(
-        shape in 0usize..10,
+        shape in 0usize..14,
         floats in vec(-1e3f64..1e3, 1..20),
         ints in vec(0u64..1000, 1..20),
         cut_frac in 0.0f64..1.0,
@@ -128,7 +155,7 @@ proptest! {
 
     #[test]
     fn flipped_serve_bytes_are_detected(
-        shape in 0usize..10,
+        shape in 0usize..14,
         floats in vec(-1e3f64..1e3, 1..20),
         ints in vec(0u64..1000, 1..20),
         pos_frac in 0.0f64..1.0,
@@ -167,7 +194,7 @@ proptest! {
 
     #[test]
     fn cluster_and_serve_vocabularies_never_cross(
-        shape in 0usize..10,
+        shape in 0usize..14,
         floats in vec(-1e3f64..1e3, 1..20),
         ints in vec(0u64..1000, 1..20),
     ) {
@@ -199,10 +226,97 @@ fn every_wire_error_kind_survives_the_serve_wire() {
         WireError::InvalidConfig("zero rounds".into()),
         WireError::NonFiniteData { point: 9, dim: 1 },
         WireError::Data("swap image rejected".into()),
+        WireError::Overloaded {
+            queued_points: 300_000,
+            cap: 262_144,
+        },
+        WireError::DeadlineExceeded { budget_ms: 250 },
+        WireError::Draining,
     ] {
         let msg = ServeMessage::Error(err);
         let frame = msg.encode_frame();
         let (decoded, _) = ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap();
         assert_eq!(decoded, msg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deadline_field_is_revision_tolerant(
+        floats in vec(-1e3f64..1e3, 2..40),
+        budget in 0u64..1_000_000,
+    ) {
+        // A deadline-free Predict/Cost must encode byte-identically to a
+        // revision-1 frame (the trailing field simply absent), and a
+        // revision-1 frame must decode as "no deadline" — both
+        // directions of cross-revision traffic keep working.
+        let m = matrix(&floats, 2);
+        for (with, without) in [
+            (
+                ServeMessage::Predict { points: m.clone(), deadline_ms: Some(budget) },
+                ServeMessage::Predict { points: m.clone(), deadline_ms: None },
+            ),
+            (
+                ServeMessage::Cost { points: m.clone(), deadline_ms: Some(budget) },
+                ServeMessage::Cost { points: m.clone(), deadline_ms: None },
+            ),
+        ] {
+            let old_style = without.encode_frame();
+            let new_style = with.encode_frame();
+            // The deadline is exactly one trailing u64 of payload.
+            prop_assert_eq!(new_style.len(), old_style.len() + 8);
+            let (decoded, _) =
+                ServeMessage::decode_frame(&old_style, MAX_FRAME_PAYLOAD).unwrap();
+            prop_assert_eq!(decoded, without);
+            let (decoded, _) =
+                ServeMessage::decode_frame(&new_style, MAX_FRAME_PAYLOAD).unwrap();
+            prop_assert_eq!(decoded, with);
+        }
+    }
+
+    #[test]
+    fn stats_overload_group_tolerates_absence_but_not_partiality(
+        ints in vec(0u64..1000, 31..40),
+        cut in 1usize..50,
+    ) {
+        // Dropping the whole trailing overload group (49 payload bytes:
+        // six u64 counters + one bool) must decode as zeroed; dropping
+        // only *part* of it must be a typed malformed/truncated frame,
+        // never a misparse.
+        let msg = build_message(6, vec![], ints);
+        let full = msg.encode_frame();
+        let stats = match &msg {
+            ServeMessage::Stats(s) => *s,
+            _ => unreachable!(),
+        };
+        // Rebuild the frame with the trailing `cut` payload bytes gone.
+        let payload_len = full.len() - 4 - 1 - 4 - 8; // magic+tag+len+checksum
+        let payload = &full[9..9 + payload_len];
+        let shortened = &payload[..payload_len - cut];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&kmeans_serve::SERVE_MAGIC);
+        frame.push(8);
+        frame.extend_from_slice(&(shortened.len() as u32).to_le_bytes());
+        frame.extend_from_slice(shortened);
+        frame.extend_from_slice(&kmeans_cluster::wire::fnv1a(8, shortened).to_le_bytes());
+        let result = ServeMessage::decode_frame(&frame, MAX_FRAME_PAYLOAD);
+        if cut == 49 {
+            let (decoded, _) = result.unwrap();
+            let expected = ServeStats {
+                shed_requests: 0,
+                shed_points: 0,
+                deadline_exceeded: 0,
+                drain_rejected: 0,
+                queued_points: 0,
+                queue_cap: 0,
+                draining: false,
+                ..stats
+            };
+            prop_assert_eq!(decoded, ServeMessage::Stats(expected));
+        } else {
+            prop_assert!(result.is_err(), "partial trailing group decoded: cut={}", cut);
+        }
     }
 }

@@ -140,10 +140,7 @@ fn recovering_loopback_cluster(
             supplier_handles.lock().unwrap().push(h);
             Ok(Box::new(t))
         }),
-        RetryPolicy {
-            attempts: 3,
-            backoff: Duration::from_millis(1),
-        },
+        RetryPolicy::fixed(3, Duration::from_millis(1)),
     );
     (cluster, originals, replacements)
 }
@@ -466,10 +463,7 @@ fn death_during_recovery_is_a_typed_error_not_a_hang() {
             supplier_handles.lock().unwrap().push(h);
             Ok(Box::new(t))
         }),
-        RetryPolicy {
-            attempts: 3,
-            backoff: Duration::from_millis(1),
-        },
+        RetryPolicy::fixed(3, Duration::from_millis(1)),
     );
     let start = std::time::Instant::now();
     let err = KMeans::params(K)
@@ -540,10 +534,7 @@ fn tcp_worker_truncating_mid_frame_is_replaced_and_caught_up() {
             let stream = std::net::TcpStream::connect(addr).map_err(ClusterError::Io)?;
             Ok(Box::new(TcpTransport::new(stream, timeout)?))
         }),
-        RetryPolicy {
-            attempts: 5,
-            backoff: Duration::from_millis(10),
-        },
+        RetryPolicy::fixed(5, Duration::from_millis(10)),
     );
     let got = KMeans::params(K)
         .seed(5)
@@ -621,10 +612,7 @@ fn worker_restarted_on_same_address_is_adopted() {
     let mut cluster = Cluster::connect_with_retry(
         &addrs,
         timeout,
-        RetryPolicy {
-            attempts: 100,
-            backoff: Duration::from_millis(100),
-        },
+        RetryPolicy::fixed(100, Duration::from_millis(100)),
     )
     .unwrap();
     let got = KMeans::params(K)
@@ -676,10 +664,7 @@ fn late_starting_worker_is_waited_for() {
     let mut cluster = Cluster::connect_with_retry(
         &[addr0.to_string(), addr1],
         timeout,
-        RetryPolicy {
-            attempts: 100,
-            backoff: Duration::from_millis(100),
-        },
+        RetryPolicy::fixed(100, Duration::from_millis(100)),
     )
     .unwrap();
     let got = KMeans::params(K)

@@ -356,6 +356,39 @@ fn mid_request_disconnects_are_typed_never_hangs() {
 }
 
 #[test]
+fn chunked_predict_concatenates_byte_identical_labels() {
+    let data = dataset(61);
+    let model = fitted(&data, 7);
+    let expected = model.predict(&data).unwrap();
+
+    // A server whose batch cap is far smaller than the input: the client
+    // must stream bounded chunks, and the concatenation must be the
+    // labels of one giant predict, byte for byte — for chunk sizes that
+    // divide the input, don't divide it, and degenerate to one point.
+    let engine = ServeEngine::with_batch_cap(
+        model.to_record(),
+        Executor::new(Parallelism::Threads(2)),
+        64,
+    )
+    .unwrap();
+    let (addr, handle) = spawn_tcp_serve(engine, IO).unwrap();
+    let mut client = ServeClient::connect(&addr.to_string(), IO).unwrap();
+    assert_eq!(client.info().batch_cap, 64);
+    for chunk in [64usize, 37, 1, 599, 600, 100_000] {
+        let p = client.predict_chunked(&data, chunk).unwrap();
+        assert_eq!(p.revision, 1);
+        assert_eq!(p.labels, expected, "chunk size {chunk} changed labels");
+    }
+    // The advertised cap is the natural chunk size the CLI defaults to.
+    let p = client
+        .predict_chunked(&data, client.info().batch_cap as usize)
+        .unwrap();
+    assert_eq!(p.labels, expected);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn model_record_survives_the_file_and_wire_boundary_bitwise() {
     let data = dataset(53);
     let model = fitted(&data, 8);
