@@ -2,8 +2,9 @@
 //! workload, over loopback workers — and the repo's first machine-
 //! readable perf artifact: the run writes `BENCH_cluster.json` at the
 //! workspace root with one record per configuration (method, n, d, k,
-//! workers, median wall nanoseconds, bytes on the wire, data passes), so
-//! successive PRs accumulate a perf trajectory instead of scrollback.
+//! workers, median wall nanoseconds, bytes on the wire, data passes,
+//! wire round trips), so successive PRs accumulate a perf trajectory
+//! instead of scrollback.
 //!
 //! Results are bit-identical across the grid (asserted up front; pinned
 //! for real in `tests/distributed_parity.rs`), so every delta is pure
@@ -73,6 +74,7 @@ struct Record {
     wall_ns: u128,
     bytes_on_wire: u64,
     data_passes: u64,
+    round_trips: u64,
 }
 
 fn escape_free(s: &str) -> &str {
@@ -86,12 +88,14 @@ fn write_json(records: &[Record], dim: usize) {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"method\": \"{}\", \"n\": {N}, \"d\": {dim}, \"k\": {K}, \
-             \"workers\": {}, \"wall_ns\": {}, \"bytes_on_wire\": {}, \"data_passes\": {}}}{}\n",
+             \"workers\": {}, \"wall_ns\": {}, \"bytes_on_wire\": {}, \"data_passes\": {}, \
+             \"round_trips\": {}}}{}\n",
             escape_free(r.method),
             r.workers,
             r.wall_ns,
             r.bytes_on_wire,
             r.data_passes,
+            r.round_trips,
             if i + 1 == records.len() { "" } else { "," },
         ));
     }
@@ -148,7 +152,7 @@ fn main() {
 
     // Wire accounting from one clean fit per worker count (byte counters
     // accumulate across iterations, so measure outside the timing loop).
-    let mut wire: Vec<(usize, u64, u64)> = Vec::new();
+    let mut wire: Vec<(usize, u64, u64, u64)> = Vec::new();
     for workers in [1usize, 2, 4] {
         let (mut cluster, handles) = spawn_cluster(&points, workers);
         builder().fit_distributed(&mut cluster).unwrap();
@@ -156,13 +160,14 @@ fn main() {
             workers,
             cluster.bytes_sent() + cluster.bytes_received(),
             cluster.data_passes(),
+            cluster.round_trips(),
         ));
         shutdown(cluster, handles);
     }
 
     for record in c.records() {
-        let (method, workers, bytes, passes) = if record.id.ends_with("in_memory") {
-            ("in-memory kmeans-par+lloyd", 0, 0, 0)
+        let (method, workers, bytes, passes, trips) = if record.id.ends_with("in_memory") {
+            ("in-memory kmeans-par+lloyd", 0, 0, 0, 0)
         } else {
             let workers: usize = record
                 .id
@@ -170,15 +175,16 @@ fn main() {
                 .next()
                 .and_then(|w| w.parse().ok())
                 .expect("loopback id carries the worker count");
-            let &(_, bytes, passes) = wire
+            let &(_, bytes, passes, trips) = wire
                 .iter()
-                .find(|(w, _, _)| *w == workers)
+                .find(|(w, _, _, _)| *w == workers)
                 .expect("wire stats recorded");
             (
                 "distributed kmeans-par+lloyd (loopback)",
                 workers,
                 bytes,
                 passes,
+                trips,
             )
         };
         records.push(Record {
@@ -187,6 +193,7 @@ fn main() {
             wall_ns: record.median.as_nanos(),
             bytes_on_wire: bytes,
             data_passes: passes,
+            round_trips: trips,
         });
     }
     write_json(&records, dim);

@@ -2,8 +2,8 @@
 //! the same `kmeans_core::driver` function on an in-memory backend, a
 //! chunked backend, and loopback worker clusters — recorded
 //! machine-readably in `BENCH_driver.json` (method / backend / n / d /
-//! k / wall_ns / bytes_on_wire / data_passes) via the shared
-//! merge-by-id writer.
+//! k / wall_ns / bytes_on_wire / data_passes / round_trips) via the
+//! shared merge-by-id writer.
 //!
 //! Results are bit-identical across backends by contract (asserted up
 //! front on every configuration; pinned for real in
@@ -12,23 +12,22 @@
 //! for `distributed-wN`.
 //!
 //! `KMEANS_BENCH_QUICK=1` shrinks the grid and measurement windows for
-//! the CI smoke, and additionally asserts the driver's in-memory path
-//! stayed within noise of the pre-refactor trajectory recorded in
-//! `BENCH_cluster.json`. That artifact's in-memory row was re-recorded
-//! from the *pre-driver code* (checked out and benchmarked on the same
-//! machine, same session, as this file's numbers: 16.29 ms seed code vs
-//! 15.9 ms driver path at n = 4096) so the comparison is same-machine
-//! and the driver's measured abstraction overhead is ≈0. Wall-clock
-//! gates across machines are inherently coarse — see the quick-mode
-//! block below for what this one is (a runaway-regression backstop) and
-//! is not (a precision gate).
+//! the CI smoke, and additionally asserts two gates: the round-count
+//! budget (wire round trips are exactly reproducible on any machine —
+//! see the quick block below) and that the driver's in-memory path
+//! stayed within noise of the uncapped-Lloyd trajectory recorded in
+//! `BENCH_cluster.json`. Wall-clock gates across machines are
+//! inherently coarse — see the quick-mode block below for what that
+//! one is (a runaway-regression backstop) and is not (a precision
+//! gate).
 
 use criterion::Criterion;
 use kmeans_bench::bench_json::{read_wall_ns, write_merged_driver, DriverRecord};
 use kmeans_cluster::{spawn_loopback_worker, Cluster, FitDistributed, Transport};
+use kmeans_core::lloyd::LloydConfig;
 use kmeans_core::minibatch::MiniBatchConfig;
 use kmeans_core::model::{KMeans, KMeansModel};
-use kmeans_core::pipeline::MiniBatch;
+use kmeans_core::pipeline::{Lloyd, MiniBatch};
 use kmeans_data::synth::GaussMixture;
 use kmeans_data::{InMemorySource, PointMatrix};
 use kmeans_par::Parallelism;
@@ -82,7 +81,17 @@ struct Method {
 }
 
 fn kmeans_par_lloyd() -> KMeans {
+    // Lloyd is capped at 5 iterations so this workload has a *fixed
+    // round budget* — the quantity this bench gates on. The uncapped
+    // fit converges after ~35 iterations on this mixture, which would
+    // drown the k-means|| seeding rounds (the paper's subject, and the
+    // target of the fused-round optimisation) in Lloyd assignment
+    // round trips.
     KMeans::params(K)
+        .refine(Lloyd(LloydConfig {
+            max_iterations: 5,
+            tol: 0.0,
+        }))
         .seed(1)
         .shard_size(SHARD)
         .parallelism(Parallelism::Sequential)
@@ -189,17 +198,22 @@ fn main() {
     }
 
     // Wire accounting from one clean fit per (method, worker count) —
-    // byte counters accumulate across iterations, so measure outside the
-    // timing loop.
-    let mut wire: Vec<(String, u64, u64)> = Vec::new();
+    // byte/round counters accumulate across iterations, so measure
+    // outside the timing loop.
+    let mut wire: Vec<(String, u64, u64, u64)> = Vec::new();
+    let mut lloyd_round_trips: Option<u64> = None;
     for method in &methods {
         for &workers in worker_grid {
             let (mut cluster, handles) = spawn_cluster(&points, workers);
             (method.builder)().fit_distributed(&mut cluster).unwrap();
+            if method.name == "kmeans-par+lloyd" {
+                lloyd_round_trips = Some(cluster.round_trips());
+            }
             wire.push((
                 format!("{}/distributed-w{workers}", method.name),
                 cluster.bytes_sent() + cluster.bytes_received(),
                 cluster.data_passes(),
+                cluster.round_trips(),
             ));
             shutdown(cluster, handles);
         }
@@ -216,11 +230,11 @@ fn main() {
                 (method.to_string(), backend.to_string())
             })
             .expect("bench ids are group/method/backend");
-        let (bytes, passes) = wire
+        let (bytes, passes, trips) = wire
             .iter()
-            .find(|(id, _, _)| record.id.ends_with(id.as_str()))
-            .map(|&(_, b, p)| (b, p))
-            .unwrap_or((0, 0));
+            .find(|(id, _, _, _)| record.id.ends_with(id.as_str()))
+            .map(|&(_, b, p, t)| (b, p, t))
+            .unwrap_or((0, 0, 0));
         if method == "kmeans-par+lloyd" && backend == "in-memory" {
             in_memory_lloyd_wall = Some(record.median.as_nanos());
         }
@@ -234,6 +248,7 @@ fn main() {
             wall_ns: record.median.as_nanos(),
             bytes_on_wire: bytes,
             data_passes: passes,
+            round_trips: trips,
         });
     }
     let path = Path::new(concat!(
@@ -243,18 +258,34 @@ fn main() {
     write_merged_driver(path, &records);
 
     if quick {
-        // CI smoke: the driver's in-memory path must sit within noise of
-        // the pre-refactor trajectory. BENCH_cluster.json's in-memory row
-        // was recorded at n = 4096 on the pre-driver code; the quick run
-        // uses n = 2048, so a same-machine run is expected ~2x *faster* —
-        // a generous 2x allowance on top (i.e. current ≤ recorded) still
-        // catches a runaway regression (an accidental per-round clone of
-        // the dataset, an extra full data pass — the failure modes a
-        // driver abstraction could plausibly introduce) while absorbing
-        // machine-to-machine variance. It is deliberately NOT a tight
-        // gate: absolute wall clock across unknown runners cannot be one;
-        // the precise same-machine comparison lives in the committed
-        // BENCH_driver.json vs BENCH_cluster.json rows (see module docs).
+        // CI smoke, part 1: the round-count regression gate. Unlike wall
+        // clock, wire round trips are exactly reproducible on any
+        // machine: the fused k-means|| + capped-Lloyd conversation costs
+        // 1 initial gather + 5 fused tracker+sample compounds + 1 fused
+        // tracker+weights compound + 1 potential + 5 Lloyd assignments
+        // + 1 closing label-shipping assignment = 14. Any change that
+        // sneaks an extra blocking round into the conversation fails
+        // here deterministically.
+        let trips = lloyd_round_trips.expect("quick grid always runs kmeans-par+lloyd");
+        assert!(
+            trips <= 14,
+            "kmeans-par+lloyd distributed conversation took {trips} wire round trips \
+             (budget: 14) — a round snuck back into the fused driver"
+        );
+        println!("quick smoke: kmeans-par+lloyd round_trips {trips} (budget 14)");
+
+        // CI smoke, part 2: the driver's in-memory path must sit within
+        // noise of the committed trajectory. BENCH_cluster.json's
+        // in-memory row is the *uncapped* Lloyd fit at n = 4096
+        // (~3x this quick run's capped-Lloyd work at n = 2048), so a
+        // same-machine run is expected several times faster — requiring
+        // current ≤ 2x recorded still catches a runaway regression (an
+        // accidental per-round clone of the dataset, an extra full data
+        // pass — the failure modes a driver abstraction could plausibly
+        // introduce) while absorbing machine-to-machine variance. It is
+        // deliberately NOT a tight gate: absolute wall clock across
+        // unknown runners cannot be one; the precise same-machine
+        // comparison lives in the committed BENCH_driver.json rows.
         let cluster_json = Path::new(concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../BENCH_cluster.json"

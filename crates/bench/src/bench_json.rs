@@ -89,13 +89,18 @@ pub struct DriverRecord {
     pub bytes_on_wire: u64,
     /// Full data passes driven (0 where the backend does not count them).
     pub data_passes: u64,
+    /// Blocking coordinator↔worker wire round trips (session control —
+    /// Hello/Plan/Shutdown — excluded; a fused compound round counts
+    /// once; 0 off the wire).
+    pub round_trips: u64,
 }
 
 impl DriverRecord {
     fn to_line(&self) -> String {
         format!(
             "  {{\"id\": \"{}\", \"method\": \"{}\", \"backend\": \"{}\", \"n\": {}, \"d\": {}, \
-             \"k\": {}, \"wall_ns\": {}, \"bytes_on_wire\": {}, \"data_passes\": {}}}",
+             \"k\": {}, \"wall_ns\": {}, \"bytes_on_wire\": {}, \"data_passes\": {}, \
+             \"round_trips\": {}}}",
             escape_free(&self.id),
             escape_free(&self.method),
             escape_free(&self.backend),
@@ -105,6 +110,7 @@ impl DriverRecord {
             self.wall_ns,
             self.bytes_on_wire,
             self.data_passes,
+            self.round_trips,
         )
     }
 }

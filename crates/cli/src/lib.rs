@@ -736,6 +736,9 @@ fn fit_distributed(
         builder.fit_distributed_checkpointed(&mut cluster, std::path::Path::new(&ckpt_path))
     }
     .map_err(CliError::KMeans)?;
+    // Snapshot the round counter before `fetch_stats` — the stats fetch
+    // is itself a broadcast round and would inflate the fit's count.
+    let trips = cluster.round_trips();
     let worker_stats = cluster.fetch_stats()?;
     let summaries = cluster.worker_summaries();
     let job = cluster.job_stats();
@@ -752,8 +755,8 @@ fn fit_distributed(
     maybe_save_model(args, &model, out)?;
     writeln!(
         out,
-        "distributed: {} workers, {passes} data passes, {} B on the wire \
-         ({sent} B sent, {received} B received), coordinator blocked {:?}",
+        "distributed: {} workers, {passes} data passes, {trips} wire round trips, \
+         {} B on the wire ({sent} B sent, {received} B received), coordinator blocked {:?}",
         summaries.len(),
         job.bytes_shuffled,
         job.map_wall,
@@ -1842,7 +1845,7 @@ mod tests {
         );
         let events =
             kmeans_obs::parse_chrome_trace(&std::fs::read_to_string(&trace_file).unwrap()).unwrap();
-        for name in ["stage:init", "stage:refine", "assign", "sample_bernoulli"] {
+        for name in ["stage:init", "stage:refine", "assign", "tracker_update+sample"] {
             assert!(
                 events.iter().any(|e| e.name == name),
                 "trace missing span '{name}'"

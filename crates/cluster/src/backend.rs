@@ -20,10 +20,12 @@
 
 use crate::coordinator::Cluster;
 use crate::error::ClusterError;
+use crate::protocol::LabelsWanted;
 use kmeans_core::assign::ClusterSums;
-use kmeans_core::driver::{BackendKind, RoundBackend};
+use kmeans_core::driver::{BackendKind, LabelFetch, RoundBackend, SampleOut, SampleSpec};
 use kmeans_core::KMeansError;
 use kmeans_data::PointMatrix;
+use std::collections::HashMap;
 
 /// A [`RoundBackend`] over a connected worker [`Cluster`].
 ///
@@ -38,6 +40,11 @@ use kmeans_data::PointMatrix;
 pub struct ClusterBackend<'a> {
     cluster: &'a mut Cluster,
     pending_plan: Option<usize>,
+    /// Preloaded row cache ([`RoundBackend::preload_rows`]): global row
+    /// index → position in the cached matrix. Mini-batch's per-step
+    /// gathers are served from here, collapsing its ~`steps` wire
+    /// cycles into one.
+    preload: Option<(HashMap<usize, usize>, PointMatrix)>,
 }
 
 impl<'a> ClusterBackend<'a> {
@@ -46,6 +53,7 @@ impl<'a> ClusterBackend<'a> {
         ClusterBackend {
             cluster,
             pending_plan: None,
+            preload: None,
         }
     }
 
@@ -55,6 +63,7 @@ impl<'a> ClusterBackend<'a> {
         ClusterBackend {
             cluster,
             pending_plan: Some(shard_size),
+            preload: None,
         }
     }
 
@@ -63,6 +72,22 @@ impl<'a> ClusterBackend<'a> {
             self.cluster.plan(shard_size).map_err(flatten)?;
         }
         Ok(())
+    }
+
+    /// Serves a gather from the preload cache when every requested row
+    /// is cached; `None` falls through to the wire.
+    fn cached_rows(&self, indices: &[usize]) -> Option<Result<PointMatrix, KMeansError>> {
+        let (map, rows) = self.preload.as_ref()?;
+        let mut out = PointMatrix::new(rows.dim());
+        for g in indices {
+            let &pos = map.get(g)?;
+            if let Err(e) = out.push(rows.row(pos)) {
+                return Some(Err(KMeansError::Data(format!(
+                    "preloaded row {g} has the wrong dim: {e}"
+                ))));
+            }
+        }
+        Some(Ok(out))
     }
 }
 
@@ -124,8 +149,31 @@ impl RoundBackend for ClusterBackend<'_> {
     }
 
     fn gather_rows(&mut self, indices: &[usize]) -> Result<PointMatrix, KMeansError> {
+        if let Some(cached) = self.cached_rows(indices) {
+            return cached;
+        }
         self.ensure_planned()?;
         self.cluster.gather_rows(indices).map_err(flatten)
+    }
+
+    fn gather_rows_into(
+        &mut self,
+        indices: &[usize],
+        out: &mut PointMatrix,
+    ) -> Result<(), KMeansError> {
+        *out = self.gather_rows(indices)?;
+        Ok(())
+    }
+
+    fn preload_rows(&mut self, indices: &[usize]) -> Result<(), KMeansError> {
+        self.ensure_planned()?;
+        let mut unique: Vec<usize> = indices.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let rows = self.cluster.gather_rows(&unique).map_err(flatten)?;
+        let map: HashMap<usize, usize> = unique.into_iter().zip(0..).collect();
+        self.preload = Some((map, rows));
+        Ok(())
     }
 
     fn tracker_init(&mut self, centers: &PointMatrix) -> Result<f64, KMeansError> {
@@ -175,7 +223,64 @@ impl RoundBackend for ClusterBackend<'_> {
 
     fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), KMeansError> {
         self.ensure_planned()?;
-        self.cluster.assign(centers).map_err(flatten)
+        let (reassigned, sums, _) = self
+            .cluster
+            .assign(centers, LabelsWanted::Skip)
+            .map_err(flatten)?;
+        Ok((reassigned, sums))
+    }
+
+    fn assign_fused(
+        &mut self,
+        centers: &PointMatrix,
+        fetch: LabelFetch,
+    ) -> Result<(u64, ClusterSums, Option<Vec<u32>>), KMeansError> {
+        self.ensure_planned()?;
+        let want = match fetch {
+            LabelFetch::Skip => LabelsWanted::Skip,
+            LabelFetch::IfStable => LabelsWanted::IfStable,
+            LabelFetch::Always => LabelsWanted::Always,
+        };
+        self.cluster.assign(centers, want).map_err(flatten)
+    }
+
+    fn tracker_init_sampled(
+        &mut self,
+        centers: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        self.ensure_planned()?;
+        self.cluster
+            .tracker_init_sampled(centers, round, seed, spec)
+            .map_err(flatten)
+    }
+
+    fn tracker_update_sampled(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        self.ensure_planned()?;
+        self.cluster
+            .tracker_update_sampled(from, new_rows, round, seed, spec)
+            .map_err(flatten)
+    }
+
+    fn tracker_update_weighted(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        m: usize,
+    ) -> Result<Vec<f64>, KMeansError> {
+        self.ensure_planned()?;
+        self.cluster
+            .tracker_update_weighted(from, new_rows, m)
+            .map_err(flatten)
     }
 
     fn fetch_labels(&mut self) -> Result<Vec<u32>, KMeansError> {

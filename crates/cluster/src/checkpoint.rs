@@ -27,7 +27,7 @@
 use crate::backend::ClusterBackend;
 use crate::wire::{fnv1a, Dec, Enc};
 use kmeans_core::assign::ClusterSums;
-use kmeans_core::driver::{BackendKind, RoundBackend};
+use kmeans_core::driver::{BackendKind, LabelFetch, RoundBackend, SampleOut, SampleSpec};
 use kmeans_core::kernel::KernelStats;
 use kmeans_core::KMeansError;
 use kmeans_data::checkpoint::{load_checkpoint_file, save_checkpoint_file, CheckpointMeta};
@@ -47,6 +47,12 @@ const K_CANDIDATE_WEIGHTS: u8 = 7;
 const K_ASSIGN: u8 = 8;
 const K_FETCH_LABELS: u8 = 9;
 const K_POTENTIAL: u8 = 10;
+// Fused rounds: one compound wire round = one committed journal unit, so
+// a job killed mid-compound resumes at the whole round's boundary.
+const K_INIT_SAMPLED: u8 = 11;
+const K_UPDATE_SAMPLED: u8 = 12;
+const K_UPDATE_WEIGHTED: u8 = 13;
+const K_ASSIGN_FUSED: u8 = 14;
 
 fn corrupt(what: &str) -> KMeansError {
     KMeansError::Data(format!("checkpoint journal: {what}"))
@@ -277,8 +283,7 @@ fn decode_u32s_result(payload: &[u8]) -> Result<Vec<u32>, KMeansError> {
     Ok(vs)
 }
 
-fn encode_assign_result(reassigned: u64, sums: &ClusterSums) -> Vec<u8> {
-    let mut e = Enc::new();
+fn enc_assign_into(e: &mut Enc, reassigned: u64, sums: &ClusterSums) {
     e.u64(reassigned);
     e.f64(sums.cost);
     e.f64s(&sums.sums);
@@ -294,11 +299,15 @@ fn encode_assign_result(reassigned: u64, sums: &ClusterSums) -> Vec<u8> {
     }
     e.u64(sums.stats.distance_computations);
     e.u64(sums.stats.pruned_by_norm_bound);
+}
+
+fn encode_assign_result(reassigned: u64, sums: &ClusterSums) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_assign_into(&mut e, reassigned, sums);
     e.into_bytes()
 }
 
-fn decode_assign_result(payload: &[u8]) -> Result<(u64, ClusterSums), KMeansError> {
-    let mut d = Dec::new(payload);
+fn dec_assign_from(d: &mut Dec) -> Result<(u64, ClusterSums), KMeansError> {
     let step = |r: Result<_, crate::protocol::FrameError>| r.map_err(|e| corrupt(&e.to_string()));
     let reassigned = d.u64().map_err(|e| corrupt(&e.to_string()))?;
     let cost = d.f64().map_err(|e| corrupt(&e.to_string()))?;
@@ -320,7 +329,6 @@ fn decode_assign_result(payload: &[u8]) -> Result<(u64, ClusterSums), KMeansErro
     }
     let distance_computations = d.u64().map_err(|e| corrupt(&e.to_string()))?;
     let pruned_by_norm_bound = d.u64().map_err(|e| corrupt(&e.to_string()))?;
-    d.finish().map_err(|e| corrupt(&e.to_string()))?;
     Ok((
         reassigned,
         ClusterSums {
@@ -334,6 +342,112 @@ fn decode_assign_result(payload: &[u8]) -> Result<(u64, ClusterSums), KMeansErro
             },
         },
     ))
+}
+
+fn decode_assign_result(payload: &[u8]) -> Result<(u64, ClusterSums), KMeansError> {
+    let mut d = Dec::new(payload);
+    let result = dec_assign_from(&mut d)?;
+    d.finish().map_err(|e| corrupt(&e.to_string()))?;
+    Ok(result)
+}
+
+fn encode_assign_fused_result(
+    reassigned: u64,
+    sums: &ClusterSums,
+    labels: &Option<Vec<u32>>,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_assign_into(&mut e, reassigned, sums);
+    match labels {
+        None => e.u8(0),
+        Some(l) => {
+            e.u8(1);
+            e.u32s(l);
+        }
+    }
+    e.into_bytes()
+}
+
+fn decode_assign_fused_result(
+    payload: &[u8],
+) -> Result<(u64, ClusterSums, Option<Vec<u32>>), KMeansError> {
+    let mut d = Dec::new(payload);
+    let (reassigned, sums) = dec_assign_from(&mut d)?;
+    let labels = match d.u8().map_err(|e| corrupt(&e.to_string()))? {
+        0 => None,
+        1 => Some(d.u32s().map_err(|e| corrupt(&e.to_string()))?),
+        other => return Err(corrupt(&format!("unknown labels flag {other}"))),
+    };
+    d.finish().map_err(|e| corrupt(&e.to_string()))?;
+    Ok((reassigned, sums, labels))
+}
+
+/// Fingerprint contribution of a fused round's sampling spec.
+fn enc_spec_into(e: &mut Enc, spec: Option<SampleSpec>) {
+    match spec {
+        None => e.u8(0),
+        Some(SampleSpec::Bernoulli { l }) => {
+            e.u8(1);
+            e.f64(l);
+        }
+        Some(SampleSpec::ExactKeys { m }) => {
+            e.u8(2);
+            e.u64(m as u64);
+        }
+    }
+}
+
+fn encode_phi_sample_result(phi: f64, out: &Option<SampleOut>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.f64(phi);
+    match out {
+        None => e.u8(0),
+        Some(SampleOut::Picked { indices, rows }) => {
+            e.u8(1);
+            let idx: Vec<u64> = indices.iter().map(|&i| i as u64).collect();
+            e.u64s(&idx);
+            e.matrix(rows);
+        }
+        Some(SampleOut::Keys(entries)) => {
+            e.u8(2);
+            e.u64(entries.len() as u64);
+            for &(key, idx) in entries {
+                e.f64(key);
+                e.u64(idx as u64);
+            }
+        }
+    }
+    e.into_bytes()
+}
+
+fn decode_phi_sample_result(payload: &[u8]) -> Result<(f64, Option<SampleOut>), KMeansError> {
+    let mut d = Dec::new(payload);
+    let step = |r: Result<_, crate::protocol::FrameError>| r.map_err(|e| corrupt(&e.to_string()));
+    let phi = d.f64().map_err(|e| corrupt(&e.to_string()))?;
+    let out = match d.u8().map_err(|e| corrupt(&e.to_string()))? {
+        0 => None,
+        1 => {
+            let idx = d.u64s().map_err(|e| corrupt(&e.to_string()))?;
+            let rows = d.matrix().map_err(|e| corrupt(&e.to_string()))?;
+            Some(SampleOut::Picked {
+                indices: idx.into_iter().map(|i| i as usize).collect(),
+                rows,
+            })
+        }
+        2 => {
+            let n = step(d.count(16))?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = d.f64().map_err(|e| corrupt(&e.to_string()))?;
+                let idx = d.u64().map_err(|e| corrupt(&e.to_string()))?;
+                entries.push((key, idx as usize));
+            }
+            Some(SampleOut::Keys(entries))
+        }
+        other => return Err(corrupt(&format!("unknown sample flag {other}"))),
+    };
+    d.finish().map_err(|e| corrupt(&e.to_string()))?;
+    Ok((phi, out))
 }
 
 /// A [`RoundBackend`] that journals every round result into a
@@ -611,6 +725,129 @@ impl RoundBackend for CheckpointingBackend<'_, '_> {
         self.append(K_POTENTIAL, fingerprint, encode_f64_result(cost))?;
         Ok(cost)
     }
+
+    // Fused rounds: each override journals the *whole* compound round as
+    // one record, so a job killed mid-compound resumes at the round
+    // boundary — and the replay mirrors (tracker segments, last assign)
+    // track exactly what the fused conversation broadcast.
+
+    fn tracker_init_sampled(
+        &mut self,
+        centers: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        let mut args = Enc::new();
+        args.matrix(centers);
+        args.u64(round as u64);
+        args.u64(seed);
+        enc_spec_into(&mut args, spec);
+        let fingerprint = fp(K_INIT_SAMPLED, args);
+        if let Some(i) = self.next_replay(K_INIT_SAMPLED, fingerprint)? {
+            let result = decode_phi_sample_result(&self.ckpt.records[i].payload)?;
+            self.segments = vec![centers.clone()];
+            return Ok(result);
+        }
+        self.catch_up()?;
+        let (psi, out) = self.inner.tracker_init_sampled(centers, round, seed, spec)?;
+        self.append(
+            K_INIT_SAMPLED,
+            fingerprint,
+            encode_phi_sample_result(psi, &out),
+        )?;
+        Ok((psi, out))
+    }
+
+    fn tracker_update_sampled(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        let mut args = Enc::new();
+        args.u64(from as u64);
+        args.matrix(new_rows);
+        args.u64(round as u64);
+        args.u64(seed);
+        enc_spec_into(&mut args, spec);
+        let fingerprint = fp(K_UPDATE_SAMPLED, args);
+        if let Some(i) = self.next_replay(K_UPDATE_SAMPLED, fingerprint)? {
+            let result = decode_phi_sample_result(&self.ckpt.records[i].payload)?;
+            self.segments.push(new_rows.clone());
+            return Ok(result);
+        }
+        self.catch_up()?;
+        let (phi, out) = self
+            .inner
+            .tracker_update_sampled(from, new_rows, round, seed, spec)?;
+        self.append(
+            K_UPDATE_SAMPLED,
+            fingerprint,
+            encode_phi_sample_result(phi, &out),
+        )?;
+        Ok((phi, out))
+    }
+
+    fn tracker_update_weighted(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        m: usize,
+    ) -> Result<Vec<f64>, KMeansError> {
+        let mut args = Enc::new();
+        args.u64(from as u64);
+        args.matrix(new_rows);
+        args.u64(m as u64);
+        let fingerprint = fp(K_UPDATE_WEIGHTED, args);
+        if let Some(i) = self.next_replay(K_UPDATE_WEIGHTED, fingerprint)? {
+            let weights = decode_f64s_result(&self.ckpt.records[i].payload)?;
+            self.segments.push(new_rows.clone());
+            return Ok(weights);
+        }
+        self.catch_up()?;
+        let weights = self.inner.tracker_update_weighted(from, new_rows, m)?;
+        self.append(
+            K_UPDATE_WEIGHTED,
+            fingerprint,
+            encode_f64s_result(&weights),
+        )?;
+        Ok(weights)
+    }
+
+    fn assign_fused(
+        &mut self,
+        centers: &PointMatrix,
+        fetch: LabelFetch,
+    ) -> Result<(u64, ClusterSums, Option<Vec<u32>>), KMeansError> {
+        let mut args = Enc::new();
+        args.matrix(centers);
+        args.u8(match fetch {
+            LabelFetch::Skip => 0,
+            LabelFetch::IfStable => 1,
+            LabelFetch::Always => 2,
+        });
+        let fingerprint = fp(K_ASSIGN_FUSED, args);
+        if let Some(i) = self.next_replay(K_ASSIGN_FUSED, fingerprint)? {
+            let result = decode_assign_fused_result(&self.ckpt.records[i].payload)?;
+            self.last_assign = Some(centers.clone());
+            return Ok(result);
+        }
+        self.catch_up()?;
+        let (reassigned, sums, labels) = self.inner.assign_fused(centers, fetch)?;
+        self.append(
+            K_ASSIGN_FUSED,
+            fingerprint,
+            encode_assign_fused_result(reassigned, &sums, &labels),
+        )?;
+        Ok((reassigned, sums, labels))
+    }
+
+    // `preload_rows` deliberately stays the trait's no-op default:
+    // checkpointed mini-batch keeps its per-batch journaled gathers —
+    // durability at round granularity over collapsing the gathers.
 }
 
 #[cfg(test)]

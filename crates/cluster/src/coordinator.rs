@@ -27,10 +27,12 @@
 //! [`ClusterError::RecoveryFailed`], never a hang.
 
 use crate::error::ClusterError;
-use crate::protocol::{Message, WorkerStats};
+use crate::protocol::{LabelsWanted, Message, WorkerStats};
 use crate::transport::Transport;
 use kmeans_core::assign::{sum_shard_size_for, ClusterSums};
 use kmeans_core::chunked::fold_accum_shards;
+use kmeans_core::driver::{SampleOut, SampleSpec};
+use kmeans_core::init::bernoulli_accept;
 use kmeans_core::kernel::KernelStats;
 use kmeans_data::PointMatrix;
 use kmeans_obs::{arg_u64, Recorder};
@@ -108,6 +110,11 @@ pub struct Cluster {
     shard_size: usize,
     data_passes: u64,
     pairs: u64,
+    /// Data-round request/reply cycles driven over the fleet — one per
+    /// scatter/gather broadcast ([`Cluster::request_all`]) or row gather.
+    /// Session control (`Hello`/`Plan`/`Shutdown`) is excluded: it is
+    /// per-connection setup, not part of the algorithm's round budget.
+    round_trips: u64,
     blocked_wall: Duration,
     recovery: Option<Recovery>,
     /// Replay mirror: the exact `InitTracker`/`UpdateTracker` candidate
@@ -175,6 +182,7 @@ impl Cluster {
             shard_size: 0,
             data_passes: 0,
             pairs: 0,
+            round_trips: 0,
             blocked_wall: Duration::ZERO,
             recovery: None,
             tracker_segments: Vec::new(),
@@ -294,6 +302,7 @@ impl Cluster {
         self.shard_size = shard_size;
         self.data_passes = 0;
         self.pairs = 0;
+        self.round_trips = 0;
         self.blocked_wall = Duration::ZERO;
         self.tracker_segments.clear();
         self.last_assign = None;
@@ -561,6 +570,7 @@ impl Cluster {
     fn request_all(&mut self, msg: &Message) -> Result<Vec<Message>, ClusterError> {
         let t0 = Instant::now();
         let span = self.recorder.start();
+        self.round_trips += 1;
         let n = self.workers.len();
         let mut early: Vec<Option<Message>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, slot) in early.iter_mut().enumerate() {
@@ -653,6 +663,249 @@ impl Cluster {
         })?;
         self.tracker_segments.push(new_rows.clone());
         Ok(Self::fold(sums))
+    }
+
+    /// Unpacks one worker's fused-round reply: a `Compound` of exactly
+    /// `arity` items. A worker stops a compound at its first failing
+    /// sub-message and ships the (shorter) batch ending in `Error`, so a
+    /// trailing error item is surfaced as the typed remote error before
+    /// the arity check.
+    fn unpack_compound(
+        worker: usize,
+        reply: Message,
+        arity: usize,
+    ) -> Result<Vec<Message>, ClusterError> {
+        match reply {
+            Message::Compound(items) => {
+                if let Some(Message::Error(e)) = items.iter().find(|m| matches!(m, Message::Error(_)))
+                {
+                    return Err(ClusterError::Remote {
+                        worker,
+                        error: e.clone().into(),
+                    });
+                }
+                if items.len() == arity {
+                    return Ok(items);
+                }
+                Err(ClusterError::Protocol(format!(
+                    "worker {worker} answered a {arity}-step compound with {} items",
+                    items.len()
+                )))
+            }
+            other => Err(ClusterError::Protocol(format!(
+                "worker {worker} answered with {other:?} instead of Compound"
+            ))),
+        }
+    }
+
+    /// The shared body of the fused tracker rounds: broadcasts one
+    /// `Compound([tracker_msg, sample_msg?])`, folds the global potential
+    /// from the `ShardSums` parts (worker order = shard order), and
+    /// resolves the piggybacked sample against that *folded* potential.
+    ///
+    /// Bernoulli parity argument: workers prescreen with their local
+    /// left-folded `φ_lo` — a guaranteed lower bound on the global folded
+    /// φ (non-negative summands; folding the same segment from a larger
+    /// initial accumulator never decreases the result), and acceptance
+    /// `u < ℓ·d²/φ` is monotone non-increasing in φ — so the true accept
+    /// set is a subset of the prescreen set. The coordinator re-applies
+    /// the exact test with the exact per-point draw `u` the worker
+    /// consumed, making the fused round bit-identical to the two-round
+    /// conversation it replaces.
+    fn tracker_round_sampled(
+        &mut self,
+        tracker_msg: Message,
+        segment: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), ClusterError> {
+        let sample_msg = spec.map(|s| match s {
+            SampleSpec::Bernoulli { l } => Message::SampleBernoulliLocal {
+                round: round as u64,
+                seed,
+                l,
+            },
+            SampleSpec::ExactKeys { m } => Message::SampleExact {
+                round: round as u64,
+                seed,
+                m: m as u64,
+            },
+        });
+        let arity = 1 + sample_msg.iter().count();
+        let mut items = vec![tracker_msg];
+        items.extend(sample_msg);
+        let replies = self.request_all(&Message::Compound(items))?;
+        let mut sums = Vec::new();
+        let mut sample_parts = Vec::with_capacity(replies.len());
+        for (i, r) in replies.into_iter().enumerate() {
+            let mut parts = Self::unpack_compound(i, r, arity)?.into_iter();
+            match parts.next() {
+                Some(Message::ShardSums { sums: s }) => sums.extend(s),
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {i} answered tracker step with {other:?} instead of ShardSums"
+                    )))
+                }
+            }
+            if let Some(part) = parts.next() {
+                sample_parts.push((i, part));
+            }
+        }
+        self.note_pass(sums.len() as u64);
+        self.tracker_segments.push(segment.clone());
+        let phi = Self::fold(sums);
+        let out = match spec {
+            None => None,
+            Some(SampleSpec::Bernoulli { l }) => {
+                let mut indices = Vec::new();
+                let mut rows = PointMatrix::new(self.dim);
+                for (i, part) in sample_parts {
+                    let (entries, picked) = match part {
+                        Message::Prescreened { entries, rows } => (entries, rows),
+                        other => {
+                            return Err(ClusterError::Protocol(format!(
+                                "worker {i} answered sample step with {other:?} instead of Prescreened"
+                            )))
+                        }
+                    };
+                    if entries.len() != picked.len() {
+                        return Err(ClusterError::Protocol(format!(
+                            "worker {i} prescreened {} entries but shipped {} rows",
+                            entries.len(),
+                            picked.len()
+                        )));
+                    }
+                    for (j, (g, u, d2)) in entries.into_iter().enumerate() {
+                        if bernoulli_accept(u, l, d2, phi) {
+                            indices.push(g as usize);
+                            rows.push(picked.row(j)).map_err(|e| {
+                                ClusterError::Protocol(format!(
+                                    "worker {i} prescreened ragged rows: {e}"
+                                ))
+                            })?;
+                        }
+                    }
+                }
+                self.pairs += indices.len() as u64;
+                Some(SampleOut::Picked { indices, rows })
+            }
+            Some(SampleSpec::ExactKeys { .. }) => {
+                let mut entries = Vec::new();
+                for (i, part) in sample_parts {
+                    match part {
+                        Message::ExactKeys { entries: e } => {
+                            entries.extend(e.into_iter().map(|(key, g)| (key, g as usize)));
+                        }
+                        other => {
+                            return Err(ClusterError::Protocol(format!(
+                                "worker {i} answered sample step with {other:?} instead of ExactKeys"
+                            )))
+                        }
+                    }
+                }
+                self.pairs += entries.len() as u64;
+                Some(SampleOut::Keys(entries))
+            }
+        };
+        Ok((phi, out))
+    }
+
+    /// Fused round 0: `InitTracker` + the round's sampling step in one
+    /// wire round trip. Returns the global ψ and the resolved sample.
+    pub fn tracker_init_sampled(
+        &mut self,
+        centers: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), ClusterError> {
+        self.tracker_segments.clear();
+        self.tracker_round_sampled(
+            Message::InitTracker {
+                centers: centers.clone(),
+            },
+            centers,
+            round,
+            seed,
+            spec,
+        )
+    }
+
+    /// Fused mid round: `UpdateTracker` + the next round's sampling step
+    /// in one wire round trip. Returns the global φ and the sample.
+    pub fn tracker_update_sampled(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), ClusterError> {
+        self.tracker_round_sampled(
+            Message::UpdateTracker {
+                from: from as u64,
+                centers: new_rows.clone(),
+            },
+            new_rows,
+            round,
+            seed,
+            spec,
+        )
+    }
+
+    /// Fused closing round: the last `UpdateTracker` + Step 7's
+    /// `CandidateWeights` in one wire round trip.
+    pub fn tracker_update_weighted(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        m: usize,
+    ) -> Result<Vec<f64>, ClusterError> {
+        let items = vec![
+            Message::UpdateTracker {
+                from: from as u64,
+                centers: new_rows.clone(),
+            },
+            Message::CandidateWeights { m: m as u64 },
+        ];
+        let replies = self.request_all(&Message::Compound(items))?;
+        let mut sums_len = 0u64;
+        let mut total = vec![0.0f64; m];
+        for (i, r) in replies.into_iter().enumerate() {
+            let mut parts = Self::unpack_compound(i, r, 2)?.into_iter();
+            match parts.next() {
+                Some(Message::ShardSums { sums }) => sums_len += sums.len() as u64,
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {i} answered tracker step with {other:?} instead of ShardSums"
+                    )))
+                }
+            }
+            match parts.next() {
+                Some(Message::Weights { weights }) => {
+                    if weights.len() != m {
+                        return Err(ClusterError::Protocol(format!(
+                            "worker {i} sent {} weights for {m} candidates",
+                            weights.len()
+                        )));
+                    }
+                    for (acc, w) in total.iter_mut().zip(weights) {
+                        // Integer-valued counts: float addition is exact.
+                        *acc += w;
+                    }
+                }
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {i} answered weights step with {other:?} instead of Weights"
+                    )))
+                }
+            }
+        }
+        self.note_pass(sums_len);
+        self.tracker_segments.push(new_rows.clone());
+        self.pairs += m as u64;
+        Ok(total)
     }
 
     /// One Bernoulli sampling round (Step 4). Returns the picked global
@@ -770,6 +1023,7 @@ impl Cluster {
             per_worker[w].push(g as u64);
         }
         let t0 = Instant::now();
+        self.round_trips += 1;
         let involved: Vec<usize> = (0..self.workers.len())
             .filter(|&w| !per_worker[w].is_empty())
             .collect();
@@ -868,25 +1122,40 @@ impl Cluster {
     /// counters included (workers ship them in the partials frames; the
     /// counters are deterministic per point, so their sum over workers
     /// equals the single-node pass's).
-    pub fn assign(&mut self, centers: &PointMatrix) -> Result<(u64, ClusterSums), ClusterError> {
+    ///
+    /// `want` piggybacks label shipping on the same round trip:
+    /// `Always` makes every worker append its labels to the partials
+    /// frame; `IfStable` makes each *locally* stable worker ship
+    /// speculatively — when the global count is 0 every worker was
+    /// locally stable, so the full label vector arrived for free and is
+    /// returned, eliminating the follow-up `FetchLabels` cycle.
+    pub fn assign(
+        &mut self,
+        centers: &PointMatrix,
+        want: LabelsWanted,
+    ) -> Result<(u64, ClusterSums, Option<Vec<u32>>), ClusterError> {
         let k = centers.len();
         let d = self.dim;
         let replies = self.request_all(&Message::Assign {
             centers: centers.clone(),
+            labels: want,
         })?;
         let mut reassigned = 0u64;
         let mut all_shards = Vec::new();
         let mut stats = KernelStats::default();
+        let mut per_worker_labels = Vec::with_capacity(self.workers.len());
         for (i, r) in replies.into_iter().enumerate() {
             match r {
                 Message::Partials {
                     reassigned: re,
                     shards,
                     stats: worker_stats,
+                    labels,
                 } => {
                     reassigned += re;
                     all_shards.extend(shards);
                     stats.absorb(worker_stats);
+                    per_worker_labels.push(labels);
                 }
                 other => {
                     return Err(ClusterError::Protocol(format!(
@@ -902,11 +1171,39 @@ impl Cluster {
                 ));
             }
         }
+        let ship = match want {
+            LabelsWanted::Skip => false,
+            LabelsWanted::IfStable => reassigned == 0,
+            LabelsWanted::Always => true,
+        };
+        let labels = if ship {
+            let mut all = Vec::with_capacity(self.global_n);
+            for (i, l) in per_worker_labels.into_iter().enumerate() {
+                match l {
+                    Some(l) => all.extend(l),
+                    None => {
+                        return Err(ClusterError::Protocol(format!(
+                            "worker {i} omitted labels from an assignment that requires them"
+                        )))
+                    }
+                }
+            }
+            if all.len() != self.global_n {
+                return Err(ClusterError::Protocol(format!(
+                    "workers returned {} labels for {} rows",
+                    all.len(),
+                    self.global_n
+                )));
+            }
+            Some(all)
+        } else {
+            None
+        };
         self.note_pass(all_shards.len() as u64);
         let mut sums = fold_accum_shards(k, d, &all_shards);
         sums.stats = stats;
         self.last_assign = Some(centers.clone());
-        Ok((reassigned, sums))
+        Ok((reassigned, sums, labels))
     }
 
     /// Global potential of `centers` over all workers' rows (with the
@@ -1000,6 +1297,14 @@ impl Cluster {
         self.data_passes
     }
 
+    /// Data-round request/reply cycles driven so far: one per fleet
+    /// broadcast or row gather. Session control (`Hello`/`Plan`/
+    /// `Shutdown`) is excluded. A fused `Compound` round counts once —
+    /// this is the latency currency the round-fused driver minimizes.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
     /// The run's accounting in the same [`JobStats`] shape the in-process
     /// MapReduce model reports: map tasks are executor shards per pass,
     /// `bytes_shuffled` is real bytes on the wire, and `map_wall` is the
@@ -1016,6 +1321,7 @@ impl Cluster {
             pairs_shuffled: self.pairs,
             bytes_shuffled: self.bytes_sent() + self.bytes_received(),
             distinct_keys: self.num_workers(),
+            round_trips: self.round_trips,
             map_wall: self.blocked_wall,
             shuffle_wall: Duration::ZERO,
             reduce_wall: Duration::ZERO,

@@ -61,6 +61,13 @@ pub mod tag {
     pub const SHARD_SUMS: u8 = 6;
     /// `Partials` — the assignment rounds' reply.
     pub const PARTIALS: u8 = 18;
+    /// `Compound` — a fused round's batched request (and its batched
+    /// reply): the default conversation shape of a distributed fit.
+    pub const COMPOUND: u8 = 29;
+    /// `SampleBernoulliLocal` — the fused Bernoulli prescreen step.
+    pub const SAMPLE_BERNOULLI_LOCAL: u8 = 30;
+    /// `Prescreened` — the fused Bernoulli prescreen reply.
+    pub const PRESCREENED: u8 = 31;
 }
 
 /// One scripted fault, armed for the `occurrence`-th frame (1-based)
@@ -326,7 +333,14 @@ mod tests {
             tag::GATHER_ROWS
         );
         assert_eq!(Message::GatherD2.tag(), tag::GATHER_D2);
-        assert_eq!(Message::Assign { centers: m.clone() }.tag(), tag::ASSIGN);
+        assert_eq!(
+            Message::Assign {
+                centers: m.clone(),
+                labels: Default::default()
+            }
+            .tag(),
+            tag::ASSIGN
+        );
         assert_eq!(Message::Cost { centers: m.clone() }.tag(), tag::COST);
         assert_eq!(Message::FetchLabels.tag(), tag::FETCH_LABELS);
         assert_eq!(Message::ShardSums { sums: vec![] }.tag(), tag::SHARD_SUMS);
@@ -334,10 +348,29 @@ mod tests {
             Message::Partials {
                 reassigned: 0,
                 shards: vec![],
-                stats: Default::default()
+                stats: Default::default(),
+                labels: None
             }
             .tag(),
             tag::PARTIALS
+        );
+        assert_eq!(Message::Compound(vec![]).tag(), tag::COMPOUND);
+        assert_eq!(
+            Message::SampleBernoulliLocal {
+                round: 0,
+                seed: 0,
+                l: 0.0
+            }
+            .tag(),
+            tag::SAMPLE_BERNOULLI_LOCAL
+        );
+        assert_eq!(
+            Message::Prescreened {
+                entries: vec![],
+                rows: m.clone()
+            }
+            .tag(),
+            tag::PRESCREENED
         );
         drop(m);
     }

@@ -151,6 +151,24 @@ impl From<WireError> for KMeansError {
     }
 }
 
+/// Whether an [`Message::Assign`] pass should ship the labels it stored
+/// back in its [`Message::Partials`] reply — the wire form of the
+/// driver's `LabelFetch`, eliminating the separate `FetchLabels` cycle
+/// on the paths that need labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelsWanted {
+    /// Labels stay worker-resident (mid-loop Lloyd iterations). Also the
+    /// decoded meaning of a frame without the trailing mode byte.
+    #[default]
+    Skip,
+    /// Ship labels iff this worker's pass was *locally* stable
+    /// (`reassigned == 0`) — a globally stable pass then always arrives
+    /// fully labeled, and an unstable one ships next to nothing.
+    IfStable,
+    /// Always ship the labels (closing relabel, label-only passes).
+    Always,
+}
+
 /// A worker's residency/accounting snapshot (reply to
 /// [`Message::FetchStats`]), surfaced in the CLI's per-worker report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -282,6 +300,9 @@ pub enum Message {
     Assign {
         /// The centers.
         centers: PointMatrix,
+        /// Whether the reply should carry the stored labels. Encoded as
+        /// a trailing byte; frames without it decode as `Skip`.
+        labels: LabelsWanted,
     },
     /// Accumulation-shard partials of one assignment pass, in shard
     /// order, plus the reassignment count vs. the previous pass and the
@@ -298,6 +319,10 @@ pub enum Message {
         /// so the coordinator degrades to under-counting instead of
         /// failing the round.
         stats: KernelStats,
+        /// The stored labels (local row order), present when the request
+        /// asked per its [`LabelsWanted`]. Trailing field after `stats`;
+        /// frames without it decode as `None`.
+        labels: Option<Vec<u32>>,
     },
     /// Potential partials for these centers (seed-cost pass; includes the
     /// finiteness check). Replies `ShardSums`.
@@ -334,6 +359,43 @@ pub enum Message {
     },
     /// Worker → coordinator: labels restored.
     RestoreOk,
+    /// Several messages traveling as **one** frame — the round-fusion
+    /// mechanism. A coordinator sends one `Compound` of requests per
+    /// worker per fused round (e.g. `[UpdateTracker, SampleBernoulliLocal]`);
+    /// the worker executes the sub-messages in order against its session
+    /// state and replies with one `Compound` of the per-item replies,
+    /// stopping after the first item that produces an `Error` (which
+    /// stays in place as the last reply). Defensively decoded: per-item
+    /// length bounds before any allocation, nested compounds rejected,
+    /// and an empty compound is a typed error.
+    Compound(Vec<Message>),
+    /// Step 4, Bernoulli form, *prescreened locally*: the worker draws
+    /// the per-shard tag-31 streams and keeps every point accepted
+    /// against its **local** potential `φ_lo` (the left fold of its own
+    /// per-shard `d²` sums — an FP-guaranteed lower bound on the global
+    /// folded φ, so the true accept set is always a subset). Replies
+    /// [`Message::Prescreened`]; the coordinator replays the exact
+    /// accept predicate with the folded global φ. Unlike
+    /// [`Message::SampleBernoulli`] this request does not need φ, which
+    /// is what lets it ride the same compound frame as the tracker
+    /// update that changes φ.
+    SampleBernoulliLocal {
+        /// Round index (part of the RNG stream derivation).
+        round: u64,
+        /// Base seed.
+        seed: u64,
+        /// Oversampling ℓ.
+        l: f64,
+    },
+    /// The prescreen survivors: `(global index, uniform draw u, d²)` per
+    /// entry (ascending indices), plus their rows in the same order. The
+    /// coordinator keeps entry `j` iff `u < ℓ·d²/φ` under the global φ.
+    Prescreened {
+        /// `(global index, u, d²)` triples, ascending by index.
+        entries: Vec<(u64, f64, f64)>,
+        /// The corresponding rows, same order as `entries`.
+        rows: PointMatrix,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -406,6 +468,9 @@ impl WireMessage for Message {
             Message::ShutdownOk => 26,
             Message::RestoreLabels { .. } => 27,
             Message::RestoreOk => 28,
+            Message::Compound(_) => 29,
+            Message::SampleBernoulliLocal { .. } => 30,
+            Message::Prescreened { .. } => 31,
         }
     }
 
@@ -430,10 +495,19 @@ impl WireMessage for Message {
             Message::PlanOk | Message::GatherD2 | Message::FetchLabels | Message::FetchStats => {}
             Message::Shutdown | Message::ShutdownOk | Message::RestoreOk => {}
             Message::InitTracker { centers }
-            | Message::Assign { centers }
             | Message::Cost { centers }
             | Message::RestoreLabels { centers } => {
                 e.matrix(centers);
+            }
+            Message::Assign { centers, labels } => {
+                e.matrix(centers);
+                // Trailing mode byte (absent in revision-1 frames, which
+                // decode as Skip).
+                e.u8(match labels {
+                    LabelsWanted::Skip => 0,
+                    LabelsWanted::IfStable => 1,
+                    LabelsWanted::Always => 2,
+                });
             }
             Message::UpdateTracker { from, centers } => {
                 e.u64(*from);
@@ -476,6 +550,7 @@ impl WireMessage for Message {
                 reassigned,
                 shards,
                 stats,
+                labels,
             } => {
                 e.u64(*reassigned);
                 e.u64(shards.len() as u64);
@@ -486,6 +561,12 @@ impl WireMessage for Message {
                 // in frames from older peers — see the decoder).
                 e.u64(stats.distance_computations);
                 e.u64(stats.pruned_by_norm_bound);
+                // Trailing labels (revision 3): encoded only when present,
+                // so revision-2 frames decode as `None`.
+                if let Some(l) = labels {
+                    e.u8(1);
+                    e.u32s(l);
+                }
             }
             Message::Labels { labels } => e.u32s(labels),
             Message::Stats(s) => {
@@ -530,6 +611,27 @@ impl WireMessage for Message {
                 }
                 WireError::Draining => e.u8(9),
             },
+            Message::Compound(items) => {
+                e.u64(items.len() as u64);
+                for item in items {
+                    e.u8(WireMessage::tag(item));
+                    e.bytes(&item.encode_payload());
+                }
+            }
+            Message::SampleBernoulliLocal { round, seed, l } => {
+                e.u64(*round);
+                e.u64(*seed);
+                e.f64(*l);
+            }
+            Message::Prescreened { entries, rows } => {
+                e.u64(entries.len() as u64);
+                for &(idx, u, d2) in entries {
+                    e.u64(idx);
+                    e.f64(u);
+                    e.f64(d2);
+                }
+                e.matrix(rows);
+            }
         }
         e.into_bytes()
     }
@@ -584,9 +686,21 @@ impl WireMessage for Message {
             14 => Message::Rows { rows: d.matrix()? },
             15 => Message::GatherD2,
             16 => Message::D2 { values: d.f64s()? },
-            17 => Message::Assign {
-                centers: d.matrix()?,
-            },
+            17 => {
+                let centers = d.matrix()?;
+                // Trailing mode byte: a revision-1 frame ends here (Skip).
+                let labels = if d.remaining() == 0 {
+                    LabelsWanted::Skip
+                } else {
+                    match d.u8()? {
+                        0 => LabelsWanted::Skip,
+                        1 => LabelsWanted::IfStable,
+                        2 => LabelsWanted::Always,
+                        _ => return Err(FrameError::Malformed("unknown labels mode")),
+                    }
+                };
+                Message::Assign { centers, labels }
+            }
             18 => {
                 let reassigned = d.u64()?;
                 // One AccumShard is at least 5 fixed u64/f64 fields.
@@ -607,10 +721,19 @@ impl WireMessage for Message {
                         pruned_by_norm_bound: d.u64()?,
                     }
                 };
+                // Trailing labels (revision 3): absent in older frames.
+                let labels = if d.remaining() == 0 {
+                    None
+                } else if d.u8()? == 1 {
+                    Some(d.u32s()?)
+                } else {
+                    return Err(FrameError::Malformed("unknown labels flag"));
+                };
                 Message::Partials {
                     reassigned,
                     shards,
                     stats,
+                    labels,
                 }
             }
             19 => Message::Cost {
@@ -661,6 +784,40 @@ impl WireMessage for Message {
                 centers: d.matrix()?,
             },
             28 => Message::RestoreOk,
+            29 => {
+                // Each item costs at least a tag byte plus a length
+                // prefix; validating the count against that floor bounds
+                // the allocation before it happens.
+                let n = d.count(9)?;
+                if n == 0 {
+                    return Err(FrameError::Malformed("empty compound"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = d.u8()?;
+                    if tag == 29 {
+                        return Err(FrameError::Malformed("nested compound"));
+                    }
+                    let payload = d.bytes()?;
+                    items.push(Message::decode_payload(tag, &payload)?);
+                }
+                Message::Compound(items)
+            }
+            30 => Message::SampleBernoulliLocal {
+                round: d.u64()?,
+                seed: d.u64()?,
+                l: d.f64()?,
+            },
+            31 => {
+                let n = d.count(24)?;
+                let entries = (0..n)
+                    .map(|_| Ok((d.u64()?, d.f64()?, d.f64()?)))
+                    .collect::<Result<Vec<_>, FrameError>>()?;
+                Message::Prescreened {
+                    entries,
+                    rows: d.matrix()?,
+                }
+            }
             other => return Err(FrameError::UnknownTag(other)),
         };
         d.finish()?;
@@ -702,6 +859,9 @@ impl Message {
             Message::ShutdownOk => "shutdown_ok",
             Message::RestoreLabels { .. } => "restore_labels",
             Message::RestoreOk => "restore_ok",
+            Message::Compound(_) => "compound",
+            Message::SampleBernoulliLocal { .. } => "sample_bernoulli_local",
+            Message::Prescreened { .. } => "prescreened",
         }
     }
 
@@ -789,7 +949,14 @@ mod tests {
             Message::D2 {
                 values: vec![0.25; 4],
             },
-            Message::Assign { centers: m.clone() },
+            Message::Assign {
+                centers: m.clone(),
+                labels: LabelsWanted::Skip,
+            },
+            Message::Assign {
+                centers: m.clone(),
+                labels: LabelsWanted::IfStable,
+            },
             Message::Partials {
                 reassigned: 11,
                 shards: vec![AccumShard {
@@ -802,7 +969,40 @@ mod tests {
                     distance_computations: 42,
                     pruned_by_norm_bound: 7,
                 },
+                labels: None,
             },
+            Message::Partials {
+                reassigned: 0,
+                shards: Vec::new(),
+                stats: KernelStats::default(),
+                labels: Some(vec![2, 0, 1]),
+            },
+            Message::SampleBernoulliLocal {
+                round: 3,
+                seed: 42,
+                l: 16.0,
+            },
+            Message::Prescreened {
+                entries: vec![(5, 0.25, 1.5), (9, 0.75, 0.125)],
+                rows: m.clone(),
+            },
+            Message::Compound(vec![
+                Message::UpdateTracker {
+                    from: 3,
+                    centers: m.clone(),
+                },
+                Message::SampleBernoulliLocal {
+                    round: 1,
+                    seed: 7,
+                    l: 4.0,
+                },
+            ]),
+            Message::Compound(vec![
+                Message::ShardSums {
+                    sums: vec![1.0, 2.0],
+                },
+                Message::Error(WireError::EmptyInput),
+            ]),
             Message::Cost { centers: m.clone() },
             Message::RestoreLabels { centers: m },
             Message::RestoreOk,
@@ -903,6 +1103,7 @@ mod tests {
                 distance_computations: 9,
                 pruned_by_norm_bound: 1,
             },
+            labels: None,
         };
         let full = msg.encode_frame();
         let payload_len = full.len() - 9 - 8; // minus header and checksum

@@ -11,12 +11,12 @@
 //! The worker-local thread count never affects any value it ships.
 
 use crate::error::ClusterError;
-use crate::protocol::{Message, WorkerStats};
+use crate::protocol::{LabelsWanted, Message, WorkerStats};
 use crate::transport::{TcpTransport, Transport};
 use kmeans_core::chunked::{
     assign_partials_chunked, gather_rows, potential_shard_sums, ChunkedCostTracker,
 };
-use kmeans_core::init::{exact_sample_keys, sample_bernoulli};
+use kmeans_core::init::{exact_sample_keys, sample_bernoulli, sample_bernoulli_prescreen};
 use kmeans_core::KMeansError;
 use kmeans_data::{ChunkedSource, PointMatrix};
 use kmeans_obs::{arg_u64, Recorder, SpanEvent};
@@ -99,9 +99,14 @@ impl Worker {
             | Message::Cost { .. }
             | Message::RestoreLabels { .. }
             | Message::SampleBernoulli { .. }
+            | Message::SampleBernoulliLocal { .. }
             | Message::SampleExact { .. }
             | Message::GatherD2
             | Message::FetchLabels => local_rows as u64,
+            Message::Compound(items) => items
+                .iter()
+                .map(|m| Self::frame_rows(m, local_rows))
+                .sum(),
             _ => 0,
         }
     }
@@ -202,11 +207,32 @@ impl Worker {
         }
     }
 
-    /// Handles one post-plan request, producing the reply.
+    /// Handles one post-plan request, producing the reply. A `Compound`
+    /// request executes its sub-messages in order against the session
+    /// state and returns one `Compound` of the per-item replies; the
+    /// first failing item stops execution with its `Error` in place, so
+    /// the coordinator sees exactly how far the round got.
     fn handle(&self, s: &mut Session, msg: Message) -> Message {
-        match self.try_handle(s, msg) {
-            Ok(reply) => reply,
-            Err(e) => Message::Error(e.into()),
+        match msg {
+            Message::Compound(items) => {
+                let mut replies = Vec::with_capacity(items.len());
+                for item in items {
+                    let reply = match self.try_handle(s, item) {
+                        Ok(r) => r,
+                        Err(e) => Message::Error(e.into()),
+                    };
+                    let failed = matches!(reply, Message::Error(_));
+                    replies.push(reply);
+                    if failed {
+                        break;
+                    }
+                }
+                Message::Compound(replies)
+            }
+            other => match self.try_handle(s, other) {
+                Ok(reply) => reply,
+                Err(e) => Message::Error(e.into()),
+            },
         }
     }
 
@@ -278,6 +304,43 @@ impl Worker {
                     rows,
                 })
             }
+            Message::SampleBernoulliLocal { round, seed, l } => {
+                let tracker = s
+                    .tracker
+                    .as_ref()
+                    .ok_or_else(|| KMeansError::InvalidConfig("no tracker initialized".into()))?;
+                let first_shard = s.start_row / s.shard_size;
+                // Prescreen against the *local* potential: the left fold
+                // of this worker's own per-shard d² sums. Floating-point
+                // addition of non-negatives is monotone, so this is a
+                // guaranteed lower bound on the coordinator's global fold
+                // (which folds these same shard sums with a non-negative
+                // running prefix) — every true pick survives the
+                // prescreen, and the coordinator's exact re-filter drops
+                // the rest.
+                let phi_lo = per_shard_sums(tracker.d2(), &s.exec)
+                    .into_iter()
+                    .fold(0.0f64, |a, b| a + b);
+                let picked = sample_bernoulli_prescreen(
+                    tracker.d2(),
+                    l,
+                    phi_lo,
+                    seed,
+                    round as usize,
+                    &s.exec,
+                    first_shard,
+                );
+                let local: Vec<usize> = picked.iter().map(|&(i, _)| i).collect();
+                let mut buf = source.block_buffer();
+                let rows = gather_rows(source, &local, &mut buf)?;
+                Ok(Message::Prescreened {
+                    entries: picked
+                        .iter()
+                        .map(|&(i, u)| ((i + s.start_row) as u64, u, tracker.d2()[i]))
+                        .collect(),
+                    rows,
+                })
+            }
             Message::SampleExact { round, seed, m } => {
                 let tracker = s
                     .tracker
@@ -343,7 +406,10 @@ impl Worker {
                     values: tracker.d2().to_vec(),
                 })
             }
-            Message::Assign { centers } => {
+            Message::Assign {
+                centers,
+                labels: want,
+            } => {
                 // Kernel counters ride along as the trailing stats field,
                 // so the coordinator's fold reports the same measured
                 // work a single-node pass would.
@@ -354,11 +420,18 @@ impl Worker {
                     None => source.len() as u64,
                     Some(prev) => prev.iter().zip(&labels).filter(|(a, b)| a != b).count() as u64,
                 };
+                let ship = match want {
+                    LabelsWanted::Skip => false,
+                    LabelsWanted::IfStable => reassigned == 0,
+                    LabelsWanted::Always => true,
+                };
+                let shipped = ship.then(|| labels.clone());
                 s.labels = Some(labels);
                 Ok(Message::Partials {
                     reassigned,
                     shards,
                     stats,
+                    labels: shipped,
                 })
             }
             Message::Cost { centers } => Ok(Message::ShardSums {

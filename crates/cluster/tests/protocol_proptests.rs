@@ -3,7 +3,7 @@
 //! typed [`FrameError`]s, never panic, and never allocate from a forged
 //! length. Valid frames must round-trip exactly.
 
-use kmeans_cluster::protocol::MAX_FRAME_PAYLOAD;
+use kmeans_cluster::protocol::{LabelsWanted, MAX_FRAME_PAYLOAD};
 use kmeans_cluster::{FrameError, Message, WorkerStats};
 use kmeans_core::chunked::AccumShard;
 use kmeans_data::PointMatrix;
@@ -13,7 +13,7 @@ use proptest::prelude::*;
 /// A strategy-driven random message (one of several shapes, sized by the
 /// case's byte budget).
 fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> Message {
-    match shape % 7 {
+    match shape % 9 {
         0 => Message::ShardSums { sums: floats },
         1 => Message::GatherRows { indices: ints },
         2 => Message::Sampled {
@@ -32,16 +32,45 @@ fn build_message(shape: usize, floats: Vec<f64>, ints: Vec<u64>) -> Message {
                 distance_computations: ints.first().copied().unwrap_or(0),
                 pruned_by_norm_bound: ints.last().copied().unwrap_or(0),
             },
+            labels: if ints.first().copied().unwrap_or(0) % 2 == 0 {
+                Some(ints.iter().map(|&i| i as u32).collect())
+            } else {
+                None
+            },
         },
         4 => Message::Assign {
             centers: matrix(&floats, 2),
+            labels: match ints.first().copied().unwrap_or(0) % 3 {
+                0 => LabelsWanted::Skip,
+                1 => LabelsWanted::IfStable,
+                _ => LabelsWanted::Always,
+            },
         },
         5 => Message::Labels {
             labels: ints.iter().map(|&i| i as u32).collect(),
         },
-        _ => Message::ExactKeys {
+        6 => Message::ExactKeys {
             entries: floats.iter().zip(&ints).map(|(&f, &i)| (f, i)).collect(),
         },
+        7 => Message::Prescreened {
+            entries: floats
+                .iter()
+                .zip(&ints)
+                .map(|(&f, &i)| (i, f, f.abs()))
+                .collect(),
+            rows: matrix(&floats, 2),
+        },
+        _ => Message::Compound(vec![
+            Message::UpdateTracker {
+                from: ints.first().copied().unwrap_or(0),
+                centers: matrix(&floats, 2),
+            },
+            Message::SampleBernoulliLocal {
+                round: ints.last().copied().unwrap_or(0),
+                seed: ints.first().copied().unwrap_or(0),
+                l: floats.first().copied().unwrap_or(1.0),
+            },
+        ]),
     }
 }
 
@@ -56,7 +85,7 @@ proptest! {
 
     #[test]
     fn random_messages_round_trip(
-        shape in 0usize..7,
+        shape in 0usize..9,
         floats in vec(-1e9f64..1e9, 1..40),
         ints in vec(any::<u64>(), 1..40),
     ) {
@@ -70,7 +99,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_never_panic(
-        shape in 0usize..7,
+        shape in 0usize..9,
         floats in vec(-1e3f64..1e3, 1..20),
         ints in vec(0u64..1000, 1..20),
         cut_frac in 0.0f64..1.0,
@@ -84,7 +113,7 @@ proptest! {
 
     #[test]
     fn flipped_bytes_are_detected(
-        shape in 0usize..7,
+        shape in 0usize..9,
         floats in vec(-1e3f64..1e3, 1..20),
         ints in vec(0u64..1000, 1..20),
         pos_frac in 0.0f64..1.0,
@@ -152,6 +181,67 @@ proptest! {
         let err = Message::decode_frame(&frame, MAX_FRAME_PAYLOAD).unwrap_err();
         prop_assert!(matches!(err, FrameError::Malformed(_)));
     }
+
+    #[test]
+    fn forged_compound_item_counts_are_rejected_before_allocation(
+        count in 64u64..u64::MAX / 16,
+    ) {
+        // A Compound payload whose item count promises far more
+        // sub-messages than the payload could hold (each item costs at
+        // least a tag byte plus a length prefix) — must be rejected by
+        // the count/size check before any Vec allocation.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&count.to_le_bytes());
+        payload.push(25); // one Shutdown tag byte, then nothing
+        let err = Message::decode_frame(&checksummed_frame(29, &payload), MAX_FRAME_PAYLOAD)
+            .unwrap_err();
+        prop_assert!(matches!(err, FrameError::Malformed(_)));
+    }
+}
+
+/// Assembles a well-checksummed `SKW1` frame for `tag` around an
+/// arbitrary payload, so decode tests exercise only the payload logic.
+fn checksummed_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"SKW1");
+    frame.push(tag);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in std::iter::once(&tag).chain(payload.iter()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    frame.extend_from_slice(&h.to_le_bytes());
+    frame
+}
+
+#[test]
+fn empty_compound_is_a_typed_error() {
+    let payload = 0u64.to_le_bytes().to_vec();
+    let err = Message::decode_frame(&checksummed_frame(29, &payload), MAX_FRAME_PAYLOAD)
+        .unwrap_err();
+    assert_eq!(err, FrameError::Malformed("empty compound"));
+}
+
+#[test]
+fn nested_compound_is_rejected() {
+    // A syntactically well-formed Compound whose single item is itself a
+    // Compound (tag 29): one item, inner tag 29, inner length-prefixed
+    // payload that would itself be a valid one-item compound
+    // ([Shutdown]): count 1, tag 25, empty length-prefixed payload.
+    let mut inner = Vec::new();
+    inner.extend_from_slice(&1u64.to_le_bytes());
+    inner.push(25);
+    inner.extend_from_slice(&0u64.to_le_bytes());
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(29);
+    payload.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&inner);
+    let err = Message::decode_frame(&checksummed_frame(29, &payload), MAX_FRAME_PAYLOAD)
+        .unwrap_err();
+    assert_eq!(err, FrameError::Malformed("nested compound"));
 }
 
 #[test]

@@ -95,6 +95,55 @@ impl BackendKind {
     }
 }
 
+/// Which Step 4 sample a fused tracker round should speculate on behalf
+/// of the *next* driver round (see
+/// [`RoundBackend::tracker_update_sampled`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SampleSpec {
+    /// Line 4 verbatim: independent Bernoulli draws with
+    /// `p = min(1, ℓ·d²/φ)`.
+    Bernoulli {
+        /// Oversampling ℓ.
+        l: f64,
+    },
+    /// §5.3 exact-ℓ: per-shard Efraimidis–Spirakis top-`m` keys, merged
+    /// globally by the driver.
+    ExactKeys {
+        /// Global sample size `m`.
+        m: usize,
+    },
+}
+
+/// The sample produced by a fused tracker round.
+#[derive(Clone, Debug)]
+pub enum SampleOut {
+    /// Bernoulli picks: ascending global indices plus their rows.
+    Picked {
+        /// Global row indices, ascending.
+        indices: Vec<usize>,
+        /// The corresponding rows, in the same order.
+        rows: PointMatrix,
+    },
+    /// Exact-ℓ keys `(key, global index)` — the driver merges them with
+    /// [`exact_sample_merge`] and gathers the winners' rows.
+    Keys(Vec<(f64, usize)>),
+}
+
+/// Whether a fused assignment pass ([`RoundBackend::assign_fused`])
+/// should also return the labels it stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelFetch {
+    /// Labels stay backend-resident (mid-loop Lloyd iterations).
+    Skip,
+    /// Return labels only if the pass was stable (`reassigned == 0`) —
+    /// a distributed backend has each worker ship its labels exactly
+    /// when *locally* stable, so a globally stable pass always comes
+    /// back with labels and an unstable one pays nothing.
+    IfStable,
+    /// Always return the labels (closing relabel, label-only passes).
+    Always,
+}
+
 /// The per-round primitives shared by the in-memory, chunked, and
 /// distributed execution modes. Everything a backend returns is either
 /// order-insensitive per-point data or per-shard partials of the
@@ -225,6 +274,109 @@ pub trait RoundBackend {
     fn wire_bytes(&self) -> Option<u64> {
         None
     }
+
+    // --- Fused rounds -----------------------------------------------------
+    //
+    // Each fused primitive is semantically the sequence of single
+    // primitives its default implementation runs — local backends keep
+    // these defaults, a distributed backend overrides them to ship the
+    // whole conversation as one compound frame per worker (one request/
+    // reply cycle instead of two or three). The drivers call only the
+    // fused forms, so the round count of a distributed fit is set here.
+
+    /// [`RoundBackend::tracker_init`] fused with the Step 4 sample for
+    /// `round` (drawn against the freshly built tracker). Returns ψ and,
+    /// when `spec` is given, the sample. The sample is *speculative*: the
+    /// driver discards it when ψ ≤ 0 ends the round loop, which is safe
+    /// because the per-shard sampling streams (tags 31/32) are derived
+    /// per `(seed, round, shard)`, never carried across rounds.
+    fn tracker_init_sampled(
+        &mut self,
+        centers: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        let psi = self.tracker_init(centers)?;
+        let out = match spec {
+            None => None,
+            Some(SampleSpec::Bernoulli { l }) => {
+                let (indices, rows) = self.sample_bernoulli(round, seed, l, psi)?;
+                Some(SampleOut::Picked { indices, rows })
+            }
+            Some(SampleSpec::ExactKeys { m }) => {
+                Some(SampleOut::Keys(self.sample_exact_keys(round, seed, m)?))
+            }
+        };
+        Ok((psi, out))
+    }
+
+    /// [`RoundBackend::tracker_update`] fused with the Step 4 sample for
+    /// `round` (drawn against the *updated* tracker — exactly what the
+    /// next driver round needs). Same speculation contract as
+    /// [`RoundBackend::tracker_init_sampled`].
+    fn tracker_update_sampled(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        let phi = self.tracker_update(from, new_rows)?;
+        let out = match spec {
+            None => None,
+            Some(SampleSpec::Bernoulli { l }) => {
+                let (indices, rows) = self.sample_bernoulli(round, seed, l, phi)?;
+                Some(SampleOut::Picked { indices, rows })
+            }
+            Some(SampleSpec::ExactKeys { m }) => {
+                Some(SampleOut::Keys(self.sample_exact_keys(round, seed, m)?))
+            }
+        };
+        Ok((phi, out))
+    }
+
+    /// The closing tracker update fused with Step 7's candidate weights
+    /// (`m` = candidate count *after* this update) — the last k-means||
+    /// round, when the driver already knows no top-up will follow.
+    fn tracker_update_weighted(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        m: usize,
+    ) -> Result<Vec<f64>, KMeansError> {
+        self.tracker_update(from, new_rows)?;
+        self.candidate_weights(m)
+    }
+
+    /// [`RoundBackend::assign`] fused with the label fetch, per `fetch` —
+    /// the closing relabel and the stable-exit pass come back with their
+    /// labels instead of paying a separate [`RoundBackend::fetch_labels`]
+    /// cycle.
+    fn assign_fused(
+        &mut self,
+        centers: &PointMatrix,
+        fetch: LabelFetch,
+    ) -> Result<(u64, ClusterSums, Option<Vec<u32>>), KMeansError> {
+        let (reassigned, sums) = self.assign(centers)?;
+        let labels = match fetch {
+            LabelFetch::Skip => None,
+            LabelFetch::IfStable if reassigned != 0 => None,
+            LabelFetch::IfStable | LabelFetch::Always => Some(self.fetch_labels()?),
+        };
+        Ok((reassigned, sums, labels))
+    }
+
+    /// Hint that the rows at `indices` will be gathered (possibly
+    /// repeatedly, in arbitrary sub-batches) by upcoming
+    /// [`RoundBackend::gather_rows_into`] calls. Local backends ignore
+    /// it; a distributed backend gathers the unique rows once and serves
+    /// the sub-batches from that cache, collapsing mini-batch's per-step
+    /// gathers into a single wire cycle.
+    fn preload_rows(&mut self, _indices: &[usize]) -> Result<(), KMeansError> {
+        Ok(())
+    }
 }
 
 /// Seeding epilogue shared by every backend-generic initializer: stamps
@@ -293,11 +445,18 @@ pub fn drive_kmeans_parallel(
     let first = rng.range_usize(n);
     let mut cand_idx: Vec<usize> = vec![first];
     let mut candidates = backend.gather_rows(&cand_idx)?;
+    let spec = match config.sampling {
+        SamplingMode::Bernoulli => SampleSpec::Bernoulli { l },
+        SamplingMode::ExactL => SampleSpec::ExactKeys {
+            m: (l.round() as usize).max(1),
+        },
+    };
 
     // Step 2: ψ = φ_X(C) — the backend builds its tracker state (this is
     // pass 1 over the data, doubling as the finiteness check on
-    // block-backed backends).
-    let psi = backend.tracker_init(&candidates)?;
+    // block-backed backends), fused with the round-0 sample. The sample
+    // is speculative: it is discarded if ψ ≤ 0 skips the round loop.
+    let (psi, mut pending) = backend.tracker_init_sampled(&candidates, 0, seed, Some(spec))?;
     let mut phi = psi;
     let max_rounds = match config.rounds {
         Rounds::Fixed(r) => r,
@@ -310,19 +469,36 @@ pub fn drive_kmeans_parallel(
         }
     };
 
-    // Steps 3–6: one tracker-update scan per round; sampling reads only
-    // the resident d².
+    // Steps 3–6: one fused tracker-update + next-round-sample scan per
+    // round; sampling reads only the resident d². The final round fuses
+    // the update with Step 7's weights instead (when no top-up can
+    // follow), so a full run pays one backend cycle per round.
     let mut rounds_executed = 0usize;
+    let mut weights: Option<Vec<f64>> = None;
     for round in 0..max_rounds {
         if phi <= 0.0 {
             break; // every point coincides with a candidate
         }
         rounds_executed += 1;
-        let (new_indices, rows) = match config.sampling {
-            SamplingMode::Bernoulli => backend.sample_bernoulli(round, seed, l, phi)?,
-            SamplingMode::ExactL => {
-                let m = (l.round() as usize).max(1);
-                let keys = backend.sample_exact_keys(round, seed, m)?;
+        let out = match pending.take() {
+            Some(out) => out, // speculated by the previous fused round
+            None => match spec {
+                SampleSpec::Bernoulli { l } => {
+                    let (indices, rows) = backend.sample_bernoulli(round, seed, l, phi)?;
+                    SampleOut::Picked { indices, rows }
+                }
+                SampleSpec::ExactKeys { m } => {
+                    SampleOut::Keys(backend.sample_exact_keys(round, seed, m)?)
+                }
+            },
+        };
+        let (new_indices, rows) = match out {
+            SampleOut::Picked { indices, rows } => (indices, rows),
+            SampleOut::Keys(keys) => {
+                let m = match spec {
+                    SampleSpec::ExactKeys { m } => m,
+                    SampleSpec::Bernoulli { .. } => unreachable!("keys from a Bernoulli spec"),
+                };
                 let indices = exact_sample_merge(keys, m);
                 let rows = backend.gather_rows(&indices)?;
                 (indices, rows)
@@ -336,7 +512,18 @@ pub fn drive_kmeans_parallel(
             .extend_from(&rows)
             .expect("candidate dim matches");
         cand_idx.extend_from_slice(&new_indices);
-        phi = backend.tracker_update(from, &rows)?;
+        let next = round + 1;
+        if next < max_rounds {
+            let (p, out) = backend.tracker_update_sampled(from, &rows, next, seed, Some(spec))?;
+            phi = p;
+            pending = out;
+        } else if candidates.len() >= k {
+            // Last round and no top-up possible: fuse the update with
+            // Step 7. φ is not needed past this point.
+            weights = Some(backend.tracker_update_weighted(from, &rows, candidates.len())?);
+        } else {
+            phi = backend.tracker_update(from, &rows)?;
+        }
     }
 
     // Top-up: the paper notes that with r·ℓ < k "we run the risk of
@@ -377,8 +564,13 @@ pub fn drive_kmeans_parallel(
     }
 
     // Step 7: candidate weights from the tracked nearest ids — an O(|C|)
-    // exchange, no data pass.
-    let weights = backend.candidate_weights(candidates.len())?;
+    // exchange, no data pass. Usually already fetched by the final fused
+    // round; the standalone call covers the early-φ-break, dry-last-round,
+    // and top-up paths.
+    let weights = match weights {
+        Some(w) => w,
+        None => backend.candidate_weights(candidates.len())?,
+    };
     let stats = InitStats {
         rounds: rounds_executed,
         passes: 1 + rounds_executed,
@@ -431,15 +623,20 @@ pub fn drive_lloyd(
     // centers without a closing relabel pass. A tol-based stop applies
     // the centroid update *before* breaking, so it does not qualify.
     let mut stable_exit = false;
+    // Labels ride the assignment reply that produced them: a stable pass
+    // ships them opportunistically (IfStable), the closing relabel always
+    // does — no separate fetch_labels cycle on the common paths.
+    let mut final_labels: Option<Vec<u32>> = None;
 
     for _ in 0..config.max_iterations {
-        let (reassigned, sums) = backend.assign(&centers)?;
+        let (reassigned, sums, labels) = backend.assign_fused(&centers, LabelFetch::IfStable)?;
         pruned += sums.stats.pruned_by_norm_bound;
 
         // Stability: nothing moved → the centroid update is a no-op.
         if reassigned == 0 {
             converged = true;
             stable_exit = true;
+            final_labels = labels;
             history.push(IterationStats {
                 cost: sums.cost,
                 reassigned: 0,
@@ -497,11 +694,17 @@ pub fn drive_lloyd(
     let (cost, closing_pass) = if stable_exit {
         (prev_cost, 0)
     } else {
-        let (_, sums) = backend.assign(&centers)?;
+        let (_, sums, labels) = backend.assign_fused(&centers, LabelFetch::Always)?;
         pruned += sums.stats.pruned_by_norm_bound;
+        final_labels = labels;
         (sums.cost, 1)
     };
-    let labels = backend.fetch_labels()?;
+    let labels = match final_labels {
+        Some(l) => l,
+        // Safety net (e.g. max_iterations = 0 configs): the labels of the
+        // last stored pass.
+        None => backend.fetch_labels()?,
+    };
 
     Ok(LloydResult {
         labels,
@@ -547,18 +750,33 @@ pub fn drive_minibatch(
     let mut centers = initial_centers.clone();
     let mut seen = vec![0u64; centers.len()];
     let mut rng = Rng::derive(seed, &[40]);
-    let mut batch = vec![0usize; config.batch_size];
     let mut labels = vec![0u32; config.batch_size];
     let mut d2 = vec![0.0f64; config.batch_size];
+    // All batch indices are drawn up front (the loop body consumes no
+    // other randomness, so the tag-40 stream is identical to drawing
+    // per step) and announced to the backend: a distributed backend
+    // gathers the unique rows once instead of paying one wire cycle per
+    // step.
+    let mut batches: Vec<Vec<usize>> = Vec::with_capacity(config.iterations);
+    for _ in 0..config.iterations {
+        let mut batch = vec![0usize; config.batch_size];
+        for slot in &mut batch {
+            *slot = rng.range_usize(n);
+        }
+        batches.push(batch);
+    }
+    {
+        let mut unique: Vec<usize> = batches.iter().flatten().copied().collect();
+        unique.sort_unstable();
+        unique.dedup();
+        backend.preload_rows(&unique)?;
+    }
     // One reused gather buffer across all steps — local backends fill it
     // allocation-free in steady state.
     let mut rows = PointMatrix::with_capacity(backend.dim(), config.batch_size);
     let mut stats = KernelStats::default();
-    for _ in 0..config.iterations {
-        for slot in &mut batch {
-            *slot = rng.range_usize(n);
-        }
-        backend.gather_rows_into(&batch, &mut rows)?;
+    for batch in &batches {
+        backend.gather_rows_into(batch, &mut rows)?;
         // Assign against frozen centers, then apply the gradient steps in
         // batch order — Sculley's two-phase step avoids order dependence
         // within a batch. The batch is candidate-set sized, so the kernel
@@ -590,8 +808,11 @@ pub fn drive_label_pass(
     centers: &PointMatrix,
 ) -> Result<(Vec<u32>, ClusterSums), KMeansError> {
     backend.validate_refine(centers)?;
-    let (_, sums) = backend.assign(centers)?;
-    let labels = backend.fetch_labels()?;
+    let (_, sums, labels) = backend.assign_fused(centers, LabelFetch::Always)?;
+    let labels = match labels {
+        Some(l) => l,
+        None => backend.fetch_labels()?,
+    };
     Ok((labels, sums))
 }
 

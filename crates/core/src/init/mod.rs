@@ -16,8 +16,9 @@ mod random;
 pub use afkmc2::afk_mc2;
 pub use kmeanspp::{kmeanspp, kmeanspp_chunked, weighted_kmeanspp};
 pub use parallel::{
-    exact_sample_keys, exact_sample_merge, kmeans_parallel, sample_bernoulli, KMeansParallelConfig,
-    Oversampling, Recluster, Rounds, SamplingMode, TopUp,
+    bernoulli_accept, exact_sample_keys, exact_sample_merge, kmeans_parallel, sample_bernoulli,
+    sample_bernoulli_prescreen, KMeansParallelConfig, Oversampling, Recluster, Rounds,
+    SamplingMode, TopUp,
 };
 pub use random::random_init;
 

@@ -225,6 +225,17 @@ pub fn kmeans_parallel(
     crate::driver::drive_kmeans_parallel(&mut backend, k, config, seed)
 }
 
+/// The Step 4 acceptance predicate: accept the uniform draw `u` iff
+/// `u < ℓ·d²/φ` (with `ℓ·d² > 0` gating whether a draw happens at all).
+/// One expression shared by the single-node sampler, the worker-side
+/// prescreen, and the coordinator's exact filter, so all three make
+/// bit-identical decisions on the same `(u, d², φ)`.
+#[inline]
+pub fn bernoulli_accept(u: f64, l: f64, d2: f64, phi: f64) -> bool {
+    let num = l * d2;
+    num > 0.0 && u < num / phi
+}
+
 /// Line 4: independent Bernoulli draws with `p = min(1, ℓ·d²/φ)`, shard
 /// parallel, deterministic per `(seed, round, shard)`.
 ///
@@ -243,13 +254,40 @@ pub fn sample_bernoulli(
     exec: &Executor,
     first_shard: usize,
 ) -> Vec<usize> {
+    sample_bernoulli_prescreen(d2, l, phi, seed, round, exec, first_shard)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// [`sample_bernoulli`] with the uniform draws exposed: returns
+/// `(index, u)` for every accepted point. RNG consumption is
+/// φ-independent — each point with `ℓ·d² > 0` consumes exactly one draw
+/// regardless of φ — which is what lets a distributed worker run this
+/// against a *lower bound* `φ_lo ≤ φ` (its own local potential) as a
+/// prescreen: the true accept set under the global φ is always a subset
+/// of the prescreen set (division by a positive denominator is monotone
+/// non-increasing), and the coordinator replays [`bernoulli_accept`] on
+/// the shipped `(u, d²)` pairs with the exact folded φ to recover it
+/// bit for bit.
+pub fn sample_bernoulli_prescreen(
+    d2: &[f64],
+    l: f64,
+    phi: f64,
+    seed: u64,
+    round: usize,
+    exec: &Executor,
+    first_shard: usize,
+) -> Vec<(usize, f64)> {
     let shard_lists = exec.map_shards(d2.len(), |shard, range| {
         let mut rng = Rng::derive(seed, &[31, round as u64, (first_shard + shard) as u64]);
         let mut picked = Vec::new();
         for i in range {
-            let p = l * d2[i] / phi;
-            if p > 0.0 && rng.bernoulli(p) {
-                picked.push(i);
+            if l * d2[i] > 0.0 {
+                let u = rng.next_f64();
+                if bernoulli_accept(u, l, d2[i], phi) {
+                    picked.push((i, u));
+                }
             }
         }
         picked

@@ -14,7 +14,7 @@
 //! reports coordinator-side send+receive totals.
 
 use crate::assign::ClusterSums;
-use crate::driver::{BackendKind, RoundBackend};
+use crate::driver::{BackendKind, LabelFetch, RoundBackend, SampleOut, SampleSpec};
 use crate::error::KMeansError;
 use kmeans_data::{ChunkedSource, PointMatrix};
 use kmeans_obs::{arg_str, arg_u64, ArgValue, Recorder, SpanStart};
@@ -230,6 +230,117 @@ impl RoundBackend for RecordingBackend<'_> {
             vec![arg_u64("centers", centers_n)]
         });
         out
+    }
+
+    // Fused rounds must delegate to the inner *fused* methods — falling
+    // back to the trait defaults would silently decompose a traced
+    // distributed fit back into un-fused wire conversations. Each fused
+    // call records one span, matching its one wire round trip.
+
+    fn tracker_init_sampled(
+        &mut self,
+        centers: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        let (start, wire) = self.begin();
+        let out = self.inner.tracker_init_sampled(centers, round, seed, spec);
+        let centers_n = centers.len() as u64;
+        let sampled = sample_size(&out);
+        self.finish(start, wire, "tracker_init+sample", || {
+            vec![
+                arg_u64("centers", centers_n),
+                arg_u64("round", round as u64),
+                arg_u64("sampled", sampled),
+            ]
+        });
+        out
+    }
+
+    fn tracker_update_sampled(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        round: usize,
+        seed: u64,
+        spec: Option<SampleSpec>,
+    ) -> Result<(f64, Option<SampleOut>), KMeansError> {
+        let (start, wire) = self.begin();
+        let out = self
+            .inner
+            .tracker_update_sampled(from, new_rows, round, seed, spec);
+        let new_n = new_rows.len() as u64;
+        let sampled = sample_size(&out);
+        self.finish(start, wire, "tracker_update+sample", || {
+            vec![
+                arg_u64("new_candidates", new_n),
+                arg_u64("round", round as u64),
+                arg_u64("sampled", sampled),
+            ]
+        });
+        out
+    }
+
+    fn tracker_update_weighted(
+        &mut self,
+        from: usize,
+        new_rows: &PointMatrix,
+        m: usize,
+    ) -> Result<Vec<f64>, KMeansError> {
+        let (start, wire) = self.begin();
+        let out = self.inner.tracker_update_weighted(from, new_rows, m);
+        let new_n = new_rows.len() as u64;
+        self.finish(start, wire, "tracker_update+weights", || {
+            vec![arg_u64("new_candidates", new_n), arg_u64("candidates", m as u64)]
+        });
+        out
+    }
+
+    fn assign_fused(
+        &mut self,
+        centers: &PointMatrix,
+        fetch: LabelFetch,
+    ) -> Result<(u64, ClusterSums, Option<Vec<u32>>), KMeansError> {
+        let (start, wire) = self.begin();
+        let out = self.inner.assign_fused(centers, fetch);
+        let (changed, distance, pruned, labels) = match &out {
+            Ok((changed, sums, labels)) => (
+                *changed,
+                sums.stats.distance_computations,
+                sums.stats.pruned_by_norm_bound,
+                labels.is_some() as u64,
+            ),
+            Err(_) => (0, 0, 0, 0),
+        };
+        let centers_n = centers.len() as u64;
+        self.finish(start, wire, "assign", || {
+            vec![
+                arg_u64("centers", centers_n),
+                arg_u64("changed", changed),
+                arg_u64("distance_computations", distance),
+                arg_u64("pruned_by_norm_bound", pruned),
+                arg_u64("labels_shipped", labels),
+            ]
+        });
+        out
+    }
+
+    fn preload_rows(&mut self, indices: &[usize]) -> Result<(), KMeansError> {
+        let (start, wire) = self.begin();
+        let out = self.inner.preload_rows(indices);
+        let rows = indices.len() as u64;
+        self.finish(start, wire, "preload_rows", || vec![arg_u64("rows", rows)]);
+        out
+    }
+}
+
+/// Sample size carried by a fused tracker round's result (for spans).
+fn sample_size(out: &Result<(f64, Option<SampleOut>), KMeansError>) -> u64 {
+    match out {
+        Ok((_, Some(SampleOut::Picked { indices, .. }))) => indices.len() as u64,
+        Ok((_, Some(SampleOut::Keys(keys)))) => keys.len() as u64,
+        _ => 0,
     }
 }
 

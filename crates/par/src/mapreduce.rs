@@ -64,6 +64,12 @@ pub struct JobStats {
     pub bytes_shuffled: u64,
     /// Distinct keys seen by the reduce phase.
     pub distinct_keys: usize,
+    /// Coordinator-counted request/reply cycles over the fleet. The
+    /// in-process model counts one per job (one MapReduce round); the
+    /// cluster coordinator counts real wire round trips — one per
+    /// scatter/gather broadcast, a fused `Compound` round counting once.
+    /// Session control (`Hello`/`Plan`/`Shutdown`) is excluded.
+    pub round_trips: u64,
     /// Measured wall time of the (parallel) map phase.
     pub map_wall: Duration,
     /// Measured wall time of the shuffle (grouping) phase.
@@ -95,6 +101,7 @@ impl JobStats {
         self.pairs_shuffled += other.pairs_shuffled;
         self.bytes_shuffled += other.bytes_shuffled;
         self.distinct_keys = self.distinct_keys.max(other.distinct_keys);
+        self.round_trips += other.round_trips;
         self.map_wall += other.map_wall;
         self.shuffle_wall += other.shuffle_wall;
         self.reduce_wall += other.reduce_wall;
@@ -138,6 +145,7 @@ where
     let mut stats = JobStats {
         map_tasks: exec.shard_spec().count(records.len()),
         records_in: records.len() as u64,
+        round_trips: 1, // one job = one MapReduce round
         ..JobStats::default()
     };
 
@@ -281,6 +289,7 @@ mod tests {
             pairs_shuffled: 100,
             bytes_shuffled: 1_600,
             distinct_keys: 1,
+            round_trips: 1,
             map_wall: Duration::from_secs(10),
             shuffle_wall: Duration::from_secs(1),
             reduce_wall: Duration::from_secs(1),
@@ -301,6 +310,7 @@ mod tests {
             pairs_shuffled: 5,
             bytes_shuffled: 80,
             distinct_keys: 2,
+            round_trips: 1,
             map_wall: Duration::from_secs(1),
             shuffle_wall: Duration::from_secs(1),
             reduce_wall: Duration::from_secs(1),

@@ -215,7 +215,11 @@ fn resume_from_every_truncation_point_is_bit_identical() {
         h.join().unwrap().unwrap();
     }
     assert_same_fit(&reference, &uninterrupted, "journaled fit vs in-memory");
-    assert!(full.len() > 10, "expected a multi-round journal");
+    // Fused rounds: one journal record per compound round, so the floor
+    // is lower than the old one-record-per-primitive journal (first
+    // gather + init+sample + 4 update+sample + update+weights + potential
+    // = 8 before any Lloyd assignment).
+    assert!(full.len() > 8, "expected a multi-round journal, got {}", full.len());
 
     for r in 0..=full.len() {
         let mut partial = full.clone();

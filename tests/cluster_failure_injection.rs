@@ -167,6 +167,13 @@ fn killing_workers_at_each_round_type_recovers_bit_identically() {
         .shard_size(SHARD)
         .fit(&points)
         .unwrap();
+    // The fused conversation sends six Compound frames per fit (one
+    // init+sample, four update+sample, one update+weights), so the old
+    // per-primitive tags never appear on the wire as top-level frames;
+    // the grid keys on Compound occurrences instead. Labels ride the
+    // final (stable) assignment reply, so the old fetch-labels round is
+    // now the last ASSIGN occurrence.
+    let final_assign = reference.iterations() as u32;
     let grid: Vec<(&str, FaultAction)> = vec![
         (
             "gather-rows request",
@@ -176,31 +183,24 @@ fn killing_workers_at_each_round_type_recovers_bit_identically() {
             },
         ),
         (
-            "init-tracker request",
+            "init+sample compound request",
             FaultAction::KillOnRecv {
-                tag: tag::INIT_TRACKER,
+                tag: tag::COMPOUND,
                 occurrence: 1,
             },
         ),
         (
-            "sample request",
+            "mid update+sample compound request",
             FaultAction::KillOnRecv {
-                tag: tag::SAMPLE_BERNOULLI,
-                occurrence: 2,
+                tag: tag::COMPOUND,
+                occurrence: 3,
             },
         ),
         (
-            "tracker-update request",
+            "update+weights compound request",
             FaultAction::KillOnRecv {
-                tag: tag::UPDATE_TRACKER,
-                occurrence: 1,
-            },
-        ),
-        (
-            "weights request",
-            FaultAction::KillOnRecv {
-                tag: tag::CANDIDATE_WEIGHTS,
-                occurrence: 1,
+                tag: tag::COMPOUND,
+                occurrence: 6,
             },
         ),
         (
@@ -211,17 +211,24 @@ fn killing_workers_at_each_round_type_recovers_bit_identically() {
             },
         ),
         (
-            "label fetch",
+            "final label-shipping assign",
             FaultAction::KillOnRecv {
-                tag: tag::FETCH_LABELS,
-                occurrence: 1,
+                tag: tag::ASSIGN,
+                occurrence: final_assign,
             },
         ),
         (
-            "tracker reply lost",
+            "compound reply lost",
+            FaultAction::KillOnSend {
+                tag: tag::COMPOUND,
+                occurrence: 2,
+            },
+        ),
+        (
+            "potential reply lost",
             FaultAction::KillOnSend {
                 tag: tag::SHARD_SUMS,
-                occurrence: 2,
+                occurrence: 1,
             },
         ),
         (
@@ -272,11 +279,14 @@ fn four_workers_survive_three_deaths_at_distinct_rounds() {
         .shard_size(SHARD)
         .fit(&points)
         .unwrap();
+    // Deaths at: the seeding round (first fused init+sample compound),
+    // the first Lloyd assignment, and the final stable assignment (the
+    // one whose reply carries the labels home).
     let scripts = vec![
         (
             1usize,
             vec![FaultAction::KillOnRecv {
-                tag: tag::SAMPLE_BERNOULLI,
+                tag: tag::COMPOUND,
                 occurrence: 1,
             }],
         ),
@@ -290,8 +300,8 @@ fn four_workers_survive_three_deaths_at_distinct_rounds() {
         (
             3,
             vec![FaultAction::KillOnRecv {
-                tag: tag::FETCH_LABELS,
-                occurrence: 1,
+                tag: tag::ASSIGN,
+                occurrence: reference.iterations() as u32,
             }],
         ),
     ];
@@ -328,8 +338,9 @@ fn all_but_one_worker_dying_at_once_recovers() {
         .shard_size(SHARD)
         .fit(&points)
         .unwrap();
+    // The second fused update+sample compound round.
     let die = vec![FaultAction::KillOnRecv {
-        tag: tag::SAMPLE_BERNOULLI,
+        tag: tag::COMPOUND,
         occurrence: 2,
     }];
     let scripts: Vec<(usize, Vec<FaultAction>)> = (1..4).map(|w| (w, die.clone())).collect();
@@ -430,8 +441,12 @@ fn topup_gather_death_and_delayed_replies() {
 fn death_during_recovery_is_a_typed_error_not_a_hang() {
     let points = gauss();
     let slices = even_slices(points.len(), 2);
+    // The fused init+sample compound. The replacements below key on the
+    // same tag: catch-up replays no tracker segments for a death during
+    // init (the round had not committed), so the first frame a doomed
+    // replacement sees after Plan is the re-asked Compound itself.
     let die_at_init = vec![FaultAction::KillOnRecv {
-        tag: tag::INIT_TRACKER,
+        tag: tag::COMPOUND,
         occurrence: 1,
     }];
     let mut transports: Vec<Box<dyn Transport>> = Vec::new();
@@ -456,7 +471,7 @@ fn death_during_recovery_is_a_typed_error_not_a_hang() {
                 source,
                 Parallelism::Sequential,
                 vec![FaultAction::KillOnRecv {
-                    tag: tag::INIT_TRACKER,
+                    tag: tag::COMPOUND,
                     occurrence: 1,
                 }],
             );
@@ -487,10 +502,12 @@ fn death_during_recovery_is_a_typed_error_not_a_hang() {
     }
 }
 
-/// TCP elasticity: a worker ships half a Partials frame over a real
-/// socket and dies; the coordinator sees a typed frame error, asks the
-/// supplier for a replacement (a brand-new `skm worker`-style process on
-/// a fresh port), catches it up, and finishes bit-identically.
+/// TCP elasticity: a worker ships half a reply frame over a real socket
+/// and dies; the coordinator sees a typed frame error, asks the supplier
+/// for a replacement (a brand-new `skm worker`-style process on a fresh
+/// port), catches it up, and finishes bit-identically. Exercised for
+/// both a plain Partials reply and a fused Compound reply (a death in
+/// the middle of a multi-message round).
 #[test]
 fn tcp_worker_truncating_mid_frame_is_replaced_and_caught_up() {
     let points = gauss();
@@ -502,51 +519,66 @@ fn tcp_worker_truncating_mid_frame_is_replaced_and_caught_up() {
     let timeout = Some(Duration::from_secs(30));
     let slices = even_slices(points.len(), 2);
 
-    let mut addrs = Vec::new();
-    let mut originals = Vec::new();
-    for (w, &(start, rows)) in slices.iter().enumerate() {
-        let source = InMemorySource::new(slice_rows(&points, start, rows), 5).unwrap();
-        let script = if w == 1 {
-            vec![FaultAction::TruncateOnSend {
+    let truncations: Vec<(&str, FaultAction)> = vec![
+        (
+            "tcp mid-frame truncation (partials)",
+            FaultAction::TruncateOnSend {
                 tag: tag::PARTIALS,
                 occurrence: 1,
                 keep: 10,
-            }]
-        } else {
-            vec![]
-        };
-        let (addr, h) =
-            spawn_tcp_worker_with_faults(source, Parallelism::Sequential, timeout, script).unwrap();
-        addrs.push(addr.to_string());
-        originals.push(h);
+            },
+        ),
+        (
+            "tcp mid-frame truncation (compound reply)",
+            FaultAction::TruncateOnSend {
+                tag: tag::COMPOUND,
+                occurrence: 2,
+                keep: 10,
+            },
+        ),
+    ];
+    for (what, action) in truncations {
+        let mut addrs = Vec::new();
+        let mut originals = Vec::new();
+        for (w, &(start, rows)) in slices.iter().enumerate() {
+            let source = InMemorySource::new(slice_rows(&points, start, rows), 5).unwrap();
+            let script = if w == 1 { vec![action] } else { vec![] };
+            let (addr, h) =
+                spawn_tcp_worker_with_faults(source, Parallelism::Sequential, timeout, script)
+                    .unwrap();
+            addrs.push(addr.to_string());
+            originals.push(h);
+        }
+        let mut cluster = Cluster::connect(&addrs, timeout).unwrap();
+        let replacements: SharedHandles = Arc::new(Mutex::new(Vec::new()));
+        let supplier_handles = Arc::clone(&replacements);
+        let supplier_points = points.clone();
+        let supplier_slices = slices.clone();
+        cluster.set_recovery(
+            Box::new(move |slot| {
+                let (start, rows) = supplier_slices[slot];
+                let source =
+                    InMemorySource::new(slice_rows(&supplier_points, start, rows), 5).unwrap();
+                let (addr, h) = spawn_tcp_worker(source, Parallelism::Sequential, timeout)
+                    .map_err(ClusterError::Io)?;
+                supplier_handles.lock().unwrap().push(h);
+                let stream = std::net::TcpStream::connect(addr).map_err(ClusterError::Io)?;
+                Ok(Box::new(TcpTransport::new(stream, timeout)?))
+            }),
+            RetryPolicy::fixed(5, Duration::from_millis(10)),
+        );
+        let got = KMeans::params(K)
+            .seed(5)
+            .shard_size(SHARD)
+            .fit_distributed(&mut cluster)
+            .unwrap_or_else(|e| panic!("{what}: {e}"));
+        cluster.shutdown();
+        let mut originals = originals;
+        assert!(originals.pop().unwrap().join().unwrap().is_err());
+        originals.pop().unwrap().join().unwrap().unwrap();
+        drain(&replacements);
+        assert_bit_identical(&reference, &got, what);
     }
-    let mut cluster = Cluster::connect(&addrs, timeout).unwrap();
-    let replacements: SharedHandles = Arc::new(Mutex::new(Vec::new()));
-    let supplier_handles = Arc::clone(&replacements);
-    let supplier_points = points.clone();
-    cluster.set_recovery(
-        Box::new(move |slot| {
-            let (start, rows) = slices[slot];
-            let source = InMemorySource::new(slice_rows(&supplier_points, start, rows), 5).unwrap();
-            let (addr, h) = spawn_tcp_worker(source, Parallelism::Sequential, timeout)
-                .map_err(ClusterError::Io)?;
-            supplier_handles.lock().unwrap().push(h);
-            let stream = std::net::TcpStream::connect(addr).map_err(ClusterError::Io)?;
-            Ok(Box::new(TcpTransport::new(stream, timeout)?))
-        }),
-        RetryPolicy::fixed(5, Duration::from_millis(10)),
-    );
-    let got = KMeans::params(K)
-        .seed(5)
-        .shard_size(SHARD)
-        .fit_distributed(&mut cluster)
-        .unwrap();
-    cluster.shutdown();
-    let mut originals = originals;
-    assert!(originals.pop().unwrap().join().unwrap().is_err());
-    originals.pop().unwrap().join().unwrap().unwrap();
-    drain(&replacements);
-    assert_bit_identical(&reference, &got, "tcp mid-frame truncation");
 }
 
 /// The operational re-join story end to end: `Cluster::connect`'s default

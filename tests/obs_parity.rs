@@ -116,8 +116,9 @@ fn traced_in_memory_fit_is_bit_identical_and_fully_spanned() {
     let events = recorder.events();
     assert_timeline_covers_the_fit(&events, "in-memory");
     for name in [
-        "sample_bernoulli",
-        "candidate_weights",
+        "tracker_init+sample",
+        "tracker_update+sample",
+        "tracker_update+weights",
         "assign",
         "potential",
     ] {
@@ -201,6 +202,25 @@ fn traced_distributed_fit_is_bit_identical_and_counts_wire_bytes() {
         wire_sum <= wire_total,
         "round spans claim {wire_sum} wire bytes but the cluster only moved {wire_total}"
     );
+    // The fused compound rounds are themselves spanned, and each carries
+    // a non-zero share of the wire (a compound request and its compound
+    // reply both cross the socket inside the span).
+    for name in ["tracker_init+sample", "tracker_update+sample", "tracker_update+weights"] {
+        let fused_bytes: u64 = events
+            .iter()
+            .filter(|e| e.cat == "round" && e.name == name)
+            .filter_map(|e| {
+                e.args.iter().find_map(|(n, v)| match v {
+                    scalable_kmeans::obs::ArgValue::U64(b) if n == "wire_bytes" => Some(*b),
+                    _ => None,
+                })
+            })
+            .sum();
+        assert!(
+            fused_bytes > 0,
+            "fused round '{name}' attributed no wire bytes"
+        );
+    }
     // The coordinator tier interleaves on the same timeline.
     assert!(events
         .iter()
